@@ -1,0 +1,135 @@
+//! Criterion benches: design-choice ablations (E14, DESIGN.md §5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use unn::quantify::{
+    quantification_exact, quantification_exact_recompute, McBackend, MonteCarloIndex,
+    SpiralBackend, SpiralIndex,
+};
+use unn::spatial::{KdTree, QuadTree, UniformGrid};
+use unn::geom::Point;
+use unn_bench::util::{as_uncertain, random_discrete, random_queries};
+
+fn bench_mc_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_mc_backend");
+    g.sample_size(10);
+    let objs = random_discrete(500, 3, 150.0, 3.0, 2.0, 70);
+    let points = as_uncertain(&objs);
+    for backend in [McBackend::KdTree, McBackend::Delaunay] {
+        let name = format!("{backend:?}");
+        g.bench_with_input(BenchmarkId::new("build_s100", &name), &backend, |b, &bk| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(71);
+                black_box(MonteCarloIndex::build(&points, 100, bk, &mut rng))
+            })
+        });
+        let mut rng = SmallRng::seed_from_u64(71);
+        let mc = MonteCarloIndex::build(&points, 100, backend, &mut rng);
+        let queries = random_queries(64, 150.0, 72);
+        let mut qi = 0usize;
+        g.bench_with_input(BenchmarkId::new("query_s100", &name), &backend, |b, _| {
+            b.iter(|| {
+                let q = queries[qi % queries.len()];
+                qi += 1;
+                black_box(mc.query(q))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_mnn_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_mnn_engine");
+    let objs = random_discrete(2_000, 4, 300.0, 2.0, 2.0, 73);
+    let flat: Vec<Point> = objs
+        .iter()
+        .flat_map(|o| o.points().iter().copied())
+        .collect();
+    let kd = KdTree::new(&flat);
+    let quad = QuadTree::new(&flat);
+    let grid = UniformGrid::auto(&flat);
+    let queries = random_queries(64, 300.0, 74);
+    let m = 128;
+    let mut qi = 0usize;
+    g.bench_function("kdtree_m128", |b| {
+        b.iter(|| {
+            let q = queries[qi % queries.len()];
+            qi += 1;
+            black_box(kd.m_nearest(q, m))
+        })
+    });
+    let mut qi = 0usize;
+    g.bench_function("quadtree_m128", |b| {
+        b.iter(|| {
+            let q = queries[qi % queries.len()];
+            qi += 1;
+            black_box(quad.m_nearest(q, m))
+        })
+    });
+    // Grid: plain NN comparison point.
+    let mut qi = 0usize;
+    g.bench_function("grid_nn", |b| {
+        b.iter(|| {
+            let q = queries[qi % queries.len()];
+            qi += 1;
+            black_box(grid.nearest(q))
+        })
+    });
+    g.finish();
+}
+
+fn bench_spiral_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_spiral_backend");
+    let objs = random_discrete(5_000, 4, 500.0, 2.0, 3.0, 75);
+    let idx = SpiralIndex::build(&objs);
+    let queries = random_queries(64, 500.0, 76);
+    for backend in [SpiralBackend::KdTree, SpiralBackend::QuadTree] {
+        let mut qi = 0usize;
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{backend:?}")),
+            &backend,
+            |b, &bk| {
+                b.iter(|| {
+                    let q = queries[qi % queries.len()];
+                    qi += 1;
+                    black_box(idx.query_with(q, 0.01, bk))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_sweep_vs_recompute(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_exact_sweep");
+    let objs = random_discrete(500, 4, 150.0, 3.0, 2.0, 77);
+    let queries = random_queries(64, 150.0, 78);
+    let mut qi = 0usize;
+    g.bench_function("sweep", |b| {
+        b.iter(|| {
+            let q = queries[qi % queries.len()];
+            qi += 1;
+            black_box(quantification_exact(&objs, q))
+        })
+    });
+    let mut qi = 0usize;
+    g.bench_function("recompute", |b| {
+        b.iter(|| {
+            let q = queries[qi % queries.len()];
+            qi += 1;
+            black_box(quantification_exact_recompute(&objs, q))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mc_backends,
+    bench_mnn_engines,
+    bench_spiral_backends,
+    bench_sweep_vs_recompute
+);
+criterion_main!(benches);

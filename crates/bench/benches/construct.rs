@@ -1,0 +1,46 @@
+//! Criterion benches: construction of the paper's structures (E6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use unn::geom::{Aabb, Point};
+use unn::nonzero::{nonzero_vertices, GammaCurve, NonzeroSubdivision};
+use unn_bench::util::random_disks;
+
+fn bench_gamma(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gamma_envelope");
+    for n in [16usize, 64, 256] {
+        let disks = random_disks(n, 100.0, 0.5, 3.0, 42 + n as u64);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| GammaCurve::build(black_box(&disks), 0))
+        });
+    }
+    g.finish();
+}
+
+fn bench_vertex_enumeration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vertex_enumeration");
+    g.sample_size(10);
+    for n in [8usize, 16, 32] {
+        let disks = random_disks(n, 50.0, 0.5, 3.0, 43 + n as u64);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| nonzero_vertices(black_box(&disks), 1e-9))
+        });
+    }
+    g.finish();
+}
+
+fn bench_subdivision(c: &mut Criterion) {
+    let mut g = c.benchmark_group("subdivision_build");
+    g.sample_size(10);
+    let bbox = Aabb::new(Point::new(-20.0, -20.0), Point::new(70.0, 70.0));
+    for n in [8usize, 16, 24] {
+        let disks = random_disks(n, 50.0, 0.5, 3.0, 44 + n as u64);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| NonzeroSubdivision::build(black_box(&disks), bbox, 5e-3))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gamma, bench_vertex_enumeration, bench_subdivision);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion benches: expected-distance NN (part-I criterion) and the
+//! certified expected-Voronoi quadtree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use unn::geom::{Aabb, Point};
+use unn::{ExpectedNnIndex, ExpectedVoronoi, Uncertain};
+use unn_bench::util::{as_uncertain, random_discrete, random_queries};
+
+fn workload(n: usize, seed: u64) -> (Vec<Uncertain>, f64) {
+    let side = (n as f64).sqrt() * 6.0;
+    (as_uncertain(&random_discrete(n, 4, side, 2.0, 2.0, seed)), side)
+}
+
+fn bench_expected_nn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("expected_nn");
+    for n in [100usize, 1_000, 10_000] {
+        let (points, side) = workload(n, 80 + n as u64);
+        let idx = ExpectedNnIndex::build(&points);
+        let queries = random_queries(128, side, 81 + n as u64);
+        let mut qi = 0usize;
+        g.bench_with_input(BenchmarkId::new("branch_bound", n), &n, |b, _| {
+            b.iter(|| {
+                let q = queries[qi % queries.len()];
+                qi += 1;
+                black_box(idx.expected_nn(q))
+            })
+        });
+        if n <= 1_000 {
+            let mut qi = 0usize;
+            g.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+                b.iter(|| {
+                    let q = queries[qi % queries.len()];
+                    qi += 1;
+                    black_box(idx.expected_nn_naive(q))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_evd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("expected_voronoi");
+    g.sample_size(10);
+    let (points, side) = workload(200, 90);
+    let bbox = Aabb::new(Point::new(0.0, 0.0), Point::new(side, side));
+    g.bench_function("build_n200", |b| {
+        b.iter(|| black_box(ExpectedVoronoi::build(&points, bbox, side / 256.0)))
+    });
+    let evd = ExpectedVoronoi::build(&points, bbox, side / 256.0);
+    let queries = random_queries(128, side, 91);
+    let mut qi = 0usize;
+    g.bench_function("query_n200", |b| {
+        b.iter(|| {
+            let q = queries[qi % queries.len()];
+            qi += 1;
+            black_box(evd.query(q))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_expected_nn, bench_evd);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion benches: NN!=0 query structures (E7, Thm 2.11/3.1/3.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use unn::geom::{Aabb, Point};
+use unn::nonzero::{DiskNonzeroIndex, DiscreteNonzeroIndex, NonzeroSubdivision};
+use unn_bench::util::{random_discrete, random_disks, random_queries};
+
+fn bench_two_stage_vs_naive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nn_nonzero_disks");
+    for n in [1_000usize, 10_000, 100_000] {
+        let side = (n as f64).sqrt() * 4.0;
+        let disks = random_disks(n, side, 0.5, 2.0, 50 + n as u64);
+        let idx = DiskNonzeroIndex::new(&disks);
+        let queries = random_queries(256, side, 51 + n as u64);
+        let mut qi = 0usize;
+        g.bench_with_input(BenchmarkId::new("two_stage", n), &n, |b, _| {
+            b.iter(|| {
+                let q = queries[qi % queries.len()];
+                qi += 1;
+                black_box(idx.query(q))
+            })
+        });
+        if n <= 10_000 {
+            let mut qi = 0usize;
+            g.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+                b.iter(|| {
+                    let q = queries[qi % queries.len()];
+                    qi += 1;
+                    black_box(idx.query_naive(q))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_discrete_queries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nn_nonzero_discrete");
+    for n in [1_000usize, 10_000] {
+        let side = (n as f64).sqrt() * 4.0;
+        let objs = random_discrete(n, 4, side, 1.5, 2.0, 52 + n as u64);
+        let idx = DiscreteNonzeroIndex::from_distributions(&objs);
+        let queries = random_queries(256, side, 53 + n as u64);
+        let mut qi = 0usize;
+        g.bench_with_input(BenchmarkId::new("two_stage", n), &n, |b, _| {
+            b.iter(|| {
+                let q = queries[qi % queries.len()];
+                qi += 1;
+                black_box(idx.query(q))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_point_location(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nn_nonzero_point_location");
+    let bbox = Aabb::new(Point::new(-20.0, -20.0), Point::new(70.0, 70.0));
+    for n in [8usize, 16, 24] {
+        let disks = random_disks(n, 50.0, 0.5, 2.5, 54 + n as u64);
+        let sub = NonzeroSubdivision::build(&disks, bbox, 5e-3);
+        let queries = random_queries(256, 50.0, 55 + n as u64);
+        let mut qi = 0usize;
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let q = queries[qi % queries.len()];
+                qi += 1;
+                black_box(sub.query(q))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_two_stage_vs_naive,
+    bench_discrete_queries,
+    bench_point_location
+);
+criterion_main!(benches);

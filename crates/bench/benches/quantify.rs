@@ -1,0 +1,96 @@
+//! Criterion benches: quantification estimators (E9, E10, E12).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use unn::quantify::{
+    quantification_exact, quantification_numeric, McBackend, MonteCarloIndex, SpiralIndex,
+};
+use unn_bench::util::{as_uncertain, random_discrete, random_queries};
+
+fn bench_exact_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quantify_exact_sweep");
+    for n in [100usize, 1_000, 10_000] {
+        let side = (n as f64).sqrt() * 8.0;
+        let objs = random_discrete(n, 4, side, 3.0, 3.0, 60 + n as u64);
+        let queries = random_queries(64, side, 61 + n as u64);
+        let mut qi = 0usize;
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let q = queries[qi % queries.len()];
+                qi += 1;
+                black_box(quantification_exact(&objs, q))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_spiral(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quantify_spiral");
+    let n = 10_000usize;
+    let side = (n as f64).sqrt() * 8.0;
+    let objs = random_discrete(n, 4, side, 3.0, 3.0, 62);
+    let idx = SpiralIndex::build(&objs);
+    let queries = random_queries(64, side, 63);
+    for eps in [0.1f64, 0.01, 0.001] {
+        let mut qi = 0usize;
+        g.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &e| {
+            b.iter(|| {
+                let q = queries[qi % queries.len()];
+                qi += 1;
+                black_box(idx.query(q, e))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quantify_monte_carlo");
+    let objs = random_discrete(1_000, 3, 200.0, 3.0, 2.0, 64);
+    let points = as_uncertain(&objs);
+    let queries = random_queries(64, 200.0, 65);
+    for s in [100usize, 400, 1600] {
+        let mut rng = SmallRng::seed_from_u64(66);
+        let mc = MonteCarloIndex::build(&points, s, McBackend::KdTree, &mut rng);
+        let mut qi = 0usize;
+        g.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, _| {
+            b.iter(|| {
+                let q = queries[qi % queries.len()];
+                qi += 1;
+                black_box(mc.query(q))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_numeric(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quantify_numeric_baseline");
+    g.sample_size(10);
+    let objs = random_discrete(50, 3, 50.0, 3.0, 2.0, 67);
+    let points = as_uncertain(&objs);
+    let queries = random_queries(16, 50.0, 68);
+    for steps in [200usize, 2000] {
+        let mut qi = 0usize;
+        g.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, &st| {
+            b.iter(|| {
+                let q = queries[qi % queries.len()];
+                qi += 1;
+                black_box(quantification_numeric(&points, q, st))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exact_sweep,
+    bench_spiral,
+    bench_monte_carlo,
+    bench_numeric
+);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Regenerates every experiment table of EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run -p unn-bench --release --bin harness            # all, full scale
+//! cargo run -p unn-bench --release --bin harness -- --quick # smaller sweeps
+//! cargo run -p unn-bench --release --bin harness -- t7 t10  # selected tables
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { 1 } else { 2 };
+    let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    for (id, f) in unn_bench::all_experiments() {
+        if !wanted.is_empty() && !wanted.iter().any(|w| w.as_str() == id) {
+            continue;
+        }
+        let start = std::time::Instant::now();
+        let table = f(scale);
+        println!("{}", table.render());
+        println!("[{id} took {:.1}s]\n", start.elapsed().as_secs_f64());
+    }
+}

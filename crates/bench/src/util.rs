@@ -1,0 +1,194 @@
+//! Shared utilities for the experiment harness: timing, slope fitting,
+//! table rendering, and workload generators.
+
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use unn::distr::DiscreteDistribution;
+use unn::geom::{Disk, Point};
+use unn::Uncertain;
+
+/// Milliseconds spent evaluating `f` (single run).
+pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Mean microseconds per call over `reps` calls.
+pub fn time_per_call_us<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_secs_f64() * 1e6 / reps as f64
+}
+
+/// Least-squares slope of `ln(y)` against `ln(x)` — the growth exponent of a
+/// measured complexity curve.
+pub fn loglog_slope(points: &[(f64, f64)]) -> f64 {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(x, y)| x > 0.0 && y > 0.0)
+        .map(|&(x, y)| (x.ln(), y.ln()))
+        .collect();
+    let n = pts.len() as f64;
+    if pts.len() < 2 {
+        return f64::NAN;
+    }
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// A rendered experiment table.
+pub struct Table {
+    /// Table identifier and caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of formatted cells.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form conclusion lines (paper-vs-measured verdicts).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Renders as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+}
+
+/// Random disks with centers in a square and radii in `[r_lo, r_hi]`.
+pub fn random_disks(n: usize, side: f64, r_lo: f64, r_hi: f64, seed: u64) -> Vec<Disk> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Disk::new(
+                Point::new(rng.random_range(0.0..side), rng.random_range(0.0..side)),
+                rng.random_range(r_lo..r_hi),
+            )
+        })
+        .collect()
+}
+
+/// Random discrete uncertain points: `n` objects, `k` locations in a cluster
+/// of radius `spread_geo`, weights spread over `[1, spread_w]`.
+pub fn random_discrete(
+    n: usize,
+    k: usize,
+    side: f64,
+    spread_geo: f64,
+    spread_w: f64,
+    seed: u64,
+) -> Vec<DiscreteDistribution> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let cx: f64 = rng.random_range(0.0..side);
+            let cy: f64 = rng.random_range(0.0..side);
+            let pts: Vec<Point> = (0..k)
+                .map(|_| {
+                    Point::new(
+                        cx + rng.random_range(-spread_geo..spread_geo),
+                        cy + rng.random_range(-spread_geo..spread_geo),
+                    )
+                })
+                .collect();
+            let ws: Vec<f64> = (0..k)
+                .map(|_| rng.random_range(1.0..spread_w.max(1.0 + 1e-12)))
+                .collect();
+            DiscreteDistribution::new(pts, ws).expect("valid")
+        })
+        .collect()
+}
+
+/// Random query points in the slightly inflated workload square.
+pub fn random_queries(m: usize, side: f64, seed: u64) -> Vec<Point> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..m)
+        .map(|_| {
+            Point::new(
+                rng.random_range(-0.1 * side..1.1 * side),
+                rng.random_range(-0.1 * side..1.1 * side),
+            )
+        })
+        .collect()
+}
+
+/// Wraps discrete objects as `Uncertain`.
+pub fn as_uncertain(objs: &[DiscreteDistribution]) -> Vec<Uncertain> {
+    objs.iter().cloned().map(Uncertain::Discrete).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_of_cubic_data() {
+        let pts: Vec<(f64, f64)> = (1..=6).map(|i| (i as f64, (i as f64).powi(3))).collect();
+        assert!((loglog_slope(&pts) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_renders() {
+        let mut t = Table::new("demo", &["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.note("done");
+        let s = t.render();
+        assert!(s.contains("demo") && s.contains("note: done"));
+    }
+}

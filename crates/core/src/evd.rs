@@ -1,0 +1,281 @@
+//! The expected-distance Voronoi diagram (ε-EVD of the part-I paper
+//! `[AESZ12]`).
+//!
+//! Partitions a query rectangle into regions by which uncertain point
+//! minimizes `E[d(q, P_i)]`. Expected-distance bisectors are high-degree
+//! curves with no tractable closed form, so — following the spirit of
+//! `[AESZ12]`'s ε-approximation — the diagram is materialized as a *certified
+//! quadtree*: a cell is a leaf once a single owner provably minimizes the
+//! expected distance over the whole cell, or once the cell is smaller than
+//! the resolution `eps` (an uncertain strip around the true bisectors).
+//!
+//! Certification uses the 1-Lipschitz property of `q ↦ E[d(q, P)]`
+//! (distances to every instantiation move by at most `|q − q'|`): over a
+//! cell with half-diagonal `h`, `E_i` lies within `E_i(center) ± h`, so
+//! owner `i` is certain when `E_i(c) + h < E_j(c) − h` for every `j` with a
+//! chance to win. Queries descend the quadtree in `O(depth)` and fall back
+//! to exact branch-and-bound inside uncertain leaves.
+
+use unn_distr::{Uncertain, UncertainPoint};
+use unn_geom::{Aabb, Point};
+
+use crate::expected::ExpectedNnIndex;
+
+/// Max subdivision depth (safety valve on adversarial inputs).
+const MAX_DEPTH: u32 = 24;
+
+#[derive(Clone, Debug)]
+enum EvdNode {
+    /// Certified: `owner` minimizes the expected distance on the whole cell.
+    Owned { owner: u32 },
+    /// Below resolution: contains a true bisector; queries go exact.
+    Uncertain,
+    /// Children in quadrant order SW, SE, NW, NE.
+    Internal { children: [u32; 4] },
+}
+
+/// A certified ε-approximation of the expected-distance Voronoi diagram.
+///
+/// ```
+/// use unn::geom::{Aabb, Point};
+/// use unn::{ExpectedVoronoi, Uncertain};
+///
+/// let points = vec![
+///     Uncertain::uniform_disk(Point::new(-5.0, 0.0), 1.0),
+///     Uncertain::uniform_disk(Point::new(5.0, 0.0), 1.0),
+/// ];
+/// let bbox = Aabb::new(Point::new(-10.0, -10.0), Point::new(10.0, 10.0));
+/// let evd = ExpectedVoronoi::build(&points, bbox, 0.5);
+/// assert_eq!(evd.query(Point::new(-4.0, 1.0)).0, 0);
+/// assert!(evd.certified_fraction() > 0.8);
+/// ```
+pub struct ExpectedVoronoi {
+    nodes: Vec<(Aabb, EvdNode)>,
+    root_bbox: Aabb,
+    exact: ExpectedNnIndex,
+    /// Resolution: leaves smaller than this stop subdividing.
+    eps: f64,
+    certified_area: f64,
+}
+
+impl ExpectedVoronoi {
+    /// Builds the diagram over `bbox` with resolution `eps`.
+    pub fn build(points: &[Uncertain], bbox: Aabb, eps: f64) -> Self {
+        assert!(eps > 0.0, "resolution must be positive");
+        assert!(!points.is_empty(), "need at least one uncertain point");
+        let exact = ExpectedNnIndex::build(points);
+        let mut evd = ExpectedVoronoi {
+            nodes: Vec::new(),
+            root_bbox: bbox,
+            exact,
+            eps,
+            certified_area: 0.0,
+        };
+        evd.subdivide(points, bbox, 0);
+        evd
+    }
+
+    fn subdivide(&mut self, points: &[Uncertain], cell: Aabb, depth: u32) -> u32 {
+        let c = cell.center();
+        let h = 0.5 * cell.width().hypot(cell.height());
+        // Exact expected distances are expensive (numeric integration for
+        // continuous models), so shortlist with the cheap sandwich
+        // `d(c, mean) <= E[d(c, P)] <= Δ(c)` first and integrate only the
+        // contenders.
+        let lb: Vec<f64> = points.iter().map(|p| c.dist(p.mean())).collect();
+        let ub: Vec<f64> = points.iter().map(|p| p.max_dist(c)).collect();
+        let best_ub = ub.iter().copied().fold(f64::INFINITY, f64::min);
+        let mut best = (usize::MAX, f64::INFINITY);
+        let mut second = f64::INFINITY;
+        for (i, p) in points.iter().enumerate() {
+            // Non-contenders: their lower bound already certifies they lose;
+            // it also lower-bounds their exact value for the `second` slack.
+            let e = if lb[i] <= best_ub {
+                p.expected_dist(c)
+            } else {
+                lb[i]
+            };
+            if e < best.1 {
+                second = best.1;
+                best = (i, e);
+            } else if e < second {
+                second = e;
+            }
+        }
+        let id = self.nodes.len() as u32;
+        if best.1 + 2.0 * h < second || points.len() == 1 {
+            self.nodes.push((
+                cell,
+                EvdNode::Owned {
+                    owner: best.0 as u32,
+                },
+            ));
+            self.certified_area += cell.width() * cell.height();
+            return id;
+        }
+        if cell.width().max(cell.height()) <= self.eps || depth >= MAX_DEPTH {
+            self.nodes.push((cell, EvdNode::Uncertain));
+            return id;
+        }
+        self.nodes.push((cell, EvdNode::Uncertain)); // placeholder
+        let quads = [
+            Aabb::new(cell.min, c),
+            Aabb::new(Point::new(c.x, cell.min.y), Point::new(cell.max.x, c.y)),
+            Aabb::new(Point::new(cell.min.x, c.y), Point::new(c.x, cell.max.y)),
+            Aabb::new(c, cell.max),
+        ];
+        let mut children = [0u32; 4];
+        for (k, quad) in quads.into_iter().enumerate() {
+            children[k] = self.subdivide(points, quad, depth + 1);
+        }
+        self.nodes[id as usize].1 = EvdNode::Internal { children };
+        id
+    }
+
+    /// The expected-distance NN of `q`: quadtree descent, exact fallback
+    /// inside uncertain leaves or outside the box.
+    pub fn query(&self, q: Point) -> (usize, f64) {
+        if self.root_bbox.contains(q) {
+            let mut cur = 0u32;
+            loop {
+                let (bbox, node) = &self.nodes[cur as usize];
+                match node {
+                    EvdNode::Owned { owner } => {
+                        let o = *owner as usize;
+                        let e = self.exact_distance(o, q);
+                        return (o, e);
+                    }
+                    EvdNode::Uncertain => break,
+                    EvdNode::Internal { children } => {
+                        let c = bbox.center();
+                        let k = usize::from(q.x > c.x) + 2 * usize::from(q.y > c.y);
+                        cur = children[k];
+                    }
+                }
+            }
+        }
+        self.exact.expected_nn(q).expect("nonempty")
+    }
+
+    fn exact_distance(&self, owner: usize, q: Point) -> f64 {
+        // ExpectedNnIndex stores the points; re-evaluate the owner's
+        // expected distance (cheap compared to a full argmin).
+        self.exact.points()[owner].expected_dist(q)
+    }
+
+    /// Fraction of the box area whose owner is certified (the rest lies in
+    /// the ε-strip around bisectors).
+    pub fn certified_fraction(&self) -> f64 {
+        self.certified_area / (self.root_bbox.width() * self.root_bbox.height())
+    }
+
+    /// Number of quadtree nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// Discrete particle clouds: expected distance is a cheap exact sum, so
+    /// the quadtree stress tests stay fast in debug builds.
+    fn world(seed: u64, n: usize) -> Vec<Uncertain> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let c = Point::new(rng.random_range(-20.0..20.0), rng.random_range(-20.0..20.0));
+                Uncertain::Discrete(
+                    unn_distr::DiscreteDistribution::uniform(
+                        (0..4)
+                            .map(|_| {
+                                Point::new(
+                                    c.x + rng.random_range(-1.5..1.5),
+                                    c.y + rng.random_range(-1.5..1.5),
+                                )
+                            })
+                            .collect(),
+                    )
+                    .expect("valid"),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn continuous_models_certify_too() {
+        // A small all-disk instance exercises the integration path.
+        let pts = vec![
+            Uncertain::uniform_disk(Point::new(-8.0, 0.0), 1.5),
+            Uncertain::uniform_disk(Point::new(8.0, 2.0), 1.0),
+            Uncertain::uniform_disk(Point::new(0.0, -9.0), 2.0),
+        ];
+        let evd = ExpectedVoronoi::build(&pts, bbox(), 2.0);
+        assert!(evd.certified_fraction() > 0.8);
+        let exact = ExpectedNnIndex::build(&pts);
+        for &(x, y) in &[(-8.0, 0.5), (7.0, 2.0), (0.0, -7.0), (0.0, 0.0)] {
+            let q = Point::new(x, y);
+            let (gi, gd) = evd.query(q);
+            let (wi, wd) = exact.expected_nn(q).unwrap();
+            assert!(gi == wi || (gd - wd).abs() < 1e-9);
+        }
+    }
+
+    fn bbox() -> Aabb {
+        Aabb::new(Point::new(-25.0, -25.0), Point::new(25.0, 25.0))
+    }
+
+    #[test]
+    fn queries_match_exact_index() {
+        let pts = world(1200, 12);
+        let evd = ExpectedVoronoi::build(&pts, bbox(), 0.25);
+        let exact = ExpectedNnIndex::build(&pts);
+        let mut rng = SmallRng::seed_from_u64(1201);
+        for _ in 0..500 {
+            let q = Point::new(rng.random_range(-24.0..24.0), rng.random_range(-24.0..24.0));
+            let (gi, gd) = evd.query(q);
+            let (wi, wd) = exact.expected_nn(q).unwrap();
+            // Same winner, or a tie within numerical noise.
+            if gi != wi {
+                assert!((gd - wd).abs() < 1e-9, "q={q:?}: {gi}/{gd} vs {wi}/{wd}");
+            } else {
+                assert!((gd - wd).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn most_area_is_certified() {
+        let pts = world(1202, 8);
+        let evd = ExpectedVoronoi::build(&pts, bbox(), 0.25);
+        assert!(
+            evd.certified_fraction() > 0.9,
+            "only {:.1}% certified",
+            evd.certified_fraction() * 100.0
+        );
+        // Finer resolution certifies more.
+        let finer = ExpectedVoronoi::build(&pts, bbox(), 0.05);
+        assert!(finer.certified_fraction() >= evd.certified_fraction());
+    }
+
+    #[test]
+    fn single_point_is_trivially_certified() {
+        let pts = vec![Uncertain::uniform_disk(Point::ORIGIN, 1.0)];
+        let evd = ExpectedVoronoi::build(&pts, bbox(), 1.0);
+        assert_eq!(evd.num_nodes(), 1);
+        assert!((evd.certified_fraction() - 1.0).abs() < 1e-12);
+        assert_eq!(evd.query(Point::new(7.0, 3.0)).0, 0);
+    }
+
+    #[test]
+    fn outside_box_falls_back() {
+        let pts = world(1203, 5);
+        let evd = ExpectedVoronoi::build(&pts, bbox(), 0.5);
+        let exact = ExpectedNnIndex::build(&pts);
+        let q = Point::new(500.0, -300.0);
+        assert_eq!(evd.query(q).0, exact.expected_nn(q).unwrap().0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Expected-distance nearest neighbors — the companion "part I" criterion.
+//!
+//! The PODS 2012 paper `[AESZ12]` (whose journal version is "Nearest-Neighbor
+//! Searching Under Uncertainty I") ranks uncertain points by the *expected
+//! distance* `E[d(q, P_i)]` instead of the quantification probability. The
+//! present paper discusses it in §1.2 as the easier but less informative
+//! criterion; it is implemented here as the natural baseline.
+//!
+//! Queries run branch-and-bound over a kd-tree of the means: by Jensen's
+//! inequality `E[d(q, P)] ≥ d(q, E[P])`, so the tree's box-distance lower
+//! bounds are valid and most expected-distance evaluations are pruned.
+
+use unn_distr::{Uncertain, UncertainPoint};
+use unn_geom::Point;
+use unn_spatial::KdTree;
+
+/// Index answering expected-distance NN queries over uncertain points.
+pub struct ExpectedNnIndex {
+    points: Vec<Uncertain>,
+    tree: KdTree,
+}
+
+impl ExpectedNnIndex {
+    /// Builds the index (stores means in a kd-tree).
+    pub fn build(points: &[Uncertain]) -> Self {
+        let means: Vec<Point> = points.iter().map(|p| p.mean()).collect();
+        ExpectedNnIndex {
+            points: points.to_vec(),
+            tree: KdTree::new(&means),
+        }
+    }
+
+    /// Number of uncertain points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The indexed uncertain points.
+    pub fn points(&self) -> &[Uncertain] {
+        &self.points
+    }
+
+    /// The uncertain point minimizing `E[d(q, P_i)]`, with its expected
+    /// distance.
+    pub fn expected_nn(&self, q: Point) -> Option<(usize, f64)> {
+        let pts = &self.points;
+        self.tree.min_adjusted(q, &|i| pts[i].expected_dist(q))
+    }
+
+    /// The `k` uncertain points with smallest expected distance, sorted
+    /// ascending (the straightforward expected-distance ranking of §1.2).
+    pub fn expected_knn(&self, q: Point, k: usize) -> Vec<(usize, f64)> {
+        let k = k.min(self.points.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        // Evaluate lazily: candidates ordered by the Jensen lower bound
+        // d(q, mean); stop once k evaluated values beat all remaining
+        // lower bounds.
+        let mut cands: Vec<(usize, f64)> = self
+            .tree
+            .m_nearest(q, self.points.len())
+            .into_iter()
+            .map(|nb| (nb.id, nb.dist)) // (id, lower bound)
+            .collect();
+        // m_nearest returns sorted by the lower bound.
+        let mut evaluated: Vec<(usize, f64)> = Vec::new();
+        for (idx, lb) in cands.drain(..) {
+            if evaluated.len() >= k {
+                let worst = evaluated[k - 1].1;
+                if lb >= worst {
+                    break;
+                }
+            }
+            let e = self.points[idx].expected_dist(q);
+            evaluated.push((idx, e));
+            evaluated.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        }
+        evaluated.truncate(k);
+        evaluated
+    }
+
+    /// Reference linear scan.
+    pub fn expected_nn_naive(&self, q: Point) -> Option<(usize, f64)> {
+        self.points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, p.expected_dist(q)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+    use unn_distr::DiscreteDistribution;
+
+    fn random_points(n: usize, seed: u64) -> Vec<Uncertain> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let c = Point::new(rng.random_range(-30.0..30.0), rng.random_range(-30.0..30.0));
+                match i % 3 {
+                    0 => Uncertain::uniform_disk(c, rng.random_range(0.5..3.0)),
+                    1 => Uncertain::Discrete(
+                        DiscreteDistribution::uniform(
+                            (0..4)
+                                .map(|_| {
+                                    Point::new(
+                                        c.x + rng.random_range(-2.0..2.0),
+                                        c.y + rng.random_range(-2.0..2.0),
+                                    )
+                                })
+                                .collect(),
+                        )
+                        .unwrap(),
+                    ),
+                    _ => Uncertain::certain(c),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive() {
+        let pts = random_points(40, 200);
+        let idx = ExpectedNnIndex::build(&pts);
+        let mut rng = SmallRng::seed_from_u64(201);
+        for _ in 0..100 {
+            let q = Point::new(rng.random_range(-40.0..40.0), rng.random_range(-40.0..40.0));
+            let (gi, gd) = idx.expected_nn(q).unwrap();
+            let (wi, wd) = idx.expected_nn_naive(q).unwrap();
+            assert!((gd - wd).abs() < 1e-9, "q={q:?}: {gi}/{gd} vs {wi}/{wd}");
+        }
+    }
+
+    #[test]
+    fn knn_is_sorted_prefix() {
+        let pts = random_points(30, 202);
+        let idx = ExpectedNnIndex::build(&pts);
+        let q = Point::new(5.0, -3.0);
+        let knn = idx.expected_knn(q, 7);
+        assert_eq!(knn.len(), 7);
+        // Sorted.
+        for w in knn.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        // Matches full sort.
+        let mut all: Vec<(usize, f64)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, p.expected_dist(q)))
+            .collect();
+        all.sort_by(|a, b| a.1.total_cmp(&b.1));
+        for (g, w) in knn.iter().zip(&all) {
+            assert!((g.1 - w.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = ExpectedNnIndex::build(&[]);
+        assert!(idx.expected_nn(Point::ORIGIN).is_none());
+        assert!(idx.expected_knn(Point::ORIGIN, 3).is_empty());
+    }
+}

@@ -1,0 +1,70 @@
+//! # unn — probabilistic nearest-neighbor search over uncertain points
+//!
+//! A Rust implementation of *"Nearest-Neighbor Searching Under
+//! Uncertainty II"* (Agarwal, Aronov, Har-Peled, Phillips, Yi, Zhang;
+//! PODS 2013 / arXiv 2018), plus the expected-distance criterion of the
+//! companion PODS 2012 "part I" paper.
+//!
+//! Uncertain points are probability distributions over locations in the
+//! plane ([`Uncertain`]). For a certain query point `q`, this crate answers:
+//!
+//! * **nonzero NNs** ([`PnnIndex::nn_nonzero`]) — every point with nonzero
+//!   probability of being the nearest neighbor of `q`;
+//! * **quantification probabilities** ([`PnnIndex::quantify`],
+//!   [`PnnIndex::quantify_exact`]) — the probability `π_i(q)` that `P_i` is
+//!   the nearest neighbor, exactly or within additive ε;
+//! * **expected-distance NN** ([`PnnIndex::expected_nn`]).
+//!
+//! ```
+//! use unn::{PnnIndex, Uncertain};
+//! use unn::geom::Point;
+//!
+//! // Three sensors with disk-shaped position uncertainty.
+//! let readings = vec![
+//!     Uncertain::uniform_disk(Point::new(0.0, 0.0), 1.0),
+//!     Uncertain::uniform_disk(Point::new(5.0, 1.0), 2.0),
+//!     Uncertain::uniform_disk(Point::new(9.0, -2.0), 1.0),
+//! ];
+//! let index = PnnIndex::new(readings);
+//! let q = Point::new(4.0, 0.0);
+//!
+//! let candidates = index.nn_nonzero(q);      // who can be the NN at all?
+//! assert!(candidates.contains(&1));
+//! let (probs, _method) = index.quantify(q);  // with what probability?
+//! assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+//! ```
+//!
+//! The heavy machinery lives in the sub-crates, re-exported here:
+//! [`geom`] (robust geometric primitives), [`distr`] (uncertainty models),
+//! [`spatial`] (indexes), [`voronoi`] (Delaunay), [`nonzero`] (the nonzero
+//! Voronoi diagram, §2–3) and [`quantify`] (probability estimators, §4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod evd;
+pub mod expected;
+pub mod index;
+pub mod set;
+
+pub use evd::ExpectedVoronoi;
+pub use expected::ExpectedNnIndex;
+pub use index::{PnnConfig, PnnIndex, QuantifyMethod};
+pub use set::{LabeledIndex, UncertainSet};
+pub use unn_distr::{
+    DiscreteDistribution, HistogramDistribution, TruncatedGaussian, Uncertain, UncertainPoint,
+    UniformDisk, UniformPolygon,
+};
+
+/// Re-export of the geometry substrate.
+pub use unn_geom as geom;
+/// Re-export of the uncertainty models.
+pub use unn_distr as distr;
+/// Re-export of the spatial indexes.
+pub use unn_spatial as spatial;
+/// Re-export of the Delaunay/Voronoi substrate.
+pub use unn_voronoi as voronoi;
+/// Re-export of the nonzero Voronoi machinery (paper §2–3).
+pub use unn_nonzero as nonzero;
+/// Re-export of the quantification estimators (paper §4).
+pub use unn_quantify as quantify;

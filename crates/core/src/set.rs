@@ -1,0 +1,188 @@
+//! A labeled collection of uncertain points — the ergonomic entry point.
+//!
+//! [`UncertainSet`] pairs each uncertain point with a caller-supplied label
+//! (vehicle id, track id, …) and builds a [`PnnIndex`] whose answers can be
+//! reported back in terms of those labels.
+
+use unn_distr::Uncertain;
+use unn_geom::Point;
+
+use crate::index::{PnnConfig, PnnIndex, QuantifyMethod};
+
+/// Builder for a labeled set of uncertain points.
+#[derive(Default)]
+pub struct UncertainSet<L> {
+    labels: Vec<L>,
+    points: Vec<Uncertain>,
+}
+
+impl<L> UncertainSet<L> {
+    /// An empty set.
+    pub fn new() -> Self {
+        UncertainSet {
+            labels: Vec::new(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Adds a labeled uncertain point; returns its index.
+    pub fn push(&mut self, label: L, point: Uncertain) -> usize {
+        self.labels.push(label);
+        self.points.push(point);
+        self.points.len() - 1
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when no points were added.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Labels in insertion order.
+    pub fn labels(&self) -> &[L] {
+        &self.labels
+    }
+
+    /// Builds the query index, consuming the set.
+    pub fn build(self) -> LabeledIndex<L> {
+        self.build_with(PnnConfig::default())
+    }
+
+    /// Builds with an explicit configuration.
+    pub fn build_with(self, config: PnnConfig) -> LabeledIndex<L> {
+        LabeledIndex {
+            index: PnnIndex::build(self.points, config),
+            labels: self.labels,
+        }
+    }
+}
+
+impl<L> Extend<(L, Uncertain)> for UncertainSet<L> {
+    fn extend<T: IntoIterator<Item = (L, Uncertain)>>(&mut self, iter: T) {
+        for (l, p) in iter {
+            self.push(l, p);
+        }
+    }
+}
+
+impl<L> FromIterator<(L, Uncertain)> for UncertainSet<L> {
+    fn from_iter<T: IntoIterator<Item = (L, Uncertain)>>(iter: T) -> Self {
+        let mut s = UncertainSet::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// A [`PnnIndex`] that reports answers with the caller's labels.
+pub struct LabeledIndex<L> {
+    index: PnnIndex,
+    labels: Vec<L>,
+}
+
+impl<L> LabeledIndex<L> {
+    /// The underlying index (full query surface).
+    pub fn index(&self) -> &PnnIndex {
+        &self.index
+    }
+
+    /// The label of point `i`.
+    pub fn label(&self, i: usize) -> &L {
+        &self.labels[i]
+    }
+
+    /// `NN≠0(q)` as labels.
+    pub fn nn_nonzero(&self, q: Point) -> Vec<&L> {
+        self.index
+            .nn_nonzero(q)
+            .into_iter()
+            .map(|i| &self.labels[i])
+            .collect()
+    }
+
+    /// Quantification probabilities as `(label, π̂)`, positive entries only,
+    /// sorted by decreasing probability.
+    pub fn quantify(&self, q: Point) -> (Vec<(&L, f64)>, QuantifyMethod) {
+        let (pi, method) = self.index.quantify(q);
+        let mut out: Vec<(usize, f64)> = pi
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, p)| p > 0.0)
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        (
+            out.into_iter().map(|(i, p)| (&self.labels[i], p)).collect(),
+            method,
+        )
+    }
+
+    /// The most probable nearest neighbor's label and probability.
+    pub fn most_probable_nn(&self, q: Point) -> Option<(&L, f64)> {
+        self.index
+            .most_probable_nn(q)
+            .map(|(i, p)| (&self.labels[i], p))
+    }
+
+    /// The guaranteed nearest neighbor's label, if one exists.
+    pub fn guaranteed_nn(&self, q: Point) -> Option<&L> {
+        self.index.guaranteed_nn(q).map(|i| &self.labels[i])
+    }
+
+    /// The expected-distance NN's label and expected distance.
+    pub fn expected_nn(&self, q: Point) -> Option<(&L, f64)> {
+        self.index
+            .expected_nn(q)
+            .map(|(i, d)| (&self.labels[i], d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labeled_round_trip() {
+        let mut set = UncertainSet::new();
+        set.push("alpha", Uncertain::uniform_disk(Point::new(0.0, 0.0), 1.0));
+        set.push("beta", Uncertain::uniform_disk(Point::new(10.0, 0.0), 1.0));
+        set.push("gamma", Uncertain::certain(Point::new(5.0, 8.0)));
+        assert_eq!(set.len(), 3);
+        let idx = set.build();
+        let q = Point::new(1.0, 0.0);
+        let names = idx.nn_nonzero(q);
+        assert_eq!(names, vec![&"alpha"]);
+        let (probs, _) = idx.quantify(q);
+        assert_eq!(*probs[0].0, "alpha");
+        assert!((probs[0].1 - 1.0).abs() < 1e-9);
+        assert_eq!(idx.guaranteed_nn(q), Some(&"alpha"));
+        assert_eq!(idx.most_probable_nn(q).unwrap().0, &"alpha");
+        assert_eq!(idx.expected_nn(q).unwrap().0, &"alpha");
+    }
+
+    #[test]
+    fn from_iterator() {
+        let set: UncertainSet<usize> = (0..5)
+            .map(|i| (i, Uncertain::certain(Point::new(i as f64 * 3.0, 0.0))))
+            .collect();
+        let idx = set.build();
+        assert_eq!(idx.nn_nonzero(Point::new(6.1, 0.0)), vec![&2]);
+    }
+
+    #[test]
+    fn quantify_sorted_descending() {
+        let mut set = UncertainSet::new();
+        set.push(1u32, Uncertain::uniform_disk(Point::new(0.0, 0.0), 2.0));
+        set.push(2u32, Uncertain::uniform_disk(Point::new(3.0, 0.0), 2.0));
+        set.push(3u32, Uncertain::uniform_disk(Point::new(50.0, 0.0), 1.0));
+        let idx = set.build();
+        let (probs, _) = idx.quantify(Point::new(1.0, 0.0));
+        for w in probs.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        // The far point never appears.
+        assert!(probs.iter().all(|(l, _)| **l != 3));
+    }
+}

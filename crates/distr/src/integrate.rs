@@ -1,0 +1,138 @@
+//! Small numeric-integration toolkit (adaptive Simpson).
+//!
+//! Used for distance cdfs and expected distances of continuous uncertain
+//! points where no closed form exists (truncated Gaussians), and by the
+//! numeric-integration quantification baseline (`[CKP04]`-style) in
+//! `unn-quantify`.
+
+/// Adaptive Simpson quadrature of `f` over `[a, b]` with absolute tolerance
+/// `tol` and a recursion-depth cap.
+///
+/// The classic Lyness scheme: recurse while the two-panel refinement differs
+/// from the single panel by more than `15 * tol`.
+pub fn adaptive_simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> f64 {
+    if a == b {
+        return 0.0;
+    }
+    let fa = f(a);
+    let fb = f(b);
+    let m = 0.5 * (a + b);
+    let fm = f(m);
+    simpson_rec(&f, a, b, fa, fm, fb, simpson_est(a, b, fa, fm, fb), tol, 24)
+}
+
+#[inline]
+fn simpson_est(a: f64, b: f64, fa: f64, fm: f64, fb: f64) -> f64 {
+    (b - a) / 6.0 * (fa + 4.0 * fm + fb)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn simpson_rec<F: Fn(f64) -> f64>(
+    f: &F,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fm: f64,
+    fb: f64,
+    whole: f64,
+    tol: f64,
+    depth: u32,
+) -> f64 {
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = f(lm);
+    let frm = f(rm);
+    let left = simpson_est(a, m, fa, flm, fm);
+    let right = simpson_est(m, b, fm, frm, fb);
+    let delta = left + right - whole;
+    if depth == 0 || delta.abs() <= 15.0 * tol {
+        return left + right + delta / 15.0;
+    }
+    simpson_rec(f, a, m, fa, flm, fm, left, 0.5 * tol, depth - 1)
+        + simpson_rec(f, m, b, fm, frm, fb, right, 0.5 * tol, depth - 1)
+}
+
+/// Integrates a piecewise-smooth function by splitting at the given
+/// breakpoints (which need not be sorted or inside the interval).
+pub fn integrate_piecewise<F: Fn(f64) -> f64>(
+    f: F,
+    a: f64,
+    b: f64,
+    breakpoints: &[f64],
+    tol: f64,
+) -> f64 {
+    let mut cuts: Vec<f64> = breakpoints
+        .iter()
+        .copied()
+        .filter(|&x| x > a && x < b)
+        .collect();
+    cuts.push(a);
+    cuts.push(b);
+    cuts.sort_by(f64::total_cmp);
+    cuts.dedup();
+    let mut total = 0.0;
+    for w in cuts.windows(2) {
+        total += adaptive_simpson(&f, w[0], w[1], tol);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::f64::consts::PI;
+    use proptest::prelude::*;
+
+    #[test]
+    fn integrates_polynomial_exactly() {
+        // Simpson is exact for cubics.
+        let v = adaptive_simpson(|x| x * x * x - 2.0 * x + 1.0, 0.0, 2.0, 1e-12);
+        assert!((v - (4.0 - 4.0 + 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integrates_transcendental() {
+        let v = adaptive_simpson(f64::sin, 0.0, PI, 1e-12);
+        assert!((v - 2.0).abs() < 1e-10);
+        let v = adaptive_simpson(|x| (-x * x / 2.0).exp(), -8.0, 8.0, 1e-12);
+        assert!((v - (2.0 * PI).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handles_sqrt_endpoint_singularity() {
+        // Integral of sqrt(1 - x^2) over [-1, 1] = pi/2 (semicircle area).
+        let v = adaptive_simpson(|x| (1.0 - x * x).max(0.0).sqrt(), -1.0, 1.0, 1e-10);
+        assert!((v - PI / 2.0).abs() < 1e-7, "v = {v}");
+    }
+
+    #[test]
+    fn piecewise_with_kink() {
+        // |x| over [-1, 2]: exact 0.5 + 2.
+        let v = integrate_piecewise(|x: f64| x.abs(), -1.0, 2.0, &[0.0], 1e-12);
+        assert!((v - 2.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn empty_interval() {
+        assert_eq!(adaptive_simpson(|x| x, 3.0, 3.0, 1e-9), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_linearity(a in -3.0f64..3.0, b in 0.0f64..3.0, c in -2.0f64..2.0) {
+            let hi = a + b;
+            let v1 = adaptive_simpson(|x| c * x.sin(), a, hi, 1e-10);
+            let v2 = c * adaptive_simpson(f64::sin, a, hi, 1e-10);
+            prop_assert!((v1 - v2).abs() < 1e-7 * (1.0 + v2.abs()));
+        }
+
+        #[test]
+        fn prop_additivity(a in -3.0f64..0.0, m in 0.0f64..2.0, b in 2.0f64..5.0) {
+            let f = |x: f64| (x * 1.3).cos() + 0.1 * x;
+            let whole = adaptive_simpson(f, a, b, 1e-10);
+            let split = adaptive_simpson(f, a, m, 1e-10) + adaptive_simpson(f, m, b, 1e-10);
+            prop_assert!((whole - split).abs() < 1e-7);
+        }
+    }
+}

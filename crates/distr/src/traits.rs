@@ -1,0 +1,124 @@
+//! The common interface of uncertain-point models.
+
+use rand::Rng;
+use unn_geom::{Aabb, Point};
+
+/// An uncertain point: a probability distribution over locations in the
+/// plane (the paper's *locational model*, §1.1).
+///
+/// Everything the query structures need is exposed here:
+///
+/// * the support geometry via [`min_dist`](UncertainPoint::min_dist) /
+///   [`max_dist`](UncertainPoint::max_dist) — the paper's `δ_i(q)` and
+///   `Δ_i(q)`, which fully determine the nonzero Voronoi diagram;
+/// * the distance cdf `G_{q,i}(r) = Pr[d(q, P_i) <= r]` — the quantity the
+///   quantification probability (Eq. 1/2) is built from;
+/// * random instantiation ([`sample`](UncertainPoint::sample)) — the engine
+///   of the Monte-Carlo structure (§4.2).
+pub trait UncertainPoint {
+    /// Minimum possible distance from `q` to the point: `δ(q)`.
+    fn min_dist(&self, q: Point) -> f64;
+
+    /// Maximum possible distance from `q` to the point: `Δ(q)`.
+    fn max_dist(&self, q: Point) -> f64;
+
+    /// Distance cdf `G_q(r) = Pr[d(q, P) <= r]`.
+    ///
+    /// Monotone in `r`, `0` for `r < δ(q)`, `1` for `r >= Δ(q)`.
+    fn distance_cdf(&self, q: Point, r: f64) -> f64;
+
+    /// Draws a location according to the distribution.
+    fn sample(&self, rng: &mut dyn Rng) -> Point;
+
+    /// The mean location `E[P]`.
+    fn mean(&self) -> Point;
+
+    /// Expected distance `E[d(q, P)]` — the ranking criterion of the
+    /// companion "part I" paper `[AESZ12]`.
+    fn expected_dist(&self, q: Point) -> f64;
+
+    /// A bounding box of the support.
+    fn support_bbox(&self) -> Aabb;
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Empirically checks `distance_cdf` against sampling: the maximum
+    /// deviation over a grid of radii must be within `tol`.
+    pub fn check_cdf_against_sampling<U: UncertainPoint>(
+        u: &U,
+        q: Point,
+        n_samples: usize,
+        tol: f64,
+        seed: u64,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut dists: Vec<f64> = (0..n_samples)
+            .map(|_| u.sample(&mut rng).dist(q))
+            .collect();
+        dists.sort_by(f64::total_cmp);
+        let lo = u.min_dist(q);
+        let hi = u.max_dist(q);
+        assert!(hi >= lo);
+        for k in 0..=20 {
+            let r = lo + (hi - lo) * k as f64 / 20.0;
+            let empirical =
+                dists.partition_point(|&d| d <= r) as f64 / n_samples as f64;
+            let analytic = u.distance_cdf(q, r);
+            assert!(
+                (empirical - analytic).abs() <= tol,
+                "cdf mismatch at r={r}: empirical={empirical} analytic={analytic}"
+            );
+        }
+        // Boundary conditions.
+        assert!(u.distance_cdf(q, lo - 1e-9) <= 1e-12);
+        assert!((u.distance_cdf(q, hi + 1e-9) - 1.0).abs() <= 1e-12);
+    }
+
+    /// Empirically checks `expected_dist` and `mean` against sampling.
+    pub fn check_moments_against_sampling<U: UncertainPoint>(
+        u: &U,
+        q: Point,
+        n_samples: usize,
+        tol: f64,
+        seed: u64,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut sum_d = 0.0;
+        let (mut sx, mut sy) = (0.0, 0.0);
+        for _ in 0..n_samples {
+            let p = u.sample(&mut rng);
+            sum_d += p.dist(q);
+            sx += p.x;
+            sy += p.y;
+        }
+        let n = n_samples as f64;
+        let ed = sum_d / n;
+        assert!(
+            (ed - u.expected_dist(q)).abs() <= tol * (1.0 + ed),
+            "expected_dist mismatch: sampled={ed} analytic={}",
+            u.expected_dist(q)
+        );
+        // Mean coordinates: tolerance scaled by the support extent, which
+        // bounds the per-sample standard deviation.
+        let bb = u.support_bbox();
+        let scale = 1.0 + bb.width().hypot(bb.height());
+        let m = u.mean();
+        assert!(
+            (sx / n - m.x).abs() <= tol * scale,
+            "mean.x mismatch: sampled={} analytic={}",
+            sx / n,
+            m.x
+        );
+        assert!(
+            (sy / n - m.y).abs() <= tol * scale,
+            "mean.y mismatch: sampled={} analytic={}",
+            sy / n,
+            m.y
+        );
+    }
+}

@@ -1,0 +1,263 @@
+//! Angles, angular intervals, and trigonometric equation solving.
+//!
+//! The nonzero-Voronoi machinery represents bisector curves as radial
+//! functions in polar coordinates; their domains are angular intervals and
+//! their pairwise intersections reduce to equations of the form
+//! `a cos t + b sin t = c` (see [`solve_cos_sin`]).
+
+use core::f64::consts::TAU;
+
+/// Normalizes an angle to `[0, 2*pi)`.
+#[inline]
+pub fn norm_angle(theta: f64) -> f64 {
+    let t = theta % TAU;
+    if t < 0.0 {
+        t + TAU
+    } else {
+        t
+    }
+}
+
+/// Counter-clockwise angular distance from `from` to `to`, in `[0, 2*pi)`.
+#[inline]
+pub fn ccw_delta(from: f64, to: f64) -> f64 {
+    norm_angle(to - from)
+}
+
+/// Solves `a*cos(t) + b*sin(t) = c` for `t` in `[0, 2*pi)`.
+///
+/// Returns 0, 1, or 2 solutions. Writing `a cos t + b sin t =
+/// r cos(t - phi)` with `r = hypot(a, b)` and `phi = atan2(b, a)`, solutions
+/// exist iff `|c| <= r`. The tangential case `|c| == r` yields one solution.
+pub fn solve_cos_sin(a: f64, b: f64, c: f64) -> SolveCosSin {
+    let r = a.hypot(b);
+    if r == 0.0 {
+        // Degenerate: equation is `0 = c`.
+        return SolveCosSin::none();
+    }
+    let phi = b.atan2(a);
+    let ratio = c / r;
+    if !(-1.0..=1.0).contains(&ratio) {
+        return SolveCosSin::none();
+    }
+    let d = ratio.clamp(-1.0, 1.0).acos();
+    if d == 0.0 {
+        SolveCosSin::one(norm_angle(phi))
+    } else if (d - core::f64::consts::PI).abs() == 0.0 {
+        SolveCosSin::one(norm_angle(phi + core::f64::consts::PI))
+    } else {
+        SolveCosSin::two(norm_angle(phi + d), norm_angle(phi - d))
+    }
+}
+
+/// Result of [`solve_cos_sin`]: up to two angles, without heap allocation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SolveCosSin {
+    sols: [f64; 2],
+    n: u8,
+}
+
+impl SolveCosSin {
+    #[inline]
+    fn none() -> Self {
+        SolveCosSin {
+            sols: [0.0; 2],
+            n: 0,
+        }
+    }
+    #[inline]
+    fn one(t: f64) -> Self {
+        SolveCosSin {
+            sols: [t, 0.0],
+            n: 1,
+        }
+    }
+    #[inline]
+    fn two(t1: f64, t2: f64) -> Self {
+        SolveCosSin {
+            sols: [t1, t2],
+            n: 2,
+        }
+    }
+
+    /// Solutions as a slice (0 to 2 angles in `[0, 2*pi)`).
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.sols[..self.n as usize]
+    }
+
+    /// Number of solutions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n as usize
+    }
+
+    /// `true` if the equation has no solution.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+/// A closed angular interval on the unit circle, possibly wrapping `2*pi`.
+///
+/// `start` and `end` are in `[0, 2*pi)`; the interval runs counter-clockwise
+/// from `start` to `end`. A full circle is represented by
+/// [`ArcInterval::FULL`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ArcInterval {
+    /// Start angle in `[0, 2*pi)`.
+    pub start: f64,
+    /// CCW extent in `(0, 2*pi]`.
+    pub extent: f64,
+}
+
+impl ArcInterval {
+    /// The full circle.
+    pub const FULL: ArcInterval = ArcInterval {
+        start: 0.0,
+        extent: TAU,
+    };
+
+    /// Interval from `start` running counter-clockwise to `end`.
+    #[inline]
+    pub fn from_endpoints(start: f64, end: f64) -> Self {
+        let s = norm_angle(start);
+        let mut extent = ccw_delta(start, end);
+        if extent == 0.0 {
+            extent = TAU; // degenerate endpoints mean the full circle here
+        }
+        ArcInterval { start: s, extent }
+    }
+
+    /// Interval centered at `mid` with half-width `half` (radians).
+    #[inline]
+    pub fn centered(mid: f64, half: f64) -> Self {
+        debug_assert!(half >= 0.0);
+        if half >= core::f64::consts::PI {
+            return ArcInterval::FULL;
+        }
+        ArcInterval {
+            start: norm_angle(mid - half),
+            extent: 2.0 * half,
+        }
+    }
+
+    /// End angle in `[0, 2*pi)`.
+    #[inline]
+    pub fn end(&self) -> f64 {
+        norm_angle(self.start + self.extent)
+    }
+
+    /// `true` if `theta` lies in the closed interval.
+    #[inline]
+    pub fn contains(&self, theta: f64) -> bool {
+        if self.extent >= TAU {
+            return true;
+        }
+        ccw_delta(self.start, theta) <= self.extent
+    }
+
+    /// `true` if the interval covers the whole circle.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.extent >= TAU
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::f64::consts::{FRAC_PI_2, PI};
+    use proptest::prelude::*;
+
+    #[test]
+    fn norm_angle_ranges() {
+        assert_eq!(norm_angle(0.0), 0.0);
+        assert!((norm_angle(-FRAC_PI_2) - 3.0 * FRAC_PI_2).abs() < 1e-15);
+        assert!((norm_angle(TAU + 1.0) - 1.0).abs() < 1e-15);
+        assert!(norm_angle(TAU) < 1e-15);
+    }
+
+    #[test]
+    fn solve_cos_sin_simple() {
+        // cos t = 0 -> t = pi/2, 3pi/2
+        let s = solve_cos_sin(1.0, 0.0, 0.0);
+        assert_eq!(s.len(), 2);
+        let mut sols: Vec<f64> = s.as_slice().to_vec();
+        sols.sort_by(f64::total_cmp);
+        assert!((sols[0] - FRAC_PI_2).abs() < 1e-12);
+        assert!((sols[1] - 3.0 * FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_cos_sin_tangent() {
+        // cos t = 1 -> t = 0 (single solution)
+        let s = solve_cos_sin(1.0, 0.0, 1.0);
+        assert_eq!(s.len(), 1);
+        assert!(s.as_slice()[0].abs() < 1e-12 || (s.as_slice()[0] - TAU).abs() < 1e-12);
+        // cos t = -1 -> t = pi
+        let s = solve_cos_sin(1.0, 0.0, -1.0);
+        assert_eq!(s.len(), 1);
+        assert!((s.as_slice()[0] - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_cos_sin_no_solution() {
+        assert!(solve_cos_sin(1.0, 1.0, 3.0).is_empty());
+        assert!(solve_cos_sin(0.0, 0.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn arc_interval_contains() {
+        let arc = ArcInterval::from_endpoints(3.0 * FRAC_PI_2, FRAC_PI_2); // wraps 0
+        assert!(arc.contains(0.0));
+        assert!(arc.contains(6.0));
+        assert!(!arc.contains(PI));
+        assert!(arc.contains(FRAC_PI_2));
+        assert!(arc.contains(3.0 * FRAC_PI_2));
+    }
+
+    #[test]
+    fn arc_centered() {
+        let arc = ArcInterval::centered(0.0, 0.5);
+        assert!(arc.contains(0.4));
+        assert!(arc.contains(-0.4 + TAU));
+        assert!(!arc.contains(0.6));
+        assert!(ArcInterval::centered(1.0, 4.0).is_full());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_solutions_satisfy_equation(
+            a in -10.0f64..10.0, b in -10.0f64..10.0, c in -10.0f64..10.0
+        ) {
+            for &t in solve_cos_sin(a, b, c).as_slice() {
+                let lhs = a * t.cos() + b * t.sin();
+                prop_assert!((lhs - c).abs() < 1e-8 * (1.0 + a.abs() + b.abs()),
+                    "t={t} lhs={lhs} c={c}");
+            }
+        }
+
+        #[test]
+        fn prop_solution_count_matches_geometry(
+            a in -10.0f64..10.0, b in -10.0f64..10.0, c in -10.0f64..10.0
+        ) {
+            let r = a.hypot(b);
+            let s = solve_cos_sin(a, b, c);
+            if c.abs() > r + 1e-12 {
+                prop_assert!(s.is_empty());
+            } else if c.abs() < r - 1e-12 && r > 0.0 {
+                prop_assert_eq!(s.len(), 2);
+            }
+        }
+
+        #[test]
+        fn prop_arc_contains_endpoints(s in 0.0f64..TAU, e in 0.0f64..TAU) {
+            prop_assume!((s - e).abs() > 1e-9);
+            let arc = ArcInterval::from_endpoints(s, e);
+            prop_assert!(arc.contains(s));
+            prop_assert!(arc.contains(e));
+        }
+    }
+}

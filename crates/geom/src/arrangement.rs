@@ -1,0 +1,770 @@
+//! Planar subdivisions induced by sets of segments.
+//!
+//! [`Arrangement::build`] takes a soup of segments, computes all pairwise
+//! intersections (grid-accelerated), splits segments at intersection points,
+//! snaps coincident endpoints into shared vertices, and extracts the
+//! half-edge structure and face cycles of the induced planar subdivision.
+//!
+//! This is the workhorse behind two paper structures:
+//!
+//! * the point-location subdivision of the nonzero Voronoi diagram
+//!   `𝒱≠0(𝒫)` (Theorem 2.11), built from adaptively polygonalized `γ_i`
+//!   curves, and
+//! * the probabilistic Voronoi diagram `𝒱_Pr(𝒫)` (Theorem 4.2), built from
+//!   bisector lines clipped to a bounding box.
+//!
+//! Faces are identified by their outer cycles: every *bounded* face is traced
+//! counter-clockwise (positive signed area) by the cycle-extraction rule
+//! `next(h) = CCW-predecessor of twin(h) around head(h)`. Point location
+//! returns the innermost positive cycle containing the query, which is the
+//! face owning the point (cycles form a laminar family).
+
+use crate::bbox::Aabb;
+use crate::point::{Point, Vector};
+use crate::segment::{SegIntersection, Segment};
+
+/// A face of the arrangement (a bounded cell).
+#[derive(Clone, Debug)]
+pub struct Face {
+    /// Outer boundary as a CCW-ordered vertex loop.
+    pub boundary: Vec<u32>,
+    /// Signed area of the outer cycle (positive).
+    pub area: f64,
+    /// Bounding box of the outer cycle.
+    pub bbox: Aabb,
+}
+
+/// A planar subdivision induced by input segments.
+#[derive(Clone, Debug, Default)]
+pub struct Arrangement {
+    verts: Vec<Point>,
+    /// Undirected edges as vertex-index pairs.
+    edges: Vec<(u32, u32)>,
+    faces: Vec<Face>,
+    /// Cycles with non-positive area (hole boundaries / outer walks).
+    negative_cycles: usize,
+}
+
+/// Merges points within `snap` distance into canonical vertices.
+struct VertexPool {
+    snap: f64,
+    grid: std::collections::HashMap<(i64, i64), Vec<u32>>,
+    verts: Vec<Point>,
+}
+
+impl VertexPool {
+    fn new(snap: f64) -> Self {
+        VertexPool {
+            snap,
+            grid: std::collections::HashMap::new(),
+            verts: Vec::new(),
+        }
+    }
+
+    fn key(&self, p: Point) -> (i64, i64) {
+        (
+            (p.x / self.snap).round() as i64,
+            (p.y / self.snap).round() as i64,
+        )
+    }
+
+    fn insert(&mut self, p: Point) -> u32 {
+        let (kx, ky) = self.key(p);
+        let snap2 = self.snap * self.snap;
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(ids) = self.grid.get(&(kx + dx, ky + dy)) {
+                    for &id in ids {
+                        if self.verts[id as usize].dist2(p) <= snap2 {
+                            return id;
+                        }
+                    }
+                }
+            }
+        }
+        let id = self.verts.len() as u32;
+        self.verts.push(p);
+        self.grid.entry((kx, ky)).or_default().push(id);
+        id
+    }
+}
+
+impl Arrangement {
+    /// Builds the subdivision induced by `segments`.
+    ///
+    /// `snap` is the vertex-merging tolerance; pass a value safely below the
+    /// minimum feature size of the input (e.g. `1e-9 *` the coordinate
+    /// scale). Zero-length and duplicate sub-segments are dropped.
+    pub fn build(segments: &[Segment], snap: f64) -> Arrangement {
+        assert!(snap > 0.0, "snap tolerance must be positive");
+        let splits = Self::find_splits(segments);
+
+        // Split each segment at its recorded parameters and pool vertices.
+        let mut pool = VertexPool::new(snap);
+        let mut edge_set: std::collections::HashSet<(u32, u32)> = Default::default();
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for (i, seg) in segments.iter().enumerate() {
+            let mut ts = splits[i].clone();
+            ts.push(0.0);
+            ts.push(1.0);
+            ts.sort_by(f64::total_cmp);
+            ts.dedup();
+            let mut prev = pool.insert(seg.at(ts[0]));
+            for &t in &ts[1..] {
+                let cur = pool.insert(seg.at(t));
+                if cur != prev {
+                    let key = (prev.min(cur), prev.max(cur));
+                    if edge_set.insert(key) {
+                        edges.push(key);
+                    }
+                }
+                prev = cur;
+            }
+        }
+
+        let mut arr = Arrangement {
+            verts: pool.verts,
+            edges,
+            faces: Vec::new(),
+            negative_cycles: 0,
+        };
+        arr.extract_faces();
+        arr
+    }
+
+    /// Grid-accelerated pairwise intersection: returns, per input segment,
+    /// the sorted split parameters in `(0, 1)`.
+    fn find_splits(segments: &[Segment]) -> Vec<Vec<f64>> {
+        let n = segments.len();
+        let mut splits: Vec<Vec<f64>> = vec![Vec::new(); n];
+        if n == 0 {
+            return splits;
+        }
+        // Grid cell size: tuned to average segment extent.
+        let mut bb = Aabb::EMPTY;
+        let mut total_len = 0.0;
+        for s in segments {
+            bb.insert(s.a);
+            bb.insert(s.b);
+            total_len += s.length();
+        }
+        let avg = (total_len / n as f64).max(1e-12);
+        let cell = avg.max((bb.width().max(bb.height()) / 256.0).max(1e-12));
+        let cell_of = |p: Point| -> (i64, i64) {
+            (
+                ((p.x - bb.min.x) / cell).floor() as i64,
+                ((p.y - bb.min.y) / cell).floor() as i64,
+            )
+        };
+        let mut grid: std::collections::HashMap<(i64, i64), Vec<u32>> = Default::default();
+        for (i, s) in segments.iter().enumerate() {
+            let (x0, y0) = cell_of(Point::new(s.bbox().min.x, s.bbox().min.y));
+            let (x1, y1) = cell_of(Point::new(s.bbox().max.x, s.bbox().max.y));
+            for cx in x0..=x1 {
+                for cy in y0..=y1 {
+                    grid.entry((cx, cy)).or_default().push(i as u32);
+                }
+            }
+        }
+        let mut tested: std::collections::HashSet<(u32, u32)> = Default::default();
+        let record = |idx: usize, seg: &Segment, p: Point, out: &mut Vec<Vec<f64>>| {
+            let d = seg.dir();
+            let l2 = d.norm2();
+            if l2 == 0.0 {
+                return;
+            }
+            let t = (p - seg.a).dot(d) / l2;
+            if t > 1e-12 && t < 1.0 - 1e-12 {
+                out[idx].push(t);
+            }
+        };
+        for bucket in grid.values() {
+            for (ai, &a) in bucket.iter().enumerate() {
+                for &b in &bucket[ai + 1..] {
+                    let key = (a.min(b), a.max(b));
+                    if !tested.insert(key) {
+                        continue;
+                    }
+                    let (sa, sb) = (&segments[a as usize], &segments[b as usize]);
+                    if !sa.bbox().intersects(&sb.bbox()) {
+                        continue;
+                    }
+                    match sa.intersect(sb) {
+                        SegIntersection::None => {}
+                        SegIntersection::Point(p) => {
+                            record(a as usize, sa, p, &mut splits);
+                            record(b as usize, sb, p, &mut splits);
+                        }
+                        SegIntersection::Overlap(p, q) => {
+                            for x in [p, q] {
+                                record(a as usize, sa, x, &mut splits);
+                                record(b as usize, sb, x, &mut splits);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        splits
+    }
+
+    /// Builds half-edges, sorts them angularly around each vertex, and
+    /// extracts face cycles.
+    fn extract_faces(&mut self) {
+        let verts = &self.verts;
+        let edges = &self.edges;
+        let ne = edges.len();
+        // Half-edge 2e = u->v, 2e+1 = v->u.
+        let origin = |h: usize| -> u32 {
+            let (u, v) = edges[h / 2];
+            if h.is_multiple_of(2) {
+                u
+            } else {
+                v
+            }
+        };
+        let head = |h: usize| -> u32 {
+            let (u, v) = edges[h / 2];
+            if h.is_multiple_of(2) {
+                v
+            } else {
+                u
+            }
+        };
+
+        // Outgoing half-edges per vertex, sorted CCW by angle.
+        let mut outgoing: Vec<Vec<u32>> = vec![Vec::new(); verts.len()];
+        for h in 0..2 * ne {
+            outgoing[origin(h) as usize].push(h as u32);
+        }
+        for (v, out) in outgoing.iter_mut().enumerate() {
+            let vp = verts[v];
+            out.sort_by(|&h1, &h2| {
+                let a1 = (verts[head(h1 as usize) as usize] - vp).angle();
+                let a2 = (verts[head(h2 as usize) as usize] - vp).angle();
+                a1.total_cmp(&a2)
+            });
+        }
+        // Position of each half-edge in its origin's rotation.
+        let mut pos: Vec<u32> = vec![0; 2 * ne];
+        for out in &outgoing {
+            for (i, &h) in out.iter().enumerate() {
+                pos[h as usize] = i as u32;
+            }
+        }
+
+        // next(h) = CCW-predecessor of twin(h) around head(h).
+        let next = |h: usize| -> usize {
+            let t = h ^ 1;
+            let v = origin(t) as usize;
+            let out = &outgoing[v];
+            let p = pos[t] as usize;
+            let prev = if p == 0 { out.len() - 1 } else { p - 1 };
+            out[prev] as usize
+        };
+
+        let mut faces: Vec<Face> = Vec::new();
+        let mut negative_cycles = 0usize;
+        let mut visited = vec![false; 2 * ne];
+        for h0 in 0..2 * ne {
+            if visited[h0] {
+                continue;
+            }
+            let mut cycle: Vec<u32> = Vec::new();
+            let mut h = h0;
+            loop {
+                visited[h] = true;
+                cycle.push(origin(h));
+                h = next(h);
+                if h == h0 {
+                    break;
+                }
+            }
+            // Signed area of the cycle, with a running error bound: a walk
+            // around a tree component traverses every edge both ways, so its
+            // true area is exactly zero, but naive summation can leave a
+            // tiny positive residue — which must not become a bogus face.
+            let mut area = 0.0;
+            let mut sum_abs = 0.0;
+            let mut bbox = Aabb::EMPTY;
+            for i in 0..cycle.len() {
+                let a = verts[cycle[i] as usize];
+                let b = verts[cycle[(i + 1) % cycle.len()] as usize];
+                let term = a.x * b.y - b.x * a.y;
+                area += term;
+                sum_abs += term.abs();
+                bbox.insert(a);
+            }
+            area *= 0.5;
+            let err_bound = sum_abs * f64::EPSILON * (cycle.len() as f64 + 4.0);
+            if area > err_bound {
+                faces.push(Face {
+                    boundary: cycle,
+                    area,
+                    bbox,
+                });
+            } else {
+                negative_cycles += 1;
+            }
+        }
+        // Sort faces by area ascending so point location can return the first
+        // (innermost) containing face.
+        faces.sort_by(|f1, f2| f1.area.total_cmp(&f2.area));
+        self.faces = faces;
+        self.negative_cycles = negative_cycles;
+    }
+
+    /// Vertices of the subdivision.
+    #[inline]
+    pub fn vertices(&self) -> &[Point] {
+        &self.verts
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.verts.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of bounded faces.
+    #[inline]
+    pub fn num_faces(&self) -> usize {
+        self.faces.len()
+    }
+
+    /// Number of non-positive-area cycles (hole boundaries and outer walks);
+    /// equals the number of connected components of the edge graph.
+    #[inline]
+    pub fn num_negative_cycles(&self) -> usize {
+        self.negative_cycles
+    }
+
+    /// Total combinatorial complexity: vertices + edges + faces (including
+    /// the unbounded face), the measure used by the paper.
+    #[inline]
+    pub fn complexity(&self) -> usize {
+        self.num_vertices() + self.num_edges() + self.num_faces() + 1
+    }
+
+    /// Undirected edges as vertex-index pairs.
+    #[inline]
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Bounded faces, sorted by area ascending.
+    #[inline]
+    pub fn faces(&self) -> &[Face] {
+        &self.faces
+    }
+
+    /// Index of the innermost bounded face containing `p`, or `None` if `p`
+    /// lies in the unbounded face.
+    ///
+    /// Points exactly on edges may be assigned to either incident face.
+    pub fn locate(&self, p: Point) -> Option<usize> {
+        self.faces
+            .iter()
+            .position(|f| f.bbox.contains(p) && self.cycle_contains(&f.boundary, p))
+    }
+
+    /// A representative interior point of face `fi` — guaranteed to locate
+    /// back to `fi` (computed by shrinking towards a boundary edge midpoint).
+    pub fn face_interior_point(&self, fi: usize) -> Option<Point> {
+        let f = &self.faces[fi];
+        let n = f.boundary.len();
+        // Try offsetting inwards from each boundary edge midpoint by a
+        // decreasing step until the sample locates inside this face.
+        for i in 0..n {
+            let a = self.verts[f.boundary[i] as usize];
+            let b = self.verts[f.boundary[(i + 1) % n] as usize];
+            let mid = a.midpoint(b);
+            let left: Vector = (b - a).perp();
+            let len = left.norm();
+            if len == 0.0 {
+                continue;
+            }
+            let left = left / len;
+            let mut step = a.dist(b) * 0.25;
+            for _ in 0..40 {
+                let cand = mid + left * step;
+                if self.locate(cand) == Some(fi) {
+                    return Some(cand);
+                }
+                step *= 0.5;
+            }
+        }
+        None
+    }
+
+    fn cycle_contains(&self, cycle: &[u32], p: Point) -> bool {
+        // Ray casting to +x.
+        let mut inside = false;
+        let n = cycle.len();
+        for i in 0..n {
+            let a = self.verts[cycle[i] as usize];
+            let b = self.verts[cycle[(i + 1) % n] as usize];
+            if (a.y > p.y) != (b.y > p.y) {
+                let t = (p.y - a.y) / (b.y - a.y);
+                let x = a.x + t * (b.x - a.x);
+                if x > p.x {
+                    inside = !inside;
+                }
+            }
+        }
+        inside
+    }
+
+    /// Sanity check of Euler's formula `V - E + F = 1 + C` for planar
+    /// graphs (`F` counting only bounded faces), where `C` is the number of
+    /// connected components. Returns `(V, E, F, C)` and whether it holds.
+    pub fn euler_check(&self) -> (usize, usize, usize, usize, bool) {
+        let v = self.num_vertices();
+        let e = self.num_edges();
+        let f = self.num_faces();
+        // Union–find for components.
+        let mut parent: Vec<u32> = (0..v as u32).collect();
+        fn find(parent: &mut [u32], x: u32) -> u32 {
+            let mut r = x;
+            while parent[r as usize] != r {
+                r = parent[r as usize];
+            }
+            let mut c = x;
+            while parent[c as usize] != r {
+                let nxt = parent[c as usize];
+                parent[c as usize] = r;
+                c = nxt;
+            }
+            r
+        }
+        for &(a, b) in &self.edges {
+            let ra = find(&mut parent, a);
+            let rb = find(&mut parent, b);
+            if ra != rb {
+                parent[ra as usize] = rb;
+            }
+        }
+        let mut roots: std::collections::HashSet<u32> = Default::default();
+        for i in 0..v as u32 {
+            roots.insert(find(&mut parent, i));
+        }
+        let c = roots.len();
+        (v, e, f, c, v + f == e + c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn single_square() {
+        let segs = vec![
+            seg(0.0, 0.0, 1.0, 0.0),
+            seg(1.0, 0.0, 1.0, 1.0),
+            seg(1.0, 1.0, 0.0, 1.0),
+            seg(0.0, 1.0, 0.0, 0.0),
+        ];
+        let arr = Arrangement::build(&segs, 1e-9);
+        assert_eq!(arr.num_vertices(), 4);
+        assert_eq!(arr.num_edges(), 4);
+        assert_eq!(arr.num_faces(), 1);
+        assert!((arr.faces()[0].area - 1.0).abs() < 1e-12);
+        assert_eq!(arr.locate(Point::new(0.5, 0.5)), Some(0));
+        assert_eq!(arr.locate(Point::new(2.0, 0.5)), None);
+        let (_, _, _, _, euler) = arr.euler_check();
+        assert!(euler);
+    }
+
+    #[test]
+    fn crossing_cross() {
+        // A plus sign: two crossing segments create 1 new vertex, 4 edges,
+        // no bounded faces.
+        let segs = vec![seg(-1.0, 0.0, 1.0, 0.0), seg(0.0, -1.0, 0.0, 1.0)];
+        let arr = Arrangement::build(&segs, 1e-9);
+        assert_eq!(arr.num_vertices(), 5);
+        assert_eq!(arr.num_edges(), 4);
+        assert_eq!(arr.num_faces(), 0);
+    }
+
+    #[test]
+    fn two_crossing_squares() {
+        // Unit square and a square shifted by (0.5, 0.5): 8 crossings...
+        // actually 2 boundary crossings, 3 bounded faces.
+        let sq = |ox: f64, oy: f64| {
+            vec![
+                seg(ox, oy, ox + 1.0, oy),
+                seg(ox + 1.0, oy, ox + 1.0, oy + 1.0),
+                seg(ox + 1.0, oy + 1.0, ox, oy + 1.0),
+                seg(ox, oy + 1.0, ox, oy),
+            ]
+        };
+        let mut segs = sq(0.0, 0.0);
+        segs.extend(sq(0.5, 0.5));
+        let arr = Arrangement::build(&segs, 1e-9);
+        assert_eq!(arr.num_faces(), 3);
+        // The overlap face is the innermost at (0.75, 0.75).
+        let fi = arr.locate(Point::new(0.75, 0.75)).unwrap();
+        assert!((arr.faces()[fi].area - 0.25).abs() < 1e-12);
+        let (_, _, _, _, euler) = arr.euler_check();
+        assert!(euler);
+    }
+
+    #[test]
+    fn nested_squares_hole_face() {
+        // A big square containing a small square: the annular face between
+        // them plus the inner square face.
+        let mut segs = vec![
+            seg(0.0, 0.0, 4.0, 0.0),
+            seg(4.0, 0.0, 4.0, 4.0),
+            seg(4.0, 4.0, 0.0, 4.0),
+            seg(0.0, 4.0, 0.0, 0.0),
+        ];
+        segs.extend(vec![
+            seg(1.0, 1.0, 2.0, 1.0),
+            seg(2.0, 1.0, 2.0, 2.0),
+            seg(2.0, 2.0, 1.0, 2.0),
+            seg(1.0, 2.0, 1.0, 1.0),
+        ]);
+        let arr = Arrangement::build(&segs, 1e-9);
+        assert_eq!(arr.num_faces(), 2);
+        // Inner point locates to the small face (innermost).
+        let fi = arr.locate(Point::new(1.5, 1.5)).unwrap();
+        assert!((arr.faces()[fi].area - 1.0).abs() < 1e-12);
+        // Annulus point locates to the big cycle.
+        let fo = arr.locate(Point::new(3.0, 3.0)).unwrap();
+        assert!((arr.faces()[fo].area - 16.0).abs() < 1e-12);
+        assert_ne!(fi, fo);
+    }
+
+    #[test]
+    fn grid_arrangement_counts() {
+        // m horizontal and m vertical lines: (m*m) crossings,
+        // (m-1)^2 bounded faces.
+        let m = 5;
+        let mut segs = Vec::new();
+        for i in 0..m {
+            let c = i as f64;
+            segs.push(seg(-1.0, c, m as f64, c));
+            segs.push(seg(c, -1.0, c, m as f64));
+        }
+        let arr = Arrangement::build(&segs, 1e-9);
+        assert_eq!(arr.num_faces(), (m - 1) * (m - 1));
+        // Vertices: m*m crossings + 4m endpoints.
+        assert_eq!(arr.num_vertices(), m * m + 4 * m);
+        let (_, _, _, _, euler) = arr.euler_check();
+        assert!(euler);
+    }
+
+    #[test]
+    fn face_interior_points_locate_back() {
+        let mut segs = vec![
+            seg(0.0, 0.0, 2.0, 0.0),
+            seg(2.0, 0.0, 2.0, 2.0),
+            seg(2.0, 2.0, 0.0, 2.0),
+            seg(0.0, 2.0, 0.0, 0.0),
+            seg(0.0, 1.0, 2.0, 1.0), // split horizontally
+        ];
+        segs.push(seg(1.0, 0.0, 1.0, 2.0)); // and vertically
+        let arr = Arrangement::build(&segs, 1e-9);
+        assert_eq!(arr.num_faces(), 4);
+        for fi in 0..arr.num_faces() {
+            let p = arr.face_interior_point(fi).expect("interior point");
+            assert_eq!(arr.locate(p), Some(fi));
+        }
+    }
+
+    #[test]
+    fn t_junction_splits() {
+        // A T junction: vertical segment ends exactly on a horizontal one.
+        let segs = vec![seg(-1.0, 0.0, 1.0, 0.0), seg(0.0, 0.0, 0.0, 1.0)];
+        let arr = Arrangement::build(&segs, 1e-9);
+        assert_eq!(arr.num_vertices(), 4);
+        assert_eq!(arr.num_edges(), 3);
+    }
+}
+
+/// Grid-accelerated point location over an [`Arrangement`].
+///
+/// The base [`Arrangement::locate`] scans faces by ascending area; this
+/// locator buckets face bounding boxes into a uniform grid so a query only
+/// tests the faces overlapping its cell — O(1 + candidates) per query in
+/// practice, the practical stand-in for the `O(log μ)` structures of
+/// `[dBCKO08]` that Theorem 2.11 cites.
+#[derive(Clone, Debug)]
+pub struct FaceLocator {
+    origin: Point,
+    cell: f64,
+    nx: i64,
+    ny: i64,
+    /// Faces overlapping each grid cell, in ascending-area (= face index)
+    /// order so the first hit is the innermost containing face.
+    cells: Vec<Vec<u32>>,
+}
+
+impl FaceLocator {
+    /// Builds a locator; `resolution` is the grid dimension along the longer
+    /// side (64–256 is a good range).
+    pub fn build(arr: &Arrangement, resolution: usize) -> Self {
+        assert!(resolution >= 1);
+        let mut bb = Aabb::EMPTY;
+        for f in arr.faces() {
+            bb = bb.union(&f.bbox);
+        }
+        if bb.is_empty() {
+            return FaceLocator {
+                origin: Point::ORIGIN,
+                cell: 1.0,
+                nx: 1,
+                ny: 1,
+                cells: vec![Vec::new()],
+            };
+        }
+        let cell = (bb.width().max(bb.height()) / resolution as f64).max(1e-12);
+        let nx = ((bb.width() / cell).floor() as i64 + 1).max(1);
+        let ny = ((bb.height() / cell).floor() as i64 + 1).max(1);
+        let mut cells: Vec<Vec<u32>> = vec![Vec::new(); (nx * ny) as usize];
+        for (fi, f) in arr.faces().iter().enumerate() {
+            let x0 = (((f.bbox.min.x - bb.min.x) / cell).floor() as i64).clamp(0, nx - 1);
+            let x1 = (((f.bbox.max.x - bb.min.x) / cell).floor() as i64).clamp(0, nx - 1);
+            let y0 = (((f.bbox.min.y - bb.min.y) / cell).floor() as i64).clamp(0, ny - 1);
+            let y1 = (((f.bbox.max.y - bb.min.y) / cell).floor() as i64).clamp(0, ny - 1);
+            for cy in y0..=y1 {
+                for cx in x0..=x1 {
+                    cells[(cy * nx + cx) as usize].push(fi as u32);
+                }
+            }
+        }
+        FaceLocator {
+            origin: bb.min,
+            cell,
+            nx,
+            ny,
+            cells,
+        }
+    }
+
+    /// Index of the innermost face of `arr` containing `p`, or `None` for
+    /// the unbounded face. `arr` must be the arrangement the locator was
+    /// built from.
+    pub fn locate(&self, arr: &Arrangement, p: Point) -> Option<usize> {
+        let cx = ((p.x - self.origin.x) / self.cell).floor() as i64;
+        let cy = ((p.y - self.origin.y) / self.cell).floor() as i64;
+        if cx < 0 || cy < 0 || cx >= self.nx || cy >= self.ny {
+            return None;
+        }
+        let faces = arr.faces();
+        self.cells[(cy * self.nx + cx) as usize]
+            .iter()
+            .map(|&fi| fi as usize)
+            .find(|&fi| {
+                let f = &faces[fi];
+                f.bbox.contains(p) && arr.face_contains(fi, p)
+            })
+    }
+}
+
+impl Arrangement {
+    /// Membership of `p` in face `fi`'s outer cycle (used by [`FaceLocator`]).
+    pub(crate) fn face_contains(&self, fi: usize, p: Point) -> bool {
+        self.cycle_contains(&self.faces[fi].boundary, p)
+    }
+}
+
+#[cfg(test)]
+mod locator_tests {
+    use super::*;
+
+    #[test]
+    fn locator_agrees_with_linear_scan() {
+        // A grid of squares: every cell located identically by both paths.
+        let m = 6;
+        let mut segs = Vec::new();
+        for i in 0..=m {
+            let c = i as f64;
+            segs.push(Segment::new(Point::new(0.0, c), Point::new(m as f64, c)));
+            segs.push(Segment::new(Point::new(c, 0.0), Point::new(c, m as f64)));
+        }
+        let arr = Arrangement::build(&segs, 1e-9);
+        let loc = FaceLocator::build(&arr, 32);
+        for i in 0..3 * m {
+            for j in 0..3 * m {
+                let p = Point::new(
+                    i as f64 / 3.0 + 0.17,
+                    j as f64 / 3.0 + 0.29,
+                );
+                assert_eq!(loc.locate(&arr, p), arr.locate(p), "p = {p:?}");
+            }
+        }
+        // Outside.
+        assert_eq!(loc.locate(&arr, Point::new(100.0, 100.0)), None);
+    }
+
+    #[test]
+    fn empty_arrangement_locator() {
+        let arr = Arrangement::build(&[], 1e-9);
+        let loc = FaceLocator::build(&arr, 16);
+        assert_eq!(loc.locate(&arr, Point::ORIGIN), None);
+    }
+}
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_euler_formula_on_random_soups(
+            segs in proptest::collection::vec(
+                (-10.0f64..10.0, -10.0f64..10.0, -10.0f64..10.0, -10.0f64..10.0),
+                1..24,
+            )
+        ) {
+            let segments: Vec<Segment> = segs
+                .into_iter()
+                .map(|(ax, ay, bx, by)| {
+                    Segment::new(Point::new(ax, ay), Point::new(bx, by))
+                })
+                .filter(|s| s.length() > 1e-9)
+                .collect();
+            prop_assume!(!segments.is_empty());
+            let arr = Arrangement::build(&segments, 1e-9);
+            let (v, e, f, c, ok) = arr.euler_check();
+            prop_assert!(ok, "Euler violated: V={v} E={e} F={f} C={c}");
+        }
+
+        #[test]
+        fn prop_locator_matches_linear_scan(
+            segs in proptest::collection::vec(
+                (-10.0f64..10.0, -10.0f64..10.0, -10.0f64..10.0, -10.0f64..10.0),
+                4..20,
+            ),
+            qx in -12.0f64..12.0, qy in -12.0f64..12.0,
+        ) {
+            let segments: Vec<Segment> = segs
+                .into_iter()
+                .map(|(ax, ay, bx, by)| {
+                    Segment::new(Point::new(ax, ay), Point::new(bx, by))
+                })
+                .filter(|s| s.length() > 1e-9)
+                .collect();
+            prop_assume!(!segments.is_empty());
+            let arr = Arrangement::build(&segments, 1e-9);
+            let loc = FaceLocator::build(&arr, 32);
+            let q = Point::new(qx, qy);
+            prop_assert_eq!(loc.locate(&arr, q), arr.locate(q));
+        }
+    }
+}

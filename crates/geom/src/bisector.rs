@@ -1,0 +1,309 @@
+//! Additively weighted bisector curves in *focal polar form*.
+//!
+//! All curves arising in the nonzero Voronoi diagram of disks are loci of the
+//! form
+//!
+//! ```text
+//!     { x : d(x, F) - d(x, O) = s }
+//! ```
+//!
+//! for two foci `O`, `F` and a signed shift `s` — one branch of a hyperbola
+//! with foci `O` and `F` (a line when `s = 0`). Examples from the paper
+//! (disks `D_i = (c_i, r_i)`):
+//!
+//! * `γ_ij = { x : δ_i(x) = Δ_j(x) }`, i.e. `d(x,c_i) - r_i = d(x,c_j) + r_j`
+//!   — take `O = c_i`, `F = c_j`, `s = -(r_i + r_j)`.
+//! * the additively-weighted bisector `{ x : Δ_j(x) = Δ_k(x) }`, i.e.
+//!   `d(x,c_j) + r_j = d(x,c_k) + r_k` — take `O = c_j`, `F = c_k`,
+//!   `s = r_j - r_k`.
+//!
+//! **Focal polar form.** Put the origin at `O` and write `x = O + t·u(θ)`
+//! with `t >= 0`. Let `e = F - O`, `L = |e|`, `p = ⟨u(θ), e⟩`. Then
+//! `d(x,F)^2 = t^2 - 2tp + L^2`, and squaring `d(x,F) = t + s` gives
+//!
+//! ```text
+//!     t(θ) = (L² - s²) / (2 (s + p))        (requires s + p > 0)
+//! ```
+//!
+//! so the curve is the graph of a *rational* radial function over the angular
+//! window `{ θ : ⟨u(θ), e⟩ > -s }`, and **two such curves around the same
+//! origin intersect where a linear equation in `u` holds** — at most two
+//! angles, in closed form ([`FocalCurve::intersect_angles`]). This closed
+//! form is what makes exact vertex enumeration of the nonzero Voronoi diagram
+//! possible without iterative root finding (DESIGN.md §4).
+
+use crate::angle::{norm_angle, solve_cos_sin, ArcInterval};
+use crate::point::{Point, Vector};
+
+/// One branch of an additively weighted bisector, in polar form around an
+/// implicit origin focus `O`.
+///
+/// Represents `{ x : d(x, O + e) - d(x, O) = shift }` with `|shift| < |e|`
+/// (otherwise the locus is empty or degenerate — see [`FocalCurve::new`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FocalCurve {
+    /// Vector from the origin focus `O` to the other focus `F`.
+    pub e: Vector,
+    /// The signed shift `s = d(x,F) - d(x,O)` along the curve.
+    pub shift: f64,
+    /// Cached `|e|`.
+    len: f64,
+    /// Cached numerator `(L² - s²) / 2 > 0`.
+    num: f64,
+}
+
+impl FocalCurve {
+    /// Builds the curve, or `None` when the locus is empty or degenerate
+    /// (`|shift| >= |e|`, including coincident foci).
+    ///
+    /// `shift = |e|` would be the ray from `F` away from `O`, and
+    /// `shift = -|e|` the ray from `O` away from `F`; both are measure-zero
+    /// degeneracies that the callers exclude by general-position perturbation.
+    pub fn new(e: Vector, shift: f64) -> Option<Self> {
+        let len = e.norm();
+        // NaN-safe: reject non-finite shifts as well as |shift| >= |e|.
+        if shift.is_nan() || shift.abs() >= len {
+            return None;
+        }
+        Some(FocalCurve {
+            e,
+            shift,
+            len,
+            num: 0.5 * (len * len - shift * shift),
+        })
+    }
+
+    /// `γ_ij` of the paper: the locus `δ_i(x) = Δ_j(x)` for disks
+    /// `(c_i, r_i)`, `(c_j, r_j)`, in the polar frame of `c_i`.
+    ///
+    /// `None` when `d(c_i, c_j) <= r_i + r_j` (disks touch or overlap): then
+    /// `δ_i < Δ_j` everywhere and the constraint never binds.
+    #[inline]
+    pub fn gamma(c_i: Point, r_i: f64, c_j: Point, r_j: f64) -> Option<Self> {
+        FocalCurve::new(c_j - c_i, -(r_i + r_j))
+    }
+
+    /// The additively weighted bisector `{ x : d(x,c_j)+r_j = d(x,c_k)+r_k }`
+    /// in the polar frame of `c_j`.
+    #[inline]
+    pub fn weighted_bisector(c_j: Point, r_j: f64, c_k: Point, r_k: f64) -> Option<Self> {
+        FocalCurve::new(c_k - c_j, r_j - r_k)
+    }
+
+    /// The angular window over which the radial function is defined.
+    #[inline]
+    pub fn window(&self) -> ArcInterval {
+        // Defined where cos(θ - angle(e)) > -shift / L.
+        let half = (-self.shift / self.len).clamp(-1.0, 1.0).acos();
+        ArcInterval::centered(self.e.angle(), half)
+    }
+
+    /// Radial value `t(θ)`, or `None` outside the angular window.
+    #[inline]
+    pub fn radial(&self, theta: f64) -> Option<f64> {
+        let p = self.e.x * theta.cos() + self.e.y * theta.sin();
+        let denom = self.shift + p;
+        if denom <= 0.0 {
+            return None;
+        }
+        Some(self.num / denom)
+    }
+
+    /// Radial value treating out-of-window angles as `+∞` (for envelopes).
+    #[inline]
+    pub fn radial_or_inf(&self, theta: f64) -> f64 {
+        self.radial(theta).unwrap_or(f64::INFINITY)
+    }
+
+    /// The point of the curve at angle `theta`, given the origin focus `O`.
+    #[inline]
+    pub fn point_at(&self, origin: Point, theta: f64) -> Option<Point> {
+        let t = self.radial(theta)?;
+        Some(origin + Vector::from_angle(theta) * t)
+    }
+
+    /// Angle of the curve's axis (direction from `O` towards `F`), where the
+    /// radial function attains its minimum.
+    #[inline]
+    pub fn axis_angle(&self) -> f64 {
+        norm_angle(self.e.angle())
+    }
+
+    /// Minimum of the radial function (attained on the axis).
+    #[inline]
+    pub fn min_radial(&self) -> f64 {
+        self.num / (self.shift + self.len)
+    }
+
+    /// Angles where two curves around the **same origin focus** intersect.
+    ///
+    /// Setting `num₁ / (s₁ + ⟨u,e₁⟩) = num₂ / (s₂ + ⟨u,e₂⟩)` and clearing
+    /// denominators yields `⟨u, num₁·e₂ - num₂·e₁⟩ = num₂·s₁ - num₁·s₂`,
+    /// linear in the unit vector `u` — at most two solutions, computed in
+    /// closed form. Solutions are filtered to both curves' windows.
+    pub fn intersect_angles(&self, other: &FocalCurve) -> Vec<f64> {
+        let v = self.num * other.e - other.num * self.e;
+        let c = other.num * self.shift - self.num * other.shift;
+        let sols = solve_cos_sin(v.x, v.y, c);
+        let mut out = Vec::with_capacity(2);
+        for &t in sols.as_slice() {
+            // Both denominators must be positive (same sign is guaranteed by
+            // the cleared equation only up to a global sign).
+            if self.radial(t).is_some() && other.radial(t).is_some() {
+                out.push(t);
+            }
+        }
+        out
+    }
+
+    /// Verifies that a point `x` (with origin focus at `origin`) satisfies
+    /// the defining equation within `tol` — used by tests and vertex
+    /// validation.
+    pub fn residual(&self, origin: Point, x: Point) -> f64 {
+        let f = origin + self.e;
+        (x.dist(f) - x.dist(origin)) - self.shift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::f64::consts::{PI, TAU};
+    use proptest::prelude::*;
+
+    #[test]
+    fn gamma_empty_when_disks_overlap() {
+        let c1 = Point::ORIGIN;
+        let c2 = Point::new(3.0, 0.0);
+        assert!(FocalCurve::gamma(c1, 2.0, c2, 2.0).is_none()); // touching: 3 <= 4
+        assert!(FocalCurve::gamma(c1, 1.0, c2, 1.0).is_some()); // 3 > 2
+    }
+
+    #[test]
+    fn gamma_on_axis_value() {
+        // Disks (0,0; r=1) and (10,0; r=2). On the segment between them the
+        // constraint d(x,c1) - 1 = d(x,c2) + 2 gives x = (10+3)/2 = 6.5 from
+        // c1 along +x.
+        let g = FocalCurve::gamma(Point::ORIGIN, 1.0, Point::new(10.0, 0.0), 2.0).unwrap();
+        let t = g.radial(0.0).unwrap();
+        assert!((t - 6.5).abs() < 1e-12, "t = {t}");
+        assert!((g.min_radial() - 6.5).abs() < 1e-12);
+        // Defining equation holds at an arbitrary in-window angle.
+        let theta = 0.2;
+        let x = g.point_at(Point::ORIGIN, theta).unwrap();
+        assert!(g.residual(Point::ORIGIN, x).abs() < 1e-9);
+        // delta_1(x) = |x| - 1 should equal Delta_2(x) = d(x, c2) + 2.
+        let d1 = x.dist(Point::ORIGIN) - 1.0;
+        let d2 = x.dist(Point::new(10.0, 0.0)) + 2.0;
+        assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_half_angle() {
+        // gamma: shift = -(r_i + r_j) = -3, L = 10: window half-angle
+        // arccos(3/10).
+        let g = FocalCurve::gamma(Point::ORIGIN, 1.0, Point::new(10.0, 0.0), 2.0).unwrap();
+        let w = g.window();
+        let expect = (0.3f64).acos();
+        assert!((w.extent / 2.0 - expect).abs() < 1e-12);
+        assert!(w.contains(0.0));
+        assert!(!w.contains(PI));
+        // Just inside/outside the boundary angle.
+        assert!(g.radial(expect - 1e-6).is_some());
+        assert!(g.radial(expect + 1e-6).is_none());
+    }
+
+    #[test]
+    fn weighted_bisector_is_perpendicular_line_when_equal_radii() {
+        // Equal radii: shift = 0, the "hyperbola" is the perpendicular
+        // bisector line of the centers.
+        let b = FocalCurve::weighted_bisector(Point::ORIGIN, 1.0, Point::new(4.0, 0.0), 1.0)
+            .unwrap();
+        for &theta in &[0.0, 0.5, 1.0, -1.2] {
+            if let Some(p) = b.point_at(Point::ORIGIN, theta) {
+                assert!((p.x - 2.0).abs() < 1e-9, "p = {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn intersect_angles_shared_focus() {
+        // Two gamma curves around the same origin disk vs two other disks.
+        let o = Point::ORIGIN;
+        let g1 = FocalCurve::gamma(o, 1.0, Point::new(10.0, 0.0), 1.0).unwrap();
+        let g2 = FocalCurve::gamma(o, 1.0, Point::new(0.0, 10.0), 1.0).unwrap();
+        let angles = g1.intersect_angles(&g2);
+        assert!(!angles.is_empty());
+        for &t in &angles {
+            let r1 = g1.radial(t).unwrap();
+            let r2 = g2.radial(t).unwrap();
+            assert!((r1 - r2).abs() < 1e-9 * (1.0 + r1.abs()));
+            // The intersection point satisfies both defining equations.
+            let x = o + Vector::from_angle(t) * r1;
+            assert!(g1.residual(o, x).abs() < 1e-8);
+            assert!(g2.residual(o, x).abs() < 1e-8);
+        }
+        // Symmetric configuration: the intersection bisects the quadrant.
+        assert!(angles
+            .iter()
+            .any(|&t| (norm_angle(t) - PI / 4.0).abs() < 1e-9));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_radial_satisfies_equation(
+            ex in -20.0f64..20.0, ey in -20.0f64..20.0,
+            s_frac in -0.95f64..0.95,
+            theta in 0.0f64..TAU,
+        ) {
+            let e = Vector::new(ex, ey);
+            prop_assume!(e.norm() > 0.5);
+            let shift = s_frac * e.norm();
+            let c = FocalCurve::new(e, shift).unwrap();
+            if let Some(x) = c.point_at(Point::ORIGIN, theta) {
+                prop_assert!(
+                    c.residual(Point::ORIGIN, x).abs() < 1e-7 * (1.0 + x.to_vector().norm()),
+                    "residual {}", c.residual(Point::ORIGIN, x)
+                );
+            }
+        }
+
+        #[test]
+        fn prop_window_matches_radial_domain(
+            ex in -20.0f64..20.0, ey in -20.0f64..20.0,
+            s_frac in -0.9f64..0.9,
+            theta in 0.0f64..TAU,
+        ) {
+            let e = Vector::new(ex, ey);
+            prop_assume!(e.norm() > 0.5);
+            let c = FocalCurve::new(e, s_frac * e.norm()).unwrap();
+            let w = c.window();
+            // Away from the window boundary the two notions agree.
+            let dist_to_boundary = {
+                let half = w.extent / 2.0;
+                let mid = norm_angle(w.start + half);
+                (crate::angle::ccw_delta(mid, theta).min(crate::angle::ccw_delta(theta, mid)) - half).abs()
+            };
+            prop_assume!(dist_to_boundary > 1e-6);
+            prop_assert_eq!(w.contains(theta), c.radial(theta).is_some());
+        }
+
+        #[test]
+        fn prop_intersections_lie_on_both(
+            e1x in 2.0f64..20.0, e1y in -20.0f64..20.0,
+            e2x in -20.0f64..-2.0, e2y in -20.0f64..20.0,
+            s1 in -0.8f64..0.8, s2 in -0.8f64..0.8,
+        ) {
+            let e1 = Vector::new(e1x, e1y);
+            let e2 = Vector::new(e2x, e2y);
+            let c1 = FocalCurve::new(e1, s1 * e1.norm()).unwrap();
+            let c2 = FocalCurve::new(e2, s2 * e2.norm()).unwrap();
+            for &t in &c1.intersect_angles(&c2) {
+                let r1 = c1.radial(t).unwrap();
+                let r2 = c2.radial(t).unwrap();
+                prop_assert!((r1 - r2).abs() <= 1e-6 * (1.0 + r1.abs() + r2.abs()),
+                    "r1={r1} r2={r2}");
+            }
+        }
+    }
+}

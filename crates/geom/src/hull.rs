@@ -1,0 +1,172 @@
+//! Convex hulls (Andrew's monotone chain) and farthest-point queries.
+
+use crate::point::{lex_cmp, Point};
+use crate::predicates::orient2d;
+
+/// Convex hull of a point set, in counter-clockwise order starting from the
+/// lexicographically smallest point. Collinear interior points are removed;
+/// duplicate points are merged.
+///
+/// Degenerate inputs: an empty slice yields an empty hull, a single point a
+/// 1-point hull, and collinear input the two extreme points.
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| lex_cmp(*a, *b));
+    pts.dedup();
+    let n = pts.len();
+    if n <= 2 {
+        return pts;
+    }
+
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2
+            && orient2d(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && orient2d(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // last point equals the first
+    hull
+}
+
+/// Maximum distance from `q` to any point of `points` (the paper's
+/// `Δ_i(q)` for a discrete uncertain point), by linear scan.
+///
+/// For repeated queries against the same set, build the hull once and use
+/// [`farthest_on_hull`].
+pub fn farthest_dist(points: &[Point], q: Point) -> f64 {
+    points
+        .iter()
+        .map(|p| p.dist2(q))
+        .fold(0.0f64, f64::max)
+        .sqrt()
+}
+
+/// Maximum distance from `q` to a convex polygon given by its vertices.
+///
+/// The farthest point of a convex set from any query is a vertex; this scans
+/// the (typically few) hull vertices.
+pub fn farthest_on_hull(hull: &[Point], q: Point) -> f64 {
+    farthest_dist(hull, q)
+}
+
+/// Minimum distance from `q` to any point of `points` (the paper's
+/// `δ_i(q)` for a discrete uncertain point), by linear scan.
+pub fn nearest_dist(points: &[Point], q: Point) -> f64 {
+    points
+        .iter()
+        .map(|p| p.dist2(q))
+        .fold(f64::INFINITY, f64::min)
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hull_of_square_with_interior() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+            Point::new(0.5, 0.5),
+            Point::new(0.25, 0.75),
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 4);
+        assert_eq!(h[0], Point::new(0.0, 0.0)); // lexicographic start
+    }
+
+    #[test]
+    fn hull_degenerate_cases() {
+        assert!(convex_hull(&[]).is_empty());
+        assert_eq!(convex_hull(&[Point::new(1.0, 2.0)]).len(), 1);
+        // Collinear points collapse to extremes.
+        let col: Vec<Point> = (0..5).map(|i| Point::new(i as f64, i as f64)).collect();
+        let h = convex_hull(&col);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h[0], Point::new(0.0, 0.0));
+        assert_eq!(h[1], Point::new(4.0, 4.0));
+        // Duplicates merge.
+        let dup = [Point::new(1.0, 1.0), Point::new(1.0, 1.0)];
+        assert_eq!(convex_hull(&dup).len(), 1);
+    }
+
+    #[test]
+    fn hull_is_ccw() {
+        let pts: Vec<Point> = (0..20)
+            .map(|i| {
+                let t = i as f64;
+                Point::new((t * 0.7).sin() * 5.0, (t * 1.3).cos() * 3.0)
+            })
+            .collect();
+        let h = convex_hull(&pts);
+        assert!(h.len() >= 3);
+        for i in 0..h.len() {
+            let a = h[i];
+            let b = h[(i + 1) % h.len()];
+            let c = h[(i + 2) % h.len()];
+            assert!(orient2d(a, b, c) > 0.0, "not strictly convex CCW at {i}");
+        }
+    }
+
+    #[test]
+    fn farthest_and_nearest() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(0.0, 4.0),
+        ];
+        let q = Point::new(0.0, 0.0);
+        assert_eq!(farthest_dist(&pts, q), 4.0);
+        assert_eq!(nearest_dist(&pts, q), 0.0);
+        let q2 = Point::new(-1.0, 0.0);
+        assert_eq!(nearest_dist(&pts, q2), 1.0);
+        assert_eq!(farthest_dist(&pts, q2), 17f64.sqrt());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_all_points_inside_hull(
+            pts in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 3..40)
+        ) {
+            let pts: Vec<Point> = pts.into_iter().map(|(x, y)| Point::new(x, y)).collect();
+            let h = convex_hull(&pts);
+            prop_assume!(h.len() >= 3);
+            for &p in &pts {
+                for i in 0..h.len() {
+                    let a = h[i];
+                    let b = h[(i + 1) % h.len()];
+                    prop_assert!(orient2d(a, b, p) >= 0.0, "point {p:?} outside edge {i}");
+                }
+            }
+        }
+
+        #[test]
+        fn prop_farthest_is_on_hull(
+            pts in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 3..40),
+            qx in -200.0f64..200.0, qy in -200.0f64..200.0,
+        ) {
+            let pts: Vec<Point> = pts.into_iter().map(|(x, y)| Point::new(x, y)).collect();
+            let h = convex_hull(&pts);
+            let q = Point::new(qx, qy);
+            prop_assert!((farthest_dist(&pts, q) - farthest_on_hull(&h, q)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # unn-geom — geometry substrate for uncertain nearest-neighbor search
+//!
+//! Self-contained computational-geometry building blocks used throughout the
+//! `unn` workspace, implemented from scratch:
+//!
+//! * [`point`] — points, vectors, lexicographic order;
+//! * [`expansion`] — exact floating-point expansion arithmetic;
+//! * [`predicates`] — adaptive-precision `orient2d` / `incircle`;
+//! * [`bbox`] — axis-aligned boxes with min/max-distance queries;
+//! * [`angle`] — angular intervals and `a·cos t + b·sin t = c` solving;
+//! * [`disk`] — disks, lens areas (uniform-disk distance cdf), tangencies;
+//! * [`bisector`] — additively weighted bisector branches in focal polar
+//!   form, the curve family of the paper's `𝒱≠0` machinery;
+//! * [`segment`] — segments and lines with robust intersections;
+//! * [`hull`] — convex hulls and farthest/nearest distance to point sets;
+//! * [`polygon`] — convex polygons and half-plane intersection;
+//! * [`arrangement`] — planar subdivisions induced by segment sets, with
+//!   face extraction and point location.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod angle;
+pub mod arrangement;
+pub mod bbox;
+pub mod bisector;
+pub mod circular;
+pub mod disk;
+pub mod expansion;
+pub mod hull;
+pub mod point;
+pub mod polygon;
+pub mod predicates;
+pub mod segment;
+
+pub use angle::ArcInterval;
+pub use arrangement::{Arrangement, FaceLocator};
+pub use bbox::Aabb;
+pub use bisector::FocalCurve;
+pub use circular::circle_polygon_area;
+pub use disk::Disk;
+pub use point::{Point, Vector};
+pub use polygon::ConvexPolygon;
+pub use predicates::{incircle, orient2d, orientation, Orientation};
+pub use segment::{Line, SegIntersection, Segment};

@@ -1,0 +1,316 @@
+//! Robust geometric predicates.
+//!
+//! Each predicate first evaluates a fast floating-point approximation with a
+//! forward error bound; only when the result is within the error bound of
+//! zero does it fall back to exact evaluation with
+//! `Expansion` arithmetic (see [`crate::expansion`]). This is the
+//! two-stage (filter + exact) scheme of Shewchuk's adaptive predicates,
+//! simplified: the exact stage recomputes the whole determinant rather than
+//! refining incrementally, which is fast enough because the filter already
+//! resolves virtually all inputs.
+
+use crate::expansion::Expansion;
+use crate::point::Point;
+
+/// Which side of the directed line `a -> b` the point `c` lies on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Orientation {
+    /// `c` is strictly to the left (counter-clockwise turn).
+    CounterClockwise,
+    /// `c` is strictly to the right (clockwise turn).
+    Clockwise,
+    /// The three points are exactly collinear.
+    Collinear,
+}
+
+// Error-bound coefficients from Shewchuk (1997), Table 1.
+const EPS: f64 = f64::EPSILON / 2.0;
+const ORIENT2D_BOUND: f64 = (3.0 + 16.0 * EPS) * EPS;
+const INCIRCLE_BOUND: f64 = (10.0 + 96.0 * EPS) * EPS;
+
+/// Signed twice-area of triangle `(a, b, c)`: positive iff counter-clockwise.
+///
+/// Exact sign; magnitude is the floating-point approximation (adequate for
+/// comparisons against explicit tolerances by callers who need magnitudes).
+pub fn orient2d(a: Point, b: Point, c: Point) -> f64 {
+    let detleft = (a.x - c.x) * (b.y - c.y);
+    let detright = (a.y - c.y) * (b.x - c.x);
+    let det = detleft - detright;
+
+    let detsum = if detleft > 0.0 {
+        if detright <= 0.0 {
+            return det;
+        }
+        detleft + detright
+    } else if detleft < 0.0 {
+        if detright >= 0.0 {
+            return det;
+        }
+        -detleft - detright
+    } else {
+        return det;
+    };
+
+    let errbound = ORIENT2D_BOUND * detsum;
+    if det >= errbound || -det >= errbound {
+        return det;
+    }
+    orient2d_exact(a, b, c)
+}
+
+fn orient2d_exact(a: Point, b: Point, c: Point) -> f64 {
+    // det = (ax-cx)(by-cy) - (ay-cy)(bx-cx), expanded over exact differences.
+    // Differences of f64 are not exact in general, so expand fully:
+    // det = ax*by - ax*cy - cx*by + cx*cy - ay*bx + ay*cx + cy*bx - cy*cx
+    let terms = [
+        Expansion::from_product(a.x, b.y),
+        Expansion::from_product(a.x, c.y).scale(-1.0),
+        Expansion::from_product(c.x, b.y).scale(-1.0),
+        Expansion::from_product(c.x, c.y),
+        Expansion::from_product(a.y, b.x).scale(-1.0),
+        Expansion::from_product(a.y, c.x),
+        Expansion::from_product(c.y, b.x),
+        Expansion::from_product(c.y, c.x).scale(-1.0),
+    ];
+    let mut acc = Expansion::zero();
+    for t in &terms {
+        acc = acc.add(t);
+    }
+    match acc.signum() {
+        0 => 0.0,
+        s => {
+            let est = acc.estimate();
+            if est != 0.0 {
+                est
+            } else {
+                s as f64 * f64::MIN_POSITIVE
+            }
+        }
+    }
+}
+
+/// Orientation of `c` relative to the directed line `a -> b`, with exact sign.
+#[inline]
+pub fn orientation(a: Point, b: Point, c: Point) -> Orientation {
+    let det = orient2d(a, b, c);
+    if det > 0.0 {
+        Orientation::CounterClockwise
+    } else if det < 0.0 {
+        Orientation::Clockwise
+    } else {
+        Orientation::Collinear
+    }
+}
+
+/// In-circle test: positive iff `d` lies strictly inside the circle through
+/// `a`, `b`, `c` (which must be in counter-clockwise order).
+///
+/// Exact sign via adaptive evaluation.
+pub fn incircle(a: Point, b: Point, c: Point, d: Point) -> f64 {
+    let adx = a.x - d.x;
+    let bdx = b.x - d.x;
+    let cdx = c.x - d.x;
+    let ady = a.y - d.y;
+    let bdy = b.y - d.y;
+    let cdy = c.y - d.y;
+
+    let bdxcdy = bdx * cdy;
+    let cdxbdy = cdx * bdy;
+    let alift = adx * adx + ady * ady;
+
+    let cdxady = cdx * ady;
+    let adxcdy = adx * cdy;
+    let blift = bdx * bdx + bdy * bdy;
+
+    let adxbdy = adx * bdy;
+    let bdxady = bdx * ady;
+    let clift = cdx * cdx + cdy * cdy;
+
+    let det = alift * (bdxcdy - cdxbdy) + blift * (cdxady - adxcdy) + clift * (adxbdy - bdxady);
+
+    let permanent = (bdxcdy.abs() + cdxbdy.abs()) * alift
+        + (cdxady.abs() + adxcdy.abs()) * blift
+        + (adxbdy.abs() + bdxady.abs()) * clift;
+    let errbound = INCIRCLE_BOUND * permanent;
+    if det > errbound || -det > errbound {
+        return det;
+    }
+    incircle_exact(a, b, c, d)
+}
+
+fn incircle_exact(a: Point, b: Point, c: Point, d: Point) -> f64 {
+    // Exact 4x4 determinant via expansions on exact coordinate differences.
+    // Differences like a.x - d.x are inexact in f64; compute them as 2-term
+    // expansions with two_diff and carry exactness through.
+    let col = |p: Point| -> (Expansion, Expansion) {
+        let (hx, lx) = crate::expansion::two_diff(p.x, d.x);
+        let (hy, ly) = crate::expansion::two_diff(p.y, d.y);
+        (
+            Expansion::from_f64(lx).add_f64(hx),
+            Expansion::from_f64(ly).add_f64(hy),
+        )
+    };
+    let (ax, ay) = col(a);
+    let (bx, by) = col(b);
+    let (cx, cy) = col(c);
+
+    let lift = |x: &Expansion, y: &Expansion| x.mul(x).add(&y.mul(y));
+    let la = lift(&ax, &ay);
+    let lb = lift(&bx, &by);
+    let lc = lift(&cx, &cy);
+
+    let det2 =
+        |x1: &Expansion, y1: &Expansion, x2: &Expansion, y2: &Expansion| x1.mul(y2).sub(&x2.mul(y1));
+
+    let m_a = det2(&bx, &by, &cx, &cy);
+    let m_b = det2(&ax, &ay, &cx, &cy);
+    let m_c = det2(&ax, &ay, &bx, &by);
+
+    let det = la.mul(&m_a).sub(&lb.mul(&m_b)).add(&lc.mul(&m_c));
+    match det.signum() {
+        0 => 0.0,
+        s => {
+            let est = det.estimate();
+            if est != 0.0 {
+                est
+            } else {
+                s as f64 * f64::MIN_POSITIVE
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn orient_basic() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        assert_eq!(
+            orientation(a, b, Point::new(0.0, 1.0)),
+            Orientation::CounterClockwise
+        );
+        assert_eq!(
+            orientation(a, b, Point::new(0.0, -1.0)),
+            Orientation::Clockwise
+        );
+        assert_eq!(
+            orientation(a, b, Point::new(2.0, 0.0)),
+            Orientation::Collinear
+        );
+    }
+
+    #[test]
+    fn orient_near_degenerate_is_exact() {
+        // Classic adversarial case: points nearly collinear with tiny offsets
+        // that naive evaluation misclassifies.
+        let a = Point::new(0.5, 0.5);
+        let b = Point::new(12.0, 12.0);
+        for i in 0..64 {
+            let x = 0.5 + (i as f64) * f64::EPSILON;
+            let c = Point::new(x, x);
+            // c is exactly on the line y = x, as are a and b.
+            assert_eq!(orientation(a, b, c), Orientation::Collinear, "i={i}");
+        }
+    }
+
+    #[test]
+    fn orient_detects_epsilon_perturbation() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1e10, 1e10);
+        let c = Point::new(0.5e10, 0.5e10 + 1e-6);
+        assert_eq!(orientation(a, b, c), Orientation::CounterClockwise);
+        let c2 = Point::new(0.5e10, 0.5e10 - 1e-6);
+        assert_eq!(orientation(a, b, c2), Orientation::Clockwise);
+    }
+
+    #[test]
+    fn incircle_basic() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        let c = Point::new(0.0, 1.0);
+        // Circumcircle has center (0.5, 0.5), radius sqrt(0.5).
+        assert!(incircle(a, b, c, Point::new(0.5, 0.5)) > 0.0);
+        assert!(incircle(a, b, c, Point::new(2.0, 2.0)) < 0.0);
+        assert_eq!(incircle(a, b, c, Point::new(1.0, 1.0)), 0.0); // cocircular
+    }
+
+    #[test]
+    fn incircle_cocircular_exact() {
+        // Four points on the unit circle with exactly representable coords.
+        let a = Point::new(1.0, 0.0);
+        let b = Point::new(0.0, 1.0);
+        let c = Point::new(-1.0, 0.0);
+        let d = Point::new(0.0, -1.0);
+        assert_eq!(incircle(a, b, c, d), 0.0);
+    }
+
+    fn naive_orient(a: Point, b: Point, c: Point) -> f64 {
+        (a.x - c.x) * (b.y - c.y) - (a.y - c.y) * (b.x - c.x)
+    }
+
+    proptest! {
+        #[test]
+        fn prop_orient_antisymmetry(
+            ax in -100.0f64..100.0, ay in -100.0f64..100.0,
+            bx in -100.0f64..100.0, by in -100.0f64..100.0,
+            cx in -100.0f64..100.0, cy in -100.0f64..100.0,
+        ) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let c = Point::new(cx, cy);
+            let s1 = orient2d(a, b, c);
+            let s2 = orient2d(b, a, c);
+            prop_assert_eq!(s1 > 0.0, s2 < 0.0);
+            prop_assert_eq!(s1 == 0.0, s2 == 0.0);
+        }
+
+        #[test]
+        fn prop_orient_cyclic_invariance(
+            ax in -100.0f64..100.0, ay in -100.0f64..100.0,
+            bx in -100.0f64..100.0, by in -100.0f64..100.0,
+            cx in -100.0f64..100.0, cy in -100.0f64..100.0,
+        ) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let c = Point::new(cx, cy);
+            prop_assert_eq!(orient2d(a, b, c) > 0.0, orient2d(b, c, a) > 0.0);
+            prop_assert_eq!(orient2d(a, b, c) > 0.0, orient2d(c, a, b) > 0.0);
+        }
+
+        #[test]
+        fn prop_orient_agrees_with_naive_when_clear(
+            ax in -100.0f64..100.0, ay in -100.0f64..100.0,
+            bx in -100.0f64..100.0, by in -100.0f64..100.0,
+            cx in -100.0f64..100.0, cy in -100.0f64..100.0,
+        ) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let c = Point::new(cx, cy);
+            let naive = naive_orient(a, b, c);
+            if naive.abs() > 1e-6 {
+                prop_assert_eq!(naive > 0.0, orient2d(a, b, c) > 0.0);
+            }
+        }
+
+        #[test]
+        fn prop_incircle_symmetric_under_ccw_rotation(
+            ax in -10.0f64..10.0, ay in -10.0f64..10.0,
+            bx in -10.0f64..10.0, by in -10.0f64..10.0,
+            cx in -10.0f64..10.0, cy in -10.0f64..10.0,
+            dx in -10.0f64..10.0, dy in -10.0f64..10.0,
+        ) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let c = Point::new(cx, cy);
+            let d = Point::new(dx, dy);
+            let s1 = incircle(a, b, c, d);
+            let s2 = incircle(b, c, a, d);
+            prop_assert_eq!(s1 > 0.0, s2 > 0.0);
+            prop_assert_eq!(s1 == 0.0, s2 == 0.0);
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! The additively weighted (Apollonius) Voronoi diagram `𝕄` (paper §2.1).
+//!
+//! The projection of the lower envelope `Δ(x) = min_i (d(x, c_i) + r_i)` is
+//! the additively weighted Voronoi diagram of the disk centers with weights
+//! `r_i` `[AB86]`: it has linear complexity, its edges are hyperbolic arcs,
+//! and the breakpoints of the curves `γ_i` lie on its edges. The paper uses
+//! `𝕄` for stage 1 of the `NN≠0` query (computing `Δ(q)` by point location).
+//!
+//! Each cell is star-shaped around its center, so — exactly like the
+//! `γ_i` machinery — a cell is the region under a *lower envelope of focal
+//! polar curves*: the bisector of sites `i` and `j` seen from `c_i` is the
+//! locus `d(x, c_j) − d(x, c_i) = r_i − r_j`, i.e.
+//! `FocalCurve::new(c_j − c_i, r_i − r_j)`. This module builds all `n`
+//! cell envelopes (`O(n² log n)` total) and answers point location and
+//! `Δ(q)` queries; the diagram's combinatorial size is exposed for the
+//! linear-complexity check.
+
+use unn_geom::angle::norm_angle;
+use unn_geom::{Disk, FocalCurve, Point};
+
+use crate::gamma::{envelope, EnvArc};
+
+/// One cell of the Apollonius diagram, as a radial envelope around its site.
+#[derive(Clone, Debug)]
+struct Cell {
+    center: Point,
+    curves: Vec<FocalCurve>,
+    arcs: Vec<EnvArc>,
+    /// `false` when some other site dominates this one everywhere
+    /// (`d(c_i, c_j) + r_j <= r_i`): the cell is empty.
+    nonempty: bool,
+}
+
+/// The additively weighted Voronoi diagram of disks (centers weighted by
+/// radii) — the paper's subdivision `𝕄`.
+#[derive(Clone, Debug)]
+pub struct ApolloniusDiagram {
+    disks: Vec<Disk>,
+    cells: Vec<Cell>,
+}
+
+impl ApolloniusDiagram {
+    /// Builds all cell envelopes.
+    pub fn build(disks: &[Disk]) -> Self {
+        let cells = (0..disks.len())
+            .map(|i| {
+                let c_i = disks[i].center;
+                let r_i = disks[i].radius;
+                let mut curves = Vec::new();
+                let mut nonempty = true;
+                for (j, d_j) in disks.iter().enumerate() {
+                    if j == i {
+                        continue;
+                    }
+                    let e = d_j.center - c_i;
+                    let shift = r_i - d_j.radius;
+                    // Dominance cases where |shift| >= |e|:
+                    if shift >= e.norm() {
+                        // d(x,c_j) - d(x,c_i) <= |e| <= shift everywhere:
+                        // site j is always at least as close (weighted) —
+                        // cell i is empty.
+                        nonempty = false;
+                        break;
+                    }
+                    // shift <= -|e|: site i dominates j; no constraint.
+                    if let Some(c) = FocalCurve::new(e, shift) {
+                        curves.push(c);
+                    }
+                }
+                let arcs = if nonempty { envelope(&curves) } else { Vec::new() };
+                Cell {
+                    center: c_i,
+                    curves,
+                    arcs,
+                    nonempty,
+                }
+            })
+            .collect();
+        ApolloniusDiagram {
+            disks: disks.to_vec(),
+            cells,
+        }
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// `true` when there are no sites.
+    pub fn is_empty(&self) -> bool {
+        self.disks.is_empty()
+    }
+
+    /// Radial extent of cell `i` in direction `theta` (`+∞` when the cell is
+    /// unbounded in that direction, `None` when the cell is empty).
+    pub fn cell_radial(&self, i: usize, theta: f64) -> Option<f64> {
+        let cell = &self.cells[i];
+        if !cell.nonempty {
+            return None;
+        }
+        let theta = norm_angle(theta);
+        let idx = cell.arcs.partition_point(|a| a.a1 < theta);
+        match cell.arcs.get(idx) {
+            Some(arc) if arc.a0 <= theta => {
+                Some(cell.curves[arc.curve as usize].radial_or_inf(theta))
+            }
+            _ => Some(f64::INFINITY),
+        }
+    }
+
+    /// `true` iff `q` lies in the (closed) cell of site `i`, i.e. site `i`
+    /// minimizes `d(q, c_j) + r_j` (up to boundary ties).
+    pub fn cell_contains(&self, i: usize, q: Point) -> bool {
+        let cell = &self.cells[i];
+        if !cell.nonempty {
+            return false;
+        }
+        let v = q - cell.center;
+        let t = v.norm();
+        if t == 0.0 {
+            return true;
+        }
+        match self.cell_radial(i, v.angle()) {
+            Some(r) => t <= r,
+            None => false,
+        }
+    }
+
+    /// The weighted nearest site and `Δ(q) = min_i d(q, c_i) + r_i`, by
+    /// linear scan (the structural queries above are the point of this
+    /// type; use `DiskNonzeroIndex` for fast `Δ` queries).
+    pub fn weighted_nn(&self, q: Point) -> Option<(usize, f64)> {
+        self.disks
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (i, d.max_dist(q)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Total number of envelope arcs over all cells — proportional to the
+    /// diagram's edge count, which `[AB86]` bounds by `O(n)`.
+    pub fn total_arcs(&self) -> usize {
+        self.cells.iter().map(|c| c.arcs.len()).sum()
+    }
+
+    /// Number of empty cells (sites dominated by another site).
+    pub fn empty_cells(&self) -> usize {
+        self.cells.iter().filter(|c| !c.nonempty).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_disks(n: usize, seed: u64) -> Vec<Disk> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Disk::new(
+                    Point::new(rng.random_range(-40.0..40.0), rng.random_range(-40.0..40.0)),
+                    rng.random_range(0.2..3.0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn membership_matches_weighted_nn() {
+        let disks = random_disks(25, 900);
+        let ap = ApolloniusDiagram::build(&disks);
+        let mut rng = SmallRng::seed_from_u64(901);
+        for _ in 0..500 {
+            let q = Point::new(rng.random_range(-50.0..50.0), rng.random_range(-50.0..50.0));
+            let (winner, best) = ap.weighted_nn(q).unwrap();
+            // Skip near-ties (boundary membership is closed on both sides).
+            let second = disks
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != winner)
+                .map(|(_, d)| d.max_dist(q))
+                .fold(f64::INFINITY, f64::min);
+            if second - best < 1e-9 {
+                continue;
+            }
+            for i in 0..disks.len() {
+                assert_eq!(
+                    ap.cell_contains(i, q),
+                    i == winner,
+                    "q={q:?} i={i} winner={winner}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dominated_site_has_empty_cell() {
+        // A small disk deep inside a big one: the big disk's weighted
+        // distance d + R always wins... dominance means d(c_i,c_j) + r_j <=
+        // r_i: the small disk (with tiny radius) dominates the big one!
+        let disks = vec![
+            Disk::new(Point::new(0.0, 0.0), 5.0),
+            Disk::new(Point::new(0.5, 0.0), 0.5),
+        ];
+        let ap = ApolloniusDiagram::build(&disks);
+        // Site 1 (weight 0.5, at distance 0.5 from site 0's center) beats
+        // site 0 everywhere: d(q,c1) + 0.5 <= d(q,c0) + 0.5 + 0.5 <= …
+        // check: d(c0,c1) + r_1 = 1.0 <= r_0 = 5.0 -> cell 0 empty.
+        assert_eq!(ap.empty_cells(), 1);
+        assert!(!ap.cell_contains(0, Point::new(0.0, 0.0)));
+        assert!(ap.cell_contains(1, Point::new(100.0, 0.0)));
+    }
+
+    #[test]
+    fn equal_weights_reduce_to_voronoi() {
+        // Equal radii: the diagram is the ordinary Voronoi diagram of the
+        // centers; membership = plain nearest center.
+        let disks = random_disks(15, 902)
+            .into_iter()
+            .map(|d| Disk::new(d.center, 1.0))
+            .collect::<Vec<_>>();
+        let ap = ApolloniusDiagram::build(&disks);
+        let mut rng = SmallRng::seed_from_u64(903);
+        for _ in 0..200 {
+            let q = Point::new(rng.random_range(-50.0..50.0), rng.random_range(-50.0..50.0));
+            let nn = disks
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.center.dist(q).total_cmp(&b.1.center.dist(q)))
+                .unwrap()
+                .0;
+            assert!(ap.cell_contains(nn, q), "q = {q:?}");
+        }
+    }
+
+    #[test]
+    fn total_complexity_linearish() {
+        // [AB86]: the diagram has O(n) edges. Our per-cell envelopes can
+        // overcount (each edge appears in two cells) but the total should
+        // grow near-linearly, not quadratically.
+        let mut counts = Vec::new();
+        for &n in &[16usize, 32, 64, 128] {
+            let disks = random_disks(n, 904 + n as u64);
+            let ap = ApolloniusDiagram::build(&disks);
+            counts.push((n as f64, ap.total_arcs() as f64));
+        }
+        let slope = {
+            let pts: Vec<(f64, f64)> = counts.iter().map(|&(x, y)| (x.ln(), y.ln())).collect();
+            let n = pts.len() as f64;
+            let sx: f64 = pts.iter().map(|p| p.0).sum();
+            let sy: f64 = pts.iter().map(|p| p.1).sum();
+            let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+            let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+            (n * sxy - sx * sy) / (n * sxx - sx * sx)
+        };
+        assert!(slope < 1.5, "arc growth exponent {slope:.2} (expected ~1)");
+    }
+
+    #[test]
+    fn cells_cover_the_plane() {
+        // Every query belongs to at least one cell (ties on boundaries may
+        // put it in several).
+        let disks = random_disks(12, 905);
+        let ap = ApolloniusDiagram::build(&disks);
+        let mut rng = SmallRng::seed_from_u64(906);
+        for _ in 0..300 {
+            let q = Point::new(rng.random_range(-60.0..60.0), rng.random_range(-60.0..60.0));
+            assert!(
+                (0..disks.len()).any(|i| ap.cell_contains(i, q)),
+                "q = {q:?} in no cell"
+            );
+        }
+    }
+}

@@ -1,0 +1,479 @@
+//! The nonzero Voronoi diagram for discrete distributions (paper §2.2).
+//!
+//! With `P_i = {p_i1, …, p_ik}`, the paper linearizes distances through
+//! `f(x, p) = d²(x,p) − ‖x‖² = ‖p‖² − 2⟨x,p⟩` (Eq. 5, Lemma 2.12):
+//! `φ_i = min_a f(x, p_ia)` is concave piecewise-linear and
+//! `Φ_j = max_b f(x, p_jb)` convex piecewise-linear, so each *forbidden
+//! region*
+//!
+//! ```text
+//!     K_ij = { x : δ_i(x) >= Δ_j(x) } = { x : Φ_j(x) - φ_i(x) <= 0 }
+//! ```
+//!
+//! is the intersection of `k²` half-planes — a convex polygon whose boundary
+//! Lemma 2.13 bounds by `O(k)` vertices. `P_i ∈ NN≠0(q)` iff `q` avoids
+//! every `K_ij`.
+//!
+//! Vertices of `𝒱≠0` (Theorem 2.14) lie on boundaries of these polygons:
+//! crossings `∂K_iu ∩ ∂K_ju` (`δ_i = δ_j = Δ_u`), crossings
+//! `∂K_ij ∩ ∂K_ik` and polygon corners (breakpoints of `γ_i`); all are
+//! enumerated exactly by segment intersection plus validation against
+//! `Δ(x) = min_u Δ_u(x)`.
+
+use unn_geom::hull::{farthest_dist, nearest_dist};
+use unn_geom::polygon::ConvexPolygon;
+use unn_geom::segment::{Line, SegIntersection};
+use unn_geom::{Aabb, Point};
+
+/// The forbidden region `K_ij = { x : δ_i(x) >= Δ_j(x) }` for discrete
+/// supports `p_i` (of `P_i`) and `p_j` (of `P_j`), clipped to `universe`.
+///
+/// The half-plane for locations `a ∈ P_j`, `b ∈ P_i` is
+/// `⟨x, 2(p_b - p_a)⟩ <= ‖p_b‖² - ‖p_a‖²` (i.e. `f(x, p_a) <= f(x, p_b)`).
+pub fn forbidden_region(p_i: &[Point], p_j: &[Point], universe: &Aabb) -> ConvexPolygon {
+    let mut lines = Vec::with_capacity(p_i.len() * p_j.len());
+    for a in p_j {
+        for b in p_i {
+            // f(x, a) - f(x, b) <= 0  <=>  n·x - c <= 0 with:
+            let n = 2.0 * (*b - *a);
+            let c = b.to_vector().norm2() - a.to_vector().norm2();
+            lines.push(Line { n, c });
+        }
+    }
+    ConvexPolygon::halfplane_intersection(&lines, universe)
+}
+
+/// A vertex of the discrete-case `𝒱≠0` with the realizing index triple.
+#[derive(Clone, Copy, Debug)]
+pub struct DiscreteVertex {
+    /// Location.
+    pub point: Point,
+    /// `(i, j, u)` — for crossings `δ_i = δ_j = Δ_u`; for breakpoints
+    /// `δ_i = Δ_j = Δ_u` (then `j < u`); for polygon corners `j == u`.
+    pub triple: (u32, u32, u32),
+}
+
+/// Exactly enumerates the vertices of `𝒱≠0(𝒫)` for discrete supports
+/// (Theorem 2.14: `O(kn³)` in the worst case).
+///
+/// `universe` bounds the region of interest (vertices outside are ignored,
+/// matching the subdivision builder); `tol_rel` scales the envelope
+/// validation tolerance.
+#[allow(clippy::needless_range_loop)] // triple loops index the region matrix
+pub fn discrete_nonzero_vertices(
+    objects: &[Vec<Point>],
+    universe: &Aabb,
+    tol_rel: f64,
+) -> Vec<DiscreteVertex> {
+    let n = objects.len();
+    let mut out = Vec::new();
+    if n < 2 {
+        return out;
+    }
+    let scale = objects
+        .iter()
+        .flat_map(|o| o.iter())
+        .map(|p| p.to_vector().norm())
+        .fold(1.0f64, f64::max);
+    let tol = tol_rel * scale;
+
+    // Envelope value Delta(x) = min_u Delta_u(x), brute force (enumeration
+    // dominates the validation cost anyway).
+    let cap = |x: Point, u: usize| farthest_dist(&objects[u], x);
+    let cap_min = |x: Point| -> f64 {
+        (0..n).map(|u| cap(x, u)).fold(f64::INFINITY, f64::min)
+    };
+    let delta = |x: Point, i: usize| nearest_dist(&objects[i], x);
+
+    // All K_ij polygons (i != j).
+    let mut regions: Vec<Vec<ConvexPolygon>> = vec![Vec::new(); n];
+    for i in 0..n {
+        regions[i] = (0..n)
+            .map(|j| {
+                if i == j {
+                    ConvexPolygon::empty()
+                } else {
+                    forbidden_region(&objects[i], &objects[j], universe)
+                }
+            })
+            .collect();
+    }
+
+    // Candidates on the universe boundary are clipping artifacts (the
+    // polygons are clipped to the universe), not diagram vertices.
+    let interior = universe.inflate(-tol.max(1e-9 * scale));
+    let mut push = |x: Point, i: usize, j: usize, u: usize, conds: &[(f64, f64)]| {
+        if !interior.contains(x) {
+            return;
+        }
+        let m = cap_min(x);
+        for &(lhs, rhs) in conds {
+            if (lhs - rhs).abs() > tol {
+                return;
+            }
+        }
+        // On the envelope: the realized cap must equal the global min.
+        let realized = conds[0].1;
+        if (realized - m).abs() > tol {
+            return;
+        }
+        out.push(DiscreteVertex {
+            point: x,
+            triple: (i as u32, j as u32, u as u32),
+        });
+    };
+
+    // (a) Crossings of gamma_i and gamma_j on the envelope piece of u:
+    // boundary(K_iu) x boundary(K_ju).
+    for u in 0..n {
+        for i in 0..n {
+            if i == u || regions[i][u].is_degenerate() {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if j == u || regions[j][u].is_degenerate() {
+                    continue;
+                }
+                let (a, b) = (&regions[i][u], &regions[j][u]);
+                if !a.bbox().intersects(&b.bbox()) {
+                    continue;
+                }
+                for ea in a.edges() {
+                    for eb in b.edges() {
+                        if let SegIntersection::Point(x) = ea.intersect(&eb) {
+                            push(
+                                x,
+                                i,
+                                j,
+                                u,
+                                &[
+                                    (delta(x, i), cap(x, u)),
+                                    (delta(x, j), cap(x, u)),
+                                ],
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // (b) Breakpoints of gamma_i: crossings boundary(K_ij) x boundary(K_iu)
+    // (delta_i = Delta_j = Delta_u) ...
+    for i in 0..n {
+        for j in 0..n {
+            if j == i || regions[i][j].is_degenerate() {
+                continue;
+            }
+            for u in (j + 1)..n {
+                if u == i || regions[i][u].is_degenerate() {
+                    continue;
+                }
+                let (a, b) = (&regions[i][j], &regions[i][u]);
+                if !a.bbox().intersects(&b.bbox()) {
+                    continue;
+                }
+                for ea in a.edges() {
+                    for eb in b.edges() {
+                        if let SegIntersection::Point(x) = ea.intersect(&eb) {
+                            push(
+                                x,
+                                i,
+                                j,
+                                u,
+                                &[
+                                    (delta(x, i), cap(x, j)),
+                                    (cap(x, j), cap(x, u)),
+                                ],
+                            );
+                        }
+                    }
+                }
+            }
+            // ... and (c) polygon corners of K_ij on the envelope (the curve
+            // gamma_ij bends where the active location pair changes).
+            for &x in regions[i][j].vertices() {
+                push(x, i, j, j, &[(delta(x, i), cap(x, j))]);
+            }
+        }
+    }
+    out
+}
+
+/// Collapses coincident vertices within `snap` and counts the rest.
+pub fn count_distinct_discrete(vertices: &[DiscreteVertex], snap: f64) -> usize {
+    let pts: Vec<crate::vertices::NonzeroVertex> = vertices
+        .iter()
+        .map(|v| crate::vertices::NonzeroVertex {
+            point: v.point,
+            kind: crate::vertices::VertexKind::Crossing { i: 0, j: 0, k: 0 },
+        })
+        .collect();
+    crate::vertices::count_distinct(&pts, snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn universe() -> Aabb {
+        Aabb::new(Point::new(-200.0, -200.0), Point::new(200.0, 200.0))
+    }
+
+    fn random_objects(n: usize, k: usize, seed: u64) -> Vec<Vec<Point>> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let cx: f64 = rng.random_range(-40.0..40.0);
+                let cy: f64 = rng.random_range(-40.0..40.0);
+                (0..k)
+                    .map(|_| {
+                        Point::new(
+                            cx + rng.random_range(-2.0..2.0),
+                            cy + rng.random_range(-2.0..2.0),
+                        )
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn forbidden_region_semantics() {
+        // Inside K_ij, delta_i >= Delta_j; outside, delta_i < Delta_j.
+        let objs = random_objects(2, 4, 110);
+        let k = forbidden_region(&objs[0], &objs[1], &universe());
+        let mut rng = SmallRng::seed_from_u64(111);
+        for _ in 0..500 {
+            let q = Point::new(rng.random_range(-60.0..60.0), rng.random_range(-60.0..60.0));
+            let inside = k.contains(q);
+            let di = nearest_dist(&objs[0], q);
+            let dj = farthest_dist(&objs[1], q);
+            if (di - dj).abs() < 1e-9 {
+                continue; // on the boundary
+            }
+            assert_eq!(inside, di >= dj, "q={q:?} di={di} dj={dj}");
+        }
+    }
+
+    #[test]
+    fn forbidden_region_boundary_size_linear_in_k() {
+        // Lemma 2.13: O(k) boundary vertices despite k^2 half-planes.
+        for k in [2usize, 4, 8, 16] {
+            let objs = random_objects(2, k, 112 + k as u64);
+            let poly = forbidden_region(&objs[0], &objs[1], &universe());
+            if !poly.is_degenerate() {
+                assert!(
+                    poly.len() <= 4 * k + 8,
+                    "k={k}: {} boundary vertices",
+                    poly.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn certain_points_reduce_to_halfplane() {
+        // k = 1: K_ij is the half-plane closer to p_j.
+        let p_i = vec![Point::new(0.0, 0.0)];
+        let p_j = vec![Point::new(4.0, 0.0)];
+        let k = forbidden_region(&p_i, &p_j, &universe());
+        assert!(k.contains(Point::new(10.0, 0.0)));
+        assert!(!k.contains(Point::new(1.0, 0.0)));
+        // Boundary is the bisector x = 2.
+        assert!(k.contains(Point::new(2.0, 50.0)));
+    }
+
+    #[test]
+    fn vertices_satisfy_equations() {
+        let objs = random_objects(6, 3, 113);
+        let verts = discrete_nonzero_vertices(&objs, &universe(), 1e-9);
+        assert!(!verts.is_empty());
+        for v in &verts {
+            // Each vertex is on the envelope: some delta_i equals the min
+            // cap within tolerance (checked inside push; re-verify the
+            // envelope property independently).
+            let m = (0..objs.len())
+                .map(|u| farthest_dist(&objs[u], v.point))
+                .fold(f64::INFINITY, f64::min);
+            let near_env = (0..objs.len())
+                .any(|i| (nearest_dist(&objs[i], v.point) - m).abs() < 1e-6 * (1.0 + m));
+            assert!(near_env, "vertex off the envelope: {v:?}");
+        }
+    }
+
+    #[test]
+    fn vertex_count_grows_with_k() {
+        // Theorem 2.14: complexity O(k n^3) — for fixed n, more locations
+        // per point means more vertices (on average).
+        let n = 5;
+        let c1 = {
+            let objs = random_objects(n, 1, 114);
+            discrete_nonzero_vertices(&objs, &universe(), 1e-9).len()
+        };
+        let c4 = {
+            let objs = random_objects(n, 4, 114);
+            discrete_nonzero_vertices(&objs, &universe(), 1e-9).len()
+        };
+        assert!(c4 >= c1, "k=1: {c1}, k=4: {c4}");
+    }
+
+    #[test]
+    fn k1_matches_continuous_vertex_semantics() {
+        // With k = 1 every uncertain point is certain: V!=0 degenerates to
+        // the standard Voronoi diagram, whose vertices are equidistant from
+        // three sites.
+        let objs = random_objects(7, 1, 115);
+        let verts = discrete_nonzero_vertices(&objs, &universe(), 1e-9);
+        for v in &verts {
+            let dists: Vec<f64> = objs.iter().map(|o| o[0].dist(v.point)).collect();
+            let min = dists.iter().copied().fold(f64::INFINITY, f64::min);
+            let ties = dists.iter().filter(|&&d| (d - min).abs() < 1e-6).count();
+            assert!(ties >= 3, "Voronoi vertex with only {ties} ties");
+        }
+    }
+}
+
+/// Point-location structure over the discrete-case `𝒱≠0(𝒫)`
+/// (Theorem 2.14's data structure).
+///
+/// Builds the arrangement of all forbidden-region boundaries `∂K_ij` (a
+/// refinement of `𝒱≠0`: every face of the refinement has a constant
+/// `NN≠0`), labels each face via the exact two-stage index, and answers
+/// queries by point location with an exact fallback outside the box.
+#[derive(Clone, Debug)]
+pub struct DiscreteNonzeroSubdivision {
+    arr: unn_geom::arrangement::Arrangement,
+    locator: unn_geom::arrangement::FaceLocator,
+    labels: Vec<Vec<u32>>,
+    bbox: Aabb,
+    fallback: crate::twostage::DiscreteNonzeroIndex,
+}
+
+impl DiscreteNonzeroSubdivision {
+    /// Builds the subdivision for queries inside `bbox`.
+    pub fn build(objects: &[Vec<Point>], bbox: Aabb) -> Self {
+        let fallback = crate::twostage::DiscreteNonzeroIndex::new(objects);
+        let n = objects.len();
+        let mut segments: Vec<unn_geom::Segment> = Vec::new();
+        let c = [
+            bbox.min,
+            Point::new(bbox.max.x, bbox.min.y),
+            bbox.max,
+            Point::new(bbox.min.x, bbox.max.y),
+        ];
+        for i in 0..4 {
+            segments.push(unn_geom::Segment::new(c[i], c[(i + 1) % 4]));
+        }
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let k = forbidden_region(&objects[i], &objects[j], &bbox);
+                for e in k.edges() {
+                    if e.length() > 0.0 {
+                        segments.push(e);
+                    }
+                }
+            }
+        }
+        let scale = bbox.width().max(bbox.height()).max(1.0);
+        let arr = unn_geom::arrangement::Arrangement::build(&segments, scale * 1e-12);
+        let labels: Vec<Vec<u32>> = (0..arr.num_faces())
+            .map(|fi| match arr.face_interior_point(fi) {
+                Some(p) => fallback.query(p).into_iter().map(|x| x as u32).collect(),
+                None => Vec::new(),
+            })
+            .collect();
+        let locator = unn_geom::arrangement::FaceLocator::build(&arr, 128);
+        DiscreteNonzeroSubdivision {
+            arr,
+            locator,
+            labels,
+            bbox,
+            fallback,
+        }
+    }
+
+    /// `NN≠0(q)` by point location; exact fallback outside the box.
+    pub fn query(&self, q: Point) -> Vec<usize> {
+        if self.bbox.contains(q) {
+            if let Some(fi) = self.locator.locate(&self.arr, q) {
+                return self.labels[fi].iter().map(|&x| x as usize).collect();
+            }
+        }
+        self.fallback.query(q)
+    }
+
+    /// Exact reference query.
+    pub fn query_exact(&self, q: Point) -> Vec<usize> {
+        self.fallback.query(q)
+    }
+
+    /// Number of faces in the refinement.
+    pub fn num_faces(&self) -> usize {
+        self.arr.num_faces()
+    }
+}
+
+#[cfg(test)]
+mod subdivision_tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn discrete_subdivision_matches_two_stage() {
+        let mut rng = SmallRng::seed_from_u64(1000);
+        let objects: Vec<Vec<Point>> = (0..8)
+            .map(|_| {
+                let cx: f64 = rng.random_range(-20.0..20.0);
+                let cy: f64 = rng.random_range(-20.0..20.0);
+                (0..3)
+                    .map(|_| {
+                        Point::new(
+                            cx + rng.random_range(-3.0..3.0),
+                            cy + rng.random_range(-3.0..3.0),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let bbox = Aabb::new(Point::new(-40.0, -40.0), Point::new(40.0, 40.0));
+        let sub = DiscreteNonzeroSubdivision::build(&objects, bbox);
+        assert!(sub.num_faces() > 1);
+        let mut agree = 0;
+        let trials = 500;
+        for _ in 0..trials {
+            let q = Point::new(rng.random_range(-38.0..38.0), rng.random_range(-38.0..38.0));
+            if sub.query(q) == sub.query_exact(q) {
+                agree += 1;
+            }
+        }
+        // Bisector-exact segments: mismatches only on measure-zero edges.
+        assert!(agree >= trials - 5, "{agree}/{trials}");
+        // Outside the box: fallback.
+        let far = Point::new(500.0, 0.0);
+        assert_eq!(sub.query(far), sub.query_exact(far));
+    }
+
+    #[test]
+    fn k1_subdivision_is_voronoi() {
+        // Certain points: the subdivision's labeled faces form the ordinary
+        // Voronoi diagram (each face labeled by its single nearest site).
+        let pts = [
+            Point::new(-5.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(0.0, 6.0),
+        ];
+        let objects: Vec<Vec<Point>> = pts.iter().map(|&p| vec![p]).collect();
+        let bbox = Aabb::new(Point::new(-20.0, -20.0), Point::new(20.0, 20.0));
+        let sub = DiscreteNonzeroSubdivision::build(&objects, bbox);
+        for (i, &p) in pts.iter().enumerate() {
+            assert_eq!(sub.query(p), vec![i]);
+        }
+    }
+}

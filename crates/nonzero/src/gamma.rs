@@ -1,0 +1,526 @@
+//! The curves `γ_i` of the nonzero Voronoi diagram (disk case, §2.1).
+//!
+//! For uncertain points with disk supports `D_j = (c_j, r_j)`, the region
+//! where `P_i ∈ NN≠0(q)` is `{ q : δ_i(q) < Δ(q) }`, bounded by the curve
+//! `γ_i = { q : δ_i(q) = Δ(q) }`. Viewed in polar coordinates around `c_i`,
+//! each constraint `δ_i = Δ_j` is a rational radial function
+//! ([`FocalCurve::gamma`]), `δ_i(x) - Δ_j(x)` is monotone along each ray, and
+//! therefore
+//!
+//! * the region is **star-shaped around `c_i`**, with radial boundary
+//!   function `γ_i(θ) = min_j γ_ij(θ)` — the *lower envelope* of at most
+//!   `n-1` partial curves, each pair crossing at most twice;
+//! * Lemma 2.2: the envelope has `O(n)` breakpoints and is computable in
+//!   `O(n log n)` time (divide-and-conquer merge, Davenport–Schinzel order 2).
+//!
+//! [`GammaCurve`] computes and stores this envelope, answers membership
+//! (`δ_i(q) < Δ(q)` in `O(log n)`), enumerates breakpoints, and produces an
+//! adaptive polygonalization for the subdivision builder.
+
+use core::f64::consts::TAU;
+use unn_geom::angle::norm_angle;
+use unn_geom::{Disk, FocalCurve, Point, Vector};
+
+/// One arc of the lower envelope: curve `curve` is active on `[a0, a1]`.
+#[derive(Clone, Copy, Debug)]
+pub struct EnvArc {
+    /// Start angle in `[0, 2π)`.
+    pub a0: f64,
+    /// End angle in `(a0, 2π]`.
+    pub a1: f64,
+    /// Local index into the curve list.
+    pub curve: u32,
+}
+
+/// The boundary `γ_i` of uncertain point `i`'s nonzero region, as a radial
+/// envelope around the disk center.
+#[derive(Clone, Debug)]
+pub struct GammaCurve {
+    /// Center of the defining disk `D_i` (polar origin).
+    pub center: Point,
+    curves: Vec<FocalCurve>,
+    /// Original index `j` of each curve (the disk realizing `Δ_j`).
+    labels: Vec<u32>,
+    /// Envelope arcs sorted by `a0`; gaps mean `γ_i(θ) = +∞`.
+    arcs: Vec<EnvArc>,
+}
+
+impl GammaCurve {
+    /// Builds `γ_i` for disk `i` against all other disks.
+    ///
+    /// `disks[i]` is the defining disk; curves against disks whose `γ_ij` is
+    /// empty (overlapping supports) are skipped, per Lemma 2.1.
+    pub fn build(disks: &[Disk], i: usize) -> Self {
+        let d_i = disks[i];
+        let mut curves = Vec::with_capacity(disks.len() - 1);
+        let mut labels = Vec::with_capacity(disks.len() - 1);
+        for (j, d_j) in disks.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            if let Some(c) = FocalCurve::gamma(d_i.center, d_i.radius, d_j.center, d_j.radius) {
+                curves.push(c);
+                labels.push(j as u32);
+            }
+        }
+        let arcs = envelope(&curves);
+        GammaCurve {
+            center: d_i.center,
+            curves,
+            labels,
+            arcs,
+        }
+    }
+
+    /// Radial boundary value `γ_i(θ)`, `+∞` where unconstrained.
+    pub fn radial(&self, theta: f64) -> f64 {
+        let theta = norm_angle(theta);
+        match self.find_arc(theta) {
+            Some(arc) => self.curves[arc.curve as usize].radial_or_inf(theta),
+            None => f64::INFINITY,
+        }
+    }
+
+    /// The original index `j` of the disk whose `Δ_j` realizes the envelope
+    /// at `theta`, or `None` where the envelope is infinite.
+    pub fn active_label(&self, theta: f64) -> Option<u32> {
+        let theta = norm_angle(theta);
+        self.find_arc(theta).map(|a| self.labels[a.curve as usize])
+    }
+
+    fn find_arc(&self, theta: f64) -> Option<&EnvArc> {
+        let idx = self.arcs.partition_point(|a| a.a1 < theta);
+        let arc = self.arcs.get(idx)?;
+        (arc.a0 <= theta).then_some(arc)
+    }
+
+    /// `true` iff `q` lies strictly inside the region `δ_i(q) < Δ(q)`
+    /// (equivalently `P_i ∈ NN≠0(q)`, Lemma 2.1 and Eq. 4).
+    pub fn contains(&self, q: Point) -> bool {
+        let v = q - self.center;
+        let t = v.norm();
+        if t == 0.0 {
+            return true;
+        }
+        t < self.radial(v.angle())
+    }
+
+    /// Envelope arcs.
+    pub fn arcs(&self) -> &[EnvArc] {
+        &self.arcs
+    }
+
+    /// Number of envelope arcs — Lemma 2.2 bounds the breakpoint count (and
+    /// hence the arc count, up to the wrap-around split) by `2n`.
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Breakpoint positions: the plane points where the envelope switches
+    /// curves (these are `𝒱≠0` vertex candidates of "breakpoint" type).
+    pub fn breakpoint_points(&self) -> Vec<Point> {
+        let mut out = Vec::new();
+        for w in self.arcs.windows(2) {
+            if (w[0].a1 - w[1].a0).abs() < 1e-12 && w[0].curve != w[1].curve {
+                let theta = w[0].a1;
+                let t = self.curves[w[0].curve as usize].radial_or_inf(theta);
+                if t.is_finite() {
+                    out.push(self.center + Vector::from_angle(theta) * t);
+                }
+            }
+        }
+        out
+    }
+
+    /// Adaptive polygonalization of the curve, as a list of polylines (the
+    /// curve may be disconnected or partially beyond `r_max`).
+    ///
+    /// Points farther than `r_max` from the center are omitted (the
+    /// subdivision builder passes an `r_max` that covers its bounding box, so
+    /// omitted parts never affect queries inside the box). `tol` bounds the
+    /// chord-to-curve deviation.
+    pub fn polylines(&self, tol: f64, r_max: f64) -> Vec<Vec<Point>> {
+        let mut out: Vec<Vec<Point>> = Vec::new();
+        let mut cur: Vec<Point> = Vec::new();
+        let mut last_angle: Option<f64> = None;
+        for arc in &self.arcs {
+            let curve = &self.curves[arc.curve as usize];
+            // New polyline if there is an angular gap before this arc.
+            if let Some(la) = last_angle {
+                if (arc.a0 - la).abs() > 1e-9 && !cur.is_empty() {
+                    out.push(core::mem::take(&mut cur));
+                }
+            }
+            self.sample_arc(curve, arc.a0, arc.a1, tol, r_max, &mut cur, &mut out);
+            last_angle = Some(arc.a1);
+        }
+        if !cur.is_empty() {
+            out.push(cur);
+        }
+        out.retain(|p| p.len() >= 2);
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn sample_arc(
+        &self,
+        curve: &FocalCurve,
+        a0: f64,
+        a1: f64,
+        tol: f64,
+        r_max: f64,
+        cur: &mut Vec<Point>,
+        out: &mut Vec<Vec<Point>>,
+    ) {
+        // Uniform refinement by curvature proxy: subdivide until the chord
+        // midpoint deviation is below tol, capping recursion.
+        let eval = |theta: f64| -> Option<Point> {
+            let t = curve.radial_or_inf(theta);
+            (t.is_finite() && t <= r_max)
+                .then(|| self.center + Vector::from_angle(theta) * t)
+        };
+        let mut samples: Vec<(f64, Option<Point>)> = Vec::new();
+        // Generate an ordered sample list by in-order traversal.
+        fn rec(
+            eval: &dyn Fn(f64) -> Option<Point>,
+            t0: f64,
+            t1: f64,
+            depth: u32,
+            tol: f64,
+            samples: &mut Vec<(f64, Option<Point>)>,
+        ) {
+            let p0 = eval(t0);
+            let p1 = eval(t1);
+            let tm = 0.5 * (t0 + t1);
+            let pm = eval(tm);
+            let flat = match (p0, pm, p1) {
+                (Some(a), Some(m), Some(b)) => {
+                    unn_geom::Segment::new(a, b).dist2_to_point(m) <= tol * tol
+                }
+                (None, None, None) => true,
+                _ => false,
+            };
+            if depth >= 16 || (flat && depth >= 3) {
+                samples.push((t0, p0));
+                return;
+            }
+            rec(eval, t0, tm, depth + 1, tol, samples);
+            rec(eval, tm, t1, depth + 1, tol, samples);
+        }
+        rec(&eval, a0, a1, 0, tol, &mut samples);
+        samples.push((a1, eval(a1)));
+        for (_, p) in samples {
+            match p {
+                Some(pt) => cur.push(pt),
+                None => {
+                    if !cur.is_empty() {
+                        out.push(core::mem::take(cur));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Lower envelope of partial radial curves over `[0, 2π)`.
+///
+/// Divide-and-conquer merge; each pairwise merge resolves crossings with the
+/// closed-form [`FocalCurve::intersect_angles`].
+pub fn envelope(curves: &[FocalCurve]) -> Vec<EnvArc> {
+    let ids: Vec<u32> = (0..curves.len() as u32).collect();
+    env_rec(curves, &ids)
+}
+
+fn env_rec(curves: &[FocalCurve], ids: &[u32]) -> Vec<EnvArc> {
+    match ids.len() {
+        0 => Vec::new(),
+        1 => single_curve_arcs(curves, ids[0]),
+        _ => {
+            let (l, r) = ids.split_at(ids.len() / 2);
+            let a = env_rec(curves, l);
+            let b = env_rec(curves, r);
+            merge_envelopes(curves, &a, &b)
+        }
+    }
+}
+
+fn single_curve_arcs(curves: &[FocalCurve], id: u32) -> Vec<EnvArc> {
+    let w = curves[id as usize].window();
+    if w.is_full() {
+        return vec![EnvArc {
+            a0: 0.0,
+            a1: TAU,
+            curve: id,
+        }];
+    }
+    let a0 = w.start;
+    let a1 = a0 + w.extent;
+    if a1 <= TAU {
+        vec![EnvArc { a0, a1, curve: id }]
+    } else {
+        // Wraps: split at 2π.
+        vec![
+            EnvArc {
+                a0: 0.0,
+                a1: a1 - TAU,
+                curve: id,
+            },
+            EnvArc {
+                a0,
+                a1: TAU,
+                curve: id,
+            },
+        ]
+    }
+}
+
+fn active_at(arcs: &[EnvArc], theta: f64) -> Option<u32> {
+    let idx = arcs.partition_point(|a| a.a1 < theta);
+    arcs.get(idx)
+        .filter(|a| a.a0 <= theta)
+        .map(|a| a.curve)
+}
+
+fn merge_envelopes(curves: &[FocalCurve], a: &[EnvArc], b: &[EnvArc]) -> Vec<EnvArc> {
+    // Elementary intervals from all arc endpoints.
+    let mut cuts: Vec<f64> = Vec::with_capacity(2 * (a.len() + b.len()) + 2);
+    cuts.push(0.0);
+    cuts.push(TAU);
+    for arc in a.iter().chain(b) {
+        cuts.push(arc.a0);
+        cuts.push(arc.a1);
+    }
+    cuts.sort_by(f64::total_cmp);
+    cuts.dedup_by(|x, y| (*x - *y).abs() < 1e-13);
+
+    let mut out: Vec<EnvArc> = Vec::new();
+    let mut push = |a0: f64, a1: f64, curve: u32| {
+        if a1 - a0 < 1e-13 {
+            return;
+        }
+        if let Some(last) = out.last_mut() {
+            if last.curve == curve && (last.a1 - a0).abs() < 1e-13 {
+                last.a1 = a1;
+                return;
+            }
+        }
+        out.push(EnvArc { a0, a1, curve });
+    };
+
+    for w in cuts.windows(2) {
+        let (t0, t1) = (w[0], w[1]);
+        if t1 - t0 < 1e-13 {
+            continue;
+        }
+        let mid = 0.5 * (t0 + t1);
+        let ca = active_at(a, mid);
+        let cb = active_at(b, mid);
+        match (ca, cb) {
+            (None, None) => {}
+            (Some(c), None) | (None, Some(c)) => push(t0, t1, c),
+            (Some(c1), Some(c2)) => {
+                let f1 = &curves[c1 as usize];
+                let f2 = &curves[c2 as usize];
+                // Crossings strictly inside the interval.
+                let mut xs: Vec<f64> = f1
+                    .intersect_angles(f2)
+                    .into_iter()
+                    .map(norm_angle)
+                    .filter(|&x| x > t0 + 1e-13 && x < t1 - 1e-13)
+                    .collect();
+                xs.sort_by(f64::total_cmp);
+                xs.push(t1);
+                let mut lo = t0;
+                for hi in xs {
+                    let m = 0.5 * (lo + hi);
+                    let winner = if f1.radial_or_inf(m) <= f2.radial_or_inf(m) {
+                        c1
+                    } else {
+                        c2
+                    };
+                    push(lo, hi, winner);
+                    lo = hi;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn disk(x: f64, y: f64, r: f64) -> Disk {
+        Disk::new(Point::new(x, y), r)
+    }
+
+    /// Brute-force membership: delta_i(q) < min_j Delta_j(q).
+    fn contains_brute(disks: &[Disk], i: usize, q: Point) -> bool {
+        let delta_i = disks[i].min_dist(q);
+        disks
+            .iter()
+            .enumerate()
+            .all(|(j, d)| j == i || delta_i < d.max_dist(q))
+    }
+
+    fn random_disks(n: usize, seed: u64) -> Vec<Disk> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                disk(
+                    rng.random_range(-50.0..50.0),
+                    rng.random_range(-50.0..50.0),
+                    rng.random_range(0.5..6.0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_disk_envelope_matches_direct_curve() {
+        let disks = [disk(0.0, 0.0, 1.0), disk(10.0, 0.0, 2.0)];
+        let g = GammaCurve::build(&disks, 0);
+        // Single curve: envelope = that curve's window.
+        let f = FocalCurve::gamma(disks[0].center, 1.0, disks[1].center, 2.0).unwrap();
+        for k in 0..64 {
+            let theta = k as f64 * TAU / 64.0;
+            let want = f.radial_or_inf(theta);
+            let got = g.radial(theta);
+            if want.is_finite() {
+                assert!((got - want).abs() < 1e-9, "theta={theta}");
+            } else {
+                assert!(got.is_infinite());
+            }
+        }
+    }
+
+    #[test]
+    fn membership_matches_brute_force() {
+        for seed in 50..54 {
+            let disks = random_disks(12, seed);
+            let gammas: Vec<GammaCurve> =
+                (0..disks.len()).map(|i| GammaCurve::build(&disks, i)).collect();
+            let mut rng = SmallRng::seed_from_u64(seed + 100);
+            for _ in 0..400 {
+                let q = Point::new(rng.random_range(-80.0..80.0), rng.random_range(-80.0..80.0));
+                for i in 0..disks.len() {
+                    let got = gammas[i].contains(q);
+                    let want = contains_brute(&disks, i, q);
+                    // Skip points essentially on the boundary.
+                    let delta_i = disks[i].min_dist(q);
+                    let min_max = disks
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != i)
+                        .map(|(_, d)| d.max_dist(q))
+                        .fold(f64::INFINITY, f64::min);
+                    if (delta_i - min_max).abs() < 1e-9 {
+                        continue;
+                    }
+                    assert_eq!(got, want, "seed={seed} i={i} q={q:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn breakpoints_linear_in_n() {
+        // Lemma 2.2: gamma_i has at most 2n breakpoints.
+        for n in [4, 8, 16, 32] {
+            let disks = random_disks(n, n as u64);
+            let g = GammaCurve::build(&disks, 0);
+            assert!(
+                g.arcs().len() <= 2 * n + 2,
+                "n={n}: {} arcs",
+                g.arcs().len()
+            );
+        }
+    }
+
+    #[test]
+    fn breakpoint_points_equidistant() {
+        // At a breakpoint, delta_i equals Delta for two different j's.
+        let disks = random_disks(10, 60);
+        let g = GammaCurve::build(&disks, 0);
+        for bp in g.breakpoint_points() {
+            let delta_0 = disks[0].min_dist(bp);
+            let min_max = disks
+                .iter()
+                .skip(1)
+                .map(|d| d.max_dist(bp))
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                (delta_0 - min_max).abs() < 1e-6 * (1.0 + delta_0),
+                "breakpoint not on gamma: {delta_0} vs {min_max}"
+            );
+            // Two distinct disks realize the min within tolerance.
+            let near: usize = disks
+                .iter()
+                .skip(1)
+                .filter(|d| (d.max_dist(bp) - min_max).abs() < 1e-6 * (1.0 + min_max))
+                .count();
+            assert!(near >= 2, "breakpoint realized by {near} disks");
+        }
+    }
+
+    #[test]
+    fn overlapping_disks_unconstrained() {
+        // All disks overlap disk 0: gamma_0 is empty, region is the plane.
+        let disks = [disk(0.0, 0.0, 5.0), disk(1.0, 0.0, 5.0), disk(0.0, 1.0, 5.0)];
+        let g = GammaCurve::build(&disks, 0);
+        assert!(g.arcs().is_empty());
+        assert!(g.contains(Point::new(1000.0, 1000.0)));
+    }
+
+    #[test]
+    fn polylines_lie_on_curve() {
+        let disks = random_disks(8, 61);
+        let g = GammaCurve::build(&disks, 0);
+        let polys = g.polylines(1e-4, 1e4);
+        let mut checked = 0;
+        for poly in &polys {
+            for p in poly {
+                let delta_0 = disks[0].min_dist(*p);
+                let min_max = disks
+                    .iter()
+                    .skip(1)
+                    .map(|d| d.max_dist(*p))
+                    .fold(f64::INFINITY, f64::min);
+                assert!(
+                    (delta_0 - min_max).abs() < 1e-6 * (1.0 + delta_0),
+                    "polyline point off curve: {} vs {}",
+                    delta_0,
+                    min_max
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "no polyline points generated");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_membership_agrees(
+            seed in 0u64..500,
+            qx in -80.0f64..80.0, qy in -80.0f64..80.0,
+        ) {
+            let disks = random_disks(9, seed);
+            let q = Point::new(qx, qy);
+            for i in 0..disks.len() {
+                let g = GammaCurve::build(&disks, i);
+                let delta_i = disks[i].min_dist(q);
+                let min_max = disks.iter().enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, d)| d.max_dist(q))
+                    .fold(f64::INFINITY, f64::min);
+                prop_assume!((delta_i - min_max).abs() > 1e-9);
+                prop_assert_eq!(g.contains(q), contains_brute(&disks, i, q), "i={}", i);
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! The guaranteed Voronoi diagram (`[SE08]`, discussed in the paper's §1.2).
+//!
+//! `P_i` is the *guaranteed* nearest neighbor of `q` when it is the NN in
+//! every instantiation: `Δ_i(q) < δ_j(q)` for all `j ≠ i` — equivalently,
+//! `NN≠0(q) = {P_i}`. The cells of the guaranteed Voronoi diagram are
+//! exactly the singleton cells of `𝒱≠0(𝒫)`, and `[SE08]` shows their total
+//! complexity is only `O(n)` (in contrast to the `Θ(n³)` of the full
+//! diagram); inside such a cell `π_i(q) = 1`.
+//!
+//! Queries reuse the two-stage machinery: stage 1 finds the *minimizer* of
+//! `Δ`, stage 2 verifies no other support comes closer.
+
+use unn_geom::{Disk, Point};
+use unn_spatial::KdTree;
+
+/// Index answering guaranteed-NN queries over disk supports.
+#[derive(Clone, Debug)]
+pub struct GuaranteedNnIndex {
+    disks: Vec<Disk>,
+    /// Tree over centers with aux = radius (same layout as the two-stage
+    /// `NN≠0` index: stage-2 pruning uses `δ_i >= d(q, c_i) - r_i`).
+    tree: KdTree,
+}
+
+impl GuaranteedNnIndex {
+    /// Builds the index.
+    pub fn new(disks: &[Disk]) -> Self {
+        let centers: Vec<Point> = disks.iter().map(|d| d.center).collect();
+        let radii: Vec<f64> = disks.iter().map(|d| d.radius).collect();
+        GuaranteedNnIndex {
+            disks: disks.to_vec(),
+            tree: KdTree::with_aux(&centers, &radii),
+        }
+    }
+
+    /// Number of uncertain points.
+    pub fn len(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.disks.is_empty()
+    }
+
+    /// The guaranteed nearest neighbor of `q`, if one exists: the unique
+    /// `i` with `Δ_i(q) < δ_j(q)` for every `j ≠ i`.
+    pub fn guaranteed_nn(&self, q: Point) -> Option<usize> {
+        let disks = &self.disks;
+        // Candidate: only the Δ-minimizer can be guaranteed.
+        let (best, cap) = self.tree.min_adjusted(q, &|i| disks[i].max_dist(q))?;
+        // Verify: no other disk's minimum distance is <= cap.
+        let mut violated = false;
+        // Threshold just above cap so that exact ties (δ_j == cap) are
+        // reported and counted as violations, matching the strict
+        // `Δ_i < δ_j` definition.
+        self.tree.report_adjusted_below(
+            q,
+            cap.next_up(),
+            &|i| disks[i].min_dist(q),
+            &mut |i, v| {
+                if i != best && v <= cap {
+                    violated = true;
+                }
+            },
+        );
+        (!violated).then_some(best)
+    }
+
+    /// Reference linear-scan implementation.
+    pub fn guaranteed_nn_naive(&self, q: Point) -> Option<usize> {
+        let n = self.disks.len();
+        (0..n).find(|&i| {
+            let cap = self.disks[i].max_dist(q);
+            (0..n).all(|j| j == i || self.disks[j].min_dist(q) > cap)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::twostage::DiskNonzeroIndex;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_disks(n: usize, seed: u64) -> Vec<Disk> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Disk::new(
+                    Point::new(rng.random_range(-40.0..40.0), rng.random_range(-40.0..40.0)),
+                    rng.random_range(0.3..2.0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_and_singleton_nonzero() {
+        let disks = random_disks(40, 500);
+        let gidx = GuaranteedNnIndex::new(&disks);
+        let nidx = DiskNonzeroIndex::new(&disks);
+        let mut rng = SmallRng::seed_from_u64(501);
+        let mut guaranteed_hits = 0;
+        for _ in 0..500 {
+            let q = Point::new(rng.random_range(-50.0..50.0), rng.random_range(-50.0..50.0));
+            let g = gidx.guaranteed_nn(q);
+            assert_eq!(g, gidx.guaranteed_nn_naive(q), "q = {q:?}");
+            // Guaranteed <=> singleton NN!=0 (strict inequalities on both
+            // sides; ties are measure-zero for random queries).
+            let nz = nidx.query(q);
+            match g {
+                Some(i) => {
+                    assert_eq!(nz, vec![i], "q = {q:?}");
+                    guaranteed_hits += 1;
+                }
+                None => assert!(nz.len() != 1 || {
+                    // A singleton cell with delta_j == cap exactly — accept.
+                    let i = nz[0];
+                    let cap = disks[i].max_dist(q);
+                    disks
+                        .iter()
+                        .enumerate()
+                        .any(|(j, d)| j != i && (d.min_dist(q) - cap).abs() < 1e-12)
+                }),
+            }
+        }
+        // Sparse disks: most queries should have a guaranteed NN.
+        assert!(guaranteed_hits > 300, "only {guaranteed_hits} guaranteed");
+    }
+
+    #[test]
+    fn overlapping_disks_never_guaranteed() {
+        // Two overlapping disks: no query has a guaranteed NN among them
+        // when both are candidates.
+        let disks = vec![
+            Disk::new(Point::new(0.0, 0.0), 2.0),
+            Disk::new(Point::new(1.0, 0.0), 2.0),
+        ];
+        let idx = GuaranteedNnIndex::new(&disks);
+        for x in [-5.0, -1.0, 0.5, 2.0, 6.0] {
+            assert_eq!(idx.guaranteed_nn(Point::new(x, 0.0)), None, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn far_query_guarantees_nothing_between_equals() {
+        // Symmetric pair, query on the bisector: never guaranteed.
+        let disks = vec![
+            Disk::new(Point::new(-5.0, 0.0), 1.0),
+            Disk::new(Point::new(5.0, 0.0), 1.0),
+        ];
+        let idx = GuaranteedNnIndex::new(&disks);
+        assert_eq!(idx.guaranteed_nn(Point::new(0.0, 3.0)), None);
+        // Close to one disk: guaranteed.
+        assert_eq!(idx.guaranteed_nn(Point::new(-5.0, 0.5)), Some(0));
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(GuaranteedNnIndex::new(&[]).guaranteed_nn(Point::ORIGIN), None);
+        let one = GuaranteedNnIndex::new(&[Disk::new(Point::ORIGIN, 1.0)]);
+        assert_eq!(one.guaranteed_nn(Point::new(9.0, 0.0)), Some(0));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_guaranteed_matches_naive(
+            seed in 0u64..2000, qx in -50.0f64..50.0, qy in -50.0f64..50.0,
+        ) {
+            let disks = random_disks(15, seed);
+            let idx = GuaranteedNnIndex::new(&disks);
+            let q = Point::new(qx, qy);
+            prop_assert_eq!(idx.guaranteed_nn(q), idx.guaranteed_nn_naive(q));
+        }
+    }
+}

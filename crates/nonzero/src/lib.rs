@@ -1,0 +1,30 @@
+//! # unn-nonzero — nonzero Voronoi diagrams and NN≠0 queries
+//!
+//! The paper's §2–3: given uncertain points with disk or discrete supports,
+//! find all points with nonzero probability of being the nearest neighbor of
+//! a query, and build/analyze the nonzero Voronoi diagram `𝒱≠0(𝒫)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apollonius;
+pub mod branchprune;
+pub mod discrete;
+pub mod gamma;
+pub mod guaranteed;
+pub mod linf;
+pub mod lower_bounds;
+pub mod subdivision;
+pub mod twostage;
+pub mod vertices;
+
+pub use apollonius::ApolloniusDiagram;
+pub use branchprune::BranchPruneIndex;
+pub use discrete::{count_distinct_discrete, discrete_nonzero_vertices, forbidden_region, DiscreteNonzeroSubdivision, DiscreteVertex};
+pub use gamma::{envelope, EnvArc, GammaCurve};
+pub use guaranteed::GuaranteedNnIndex;
+pub use linf::{l1_dist, linf_dist, linf_max_dist, linf_min_dist, LinfNonzeroIndex};
+pub use subdivision::{NonzeroSubdivision, SubdivisionStats};
+pub use twostage::{DiskNonzeroIndex, DiscreteNonzeroIndex};
+pub use lower_bounds::{collinear_quadratic, disjoint_disks, equal_radii_cubic, mixed_radii_cubic, LowerBoundInstance};
+pub use vertices::{count_distinct, nonzero_vertices, NonzeroVertex, VertexKind};

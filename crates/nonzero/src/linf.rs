@@ -1,0 +1,305 @@
+//! `NN≠0` queries under the `L∞` and `L1` metrics (paper §3, remark (ii)).
+//!
+//! The paper notes that with `L1`/`L∞` distances and `L1`/`L∞` "disks"
+//! (diamonds / axis-aligned squares), the two-stage structure carries over:
+//! stage 1 computes `Δ(q)` under the metric, stage 2 reports axis-aligned
+//! squares intersecting a query square. Here supports are arbitrary
+//! axis-aligned rectangles; `L1` reduces to `L∞` by the rotation
+//! `(x, y) ↦ (x + y, x − y)`, which maps diamonds to squares and `L1`
+//! distances to `L∞` distances exactly.
+//!
+//! Pruning piggybacks on the Euclidean kd-tree via the norm inequalities
+//! `d∞ ≤ d2 ≤ √2·d∞`: searching with the scaled evaluation `√2·δ∞` keeps
+//! every kd bound sound (see the comments in [`LinfNonzeroIndex::query`]).
+
+use unn_geom::{Aabb, Point};
+use unn_spatial::KdTree;
+
+const SQRT2: f64 = std::f64::consts::SQRT_2;
+
+/// Chebyshev (`L∞`) distance between points.
+#[inline]
+pub fn linf_dist(a: Point, b: Point) -> f64 {
+    (a.x - b.x).abs().max((a.y - b.y).abs())
+}
+
+/// Minimum `L∞` distance from `q` to a closed rectangle.
+#[inline]
+pub fn linf_min_dist(rect: &Aabb, q: Point) -> f64 {
+    let dx = (rect.min.x - q.x).max(0.0).max(q.x - rect.max.x);
+    let dy = (rect.min.y - q.y).max(0.0).max(q.y - rect.max.y);
+    dx.max(dy)
+}
+
+/// Maximum `L∞` distance from `q` to a closed rectangle (attained at a
+/// corner).
+#[inline]
+pub fn linf_max_dist(rect: &Aabb, q: Point) -> f64 {
+    let dx = (q.x - rect.min.x).abs().max((q.x - rect.max.x).abs());
+    let dy = (q.y - rect.min.y).abs().max((q.y - rect.max.y).abs());
+    dx.max(dy)
+}
+
+/// `L1` (Manhattan) distance between points.
+#[inline]
+pub fn l1_dist(a: Point, b: Point) -> f64 {
+    (a.x - b.x).abs() + (a.y - b.y).abs()
+}
+
+/// The rotation `(x, y) ↦ (x + y, x − y)` turning `L1` into `L∞`.
+#[inline]
+pub fn rotate_l1_to_linf(p: Point) -> Point {
+    Point::new(p.x + p.y, p.x - p.y)
+}
+
+/// Two-stage `NN≠0` index for axis-aligned rectangular supports under the
+/// `L∞` metric.
+#[derive(Clone, Debug)]
+pub struct LinfNonzeroIndex {
+    rects: Vec<Aabb>,
+    /// Euclidean kd-tree over rect centers; aux = `√2 ×` the rect's `L∞`
+    /// extent (half the larger side), making the scaled bounds sound.
+    tree: KdTree,
+}
+
+impl LinfNonzeroIndex {
+    /// Builds from rectangular supports (all must be non-empty).
+    pub fn new(rects: &[Aabb]) -> Self {
+        assert!(rects.iter().all(|r| !r.is_empty()), "empty support rect");
+        let centers: Vec<Point> = rects.iter().map(|r| r.center()).collect();
+        let exts: Vec<f64> = rects
+            .iter()
+            .map(|r| SQRT2 * 0.5 * r.width().max(r.height()))
+            .collect();
+        LinfNonzeroIndex {
+            rects: rects.to_vec(),
+            tree: KdTree::with_aux(&centers, &exts),
+        }
+    }
+
+    /// Builds an index for *diamond* supports under the `L1` metric, by
+    /// rotating into `L∞` space. Queries must be rotated too — use
+    /// [`LinfNonzeroIndex::query_l1`].
+    pub fn from_l1_diamonds(centers: &[Point], radii: &[f64]) -> Self {
+        assert_eq!(centers.len(), radii.len());
+        let rects: Vec<Aabb> = centers
+            .iter()
+            .zip(radii)
+            .map(|(&c, &r)| {
+                assert!(r >= 0.0);
+                let rc = rotate_l1_to_linf(c);
+                Aabb::new(Point::new(rc.x - r, rc.y - r), Point::new(rc.x + r, rc.y + r))
+            })
+            .collect();
+        Self::new(&rects)
+    }
+
+    /// Number of uncertain points.
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// Stage 1: `Δ∞(q) = min_i max-L∞-dist(q, R_i)`.
+    pub fn min_max_dist(&self, q: Point) -> Option<f64> {
+        let rects = &self.rects;
+        // eval' = √2 · Δ∞_i ≥ √2 · d∞(q, c_i) ≥ d2(q, c_i): the kd-tree's
+        // Euclidean lower bound is valid for eval'.
+        self.tree
+            .min_adjusted(q, &|i| SQRT2 * linf_max_dist(&rects[i], q))
+            .map(|(_, v)| v / SQRT2)
+    }
+
+    fn min_two_max_dist(&self, q: Point) -> Option<(usize, f64, f64)> {
+        let rects = &self.rects;
+        let (best, v1) = self
+            .tree
+            .min_adjusted(q, &|i| SQRT2 * linf_max_dist(&rects[i], q))?;
+        let v2 = self
+            .tree
+            .min_adjusted(q, &|i| {
+                if i == best {
+                    f64::INFINITY
+                } else {
+                    SQRT2 * linf_max_dist(&rects[i], q)
+                }
+            })
+            .map_or(f64::INFINITY, |(_, v)| v);
+        Some((best, v1 / SQRT2, v2 / SQRT2))
+    }
+
+    /// `NN≠0(q)` under `L∞` (Lemma 2.1 with the metric swapped), in index
+    /// order.
+    pub fn query(&self, q: Point) -> Vec<usize> {
+        let Some((best, d1, d2)) = self.min_two_max_dist(q) else {
+            return Vec::new();
+        };
+        let rects = &self.rects;
+        let mut out = Vec::new();
+        // eval' = √2 · δ∞_i ≥ √2 (d∞(q,c_i) − ext∞_i) ≥ d2(q,c_i) − aux_i
+        // with aux_i = √2 · ext∞_i: the kd-tree's report bound is valid.
+        self.tree.report_adjusted_below(
+            q,
+            SQRT2 * d1.max(d2),
+            &|i| SQRT2 * linf_min_dist(&rects[i], q),
+            &mut |i, v| {
+                let threshold = if i == best { d2 } else { d1 };
+                if v / SQRT2 < threshold {
+                    out.push(i);
+                }
+            },
+        );
+        out.sort_unstable();
+        out
+    }
+
+    /// `NN≠0` for an `L1` query against an index built with
+    /// [`from_l1_diamonds`](Self::from_l1_diamonds).
+    pub fn query_l1(&self, q: Point) -> Vec<usize> {
+        self.query(rotate_l1_to_linf(q))
+    }
+
+    /// Reference linear scan.
+    pub fn query_naive(&self, q: Point) -> Vec<usize> {
+        let caps: Vec<f64> = self.rects.iter().map(|r| linf_max_dist(r, q)).collect();
+        (0..self.rects.len())
+            .filter(|&i| {
+                let di = linf_min_dist(&self.rects[i], q);
+                caps.iter()
+                    .enumerate()
+                    .all(|(j, &c)| j == i || di < c)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_rects(n: usize, seed: u64) -> Vec<Aabb> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let cx: f64 = rng.random_range(-40.0..40.0);
+                let cy: f64 = rng.random_range(-40.0..40.0);
+                let w: f64 = rng.random_range(0.5..4.0);
+                let h: f64 = rng.random_range(0.5..4.0);
+                Aabb::new(Point::new(cx - w, cy - h), Point::new(cx + w, cy + h))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn linf_distances_basic() {
+        let r = Aabb::new(Point::new(0.0, 0.0), Point::new(2.0, 1.0));
+        assert_eq!(linf_min_dist(&r, Point::new(1.0, 0.5)), 0.0);
+        assert_eq!(linf_min_dist(&r, Point::new(5.0, 0.5)), 3.0);
+        assert_eq!(linf_min_dist(&r, Point::new(5.0, 9.0)), 8.0);
+        assert_eq!(linf_max_dist(&r, Point::new(0.0, 0.0)), 2.0);
+        assert_eq!(linf_max_dist(&r, Point::new(-1.0, 0.0)), 3.0);
+    }
+
+    #[test]
+    fn rotation_preserves_l1_as_linf() {
+        let mut rng = SmallRng::seed_from_u64(600);
+        for _ in 0..200 {
+            let a = Point::new(rng.random_range(-10.0..10.0), rng.random_range(-10.0..10.0));
+            let b = Point::new(rng.random_range(-10.0..10.0), rng.random_range(-10.0..10.0));
+            let want = l1_dist(a, b);
+            let got = linf_dist(rotate_l1_to_linf(a), rotate_l1_to_linf(b));
+            assert!((want - got).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn query_matches_naive() {
+        let rects = random_rects(60, 601);
+        let idx = LinfNonzeroIndex::new(&rects);
+        let mut rng = SmallRng::seed_from_u64(602);
+        for _ in 0..300 {
+            let q = Point::new(rng.random_range(-50.0..50.0), rng.random_range(-50.0..50.0));
+            assert_eq!(idx.query(q), idx.query_naive(q), "q = {q:?}");
+        }
+    }
+
+    #[test]
+    fn l1_diamonds_semantics() {
+        // Diamond at origin radius 2, diamond at (10, 0) radius 1: a query
+        // at (4, 0): delta_0 = 4 - 2 = 2 (L1), Delta_1 = 6 + 1 = 7 -> both
+        // could be NN? delta_1 = 6 - 1 = 5, Delta_0 = 4 + 2 = 6 > 5: yes.
+        let idx = LinfNonzeroIndex::from_l1_diamonds(
+            &[Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
+            &[2.0, 1.0],
+        );
+        assert_eq!(idx.query_l1(Point::new(4.0, 0.0)), vec![0, 1]);
+        // Close to diamond 0: only it.
+        assert_eq!(idx.query_l1(Point::new(0.0, 0.0)), vec![0]);
+        // Note L1 metric: at (6.5, 0): delta_0 = 4.5, Delta_1 = 4.5 -> tie
+        // excluded; just beyond, index 1 appears alone in stage-1 terms...
+        let res = idx.query_l1(Point::new(8.0, 0.0));
+        assert!(res.contains(&1));
+    }
+
+    #[test]
+    fn square_metric_differs_from_euclidean() {
+        // Under L-infinity the "ball" is a square: a support in the corner
+        // direction is nearer than Euclid would say. Construct a case where
+        // the L2 and Linf candidate sets differ.
+        let rects = vec![
+            // Unit square at the origin.
+            Aabb::new(Point::new(-0.5, -0.5), Point::new(0.5, 0.5)),
+            // Small square diagonal at (3, 3).
+            Aabb::new(Point::new(2.9, 2.9), Point::new(3.1, 3.1)),
+            // Small square axis-aligned at (4.4, 0).
+            Aabb::new(Point::new(4.3, -0.1), Point::new(4.5, 0.1)),
+        ];
+        let idx = LinfNonzeroIndex::new(&rects);
+        let q = Point::new(0.0, 0.0);
+        // Linf distances: delta_1 = 2.9 (diagonal compresses), delta_2 = 4.3.
+        // Delta_0 = 0.5 dominates everything; candidates = {0}.
+        assert_eq!(idx.query(q), vec![0]);
+        let q2 = Point::new(2.0, 2.0);
+        let res = idx.query(q2);
+        assert!(res.contains(&1), "diagonal square is Linf-near at {q2:?}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_linf_two_stage_equals_naive(
+            seed in 0u64..3000, qx in -60.0f64..60.0, qy in -60.0f64..60.0,
+        ) {
+            let rects = random_rects(25, seed);
+            let idx = LinfNonzeroIndex::new(&rects);
+            let q = Point::new(qx, qy);
+            prop_assert_eq!(idx.query(q), idx.query_naive(q));
+        }
+
+        #[test]
+        fn prop_linf_distances_consistent(
+            cx in -10.0f64..10.0, cy in -10.0f64..10.0,
+            w in 0.1f64..5.0, h in 0.1f64..5.0,
+            qx in -20.0f64..20.0, qy in -20.0f64..20.0,
+        ) {
+            let r = Aabb::new(Point::new(cx - w, cy - h), Point::new(cx + w, cy + h));
+            let q = Point::new(qx, qy);
+            let lo = linf_min_dist(&r, q);
+            let hi = linf_max_dist(&r, q);
+            prop_assert!(lo <= hi);
+            // Linf <= L2 on the same geometry.
+            prop_assert!(lo <= r.min_dist(q) + 1e-12);
+            prop_assert!(hi <= r.max_dist(q) + 1e-12);
+            // And L2 <= sqrt(2) * Linf.
+            prop_assert!(r.min_dist(q) <= SQRT2 * lo + 1e-9);
+            prop_assert!(r.max_dist(q) <= SQRT2 * hi + 1e-9);
+        }
+    }
+}

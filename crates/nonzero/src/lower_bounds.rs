@@ -1,0 +1,255 @@
+//! The paper's lower-bound constructions, as executable generators.
+//!
+//! * [`mixed_radii_cubic`] — Theorem 2.7: `Ω(n³)` vertices with two families
+//!   of huge disks flanking a column of unit disks.
+//! * [`equal_radii_cubic`] — Theorem 2.8: `Ω(n³)` vertices with unit disks
+//!   only.
+//! * [`collinear_quadratic`] — Theorem 2.10: `Ω(n²)` vertices from disjoint
+//!   equal disks on a line, with the paper's explicit vertex coordinates.
+//! * [`disjoint_disks`] — random generator for the `O(λn²)` regime
+//!   (pairwise-disjoint disks with bounded radius ratio, Lemma 2.9).
+//!
+//! Each construction returns the disks together with the number of vertices
+//! the paper's argument guarantees, so experiments can assert
+//! `measured >= predicted` and fit the growth exponent.
+
+use rand::{Rng, RngExt};
+use unn_geom::{Disk, Point};
+
+/// A generated lower-bound instance.
+#[derive(Clone, Debug)]
+pub struct LowerBoundInstance {
+    /// The uncertainty-region disks.
+    pub disks: Vec<Disk>,
+    /// Number of `𝒱≠0` vertices the construction provably realizes.
+    pub predicted_vertices: usize,
+    /// A safe snap distance for deduplicating vertices (well below the
+    /// minimum distance between distinct construction vertices).
+    pub snap: f64,
+}
+
+/// Theorem 2.7: `n = 4m` disks realizing `≥ 4m³` vertices.
+///
+/// Families `𝒟⁻`/`𝒟⁺` have radius `R = 8n²` with centers on the x-axis
+/// spaced by `ω = 1/n²`; `𝒟⁰` has `2m` unit disks on the y-axis. Every
+/// triple `(i, j, k)` yields two witness disks tangent to `D_i⁻`, `D_j⁺`
+/// from outside and `D_k⁰` from inside.
+pub fn mixed_radii_cubic(m: usize) -> LowerBoundInstance {
+    assert!(m >= 1);
+    let n = 4 * m;
+    let r = 8.0 * (n * n) as f64;
+    let omega = 1.0 / (n * n) as f64;
+    let mut disks = Vec::with_capacity(n);
+    for i in 1..=m {
+        disks.push(Disk::new(
+            Point::new(-r - 1.5 - (i as f64 - 1.0) * omega, 0.0),
+            r,
+        ));
+    }
+    for j in 1..=m {
+        disks.push(Disk::new(
+            Point::new(r + 1.5 + (j as f64 - 1.0) * omega, 0.0),
+            r,
+        ));
+    }
+    for k in 1..=(2 * m) {
+        disks.push(Disk::new(
+            Point::new(0.0, 4.0 * (k as f64 - m as f64) - 2.0),
+            1.0,
+        ));
+    }
+    LowerBoundInstance {
+        disks,
+        predicted_vertices: 2 * m * m * 2 * m,
+        // Distinct vertices for different (i, j) pairs differ by ~omega/2 in
+        // x; different k by ~2 in y.
+        snap: omega * 1e-3,
+    }
+}
+
+/// Theorem 2.8: `n = 3m` *unit* disks realizing `≥ m³` vertices.
+///
+/// `𝒟⁻`/`𝒟⁺` hug `(∓2, 0)` with spacing `ω`; `𝒟⁰` sits on the circle of
+/// radius 2 around `(2, 0)` at angles `kθ`, `θ = π / (2(m+1))`, so that each
+/// `D_k⁰` touches `D_1⁺`.
+pub fn equal_radii_cubic(m: usize) -> LowerBoundInstance {
+    assert!(m >= 1);
+    let theta = core::f64::consts::FRAC_PI_2 / (m as f64 + 1.0);
+    // "Sufficiently small" omega: well below the angular separation of the
+    // tangency points (which is Θ(θ)).
+    let omega = 1e-4 * theta / (m as f64);
+    let mut disks = Vec::with_capacity(3 * m);
+    for i in 1..=m {
+        disks.push(Disk::new(
+            Point::new(-2.0 - (i as f64 - 1.0) * omega, 0.0),
+            1.0,
+        ));
+    }
+    for j in 1..=m {
+        disks.push(Disk::new(
+            Point::new(2.0 + (j as f64 - 1.0) * omega, 0.0),
+            1.0,
+        ));
+    }
+    for k in 1..=m {
+        let a = k as f64 * theta;
+        disks.push(Disk::new(
+            Point::new(2.0 - 2.0 * a.cos(), 2.0 * a.sin()),
+            1.0,
+        ));
+    }
+    LowerBoundInstance {
+        disks,
+        predicted_vertices: m * m * m,
+        snap: omega * 1e-3,
+    }
+}
+
+/// Theorem 2.10 lower bound: `n = 2m` disjoint unit disks on a line with
+/// `Ω(n²)` vertices, plus the paper's explicit vertex coordinates.
+pub fn collinear_quadratic(m: usize) -> LowerBoundInstance {
+    assert!(m >= 2);
+    let n = 2 * m;
+    let disks: Vec<Disk> = (1..=n)
+        .map(|i| {
+            Disk::new(
+                Point::new(4.0 * (i as f64 - m as f64) - 2.0, 0.0),
+                1.0,
+            )
+        })
+        .collect();
+    // Pairs (i, j) with j - i >= 2 each contribute 2 vertices.
+    let pairs = (1..=n)
+        .flat_map(|i| ((i + 2)..=n).map(move |j| (i, j)))
+        .count();
+    LowerBoundInstance {
+        disks,
+        predicted_vertices: 2 * pairs,
+        snap: 1e-6,
+    }
+}
+
+/// The explicit vertex coordinates of the Theorem 2.10 construction, as
+/// stated in the paper's proof (for cross-checking the enumerator).
+pub fn collinear_predicted_vertices(m: usize) -> Vec<Point> {
+    let n = 2 * m;
+    let mut out = Vec::new();
+    for i in 1..=n {
+        for j in (i + 2)..=n {
+            let x = 2.0 * (i as f64 + j as f64 - 2.0 * m as f64 - 1.0);
+            let d = (j - i) as f64;
+            if (i + j) % 2 == 0 {
+                out.push(Point::new(x, d * d - 1.0));
+                out.push(Point::new(x, 1.0 - d * d));
+            } else {
+                let y = d * (d * d - 4.0).sqrt();
+                out.push(Point::new(x, y));
+                out.push(Point::new(x, -y));
+            }
+        }
+    }
+    out
+}
+
+/// Random pairwise-disjoint disks with radii in `[1, λ]` (the `O(λn²)`
+/// regime of Theorem 2.10 / Lemma 2.9), generated by dart throwing.
+pub fn disjoint_disks(n: usize, lambda: f64, rng: &mut dyn Rng) -> Vec<Disk> {
+    assert!(lambda >= 1.0);
+    // Spread the disks over an area proportional to total disk area so the
+    // rejection rate stays bounded.
+    let side = (8.0 * n as f64).sqrt() * 2.0 * lambda;
+    let mut disks: Vec<Disk> = Vec::with_capacity(n);
+    let mut attempts = 0usize;
+    while disks.len() < n {
+        attempts += 1;
+        assert!(
+            attempts < 1_000_000,
+            "dart throwing failed; lambda or n too large for the board"
+        );
+        let d = Disk::new(
+            Point::new(
+                rng.random_range(0.0..side),
+                rng.random_range(0.0..side),
+            ),
+            rng.random_range(1.0..lambda.max(1.0 + 1e-9)),
+        );
+        if disks
+            .iter()
+            .all(|e| e.center.dist(d.center) > e.radius + d.radius + 1e-6)
+        {
+            disks.push(d);
+        }
+    }
+    disks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vertices::{count_distinct, nonzero_vertices};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mixed_radii_realizes_cubic_count() {
+        for m in [1usize, 2] {
+            let inst = mixed_radii_cubic(m);
+            assert_eq!(inst.disks.len(), 4 * m);
+            let verts = nonzero_vertices(&inst.disks, 1e-9);
+            let distinct = count_distinct(&verts, inst.snap);
+            assert!(
+                distinct >= inst.predicted_vertices,
+                "m={m}: got {distinct}, predicted {}",
+                inst.predicted_vertices
+            );
+        }
+    }
+
+    #[test]
+    fn equal_radii_realizes_cubic_count() {
+        for m in [2usize, 3] {
+            let inst = equal_radii_cubic(m);
+            assert_eq!(inst.disks.len(), 3 * m);
+            let verts = nonzero_vertices(&inst.disks, 1e-9);
+            let distinct = count_distinct(&verts, inst.snap);
+            assert!(
+                distinct >= inst.predicted_vertices,
+                "m={m}: got {distinct}, predicted {}",
+                inst.predicted_vertices
+            );
+        }
+    }
+
+    #[test]
+    fn collinear_vertices_match_paper_formulas() {
+        let m = 3;
+        let inst = collinear_quadratic(m);
+        let verts = nonzero_vertices(&inst.disks, 1e-9);
+        let predicted = collinear_predicted_vertices(m);
+        assert_eq!(predicted.len(), inst.predicted_vertices);
+        // Every explicitly predicted vertex is found by the enumerator.
+        for pv in &predicted {
+            let found = verts.iter().any(|v| v.point.dist(*pv) < 1e-6);
+            assert!(found, "predicted vertex {pv:?} not enumerated");
+        }
+        let distinct = count_distinct(&verts, inst.snap);
+        assert!(distinct >= inst.predicted_vertices);
+    }
+
+    #[test]
+    fn disjoint_generator_is_disjoint() {
+        let mut rng = SmallRng::seed_from_u64(80);
+        let disks = disjoint_disks(40, 4.0, &mut rng);
+        assert_eq!(disks.len(), 40);
+        for i in 0..disks.len() {
+            for j in (i + 1)..disks.len() {
+                assert!(
+                    disks[i].center.dist(disks[j].center)
+                        > disks[i].radius + disks[j].radius,
+                    "disks {i} and {j} overlap"
+                );
+            }
+            assert!(disks[i].radius >= 1.0 && disks[i].radius <= 4.0);
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! The nonzero Voronoi diagram as a point-location structure (Theorem 2.11).
+//!
+//! Builds the planar subdivision `𝒱≠0(𝒫)` for disk supports inside a query
+//! bounding box: each curve `γ_i` is adaptively polygonalized
+//! ([`GammaCurve::polylines`]), the box boundary is added, and the induced
+//! arrangement is extracted with `unn-geom`'s [`Arrangement`]. Every face is
+//! labeled with its set `𝒫_φ = NN≠0(·)` (constant per face, Lemma 2.3).
+//!
+//! Labels are stored as [`PersistentSet`] versions derived face-to-face
+//! along a BFS of the face-adjacency graph — the paper's `O(μ)`-space trick
+//! (§2.1, `[DSST89]`): adjacent faces differ in exactly one element, so each
+//! step stores `O(log n)` new nodes instead of a full copy. The explicit
+//! (copying) representation is kept available for the E14 ablation.
+//!
+//! Polygonalization error only perturbs face *boundaries* by at most `tol`;
+//! each face's label is recomputed exactly (two-stage index) at an interior
+//! sample, so any query point at distance `> tol` from every true curve is
+//! answered exactly. Queries outside the box (or on a boundary sliver) fall
+//! back to the exact two-stage index.
+
+use unn_geom::arrangement::{Arrangement, FaceLocator};
+use unn_geom::{Aabb, Disk, Point, Segment};
+use unn_spatial::PersistentSet;
+
+use crate::gamma::GammaCurve;
+use crate::twostage::DiskNonzeroIndex;
+
+/// Build statistics (combinatorial sizes for the complexity experiments).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SubdivisionStats {
+    /// Vertices in the polygonalized arrangement.
+    pub vertices: usize,
+    /// Edges in the polygonalized arrangement.
+    pub edges: usize,
+    /// Bounded faces.
+    pub faces: usize,
+    /// Total persistent-set nodes that would be stored explicitly
+    /// (sum of label-set sizes) — the `O(nμ)` explicit cost.
+    pub explicit_label_elems: usize,
+    /// Label-set deltas actually performed along the BFS (the `O(μ)` cost).
+    pub persistent_deltas: usize,
+}
+
+/// Point-location structure over `𝒱≠0(𝒫)` for disk supports.
+#[derive(Clone, Debug)]
+pub struct NonzeroSubdivision {
+    arr: Arrangement,
+    locator: FaceLocator,
+    labels: Vec<PersistentSet>,
+    bbox: Aabb,
+    fallback: DiskNonzeroIndex,
+    stats: SubdivisionStats,
+}
+
+impl NonzeroSubdivision {
+    /// Builds the subdivision for queries inside `bbox`.
+    ///
+    /// `tol` is the polygonalization tolerance (absolute distance); the
+    /// number of segments grows roughly as `tol^(-1/2)`.
+    pub fn build(disks: &[Disk], bbox: Aabb, tol: f64) -> Self {
+        let fallback = DiskNonzeroIndex::new(disks);
+        let mut segments: Vec<Segment> = Vec::new();
+        // Box boundary.
+        let c = [
+            bbox.min,
+            Point::new(bbox.max.x, bbox.min.y),
+            bbox.max,
+            Point::new(bbox.min.x, bbox.max.y),
+        ];
+        for i in 0..4 {
+            segments.push(Segment::new(c[i], c[(i + 1) % 4]));
+        }
+        // Curves, clipped at a radius covering the box from each center.
+        for i in 0..disks.len() {
+            let g = GammaCurve::build(disks, i);
+            let r_max = c
+                .iter()
+                .map(|&corner| corner.dist(disks[i].center))
+                .fold(0.0, f64::max)
+                * 1.05
+                + 1.0;
+            for poly in g.polylines(tol, r_max) {
+                for w in poly.windows(2) {
+                    if w[0].dist2(w[1]) > 0.0 {
+                        segments.push(Segment::new(w[0], w[1]));
+                    }
+                }
+            }
+        }
+        let scale = bbox.width().max(bbox.height()).max(1.0);
+        let arr = Arrangement::build(&segments, (tol * 1e-3).min(scale * 1e-10).max(1e-12));
+
+        // Label faces along a BFS over face adjacency, deriving each label
+        // set persistently from its parent's.
+        let nf = arr.num_faces();
+        let mut labels: Vec<Option<PersistentSet>> = vec![None; nf];
+        let mut explicit_elems = 0usize;
+        let mut deltas = 0usize;
+
+        // Face adjacency from shared (undirected) boundary edges.
+        let mut edge_faces: std::collections::HashMap<(u32, u32), Vec<u32>> = Default::default();
+        for (fi, f) in arr.faces().iter().enumerate() {
+            let b = &f.boundary;
+            for i in 0..b.len() {
+                let u = b[i];
+                let v = b[(i + 1) % b.len()];
+                let key = (u.min(v), u.max(v));
+                edge_faces.entry(key).or_default().push(fi as u32);
+            }
+        }
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); nf];
+        for faces in edge_faces.values() {
+            if faces.len() == 2 && faces[0] != faces[1] {
+                adj[faces[0] as usize].push(faces[1]);
+                adj[faces[1] as usize].push(faces[0]);
+            }
+        }
+
+        let label_of = |fi: usize| -> Option<Vec<usize>> {
+            let p = arr.face_interior_point(fi)?;
+            Some(fallback.query(p))
+        };
+
+        for start in 0..nf {
+            if labels[start].is_some() {
+                continue;
+            }
+            let Some(base) = label_of(start) else {
+                labels[start] = Some(PersistentSet::new());
+                continue;
+            };
+            explicit_elems += base.len();
+            deltas += base.len();
+            labels[start] = Some(PersistentSet::from_iter(base.iter().map(|&x| x as u32)));
+            let mut queue = std::collections::VecDeque::from([start as u32]);
+            while let Some(fi) = queue.pop_front() {
+                let parent = labels[fi as usize].clone().expect("labeled");
+                for &nb in &adj[fi as usize] {
+                    if labels[nb as usize].is_some() {
+                        continue;
+                    }
+                    let Some(want) = label_of(nb as usize) else {
+                        labels[nb as usize] = Some(parent.clone());
+                        continue;
+                    };
+                    explicit_elems += want.len();
+                    // Derive from parent by symmetric difference.
+                    let mut set = parent.clone();
+                    let want_set: std::collections::HashSet<u32> =
+                        want.iter().map(|&x| x as u32).collect();
+                    for x in parent.iter() {
+                        if !want_set.contains(&x) {
+                            set = set.remove(x);
+                            deltas += 1;
+                        }
+                    }
+                    for &x in &want_set {
+                        if !parent.contains(x) {
+                            set = set.insert(x);
+                            deltas += 1;
+                        }
+                    }
+                    labels[nb as usize] = Some(set);
+                    queue.push_back(nb);
+                }
+            }
+        }
+
+        let stats = SubdivisionStats {
+            vertices: arr.num_vertices(),
+            edges: arr.num_edges(),
+            faces: arr.num_faces(),
+            explicit_label_elems: explicit_elems,
+            persistent_deltas: deltas,
+        };
+        let locator = FaceLocator::build(&arr, 128);
+        NonzeroSubdivision {
+            arr,
+            locator,
+            labels: labels.into_iter().map(|l| l.unwrap_or_default()).collect(),
+            bbox,
+            fallback,
+            stats,
+        }
+    }
+
+    /// `NN≠0(q)` by point location (`O(log μ + t)` shape); falls back to the
+    /// two-stage index outside the box or on degenerate locations.
+    pub fn query(&self, q: Point) -> Vec<usize> {
+        if self.bbox.contains(q) {
+            if let Some(fi) = self.locator.locate(&self.arr, q) {
+                return self.labels[fi].iter().map(|x| x as usize).collect();
+            }
+        }
+        self.fallback.query(q)
+    }
+
+    /// Exact query via the embedded two-stage index (for verification).
+    pub fn query_exact(&self, q: Point) -> Vec<usize> {
+        self.fallback.query(q)
+    }
+
+    /// Combinatorial statistics of the built subdivision.
+    pub fn stats(&self) -> SubdivisionStats {
+        self.stats
+    }
+
+    /// The underlying arrangement (inspection / experiments).
+    pub fn arrangement(&self) -> &Arrangement {
+        &self.arr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_disks(n: usize, seed: u64) -> Vec<Disk> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Disk::new(
+                    Point::new(rng.random_range(-30.0..30.0), rng.random_range(-30.0..30.0)),
+                    rng.random_range(0.5..4.0),
+                )
+            })
+            .collect()
+    }
+
+    fn bbox() -> Aabb {
+        Aabb::new(Point::new(-60.0, -60.0), Point::new(60.0, 60.0))
+    }
+
+    #[test]
+    fn subdivision_queries_match_two_stage() {
+        let disks = random_disks(10, 100);
+        let sub = NonzeroSubdivision::build(&disks, bbox(), 1e-3);
+        let mut rng = SmallRng::seed_from_u64(101);
+        let mut mismatches = 0;
+        let total = 500;
+        for _ in 0..total {
+            let q = Point::new(rng.random_range(-55.0..55.0), rng.random_range(-55.0..55.0));
+            let got = sub.query(q);
+            let want = sub.query_exact(q);
+            if got != want {
+                // Only acceptable near a curve (within polygonalization tol).
+                mismatches += 1;
+                let delta_gap = min_gap(&disks, q);
+                assert!(
+                    delta_gap < 1e-2,
+                    "mismatch far from any boundary: q={q:?} got={got:?} want={want:?} gap={delta_gap}"
+                );
+            }
+        }
+        // The overwhelming majority must match exactly.
+        assert!(
+            mismatches * 50 < total,
+            "{mismatches}/{total} mismatches"
+        );
+    }
+
+    /// Distance of q from the nearest gamma boundary, in constraint space.
+    fn min_gap(disks: &[Disk], q: Point) -> f64 {
+        let cap = disks
+            .iter()
+            .map(|d| d.max_dist(q))
+            .fold(f64::INFINITY, f64::min);
+        disks
+            .iter()
+            .map(|d| (d.min_dist(q) - cap).abs())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    #[test]
+    fn outside_box_falls_back() {
+        let disks = random_disks(6, 102);
+        let sub = NonzeroSubdivision::build(&disks, bbox(), 1e-3);
+        let q = Point::new(500.0, 500.0);
+        assert_eq!(sub.query(q), sub.query_exact(q));
+    }
+
+    #[test]
+    fn persistent_storage_is_cheaper_than_explicit() {
+        let disks = random_disks(12, 103);
+        let sub = NonzeroSubdivision::build(&disks, bbox(), 2e-3);
+        let s = sub.stats();
+        assert!(s.faces > 1);
+        // The paper's point: deltas (persistent cost) grow like mu, explicit
+        // like n * mu. With 12 disks the gap must already be visible.
+        assert!(
+            s.persistent_deltas < s.explicit_label_elems,
+            "deltas {} vs explicit {}",
+            s.persistent_deltas,
+            s.explicit_label_elems
+        );
+    }
+
+    #[test]
+    fn euler_formula_holds() {
+        let disks = random_disks(8, 104);
+        let sub = NonzeroSubdivision::build(&disks, bbox(), 1e-3);
+        let (_, _, _, _, ok) = sub.arrangement().euler_check();
+        assert!(ok);
+    }
+}

@@ -1,0 +1,178 @@
+//! Probabilistic k-NN membership (the kNN extension of §1.2, `[JCLY11]`).
+//!
+//! `π_i^{(k)}(q)` = probability that `P_i` is among the `k` nearest
+//! uncertain points of `q`. For discrete distributions this is exactly
+//! computable: condition on `P_i = p_ia` at distance `r`; every other
+//! object is independently "closer" with probability `G_{q,j}(r)`, so the
+//! number of closer objects is Poisson-binomial and
+//!
+//! ```text
+//!   π_i^{(k)}(q) = Σ_a w_ia · Pr[ #closer ≤ k-1 ]
+//! ```
+//!
+//! evaluated by the standard `O(n·k)` dynamic program per location
+//! (`O(N·n·k)` per query). For `k = 1` this coincides with the
+//! quantification probability of Eq. 2 (same `≤` tie convention).
+
+use unn_distr::{DiscreteDistribution, UncertainPoint};
+use unn_geom::Point;
+
+/// Exact k-NN membership probabilities for all objects.
+pub fn knn_membership_exact(
+    objects: &[DiscreteDistribution],
+    q: Point,
+    k: usize,
+) -> Vec<f64> {
+    let n = objects.len();
+    assert!(k >= 1, "k must be at least 1");
+    let mut out = vec![0.0; n];
+    if n == 0 {
+        return out;
+    }
+    if k >= n {
+        return vec![1.0; n];
+    }
+    // Distances of every location, grouped per object.
+    for (i, obj) in objects.iter().enumerate() {
+        for (p, &w) in obj.points().iter().zip(obj.weights()) {
+            let r = p.dist(q);
+            // Probabilities that each other object is within distance r.
+            // Poisson-binomial DP over "number of successes", truncated at k.
+            let mut dp = vec![0.0f64; k + 1];
+            dp[0] = 1.0;
+            for (j, other) in objects.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                let g = other.distance_cdf(q, r).clamp(0.0, 1.0);
+                if g == 0.0 {
+                    continue;
+                }
+                for c in (0..k).rev() {
+                    let move_up = dp[c] * g;
+                    dp[c + 1] += move_up;
+                    dp[c] -= move_up;
+                }
+                // dp[k] absorbs overflow mass (c >= k), dropped implicitly:
+                // we only need Pr[#closer <= k-1] = sum dp[0..k].
+            }
+            let p_le: f64 = dp[..k].iter().sum();
+            out[i] += w * p_le;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::quantification_exact;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_objects(n: usize, kk: usize, seed: u64) -> Vec<DiscreteDistribution> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let cx: f64 = rng.random_range(-20.0..20.0);
+                let cy: f64 = rng.random_range(-20.0..20.0);
+                let pts: Vec<Point> = (0..kk)
+                    .map(|_| {
+                        Point::new(
+                            cx + rng.random_range(-4.0..4.0),
+                            cy + rng.random_range(-4.0..4.0),
+                        )
+                    })
+                    .collect();
+                DiscreteDistribution::uniform(pts).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn k1_equals_quantification() {
+        let objs = random_objects(8, 3, 800);
+        let mut rng = SmallRng::seed_from_u64(801);
+        for _ in 0..30 {
+            let q = Point::new(rng.random_range(-25.0..25.0), rng.random_range(-25.0..25.0));
+            let a = knn_membership_exact(&objs, q, 1);
+            let b = quantification_exact(&objs, q);
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-10, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn membership_sums_to_k() {
+        // Expected number of objects in the top-k is exactly k (assuming no
+        // distance ties), so the probabilities sum to k.
+        let objs = random_objects(9, 3, 802);
+        let q = Point::new(1.0, -2.0);
+        for k in 1..=9 {
+            let pi = knn_membership_exact(&objs, q, k);
+            let sum: f64 = pi.iter().sum();
+            assert!(
+                (sum - k as f64).abs() < 1e-9,
+                "k={k}: sum = {sum}"
+            );
+        }
+    }
+
+    #[test]
+    fn monotone_in_k() {
+        let objs = random_objects(7, 4, 803);
+        let q = Point::new(0.0, 0.0);
+        let mut prev = vec![0.0; objs.len()];
+        for k in 1..=7 {
+            let pi = knn_membership_exact(&objs, q, k);
+            for (a, b) in pi.iter().zip(&prev) {
+                assert!(a + 1e-12 >= *b, "membership decreased with k");
+            }
+            prev = pi;
+        }
+        assert!(prev.iter().all(|&p| (p - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn matches_monte_carlo_simulation() {
+        let objs = random_objects(6, 2, 804);
+        let q = Point::new(2.0, 2.0);
+        let k = 3;
+        let exact = knn_membership_exact(&objs, q, k);
+        let mut rng = SmallRng::seed_from_u64(805);
+        let trials = 100_000;
+        let mut counts = vec![0u32; objs.len()];
+        for _ in 0..trials {
+            let mut dists: Vec<(usize, f64)> = objs
+                .iter()
+                .enumerate()
+                .map(|(i, o)| (i, o.sample(&mut rng).dist(q)))
+                .collect();
+            dists.sort_by(|a, b| a.1.total_cmp(&b.1));
+            for &(i, _) in dists.iter().take(k) {
+                counts[i] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / trials as f64;
+            assert!(
+                (freq - exact[i]).abs() < 0.01,
+                "i={i}: sim {freq} vs exact {}",
+                exact[i]
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert!(knn_membership_exact(&[], Point::ORIGIN, 1).is_empty());
+        let one = vec![DiscreteDistribution::certain(Point::ORIGIN)];
+        assert_eq!(knn_membership_exact(&one, Point::new(1.0, 0.0), 1), vec![1.0]);
+        let objs = random_objects(4, 2, 806);
+        assert_eq!(
+            knn_membership_exact(&objs, Point::ORIGIN, 10),
+            vec![1.0; 4]
+        );
+    }
+}

@@ -1,0 +1,325 @@
+//! The Monte-Carlo quantification structure (paper §4.2).
+//!
+//! Preprocessing draws `s` *instantiations* of the uncertain set — one
+//! location per uncertain point — and indexes each for nearest-neighbor
+//! queries. A query finds the NN owner in every instantiation and estimates
+//! `π̂_i(q) = c_i / s`. The Chernoff–Hoeffding bound (Eq. 6) plus a union
+//! bound over the `O(N⁴)` cells of the probabilistic Voronoi diagram
+//! (Lemma 4.1) gives Theorem 4.3:
+//! `s = (1/2ε²)·ln(2n|Q|/δ)` rounds suffice for `|π̂_i − π_i| ≤ ε`
+//! everywhere, with probability `≥ 1 − δ`. Continuous distributions reduce
+//! to the discrete case by Theorem 4.5's sampling argument (Lemma 4.4).
+//!
+//! The paper prescribes "Voronoi diagram + point location" per round; the
+//! default backend here is a kd-tree per round, with the Delaunay-based
+//! nearest-site structure available for the E14 ablation.
+
+use rand::Rng;
+use unn_distr::{Uncertain, UncertainPoint};
+use unn_geom::Point;
+use unn_spatial::KdTree;
+use unn_voronoi::Delaunay;
+
+/// Per-round nearest-neighbor backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum McBackend {
+    /// Kd-tree per instantiation (default).
+    KdTree,
+    /// Delaunay triangulation per instantiation (the paper's Voronoi
+    /// point-location narrative).
+    Delaunay,
+}
+
+enum RoundIndex {
+    Kd(KdTree),
+    Del(Delaunay),
+}
+
+impl RoundIndex {
+    fn nearest(&self, q: Point) -> usize {
+        match self {
+            RoundIndex::Kd(t) => t.nearest(q).expect("nonempty round").id,
+            RoundIndex::Del(d) => d.nearest(q).expect("nonempty round").0,
+        }
+    }
+
+    fn k_nearest(&self, q: Point, k: usize) -> Vec<usize> {
+        match self {
+            RoundIndex::Kd(t) => t.m_nearest(q, k).into_iter().map(|nb| nb.id).collect(),
+            RoundIndex::Del(d) => d.m_nearest(q, k).into_iter().map(|(i, _)| i).collect(),
+        }
+    }
+}
+
+/// Monte-Carlo estimator of all quantification probabilities.
+///
+/// ```
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+/// use unn_distr::Uncertain;
+/// use unn_geom::Point;
+/// use unn_quantify::{McBackend, MonteCarloIndex};
+///
+/// let points = vec![
+///     Uncertain::uniform_disk(Point::new(-5.0, 0.0), 1.0),
+///     Uncertain::uniform_disk(Point::new(5.0, 0.0), 1.0),
+/// ];
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let mc = MonteCarloIndex::build(&points, 2000, McBackend::KdTree, &mut rng);
+/// let pi = mc.query(Point::new(0.0, 0.0)); // symmetric: both ~1/2
+/// assert!((pi[0] - 0.5).abs() < 0.1);
+/// ```
+pub struct MonteCarloIndex {
+    rounds: Vec<RoundIndex>,
+    n: usize,
+}
+
+impl MonteCarloIndex {
+    /// Builds the structure with `s` instantiations of `points`.
+    pub fn build(
+        points: &[Uncertain],
+        s: usize,
+        backend: McBackend,
+        rng: &mut dyn Rng,
+    ) -> Self {
+        assert!(s > 0, "need at least one round");
+        let n = points.len();
+        let mut rounds = Vec::with_capacity(s);
+        for _ in 0..s {
+            let insts: Vec<Point> = points.iter().map(|p| p.sample(rng)).collect();
+            rounds.push(match backend {
+                McBackend::KdTree => RoundIndex::Kd(KdTree::new(&insts)),
+                McBackend::Delaunay => RoundIndex::Del(Delaunay::new(&insts)),
+            });
+        }
+        MonteCarloIndex { rounds, n }
+    }
+
+    /// Number of rounds `s`.
+    pub fn rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Number of uncertain points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when no uncertain points were indexed.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Estimates `π̂_i(q)` for all `i`; at most `s` entries are nonzero.
+    ///
+    /// Returns a dense vector (callers wanting sparse output use
+    /// [`MonteCarloIndex::query_sparse`]).
+    pub fn query(&self, q: Point) -> Vec<f64> {
+        let mut pi = vec![0.0; self.n];
+        if self.n == 0 {
+            return pi;
+        }
+        let w = 1.0 / self.rounds.len() as f64;
+        for r in &self.rounds {
+            pi[r.nearest(q)] += w;
+        }
+        pi
+    }
+
+    /// Sparse estimate: `(object, π̂)` pairs for objects that won at least
+    /// one round, sorted by decreasing probability.
+    pub fn query_sparse(&self, q: Point) -> Vec<(usize, f64)> {
+        let pi = self.query(q);
+        let mut out: Vec<(usize, f64)> = pi
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, p)| p > 0.0)
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Estimates the k-NN *membership* probabilities: `π̂_i^{(k)}(q)` is the
+    /// fraction of instantiations in which `P_i` is among the `k` nearest.
+    /// Same Chernoff bound per entry as [`MonteCarloIndex::query`].
+    pub fn query_knn(&self, q: Point, k: usize) -> Vec<f64> {
+        let mut pi = vec![0.0; self.n];
+        if self.n == 0 || k == 0 {
+            return pi;
+        }
+        let w = 1.0 / self.rounds.len() as f64;
+        for r in &self.rounds {
+            for i in r.k_nearest(q, k) {
+                pi[i] += w;
+            }
+        }
+        pi
+    }
+
+    /// Theorem 4.3's round count for accuracy `eps` and failure probability
+    /// `delta`, with `|Q| = O((nk)⁴)` cells from Lemma 4.1.
+    ///
+    /// `s = (1/2ε²) · ln(2n|Q|/δ)` with `|Q| = (nk)⁴` (constant 1).
+    pub fn samples_for(eps: f64, delta: f64, n: usize, k: usize) -> usize {
+        assert!(eps > 0.0 && eps < 1.0 && delta > 0.0 && delta < 1.0);
+        let nn = (n.max(1) as f64) * (k.max(1) as f64);
+        let q_cells = nn.powi(4);
+        let s = (1.0 / (2.0 * eps * eps)) * (2.0 * n.max(1) as f64 * q_cells / delta).ln();
+        s.ceil().max(1.0) as usize
+    }
+
+    /// The *per-query* round count: if only `m` query points will ever be
+    /// asked (instead of uniform-over-the-plane accuracy), the union bound
+    /// shrinks to `s = (1/2ε²) ln(2nm/δ)`.
+    pub fn samples_for_queries(eps: f64, delta: f64, n: usize, m: usize) -> usize {
+        assert!(eps > 0.0 && eps < 1.0 && delta > 0.0 && delta < 1.0);
+        let s = (1.0 / (2.0 * eps * eps))
+            * (2.0 * n.max(1) as f64 * m.max(1) as f64 / delta).ln();
+        s.ceil().max(1.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::quantification_exact;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+    use unn_distr::DiscreteDistribution;
+
+    fn random_discrete(n: usize, k: usize, seed: u64) -> Vec<Uncertain> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let cx: f64 = rng.random_range(-20.0..20.0);
+                let cy: f64 = rng.random_range(-20.0..20.0);
+                let pts: Vec<Point> = (0..k)
+                    .map(|_| {
+                        Point::new(
+                            cx + rng.random_range(-4.0..4.0),
+                            cy + rng.random_range(-4.0..4.0),
+                        )
+                    })
+                    .collect();
+                Uncertain::Discrete(DiscreteDistribution::uniform(pts).unwrap())
+            })
+            .collect()
+    }
+
+    fn as_discrete(points: &[Uncertain]) -> Vec<DiscreteDistribution> {
+        points
+            .iter()
+            .map(|p| p.as_discrete().unwrap().clone())
+            .collect()
+    }
+
+    #[test]
+    fn estimates_within_eps_of_exact() {
+        let points = random_discrete(8, 3, 140);
+        let exact_objs = as_discrete(&points);
+        let mut rng = SmallRng::seed_from_u64(141);
+        let eps = 0.05;
+        // Accuracy at a fixed set of queries: use the per-query bound.
+        let s = MonteCarloIndex::samples_for_queries(eps, 0.01, 8, 20);
+        let mc = MonteCarloIndex::build(&points, s, McBackend::KdTree, &mut rng);
+        let mut qrng = SmallRng::seed_from_u64(142);
+        for _ in 0..20 {
+            let q = Point::new(qrng.random_range(-25.0..25.0), qrng.random_range(-25.0..25.0));
+            let want = quantification_exact(&exact_objs, q);
+            let got = mc.query(q);
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert!(
+                    (g - w).abs() <= eps,
+                    "i={i}: mc={g} exact={w} (eps={eps})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backends_agree() {
+        let points = random_discrete(10, 2, 143);
+        let s = 400;
+        let mut rng1 = SmallRng::seed_from_u64(144);
+        let mut rng2 = SmallRng::seed_from_u64(144); // same seed: same samples
+        let kd = MonteCarloIndex::build(&points, s, McBackend::KdTree, &mut rng1);
+        let del = MonteCarloIndex::build(&points, s, McBackend::Delaunay, &mut rng2);
+        let mut qrng = SmallRng::seed_from_u64(145);
+        for _ in 0..30 {
+            let q = Point::new(qrng.random_range(-25.0..25.0), qrng.random_range(-25.0..25.0));
+            let a = kd.query(q);
+            let b = del.query(q);
+            // Identical instantiations: the only divergence is NN ties.
+            let diff: f64 = a
+                .iter()
+                .zip(&b)
+                .map(|(x, y)| (x - y).abs())
+                .sum();
+            assert!(diff < 1e-9, "backends disagree: {diff}");
+        }
+    }
+
+    #[test]
+    fn continuous_models_supported() {
+        // Two uniform disks straddling the query: probabilities near 1/2.
+        let points = vec![
+            Uncertain::uniform_disk(Point::new(-5.0, 0.0), 1.0),
+            Uncertain::uniform_disk(Point::new(5.0, 0.0), 1.0),
+        ];
+        let mut rng = SmallRng::seed_from_u64(146);
+        let mc = MonteCarloIndex::build(&points, 4000, McBackend::KdTree, &mut rng);
+        let pi = mc.query(Point::ORIGIN);
+        assert!((pi[0] - 0.5).abs() < 0.05, "{pi:?}");
+        assert!((pi[1] - 0.5).abs() < 0.05);
+        // Far to the left, the left disk always wins.
+        let pi = mc.query(Point::new(-20.0, 0.0));
+        assert!(pi[0] > 0.999);
+    }
+
+    #[test]
+    fn query_knn_matches_exact_membership() {
+        let points = random_discrete(7, 3, 149);
+        let objs = as_discrete(&points);
+        let mut rng = SmallRng::seed_from_u64(150);
+        let mc = MonteCarloIndex::build(&points, 8000, McBackend::KdTree, &mut rng);
+        let q = Point::new(0.5, -1.0);
+        for k in [1usize, 3, 5] {
+            let est = mc.query_knn(q, k);
+            let exact = crate::knn::knn_membership_exact(&objs, q, k);
+            for (i, (a, b)) in est.iter().zip(&exact).enumerate() {
+                assert!((a - b).abs() < 0.03, "k={k} i={i}: mc={a} exact={b}");
+            }
+            let sum: f64 = est.iter().sum();
+            assert!((sum - k.min(7) as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sparse_query_consistent() {
+        let points = random_discrete(12, 2, 147);
+        let mut rng = SmallRng::seed_from_u64(148);
+        let mc = MonteCarloIndex::build(&points, 500, McBackend::KdTree, &mut rng);
+        let q = Point::new(1.0, 2.0);
+        let dense = mc.query(q);
+        let sparse = mc.query_sparse(q);
+        let sum: f64 = sparse.iter().map(|&(_, p)| p).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        for &(i, p) in &sparse {
+            assert_eq!(dense[i], p);
+        }
+        // Sorted by decreasing probability.
+        for w in sparse.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn samples_for_formula_shape() {
+        // Quadratic in 1/eps, logarithmic in n and 1/delta.
+        let s1 = MonteCarloIndex::samples_for(0.1, 0.1, 10, 2);
+        let s2 = MonteCarloIndex::samples_for(0.05, 0.1, 10, 2);
+        assert!(s2 >= 3 * s1, "s(ε/2) should be ~4x s(ε): {s1} vs {s2}");
+        let s3 = MonteCarloIndex::samples_for(0.1, 0.1, 1000, 2);
+        assert!(s3 < 4 * s1, "log growth in n violated: {s1} -> {s3}");
+    }
+}

@@ -1,0 +1,176 @@
+//! Numeric integration of Eq. 1 — the `[CKP04]` baseline for continuous
+//! distributions.
+//!
+//! ```text
+//!   π_i(q) = ∫ g_{q,i}(r) · Π_{j≠i} (1 - G_{q,j}(r)) dr
+//! ```
+//!
+//! evaluated as a Riemann–Stieltjes sum against the cdf `G_{q,i}`:
+//! `π_i ≈ Σ_t S_i(r̄_t) · (G_{q,i}(r_{t+1}) - G_{q,i}(r_t))`, which avoids
+//! needing the pdf explicitly (only cdfs are in the [`UncertainPoint`]
+//! interface). The grid spans `[δ_i(q), min(Δ_i(q), max_j cutoff)]` where
+//! the survival product vanishes. This is exactly the "expensive numerical
+//! integration" the paper contrasts its structures against; experiment E12
+//! measures the cost gap.
+
+use unn_distr::{Uncertain, UncertainPoint};
+use unn_geom::Point;
+
+/// Approximates all `π_i(q)` by numeric integration with `steps` grid cells
+/// per object (error `O(1/steps)`).
+pub fn quantification_numeric(points: &[Uncertain], q: Point, steps: usize) -> Vec<f64> {
+    assert!(steps >= 2);
+    let n = points.len();
+    let mut pi = vec![0.0; n];
+    if n == 0 {
+        return pi;
+    }
+    // The survival product is zero beyond the smallest max-distance over the
+    // *other* objects; integrate only where mass can exist.
+    let caps: Vec<f64> = points.iter().map(|p| p.max_dist(q)).collect();
+    for i in 0..n {
+        let lo = points[i].min_dist(q);
+        let cutoff = caps
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, &c)| c)
+            .fold(f64::INFINITY, f64::min);
+        let hi = caps[i].min(cutoff.max(lo));
+        if hi <= lo {
+            // Either certain winner (everything else farther than delta_i
+            // can't be: cutoff <= lo means some other object is always
+            // closer)… the mass in [lo, lo] is G(lo) which for continuous
+            // models is 0; handle the atom for discrete-in-disguise models.
+            let atom = points[i].distance_cdf(q, lo);
+            if atom > 0.0 {
+                let mut survive = 1.0;
+                for (j, p) in points.iter().enumerate() {
+                    if j != i {
+                        survive *= 1.0 - p.distance_cdf(q, lo);
+                    }
+                }
+                pi[i] = atom * survive;
+            }
+            continue;
+        }
+        let mut acc = 0.0;
+        // An atom exactly at δ_i (always present for discrete models) must
+        // be credited explicitly — it sits on the integration boundary.
+        let mut g_prev = points[i].distance_cdf(q, lo);
+        if g_prev > 0.0 {
+            let mut survive = 1.0;
+            for (j, p) in points.iter().enumerate() {
+                if j != i {
+                    survive *= 1.0 - p.distance_cdf(q, lo);
+                    if survive == 0.0 {
+                        break;
+                    }
+                }
+            }
+            acc += g_prev * survive;
+        }
+        for t in 0..steps {
+            let r1 = lo + (hi - lo) * (t + 1) as f64 / steps as f64;
+            let rm = lo + (hi - lo) * (t as f64 + 0.5) / steps as f64;
+            let g_next = points[i].distance_cdf(q, r1);
+            let dg = g_next - g_prev;
+            if dg > 0.0 {
+                let mut survive = 1.0;
+                for (j, p) in points.iter().enumerate() {
+                    if j != i {
+                        survive *= 1.0 - p.distance_cdf(q, rm);
+                        if survive == 0.0 {
+                            break;
+                        }
+                    }
+                }
+                acc += dg * survive;
+            }
+            g_prev = g_next;
+        }
+        pi[i] = acc;
+    }
+    pi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::quantification_exact;
+    use crate::montecarlo::{McBackend, MonteCarloIndex};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use unn_distr::DiscreteDistribution;
+
+    #[test]
+    fn matches_exact_on_discrete() {
+        let objs: Vec<DiscreteDistribution> = vec![
+            DiscreteDistribution::new(
+                vec![Point::new(1.0, 0.0), Point::new(4.0, 0.0)],
+                vec![0.3, 0.7],
+            )
+            .unwrap(),
+            DiscreteDistribution::new(
+                vec![Point::new(2.0, 0.0), Point::new(3.0, 0.0)],
+                vec![0.5, 0.5],
+            )
+            .unwrap(),
+        ];
+        let points: Vec<Uncertain> = objs.iter().cloned().map(Uncertain::Discrete).collect();
+        let q = Point::ORIGIN;
+        let want = quantification_exact(&objs, q);
+        let got = quantification_numeric(&points, q, 4000);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 0.01, "{got:?} vs {want:?}");
+        }
+    }
+
+    #[test]
+    fn symmetric_disks_split_evenly() {
+        let points = vec![
+            Uncertain::uniform_disk(Point::new(-5.0, 0.0), 2.0),
+            Uncertain::uniform_disk(Point::new(5.0, 0.0), 2.0),
+        ];
+        let pi = quantification_numeric(&points, Point::ORIGIN, 2000);
+        assert!((pi[0] - 0.5).abs() < 1e-3, "{pi:?}");
+        assert!((pi[1] - 0.5).abs() < 1e-3);
+        let sum: f64 = pi.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn dominated_point_gets_zero() {
+        // A disk strictly farther than another in every instantiation.
+        let points = vec![
+            Uncertain::uniform_disk(Point::new(1.0, 0.0), 0.5),
+            Uncertain::uniform_disk(Point::new(20.0, 0.0), 0.5),
+        ];
+        let pi = quantification_numeric(&points, Point::ORIGIN, 500);
+        assert!((pi[0] - 1.0).abs() < 1e-6);
+        assert_eq!(pi[1], 0.0);
+    }
+
+    #[test]
+    fn agrees_with_monte_carlo_on_mixed_models() {
+        let points = vec![
+            Uncertain::uniform_disk(Point::new(-3.0, 1.0), 1.5),
+            Uncertain::uniform_disk(Point::new(3.0, -1.0), 2.0),
+            Uncertain::Gaussian(unn_distr::TruncatedGaussian::with_sigmas(
+                Point::new(0.0, 4.0),
+                0.8,
+                3.0,
+            )),
+        ];
+        let q = Point::new(0.3, 0.2);
+        let numeric = quantification_numeric(&points, q, 3000);
+        let mut rng = SmallRng::seed_from_u64(180);
+        let mc = MonteCarloIndex::build(&points, 60_000, McBackend::KdTree, &mut rng);
+        let sampled = mc.query(q);
+        for (i, (a, b)) in numeric.iter().zip(&sampled).enumerate() {
+            assert!((a - b).abs() < 0.01, "i={i}: numeric={a} mc={b}");
+        }
+        let sum: f64 = numeric.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "sum = {sum}");
+    }
+}

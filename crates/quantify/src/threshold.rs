@@ -1,0 +1,116 @@
+//! Probability-threshold NN queries ([DYM⁺05]-style, built on the paper's
+//! estimators).
+//!
+//! Report every `P_i` with `π_i(q) > τ`. Running any ε-estimator with
+//! `ε = τ·margin/2` classifies correctly whenever the true probability is
+//! at least `ε` away from the threshold; borderline objects are returned in
+//! a separate "uncertain" bucket rather than silently misclassified.
+
+use unn_geom::Point;
+
+use crate::spiral::SpiralIndex;
+
+/// Result of a threshold query.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ThresholdResult {
+    /// Objects whose probability certainly exceeds the threshold.
+    pub above: Vec<usize>,
+    /// Objects whose estimate lies within the error band of the threshold —
+    /// the estimator cannot decide at this precision.
+    pub uncertain: Vec<usize>,
+}
+
+/// Threshold query on top of spiral search (deterministic guarantee):
+/// classifies with `ε`-wide indecision bands around `τ` using the one-sided
+/// bound `π̂ ≤ π ≤ π̂ + ε` of Lemma 4.6.
+pub fn threshold_query_spiral(
+    idx: &SpiralIndex,
+    q: Point,
+    tau: f64,
+    eps: f64,
+) -> ThresholdResult {
+    assert!(tau > 0.0 && tau < 1.0);
+    let pi = idx.query(q, eps);
+    let mut res = ThresholdResult::default();
+    for (i, &p) in pi.iter().enumerate() {
+        // True value lies in [p, p + eps].
+        if p > tau {
+            res.above.push(i);
+        } else if p + eps > tau {
+            res.uncertain.push(i);
+        }
+    }
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::quantification_exact;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+    use unn_distr::DiscreteDistribution;
+
+    fn random_objects(n: usize, k: usize, seed: u64) -> Vec<DiscreteDistribution> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let cx: f64 = rng.random_range(-20.0..20.0);
+                let cy: f64 = rng.random_range(-20.0..20.0);
+                let pts: Vec<Point> = (0..k)
+                    .map(|_| {
+                        Point::new(
+                            cx + rng.random_range(-4.0..4.0),
+                            cy + rng.random_range(-4.0..4.0),
+                        )
+                    })
+                    .collect();
+                DiscreteDistribution::uniform(pts).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn classification_is_sound() {
+        let objs = random_objects(10, 3, 190);
+        let idx = SpiralIndex::build(&objs);
+        let mut rng = SmallRng::seed_from_u64(191);
+        for _ in 0..50 {
+            let q = Point::new(rng.random_range(-30.0..30.0), rng.random_range(-30.0..30.0));
+            let tau = 0.2;
+            let eps = 0.05;
+            let res = threshold_query_spiral(&idx, q, tau, eps);
+            let exact = quantification_exact(&objs, q);
+            for &i in &res.above {
+                assert!(exact[i] > tau, "false positive: pi = {}", exact[i]);
+            }
+            // No true positive is missed entirely.
+            for (i, &p) in exact.iter().enumerate() {
+                if p > tau + eps {
+                    assert!(
+                        res.above.contains(&i),
+                        "missed object {i} with pi = {p}"
+                    );
+                } else if p > tau {
+                    assert!(
+                        res.above.contains(&i) || res.uncertain.contains(&i),
+                        "object {i} with pi = {p} not even flagged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tight_threshold_flags_uncertain() {
+        // Symmetric pair: both probabilities 0.5; threshold at 0.5 with a
+        // coarse eps must place them in above-or-uncertain, never drop them.
+        let objs = vec![
+            DiscreteDistribution::certain(Point::new(-1.0, 0.0)),
+            DiscreteDistribution::certain(Point::new(1.0, 0.5)),
+        ];
+        let idx = SpiralIndex::build(&objs);
+        let res = threshold_query_spiral(&idx, Point::new(0.0, 0.1), 0.4, 0.3);
+        assert_eq!(res.above.len() + res.uncertain.len(), 1);
+    }
+}

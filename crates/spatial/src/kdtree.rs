@@ -1,0 +1,610 @@
+//! Kd-tree over weighted points.
+//!
+//! One structure serves every query shape the paper's data structures need
+//! (DESIGN.md §4 explains each substitution):
+//!
+//! * [`KdTree::nearest`] / [`KdTree::m_nearest`] — plain (m-)nearest
+//!   neighbors; the engine of the Monte-Carlo structure (§4.2) and of spiral
+//!   search (§4.3, replacing the `[AC09]` structure).
+//! * [`KdTree::in_disk`] — disk range reporting.
+//! * [`KdTree::min_adjusted`] — minimize a per-point score bounded below by
+//!   the box distance; with `eval = d(q,c_i) + r_i` over disk centers this
+//!   computes `Δ(q) = min_i Δ_i(q)`, stage 1 of the `NN≠0` query (§3).
+//! * [`KdTree::report_adjusted_below`] — report every `i` with
+//!   `eval(i) < t` where `eval(i) >= d(q, p_i) - aux_i`; with `aux_i = r_i`
+//!   and `eval = δ_i` this reports `{i : δ_i(q) < Δ(q)}`, stage 2 of the
+//!   `NN≠0` query (replacing `[KMR⁺16]`).
+//!
+//! The tree is built by recursive median split on the wider box dimension;
+//! nodes are stored in a flat `Vec` (index arithmetic, no pointers), leaves
+//! hold a small fixed number of points.
+
+use unn_geom::{Aabb, Point};
+
+/// Max points per leaf.
+const LEAF_SIZE: usize = 8;
+
+#[derive(Clone, Debug)]
+struct Node {
+    bbox: Aabb,
+    /// Minimum of `aux` over the subtree (for `min_adjusted`-style bounds).
+    min_aux: f64,
+    /// Maximum of `aux` over the subtree (for `report_adjusted_below`).
+    max_aux: f64,
+    /// Children indices, or `u32::MAX` sentinel for leaves.
+    left: u32,
+    right: u32,
+    /// Range of points (into the reordered arrays) for leaves; empty for
+    /// internal nodes.
+    start: u32,
+    end: u32,
+}
+
+impl Node {
+    #[inline]
+    fn is_leaf(&self) -> bool {
+        self.left == u32::MAX
+    }
+}
+
+/// A static kd-tree over points with an auxiliary scalar per point
+/// (a radius, an extent — anything that offsets distances).
+///
+/// ```
+/// use unn_geom::Point;
+/// use unn_spatial::KdTree;
+///
+/// let pts = vec![Point::new(0.0, 0.0), Point::new(5.0, 5.0), Point::new(9.0, 1.0)];
+/// let tree = KdTree::new(&pts);
+/// assert_eq!(tree.nearest(Point::new(8.0, 0.0)).unwrap().id, 2);
+/// let two = tree.m_nearest(Point::new(0.0, 1.0), 2);
+/// assert_eq!(two[0].id, 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct KdTree {
+    nodes: Vec<Node>,
+    pts: Vec<Point>,
+    aux: Vec<f64>,
+    /// Original index of each reordered point.
+    ids: Vec<u32>,
+}
+
+/// A reported neighbor: original index and distance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Neighbor {
+    /// Index into the original input slice.
+    pub id: usize,
+    /// Euclidean distance to the query.
+    pub dist: f64,
+}
+
+impl KdTree {
+    /// Builds a tree over `points` with all-zero auxiliaries.
+    pub fn new(points: &[Point]) -> Self {
+        Self::with_aux(points, &vec![0.0; points.len()])
+    }
+
+    /// Builds a tree over `points` with the given per-point auxiliaries.
+    pub fn with_aux(points: &[Point], aux: &[f64]) -> Self {
+        assert_eq!(points.len(), aux.len());
+        let n = points.len();
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        let mut tree = KdTree {
+            nodes: Vec::with_capacity(2 * n / LEAF_SIZE + 2),
+            pts: points.to_vec(),
+            aux: aux.to_vec(),
+            ids: Vec::new(),
+        };
+        if n > 0 {
+            let mut order: Vec<u32> = ids.clone();
+            tree.build(&mut order, 0, n);
+            // Reorder point/aux arrays by the final permutation.
+            let pts: Vec<Point> = order.iter().map(|&i| points[i as usize]).collect();
+            let auxv: Vec<f64> = order.iter().map(|&i| aux[i as usize]).collect();
+            tree.pts = pts;
+            tree.aux = auxv;
+            ids = order;
+        }
+        tree.ids = ids;
+        tree
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pts.len()
+    }
+
+    /// `true` if the tree is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pts.is_empty()
+    }
+
+    fn build(&mut self, order: &mut [u32], global_start: usize, _total: usize) -> u32 {
+        // Compute bbox and aux range of this chunk.
+        let mut bbox = Aabb::EMPTY;
+        let mut min_aux = f64::INFINITY;
+        let mut max_aux = f64::NEG_INFINITY;
+        for &i in order.iter() {
+            bbox.insert(self.pts[i as usize]);
+            let a = self.aux[i as usize];
+            min_aux = min_aux.min(a);
+            max_aux = max_aux.max(a);
+        }
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            bbox,
+            min_aux,
+            max_aux,
+            left: u32::MAX,
+            right: u32::MAX,
+            start: global_start as u32,
+            end: (global_start + order.len()) as u32,
+        });
+        if order.len() <= LEAF_SIZE {
+            return idx;
+        }
+        // Split at the median of the wider dimension.
+        let horizontal = bbox.width() >= bbox.height();
+        let mid = order.len() / 2;
+        let pts = &self.pts;
+        order.select_nth_unstable_by(mid, |&a, &b| {
+            let (pa, pb) = (pts[a as usize], pts[b as usize]);
+            if horizontal {
+                pa.x.total_cmp(&pb.x)
+            } else {
+                pa.y.total_cmp(&pb.y)
+            }
+        });
+        let (lo, hi) = order.split_at_mut(mid);
+        let left = self.build(lo, global_start, _total);
+        let right = self.build(hi, global_start + mid, _total);
+        self.nodes[idx as usize].left = left;
+        self.nodes[idx as usize].right = right;
+        self.nodes[idx as usize].start = u32::MAX;
+        self.nodes[idx as usize].end = u32::MAX;
+        idx
+    }
+
+    /// Nearest neighbor of `q`, or `None` for an empty tree.
+    pub fn nearest(&self, q: Point) -> Option<Neighbor> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut best = Neighbor {
+            id: usize::MAX,
+            dist: f64::INFINITY,
+        };
+        self.nearest_rec(0, q, &mut best);
+        Some(best)
+    }
+
+    fn nearest_rec(&self, node: u32, q: Point, best: &mut Neighbor) {
+        let n = &self.nodes[node as usize];
+        if n.bbox.min_dist(q) >= best.dist {
+            return;
+        }
+        if n.is_leaf() {
+            for i in n.start..n.end {
+                let d = self.pts[i as usize].dist(q);
+                if d < best.dist {
+                    *best = Neighbor {
+                        id: self.ids[i as usize] as usize,
+                        dist: d,
+                    };
+                }
+            }
+            return;
+        }
+        let (l, r) = (n.left, n.right);
+        let dl = self.nodes[l as usize].bbox.min_dist2(q);
+        let dr = self.nodes[r as usize].bbox.min_dist2(q);
+        if dl <= dr {
+            self.nearest_rec(l, q, best);
+            self.nearest_rec(r, q, best);
+        } else {
+            self.nearest_rec(r, q, best);
+            self.nearest_rec(l, q, best);
+        }
+    }
+
+    /// The `m` nearest neighbors of `q`, sorted by increasing distance.
+    ///
+    /// This is the retrieval engine of spiral search (Theorem 4.7): the
+    /// `m(ρ,ε)` closest locations of `S = ∪ P_i`.
+    pub fn m_nearest(&self, q: Point, m: usize) -> Vec<Neighbor> {
+        if self.is_empty() || m == 0 {
+            return Vec::new();
+        }
+        // Bounded max-heap on distance.
+        let mut heap: Vec<Neighbor> = Vec::with_capacity(m + 1);
+        self.m_nearest_rec(0, q, m, &mut heap);
+        heap.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        heap
+    }
+
+    fn m_nearest_rec(&self, node: u32, q: Point, m: usize, heap: &mut Vec<Neighbor>) {
+        let n = &self.nodes[node as usize];
+        let worst = if heap.len() < m {
+            f64::INFINITY
+        } else {
+            heap[0].dist
+        };
+        if n.bbox.min_dist(q) >= worst {
+            return;
+        }
+        if n.is_leaf() {
+            for i in n.start..n.end {
+                let d = self.pts[i as usize].dist(q);
+                let worst = if heap.len() < m {
+                    f64::INFINITY
+                } else {
+                    heap[0].dist
+                };
+                if d < worst {
+                    heap_push(heap, m, Neighbor {
+                        id: self.ids[i as usize] as usize,
+                        dist: d,
+                    });
+                }
+            }
+            return;
+        }
+        let (l, r) = (n.left, n.right);
+        let dl = self.nodes[l as usize].bbox.min_dist2(q);
+        let dr = self.nodes[r as usize].bbox.min_dist2(q);
+        if dl <= dr {
+            self.m_nearest_rec(l, q, m, heap);
+            self.m_nearest_rec(r, q, m, heap);
+        } else {
+            self.m_nearest_rec(r, q, m, heap);
+            self.m_nearest_rec(l, q, m, heap);
+        }
+    }
+
+    /// Calls `visit(id, dist)` for every point within distance `r` of `q`
+    /// (closed ball).
+    pub fn in_disk(&self, q: Point, r: f64, visit: &mut dyn FnMut(usize, f64)) {
+        if self.is_empty() || r < 0.0 {
+            return;
+        }
+        self.in_disk_rec(0, q, r, visit);
+    }
+
+    fn in_disk_rec(&self, node: u32, q: Point, r: f64, visit: &mut dyn FnMut(usize, f64)) {
+        let n = &self.nodes[node as usize];
+        if n.bbox.min_dist(q) > r {
+            return;
+        }
+        if n.is_leaf() {
+            for i in n.start..n.end {
+                let d = self.pts[i as usize].dist(q);
+                if d <= r {
+                    visit(self.ids[i as usize] as usize, d);
+                }
+            }
+            return;
+        }
+        self.in_disk_rec(n.left, q, r, visit);
+        self.in_disk_rec(n.right, q, r, visit);
+    }
+
+    /// Minimizes `eval(id)` over all points, where `eval(id)` must satisfy
+    /// `eval(id) >= d(q, p_id) + min_aux_bound` with `min_aux_bound` the
+    /// node's minimum auxiliary (pass `eval = d(q,·) + aux` for the
+    /// additively-weighted nearest neighbor `Δ(q) = min_i d(q,c_i) + r_i`,
+    /// or any more expensive exact evaluation such as a farthest-point
+    /// distance with `aux = 0`).
+    ///
+    /// Pruning bound per subtree: `bbox.min_dist(q) + min_aux`.
+    pub fn min_adjusted(&self, q: Point, eval: &dyn Fn(usize) -> f64) -> Option<(usize, f64)> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut best: (usize, f64) = (usize::MAX, f64::INFINITY);
+        self.min_adjusted_rec(0, q, eval, &mut best);
+        (best.0 != usize::MAX).then_some(best)
+    }
+
+    fn min_adjusted_rec(
+        &self,
+        node: u32,
+        q: Point,
+        eval: &dyn Fn(usize) -> f64,
+        best: &mut (usize, f64),
+    ) {
+        let n = &self.nodes[node as usize];
+        if n.bbox.min_dist(q) + n.min_aux >= best.1 {
+            return;
+        }
+        if n.is_leaf() {
+            for i in n.start..n.end {
+                let id = self.ids[i as usize] as usize;
+                let v = eval(id);
+                if v < best.1 {
+                    *best = (id, v);
+                }
+            }
+            return;
+        }
+        let (l, r) = (n.left, n.right);
+        let bl = self.nodes[l as usize].bbox.min_dist(q) + self.nodes[l as usize].min_aux;
+        let br = self.nodes[r as usize].bbox.min_dist(q) + self.nodes[r as usize].min_aux;
+        if bl <= br {
+            self.min_adjusted_rec(l, q, eval, best);
+            self.min_adjusted_rec(r, q, eval, best);
+        } else {
+            self.min_adjusted_rec(r, q, eval, best);
+            self.min_adjusted_rec(l, q, eval, best);
+        }
+    }
+
+    /// Reports every `id` with `eval(id) < t`, where
+    /// `eval(id) >= d(q, p_id) - aux_id` (pass `eval = δ_i` with
+    /// `aux = r_i` for disks, or `aux` = object extent for discrete points).
+    ///
+    /// Pruning bound per subtree: `bbox.min_dist(q) - max_aux`.
+    pub fn report_adjusted_below(
+        &self,
+        q: Point,
+        t: f64,
+        eval: &dyn Fn(usize) -> f64,
+        visit: &mut dyn FnMut(usize, f64),
+    ) {
+        if self.is_empty() {
+            return;
+        }
+        self.report_rec(0, q, t, eval, visit);
+    }
+
+    fn report_rec(
+        &self,
+        node: u32,
+        q: Point,
+        t: f64,
+        eval: &dyn Fn(usize) -> f64,
+        visit: &mut dyn FnMut(usize, f64),
+    ) {
+        let n = &self.nodes[node as usize];
+        if n.bbox.min_dist(q) - n.max_aux >= t {
+            return;
+        }
+        if n.is_leaf() {
+            for i in n.start..n.end {
+                let id = self.ids[i as usize] as usize;
+                let v = eval(id);
+                if v < t {
+                    visit(id, v);
+                }
+            }
+            return;
+        }
+        self.report_rec(n.left, q, t, eval, visit);
+        self.report_rec(n.right, q, t, eval, visit);
+    }
+}
+
+#[inline]
+fn heap_push(heap: &mut Vec<Neighbor>, m: usize, nb: Neighbor) {
+    // Max-heap on dist, capped at m entries.
+    heap.push(nb);
+    let mut i = heap.len() - 1;
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        if heap[parent].dist < heap[i].dist {
+            heap.swap(parent, i);
+            i = parent;
+        } else {
+            break;
+        }
+    }
+    if heap.len() > m {
+        // Pop the max (root).
+        let last = heap.len() - 1;
+        heap.swap(0, last);
+        heap.pop();
+        // Sift down.
+        let mut i = 0;
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut largest = i;
+            if l < heap.len() && heap[l].dist > heap[largest].dist {
+                largest = l;
+            }
+            if r < heap.len() && heap[r].dist > heap[largest].dist {
+                largest = r;
+            }
+            if largest == i {
+                break;
+            }
+            heap.swap(i, largest);
+            i = largest;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.random_range(-100.0..100.0), rng.random_range(-100.0..100.0)))
+            .collect()
+    }
+
+    fn brute_nearest(pts: &[Point], q: Point) -> Neighbor {
+        let mut best = Neighbor {
+            id: usize::MAX,
+            dist: f64::INFINITY,
+        };
+        for (i, p) in pts.iter().enumerate() {
+            let d = p.dist(q);
+            if d < best.dist {
+                best = Neighbor { id: i, dist: d };
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let pts = random_points(500, 1);
+        let tree = KdTree::new(&pts);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let q = Point::new(rng.random_range(-120.0..120.0), rng.random_range(-120.0..120.0));
+            let got = tree.nearest(q).unwrap();
+            let want = brute_nearest(&pts, q);
+            assert_eq!(got.id, want.id, "q = {q:?}");
+        }
+    }
+
+    #[test]
+    fn m_nearest_matches_sorted_brute_force() {
+        let pts = random_points(300, 3);
+        let tree = KdTree::new(&pts);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let q = Point::new(rng.random_range(-120.0..120.0), rng.random_range(-120.0..120.0));
+            for m in [1, 5, 17, 300, 400] {
+                let got = tree.m_nearest(q, m);
+                let mut want: Vec<(usize, f64)> =
+                    pts.iter().enumerate().map(|(i, p)| (i, p.dist(q))).collect();
+                want.sort_by(|a, b| a.1.total_cmp(&b.1));
+                want.truncate(m);
+                assert_eq!(got.len(), want.len());
+                for (g, w) in got.iter().zip(&want) {
+                    assert!((g.dist - w.1).abs() < 1e-12, "m={m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn in_disk_matches_brute_force() {
+        let pts = random_points(400, 5);
+        let tree = KdTree::new(&pts);
+        let q = Point::new(10.0, -20.0);
+        for r in [0.0, 5.0, 30.0, 300.0] {
+            let mut got: Vec<usize> = Vec::new();
+            tree.in_disk(q, r, &mut |id, _| got.push(id));
+            got.sort_unstable();
+            let want: Vec<usize> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.dist(q) <= r)
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(got, want, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn weighted_min_matches_brute_force() {
+        // Additively weighted NN: Delta(q) = min d(q,c_i) + r_i.
+        let pts = random_points(300, 6);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let radii: Vec<f64> = (0..pts.len()).map(|_| rng.random_range(0.1..20.0)).collect();
+        let tree = KdTree::with_aux(&pts, &radii);
+        for _ in 0..100 {
+            let q = Point::new(rng.random_range(-120.0..120.0), rng.random_range(-120.0..120.0));
+            let (id, v) = tree
+                .min_adjusted(q, &|i| pts[i].dist(q) + radii[i])
+                .unwrap();
+            let (bid, bv) = pts
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i, p.dist(q) + radii[i]))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .unwrap();
+            assert_eq!(id, bid);
+            assert!((v - bv).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn report_below_matches_brute_force() {
+        // Stage 2 of NN!=0: report i with max(d - r, 0) < t.
+        let pts = random_points(300, 8);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let radii: Vec<f64> = (0..pts.len()).map(|_| rng.random_range(0.1..20.0)).collect();
+        let tree = KdTree::with_aux(&pts, &radii);
+        for _ in 0..50 {
+            let q = Point::new(rng.random_range(-120.0..120.0), rng.random_range(-120.0..120.0));
+            let t = rng.random_range(1.0..60.0);
+            let delta = |i: usize| (pts[i].dist(q) - radii[i]).max(0.0);
+            let mut got: Vec<usize> = Vec::new();
+            tree.report_adjusted_below(q, t, &delta, &mut |id, _| got.push(id));
+            got.sort_unstable();
+            let want: Vec<usize> =
+                (0..pts.len()).filter(|&i| delta(i) < t).collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_trees() {
+        let empty = KdTree::new(&[]);
+        assert!(empty.nearest(Point::ORIGIN).is_none());
+        assert!(empty.m_nearest(Point::ORIGIN, 3).is_empty());
+        assert!(empty
+            .min_adjusted(Point::ORIGIN, &|_| unreachable!())
+            .is_none());
+
+        let one = KdTree::new(&[Point::new(1.0, 1.0)]);
+        let nb = one.nearest(Point::ORIGIN).unwrap();
+        assert_eq!(nb.id, 0);
+        assert!((nb.dist - 2.0f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn duplicate_points_all_reported() {
+        let pts = vec![Point::new(1.0, 1.0); 20];
+        let tree = KdTree::new(&pts);
+        let mut got = Vec::new();
+        tree.in_disk(Point::ORIGIN, 2.0, &mut |id, _| got.push(id));
+        assert_eq!(got.len(), 20);
+        let m = tree.m_nearest(Point::ORIGIN, 7);
+        assert_eq!(m.len(), 7);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_nearest_agrees(
+            pts in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 1..80),
+            qx in -60.0f64..60.0, qy in -60.0f64..60.0,
+        ) {
+            let pts: Vec<Point> = pts.into_iter().map(|(x, y)| Point::new(x, y)).collect();
+            let tree = KdTree::new(&pts);
+            let q = Point::new(qx, qy);
+            let got = tree.nearest(q).unwrap();
+            let want = brute_nearest(&pts, q);
+            prop_assert!((got.dist - want.dist).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_m_nearest_is_prefix_of_sort(
+            pts in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 1..60),
+            qx in -60.0f64..60.0, qy in -60.0f64..60.0,
+            m in 1usize..70,
+        ) {
+            let pts: Vec<Point> = pts.into_iter().map(|(x, y)| Point::new(x, y)).collect();
+            let tree = KdTree::new(&pts);
+            let q = Point::new(qx, qy);
+            let got = tree.m_nearest(q, m);
+            prop_assert_eq!(got.len(), m.min(pts.len()));
+            // Sorted and matching the true distance multiset prefix.
+            let mut dists: Vec<f64> = pts.iter().map(|p| p.dist(q)).collect();
+            dists.sort_by(f64::total_cmp);
+            for (g, &w) in got.iter().zip(dists.iter()) {
+                prop_assert!((g.dist - w).abs() < 1e-12);
+            }
+        }
+    }
+}

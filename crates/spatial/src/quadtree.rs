@@ -1,0 +1,238 @@
+//! Point-region quadtree with branch-and-bound m-nearest-neighbor search.
+//!
+//! The paper's §4.3 remark (ii) suggests exactly this structure ("one may use
+//! quad-trees and a branch-and-bound algorithm to retrieve m points of S
+//! closest to q" `[Har11]`) as the practical replacement for the theoretically
+//! optimal `[AC09]` structure. It is benchmarked against the kd-tree in the
+//! ablation experiment E14.
+
+use unn_geom::{Aabb, Point};
+
+/// Max points per leaf before splitting.
+const LEAF_CAP: usize = 16;
+/// Max tree depth (guards against many coincident points).
+const MAX_DEPTH: u32 = 32;
+
+#[derive(Clone, Debug)]
+enum NodeKind {
+    Leaf { ids: Vec<u32> },
+    /// Children in quadrant order: SW, SE, NW, NE.
+    Internal { children: [u32; 4] },
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    bbox: Aabb,
+    kind: NodeKind,
+}
+
+/// A PR quadtree over a static point set.
+#[derive(Clone, Debug)]
+pub struct QuadTree {
+    nodes: Vec<Node>,
+    pts: Vec<Point>,
+}
+
+impl QuadTree {
+    /// Builds a quadtree over `points`.
+    pub fn new(points: &[Point]) -> Self {
+        let mut tree = QuadTree {
+            nodes: Vec::new(),
+            pts: points.to_vec(),
+        };
+        if points.is_empty() {
+            return tree;
+        }
+        let mut bbox = Aabb::of_points(points);
+        // Make it square and slightly padded so splits stay well-formed.
+        let side = bbox.width().max(bbox.height()).max(1e-12);
+        bbox = Aabb::new(
+            bbox.min,
+            Point::new(bbox.min.x + side, bbox.min.y + side),
+        )
+        .inflate(side * 1e-9);
+        let ids: Vec<u32> = (0..points.len() as u32).collect();
+        tree.build(bbox, ids, 0);
+        tree
+    }
+
+    fn build(&mut self, bbox: Aabb, ids: Vec<u32>, depth: u32) -> u32 {
+        let idx = self.nodes.len() as u32;
+        if ids.len() <= LEAF_CAP || depth >= MAX_DEPTH {
+            self.nodes.push(Node {
+                bbox,
+                kind: NodeKind::Leaf { ids },
+            });
+            return idx;
+        }
+        self.nodes.push(Node {
+            bbox,
+            kind: NodeKind::Leaf { ids: Vec::new() }, // placeholder
+        });
+        let c = bbox.center();
+        let mut buckets: [Vec<u32>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        for id in ids {
+            let p = self.pts[id as usize];
+            let qx = usize::from(p.x > c.x);
+            let qy = usize::from(p.y > c.y);
+            buckets[qy * 2 + qx].push(id);
+        }
+        let quads = [
+            Aabb::new(bbox.min, c),
+            Aabb::new(Point::new(c.x, bbox.min.y), Point::new(bbox.max.x, c.y)),
+            Aabb::new(Point::new(bbox.min.x, c.y), Point::new(c.x, bbox.max.y)),
+            Aabb::new(c, bbox.max),
+        ];
+        let mut children = [u32::MAX; 4];
+        for (i, (quad, bucket)) in quads.into_iter().zip(buckets).enumerate() {
+            children[i] = self.build(quad, bucket, depth + 1);
+        }
+        self.nodes[idx as usize].kind = NodeKind::Internal { children };
+        idx
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pts.len()
+    }
+
+    /// `true` if the tree holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pts.is_empty()
+    }
+
+    /// The `m` nearest neighbors of `q` by best-first branch-and-bound,
+    /// returned as `(id, dist)` sorted by increasing distance.
+    pub fn m_nearest(&self, q: Point, m: usize) -> Vec<(usize, f64)> {
+        if self.is_empty() || m == 0 {
+            return Vec::new();
+        }
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        #[derive(PartialEq)]
+        struct Entry(f64, u32);
+        impl Eq for Entry {}
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.total_cmp(&other.0)
+            }
+        }
+
+        let mut frontier: BinaryHeap<Reverse<Entry>> = BinaryHeap::new();
+        frontier.push(Reverse(Entry(0.0, 0)));
+        // Max-heap of current best m (dist, id).
+        let mut best: BinaryHeap<Entry> = BinaryHeap::new();
+        while let Some(Reverse(Entry(lb, node))) = frontier.pop() {
+            if best.len() == m && lb >= best.peek().expect("nonempty").0 {
+                break; // no remaining node can improve
+            }
+            match &self.nodes[node as usize].kind {
+                NodeKind::Leaf { ids } => {
+                    for &id in ids {
+                        let d = self.pts[id as usize].dist(q);
+                        if best.len() < m {
+                            best.push(Entry(d, id));
+                        } else if d < best.peek().expect("nonempty").0 {
+                            best.pop();
+                            best.push(Entry(d, id));
+                        }
+                    }
+                }
+                NodeKind::Internal { children } => {
+                    for &c in children {
+                        let lb = self.nodes[c as usize].bbox.min_dist(q);
+                        if best.len() < m || lb < best.peek().expect("nonempty").0 {
+                            frontier.push(Reverse(Entry(lb, c)));
+                        }
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(usize, f64)> = best
+            .into_iter()
+            .map(|Entry(d, id)| (id as usize, d))
+            .collect();
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.random_range(-50.0..50.0), rng.random_range(-50.0..50.0)))
+            .collect()
+    }
+
+    #[test]
+    fn m_nearest_matches_brute_force() {
+        let pts = random_points(500, 10);
+        let tree = QuadTree::new(&pts);
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..40 {
+            let q = Point::new(rng.random_range(-60.0..60.0), rng.random_range(-60.0..60.0));
+            for m in [1, 8, 33, 500] {
+                let got = tree.m_nearest(q, m);
+                let mut want: Vec<f64> = pts.iter().map(|p| p.dist(q)).collect();
+                want.sort_by(f64::total_cmp);
+                want.truncate(m);
+                assert_eq!(got.len(), want.len(), "m={m}");
+                for (g, &w) in got.iter().zip(&want) {
+                    assert!((g.1 - w).abs() < 1e-12, "m={m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn handles_duplicates_beyond_depth() {
+        let mut pts = vec![Point::new(1.0, 1.0); 100];
+        pts.push(Point::new(2.0, 2.0));
+        let tree = QuadTree::new(&pts);
+        let got = tree.m_nearest(Point::new(0.0, 0.0), 101);
+        assert_eq!(got.len(), 101);
+        assert_eq!(got.last().unwrap().0, 100); // the distinct far point last
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = QuadTree::new(&[]);
+        assert!(tree.m_nearest(Point::ORIGIN, 5).is_empty());
+        assert!(tree.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_quadtree_agrees_with_sort(
+            pts in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 1..80),
+            qx in -60.0f64..60.0, qy in -60.0f64..60.0,
+            m in 1usize..30,
+        ) {
+            let pts: Vec<Point> = pts.into_iter().map(|(x, y)| Point::new(x, y)).collect();
+            let tree = QuadTree::new(&pts);
+            let got = tree.m_nearest(Point::new(qx, qy), m);
+            let mut want: Vec<f64> = pts.iter().map(|p| p.dist(Point::new(qx, qy))).collect();
+            want.sort_by(f64::total_cmp);
+            want.truncate(m);
+            prop_assert_eq!(got.len(), want.len());
+            for (g, &w) in got.iter().zip(&want) {
+                prop_assert!((g.1 - w).abs() < 1e-12);
+            }
+        }
+    }
+}

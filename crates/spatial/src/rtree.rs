@@ -1,0 +1,323 @@
+//! Static R-tree (STR bulk load) over rectangles.
+//!
+//! The paper's related work answers `NN≠0` queries with R-tree
+//! branch-and-prune (`[CKP04]`) and combines the nonzero Voronoi diagram with
+//! R-tree-style bounding rectangles (`[ZCM⁺13]`). This module provides the
+//! substrate: a packed Sort-Tile-Recursive R-tree with the two
+//! branch-and-bound queries those methods need —
+//!
+//! * [`RTree::min_max_dist`]: minimize the max-distance to an entry
+//!   (an upper bound on `Δ(q)` when entries are support bounding boxes);
+//! * [`RTree::report_min_below`]: report entries whose min-distance is
+//!   below a threshold (the candidate filter, refined by exact `δ_i`).
+
+use unn_geom::{Aabb, Point};
+
+/// Entries per node.
+const NODE_CAP: usize = 8;
+
+#[derive(Clone, Debug)]
+struct Node {
+    bbox: Aabb,
+    /// Children node indices (internal) — empty for leaves.
+    children: Vec<u32>,
+    /// Entry ids (leaves) — empty for internal nodes.
+    entries: Vec<u32>,
+}
+
+/// A static, bulk-loaded R-tree over axis-aligned rectangles.
+#[derive(Clone, Debug)]
+pub struct RTree {
+    nodes: Vec<Node>,
+    boxes: Vec<Aabb>,
+    root: u32,
+}
+
+impl RTree {
+    /// Bulk-loads with Sort-Tile-Recursive packing.
+    pub fn new(boxes: &[Aabb]) -> Self {
+        let mut tree = RTree {
+            nodes: Vec::new(),
+            boxes: boxes.to_vec(),
+            root: 0,
+        };
+        if boxes.is_empty() {
+            tree.nodes.push(Node {
+                bbox: Aabb::EMPTY,
+                children: Vec::new(),
+                entries: Vec::new(),
+            });
+            return tree;
+        }
+        // STR: sort by center x, slice into vertical strips of
+        // sqrt(n / cap) each, sort strips by center y, pack.
+        let n = boxes.len();
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        ids.sort_by(|&a, &b| {
+            boxes[a as usize]
+                .center()
+                .x
+                .total_cmp(&boxes[b as usize].center().x)
+        });
+        let leaves = n.div_ceil(NODE_CAP);
+        let strips = (leaves as f64).sqrt().ceil() as usize;
+        let per_strip = n.div_ceil(strips);
+        let mut leaf_ids: Vec<u32> = Vec::new();
+        for strip in ids.chunks(per_strip) {
+            let mut strip: Vec<u32> = strip.to_vec();
+            strip.sort_by(|&a, &b| {
+                boxes[a as usize]
+                    .center()
+                    .y
+                    .total_cmp(&boxes[b as usize].center().y)
+            });
+            for chunk in strip.chunks(NODE_CAP) {
+                let mut bbox = Aabb::EMPTY;
+                for &e in chunk {
+                    bbox = bbox.union(&boxes[e as usize]);
+                }
+                let id = tree.nodes.len() as u32;
+                tree.nodes.push(Node {
+                    bbox,
+                    children: Vec::new(),
+                    entries: chunk.to_vec(),
+                });
+                leaf_ids.push(id);
+            }
+        }
+        // Pack upward.
+        let mut level = leaf_ids;
+        while level.len() > 1 {
+            let mut next = Vec::new();
+            for chunk in level.chunks(NODE_CAP) {
+                let mut bbox = Aabb::EMPTY;
+                for &c in chunk {
+                    bbox = bbox.union(&tree.nodes[c as usize].bbox);
+                }
+                let id = tree.nodes.len() as u32;
+                tree.nodes.push(Node {
+                    bbox,
+                    children: chunk.to_vec(),
+                    entries: Vec::new(),
+                });
+                next.push(id);
+            }
+            level = next;
+        }
+        tree.root = level[0];
+        tree
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// `true` when the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.boxes.is_empty()
+    }
+
+    /// The entry minimizing the maximum distance from `q` to its rectangle,
+    /// by best-first branch and bound (bound: `node_box.min_dist`).
+    pub fn min_max_dist(&self, q: Point) -> Option<(usize, f64)> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut best: (usize, f64) = (usize::MAX, f64::INFINITY);
+        self.min_max_rec(self.root, q, &mut best);
+        (best.0 != usize::MAX).then_some(best)
+    }
+
+    fn min_max_rec(&self, node: u32, q: Point, best: &mut (usize, f64)) {
+        let n = &self.nodes[node as usize];
+        if n.bbox.is_empty() || n.bbox.min_dist(q) >= best.1 {
+            return;
+        }
+        if n.children.is_empty() {
+            for &e in &n.entries {
+                let d = self.boxes[e as usize].max_dist(q);
+                if d < best.1 {
+                    *best = (e as usize, d);
+                }
+            }
+            return;
+        }
+        // Order children by optimistic bound.
+        let mut order: Vec<u32> = n.children.clone();
+        order.sort_by(|&a, &b| {
+            self.nodes[a as usize]
+                .bbox
+                .min_dist(q)
+                .total_cmp(&self.nodes[b as usize].bbox.min_dist(q))
+        });
+        for c in order {
+            self.min_max_rec(c, q, best);
+        }
+    }
+
+    /// Calls `visit(id, min_dist)` for every entry whose rectangle's minimum
+    /// distance to `q` is strictly below `t`.
+    pub fn report_min_below(&self, q: Point, t: f64, visit: &mut dyn FnMut(usize, f64)) {
+        if self.is_empty() {
+            return;
+        }
+        self.report_rec(self.root, q, t, visit);
+    }
+
+    fn report_rec(&self, node: u32, q: Point, t: f64, visit: &mut dyn FnMut(usize, f64)) {
+        let n = &self.nodes[node as usize];
+        if n.bbox.is_empty() || n.bbox.min_dist(q) >= t {
+            return;
+        }
+        if n.children.is_empty() {
+            for &e in &n.entries {
+                let d = self.boxes[e as usize].min_dist(q);
+                if d < t {
+                    visit(e as usize, d);
+                }
+            }
+            return;
+        }
+        for &c in &n.children {
+            self.report_rec(c, q, t, visit);
+        }
+    }
+
+    /// The `[CKP04]`-style candidate filter for `NN≠0`: entries whose box
+    /// min-distance is below the smallest box max-distance. The result is a
+    /// *superset* of the true `NN≠0` over the underlying supports; refine
+    /// with exact `δ_i`/`Δ_j`.
+    pub fn nonzero_candidates(&self, q: Point) -> Vec<usize> {
+        let Some((_, cap)) = self.min_max_dist(q) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        // Use a threshold marginally above cap so ties survive filtering.
+        self.report_min_below(q, cap.next_up(), &mut |i, d| {
+            if d <= cap {
+                out.push(i);
+            }
+        });
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_boxes(n: usize, seed: u64) -> Vec<Aabb> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let cx: f64 = rng.random_range(-80.0..80.0);
+                let cy: f64 = rng.random_range(-80.0..80.0);
+                let w: f64 = rng.random_range(0.2..4.0);
+                let h: f64 = rng.random_range(0.2..4.0);
+                Aabb::new(Point::new(cx - w, cy - h), Point::new(cx + w, cy + h))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn min_max_matches_brute_force() {
+        let boxes = random_boxes(500, 60);
+        let tree = RTree::new(&boxes);
+        let mut rng = SmallRng::seed_from_u64(61);
+        for _ in 0..200 {
+            let q = Point::new(rng.random_range(-90.0..90.0), rng.random_range(-90.0..90.0));
+            let (_, got) = tree.min_max_dist(q).unwrap();
+            let want = boxes
+                .iter()
+                .map(|b| b.max_dist(q))
+                .fold(f64::INFINITY, f64::min);
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn report_matches_brute_force() {
+        let boxes = random_boxes(400, 62);
+        let tree = RTree::new(&boxes);
+        let mut rng = SmallRng::seed_from_u64(63);
+        for _ in 0..100 {
+            let q = Point::new(rng.random_range(-90.0..90.0), rng.random_range(-90.0..90.0));
+            let t = rng.random_range(1.0..60.0);
+            let mut got: Vec<usize> = Vec::new();
+            tree.report_min_below(q, t, &mut |i, _| got.push(i));
+            got.sort_unstable();
+            let want: Vec<usize> = boxes
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.min_dist(q) < t)
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn candidates_are_superset_of_exact() {
+        // The box filter must never lose a true candidate.
+        let boxes = random_boxes(200, 64);
+        let tree = RTree::new(&boxes);
+        let mut rng = SmallRng::seed_from_u64(65);
+        for _ in 0..100 {
+            let q = Point::new(rng.random_range(-90.0..90.0), rng.random_range(-90.0..90.0));
+            let cands = tree.nonzero_candidates(q);
+            let cap = boxes
+                .iter()
+                .map(|b| b.max_dist(q))
+                .fold(f64::INFINITY, f64::min);
+            for (i, b) in boxes.iter().enumerate() {
+                if b.min_dist(q) < cap {
+                    assert!(cands.contains(&i), "lost candidate {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty = RTree::new(&[]);
+        assert!(empty.min_max_dist(Point::ORIGIN).is_none());
+        assert!(empty.nonzero_candidates(Point::ORIGIN).is_empty());
+        let one = RTree::new(&[Aabb::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0))]);
+        assert_eq!(one.nonzero_candidates(Point::new(5.0, 5.0)), vec![0]);
+    }
+
+    #[test]
+    fn tree_is_packed() {
+        // STR should produce near-minimal node counts.
+        let boxes = random_boxes(1000, 66);
+        let tree = RTree::new(&boxes);
+        let leaves = 1000usize.div_ceil(NODE_CAP);
+        // STR tiling leaves some slack in the last chunk of each strip;
+        // total nodes stay within ~1.5x the minimal leaf count.
+        assert!(
+            tree.nodes.len() <= leaves + leaves / 2,
+            "{} nodes for {leaves} minimal leaves",
+            tree.nodes.len()
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_min_max_agrees(
+            seed in 0u64..5000, qx in -90.0f64..90.0, qy in -90.0f64..90.0,
+        ) {
+            let boxes = random_boxes(50, seed);
+            let tree = RTree::new(&boxes);
+            let q = Point::new(qx, qy);
+            let (_, got) = tree.min_max_dist(q).unwrap();
+            let want = boxes.iter().map(|b| b.max_dist(q)).fold(f64::INFINITY, f64::min);
+            prop_assert!((got - want).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,760 @@
+//! Incremental Delaunay triangulation (Bowyer–Watson with ghost triangles).
+//!
+//! Implements the classic structure the paper's Monte-Carlo algorithm (§4.2)
+//! builds per instantiation: "we construct the Voronoi diagram Vor(R_j) …
+//! and preprocess it for point-location queries". Nearest-site queries are
+//! answered by locating the triangle containing the query and then walking
+//! greedily to the nearest vertex — greedy routing provably succeeds on
+//! Delaunay triangulations (Bose–Morin).
+//!
+//! Robustness: all orientation and in-circle decisions use the exact adaptive
+//! predicates of `unn-geom`. The convex-hull boundary is handled with *ghost
+//! triangles* (one per hull edge, sharing a symbolic vertex at infinity), so
+//! no fragile "huge super-triangle" coordinates enter the predicates.
+//! Duplicate input points are mapped to a canonical representative.
+
+use unn_geom::predicates::{incircle, orient2d};
+use unn_geom::Point;
+
+/// Symbolic vertex at infinity.
+const GHOST: u32 = u32::MAX;
+/// Sentinel for "no neighbor" (only during construction).
+const NONE: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Tri {
+    /// Vertex ids (CCW); one may be [`GHOST`].
+    v: [u32; 3],
+    /// `n[i]` is the triangle across the edge opposite `v[i]`.
+    n: [u32; 3],
+    alive: bool,
+}
+
+/// A Delaunay triangulation of a planar point set.
+///
+/// Falls back to brute-force nearest-neighbor scans when the input is
+/// degenerate (fewer than 3 distinct points, or all points collinear).
+///
+/// ```
+/// use unn_geom::Point;
+/// use unn_voronoi::Delaunay;
+///
+/// let sites = vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(4.0, 0.0),
+///     Point::new(2.0, 3.0),
+///     Point::new(2.0, -3.0),
+/// ];
+/// let dt = Delaunay::new(&sites);
+/// let (nn, dist) = dt.nearest(Point::new(1.9, 2.0)).unwrap();
+/// assert_eq!(nn, 2);
+/// assert!(dist < 1.1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Delaunay {
+    pts: Vec<Point>,
+    tris: Vec<Tri>,
+    /// For each vertex, some alive triangle containing it (post-build).
+    vert_tri: Vec<u32>,
+    /// Canonical representative for duplicate points.
+    dup_of: Vec<u32>,
+    /// `true` when the point set was degenerate and `tris` is unusable.
+    degenerate: bool,
+    /// Walk start hint.
+    last: u32,
+}
+
+impl Delaunay {
+    /// Builds the triangulation. Accepts any input, including duplicates and
+    /// collinear sets (which trigger the brute-force fallback).
+    pub fn new(points: &[Point]) -> Self {
+        let n = points.len();
+        let mut d = Delaunay {
+            pts: points.to_vec(),
+            tris: Vec::with_capacity(2 * n + 16),
+            vert_tri: vec![NONE; n],
+            dup_of: (0..n as u32).collect(),
+            degenerate: false,
+            last: 0,
+        };
+        // Find three non-collinear points to seed the triangulation.
+        let mut seed: Option<(usize, usize, usize)> = None;
+        'outer: for i in 0..n {
+            for j in (i + 1)..n {
+                if points[i] == points[j] {
+                    continue;
+                }
+                for (k, pk) in points.iter().enumerate().skip(j + 1) {
+                    if orient2d(points[i], points[j], *pk) != 0.0 {
+                        seed = Some((i, j, k));
+                        break 'outer;
+                    }
+                }
+                break; // distinct pair found, but no third non-collinear yet
+            }
+        }
+        let Some((i, j, k)) = seed else {
+            d.degenerate = true;
+            return d;
+        };
+        d.init_seed(i as u32, j as u32, k as u32);
+        for v in 0..n as u32 {
+            if v == i as u32 || v == j as u32 || v == k as u32 {
+                continue;
+            }
+            d.insert(v);
+        }
+        d.finish();
+        d
+    }
+
+    fn init_seed(&mut self, i: u32, j: u32, k: u32) {
+        let (a, b, c) = if orient2d(self.pts[i as usize], self.pts[j as usize], self.pts[k as usize])
+            > 0.0
+        {
+            (i, j, k)
+        } else {
+            (i, k, j)
+        };
+        // Real triangle 0, ghosts 1..=3 across each edge.
+        // Edge opposite a = (b, c): ghost (c, b, GHOST), etc.
+        self.tris.push(Tri {
+            v: [a, b, c],
+            n: [1, 2, 3],
+            alive: true,
+        });
+        let ghosts = [[c, b], [a, c], [b, a]];
+        for (gi, e) in ghosts.iter().enumerate() {
+            self.tris.push(Tri {
+                v: [e[0], e[1], GHOST],
+                n: [NONE, NONE, 0],
+                alive: true,
+            });
+            let _ = gi;
+        }
+        // Ghost-ghost adjacency: ghost (u, v, G) has edge (v, G) opposite u
+        // and (G, u) opposite v. Neighbor across (v, G) is the ghost whose
+        // real edge starts at v.
+        // ghost1 = (c, b, G), ghost2 = (a, c, G), ghost3 = (b, a, G).
+        // Across (b, G) from ghost1 (opposite c=v[0]): ghost starting at b =
+        // ghost3. Across (G, c) from ghost1 (opposite b=v[1]): ghost ending
+        // at c = ghost2.
+        self.tris[1].n = [3, 2, 0];
+        self.tris[2].n = [1, 3, 0];
+        self.tris[3].n = [2, 1, 0];
+    }
+
+    #[inline]
+    fn ghost_idx(t: &Tri) -> Option<usize> {
+        t.v.iter().position(|&v| v == GHOST)
+    }
+
+    /// Does `p` lie inside the (possibly degenerate) circumcircle of `t`?
+    fn in_circumcircle(&self, t: &Tri, p: Point) -> bool {
+        match Self::ghost_idx(t) {
+            None => {
+                let (a, b, c) = (
+                    self.pts[t.v[0] as usize],
+                    self.pts[t.v[1] as usize],
+                    self.pts[t.v[2] as usize],
+                );
+                incircle(a, b, c, p) > 0.0
+            }
+            Some(g) => {
+                let u = self.pts[t.v[(g + 1) % 3] as usize];
+                let v = self.pts[t.v[(g + 2) % 3] as usize];
+                let o = orient2d(u, v, p);
+                if o > 0.0 {
+                    return true;
+                }
+                if o < 0.0 {
+                    return false;
+                }
+                // Collinear with the hull edge: inside iff within the closed
+                // edge segment (handles points inserted exactly on the hull).
+                let lo_x = u.x.min(v.x);
+                let hi_x = u.x.max(v.x);
+                let lo_y = u.y.min(v.y);
+                let hi_y = u.y.max(v.y);
+                p.x >= lo_x && p.x <= hi_x && p.y >= lo_y && p.y <= hi_y
+            }
+        }
+    }
+
+    /// Walks from `start` to a triangle whose closure (or outer wedge, for
+    /// ghosts) contains `p`.
+    fn locate(&self, mut cur: u32, p: Point) -> u32 {
+        let mut steps = 0usize;
+        let max_steps = 4 * self.tris.len() + 64;
+        loop {
+            steps += 1;
+            if steps > max_steps {
+                // Degenerate walk (should not happen): linear fallback.
+                return self.locate_linear(p);
+            }
+            let t = &self.tris[cur as usize];
+            match Self::ghost_idx(t) {
+                None => {
+                    let mut moved = false;
+                    for i in 0..3 {
+                        let a = self.pts[t.v[(i + 1) % 3] as usize];
+                        let b = self.pts[t.v[(i + 2) % 3] as usize];
+                        if orient2d(a, b, p) < 0.0 {
+                            cur = t.n[i];
+                            moved = true;
+                            break;
+                        }
+                    }
+                    if !moved {
+                        return cur;
+                    }
+                }
+                Some(g) => {
+                    let iu = (g + 1) % 3;
+                    let iv = (g + 2) % 3;
+                    let u = self.pts[t.v[iu] as usize];
+                    let v = self.pts[t.v[iv] as usize];
+                    let o = orient2d(u, v, p);
+                    if o > 0.0 {
+                        return cur;
+                    }
+                    if o < 0.0 {
+                        // p is on the hull side: go back inside.
+                        cur = t.n[g];
+                        continue;
+                    }
+                    // Collinear: within segment -> this ghost; else slide
+                    // along the hull towards p.
+                    if p.x >= u.x.min(v.x)
+                        && p.x <= u.x.max(v.x)
+                        && p.y >= u.y.min(v.y)
+                        && p.y <= u.y.max(v.y)
+                    {
+                        return cur;
+                    }
+                    // Move towards the endpoint nearer p.
+                    cur = if p.dist2(v) < p.dist2(u) {
+                        t.n[iu] // across edge (v, GHOST)
+                    } else {
+                        t.n[iv] // across edge (GHOST, u)
+                    };
+                }
+            }
+        }
+    }
+
+    fn locate_linear(&self, p: Point) -> u32 {
+        for (i, t) in self.tris.iter().enumerate() {
+            if !t.alive {
+                continue;
+            }
+            match Self::ghost_idx(t) {
+                None => {
+                    let a = self.pts[t.v[0] as usize];
+                    let b = self.pts[t.v[1] as usize];
+                    let c = self.pts[t.v[2] as usize];
+                    if orient2d(a, b, p) >= 0.0
+                        && orient2d(b, c, p) >= 0.0
+                        && orient2d(c, a, p) >= 0.0
+                    {
+                        return i as u32;
+                    }
+                }
+                Some(g) => {
+                    let u = self.pts[t.v[(g + 1) % 3] as usize];
+                    let v = self.pts[t.v[(g + 2) % 3] as usize];
+                    if orient2d(u, v, p) >= 0.0 {
+                        return i as u32;
+                    }
+                }
+            }
+        }
+        0
+    }
+
+    fn insert(&mut self, vid: u32) {
+        let p = self.pts[vid as usize];
+        let seed = self.locate(self.last, p);
+        // Duplicate detection: coincides with a vertex of the seed triangle.
+        for &v in &self.tris[seed as usize].v {
+            if v != GHOST && self.pts[v as usize] == p {
+                self.dup_of[vid as usize] = self.dup_of[v as usize];
+                return;
+            }
+        }
+        // Cavity BFS over circumcircle-violating triangles.
+        let mut cavity: Vec<u32> = vec![seed];
+        let mut in_cavity = std::collections::HashSet::new();
+        in_cavity.insert(seed);
+        let mut queue = vec![seed];
+        while let Some(ti) = queue.pop() {
+            let neighbors = self.tris[ti as usize].n;
+            for nb in neighbors {
+                if nb == NONE || in_cavity.contains(&nb) {
+                    continue;
+                }
+                if self.in_circumcircle(&self.tris[nb as usize], p) {
+                    in_cavity.insert(nb);
+                    cavity.push(nb);
+                    queue.push(nb);
+                }
+            }
+        }
+        // Collect boundary edges: (u, v, outside_tri, outside_local_idx).
+        let mut boundary: Vec<(u32, u32, u32, usize)> = Vec::new();
+        for &ti in &cavity {
+            let t = self.tris[ti as usize].clone();
+            for i in 0..3 {
+                let nb = t.n[i];
+                if nb != NONE && in_cavity.contains(&nb) {
+                    continue;
+                }
+                let u = t.v[(i + 1) % 3];
+                let v = t.v[(i + 2) % 3];
+                // Local index of this edge in the outside triangle.
+                let oi = if nb == NONE {
+                    usize::MAX
+                } else {
+                    let o = &self.tris[nb as usize];
+                    (0..3)
+                        .find(|&j| o.v[(j + 1) % 3] == v && o.v[(j + 2) % 3] == u)
+                        .expect("mutual adjacency")
+                };
+                boundary.push((u, v, nb, oi));
+            }
+        }
+        // Kill cavity triangles.
+        for &ti in &cavity {
+            self.tris[ti as usize].alive = false;
+        }
+        // Create new triangles (vid, u, v), one per boundary edge.
+        let base = self.tris.len() as u32;
+        let mut around: std::collections::HashMap<u32, Vec<(u32, usize)>> =
+            std::collections::HashMap::new();
+        for (off, &(u, v, nb, oi)) in boundary.iter().enumerate() {
+            let ti = base + off as u32;
+            self.tris.push(Tri {
+                v: [vid, u, v],
+                n: [nb, NONE, NONE], // n[0] opposite vid = edge (u, v)
+                alive: true,
+            });
+            if nb != NONE {
+                self.tris[nb as usize].n[oi] = ti;
+            }
+            // Edges (vid, u) [opposite v, local 2] and (v, vid) [opposite u,
+            // local 1] pair up with sibling new triangles sharing u / v.
+            around.entry(u).or_default().push((ti, 2));
+            around.entry(v).or_default().push((ti, 1));
+        }
+        for (_, entries) in around {
+            debug_assert_eq!(entries.len(), 2, "cavity boundary not a cycle");
+            if entries.len() == 2 {
+                let (t1, i1) = entries[0];
+                let (t2, i2) = entries[1];
+                self.tris[t1 as usize].n[i1] = t2;
+                self.tris[t2 as usize].n[i2] = t1;
+            }
+        }
+        self.last = base;
+    }
+
+    fn finish(&mut self) {
+        // Compact: drop dead triangles, remap neighbor ids.
+        let mut remap: Vec<u32> = vec![NONE; self.tris.len()];
+        let mut out: Vec<Tri> = Vec::with_capacity(self.tris.len());
+        for (i, t) in self.tris.iter().enumerate() {
+            if t.alive {
+                remap[i] = out.len() as u32;
+                out.push(t.clone());
+            }
+        }
+        for t in &mut out {
+            for n in &mut t.n {
+                *n = remap[*n as usize];
+            }
+        }
+        self.tris = out;
+        self.last = 0;
+        // Vertex -> incident triangle.
+        for (i, t) in self.tris.iter().enumerate() {
+            for &v in &t.v {
+                if v != GHOST {
+                    self.vert_tri[v as usize] = i as u32;
+                }
+            }
+        }
+    }
+
+    /// Number of input points (including duplicates).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pts.len()
+    }
+
+    /// `true` for an empty input.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pts.is_empty()
+    }
+
+    /// `true` when the input was degenerate (collinear / too small) and
+    /// queries fall back to linear scans.
+    #[inline]
+    pub fn is_degenerate(&self) -> bool {
+        self.degenerate
+    }
+
+    /// Real (non-ghost) triangles as vertex-index triples (CCW).
+    pub fn triangles(&self) -> Vec<[usize; 3]> {
+        self.tris
+            .iter()
+            .filter(|t| t.alive && Self::ghost_idx(t).is_none())
+            .map(|t| [t.v[0] as usize, t.v[1] as usize, t.v[2] as usize])
+            .collect()
+    }
+
+    /// Delaunay neighbors of vertex `v` (its Voronoi cell's adjacent sites).
+    pub fn vertex_neighbors(&self, v: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        if self.degenerate || self.vert_tri[v] == NONE {
+            return out;
+        }
+        let start = self.vert_tri[v];
+        let mut cur = start;
+        loop {
+            let t = &self.tris[cur as usize];
+            let i = t
+                .v
+                .iter()
+                .position(|&x| x == v as u32)
+                .expect("vertex in incident triangle");
+            let next_v = t.v[(i + 1) % 3];
+            if next_v != GHOST {
+                out.push(next_v as usize);
+            }
+            // Rotate CCW around v: cross the edge (v, v[(i+2)%3])... i.e.
+            // neighbor opposite v[(i+1)%3].
+            cur = t.n[(i + 1) % 3];
+            if cur == start {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Nearest input point to `q` as `(index, distance)`; ties broken
+    /// arbitrarily among coincident duplicates (canonical representative).
+    pub fn nearest(&self, q: Point) -> Option<(usize, f64)> {
+        if self.pts.is_empty() {
+            return None;
+        }
+        if self.degenerate {
+            let mut best = (0usize, f64::INFINITY);
+            for (i, p) in self.pts.iter().enumerate() {
+                let d = p.dist(q);
+                if d < best.1 {
+                    best = (i, d);
+                }
+            }
+            return Some((self.dup_of[best.0] as usize, best.1));
+        }
+        let t = self.locate(self.last, q);
+        let tri = &self.tris[t as usize];
+        let mut cur: u32 = *tri
+            .v
+            .iter()
+            .filter(|&&v| v != GHOST)
+            .min_by(|&&a, &&b| {
+                self.pts[a as usize]
+                    .dist2(q)
+                    .total_cmp(&self.pts[b as usize].dist2(q))
+            })
+            .expect("triangle has a real vertex");
+        // Greedy descent over Delaunay neighbors (Bose–Morin guarantees
+        // convergence to the true nearest site).
+        loop {
+            let dc = self.pts[cur as usize].dist2(q);
+            let mut improved = false;
+            for w in self.vertex_neighbors(cur as usize) {
+                if self.pts[w].dist2(q) < dc {
+                    cur = w as u32;
+                    improved = true;
+                    break;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        Some((
+            self.dup_of[cur as usize] as usize,
+            self.pts[cur as usize].dist(q),
+        ))
+    }
+
+    /// The `m` nearest input points to `q`, sorted by distance.
+    ///
+    /// Bounded BFS over the Delaunay graph starting at the nearest vertex:
+    /// the set of sites within any distance `R` of `q` is connected through
+    /// sites at distance `≤ R` (greedy paths towards `NN(q)` have
+    /// non-increasing distance), so expanding only vertices within the
+    /// current `m`-th-best bound is exact.
+    pub fn m_nearest(&self, q: Point, m: usize) -> Vec<(usize, f64)> {
+        if self.pts.is_empty() || m == 0 {
+            return Vec::new();
+        }
+        if self.degenerate {
+            let mut all: Vec<(usize, f64)> = self
+                .pts
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i, p.dist(q)))
+                .collect();
+            all.sort_by(|a, b| a.1.total_cmp(&b.1));
+            all.truncate(m);
+            return all;
+        }
+        let (start, _) = self.nearest(q).expect("nonempty");
+        let mut visited = vec![false; self.pts.len()];
+        let mut found: Vec<(usize, f64)> = Vec::new();
+        let mut queue = std::collections::VecDeque::from([start]);
+        visited[start] = true;
+        let bound = |found: &Vec<(usize, f64)>| -> f64 {
+            if found.len() < m {
+                f64::INFINITY
+            } else {
+                // m-th smallest distance among found (found is unsorted;
+                // compute lazily — sizes here are small).
+                let mut ds: Vec<f64> = found.iter().map(|f| f.1).collect();
+                ds.sort_by(f64::total_cmp);
+                ds[m - 1]
+            }
+        };
+        while let Some(v) = queue.pop_front() {
+            let d = self.pts[v].dist(q);
+            if d > bound(&found) {
+                continue;
+            }
+            found.push((v, d));
+            for w in self.vertex_neighbors(v) {
+                if !visited[w] {
+                    visited[w] = true;
+                    if self.pts[w].dist(q) <= bound(&found) {
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        found.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        found.truncate(m);
+        found
+    }
+
+    /// Exhaustive Delaunay validity check (test helper): no input point lies
+    /// strictly inside the circumcircle of any real triangle.
+    pub fn check_delaunay(&self) -> bool {
+        if self.degenerate {
+            return true;
+        }
+        for t in self.tris.iter().filter(|t| t.alive) {
+            if Self::ghost_idx(t).is_some() {
+                continue;
+            }
+            let (a, b, c) = (
+                self.pts[t.v[0] as usize],
+                self.pts[t.v[1] as usize],
+                self.pts[t.v[2] as usize],
+            );
+            for (i, p) in self.pts.iter().enumerate() {
+                if t.v.contains(&(i as u32)) {
+                    continue;
+                }
+                if self.dup_of[i] != i as u32 {
+                    continue; // duplicate of a vertex
+                }
+                if incircle(a, b, c, *p) > 0.0 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.random_range(-100.0..100.0), rng.random_range(-100.0..100.0)))
+            .collect()
+    }
+
+    fn brute_nearest(pts: &[Point], q: Point) -> f64 {
+        pts.iter().map(|p| p.dist(q)).fold(f64::INFINITY, f64::min)
+    }
+
+    #[test]
+    fn triangle_count_matches_euler() {
+        // For n points with h on the hull: triangles = 2n - h - 2.
+        let pts = random_points(200, 30);
+        let d = Delaunay::new(&pts);
+        assert!(!d.is_degenerate());
+        let tris = d.triangles();
+        let hull = unn_geom::hull::convex_hull(&pts);
+        assert_eq!(tris.len(), 2 * pts.len() - hull.len() - 2);
+        assert!(d.check_delaunay());
+    }
+
+    #[test]
+    fn delaunay_property_random() {
+        for seed in 31..36 {
+            let pts = random_points(120, seed);
+            let d = Delaunay::new(&pts);
+            assert!(d.check_delaunay(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn delaunay_on_grid_with_cocircular_points() {
+        // Regular grid: maximal cocircularity stress for the exact incircle.
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                pts.push(Point::new(i as f64, j as f64));
+            }
+        }
+        let d = Delaunay::new(&pts);
+        assert!(d.check_delaunay());
+        let q = Point::new(3.2, 4.7);
+        let (_, dist) = d.nearest(q).unwrap();
+        assert!((dist - brute_nearest(&pts, q)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let pts = random_points(300, 40);
+        let d = Delaunay::new(&pts);
+        let mut rng = SmallRng::seed_from_u64(41);
+        for _ in 0..300 {
+            let q = Point::new(rng.random_range(-150.0..150.0), rng.random_range(-150.0..150.0));
+            let (_, dist) = d.nearest(q).unwrap();
+            let want = brute_nearest(&pts, q);
+            assert!((dist - want).abs() < 1e-9, "q={q:?} got={dist} want={want}");
+        }
+    }
+
+    #[test]
+    fn m_nearest_matches_brute_force() {
+        let pts = random_points(200, 45);
+        let d = Delaunay::new(&pts);
+        let mut rng = SmallRng::seed_from_u64(46);
+        for _ in 0..50 {
+            let q = Point::new(rng.random_range(-120.0..120.0), rng.random_range(-120.0..120.0));
+            for m in [1usize, 5, 20, 200] {
+                let got = d.m_nearest(q, m);
+                let mut want: Vec<f64> = pts.iter().map(|p| p.dist(q)).collect();
+                want.sort_by(f64::total_cmp);
+                want.truncate(m);
+                assert_eq!(got.len(), want.len());
+                for (g, w) in got.iter().zip(&want) {
+                    assert!((g.1 - w).abs() < 1e-12, "m={m}");
+                }
+            }
+        }
+        // Degenerate fallback path.
+        let col: Vec<Point> = (0..8).map(|i| Point::new(i as f64, 0.0)).collect();
+        let dd = Delaunay::new(&col);
+        let got = dd.m_nearest(Point::new(2.2, 1.0), 3);
+        assert_eq!(got[0].0, 2);
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        // Empty.
+        assert!(Delaunay::new(&[]).nearest(Point::ORIGIN).is_none());
+        // Single point.
+        let d = Delaunay::new(&[Point::new(1.0, 1.0)]);
+        assert!(d.is_degenerate());
+        assert_eq!(d.nearest(Point::ORIGIN).unwrap().0, 0);
+        // Collinear points.
+        let col: Vec<Point> = (0..10).map(|i| Point::new(i as f64, 2.0 * i as f64)).collect();
+        let d = Delaunay::new(&col);
+        assert!(d.is_degenerate());
+        let (id, _) = d.nearest(Point::new(4.1, 8.3)).unwrap();
+        assert_eq!(id, 4);
+    }
+
+    #[test]
+    fn duplicates_map_to_representative() {
+        let mut pts = random_points(50, 42);
+        pts.push(pts[7]);
+        pts.push(pts[7]);
+        let d = Delaunay::new(&pts);
+        assert!(d.check_delaunay());
+        // Query exactly at the duplicated point.
+        let (id, dist) = d.nearest(pts[7]).unwrap();
+        assert_eq!(dist, 0.0);
+        assert_eq!(id, 7);
+    }
+
+    #[test]
+    fn points_on_hull_edge() {
+        // Insert a point exactly on the hull edge of earlier points.
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(2.0, 3.0),
+            Point::new(2.0, 0.0), // on hull edge
+            Point::new(1.0, 0.0), // also on hull edge
+        ];
+        let d = Delaunay::new(&pts);
+        assert!(d.check_delaunay());
+        let (id, _) = d.nearest(Point::new(1.1, -0.5)).unwrap();
+        assert_eq!(id, 4);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_nearest_agrees(
+            pts in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 1..60),
+            qx in -70.0f64..70.0, qy in -70.0f64..70.0,
+        ) {
+            let pts: Vec<Point> = pts.into_iter().map(|(x, y)| Point::new(x, y)).collect();
+            let d = Delaunay::new(&pts);
+            let q = Point::new(qx, qy);
+            let (_, dist) = d.nearest(q).unwrap();
+            prop_assert!((dist - brute_nearest(&pts, q)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_delaunay_valid(
+            pts in proptest::collection::vec((-20.0f64..20.0, -20.0f64..20.0), 3..40),
+        ) {
+            let pts: Vec<Point> = pts.into_iter().map(|(x, y)| Point::new(x, y)).collect();
+            let d = Delaunay::new(&pts);
+            prop_assert!(d.check_delaunay());
+        }
+
+        #[test]
+        fn prop_integer_coords_cocircular(
+            pts in proptest::collection::vec((0i32..12, 0i32..12), 3..50),
+        ) {
+            // Integer coordinates force many exactly-cocircular quadruples.
+            let pts: Vec<Point> = pts.into_iter()
+                .map(|(x, y)| Point::new(x as f64, y as f64)).collect();
+            let d = Delaunay::new(&pts);
+            prop_assert!(d.check_delaunay());
+            let q = Point::new(5.3, 5.7);
+            let (_, dist) = d.nearest(q).unwrap();
+            prop_assert!((dist - brute_nearest(&pts, q)).abs() < 1e-9);
+        }
+    }
+}

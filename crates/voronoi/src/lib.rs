@@ -1,0 +1,12 @@
+//! # unn-voronoi — Delaunay triangulations and Voronoi queries
+//!
+//! The classic certain-point Voronoi substrate of the paper's Monte-Carlo
+//! structure (§4.2): per instantiation, the nearest site of a query point is
+//! found via a Delaunay triangulation built with exact adaptive predicates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delaunay;
+
+pub use delaunay::Delaunay;

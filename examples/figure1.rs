@@ -1,0 +1,63 @@
+//! Reproduces the paper's Figure 1: the pdf of the distance between a query
+//! point and a uniformly distributed uncertain point.
+//!
+//! Setup (verbatim from the paper): `P_i` uniform on the disk of radius
+//! `R = 5` centered at the origin, `q = (6, 8)`. The distance pdf `g_{q,i}`
+//! is supported on `[5, 15]` and the closed form is compared against a
+//! sampled histogram.
+//!
+//! ```sh
+//! cargo run --release --example figure1
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use unn::distr::{UncertainPoint, UniformDisk};
+use unn::geom::Point;
+
+fn main() {
+    let p = UniformDisk::from_center(Point::new(0.0, 0.0), 5.0);
+    let q = Point::new(6.0, 8.0);
+    println!("Figure 1 reproduction: disk R = 5 at origin, q = (6, 8)");
+    println!(
+        "distance support: [{}, {}]\n",
+        p.min_dist(q),
+        p.max_dist(q)
+    );
+
+    // Sampled histogram for comparison.
+    let mut rng = SmallRng::seed_from_u64(1);
+    let samples = 2_000_000usize;
+    let bins = 40;
+    let (lo, hi) = (5.0, 15.0);
+    let mut hist = vec![0u32; bins];
+    for _ in 0..samples {
+        let d = p.sample(&mut rng).dist(q);
+        let b = (((d - lo) / (hi - lo) * bins as f64) as usize).min(bins - 1);
+        hist[b] += 1;
+    }
+
+    println!("{:>6}  {:>10}  {:>10}  plot (analytic)", "r", "g(r)", "sampled");
+    let mut max_pdf = 0.0f64;
+    for b in 0..bins {
+        let r = lo + (hi - lo) * (b as f64 + 0.5) / bins as f64;
+        max_pdf = max_pdf.max(p.distance_pdf(q, r));
+    }
+    for (b, &count) in hist.iter().enumerate() {
+        let r = lo + (hi - lo) * (b as f64 + 0.5) / bins as f64;
+        let analytic = p.distance_pdf(q, r);
+        let sampled = count as f64 / samples as f64 / ((hi - lo) / bins as f64);
+        let bar = "#".repeat((analytic / max_pdf * 50.0).round() as usize);
+        println!("{r:>6.2}  {analytic:>10.5}  {sampled:>10.5}  {bar}");
+    }
+
+    // The pdf integrates to 1 and the cdf hits the right endpoints.
+    let total: f64 = (0..10_000)
+        .map(|i| {
+            let r = lo + (hi - lo) * (i as f64 + 0.5) / 10_000.0;
+            p.distance_pdf(q, r) * (hi - lo) / 10_000.0
+        })
+        .sum();
+    println!("\nintegral of g over [5, 15] = {total:.6} (should be 1)");
+    println!("G(5) = {}, G(15) = {}", p.distance_cdf(q, 5.0), p.distance_cdf(q, 15.0));
+}

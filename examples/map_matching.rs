@@ -1,0 +1,112 @@
+//! Map matching with heterogeneous uncertainty regions and metrics.
+//!
+//! Showcases the paper's generality results: convex-polygon supports
+//! (Theorem 2.6), the `L∞`/`L1` metric variants (§3 remark (ii)), guaranteed
+//! nearest neighbors (`[SE08]`), and probabilistic k-NN membership. The
+//! scenario: matching a noisy vehicle position against map cells whose
+//! position uncertainty comes from different sources.
+//!
+//! ```sh
+//! cargo run --release --example map_matching
+//! ```
+
+use unn::geom::{Aabb, Point};
+use unn::nonzero::{ApolloniusDiagram, GuaranteedNnIndex, LinfNonzeroIndex};
+use unn::{PnnIndex, Uncertain, UniformPolygon};
+
+fn main() {
+    // Heterogeneous uncertain landmarks: polygonal cells (map-matched road
+    // segments), disks (GPS), a certain survey marker.
+    let landmarks: Vec<(&str, Uncertain)> = vec![
+        (
+            "road-cell-A",
+            Uncertain::Polygon(UniformPolygon::from_ccw_vertices(vec![
+                Point::new(0.0, 0.0),
+                Point::new(4.0, 0.5),
+                Point::new(4.5, 2.5),
+                Point::new(0.5, 2.0),
+            ])),
+        ),
+        (
+            "road-cell-B",
+            Uncertain::Polygon(UniformPolygon::from_ccw_vertices(vec![
+                Point::new(6.0, -1.0),
+                Point::new(9.0, -0.5),
+                Point::new(8.5, 1.5),
+                Point::new(5.5, 1.0),
+            ])),
+        ),
+        ("gps-fix", Uncertain::uniform_disk(Point::new(2.0, 6.0), 1.5)),
+        ("survey-marker", Uncertain::certain(Point::new(7.0, 5.0))),
+        (
+            "wifi-estimate",
+            Uncertain::Polygon(UniformPolygon::regular(Point::new(-3.0, 3.0), 2.0, 6)),
+        ),
+    ];
+    let names: Vec<&str> = landmarks.iter().map(|(n, _)| *n).collect();
+    let index = PnnIndex::new(landmarks.into_iter().map(|(_, u)| u).collect());
+
+    for q in [Point::new(3.0, 1.5), Point::new(5.0, 3.5), Point::new(-1.0, 4.0)] {
+        println!("vehicle at {q:?}:");
+        let nz = index.nn_nonzero(q);
+        println!("  candidates: {:?}", nz.iter().map(|&i| names[i]).collect::<Vec<_>>());
+        match index.guaranteed_nn(q) {
+            Some(g) => println!("  guaranteed nearest: {}", names[g]),
+            None => {
+                let (pi, _) = index.quantify(q);
+                let mut ranked: Vec<(usize, f64)> =
+                    pi.iter().copied().enumerate().filter(|&(_, p)| p > 0.001).collect();
+                ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+                for (i, p) in ranked {
+                    println!("  {}  P(nearest) ~ {p:.3}", names[i]);
+                }
+            }
+        }
+        // Top-2 membership: which landmarks are in the 2 nearest with high
+        // probability?
+        let (memb, _) = index.knn_membership(q, 2);
+        let likely: Vec<&str> = memb
+            .iter()
+            .enumerate()
+            .filter(|&(_, p)| *p > 0.8)
+            .map(|(i, _)| names[i])
+            .collect();
+        println!("  almost surely among the 2 nearest: {likely:?}\n");
+    }
+
+    // L-infinity variant: supports as bounding boxes, Chebyshev distance —
+    // the right metric for grid/raster maps (remark (ii) of §3).
+    use unn::distr::UncertainPoint;
+    let rects: Vec<Aabb> = index.points().iter().map(|p| p.support_bbox()).collect();
+    let linf = LinfNonzeroIndex::new(&rects);
+    let q = Point::new(3.0, 1.5);
+    println!(
+        "L-infinity candidates at {q:?}: {:?}",
+        linf.query(q).iter().map(|&i| names[i]).collect::<Vec<_>>()
+    );
+
+    // The additively weighted Voronoi diagram of the disk hulls: the 'M'
+    // subdivision the paper's stage-1 queries walk.
+    let disks: Vec<unn::geom::Disk> = index
+        .points()
+        .iter()
+        .map(|p| {
+            let bb = p.support_bbox();
+            unn::geom::Disk::new(bb.center(), 0.5 * bb.width().hypot(bb.height()))
+        })
+        .collect();
+    let ap = ApolloniusDiagram::build(&disks);
+    println!(
+        "\nApollonius diagram M over bounding disks: {} envelope arcs, {} empty cells",
+        ap.total_arcs(),
+        ap.empty_cells()
+    );
+    let g = GuaranteedNnIndex::new(&disks);
+    println!(
+        "guaranteed regions exist: {}",
+        (0..200).any(|i| {
+            let t = i as f64 * 0.1;
+            g.guaranteed_nn(Point::new(10.0 * t.cos(), 10.0 * t.sin())).is_some()
+        })
+    );
+}

