@@ -4,12 +4,12 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::hint::black_box;
+use unn::geom::Point;
 use unn::quantify::{
     quantification_exact, quantification_exact_recompute, McBackend, MonteCarloIndex,
     SpiralBackend, SpiralIndex,
 };
 use unn::spatial::{KdTree, QuadTree, UniformGrid};
-use unn::geom::Point;
 use unn_bench::util::{as_uncertain, random_discrete, random_queries};
 
 fn bench_mc_backends(c: &mut Criterion) {

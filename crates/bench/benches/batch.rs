@@ -1,0 +1,87 @@
+//! Criterion benches: parallel batch query engine scaling at 1/2/4/8
+//! worker threads against the sequential loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use unn::batch::BatchOptions;
+use unn::PnnIndex;
+use unn_bench::util::{as_uncertain, random_discrete, random_queries};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_nn_nonzero_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch_nn_nonzero");
+    g.sample_size(10);
+    let n = 2_000usize;
+    let side = (n as f64).sqrt() * 8.0;
+    let objs = random_discrete(n, 3, side, 3.0, 2.0, 70);
+    let idx = PnnIndex::new(as_uncertain(&objs));
+    let queries = random_queries(2_048, side, 71);
+    g.bench_function("sequential", |b| {
+        b.iter(|| {
+            black_box(
+                queries
+                    .iter()
+                    .map(|&q| idx.nn_nonzero(q))
+                    .collect::<Vec<_>>(),
+            )
+        })
+    });
+    for t in THREADS {
+        let opts = BatchOptions::with_threads(t);
+        g.bench_with_input(BenchmarkId::new("threads", t), &t, |b, _| {
+            b.iter(|| black_box(idx.nn_nonzero_batch_with(&queries, &opts)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_quantify_exact_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch_quantify_exact");
+    g.sample_size(10);
+    let n = 400usize;
+    let side = (n as f64).sqrt() * 8.0;
+    let objs = random_discrete(n, 4, side, 3.0, 2.0, 72);
+    let idx = PnnIndex::new(as_uncertain(&objs));
+    let queries = random_queries(256, side, 73);
+    g.bench_function("sequential", |b| {
+        b.iter(|| {
+            black_box(
+                queries
+                    .iter()
+                    .map(|&q| idx.quantify_exact(q).0)
+                    .collect::<Vec<_>>(),
+            )
+        })
+    });
+    for t in THREADS {
+        let opts = BatchOptions::with_threads(t);
+        g.bench_with_input(BenchmarkId::new("threads", t), &t, |b, _| {
+            b.iter(|| black_box(idx.quantify_exact_batch_with(&queries, &opts).0))
+        });
+    }
+    g.finish();
+}
+
+fn bench_quantify_fresh_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch_quantify_fresh");
+    g.sample_size(10);
+    let objs = random_discrete(200, 3, 120.0, 3.0, 2.0, 74);
+    let idx = PnnIndex::new(as_uncertain(&objs));
+    let queries = random_queries(256, 120.0, 75);
+    for t in THREADS {
+        let opts = BatchOptions::with_threads(t);
+        g.bench_with_input(BenchmarkId::new("threads", t), &t, |b, _| {
+            b.iter(|| black_box(idx.quantify_fresh_batch_with(&queries, 64, &opts)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_nn_nonzero_batch,
+    bench_quantify_exact_batch,
+    bench_quantify_fresh_batch
+);
+criterion_main!(benches);

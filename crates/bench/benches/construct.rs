@@ -42,5 +42,10 @@ fn bench_subdivision(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_gamma, bench_vertex_enumeration, bench_subdivision);
+criterion_group!(
+    benches,
+    bench_gamma,
+    bench_vertex_enumeration,
+    bench_subdivision
+);
 criterion_main!(benches);

@@ -9,7 +9,10 @@ use unn_bench::util::{as_uncertain, random_discrete, random_queries};
 
 fn workload(n: usize, seed: u64) -> (Vec<Uncertain>, f64) {
     let side = (n as f64).sqrt() * 6.0;
-    (as_uncertain(&random_discrete(n, 4, side, 2.0, 2.0, seed)), side)
+    (
+        as_uncertain(&random_discrete(n, 4, side, 2.0, 2.0, seed)),
+        side,
+    )
 }
 
 fn bench_expected_nn(c: &mut Criterion) {

@@ -3,7 +3,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use unn::geom::{Aabb, Point};
-use unn::nonzero::{DiskNonzeroIndex, DiscreteNonzeroIndex, NonzeroSubdivision};
+use unn::nonzero::{DiscreteNonzeroIndex, DiskNonzeroIndex, NonzeroSubdivision};
 use unn_bench::util::{random_discrete, random_disks, random_queries};
 
 fn bench_two_stage_vs_naive(c: &mut Criterion) {

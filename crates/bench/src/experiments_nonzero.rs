@@ -2,14 +2,14 @@
 //! Voronoi diagram (paper §2–3). Each function regenerates one table of
 //! EXPERIMENTS.md.
 
-use unn::geom::{Aabb, Point};
-use unn::nonzero::{
-    collinear_quadratic, count_distinct, count_distinct_discrete, disjoint_disks,
-    discrete_nonzero_vertices, equal_radii_cubic, mixed_radii_cubic, nonzero_vertices,
-    DiskNonzeroIndex, NonzeroSubdivision,
-};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use unn::geom::{Aabb, Point};
+use unn::nonzero::{
+    collinear_quadratic, count_distinct, count_distinct_discrete, discrete_nonzero_vertices,
+    disjoint_disks, equal_radii_cubic, mixed_radii_cubic, nonzero_vertices, DiskNonzeroIndex,
+    NonzeroSubdivision,
+};
 
 use crate::util::{loglog_slope, random_disks, random_queries, time_ms, time_per_call_us, Table};
 
@@ -51,7 +51,11 @@ pub fn t2_lb_mixed(scale: u32) -> Table {
         "T2 (Thm 2.7): Omega(n^3) lower-bound construction, mixed radii",
         &["m", "n=4m", "predicted 4m^3", "measured", "measured/pred"],
     );
-    let ms: &[usize] = if scale >= 2 { &[1, 2, 3, 4, 5] } else { &[1, 2, 3] };
+    let ms: &[usize] = if scale >= 2 {
+        &[1, 2, 3, 4, 5]
+    } else {
+        &[1, 2, 3]
+    };
     let mut pts = Vec::new();
     let mut all_pass = true;
     for &m in ms {
@@ -72,7 +76,9 @@ pub fn t2_lb_mixed(scale: u32) -> Table {
         "growth exponent {:.2} (cubic predicted)",
         loglog_slope(&pts)
     ));
-    t.note(format!("PASS = measured >= predicted everywhere: {all_pass}"));
+    t.note(format!(
+        "PASS = measured >= predicted everywhere: {all_pass}"
+    ));
     t
 }
 
@@ -82,7 +88,11 @@ pub fn t3_lb_equal(scale: u32) -> Table {
         "T3 (Thm 2.8): Omega(n^3) lower-bound construction, equal radii",
         &["m", "n=3m", "predicted m^3", "measured", "measured/pred"],
     );
-    let ms: &[usize] = if scale >= 2 { &[2, 3, 4, 5, 6] } else { &[2, 3, 4] };
+    let ms: &[usize] = if scale >= 2 {
+        &[2, 3, 4, 5, 6]
+    } else {
+        &[2, 3, 4]
+    };
     let mut pts = Vec::new();
     let mut all_pass = true;
     for &m in ms {
@@ -103,7 +113,9 @@ pub fn t3_lb_equal(scale: u32) -> Table {
         "growth exponent {:.2} (cubic predicted)",
         loglog_slope(&pts)
     ));
-    t.note(format!("PASS = measured >= predicted everywhere: {all_pass}"));
+    t.note(format!(
+        "PASS = measured >= predicted everywhere: {all_pass}"
+    ));
     t
 }
 
@@ -187,25 +199,35 @@ pub fn t5_discrete(scale: u32) -> Table {
         &["n", "k", "vertices"],
     );
     let universe = Aabb::new(Point::new(-200.0, -200.0), Point::new(300.0, 300.0));
-    let ns: &[usize] = if scale >= 2 { &[4, 6, 8, 12] } else { &[4, 6, 8] };
-    let ks: &[usize] = if scale >= 2 { &[1, 2, 4, 6] } else { &[1, 2, 4] };
+    let ns: &[usize] = if scale >= 2 {
+        &[4, 6, 8, 12]
+    } else {
+        &[4, 6, 8]
+    };
+    let ks: &[usize] = if scale >= 2 {
+        &[1, 2, 4, 6]
+    } else {
+        &[1, 2, 4]
+    };
     let mut pts_n = Vec::new();
     let mut pts_k = Vec::new();
     for &n in ns {
-        let objs: Vec<Vec<Point>> = crate::util::random_discrete(n, 3, 60.0, 4.0, 1.0, 3000 + n as u64)
-            .iter()
-            .map(|d| d.points().to_vec())
-            .collect();
+        let objs: Vec<Vec<Point>> =
+            crate::util::random_discrete(n, 3, 60.0, 4.0, 1.0, 3000 + n as u64)
+                .iter()
+                .map(|d| d.points().to_vec())
+                .collect();
         let count =
             count_distinct_discrete(&discrete_nonzero_vertices(&objs, &universe, 1e-9), 1e-7);
         pts_n.push((n as f64, count as f64));
         t.row(vec![n.to_string(), "3".into(), count.to_string()]);
     }
     for &k in ks {
-        let objs: Vec<Vec<Point>> = crate::util::random_discrete(6, k, 60.0, 4.0, 1.0, 4000 + k as u64)
-            .iter()
-            .map(|d| d.points().to_vec())
-            .collect();
+        let objs: Vec<Vec<Point>> =
+            crate::util::random_discrete(6, k, 60.0, 4.0, 1.0, 4000 + k as u64)
+                .iter()
+                .map(|d| d.points().to_vec())
+                .collect();
         let count =
             count_distinct_discrete(&discrete_nonzero_vertices(&objs, &universe, 1e-9), 1e-7);
         pts_k.push((k as f64, count as f64));
@@ -331,7 +353,11 @@ pub fn t15_extensions(scale: u32) -> Table {
         "T15: extensions — guaranteed NN, L-infinity, Apollonius, kNN membership",
         &["structure", "n", "metric / param", "result"],
     );
-    let ns: &[usize] = if scale >= 2 { &[1_000, 10_000] } else { &[1_000] };
+    let ns: &[usize] = if scale >= 2 {
+        &[1_000, 10_000]
+    } else {
+        &[1_000]
+    };
     for &n in ns {
         let side = (n as f64).sqrt() * 4.0;
         let disks = random_disks(n, side, 0.3, 1.5, 8000 + n as u64);
@@ -353,7 +379,10 @@ pub fn t15_extensions(scale: u32) -> Table {
             "guaranteed NN".into(),
             n.to_string(),
             "L2".into(),
-            format!("{:.0}% guaranteed, {gus:.1} us/query", 100.0 * hits as f64 / queries.len() as f64),
+            format!(
+                "{:.0}% guaranteed, {gus:.1} us/query",
+                100.0 * hits as f64 / queries.len() as f64
+            ),
         ]);
 
         // L-infinity two-stage queries over bounding boxes.

@@ -22,7 +22,11 @@ pub fn t8_vpr(scale: u32) -> Table {
         "T8 (Lemma 4.1/Thm 4.2): probabilistic Voronoi diagram size  [paper: Theta(N^4), Omega(n^4) at k=2]",
         &["n", "k", "refinement faces", "distinct V_Pr cells"],
     );
-    let ns: &[usize] = if scale >= 2 { &[3, 4, 5, 6, 8] } else { &[3, 4, 5] };
+    let ns: &[usize] = if scale >= 2 {
+        &[3, 4, 5, 6, 8]
+    } else {
+        &[3, 4, 5]
+    };
     let mut pts = Vec::new();
     for &n in ns {
         let objs = ProbabilisticVoronoi::lower_bound_instance(n);
@@ -98,7 +102,10 @@ pub fn t9_mc(scale: u32) -> Table {
     t.note(format!(
         "error exponent in s: {slope:.2} (paper: -0.5); all observed errors within the predicted bound"
     ));
-    t.note(format!("PASS = exponent in [-0.8, -0.25]: {}", (-0.8..=-0.25).contains(&slope)));
+    t.note(format!(
+        "PASS = exponent in [-0.8, -0.25]: {}",
+        (-0.8..=-0.25).contains(&slope)
+    ));
     t
 }
 
@@ -153,7 +160,13 @@ pub fn t10_spiral(scale: u32) -> Table {
 pub fn t11_adversarial(_scale: u32) -> Table {
     let mut t = Table::new(
         "T11 (remark (i)): dropping light locations vs honest truncation",
-        &["eps", "true pi(p2)", "honest est", "dropped est", "dropped err / eps"],
+        &[
+            "eps",
+            "true pi(p2)",
+            "honest est",
+            "dropped est",
+            "dropped err / eps",
+        ],
     );
     for &eps in &[0.02f64, 0.05, 0.08] {
         // Swarm weights must fall strictly below the pruning threshold
@@ -209,7 +222,13 @@ pub fn t11_adversarial(_scale: u32) -> Table {
 pub fn t12_crossover(scale: u32) -> Table {
     let mut t = Table::new(
         "T12: estimator crossover (us/query at eps = 0.01)",
-        &["n", "exact sweep", "spiral", "monte-carlo", "numeric (continuous)"],
+        &[
+            "n",
+            "exact sweep",
+            "spiral",
+            "monte-carlo",
+            "numeric (continuous)",
+        ],
     );
     let ns: &[usize] = if scale >= 2 {
         &[10, 100, 1_000, 10_000]
@@ -336,13 +355,11 @@ pub fn t14_ablations(scale: u32) -> Table {
     let points = as_uncertain(&objs);
     let s = 200;
     let mut rng = SmallRng::seed_from_u64(7401);
-    let (kd_idx, kd_build) = time_ms(|| {
-        MonteCarloIndex::build(&points, s, McBackend::KdTree, &mut rng)
-    });
+    let (kd_idx, kd_build) =
+        time_ms(|| MonteCarloIndex::build(&points, s, McBackend::KdTree, &mut rng));
     let mut rng = SmallRng::seed_from_u64(7401);
-    let (del_idx, del_build) = time_ms(|| {
-        MonteCarloIndex::build(&points, s, McBackend::Delaunay, &mut rng)
-    });
+    let (del_idx, del_build) =
+        time_ms(|| MonteCarloIndex::build(&points, s, McBackend::Delaunay, &mut rng));
     let queries = random_queries(50, 100.0, 7402);
     let mut qi = 0;
     let kd_q = time_per_call_us(50, || {
@@ -403,11 +420,17 @@ pub fn t14_ablations(scale: u32) -> Table {
     let (_, persist_ms) = time_ms(|| {
         let mut v = base.clone();
         for i in 0..1000u32 {
-            v = if i % 2 == 0 { v.insert(64 + i) } else { v.remove(i % 64) };
+            v = if i % 2 == 0 {
+                v.insert(64 + i)
+            } else {
+                v.remove(i % 64)
+            };
         }
         v
     });
-    t.note(format!("1000 persistent-set versions derived in {persist_ms:.2} ms"));
+    t.note(format!(
+        "1000 persistent-set versions derived in {persist_ms:.2} ms"
+    ));
 
     // (4) NN!=0 engines: kd two-stage vs R-tree branch-and-prune [CKP04].
     let n_bp = if scale >= 2 { 20_000 } else { 2_000 };

@@ -20,7 +20,10 @@ pub type Experiment = (&'static str, fn(u32) -> Table);
 /// All experiments in order.
 pub fn all_experiments() -> Vec<Experiment> {
     vec![
-        ("t1", experiments_nonzero::t1_random_disks as fn(u32) -> Table),
+        (
+            "t1",
+            experiments_nonzero::t1_random_disks as fn(u32) -> Table,
+        ),
         ("t2", experiments_nonzero::t2_lb_mixed),
         ("t3", experiments_nonzero::t3_lb_equal),
         ("t4", experiments_nonzero::t4_disjoint),

@@ -1,0 +1,279 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of criterion used by `unn-bench`: benchmark
+//! groups, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: after a short warm-up, each benchmark runs in
+//! adaptively sized batches until the measurement budget is spent, then
+//! reports the mean and best batch time per iteration. No statistical
+//! analysis, plots, or baselines — numbers print to stdout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export for call sites that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark inside a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Passed to the closure given to [`Bencher::iter`]-driven benchmarks.
+pub struct Bencher {
+    measure: Duration,
+    result: Option<Measurement>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Measurement {
+    mean_ns: f64,
+    best_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, preventing the result from being optimized away.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up and batch-size calibration: grow until one batch takes
+        // at least ~1ms (or a growth cap is hit).
+        let mut batch: u64 = 1;
+        let warmup_deadline = Instant::now() + Duration::from_millis(50);
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+            if Instant::now() > warmup_deadline {
+                break;
+            }
+        }
+        // Measurement batches.
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let mut best_ns = f64::INFINITY;
+        while total < self.measure {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            best_ns = best_ns.min(dt.as_nanos() as f64 / batch as f64);
+            total += dt;
+            iters += batch;
+        }
+        self.result = Some(Measurement {
+            mean_ns: total.as_nanos() as f64 / iters.max(1) as f64,
+            best_ns,
+            iters,
+        });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Kept for API compatibility; the stub's batch sizing is adaptive, so
+    /// this only scales the measurement budget.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Criterion's default is 100 samples; scale our fixed budget.
+        let scale = (n.max(10) as f64 / 100.0).clamp(0.1, 2.0);
+        self.criterion.measure = Duration::from_secs_f64(0.3 * scale);
+        self
+    }
+
+    /// Same compatibility note as [`BenchmarkGroup::sample_size`].
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measure = d.min(Duration::from_secs(2));
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        self.criterion.run_one(&label, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        self.criterion
+            .run_one(&label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is immediate in this stub; this is a no-op
+    /// kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness handle.
+pub struct Criterion {
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = name.to_string();
+        self.run_one(&label, &mut f);
+        self
+    }
+
+    fn run_one(&mut self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            measure: self.measure,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some(m) => println!(
+                "{label:<48} mean {:>12}/iter   best {:>12}/iter   ({} iters)",
+                fmt_ns(m.mean_ns),
+                fmt_ns(m.best_ns),
+                m.iters
+            ),
+            None => println!("{label:<48} (no measurement)"),
+        }
+    }
+}
+
+/// Declares a group-runner function from a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("stub_smoke");
+        g.sample_size(10);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::from_parameter(32), &32u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

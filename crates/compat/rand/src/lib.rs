@@ -1,0 +1,319 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors a minimal, API-compatible subset of `rand` as a
+//! path dependency. It provides:
+//!
+//! * [`Rng`] — the dyn-safe core trait (`next_u32` / `next_u64`), used as
+//!   `&mut dyn Rng` throughout the distribution sampling code;
+//! * [`RngExt`] — the extension trait with `random()`, `random_range(..)`
+//!   and `random_bool()`, blanket-implemented for every `Rng` (including
+//!   `dyn Rng`);
+//! * [`SeedableRng`] with `seed_from_u64`;
+//! * [`rngs::SmallRng`] — xoshiro256++ seeded through SplitMix64.
+//!
+//! All generators are fully deterministic given a seed, which the test and
+//! batch-query layers rely on (see `unn::batch` for the
+//! `(seed, query_index)` stream-derivation scheme).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// Core random-number source: dyn-safe, everything else derives from it.
+pub trait Rng {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits (upper half of [`Rng::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from the "standard" domain
+/// (`[0, 1)` for floats, the full range for integers, fair coin for bools).
+pub trait StandardUniform: Sized {
+    /// Draws one standard sample from a bit source.
+    fn sample_standard(next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: StandardUniform + PartialOrd + Copy {
+    /// Draws uniformly from `[lo, hi)`. Panics if the range is empty.
+    fn sample_range(next: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self;
+    /// Draws uniformly from `[lo, hi]`. Panics if `hi < lo`.
+    fn sample_range_inclusive(next: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self;
+}
+
+impl StandardUniform for f64 {
+    fn sample_standard(next: &mut dyn FnMut() -> u64) -> Self {
+        // 53 random bits scaled into [0, 1).
+        (next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_range(next: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "cannot sample empty range {lo}..{hi}");
+        let u = f64::sample_standard(next);
+        let v = lo + (hi - lo) * u;
+        // Guard against round-up to `hi` for extreme ranges.
+        if v < hi {
+            v
+        } else {
+            lo
+        }
+    }
+    fn sample_range_inclusive(next: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "cannot sample empty range {lo}..={hi}");
+        lo + (hi - lo) * f64::sample_standard(next)
+    }
+}
+
+impl StandardUniform for f32 {
+    fn sample_standard(next: &mut dyn FnMut() -> u64) -> Self {
+        (next() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range(next: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "cannot sample empty range {lo}..{hi}");
+        let v = lo + (hi - lo) * f32::sample_standard(next);
+        if v < hi {
+            v
+        } else {
+            lo
+        }
+    }
+    fn sample_range_inclusive(next: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "cannot sample empty range {lo}..={hi}");
+        lo + (hi - lo) * f32::sample_standard(next)
+    }
+}
+
+impl StandardUniform for bool {
+    fn sample_standard(next: &mut dyn FnMut() -> u64) -> Self {
+        next() & 1 == 1
+    }
+}
+
+/// Uniform `[0, span)` via 128-bit widening multiply (Lemire reduction,
+/// without the rejection step: the bias is < 2⁻⁶⁴ per draw, far below
+/// anything the statistical tests in this workspace can resolve).
+#[inline]
+fn bounded(next: &mut dyn FnMut() -> u64, span: u64) -> u64 {
+    ((next() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl StandardUniform for $t {
+            fn sample_standard(next: &mut dyn FnMut() -> u64) -> Self {
+                next() as $t
+            }
+        }
+        impl SampleUniform for $t {
+            fn sample_range(next: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "cannot sample empty integer range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                lo.wrapping_add(bounded(next, span) as $t)
+            }
+            fn sample_range_inclusive(
+                next: &mut dyn FnMut() -> u64,
+                lo: Self,
+                hi: Self,
+            ) -> Self {
+                assert!(lo <= hi, "cannot sample empty integer range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if span == u64::MAX {
+                    return next() as $t;
+                }
+                lo.wrapping_add(bounded(next, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+/// Convenience methods over any [`Rng`], mirroring `rand`'s `Rng` extension
+/// surface (`random`, `random_range`, `random_bool`).
+pub trait RngExt: Rng {
+    /// A standard sample: `[0, 1)` for floats, full range for integers.
+    fn random<T: StandardUniform>(&mut self) -> T {
+        let mut src = |/* bits */| self.next_u64();
+        T::sample_standard(&mut src)
+    }
+
+    /// Uniform sample from a (half-open or inclusive) range.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        let mut src = || self.next_u64();
+        range.sample_from(&mut src)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p = {p} out of [0, 1]");
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Range argument accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from this range.
+    fn sample_from(self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from(self, next: &mut dyn FnMut() -> u64) -> T {
+        T::sample_range(next, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from(self, next: &mut dyn FnMut() -> u64) -> T {
+        T::sample_range_inclusive(next, *self.start(), *self.end())
+    }
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Deterministically constructs the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Constructs the generator from another source of randomness.
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self::seed_from_u64(rng.next_u64())
+    }
+}
+
+/// SplitMix64 step — used for seeding and for one-shot stream derivation.
+#[inline]
+pub fn split_mix_64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{split_mix_64, Rng, SeedableRng};
+
+    /// A small, fast, deterministic generator (xoshiro256++).
+    ///
+    /// Matches the role of `rand::rngs::SmallRng`: not cryptographically
+    /// secure, excellent statistical quality for simulation workloads.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        #[inline]
+        fn rotl(x: u64, k: u32) -> u64 {
+            x.rotate_left(k)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Expand the seed through SplitMix64, per the xoshiro authors'
+            // recommendation; guarantees a nonzero state.
+            let mut sm = seed;
+            let s = [
+                split_mix_64(&mut sm),
+                split_mix_64(&mut sm),
+                split_mix_64(&mut sm),
+                split_mix_64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = Self::rotl(s[0].wrapping_add(s[3]), 23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = Self::rotl(s[3], 45);
+            result
+        }
+    }
+
+    /// Alias: the workspace treats `StdRng` and `SmallRng` identically.
+    pub type StdRng = SmallRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn ranges_are_in_bounds_and_cover() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let x: f64 = rng.random_range(-3.0..5.0);
+            assert!((-3.0..5.0).contains(&x));
+            let i: usize = rng.random_range(0..10);
+            seen[i] = true;
+            let y: f64 = rng.random();
+            assert!((0.0..1.0).contains(&y));
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn unit_interval_mean_is_half() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn dyn_rng_object_usable() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let dyn_rng: &mut dyn super::Rng = &mut rng;
+        let v: f64 = dyn_rng.random_range(0.0..1.0);
+        assert!((0.0..1.0).contains(&v));
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline placeholder for `serde`.
+//!
+//! The workspace's `serde` cargo features are **off by default** and cannot
+//! be enabled offline (the real `serde` + derive macros are unavailable in
+//! this build environment). This crate exists so that the optional
+//! `serde = { workspace = true, optional = true }` dependency edges resolve.
+//!
+//! Enabling a `serde` feature of any workspace crate produces a compile
+//! error pointing here, rather than a confusing registry failure.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+compile_error!(
+    "the offline serde placeholder has no derive support; \
+     build without the workspace `serde` features"
+);

@@ -1,0 +1,8 @@
+//! Offline placeholder for `serde_json`.
+//!
+//! Only referenced from tests gated behind the workspace's `serde` feature,
+//! which is off by default and unsupported in this offline build
+//! environment (see the `serde` placeholder crate). This crate exists so
+//! the dev-dependency edge resolves.
+
+#![forbid(unsafe_code)]

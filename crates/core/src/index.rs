@@ -13,13 +13,13 @@
 //! * [`PnnIndex::expected_nn`] — the part-I expected-distance criterion.
 
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use unn_distr::{DiscreteDistribution, Uncertain, UncertainPoint};
 use unn_geom::{Disk, Point};
 use unn_nonzero::{DiscreteNonzeroIndex, DiskNonzeroIndex, GuaranteedNnIndex};
 use unn_quantify::{
-    knn_membership_exact, quantification_exact, quantification_numeric, MonteCarloIndex,
-    McBackend, SpiralIndex,
+    knn_membership_exact, quantification_exact, quantification_monte_carlo, quantification_numeric,
+    McBackend, MonteCarloIndex, SpiralIndex,
 };
 
 use crate::expected::ExpectedNnIndex;
@@ -65,7 +65,7 @@ pub enum QuantifyMethod {
     NumericIntegration,
 }
 
-enum NonzeroBackend {
+pub(crate) enum NonzeroBackend {
     Disks(DiskNonzeroIndex),
     Discrete(DiscreteNonzeroIndex),
     /// Heterogeneous models: exact linear scan over `δ_i` / `Δ_j`.
@@ -74,16 +74,20 @@ enum NonzeroBackend {
 
 /// Probabilistic nearest-neighbor index over uncertain points (the paper's
 /// full query suite).
+///
+/// All query methods take `&self` and the index is `Send + Sync` (statically
+/// asserted in [`crate::batch`]), so one index can be shared across threads
+/// by reference; the batch methods in [`crate::batch`] do exactly that.
 pub struct PnnIndex {
-    points: Vec<Uncertain>,
-    config: PnnConfig,
-    nonzero: NonzeroBackend,
+    pub(crate) points: Vec<Uncertain>,
+    pub(crate) config: PnnConfig,
+    pub(crate) nonzero: NonzeroBackend,
     /// All-discrete fast path.
-    discrete: Option<Vec<DiscreteDistribution>>,
-    spiral: Option<SpiralIndex>,
-    mc: MonteCarloIndex,
-    expected: ExpectedNnIndex,
-    guaranteed: Option<GuaranteedNnIndex>,
+    pub(crate) discrete: Option<Vec<DiscreteDistribution>>,
+    pub(crate) spiral: Option<SpiralIndex>,
+    pub(crate) mc: MonteCarloIndex,
+    pub(crate) expected: ExpectedNnIndex,
+    pub(crate) guaranteed: Option<GuaranteedNnIndex>,
 }
 
 impl PnnIndex {
@@ -92,10 +96,8 @@ impl PnnIndex {
         let mut rng = SmallRng::seed_from_u64(config.seed);
         // Specialize the nonzero backend.
         let disks: Option<Vec<Disk>> = points.iter().map(|p| p.as_disk()).collect();
-        let discrete: Option<Vec<DiscreteDistribution>> = points
-            .iter()
-            .map(|p| p.as_discrete().cloned())
-            .collect();
+        let discrete: Option<Vec<DiscreteDistribution>> =
+            points.iter().map(|p| p.as_discrete().cloned()).collect();
         let nonzero = if let Some(ds) = &disks {
             NonzeroBackend::Disks(DiskNonzeroIndex::new(ds))
         } else if let Some(objs) = &discrete {
@@ -156,15 +158,28 @@ impl PnnIndex {
     }
 
     fn nn_nonzero_generic(&self, q: Point) -> Vec<usize> {
-        let caps: Vec<f64> = self.points.iter().map(|p| p.max_dist(q)).collect();
-        (0..self.points.len())
-            .filter(|&i| {
-                let delta_i = self.points[i].min_dist(q);
-                caps.iter()
-                    .enumerate()
-                    .all(|(j, &cap)| j == i || delta_i < cap)
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.nn_nonzero_generic_into(q, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// Generic Lemma 2.1 scan into caller-provided buffers (`caps` is the
+    /// `Δ_j` scratch, `out` the result — both cleared first).
+    pub(crate) fn nn_nonzero_generic_into(
+        &self,
+        q: Point,
+        caps: &mut Vec<f64>,
+        out: &mut Vec<usize>,
+    ) {
+        caps.clear();
+        caps.extend(self.points.iter().map(|p| p.max_dist(q)));
+        out.clear();
+        out.extend((0..self.points.len()).filter(|&i| {
+            let delta_i = self.points[i].min_dist(q);
+            caps.iter()
+                .enumerate()
+                .all(|(j, &cap)| j == i || delta_i < cap)
+        }));
     }
 
     /// ε-approximate quantification probabilities (dense vector) and the
@@ -190,6 +205,19 @@ impl PnnIndex {
         }
     }
 
+    /// Monte-Carlo quantification with *fresh* instantiations drawn from
+    /// `rng` at query time, over `rounds` rounds.
+    ///
+    /// Unlike [`PnnIndex::quantify`]'s Monte-Carlo path (whose rounds are
+    /// frozen at build time and shared by every query), the estimate here is
+    /// a pure function of the RNG stream: two calls with identically seeded
+    /// RNGs are bit-identical, and independent streams give statistically
+    /// independent estimates. [`PnnIndex::quantify_fresh_batch`] builds on
+    /// this with one deterministic stream per query.
+    pub fn quantify_fresh(&self, q: Point, rounds: usize, rng: &mut dyn Rng) -> Vec<f64> {
+        quantification_monte_carlo(&self.points, q, rounds, rng)
+    }
+
     /// The most probable nearest neighbor: `argmax_i π̂_i(q)` with its
     /// estimated probability.
     pub fn most_probable_nn(&self, q: Point) -> Option<(usize, f64)> {
@@ -207,12 +235,11 @@ impl PnnIndex {
         }
         // Generic path: Δ-minimizer must beat every other δ.
         use unn_distr::UncertainPoint as _;
-        let best = (0..self.points.len())
-            .min_by(|&a, &b| {
-                self.points[a]
-                    .max_dist(q)
-                    .total_cmp(&self.points[b].max_dist(q))
-            })?;
+        let best = (0..self.points.len()).min_by(|&a, &b| {
+            self.points[a]
+                .max_dist(q)
+                .total_cmp(&self.points[b].max_dist(q))
+        })?;
         let cap = self.points[best].max_dist(q);
         self.points
             .iter()
@@ -226,10 +253,7 @@ impl PnnIndex {
     /// for discrete sets, Monte-Carlo estimate otherwise.
     pub fn knn_membership(&self, q: Point, k: usize) -> (Vec<f64>, QuantifyMethod) {
         if let Some(objs) = &self.discrete {
-            (
-                knn_membership_exact(objs, q, k),
-                QuantifyMethod::ExactSweep,
-            )
+            (knn_membership_exact(objs, q, k), QuantifyMethod::ExactSweep)
         } else {
             (self.mc.query_knn(q, k), QuantifyMethod::MonteCarlo)
         }
@@ -347,7 +371,10 @@ mod tests {
         // far away… instead, compare against the internal generic scan.
         let mut qrng = SmallRng::seed_from_u64(213);
         for _ in 0..100 {
-            let q = Point::new(qrng.random_range(-25.0..25.0), qrng.random_range(-25.0..25.0));
+            let q = Point::new(
+                qrng.random_range(-25.0..25.0),
+                qrng.random_range(-25.0..25.0),
+            );
             assert_eq!(idx.nn_nonzero(q), idx.nn_nonzero_generic(q));
         }
     }
@@ -364,7 +391,10 @@ mod tests {
             .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap();
         // Within eps of the true max (the argmax may differ on near-ties).
-        assert!(p >= best.1 - 2.0 * idx.config().epsilon, "{i}/{p} vs {best:?}");
+        assert!(
+            p >= best.1 - 2.0 * idx.config().epsilon,
+            "{i}/{p} vs {best:?}"
+        );
     }
 
     #[test]
@@ -372,7 +402,10 @@ mod tests {
         let idx = PnnIndex::new(mixed_points(215));
         let mut qrng = SmallRng::seed_from_u64(216);
         for _ in 0..100 {
-            let q = Point::new(qrng.random_range(-30.0..30.0), qrng.random_range(-30.0..30.0));
+            let q = Point::new(
+                qrng.random_range(-30.0..30.0),
+                qrng.random_range(-30.0..30.0),
+            );
             if let Some(g) = idx.guaranteed_nn(q) {
                 assert_eq!(idx.nn_nonzero(q), vec![g], "q = {q:?}");
             }

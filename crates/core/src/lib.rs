@@ -13,7 +13,9 @@
 //! * **quantification probabilities** ([`PnnIndex::quantify`],
 //!   [`PnnIndex::quantify_exact`]) — the probability `π_i(q)` that `P_i` is
 //!   the nearest neighbor, exactly or within additive ε;
-//! * **expected-distance NN** ([`PnnIndex::expected_nn`]).
+//! * **expected-distance NN** ([`PnnIndex::expected_nn`]);
+//! * **parallel batches** ([`batch`]) — every query family fanned out over
+//!   a thread pool with bit-for-bit deterministic results.
 //!
 //! ```
 //! use unn::{PnnIndex, Uncertain};
@@ -42,11 +44,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod evd;
 pub mod expected;
 pub mod index;
 pub mod set;
 
+pub use batch::{query_stream_seed, BatchOptions};
 pub use evd::ExpectedVoronoi;
 pub use expected::ExpectedNnIndex;
 pub use index::{PnnConfig, PnnIndex, QuantifyMethod};
@@ -56,15 +60,15 @@ pub use unn_distr::{
     UniformDisk, UniformPolygon,
 };
 
-/// Re-export of the geometry substrate.
-pub use unn_geom as geom;
 /// Re-export of the uncertainty models.
 pub use unn_distr as distr;
-/// Re-export of the spatial indexes.
-pub use unn_spatial as spatial;
-/// Re-export of the Delaunay/Voronoi substrate.
-pub use unn_voronoi as voronoi;
+/// Re-export of the geometry substrate.
+pub use unn_geom as geom;
 /// Re-export of the nonzero Voronoi machinery (paper §2–3).
 pub use unn_nonzero as nonzero;
 /// Re-export of the quantification estimators (paper §4).
 pub use unn_quantify as quantify;
+/// Re-export of the spatial indexes.
+pub use unn_spatial as spatial;
+/// Re-export of the Delaunay/Voronoi substrate.
+pub use unn_voronoi as voronoi;

@@ -133,9 +133,7 @@ impl<L> LabeledIndex<L> {
 
     /// The expected-distance NN's label and expected distance.
     pub fn expected_nn(&self, q: Point) -> Option<(&L, f64)> {
-        self.index
-            .expected_nn(q)
-            .map(|(i, d)| (&self.labels[i], d))
+        self.index.expected_nn(q).map(|(i, d)| (&self.labels[i], d))
     }
 }
 

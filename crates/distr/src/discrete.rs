@@ -361,7 +361,10 @@ mod tests {
     #[test]
     fn weight_spread() {
         assert_eq!(tri().weight_spread(), 2.0);
-        assert_eq!(DiscreteDistribution::certain(Point::ORIGIN).weight_spread(), 1.0);
+        assert_eq!(
+            DiscreteDistribution::certain(Point::ORIGIN).weight_spread(),
+            1.0
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ impl TruncatedGaussian {
     /// Gaussian with standard deviation `sigma`, truncated at `radius`
     /// around `center`. Both must be positive.
     pub fn new(center: Point, sigma: f64, radius: f64) -> Self {
-        assert!(sigma > 0.0 && radius > 0.0, "sigma and radius must be positive");
+        assert!(
+            sigma > 0.0 && radius > 0.0,
+            "sigma and radius must be positive"
+        );
         TruncatedGaussian {
             center,
             sigma,

@@ -237,7 +237,10 @@ impl UncertainPoint for HistogramDistribution {
 
     fn sample(&self, rng: &mut dyn Rng) -> Point {
         let u: f64 = rng.random();
-        let idx = self.cum.partition_point(|&c| c < u).min(self.mass.len() - 1);
+        let idx = self
+            .cum
+            .partition_point(|&c| c < u)
+            .min(self.mass.len() - 1);
         let (ix, iy) = (idx % self.nx, idx / self.nx);
         let cell = self.cell(ix, iy);
         Point::new(
@@ -277,7 +280,10 @@ mod tests {
         // Tiny circle fully inside the rect.
         assert!((circle_rect_overlap_area(Point::ORIGIN, 0.5, &rect) - PI * 0.25).abs() < 1e-12);
         // Far circle misses.
-        assert_eq!(circle_rect_overlap_area(Point::new(100.0, 0.0), 1.0, &rect), 0.0);
+        assert_eq!(
+            circle_rect_overlap_area(Point::new(100.0, 0.0), 1.0, &rect),
+            0.0
+        );
         // Half overlap: circle centered on rect edge, small radius.
         let v = circle_rect_overlap_area(Point::new(1.0, 0.0), 0.5, &rect);
         assert!((v - PI * 0.125).abs() < 1e-12, "v = {v}");
@@ -289,8 +295,12 @@ mod tests {
     #[test]
     fn circle_rect_area_vs_grid() {
         let rect = Aabb::new(Point::new(0.0, 0.0), Point::new(2.0, 1.0));
-        for &(qx, qy, r) in &[(0.5, 0.5, 0.8), (-0.3, 0.2, 1.0), (2.0, 1.0, 1.5), (1.0, -0.5, 0.7)]
-        {
+        for &(qx, qy, r) in &[
+            (0.5, 0.5, 0.8),
+            (-0.3, 0.2, 1.0),
+            (2.0, 1.0, 1.5),
+            (1.0, -0.5, 0.7),
+        ] {
             let q = Point::new(qx, qy);
             let analytic = circle_rect_overlap_area(q, r, &rect);
             // Fine grid check.

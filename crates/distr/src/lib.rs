@@ -95,7 +95,9 @@ impl Uncertain {
     /// the classic VC bound for disks ([VC71, LLS01] give `c/α² · log(1/δ)`).
     pub fn discretization_size(alpha: f64, delta: f64) -> usize {
         assert!(alpha > 0.0 && alpha < 1.0 && delta > 0.0 && delta < 1.0);
-        ((0.5 / (alpha * alpha)) * (1.0 / delta).ln()).ceil().max(1.0) as usize
+        ((0.5 / (alpha * alpha)) * (1.0 / delta).ln())
+            .ceil()
+            .max(1.0) as usize
     }
 }
 
@@ -146,7 +148,11 @@ mod tests {
         let models: Vec<Uncertain> = vec![
             Uncertain::certain(Point::new(1.0, 1.0)),
             Uncertain::uniform_disk(Point::new(0.0, 0.0), 2.0),
-            Uncertain::Gaussian(TruncatedGaussian::with_sigmas(Point::new(3.0, 0.0), 0.5, 3.0)),
+            Uncertain::Gaussian(TruncatedGaussian::with_sigmas(
+                Point::new(3.0, 0.0),
+                0.5,
+                3.0,
+            )),
             Uncertain::Histogram(HistogramDistribution::new(
                 Aabb::new(Point::new(-1.0, -1.0), Point::new(1.0, 1.0)),
                 2,
@@ -206,7 +212,11 @@ mod tests {
                 .unwrap(),
             ),
             Uncertain::uniform_disk(Point::new(0.5, -0.5), 2.0),
-            Uncertain::Gaussian(TruncatedGaussian::with_sigmas(Point::new(3.0, 0.0), 0.5, 3.0)),
+            Uncertain::Gaussian(TruncatedGaussian::with_sigmas(
+                Point::new(3.0, 0.0),
+                0.5,
+                3.0,
+            )),
             Uncertain::Histogram(HistogramDistribution::new(
                 Aabb::new(Point::new(-1.0, -1.0), Point::new(1.0, 1.0)),
                 2,

@@ -57,17 +57,14 @@ pub(crate) mod testutil {
         seed: u64,
     ) {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut dists: Vec<f64> = (0..n_samples)
-            .map(|_| u.sample(&mut rng).dist(q))
-            .collect();
+        let mut dists: Vec<f64> = (0..n_samples).map(|_| u.sample(&mut rng).dist(q)).collect();
         dists.sort_by(f64::total_cmp);
         let lo = u.min_dist(q);
         let hi = u.max_dist(q);
         assert!(hi >= lo);
         for k in 0..=20 {
             let r = lo + (hi - lo) * k as f64 / 20.0;
-            let empirical =
-                dists.partition_point(|&d| d <= r) as f64 / n_samples as f64;
+            let empirical = dists.partition_point(|&d| d <= r) as f64 / n_samples as f64;
             let analytic = u.distance_cdf(q, r);
             assert!(
                 (empirical - analytic).abs() <= tol,

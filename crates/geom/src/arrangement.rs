@@ -699,10 +699,7 @@ mod locator_tests {
         let loc = FaceLocator::build(&arr, 32);
         for i in 0..3 * m {
             for j in 0..3 * m {
-                let p = Point::new(
-                    i as f64 / 3.0 + 0.17,
-                    j as f64 / 3.0 + 0.29,
-                );
+                let p = Point::new(i as f64 / 3.0 + 0.17, j as f64 / 3.0 + 0.29);
                 assert_eq!(loc.locate(&arr, p), arr.locate(p), "p = {p:?}");
             }
         }

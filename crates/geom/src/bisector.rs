@@ -217,8 +217,8 @@ mod tests {
     fn weighted_bisector_is_perpendicular_line_when_equal_radii() {
         // Equal radii: shift = 0, the "hyperbola" is the perpendicular
         // bisector line of the centers.
-        let b = FocalCurve::weighted_bisector(Point::ORIGIN, 1.0, Point::new(4.0, 0.0), 1.0)
-            .unwrap();
+        let b =
+            FocalCurve::weighted_bisector(Point::ORIGIN, 1.0, Point::new(4.0, 0.0), 1.0).unwrap();
         for &theta in &[0.0, 0.5, 1.0, -1.2] {
             if let Some(p) = b.point_at(Point::ORIGIN, theta) {
                 assert!((p.x - 2.0).abs() < 1e-9, "p = {p:?}");

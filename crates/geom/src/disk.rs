@@ -172,8 +172,8 @@ mod tests {
         for &d in &[0.5, 1.0, 1.5, 1.999] {
             let a = Disk::new(Point::ORIGIN, r);
             let b = Disk::new(Point::new(d, 0.0), r);
-            let expected = 2.0 * r * r * (d / (2.0 * r)).acos()
-                - (d / 2.0) * (4.0 * r * r - d * d).sqrt();
+            let expected =
+                2.0 * r * r * (d / (2.0 * r)).acos() - (d / 2.0) * (4.0 * r * r - d * d).sqrt();
             assert!(
                 (a.lens_area(&b) - expected).abs() < 1e-12,
                 "d={d}: {} vs {}",

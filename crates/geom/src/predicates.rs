@@ -159,8 +159,9 @@ fn incircle_exact(a: Point, b: Point, c: Point, d: Point) -> f64 {
     let lb = lift(&bx, &by);
     let lc = lift(&cx, &cy);
 
-    let det2 =
-        |x1: &Expansion, y1: &Expansion, x2: &Expansion, y2: &Expansion| x1.mul(y2).sub(&x2.mul(y1));
+    let det2 = |x1: &Expansion, y1: &Expansion, x2: &Expansion, y2: &Expansion| {
+        x1.mul(y2).sub(&x2.mul(y1))
+    };
 
     let m_a = det2(&bx, &by, &cx, &cy);
     let m_b = det2(&ax, &ay, &cx, &cy);

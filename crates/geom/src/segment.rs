@@ -204,28 +204,66 @@ impl Line {
             return None;
         }
         let p0 = Point::ORIGIN + self.n * (self.c / n2);
-        // Liang–Barsky style clipping.
+        // Liang–Barsky style clipping. Each clip parameter remembers the wall
+        // (axis + coordinate) that bound it: `p0 + t d` rounds, and downstream
+        // arrangement code relies on clipped endpoints lying *exactly* on the
+        // box boundary so box edges get split where chords terminate.
         let (mut t0, mut t1) = (f64::NEG_INFINITY, f64::INFINITY);
+        let mut w0: Option<(u8, f64)> = None;
+        let mut w1: Option<(u8, f64)> = None;
         let checks = [
-            (d.x, bb.min.x - p0.x, bb.max.x - p0.x),
-            (d.y, bb.min.y - p0.y, bb.max.y - p0.y),
+            (
+                0u8,
+                d.x,
+                bb.min.x - p0.x,
+                bb.max.x - p0.x,
+                bb.min.x,
+                bb.max.x,
+            ),
+            (
+                1u8,
+                d.y,
+                bb.min.y - p0.y,
+                bb.max.y - p0.y,
+                bb.min.y,
+                bb.max.y,
+            ),
         ];
-        for (dv, lo, hi) in checks {
+        for (axis, dv, lo, hi, wlo, whi) in checks {
             if dv == 0.0 {
                 if lo > 0.0 || hi < 0.0 {
                     return None;
                 }
             } else {
-                let (ta, tb) = (lo / dv, hi / dv);
-                let (ta, tb) = if ta <= tb { (ta, tb) } else { (tb, ta) };
-                t0 = t0.max(ta);
-                t1 = t1.min(tb);
+                let (ta, wa, tb, wb) = if dv > 0.0 {
+                    (lo / dv, wlo, hi / dv, whi)
+                } else {
+                    (hi / dv, whi, lo / dv, wlo)
+                };
+                if ta > t0 {
+                    t0 = ta;
+                    w0 = Some((axis, wa));
+                }
+                if tb < t1 {
+                    t1 = tb;
+                    w1 = Some((axis, wb));
+                }
             }
         }
         if t0 > t1 {
             return None;
         }
-        Some(Segment::new(p0 + d * t0, p0 + d * t1))
+        let pin = |mut p: Point, wall: Option<(u8, f64)>| -> Point {
+            match wall {
+                Some((0, w)) => p.x = w,
+                Some((_, w)) => p.y = w,
+                None => {}
+            }
+            p.x = p.x.clamp(bb.min.x, bb.max.x);
+            p.y = p.y.clamp(bb.min.y, bb.max.y);
+            p
+        };
+        Some(Segment::new(pin(p0 + d * t0, w0), pin(p0 + d * t1, w1)))
     }
 }
 

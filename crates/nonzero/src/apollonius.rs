@@ -67,7 +67,11 @@ impl ApolloniusDiagram {
                         curves.push(c);
                     }
                 }
-                let arcs = if nonempty { envelope(&curves) } else { Vec::new() };
+                let arcs = if nonempty {
+                    envelope(&curves)
+                } else {
+                    Vec::new()
+                };
                 Cell {
                     center: c_i,
                     curves,

@@ -89,12 +89,13 @@ impl BranchPruneIndex {
         };
         // Second filter at the exact threshold.
         let mut out: Vec<usize> = Vec::new();
-        self.tree.report_min_below(q, d1.max(d2).next_up(), &mut |i, _| {
-            let threshold = if i == best { d2 } else { d1 };
-            if self.disks[i].min_dist(q) < threshold {
-                out.push(i);
-            }
-        });
+        self.tree
+            .report_min_below(q, d1.max(d2).next_up(), &mut |i, _| {
+                let threshold = if i == best { d2 } else { d1 };
+                if self.disks[i].min_dist(q) < threshold {
+                    out.push(i);
+                }
+            });
         out.sort_unstable();
         out
     }

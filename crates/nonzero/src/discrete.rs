@@ -80,9 +80,7 @@ pub fn discrete_nonzero_vertices(
     // Envelope value Delta(x) = min_u Delta_u(x), brute force (enumeration
     // dominates the validation cost anyway).
     let cap = |x: Point, u: usize| farthest_dist(&objects[u], x);
-    let cap_min = |x: Point| -> f64 {
-        (0..n).map(|u| cap(x, u)).fold(f64::INFINITY, f64::min)
-    };
+    let cap_min = |x: Point| -> f64 { (0..n).map(|u| cap(x, u)).fold(f64::INFINITY, f64::min) };
     let delta = |x: Point, i: usize| nearest_dist(&objects[i], x);
 
     // All K_ij polygons (i != j).
@@ -146,10 +144,7 @@ pub fn discrete_nonzero_vertices(
                                 i,
                                 j,
                                 u,
-                                &[
-                                    (delta(x, i), cap(x, u)),
-                                    (delta(x, j), cap(x, u)),
-                                ],
+                                &[(delta(x, i), cap(x, u)), (delta(x, j), cap(x, u))],
                             );
                         }
                     }
@@ -181,10 +176,7 @@ pub fn discrete_nonzero_vertices(
                                 i,
                                 j,
                                 u,
-                                &[
-                                    (delta(x, i), cap(x, j)),
-                                    (cap(x, j), cap(x, u)),
-                                ],
+                                &[(delta(x, i), cap(x, j)), (cap(x, j), cap(x, u))],
                             );
                         }
                     }

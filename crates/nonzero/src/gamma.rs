@@ -176,8 +176,7 @@ impl GammaCurve {
         // midpoint deviation is below tol, capping recursion.
         let eval = |theta: f64| -> Option<Point> {
             let t = curve.radial_or_inf(theta);
-            (t.is_finite() && t <= r_max)
-                .then(|| self.center + Vector::from_angle(theta) * t)
+            (t.is_finite() && t <= r_max).then(|| self.center + Vector::from_angle(theta) * t)
         };
         let mut samples: Vec<(f64, Option<Point>)> = Vec::new();
         // Generate an ordered sample list by in-order traversal.
@@ -276,9 +275,7 @@ fn single_curve_arcs(curves: &[FocalCurve], id: u32) -> Vec<EnvArc> {
 
 fn active_at(arcs: &[EnvArc], theta: f64) -> Option<u32> {
     let idx = arcs.partition_point(|a| a.a1 < theta);
-    arcs.get(idx)
-        .filter(|a| a.a0 <= theta)
-        .map(|a| a.curve)
+    arcs.get(idx).filter(|a| a.a0 <= theta).map(|a| a.curve)
 }
 
 fn merge_envelopes(curves: &[FocalCurve], a: &[EnvArc], b: &[EnvArc]) -> Vec<EnvArc> {
@@ -402,8 +399,9 @@ mod tests {
     fn membership_matches_brute_force() {
         for seed in 50..54 {
             let disks = random_disks(12, seed);
-            let gammas: Vec<GammaCurve> =
-                (0..disks.len()).map(|i| GammaCurve::build(&disks, i)).collect();
+            let gammas: Vec<GammaCurve> = (0..disks.len())
+                .map(|i| GammaCurve::build(&disks, i))
+                .collect();
             let mut rng = SmallRng::seed_from_u64(seed + 100);
             for _ in 0..400 {
                 let q = Point::new(rng.random_range(-80.0..80.0), rng.random_range(-80.0..80.0));
@@ -470,7 +468,11 @@ mod tests {
     #[test]
     fn overlapping_disks_unconstrained() {
         // All disks overlap disk 0: gamma_0 is empty, region is the plane.
-        let disks = [disk(0.0, 0.0, 5.0), disk(1.0, 0.0, 5.0), disk(0.0, 1.0, 5.0)];
+        let disks = [
+            disk(0.0, 0.0, 5.0),
+            disk(1.0, 0.0, 5.0),
+            disk(0.0, 1.0, 5.0),
+        ];
         let g = GammaCurve::build(&disks, 0);
         assert!(g.arcs().is_empty());
         assert!(g.contains(Point::new(1000.0, 1000.0)));

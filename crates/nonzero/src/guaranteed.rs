@@ -116,15 +116,17 @@ mod tests {
                     assert_eq!(nz, vec![i], "q = {q:?}");
                     guaranteed_hits += 1;
                 }
-                None => assert!(nz.len() != 1 || {
-                    // A singleton cell with delta_j == cap exactly — accept.
-                    let i = nz[0];
-                    let cap = disks[i].max_dist(q);
-                    disks
-                        .iter()
-                        .enumerate()
-                        .any(|(j, d)| j != i && (d.min_dist(q) - cap).abs() < 1e-12)
-                }),
+                None => assert!(
+                    nz.len() != 1 || {
+                        // A singleton cell with delta_j == cap exactly — accept.
+                        let i = nz[0];
+                        let cap = disks[i].max_dist(q);
+                        disks
+                            .iter()
+                            .enumerate()
+                            .any(|(j, d)| j != i && (d.min_dist(q) - cap).abs() < 1e-12)
+                    }
+                ),
             }
         }
         // Sparse disks: most queries should have a guaranteed NN.
@@ -160,7 +162,10 @@ mod tests {
 
     #[test]
     fn empty_and_single() {
-        assert_eq!(GuaranteedNnIndex::new(&[]).guaranteed_nn(Point::ORIGIN), None);
+        assert_eq!(
+            GuaranteedNnIndex::new(&[]).guaranteed_nn(Point::ORIGIN),
+            None
+        );
         let one = GuaranteedNnIndex::new(&[Disk::new(Point::ORIGIN, 1.0)]);
         assert_eq!(one.guaranteed_nn(Point::new(9.0, 0.0)), Some(0));
     }

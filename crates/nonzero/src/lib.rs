@@ -20,11 +20,16 @@ pub mod vertices;
 
 pub use apollonius::ApolloniusDiagram;
 pub use branchprune::BranchPruneIndex;
-pub use discrete::{count_distinct_discrete, discrete_nonzero_vertices, forbidden_region, DiscreteNonzeroSubdivision, DiscreteVertex};
+pub use discrete::{
+    count_distinct_discrete, discrete_nonzero_vertices, forbidden_region,
+    DiscreteNonzeroSubdivision, DiscreteVertex,
+};
 pub use gamma::{envelope, EnvArc, GammaCurve};
 pub use guaranteed::GuaranteedNnIndex;
 pub use linf::{l1_dist, linf_dist, linf_max_dist, linf_min_dist, LinfNonzeroIndex};
+pub use lower_bounds::{
+    collinear_quadratic, disjoint_disks, equal_radii_cubic, mixed_radii_cubic, LowerBoundInstance,
+};
 pub use subdivision::{NonzeroSubdivision, SubdivisionStats};
-pub use twostage::{DiskNonzeroIndex, DiscreteNonzeroIndex};
-pub use lower_bounds::{collinear_quadratic, disjoint_disks, equal_radii_cubic, mixed_radii_cubic, LowerBoundInstance};
+pub use twostage::{DiscreteNonzeroIndex, DiskNonzeroIndex};
 pub use vertices::{count_distinct, nonzero_vertices, NonzeroVertex, VertexKind};

@@ -88,7 +88,10 @@ impl LinfNonzeroIndex {
             .map(|(&c, &r)| {
                 assert!(r >= 0.0);
                 let rc = rotate_l1_to_linf(c);
-                Aabb::new(Point::new(rc.x - r, rc.y - r), Point::new(rc.x + r, rc.y + r))
+                Aabb::new(
+                    Point::new(rc.x - r, rc.y - r),
+                    Point::new(rc.x + r, rc.y + r),
+                )
             })
             .collect();
         Self::new(&rects)
@@ -169,9 +172,7 @@ impl LinfNonzeroIndex {
         (0..self.rects.len())
             .filter(|&i| {
                 let di = linf_min_dist(&self.rects[i], q);
-                caps.iter()
-                    .enumerate()
-                    .all(|(j, &c)| j == i || di < c)
+                caps.iter().enumerate().all(|(j, &c)| j == i || di < c)
             })
             .collect()
     }

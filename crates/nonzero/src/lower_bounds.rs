@@ -111,12 +111,7 @@ pub fn collinear_quadratic(m: usize) -> LowerBoundInstance {
     assert!(m >= 2);
     let n = 2 * m;
     let disks: Vec<Disk> = (1..=n)
-        .map(|i| {
-            Disk::new(
-                Point::new(4.0 * (i as f64 - m as f64) - 2.0, 0.0),
-                1.0,
-            )
-        })
+        .map(|i| Disk::new(Point::new(4.0 * (i as f64 - m as f64) - 2.0, 0.0), 1.0))
         .collect();
     // Pairs (i, j) with j - i >= 2 each contribute 2 vertices.
     let pairs = (1..=n)
@@ -167,10 +162,7 @@ pub fn disjoint_disks(n: usize, lambda: f64, rng: &mut dyn Rng) -> Vec<Disk> {
             "dart throwing failed; lambda or n too large for the board"
         );
         let d = Disk::new(
-            Point::new(
-                rng.random_range(0.0..side),
-                rng.random_range(0.0..side),
-            ),
+            Point::new(rng.random_range(0.0..side), rng.random_range(0.0..side)),
             rng.random_range(1.0..lambda.max(1.0 + 1e-9)),
         );
         if disks
@@ -244,8 +236,7 @@ mod tests {
         for i in 0..disks.len() {
             for j in (i + 1)..disks.len() {
                 assert!(
-                    disks[i].center.dist(disks[j].center)
-                        > disks[i].radius + disks[j].radius,
+                    disks[i].center.dist(disks[j].center) > disks[i].radius + disks[j].radius,
                     "disks {i} and {j} overlap"
                 );
             }

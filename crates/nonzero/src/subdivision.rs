@@ -255,10 +255,7 @@ mod tests {
             }
         }
         // The overwhelming majority must match exactly.
-        assert!(
-            mismatches * 50 < total,
-            "{mismatches}/{total} mismatches"
-        );
+        assert!(mismatches * 50 < total, "{mismatches}/{total} mismatches");
     }
 
     /// Distance of q from the nearest gamma boundary, in constraint space.

@@ -93,25 +93,29 @@ impl DiskNonzeroIndex {
     /// `NN≠0(q)`: indices of all uncertain points with nonzero probability
     /// of being the nearest neighbor of `q` (Lemma 2.1), in index order.
     pub fn query(&self, q: Point) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.query_into(q, &mut out);
+        out
+    }
+
+    /// [`DiskNonzeroIndex::query`] into a caller-provided buffer (cleared
+    /// first): batch loops reuse one buffer per worker to keep the Lemma 2.1
+    /// reporting stage allocation-free.
+    pub fn query_into(&self, q: Point, out: &mut Vec<usize>) {
+        out.clear();
         let Some((best, d1, d2)) = self.min_two_max_dist(q) else {
-            return Vec::new();
+            return;
         };
         let disks = &self.disks;
-        let mut out = Vec::new();
         // Everyone except `best` is tested against d1; `best` against d2.
-        self.tree.report_adjusted_below(
-            q,
-            d1.max(d2),
-            &|i| disks[i].min_dist(q),
-            &mut |i, v| {
+        self.tree
+            .report_adjusted_below(q, d1.max(d2), &|i| disks[i].min_dist(q), &mut |i, v| {
                 let threshold = if i == best { d2 } else { d1 };
                 if v < threshold {
                     out.push(i);
                 }
-            },
-        );
+            });
         out.sort_unstable();
-        out
     }
 
     /// Reference implementation: linear scan (the baseline of experiment E7).
@@ -217,11 +221,19 @@ impl DiscreteNonzeroIndex {
 
     /// `NN≠0(q)` for discrete supports, in index order.
     pub fn query(&self, q: Point) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.query_into(q, &mut out);
+        out
+    }
+
+    /// [`DiscreteNonzeroIndex::query`] into a caller-provided buffer
+    /// (cleared first); see [`DiskNonzeroIndex::query_into`].
+    pub fn query_into(&self, q: Point, out: &mut Vec<usize>) {
+        out.clear();
         let Some((best, d1, d2)) = self.min_two_max_dist(q) else {
-            return Vec::new();
+            return;
         };
         let objects = &self.objects;
-        let mut out = Vec::new();
         self.tree_report.report_adjusted_below(
             q,
             d1.max(d2),
@@ -234,7 +246,6 @@ impl DiscreteNonzeroIndex {
             },
         );
         out.sort_unstable();
-        out
     }
 
     /// Reference implementation: linear scan.
@@ -358,7 +369,12 @@ mod tests {
         // away from bisectors it has size 1.
         let mut rng = SmallRng::seed_from_u64(97);
         let pts: Vec<Vec<Point>> = (0..50)
-            .map(|_| vec![Point::new(rng.random_range(-50.0..50.0), rng.random_range(-50.0..50.0))])
+            .map(|_| {
+                vec![Point::new(
+                    rng.random_range(-50.0..50.0),
+                    rng.random_range(-50.0..50.0),
+                )]
+            })
             .collect();
         let idx = DiscreteNonzeroIndex::new(&pts);
         for _ in 0..100 {
@@ -375,10 +391,12 @@ mod tests {
             for &i in &res {
                 assert!(pts[i][0].dist(q) <= dmin + 1e-9);
             }
-            assert!(!res.is_empty() || dmin == 0.0 || pts.len() == 1 || {
-                // all points tie: query exactly on a multi-bisector (rare)
-                true
-            });
+            assert!(
+                !res.is_empty() || dmin == 0.0 || pts.len() == 1 || {
+                    // all points tie: query exactly on a multi-bisector (rare)
+                    true
+                }
+            );
         }
     }
 

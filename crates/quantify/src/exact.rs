@@ -21,17 +21,47 @@
 use unn_distr::{DiscreteDistribution, UncertainPoint};
 use unn_geom::Point;
 
+/// Reusable buffers for [`quantification_exact_into`].
+///
+/// The Eq. 2 sweep needs `O(N)` working memory (the distance-sorted location
+/// list and the running cdf factors); batch query loops reuse one scratch
+/// per worker so the hot path performs no allocation beyond the output.
+#[derive(Clone, Debug, Default)]
+pub struct ExactScratch {
+    locs: Vec<(f64, u32, f64)>,
+    rem: Vec<f64>,
+    left: Vec<usize>,
+}
+
 /// All quantification probabilities `π_i(q)`, exactly (up to f64 rounding).
 ///
 /// Returns one probability per object, in input order; they sum to 1.
 pub fn quantification_exact(objects: &[DiscreteDistribution], q: Point) -> Vec<f64> {
+    let mut pi = Vec::new();
+    quantification_exact_into(objects, q, &mut pi, &mut ExactScratch::default());
+    pi
+}
+
+/// [`quantification_exact`] writing into caller-provided buffers.
+///
+/// `pi` is cleared and resized to `objects.len()`; `scratch` holds the
+/// sweep's working memory across calls. Identical output to the allocating
+/// entry point.
+pub fn quantification_exact_into(
+    objects: &[DiscreteDistribution],
+    q: Point,
+    pi: &mut Vec<f64>,
+    scratch: &mut ExactScratch,
+) {
     let n = objects.len();
-    let mut pi = vec![0.0; n];
+    pi.clear();
+    pi.resize(n, 0.0);
     if n == 0 {
-        return pi;
+        return;
     }
     // (distance, object, weight), sorted by distance.
-    let mut locs: Vec<(f64, u32, f64)> = Vec::new();
+    let locs = &mut scratch.locs;
+    locs.clear();
     for (j, obj) in objects.iter().enumerate() {
         for (p, w) in obj.points().iter().zip(obj.weights()) {
             locs.push((p.dist(q), j as u32, *w));
@@ -40,9 +70,13 @@ pub fn quantification_exact(objects: &[DiscreteDistribution], q: Point) -> Vec<f
     locs.sort_by(|a, b| a.0.total_cmp(&b.0));
 
     // Running factors rem[j] = 1 - G_{q,j}(current distance).
-    let mut rem = vec![1.0f64; n];
-    let mut left = vec![0usize; n]; // remaining (unconsumed) locations
-    for &(_, j, _) in &locs {
+    let rem = &mut scratch.rem;
+    rem.clear();
+    rem.resize(n, 1.0);
+    let left = &mut scratch.left; // remaining (unconsumed) locations
+    left.clear();
+    left.resize(n, 0);
+    for &(_, j, _) in locs.iter() {
         left[j as usize] += 1;
     }
     // Product over j of rem[j], as (sum of logs of nonzero rem, zero count).
@@ -62,7 +96,11 @@ pub fn quantification_exact(objects: &[DiscreteDistribution], q: Point) -> Vec<f
             let j = j as usize;
             let old = rem[j];
             left[j] -= 1;
-            let new = if left[j] == 0 { 0.0 } else { (old - w).max(0.0) };
+            let new = if left[j] == 0 {
+                0.0
+            } else {
+                (old - w).max(0.0)
+            };
             if old > 0.0 {
                 log_p -= old.ln();
             } else {
@@ -94,7 +132,6 @@ pub fn quantification_exact(objects: &[DiscreteDistribution], q: Point) -> Vec<f
         }
         idx = end;
     }
-    pi
 }
 
 /// Reference implementation recomputing each product from scratch
@@ -265,8 +302,10 @@ mod tests {
             let angle = i as f64;
             objs.push(obj(
                 &[
-                    (0.3 * angle.cos() * (1.0 + 0.1 * i as f64),
-                     0.3 * angle.sin() * (1.0 + 0.1 * i as f64)),
+                    (
+                        0.3 * angle.cos() * (1.0 + 0.1 * i as f64),
+                        0.3 * angle.sin() * (1.0 + 0.1 * i as f64),
+                    ),
                     (100.0 + 0.01 * i as f64, 0.0),
                 ],
                 &[0.5, 0.5],

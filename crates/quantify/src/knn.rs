@@ -18,11 +18,7 @@ use unn_distr::{DiscreteDistribution, UncertainPoint};
 use unn_geom::Point;
 
 /// Exact k-NN membership probabilities for all objects.
-pub fn knn_membership_exact(
-    objects: &[DiscreteDistribution],
-    q: Point,
-    k: usize,
-) -> Vec<f64> {
+pub fn knn_membership_exact(objects: &[DiscreteDistribution], q: Point, k: usize) -> Vec<f64> {
     let n = objects.len();
     assert!(k >= 1, "k must be at least 1");
     let mut out = vec![0.0; n];
@@ -112,10 +108,7 @@ mod tests {
         for k in 1..=9 {
             let pi = knn_membership_exact(&objs, q, k);
             let sum: f64 = pi.iter().sum();
-            assert!(
-                (sum - k as f64).abs() < 1e-9,
-                "k={k}: sum = {sum}"
-            );
+            assert!((sum - k as f64).abs() < 1e-9, "k={k}: sum = {sum}");
         }
     }
 
@@ -168,11 +161,11 @@ mod tests {
     fn degenerate_cases() {
         assert!(knn_membership_exact(&[], Point::ORIGIN, 1).is_empty());
         let one = vec![DiscreteDistribution::certain(Point::ORIGIN)];
-        assert_eq!(knn_membership_exact(&one, Point::new(1.0, 0.0), 1), vec![1.0]);
-        let objs = random_objects(4, 2, 806);
         assert_eq!(
-            knn_membership_exact(&objs, Point::ORIGIN, 10),
-            vec![1.0; 4]
+            knn_membership_exact(&one, Point::new(1.0, 0.0), 1),
+            vec![1.0]
         );
+        let objs = random_objects(4, 2, 806);
+        assert_eq!(knn_membership_exact(&objs, Point::ORIGIN, 10), vec![1.0; 4]);
     }
 }

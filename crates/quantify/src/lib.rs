@@ -23,9 +23,13 @@ pub mod spiral;
 pub mod threshold;
 pub mod vpr;
 
-pub use exact::{quantification_exact, quantification_exact_recompute};
+pub use exact::{
+    quantification_exact, quantification_exact_into, quantification_exact_recompute, ExactScratch,
+};
 pub use knn::knn_membership_exact;
-pub use montecarlo::{McBackend, MonteCarloIndex};
+pub use montecarlo::{
+    quantification_monte_carlo, quantification_monte_carlo_into, McBackend, MonteCarloIndex,
+};
 pub use numeric::quantification_numeric;
 pub use spiral::{SpiralBackend, SpiralIndex};
 pub use threshold::{threshold_query_spiral, ThresholdResult};

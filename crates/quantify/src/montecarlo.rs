@@ -76,12 +76,7 @@ pub struct MonteCarloIndex {
 
 impl MonteCarloIndex {
     /// Builds the structure with `s` instantiations of `points`.
-    pub fn build(
-        points: &[Uncertain],
-        s: usize,
-        backend: McBackend,
-        rng: &mut dyn Rng,
-    ) -> Self {
+    pub fn build(points: &[Uncertain], s: usize, backend: McBackend, rng: &mut dyn Rng) -> Self {
         assert!(s > 0, "need at least one round");
         let n = points.len();
         let mut rounds = Vec::with_capacity(s);
@@ -115,15 +110,23 @@ impl MonteCarloIndex {
     /// Returns a dense vector (callers wanting sparse output use
     /// [`MonteCarloIndex::query_sparse`]).
     pub fn query(&self, q: Point) -> Vec<f64> {
-        let mut pi = vec![0.0; self.n];
+        let mut pi = Vec::new();
+        self.query_into(q, &mut pi);
+        pi
+    }
+
+    /// [`MonteCarloIndex::query`] into a caller-provided buffer (cleared and
+    /// resized to `len()`): batch loops reuse one buffer per worker.
+    pub fn query_into(&self, q: Point, pi: &mut Vec<f64>) {
+        pi.clear();
+        pi.resize(self.n, 0.0);
         if self.n == 0 {
-            return pi;
+            return;
         }
         let w = 1.0 / self.rounds.len() as f64;
         for r in &self.rounds {
             pi[r.nearest(q)] += w;
         }
-        pi
     }
 
     /// Sparse estimate: `(object, π̂)` pairs for objects that won at least
@@ -173,9 +176,61 @@ impl MonteCarloIndex {
     /// shrinks to `s = (1/2ε²) ln(2nm/δ)`.
     pub fn samples_for_queries(eps: f64, delta: f64, n: usize, m: usize) -> usize {
         assert!(eps > 0.0 && eps < 1.0 && delta > 0.0 && delta < 1.0);
-        let s = (1.0 / (2.0 * eps * eps))
-            * (2.0 * n.max(1) as f64 * m.max(1) as f64 / delta).ln();
+        let s = (1.0 / (2.0 * eps * eps)) * (2.0 * n.max(1) as f64 * m.max(1) as f64 / delta).ln();
         s.ceil().max(1.0) as usize
+    }
+}
+
+/// One-shot Monte-Carlo estimate with *fresh* instantiations drawn from
+/// `rng` at query time (no prebuilt rounds).
+///
+/// Same estimator as [`MonteCarloIndex::query`] — `π̂_i = c_i / s` with the
+/// identical Chernoff–Hoeffding accuracy per Eq. 6 — but the randomness is
+/// supplied per call instead of being frozen at build time, so estimates
+/// from independent RNG streams are statistically independent. This is the
+/// primitive behind the batch layer's deterministic per-query streams
+/// (`unn::batch`): seeding `rng` as a pure function of `(seed, query_index)`
+/// makes the result reproducible regardless of thread scheduling.
+///
+/// Each round scans all `n` points once (`O(s·n·k̄)` with `k̄` the mean
+/// sample cost); building a per-round tree is only worth it when the same
+/// instantiations serve many queries, which is exactly what
+/// [`MonteCarloIndex`] is for.
+pub fn quantification_monte_carlo(
+    points: &[Uncertain],
+    q: Point,
+    s: usize,
+    rng: &mut dyn Rng,
+) -> Vec<f64> {
+    let mut pi = Vec::new();
+    quantification_monte_carlo_into(points, q, s, rng, &mut pi);
+    pi
+}
+
+/// [`quantification_monte_carlo`] into a caller-provided buffer (cleared
+/// and resized to `points.len()`).
+pub fn quantification_monte_carlo_into(
+    points: &[Uncertain],
+    q: Point,
+    s: usize,
+    rng: &mut dyn Rng,
+    pi: &mut Vec<f64>,
+) {
+    pi.clear();
+    pi.resize(points.len(), 0.0);
+    if points.is_empty() || s == 0 {
+        return;
+    }
+    let w = 1.0 / s as f64;
+    for _ in 0..s {
+        let mut best = (0usize, f64::INFINITY);
+        for (i, p) in points.iter().enumerate() {
+            let d = p.sample(rng).dist(q);
+            if d < best.1 {
+                best = (i, d);
+            }
+        }
+        pi[best.0] += w;
     }
 }
 
@@ -224,14 +279,14 @@ mod tests {
         let mc = MonteCarloIndex::build(&points, s, McBackend::KdTree, &mut rng);
         let mut qrng = SmallRng::seed_from_u64(142);
         for _ in 0..20 {
-            let q = Point::new(qrng.random_range(-25.0..25.0), qrng.random_range(-25.0..25.0));
+            let q = Point::new(
+                qrng.random_range(-25.0..25.0),
+                qrng.random_range(-25.0..25.0),
+            );
             let want = quantification_exact(&exact_objs, q);
             let got = mc.query(q);
             for (i, (g, w)) in got.iter().zip(&want).enumerate() {
-                assert!(
-                    (g - w).abs() <= eps,
-                    "i={i}: mc={g} exact={w} (eps={eps})"
-                );
+                assert!((g - w).abs() <= eps, "i={i}: mc={g} exact={w} (eps={eps})");
             }
         }
     }
@@ -246,15 +301,14 @@ mod tests {
         let del = MonteCarloIndex::build(&points, s, McBackend::Delaunay, &mut rng2);
         let mut qrng = SmallRng::seed_from_u64(145);
         for _ in 0..30 {
-            let q = Point::new(qrng.random_range(-25.0..25.0), qrng.random_range(-25.0..25.0));
+            let q = Point::new(
+                qrng.random_range(-25.0..25.0),
+                qrng.random_range(-25.0..25.0),
+            );
             let a = kd.query(q);
             let b = del.query(q);
             // Identical instantiations: the only divergence is NN ties.
-            let diff: f64 = a
-                .iter()
-                .zip(&b)
-                .map(|(x, y)| (x - y).abs())
-                .sum();
+            let diff: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
             assert!(diff < 1e-9, "backends disagree: {diff}");
         }
     }
@@ -311,6 +365,30 @@ mod tests {
         for w in sparse.windows(2) {
             assert!(w[0].1 >= w[1].1);
         }
+    }
+
+    #[test]
+    fn fresh_sampling_matches_exact_and_is_deterministic() {
+        let points = random_discrete(8, 3, 151);
+        let exact_objs = as_discrete(&points);
+        let q = Point::new(1.5, -2.0);
+        let want = quantification_exact(&exact_objs, q);
+        let s = 20_000;
+        let mut rng = SmallRng::seed_from_u64(152);
+        let got = quantification_monte_carlo(&points, q, s, &mut rng);
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert!((g - w).abs() < 0.02, "i={i}: fresh={g} exact={w}");
+        }
+        // Identical seed => bit-identical estimate (the batch layer's
+        // per-query-stream contract).
+        let mut rng2 = SmallRng::seed_from_u64(152);
+        let again = quantification_monte_carlo(&points, q, s, &mut rng2);
+        assert_eq!(got, again);
+        // The _into variant reusing a dirty buffer agrees exactly.
+        let mut rng3 = SmallRng::seed_from_u64(152);
+        let mut buf = vec![99.0; 3];
+        quantification_monte_carlo_into(&points, q, s, &mut rng3, &mut buf);
+        assert_eq!(got, buf);
     }
 
     #[test]

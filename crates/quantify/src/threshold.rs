@@ -23,12 +23,7 @@ pub struct ThresholdResult {
 /// Threshold query on top of spiral search (deterministic guarantee):
 /// classifies with `ε`-wide indecision bands around `τ` using the one-sided
 /// bound `π̂ ≤ π ≤ π̂ + ε` of Lemma 4.6.
-pub fn threshold_query_spiral(
-    idx: &SpiralIndex,
-    q: Point,
-    tau: f64,
-    eps: f64,
-) -> ThresholdResult {
+pub fn threshold_query_spiral(idx: &SpiralIndex, q: Point, tau: f64, eps: f64) -> ThresholdResult {
     assert!(tau > 0.0 && tau < 1.0);
     let pi = idx.query(q, eps);
     let mut res = ThresholdResult::default();
@@ -87,10 +82,7 @@ mod tests {
             // No true positive is missed entirely.
             for (i, &p) in exact.iter().enumerate() {
                 if p > tau + eps {
-                    assert!(
-                        res.above.contains(&i),
-                        "missed object {i} with pi = {p}"
-                    );
+                    assert!(res.above.contains(&i), "missed object {i} with pi = {p}");
                 } else if p > tau {
                     assert!(
                         res.above.contains(&i) || res.uncertain.contains(&i),

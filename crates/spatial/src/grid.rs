@@ -114,10 +114,10 @@ impl UniformGrid {
         // Expand the search radius in cell-size increments until a hit is
         // confirmed closer than the next ring could be.
         let mut r = self.cell;
-        let diag = ((self.nx as f64 * self.cell).powi(2)
-            + (self.ny as f64 * self.cell).powi(2))
-        .sqrt()
-            + self.origin.dist(q) + self.cell;
+        let diag = ((self.nx as f64 * self.cell).powi(2) + (self.ny as f64 * self.cell).powi(2))
+            .sqrt()
+            + self.origin.dist(q)
+            + self.cell;
         loop {
             let mut best: Option<(usize, f64)> = None;
             self.for_each_in_disk(q, r, &mut |id, d| {
@@ -187,7 +187,10 @@ mod tests {
         let grid = UniformGrid::auto(&pts);
         let mut rng = SmallRng::seed_from_u64(23);
         for _ in 0..100 {
-            let q = Point::new(rng.random_range(-200.0..200.0), rng.random_range(-200.0..200.0));
+            let q = Point::new(
+                rng.random_range(-200.0..200.0),
+                rng.random_range(-200.0..200.0),
+            );
             let (_, d) = grid.nearest(q).unwrap();
             let want = pts.iter().map(|p| p.dist(q)).fold(f64::INFINITY, f64::min);
             assert!((d - want).abs() < 1e-12, "q={q:?} got={d} want={want}");

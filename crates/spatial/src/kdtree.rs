@@ -243,10 +243,14 @@ impl KdTree {
                     heap[0].dist
                 };
                 if d < worst {
-                    heap_push(heap, m, Neighbor {
-                        id: self.ids[i as usize] as usize,
-                        dist: d,
-                    });
+                    heap_push(
+                        heap,
+                        m,
+                        Neighbor {
+                            id: self.ids[i as usize] as usize,
+                            dist: d,
+                        },
+                    );
                 }
             }
             return;
@@ -434,7 +438,12 @@ mod tests {
     fn random_points(n: usize, seed: u64) -> Vec<Point> {
         let mut rng = SmallRng::seed_from_u64(seed);
         (0..n)
-            .map(|_| Point::new(rng.random_range(-100.0..100.0), rng.random_range(-100.0..100.0)))
+            .map(|_| {
+                Point::new(
+                    rng.random_range(-100.0..100.0),
+                    rng.random_range(-100.0..100.0),
+                )
+            })
             .collect()
     }
 
@@ -458,7 +467,10 @@ mod tests {
         let tree = KdTree::new(&pts);
         let mut rng = SmallRng::seed_from_u64(2);
         for _ in 0..200 {
-            let q = Point::new(rng.random_range(-120.0..120.0), rng.random_range(-120.0..120.0));
+            let q = Point::new(
+                rng.random_range(-120.0..120.0),
+                rng.random_range(-120.0..120.0),
+            );
             let got = tree.nearest(q).unwrap();
             let want = brute_nearest(&pts, q);
             assert_eq!(got.id, want.id, "q = {q:?}");
@@ -471,11 +483,17 @@ mod tests {
         let tree = KdTree::new(&pts);
         let mut rng = SmallRng::seed_from_u64(4);
         for _ in 0..50 {
-            let q = Point::new(rng.random_range(-120.0..120.0), rng.random_range(-120.0..120.0));
+            let q = Point::new(
+                rng.random_range(-120.0..120.0),
+                rng.random_range(-120.0..120.0),
+            );
             for m in [1, 5, 17, 300, 400] {
                 let got = tree.m_nearest(q, m);
-                let mut want: Vec<(usize, f64)> =
-                    pts.iter().enumerate().map(|(i, p)| (i, p.dist(q))).collect();
+                let mut want: Vec<(usize, f64)> = pts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (i, p.dist(q)))
+                    .collect();
                 want.sort_by(|a, b| a.1.total_cmp(&b.1));
                 want.truncate(m);
                 assert_eq!(got.len(), want.len());
@@ -510,10 +528,15 @@ mod tests {
         // Additively weighted NN: Delta(q) = min d(q,c_i) + r_i.
         let pts = random_points(300, 6);
         let mut rng = SmallRng::seed_from_u64(7);
-        let radii: Vec<f64> = (0..pts.len()).map(|_| rng.random_range(0.1..20.0)).collect();
+        let radii: Vec<f64> = (0..pts.len())
+            .map(|_| rng.random_range(0.1..20.0))
+            .collect();
         let tree = KdTree::with_aux(&pts, &radii);
         for _ in 0..100 {
-            let q = Point::new(rng.random_range(-120.0..120.0), rng.random_range(-120.0..120.0));
+            let q = Point::new(
+                rng.random_range(-120.0..120.0),
+                rng.random_range(-120.0..120.0),
+            );
             let (id, v) = tree
                 .min_adjusted(q, &|i| pts[i].dist(q) + radii[i])
                 .unwrap();
@@ -533,17 +556,21 @@ mod tests {
         // Stage 2 of NN!=0: report i with max(d - r, 0) < t.
         let pts = random_points(300, 8);
         let mut rng = SmallRng::seed_from_u64(9);
-        let radii: Vec<f64> = (0..pts.len()).map(|_| rng.random_range(0.1..20.0)).collect();
+        let radii: Vec<f64> = (0..pts.len())
+            .map(|_| rng.random_range(0.1..20.0))
+            .collect();
         let tree = KdTree::with_aux(&pts, &radii);
         for _ in 0..50 {
-            let q = Point::new(rng.random_range(-120.0..120.0), rng.random_range(-120.0..120.0));
+            let q = Point::new(
+                rng.random_range(-120.0..120.0),
+                rng.random_range(-120.0..120.0),
+            );
             let t = rng.random_range(1.0..60.0);
             let delta = |i: usize| (pts[i].dist(q) - radii[i]).max(0.0);
             let mut got: Vec<usize> = Vec::new();
             tree.report_adjusted_below(q, t, &delta, &mut |id, _| got.push(id));
             got.sort_unstable();
-            let want: Vec<usize> =
-                (0..pts.len()).filter(|&i| delta(i) < t).collect();
+            let want: Vec<usize> = (0..pts.len()).filter(|&i| delta(i) < t).collect();
             assert_eq!(got, want);
         }
     }

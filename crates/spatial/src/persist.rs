@@ -12,16 +12,20 @@
 //! Priorities are a deterministic hash of the value, making the treap shape
 //! canonical: two versions holding the same elements are structurally
 //! identical (handy for testing and for deduplication).
+//!
+//! Nodes are shared via [`Arc`] so every set version — and any index that
+//! embeds one — is `Send + Sync`; the parallel batch query layer relies on
+//! sharing indexes across threads by reference.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 #[derive(Debug)]
 struct Node {
     value: u32,
     priority: u64,
     size: u32,
-    left: Option<Rc<Node>>,
-    right: Option<Rc<Node>>,
+    left: Option<Arc<Node>>,
+    right: Option<Arc<Node>>,
 }
 
 /// Deterministic value-to-priority mix (splitmix64).
@@ -34,12 +38,12 @@ fn priority(v: u32) -> u64 {
 }
 
 #[inline]
-fn size(n: &Option<Rc<Node>>) -> u32 {
+fn size(n: &Option<Arc<Node>>) -> u32 {
     n.as_ref().map_or(0, |n| n.size)
 }
 
-fn mk(value: u32, left: Option<Rc<Node>>, right: Option<Rc<Node>>) -> Rc<Node> {
-    Rc::new(Node {
+fn mk(value: u32, left: Option<Arc<Node>>, right: Option<Arc<Node>>) -> Arc<Node> {
+    Arc::new(Node {
         value,
         priority: priority(value),
         size: 1 + size(&left) + size(&right),
@@ -49,7 +53,7 @@ fn mk(value: u32, left: Option<Rc<Node>>, right: Option<Rc<Node>>) -> Rc<Node> {
 }
 
 /// Splits into (< key, >= key).
-fn split(n: &Option<Rc<Node>>, key: u32) -> (Option<Rc<Node>>, Option<Rc<Node>>) {
+fn split(n: &Option<Arc<Node>>, key: u32) -> (Option<Arc<Node>>, Option<Arc<Node>>) {
     match n {
         None => (None, None),
         Some(n) => {
@@ -65,7 +69,7 @@ fn split(n: &Option<Rc<Node>>, key: u32) -> (Option<Rc<Node>>, Option<Rc<Node>>)
 }
 
 /// Merges trees where all of `a` < all of `b`.
-fn merge(a: &Option<Rc<Node>>, b: &Option<Rc<Node>>) -> Option<Rc<Node>> {
+fn merge(a: &Option<Arc<Node>>, b: &Option<Arc<Node>>) -> Option<Arc<Node>> {
     match (a, b) {
         (None, _) => b.clone(),
         (_, None) => a.clone(),
@@ -82,7 +86,7 @@ fn merge(a: &Option<Rc<Node>>, b: &Option<Rc<Node>>) -> Option<Rc<Node>> {
 /// An immutable sorted set of `u32` with structure-sharing updates.
 #[derive(Clone, Debug, Default)]
 pub struct PersistentSet {
-    root: Option<Rc<Node>>,
+    root: Option<Arc<Node>>,
 }
 
 impl PersistentSet {
@@ -90,7 +94,6 @@ impl PersistentSet {
     pub fn new() -> Self {
         PersistentSet::default()
     }
-
 
     /// Number of elements.
     pub fn len(&self) -> usize {

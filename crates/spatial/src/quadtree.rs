@@ -15,9 +15,13 @@ const MAX_DEPTH: u32 = 32;
 
 #[derive(Clone, Debug)]
 enum NodeKind {
-    Leaf { ids: Vec<u32> },
+    Leaf {
+        ids: Vec<u32>,
+    },
     /// Children in quadrant order: SW, SE, NW, NE.
-    Internal { children: [u32; 4] },
+    Internal {
+        children: [u32; 4],
+    },
 }
 
 #[derive(Clone, Debug)]
@@ -46,11 +50,8 @@ impl QuadTree {
         let mut bbox = Aabb::of_points(points);
         // Make it square and slightly padded so splits stay well-formed.
         let side = bbox.width().max(bbox.height()).max(1e-12);
-        bbox = Aabb::new(
-            bbox.min,
-            Point::new(bbox.min.x + side, bbox.min.y + side),
-        )
-        .inflate(side * 1e-9);
+        bbox = Aabb::new(bbox.min, Point::new(bbox.min.x + side, bbox.min.y + side))
+            .inflate(side * 1e-9);
         let ids: Vec<u32> = (0..points.len() as u32).collect();
         tree.build(bbox, ids, 0);
         tree

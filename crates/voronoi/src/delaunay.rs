@@ -109,8 +109,11 @@ impl Delaunay {
     }
 
     fn init_seed(&mut self, i: u32, j: u32, k: u32) {
-        let (a, b, c) = if orient2d(self.pts[i as usize], self.pts[j as usize], self.pts[k as usize])
-            > 0.0
+        let (a, b, c) = if orient2d(
+            self.pts[i as usize],
+            self.pts[j as usize],
+            self.pts[k as usize],
+        ) > 0.0
         {
             (i, j, k)
         } else {
@@ -423,11 +426,10 @@ impl Delaunay {
         let mut cur = start;
         loop {
             let t = &self.tris[cur as usize];
-            let i = t
-                .v
-                .iter()
-                .position(|&x| x == v as u32)
-                .expect("vertex in incident triangle");
+            let i =
+                t.v.iter()
+                    .position(|&x| x == v as u32)
+                    .expect("vertex in incident triangle");
             let next_v = t.v[(i + 1) % 3];
             if next_v != GHOST {
                 out.push(next_v as usize);
@@ -591,7 +593,12 @@ mod tests {
     fn random_points(n: usize, seed: u64) -> Vec<Point> {
         let mut rng = SmallRng::seed_from_u64(seed);
         (0..n)
-            .map(|_| Point::new(rng.random_range(-100.0..100.0), rng.random_range(-100.0..100.0)))
+            .map(|_| {
+                Point::new(
+                    rng.random_range(-100.0..100.0),
+                    rng.random_range(-100.0..100.0),
+                )
+            })
             .collect()
     }
 
@@ -642,7 +649,10 @@ mod tests {
         let d = Delaunay::new(&pts);
         let mut rng = SmallRng::seed_from_u64(41);
         for _ in 0..300 {
-            let q = Point::new(rng.random_range(-150.0..150.0), rng.random_range(-150.0..150.0));
+            let q = Point::new(
+                rng.random_range(-150.0..150.0),
+                rng.random_range(-150.0..150.0),
+            );
             let (_, dist) = d.nearest(q).unwrap();
             let want = brute_nearest(&pts, q);
             assert!((dist - want).abs() < 1e-9, "q={q:?} got={dist} want={want}");
@@ -655,7 +665,10 @@ mod tests {
         let d = Delaunay::new(&pts);
         let mut rng = SmallRng::seed_from_u64(46);
         for _ in 0..50 {
-            let q = Point::new(rng.random_range(-120.0..120.0), rng.random_range(-120.0..120.0));
+            let q = Point::new(
+                rng.random_range(-120.0..120.0),
+                rng.random_range(-120.0..120.0),
+            );
             for m in [1usize, 5, 20, 200] {
                 let got = d.m_nearest(q, m);
                 let mut want: Vec<f64> = pts.iter().map(|p| p.dist(q)).collect();
@@ -684,7 +697,9 @@ mod tests {
         assert!(d.is_degenerate());
         assert_eq!(d.nearest(Point::ORIGIN).unwrap().0, 0);
         // Collinear points.
-        let col: Vec<Point> = (0..10).map(|i| Point::new(i as f64, 2.0 * i as f64)).collect();
+        let col: Vec<Point> = (0..10)
+            .map(|i| Point::new(i as f64, 2.0 * i as f64))
+            .collect();
         let d = Delaunay::new(&col);
         assert!(d.is_degenerate());
         let (id, _) = d.nearest(Point::new(4.1, 8.3)).unwrap();

@@ -19,11 +19,7 @@ fn main() {
     let p = UniformDisk::from_center(Point::new(0.0, 0.0), 5.0);
     let q = Point::new(6.0, 8.0);
     println!("Figure 1 reproduction: disk R = 5 at origin, q = (6, 8)");
-    println!(
-        "distance support: [{}, {}]\n",
-        p.min_dist(q),
-        p.max_dist(q)
-    );
+    println!("distance support: [{}, {}]\n", p.min_dist(q), p.max_dist(q));
 
     // Sampled histogram for comparison.
     let mut rng = SmallRng::seed_from_u64(1);
@@ -37,7 +33,10 @@ fn main() {
         hist[b] += 1;
     }
 
-    println!("{:>6}  {:>10}  {:>10}  plot (analytic)", "r", "g(r)", "sampled");
+    println!(
+        "{:>6}  {:>10}  {:>10}  plot (analytic)",
+        "r", "g(r)", "sampled"
+    );
     let mut max_pdf = 0.0f64;
     for b in 0..bins {
         let r = lo + (hi - lo) * (b as f64 + 0.5) / bins as f64;
@@ -59,5 +58,9 @@ fn main() {
         })
         .sum();
     println!("\nintegral of g over [5, 15] = {total:.6} (should be 1)");
-    println!("G(5) = {}, G(15) = {}", p.distance_cdf(q, 5.0), p.distance_cdf(q, 15.0));
+    println!(
+        "G(5) = {}, G(15) = {}",
+        p.distance_cdf(q, 5.0),
+        p.distance_cdf(q, 15.0)
+    );
 }

@@ -25,12 +25,42 @@ struct Vehicle {
 
 fn main() {
     let fleet = [
-        Vehicle { id: "unit-07", last_fix: Point::new(1.2, 3.4), age_s: 20.0, max_speed: 0.05 },
-        Vehicle { id: "unit-12", last_fix: Point::new(-4.0, 1.0), age_s: 90.0, max_speed: 0.04 },
-        Vehicle { id: "unit-19", last_fix: Point::new(3.5, -2.5), age_s: 45.0, max_speed: 0.06 },
-        Vehicle { id: "unit-23", last_fix: Point::new(6.0, 4.0), age_s: 10.0, max_speed: 0.05 },
-        Vehicle { id: "unit-31", last_fix: Point::new(-1.5, -5.0), age_s: 120.0, max_speed: 0.03 },
-        Vehicle { id: "unit-44", last_fix: Point::new(0.5, 7.0), age_s: 60.0, max_speed: 0.05 },
+        Vehicle {
+            id: "unit-07",
+            last_fix: Point::new(1.2, 3.4),
+            age_s: 20.0,
+            max_speed: 0.05,
+        },
+        Vehicle {
+            id: "unit-12",
+            last_fix: Point::new(-4.0, 1.0),
+            age_s: 90.0,
+            max_speed: 0.04,
+        },
+        Vehicle {
+            id: "unit-19",
+            last_fix: Point::new(3.5, -2.5),
+            age_s: 45.0,
+            max_speed: 0.06,
+        },
+        Vehicle {
+            id: "unit-23",
+            last_fix: Point::new(6.0, 4.0),
+            age_s: 10.0,
+            max_speed: 0.05,
+        },
+        Vehicle {
+            id: "unit-31",
+            last_fix: Point::new(-1.5, -5.0),
+            age_s: 120.0,
+            max_speed: 0.03,
+        },
+        Vehicle {
+            id: "unit-44",
+            last_fix: Point::new(0.5, 7.0),
+            age_s: 60.0,
+            max_speed: 0.05,
+        },
     ];
     let points: Vec<Uncertain> = fleet
         .iter()
@@ -55,15 +85,16 @@ fn main() {
     );
 
     // Incidents come in; who could be closest, and with what probability?
-    let incidents = [Point::new(1.0, 0.0), Point::new(-3.0, -2.0), Point::new(5.0, 5.0)];
+    let incidents = [
+        Point::new(1.0, 0.0),
+        Point::new(-3.0, -2.0),
+        Point::new(5.0, 5.0),
+    ];
     for q in incidents {
         println!("\nincident at {q:?}:");
         let candidates = index.nn_nonzero(q);
         let (probs, _) = index.quantify(q);
-        let mut ranked: Vec<(usize, f64)> = candidates
-            .iter()
-            .map(|&i| (i, probs[i]))
-            .collect();
+        let mut ranked: Vec<(usize, f64)> = candidates.iter().map(|&i| (i, probs[i])).collect();
         ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
         for (i, p) in ranked {
             println!("  {}  P(nearest) ~ {:.3}", fleet[i].id, p);

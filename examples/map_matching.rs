@@ -36,7 +36,10 @@ fn main() {
                 Point::new(5.5, 1.0),
             ])),
         ),
-        ("gps-fix", Uncertain::uniform_disk(Point::new(2.0, 6.0), 1.5)),
+        (
+            "gps-fix",
+            Uncertain::uniform_disk(Point::new(2.0, 6.0), 1.5),
+        ),
         ("survey-marker", Uncertain::certain(Point::new(7.0, 5.0))),
         (
             "wifi-estimate",
@@ -46,16 +49,27 @@ fn main() {
     let names: Vec<&str> = landmarks.iter().map(|(n, _)| *n).collect();
     let index = PnnIndex::new(landmarks.into_iter().map(|(_, u)| u).collect());
 
-    for q in [Point::new(3.0, 1.5), Point::new(5.0, 3.5), Point::new(-1.0, 4.0)] {
+    for q in [
+        Point::new(3.0, 1.5),
+        Point::new(5.0, 3.5),
+        Point::new(-1.0, 4.0),
+    ] {
         println!("vehicle at {q:?}:");
         let nz = index.nn_nonzero(q);
-        println!("  candidates: {:?}", nz.iter().map(|&i| names[i]).collect::<Vec<_>>());
+        println!(
+            "  candidates: {:?}",
+            nz.iter().map(|&i| names[i]).collect::<Vec<_>>()
+        );
         match index.guaranteed_nn(q) {
             Some(g) => println!("  guaranteed nearest: {}", names[g]),
             None => {
                 let (pi, _) = index.quantify(q);
-                let mut ranked: Vec<(usize, f64)> =
-                    pi.iter().copied().enumerate().filter(|&(_, p)| p > 0.001).collect();
+                let mut ranked: Vec<(usize, f64)> = pi
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .filter(|&(_, p)| p > 0.001)
+                    .collect();
                 ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
                 for (i, p) in ranked {
                     println!("  {}  P(nearest) ~ {p:.3}", names[i]);
@@ -106,7 +120,8 @@ fn main() {
         "guaranteed regions exist: {}",
         (0..200).any(|i| {
             let t = i as f64 * 0.1;
-            g.guaranteed_nn(Point::new(10.0 * t.cos(), 10.0 * t.sin())).is_some()
+            g.guaranteed_nn(Point::new(10.0 * t.cos(), 10.0 * t.sin()))
+                .is_some()
         })
     );
 }

@@ -1,0 +1,191 @@
+//! Determinism contract of the batch query engine (`unn::batch`): every
+//! batch API returns results bit-identical to the sequential loop, for
+//! every thread count and for any query order.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngExt, SeedableRng};
+use unn::batch::{query_stream_seed, BatchOptions};
+use unn::distr::{DiscreteDistribution, TruncatedGaussian};
+use unn::geom::Point;
+use unn::{PnnIndex, Uncertain};
+
+fn discrete_points(n: usize, k: usize, seed: u64) -> Vec<Uncertain> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let cx: f64 = rng.random_range(-25.0..25.0);
+            let cy: f64 = rng.random_range(-25.0..25.0);
+            Uncertain::Discrete(
+                DiscreteDistribution::uniform(
+                    (0..k)
+                        .map(|_| {
+                            Point::new(
+                                cx + rng.random_range(-3.0..3.0),
+                                cy + rng.random_range(-3.0..3.0),
+                            )
+                        })
+                        .collect(),
+                )
+                .unwrap(),
+            )
+        })
+        .collect()
+}
+
+fn mixed_points(n: usize, seed: u64) -> Vec<Uncertain> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let c = Point::new(rng.random_range(-25.0..25.0), rng.random_range(-25.0..25.0));
+            match i % 3 {
+                0 => Uncertain::uniform_disk(c, rng.random_range(0.5..2.5)),
+                1 => Uncertain::Gaussian(TruncatedGaussian::with_sigmas(c, 0.7, 3.0)),
+                _ => Uncertain::Discrete(
+                    DiscreteDistribution::uniform(vec![
+                        Point::new(c.x - 1.0, c.y),
+                        Point::new(c.x + 1.0, c.y),
+                    ])
+                    .unwrap(),
+                ),
+            }
+        })
+        .collect()
+}
+
+fn queries(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(rng.random_range(-30.0..30.0), rng.random_range(-30.0..30.0)))
+        .collect()
+}
+
+fn shuffle<T: Clone>(items: &[T], seed: u64) -> (Vec<T>, Vec<usize>) {
+    let mut perm: Vec<usize> = (0..items.len()).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in (1..perm.len()).rev() {
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    (perm.iter().map(|&i| items[i].clone()).collect(), perm)
+}
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn nn_nonzero_batch_bit_identical_across_thread_counts() {
+    for points in [discrete_points(20, 3, 500), mixed_points(20, 501)] {
+        let idx = PnnIndex::new(points);
+        let qs = queries(256, 502);
+        let seq: Vec<Vec<usize>> = qs.iter().map(|&q| idx.nn_nonzero(q)).collect();
+        for t in THREAD_COUNTS {
+            let batch = idx.nn_nonzero_batch_with(&qs, &BatchOptions::with_threads(t));
+            assert_eq!(batch, seq, "threads = {t}");
+        }
+    }
+}
+
+#[test]
+fn quantify_batch_bit_identical_across_thread_counts() {
+    for points in [discrete_points(15, 3, 503), mixed_points(15, 504)] {
+        let idx = PnnIndex::new(points);
+        let qs = queries(96, 505);
+        let (seq, seq_m): (Vec<Vec<f64>>, _) = {
+            let per: Vec<_> = qs.iter().map(|&q| idx.quantify(q)).collect();
+            let m = per[0].1;
+            (per.into_iter().map(|(pi, _)| pi).collect(), m)
+        };
+        for t in THREAD_COUNTS {
+            let (batch, m) = idx.quantify_batch_with(&qs, &BatchOptions::with_threads(t));
+            assert_eq!(m, seq_m);
+            assert_eq!(batch, seq, "threads = {t}");
+        }
+    }
+}
+
+#[test]
+fn quantify_exact_batch_bit_identical_across_thread_counts() {
+    let idx = PnnIndex::new(discrete_points(12, 4, 506));
+    let qs = queries(128, 507);
+    let seq: Vec<Vec<f64>> = qs.iter().map(|&q| idx.quantify_exact(q).0).collect();
+    for t in THREAD_COUNTS {
+        let (batch, _) = idx.quantify_exact_batch_with(&qs, &BatchOptions::with_threads(t));
+        assert_eq!(batch, seq, "threads = {t}");
+    }
+}
+
+#[test]
+fn expected_nn_batch_bit_identical_across_thread_counts() {
+    let idx = PnnIndex::new(mixed_points(25, 508));
+    let qs = queries(256, 509);
+    let seq: Vec<_> = qs.iter().map(|&q| idx.expected_nn(q)).collect();
+    for t in THREAD_COUNTS {
+        let batch = idx.expected_nn_batch_with(&qs, &BatchOptions::with_threads(t));
+        assert_eq!(batch, seq, "threads = {t}");
+    }
+}
+
+#[test]
+fn quantify_fresh_batch_bit_identical_across_thread_counts() {
+    let idx = PnnIndex::new(discrete_points(10, 2, 510));
+    let qs = queries(64, 511);
+    // Sequential reference: the documented per-index stream derivation.
+    let seq: Vec<Vec<f64>> = qs
+        .iter()
+        .enumerate()
+        .map(|(i, &q)| {
+            let mut rng = SmallRng::seed_from_u64(query_stream_seed(idx.config().seed, i as u64));
+            idx.quantify_fresh(q, 300, &mut rng)
+        })
+        .collect();
+    for t in THREAD_COUNTS {
+        let batch = idx.quantify_fresh_batch_with(&qs, 300, &BatchOptions::with_threads(t));
+        assert_eq!(batch, seq, "threads = {t}");
+    }
+}
+
+#[test]
+fn shuffled_query_order_gives_permuted_results() {
+    // Per-query results must depend only on the query (and, for the fresh
+    // API, its index): shuffling the batch permutes the deterministic
+    // results and nothing else.
+    let idx = PnnIndex::new(discrete_points(15, 3, 512));
+    let qs = queries(200, 513);
+    let (shuffled, perm) = shuffle(&qs, 514);
+    let base = idx.nn_nonzero_batch_with(&qs, &BatchOptions::with_threads(4));
+    let shuf = idx.nn_nonzero_batch_with(&shuffled, &BatchOptions::with_threads(4));
+    for (pos, &orig) in perm.iter().enumerate() {
+        assert_eq!(shuf[pos], base[orig]);
+    }
+    let (base_q, _) = idx.quantify_exact_batch_with(&qs, &BatchOptions::with_threads(4));
+    let (shuf_q, _) = idx.quantify_exact_batch_with(&shuffled, &BatchOptions::with_threads(4));
+    for (pos, &orig) in perm.iter().enumerate() {
+        assert_eq!(shuf_q[pos], base_q[orig]);
+    }
+}
+
+#[test]
+fn ten_thousand_query_batch_matches_sequential() {
+    // The acceptance-scale batch: 10k queries, bit-identical to the
+    // sequential loop on cheap query families.
+    let idx = PnnIndex::new(discrete_points(30, 2, 515));
+    let qs = queries(10_000, 516);
+    let opts = BatchOptions::with_threads(4);
+    let seq_nz: Vec<Vec<usize>> = qs.iter().map(|&q| idx.nn_nonzero(q)).collect();
+    assert_eq!(idx.nn_nonzero_batch_with(&qs, &opts), seq_nz);
+    let seq_e: Vec<_> = qs.iter().map(|&q| idx.expected_nn(q)).collect();
+    assert_eq!(idx.expected_nn_batch_with(&qs, &opts), seq_e);
+}
+
+#[test]
+fn ambient_pool_default_matches_pinned() {
+    let idx = PnnIndex::new(discrete_points(10, 3, 517));
+    let qs = queries(128, 518);
+    assert_eq!(
+        idx.nn_nonzero_batch(&qs),
+        idx.nn_nonzero_batch_with(&qs, &BatchOptions::with_threads(2))
+    );
+    assert_eq!(
+        idx.quantify_fresh_batch(&qs, 100),
+        idx.quantify_fresh_batch_with(&qs, 100, &BatchOptions::with_threads(2))
+    );
+}

@@ -7,8 +7,8 @@ use unn::distr::DiscreteDistribution;
 use unn::geom::{Aabb, Disk, Point};
 use unn::nonzero::{DiskNonzeroIndex, NonzeroSubdivision};
 use unn::quantify::{
-    quantification_exact, quantification_numeric, McBackend, MonteCarloIndex,
-    ProbabilisticVoronoi, SpiralIndex,
+    quantification_exact, quantification_numeric, McBackend, MonteCarloIndex, ProbabilisticVoronoi,
+    SpiralIndex,
 };
 use unn::{PnnConfig, PnnIndex, Uncertain, UncertainPoint};
 
@@ -62,7 +62,10 @@ fn all_estimators_agree_on_discrete_instance() {
 
     let mut qrng = SmallRng::seed_from_u64(302);
     for _ in 0..25 {
-        let q = Point::new(qrng.random_range(-35.0..35.0), qrng.random_range(-35.0..35.0));
+        let q = Point::new(
+            qrng.random_range(-35.0..35.0),
+            qrng.random_range(-35.0..35.0),
+        );
         let exact = quantification_exact(&objs, q);
         // Spiral: one-sided eps.
         let sp = spiral.query(q, eps);
@@ -104,7 +107,10 @@ fn nonzero_consistency_disks() {
 
     let mut qrng = SmallRng::seed_from_u64(312);
     for _ in 0..200 {
-        let q = Point::new(qrng.random_range(-40.0..40.0), qrng.random_range(-40.0..40.0));
+        let q = Point::new(
+            qrng.random_range(-40.0..40.0),
+            qrng.random_range(-40.0..40.0),
+        );
         let a = idx.query(q);
         let b = idx.query_naive(q);
         assert_eq!(a, b);
@@ -123,7 +129,10 @@ fn nonzero_consistency_disks() {
     let mut agree = 0;
     let trials = 500;
     for _ in 0..trials {
-        let q = Point::new(qrng.random_range(-40.0..40.0), qrng.random_range(-40.0..40.0));
+        let q = Point::new(
+            qrng.random_range(-40.0..40.0),
+            qrng.random_range(-40.0..40.0),
+        );
         if sub.query(q) == idx.query(q) {
             agree += 1;
         }
@@ -146,7 +155,10 @@ fn facade_matches_components() {
     );
     let mut qrng = SmallRng::seed_from_u64(321);
     for _ in 0..50 {
-        let q = Point::new(qrng.random_range(-30.0..30.0), qrng.random_range(-30.0..30.0));
+        let q = Point::new(
+            qrng.random_range(-30.0..30.0),
+            qrng.random_range(-30.0..30.0),
+        );
         let (exact, _) = idx.quantify_exact(q);
         let direct = quantification_exact(&objs, q);
         assert_eq!(exact, direct);
@@ -190,7 +202,10 @@ fn facade_continuous_cross_check() {
     );
     let mut qrng = SmallRng::seed_from_u64(331);
     for _ in 0..10 {
-        let q = Point::new(qrng.random_range(-18.0..18.0), qrng.random_range(-18.0..18.0));
+        let q = Point::new(
+            qrng.random_range(-18.0..18.0),
+            qrng.random_range(-18.0..18.0),
+        );
         let (mc, _) = idx.quantify(q);
         let (nu, _) = idx.quantify_exact(q);
         for (a, b) in mc.iter().zip(&nu) {
@@ -227,7 +242,10 @@ fn geometric_sanity_across_models() {
     let idx = PnnIndex::new(points.clone());
     let mut qrng = SmallRng::seed_from_u64(341);
     for _ in 0..50 {
-        let q = Point::new(qrng.random_range(-15.0..15.0), qrng.random_range(-15.0..15.0));
+        let q = Point::new(
+            qrng.random_range(-15.0..15.0),
+            qrng.random_range(-15.0..15.0),
+        );
         for p in &points {
             let e = p.expected_dist(q);
             assert!(e >= p.min_dist(q) - 1e-6);

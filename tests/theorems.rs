@@ -177,11 +177,8 @@ fn thm_4_7_m_independent_of_n() {
         let objs: Vec<DiscreteDistribution> = (0..n)
             .map(|_| {
                 let c = Point::new(rng.random_range(-50.0..50.0), rng.random_range(-50.0..50.0));
-                DiscreteDistribution::new(
-                    vec![c, Point::new(c.x + 1.0, c.y)],
-                    vec![1.0, 2.0],
-                )
-                .unwrap()
+                DiscreteDistribution::new(vec![c, Point::new(c.x + 1.0, c.y)], vec![1.0, 2.0])
+                    .unwrap()
             })
             .collect();
         SpiralIndex::build(&objs)

@@ -1,0 +1,103 @@
+//! Thread-safety of the shared index: `PnnIndex` is `Send + Sync`
+//! (compile-time assertion) and concurrent queries against one shared
+//! instance return exactly what sequential queries return.
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use unn::distr::{DiscreteDistribution, TruncatedGaussian};
+use unn::geom::Point;
+use unn::{PnnIndex, Uncertain};
+
+// Compile-time Send + Sync assertions for everything the batch layer
+// shares across threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PnnIndex>();
+    assert_send_sync::<unn::PnnConfig>();
+    assert_send_sync::<unn::BatchOptions>();
+    assert_send_sync::<unn::nonzero::DiskNonzeroIndex>();
+    assert_send_sync::<unn::nonzero::DiscreteNonzeroIndex>();
+    assert_send_sync::<unn::quantify::MonteCarloIndex>();
+    assert_send_sync::<unn::quantify::SpiralIndex>();
+    assert_send_sync::<unn::spatial::PersistentSet>();
+};
+
+fn mixed_points(n: usize, seed: u64) -> Vec<Uncertain> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let c = Point::new(rng.random_range(-25.0..25.0), rng.random_range(-25.0..25.0));
+            match i % 3 {
+                0 => Uncertain::uniform_disk(c, rng.random_range(0.5..2.0)),
+                1 => Uncertain::Gaussian(TruncatedGaussian::with_sigmas(c, 0.5, 3.0)),
+                _ => Uncertain::Discrete(
+                    DiscreteDistribution::uniform(vec![
+                        Point::new(c.x, c.y - 1.0),
+                        Point::new(c.x, c.y + 1.0),
+                    ])
+                    .unwrap(),
+                ),
+            }
+        })
+        .collect()
+}
+
+fn queries(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(rng.random_range(-30.0..30.0), rng.random_range(-30.0..30.0)))
+        .collect()
+}
+
+type QueryTriple = (Vec<usize>, Vec<f64>, Option<(usize, f64)>);
+
+#[test]
+fn concurrent_queries_match_sequential() {
+    let idx = Arc::new(PnnIndex::new(mixed_points(20, 600)));
+    let qs = queries(200, 601);
+    let seq: Vec<QueryTriple> = qs
+        .iter()
+        .map(|&q| (idx.nn_nonzero(q), idx.quantify(q).0, idx.expected_nn(q)))
+        .collect();
+
+    // 8 threads, each querying the full set against the shared index.
+    let results: Vec<_> = std::thread::scope(|scope| {
+        (0..8)
+            .map(|_| {
+                let idx = Arc::clone(&idx);
+                let qs = &qs;
+                scope.spawn(move || {
+                    qs.iter()
+                        .map(|&q| (idx.nn_nonzero(q), idx.quantify(q).0, idx.expected_nn(q)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("query thread panicked"))
+            .collect()
+    });
+    for (t, per_thread) in results.iter().enumerate() {
+        assert_eq!(per_thread, &seq, "thread {t} diverged from sequential");
+    }
+}
+
+#[test]
+fn index_shared_by_reference_across_scoped_threads() {
+    // No Arc needed: &PnnIndex is enough (Sync), exactly how the batch
+    // engine borrows it.
+    let idx = PnnIndex::new(mixed_points(15, 602));
+    let qs = queries(64, 603);
+    let seq: Vec<Vec<usize>> = qs.iter().map(|&q| idx.nn_nonzero(q)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let (idx, qs, seq) = (&idx, &qs, &seq);
+            scope.spawn(move || {
+                let got: Vec<Vec<usize>> = qs.iter().map(|&q| idx.nn_nonzero(q)).collect();
+                assert_eq!(&got, seq);
+            });
+        }
+    });
+}
