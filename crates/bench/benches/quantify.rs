@@ -4,9 +4,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::hint::black_box;
+use unn::distr::UncertainPoint;
 use unn::quantify::{
     quantification_exact, quantification_numeric, McBackend, MonteCarloIndex, SpiralIndex,
 };
+use unn::spatial::KdTree;
 use unn_bench::util::{as_uncertain, random_discrete, random_queries};
 
 fn bench_exact_sweep(c: &mut Criterion) {
@@ -67,6 +69,76 @@ fn bench_monte_carlo(c: &mut Criterion) {
     g.finish();
 }
 
+/// The PR-2 fast path ablation: Δ(q)-pruned arena descent vs the unpruned
+/// arena vs the legacy one-kd-tree-per-round layout, plus the adaptive
+/// stopper against the same fixed-`s` budget.
+fn bench_quantify_fast_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quantify_fast_path");
+    let s = 512usize;
+    for n in [64usize, 512, 4096] {
+        let side = (n as f64).sqrt() * 8.0;
+        let objs = random_discrete(n, 3, side, 3.0, 2.0, 70 + n as u64);
+        let points = as_uncertain(&objs);
+        let queries = random_queries(64, side, 71 + n as u64);
+        let mut rng = SmallRng::seed_from_u64(72);
+        let mc = MonteCarloIndex::build(&points, s, McBackend::KdTree, &mut rng);
+        // Legacy layout: one independently allocated kd-tree per round.
+        let mut rng = SmallRng::seed_from_u64(72);
+        let per_round: Vec<KdTree> = (0..s)
+            .map(|_| {
+                let inst: Vec<_> = points.iter().map(|p| p.sample(&mut rng)).collect();
+                KdTree::new(&inst)
+            })
+            .collect();
+
+        let mut buf = Vec::new();
+        let mut qi = 0usize;
+        g.bench_with_input(BenchmarkId::new("arena_pruned", n), &n, |b, _| {
+            b.iter(|| {
+                let q = queries[qi % queries.len()];
+                qi += 1;
+                mc.query_into(q, &mut buf);
+                black_box(buf.len())
+            })
+        });
+        let mut qi = 0usize;
+        g.bench_with_input(BenchmarkId::new("arena_unpruned", n), &n, |b, _| {
+            b.iter(|| {
+                let q = queries[qi % queries.len()];
+                qi += 1;
+                mc.query_into_seeded(q, f64::INFINITY, &mut buf);
+                black_box(buf.len())
+            })
+        });
+        let mut qi = 0usize;
+        g.bench_with_input(BenchmarkId::new("perround_trees", n), &n, |b, _| {
+            b.iter(|| {
+                let q = queries[qi % queries.len()];
+                qi += 1;
+                buf.clear();
+                buf.resize(n, 0.0);
+                for t in &per_round {
+                    buf[t.nearest(q).expect("nonempty").id] += 1.0;
+                }
+                let w = 1.0 / s as f64;
+                for v in buf.iter_mut() {
+                    *v *= w;
+                }
+                black_box(buf.len())
+            })
+        });
+        let mut qi = 0usize;
+        g.bench_with_input(BenchmarkId::new("adaptive", n), &n, |b, _| {
+            b.iter(|| {
+                let q = queries[qi % queries.len()];
+                qi += 1;
+                black_box(mc.quantify_adaptive(q, 0.05, 0.01).rounds_used)
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_numeric(c: &mut Criterion) {
     let mut g = c.benchmark_group("quantify_numeric_baseline");
     g.sample_size(10);
@@ -91,6 +163,7 @@ criterion_group!(
     bench_exact_sweep,
     bench_spiral,
     bench_monte_carlo,
+    bench_quantify_fast_path,
     bench_numeric
 );
 criterion_main!(benches);

@@ -42,6 +42,8 @@ use rayon::prelude::*;
 use unn_geom::Point;
 use unn_quantify::{quantification_exact_into, quantification_monte_carlo_into, ExactScratch};
 
+use unn_quantify::AdaptiveQuantify;
+
 use crate::index::{NonzeroBackend, PnnConfig, PnnIndex, QuantifyMethod};
 
 // Compile-time guarantee behind every `&self`-sharing batch method: the
@@ -157,8 +159,47 @@ impl PnnIndex {
                         buf.clone()
                     })
                     .collect();
-                (pis, QuantifyMethod::MonteCarlo)
+                (
+                    pis,
+                    QuantifyMethod::MonteCarlo {
+                        achieved_epsilon: self.mc_achieved_epsilon,
+                    },
+                )
             }
+        })
+    }
+
+    /// [`PnnIndex::quantify_adaptive`] for a batch of queries, in input
+    /// order, on the ambient thread pool.
+    ///
+    /// Each query's stopping decision is a pure function of `(index, q,
+    /// eps, delta)` — the pre-drawn rounds are consumed in build order — so
+    /// the batch inherits the full determinism contract: bit-identical
+    /// results (estimates, consumed rounds, half-widths) for every thread
+    /// count and query order.
+    pub fn quantify_adaptive_batch(
+        &self,
+        queries: &[Point],
+        eps: f64,
+        delta: f64,
+    ) -> Vec<AdaptiveQuantify> {
+        self.quantify_adaptive_batch_with(queries, eps, delta, &BatchOptions::default())
+    }
+
+    /// [`PnnIndex::quantify_adaptive_batch`] under an explicit execution
+    /// policy.
+    pub fn quantify_adaptive_batch_with(
+        &self,
+        queries: &[Point],
+        eps: f64,
+        delta: f64,
+        opts: &BatchOptions,
+    ) -> Vec<AdaptiveQuantify> {
+        opts.run(|| {
+            queries
+                .par_iter()
+                .map(|&q| self.quantify_adaptive(q, eps, delta))
+                .collect()
         })
     }
 
@@ -338,7 +379,7 @@ mod tests {
         let qs = queries(24, 403);
         let opts = BatchOptions::with_threads(3);
         let (pis, m) = idx.quantify_batch_with(&qs, &opts);
-        assert_eq!(m, QuantifyMethod::MonteCarlo);
+        assert!(matches!(m, QuantifyMethod::MonteCarlo { .. }));
         assert_eq!(
             pis,
             qs.iter().map(|&q| idx.quantify(q).0).collect::<Vec<_>>()
@@ -347,6 +388,19 @@ mod tests {
             idx.nn_nonzero_batch_with(&qs, &opts),
             qs.iter().map(|&q| idx.nn_nonzero(q)).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn adaptive_batch_matches_sequential() {
+        let idx = PnnIndex::new(mixed_points(408));
+        let qs = queries(32, 409);
+        let seq: Vec<_> = qs
+            .iter()
+            .map(|&q| idx.quantify_adaptive(q, 0.05, 0.01))
+            .collect();
+        let batch =
+            idx.quantify_adaptive_batch_with(&qs, 0.05, 0.01, &BatchOptions::with_threads(4));
+        assert_eq!(batch, seq);
     }
 
     #[test]

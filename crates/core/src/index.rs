@@ -19,7 +19,7 @@ use unn_geom::{Disk, Point};
 use unn_nonzero::{DiscreteNonzeroIndex, DiskNonzeroIndex, GuaranteedNnIndex};
 use unn_quantify::{
     knn_membership_exact, quantification_exact, quantification_monte_carlo, quantification_numeric,
-    McBackend, MonteCarloIndex, SpiralIndex,
+    AdaptiveQuantify, McBackend, MonteCarloIndex, SpiralIndex, ADAPTIVE_MIN_ROUNDS,
 };
 
 use crate::expected::ExpectedNnIndex;
@@ -38,6 +38,10 @@ pub struct PnnConfig {
     pub max_mc_rounds: usize,
     /// Grid resolution for exact-by-integration on continuous models.
     pub numeric_steps: usize,
+    /// First checkpoint of the adaptive stopping rule
+    /// ([`PnnIndex::quantify_adaptive`]); later checkpoints double up to
+    /// the built round count.
+    pub adaptive_min_rounds: usize,
 }
 
 impl Default for PnnConfig {
@@ -48,17 +52,25 @@ impl Default for PnnConfig {
             delta: 0.01,
             max_mc_rounds: 20_000,
             numeric_steps: 2_000,
+            adaptive_min_rounds: ADAPTIVE_MIN_ROUNDS,
         }
     }
 }
 
 /// Which estimator produced a quantification answer.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum QuantifyMethod {
     /// Spiral search (deterministic, discrete only).
     Spiral,
     /// Monte-Carlo instantiations.
-    MonteCarlo,
+    MonteCarlo {
+        /// The accuracy the built round count *actually* guarantees (Eq. 6
+        /// inverted at the built `s`). Equals the requested
+        /// [`PnnConfig::epsilon`] — or better — unless
+        /// [`PnnConfig::max_mc_rounds`] capped the theorem-driven count,
+        /// in which case this is honestly larger than the request.
+        achieved_epsilon: f64,
+    },
     /// Exact sweep over Eq. 2.
     ExactSweep,
     /// Numeric integration of Eq. 1.
@@ -86,6 +98,9 @@ pub struct PnnIndex {
     pub(crate) discrete: Option<Vec<DiscreteDistribution>>,
     pub(crate) spiral: Option<SpiralIndex>,
     pub(crate) mc: MonteCarloIndex,
+    /// Eq. 6 inverted at the built round count (see
+    /// [`PnnIndex::mc_achieved_epsilon`]).
+    pub(crate) mc_achieved_epsilon: f64,
     pub(crate) expected: ExpectedNnIndex,
     pub(crate) guaranteed: Option<GuaranteedNnIndex>,
 }
@@ -113,6 +128,10 @@ impl PnnIndex {
         let s = MonteCarloIndex::samples_for(config.epsilon, config.delta, n.max(1), k)
             .min(config.max_mc_rounds)
             .max(1);
+        // Eq. 6 inverted at the rounds actually built: when `max_mc_rounds`
+        // capped the theorem-driven count this is larger than the request,
+        // and results must say so rather than pretend `config.epsilon`.
+        let mc_achieved_epsilon = MonteCarloIndex::epsilon_for(s, config.delta, n.max(1), k);
         let mc = MonteCarloIndex::build(&points, s, McBackend::KdTree, &mut rng);
         let expected = ExpectedNnIndex::build(&points);
         let guaranteed = disks.as_ref().map(|ds| GuaranteedNnIndex::new(ds));
@@ -123,6 +142,7 @@ impl PnnIndex {
             discrete,
             spiral,
             mc,
+            mc_achieved_epsilon,
             expected,
             guaranteed,
         }
@@ -183,13 +203,45 @@ impl PnnIndex {
     }
 
     /// ε-approximate quantification probabilities (dense vector) and the
-    /// method used. ε comes from the build configuration.
+    /// method used. ε comes from the build configuration; on the
+    /// Monte-Carlo path the returned method carries the *achieved* ε, which
+    /// degrades honestly when [`PnnConfig::max_mc_rounds`] capped the
+    /// theorem-driven round count.
     pub fn quantify(&self, q: Point) -> (Vec<f64>, QuantifyMethod) {
         if let Some(spiral) = &self.spiral {
             (spiral.query(q, self.config.epsilon), QuantifyMethod::Spiral)
         } else {
-            (self.mc.query(q), QuantifyMethod::MonteCarlo)
+            (
+                self.mc.query(q),
+                QuantifyMethod::MonteCarlo {
+                    achieved_epsilon: self.mc_achieved_epsilon,
+                },
+            )
         }
+    }
+
+    /// Monte-Carlo quantification with per-query adaptive early stopping:
+    /// rounds are consumed in their fixed build order and the estimate is
+    /// returned as soon as a Hoeffding/empirical-Bernstein half-width
+    /// certifies `|π̂_i − π_i| ≤ eps` for every `i` (failure probability
+    /// `delta`), along with the rounds actually consumed and the certified
+    /// half-width.
+    ///
+    /// Unlike [`PnnIndex::quantify`] this always runs on the Monte-Carlo
+    /// structure (the stopping rule is specific to it); the result is a
+    /// pure function of `(index, q, eps, delta)`, so the batch determinism
+    /// contract extends to [`PnnIndex::quantify_adaptive_batch`].
+    pub fn quantify_adaptive(&self, q: Point, eps: f64, delta: f64) -> AdaptiveQuantify {
+        self.mc
+            .quantify_adaptive_from(q, eps, delta, self.config.adaptive_min_rounds)
+    }
+
+    /// The accuracy the built Monte-Carlo round count actually guarantees:
+    /// Eq. 6 inverted at the built `s`. At most [`PnnConfig::epsilon`]
+    /// unless [`PnnConfig::max_mc_rounds`] forced fewer rounds than
+    /// Theorem 4.3 requires.
+    pub fn mc_achieved_epsilon(&self) -> f64 {
+        self.mc_achieved_epsilon
     }
 
     /// Exact (discrete) or high-resolution numeric (continuous)
@@ -255,7 +307,12 @@ impl PnnIndex {
         if let Some(objs) = &self.discrete {
             (knn_membership_exact(objs, q, k), QuantifyMethod::ExactSweep)
         } else {
-            (self.mc.query_knn(q, k), QuantifyMethod::MonteCarlo)
+            (
+                self.mc.query_knn(q, k),
+                QuantifyMethod::MonteCarlo {
+                    achieved_epsilon: self.mc_achieved_epsilon,
+                },
+            )
         }
     }
 
@@ -341,7 +398,7 @@ mod tests {
         let idx = PnnIndex::new(mixed_points(211));
         let q = Point::new(0.0, 0.0);
         let (pi, method) = idx.quantify(q);
-        assert_eq!(method, QuantifyMethod::MonteCarlo);
+        assert!(matches!(method, QuantifyMethod::MonteCarlo { .. }));
         let (num, method2) = idx.quantify_exact(q);
         assert_eq!(method2, QuantifyMethod::NumericIntegration);
         let sum_mc: f64 = pi.iter().sum();
@@ -423,7 +480,7 @@ mod tests {
         // Continuous path uses MC.
         let cidx = PnnIndex::new(mixed_points(218));
         let (pi, method) = cidx.knn_membership(q, 2);
-        assert_eq!(method, QuantifyMethod::MonteCarlo);
+        assert!(matches!(method, QuantifyMethod::MonteCarlo { .. }));
         let sum: f64 = pi.iter().sum();
         assert!((sum - 2.0).abs() < 1e-9);
     }
@@ -435,5 +492,63 @@ mod tests {
         assert!(idx.nn_nonzero(Point::ORIGIN).is_empty());
         assert!(idx.quantify(Point::ORIGIN).0.is_empty());
         assert!(idx.expected_nn(Point::ORIGIN).is_none());
+        let a = idx.quantify_adaptive(Point::ORIGIN, 0.1, 0.01);
+        assert!(a.pi.is_empty() && a.rounds_used == 0);
+    }
+
+    #[test]
+    fn capped_rounds_surface_achieved_epsilon() {
+        // A cap far below the theorem-driven count: the reported method
+        // must carry the honestly degraded ε, not the requested one.
+        let points = mixed_points(219);
+        let capped = PnnIndex::build(
+            points.clone(),
+            PnnConfig {
+                epsilon: 0.01,
+                max_mc_rounds: 200,
+                ..PnnConfig::default()
+            },
+        );
+        assert_eq!(capped.mc.rounds(), 200);
+        let (_, method) = capped.quantify(Point::ORIGIN);
+        let QuantifyMethod::MonteCarlo { achieved_epsilon } = method else {
+            panic!("expected MonteCarlo, got {method:?}");
+        };
+        assert_eq!(achieved_epsilon, capped.mc_achieved_epsilon());
+        assert!(
+            achieved_epsilon > 0.01,
+            "capped s must degrade eps: {achieved_epsilon}"
+        );
+        // Uncapped: the built count meets or beats the request.
+        let uncapped = PnnIndex::build(
+            points,
+            PnnConfig {
+                epsilon: 0.05,
+                ..PnnConfig::default()
+            },
+        );
+        assert!(uncapped.mc_achieved_epsilon() <= 0.05 + 1e-12);
+    }
+
+    #[test]
+    fn adaptive_quantify_consistent_with_fixed() {
+        let idx = PnnIndex::new(mixed_points(220));
+        let mut qrng = SmallRng::seed_from_u64(221);
+        for _ in 0..10 {
+            let q = Point::new(
+                qrng.random_range(-25.0..25.0),
+                qrng.random_range(-25.0..25.0),
+            );
+            let (full, _) = idx.quantify(q);
+            let a = idx.quantify_adaptive(q, 0.05, 0.01);
+            assert!(a.rounds_used <= idx.mc.rounds());
+            for (ad, fu) in a.pi.iter().zip(&full) {
+                assert!(
+                    (ad - fu).abs() <= a.half_width + idx.mc_achieved_epsilon(),
+                    "adaptive={ad} full={fu} hw={}",
+                    a.half_width
+                );
+            }
+        }
     }
 }

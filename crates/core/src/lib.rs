@@ -59,6 +59,7 @@ pub use unn_distr::{
     DiscreteDistribution, HistogramDistribution, TruncatedGaussian, Uncertain, UncertainPoint,
     UniformDisk, UniformPolygon,
 };
+pub use unn_quantify::AdaptiveQuantify;
 
 /// Re-export of the uncertainty models.
 pub use unn_distr as distr;

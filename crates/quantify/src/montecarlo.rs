@@ -11,44 +11,74 @@
 //! to the discrete case by Theorem 4.5's sampling argument (Lemma 4.4).
 //!
 //! The paper prescribes "Voronoi diagram + point location" per round; the
-//! default backend here is a kd-tree per round, with the Delaunay-based
-//! nearest-site structure available for the E14 ablation.
+//! default backend here packs all `s` per-round kd-trees into one
+//! round-major [`KdForest`] arena, with the Delaunay-based nearest-site
+//! structure available for the E14 ablation. Three query-time optimizations
+//! make this the hot path of the batch engine:
+//!
+//! 1. **`Δ(q)` pruning (Lemma 2.1).** In every instantiation, point `j`'s
+//!    location is within `Δ_j(q)` of `q`, so the NN distance never exceeds
+//!    `Δ(q) = min_j Δ_j(q)`. [`MonteCarloIndex::prune_radius`] computes a
+//!    cheap upper bound on `Δ(q)` once per query (additively-weighted NN
+//!    over the support bounding boxes, via `KdTree::min_adjusted`). The
+//!    fixed-`s` query then answers *all* `s` rounds with **one** range
+//!    traversal: a single kd-tree over all `s·n` instantiations reports
+//!    every location inside the `Δ(q)` ball, and a per-round fold keeps each
+//!    round's minimum. A nonempty ball always contains that round's true NN
+//!    (the NN is the distance minimum), so the fold is exact; a round the
+//!    ball misses entirely (last-ulp rounding of the seed) falls back to a
+//!    seeded descent. This replaces `s` root-to-leaf walks with one walk
+//!    whose cost is `O(log(sn) + output)`.
+//! 2. **Arena-packed rounds.** The per-round trees live in one round-major
+//!    [`KdForest`] arena — memory moves strictly forward over rounds
+//!    instead of chasing `s` separately allocated trees (the unpruned,
+//!    Delaunay, and adaptive paths use these descents).
+//! 3. **Adaptive early stopping.** Because rounds are pre-drawn and
+//!    consumed in build order, any prefix of rounds is itself an unbiased
+//!    estimator; [`MonteCarloIndex::quantify_adaptive`] stops as soon as a
+//!    Hoeffding *or* empirical-Bernstein confidence half-width (in the
+//!    style of Mnih–Szepesvári–Audibert, ICML 2008) certifies the requested
+//!    accuracy, and reports the rounds actually consumed.
 
 use rand::Rng;
 use unn_distr::{Uncertain, UncertainPoint};
-use unn_geom::Point;
-use unn_spatial::KdTree;
+use unn_geom::{Aabb, Point};
+use unn_spatial::{KdForest, KdTree, Neighbor};
 use unn_voronoi::Delaunay;
 
 /// Per-round nearest-neighbor backend.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum McBackend {
-    /// Kd-tree per instantiation (default).
+    /// All rounds' kd-trees packed into one [`KdForest`] arena (default).
     KdTree,
     /// Delaunay triangulation per instantiation (the paper's Voronoi
-    /// point-location narrative).
+    /// point-location narrative; E14 ablation).
     Delaunay,
 }
 
-enum RoundIndex {
-    Kd(KdTree),
-    Del(Delaunay),
+enum McStorage {
+    /// Round-major arena of kd-trees.
+    Forest(KdForest),
+    /// One Delaunay triangulation per round.
+    Del(Vec<Delaunay>),
 }
 
-impl RoundIndex {
-    fn nearest(&self, q: Point) -> usize {
-        match self {
-            RoundIndex::Kd(t) => t.nearest(q).expect("nonempty round").id,
-            RoundIndex::Del(d) => d.nearest(q).expect("nonempty round").0,
-        }
-    }
+/// Default first checkpoint of the adaptive stopping rule.
+pub const ADAPTIVE_MIN_ROUNDS: usize = 32;
 
-    fn k_nearest(&self, q: Point, k: usize) -> Vec<usize> {
-        match self {
-            RoundIndex::Kd(t) => t.m_nearest(q, k).into_iter().map(|nb| nb.id).collect(),
-            RoundIndex::Del(d) => d.m_nearest(q, k).into_iter().map(|(i, _)| i).collect(),
-        }
-    }
+/// Result of [`MonteCarloIndex::quantify_adaptive`]: the estimates plus how
+/// much work the stopping rule actually spent and what accuracy it
+/// certified.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdaptiveQuantify {
+    /// `π̂_i` over the consumed prefix of rounds (dense, sums to 1).
+    pub pi: Vec<f64>,
+    /// Rounds consumed before the half-width dropped below the target (or
+    /// all of `s` if it never did).
+    pub rounds_used: usize,
+    /// The certified half-width at stopping: with probability `≥ 1 − δ`,
+    /// every `|π̂_i − π_i|` is at most this.
+    pub half_width: f64,
 }
 
 /// Monte-Carlo estimator of all quantification probabilities.
@@ -68,10 +98,25 @@ impl RoundIndex {
 /// let mc = MonteCarloIndex::build(&points, 2000, McBackend::KdTree, &mut rng);
 /// let pi = mc.query(Point::new(0.0, 0.0)); // symmetric: both ~1/2
 /// assert!((pi[0] - 0.5).abs() < 0.1);
+/// // Adaptive stopping certifies ±0.1 with far fewer than 2000 rounds.
+/// let a = mc.quantify_adaptive(Point::new(0.0, 0.0), 0.1, 0.01);
+/// assert!(a.rounds_used <= 2000 && a.half_width <= 0.1);
 /// ```
 pub struct MonteCarloIndex {
-    rounds: Vec<RoundIndex>,
+    storage: McStorage,
     n: usize,
+    s: usize,
+    /// Per-point support bounding boxes: `support[i].max_dist(q)` is an
+    /// upper bound on the paper's `Δ_i(q)`.
+    support: Vec<Aabb>,
+    /// Kd-tree over the support-box centers; `min_adjusted` over it
+    /// minimizes `support[i].max_dist(q)` — the `Δ(q)` seed radius.
+    delta_tree: KdTree,
+    /// One kd-tree over all `s·n` instantiations in generation order
+    /// (point `r·n + i` is object `i`'s location in round `r`): the
+    /// single-traversal engine of the pruned fixed-`s` query. Only built
+    /// for the forest backend.
+    global: Option<KdTree>,
 }
 
 impl MonteCarloIndex {
@@ -79,20 +124,46 @@ impl MonteCarloIndex {
     pub fn build(points: &[Uncertain], s: usize, backend: McBackend, rng: &mut dyn Rng) -> Self {
         assert!(s > 0, "need at least one round");
         let n = points.len();
-        let mut rounds = Vec::with_capacity(s);
-        for _ in 0..s {
-            let insts: Vec<Point> = points.iter().map(|p| p.sample(rng)).collect();
-            rounds.push(match backend {
-                McBackend::KdTree => RoundIndex::Kd(KdTree::new(&insts)),
-                McBackend::Delaunay => RoundIndex::Del(Delaunay::new(&insts)),
-            });
+        let mut insts: Vec<Point> = Vec::with_capacity(n);
+        let (storage, global) = match backend {
+            McBackend::KdTree => {
+                let mut forest = KdForest::with_capacity(s, n);
+                let mut all: Vec<Point> = Vec::with_capacity(s * n);
+                for _ in 0..s {
+                    insts.clear();
+                    insts.extend(points.iter().map(|p| p.sample(rng)));
+                    all.extend_from_slice(&insts);
+                    forest.push_round(&insts);
+                }
+                let global = (n > 0).then(|| KdTree::new(&all));
+                (McStorage::Forest(forest), global)
+            }
+            McBackend::Delaunay => {
+                let mut rounds = Vec::with_capacity(s);
+                for _ in 0..s {
+                    insts.clear();
+                    insts.extend(points.iter().map(|p| p.sample(rng)));
+                    rounds.push(Delaunay::new(&insts));
+                }
+                (McStorage::Del(rounds), None)
+            }
+        };
+        let support: Vec<Aabb> = points.iter().map(|p| p.support_bbox()).collect();
+        let centers: Vec<Point> = support.iter().map(|b| b.center()).collect();
+        let delta_tree = KdTree::new(&centers);
+        MonteCarloIndex {
+            storage,
+            n,
+            s,
+            support,
+            delta_tree,
+            global,
         }
-        MonteCarloIndex { rounds, n }
     }
 
     /// Number of rounds `s`.
     pub fn rounds(&self) -> usize {
-        self.rounds.len()
+        self.s
     }
 
     /// Number of uncertain points.
@@ -103,6 +174,86 @@ impl MonteCarloIndex {
     /// `true` when no uncertain points were indexed.
     pub fn is_empty(&self) -> bool {
         self.n == 0
+    }
+
+    /// An upper bound on `Δ(q) = min_i Δ_i(q)`, the Lemma 2.1 radius that
+    /// must contain the nearest neighbor of `q` in *every* instantiation
+    /// (computed over support bounding boxes, so it is within the box
+    /// slack of the exact `Δ(q)`).
+    ///
+    /// This is the per-query seed of the pruned round descents; it is also
+    /// useful on its own as a certified search radius.
+    pub fn prune_radius(&self, q: Point) -> f64 {
+        self.delta_tree
+            .min_adjusted(q, &|i| self.support[i].max_dist(q))
+            .map_or(f64::INFINITY, |(_, v)| v)
+    }
+
+    /// The winner of one round: nearest instantiation index to `q`, with
+    /// the descent seeded by `init_best` (an upper bound on the NN
+    /// distance; `f64::INFINITY` disables pruning).
+    #[inline]
+    fn round_winner(&self, round: usize, q: Point, init_best: f64) -> usize {
+        match &self.storage {
+            McStorage::Forest(f) => {
+                f.nearest_within(round, q, init_best)
+                    // The seed provably contains the NN; the fallback only
+                    // guards against last-ulp rounding of the seed itself.
+                    .or_else(|| f.nearest(round, q))
+                    .expect("nonempty round")
+                    .id
+            }
+            McStorage::Del(ds) => ds[round].nearest(q).expect("nonempty round").0,
+        }
+    }
+
+    /// Inflates the Lemma 2.1 radius by one part in 10¹² so the closed-ball
+    /// seed survives floating-point rounding of `Δ(q)` itself.
+    #[inline]
+    fn seed_for(&self, q: Point) -> f64 {
+        self.prune_radius(q) * (1.0 + 1e-12)
+    }
+
+    /// The per-round winners (object index per round, in round order).
+    ///
+    /// Forest backend with a finite seed: one range traversal of the global
+    /// instantiation tree collects every location inside the `Δ(q)` ball
+    /// and a fold keeps each round's closest (ties to the smaller object
+    /// index). A nonempty ball necessarily contains the round's NN, so the
+    /// fold equals the descent result; the rare round the ball misses (the
+    /// seed rounded below the NN distance by an ulp) reruns as a descent.
+    /// If the ball degenerates (more than `32·s` locations inside), the
+    /// traversal aborts and all rounds run as seeded descents instead —
+    /// both sides of the switch are deterministic in `(self, q, init_best)`.
+    ///
+    /// Everything else — infinite seed, Delaunay backend — is one descent
+    /// per round.
+    fn winners_into(&self, q: Point, init_best: f64, winners: &mut Vec<u32>) {
+        winners.clear();
+        if let (McStorage::Forest(f), Some(g)) = (&self.storage, self.global.as_ref()) {
+            if init_best.is_finite() {
+                let mut best: Vec<(f64, u32)> = vec![(f64::INFINITY, u32::MAX); self.s];
+                let n = self.n;
+                let complete = g.in_disk_capped(q, init_best, 32 * self.s, &mut |pos, d| {
+                    let e = &mut best[pos / n];
+                    let obj = (pos % n) as u32;
+                    if d < e.0 || (d == e.0 && obj < e.1) {
+                        *e = (d, obj);
+                    }
+                });
+                if complete {
+                    winners.extend(best.iter().enumerate().map(|(r, &(_, obj))| {
+                        if obj != u32::MAX {
+                            obj
+                        } else {
+                            f.nearest(r, q).expect("nonempty round").id as u32
+                        }
+                    }));
+                    return;
+                }
+            }
+        }
+        winners.extend((0..self.s).map(|r| self.round_winner(r, q, init_best) as u32));
     }
 
     /// Estimates `π̂_i(q)` for all `i`; at most `s` entries are nonzero.
@@ -117,46 +268,214 @@ impl MonteCarloIndex {
 
     /// [`MonteCarloIndex::query`] into a caller-provided buffer (cleared and
     /// resized to `len()`): batch loops reuse one buffer per worker.
+    ///
+    /// Every round's descent is seeded with the Lemma 2.1 radius
+    /// [`MonteCarloIndex::prune_radius`], computed once per query.
     pub fn query_into(&self, q: Point, pi: &mut Vec<f64>) {
+        if self.n == 0 {
+            pi.clear();
+            return;
+        }
+        self.query_into_seeded(q, self.seed_for(q), pi);
+    }
+
+    /// [`MonteCarloIndex::query_into`] with a caller-supplied seed radius
+    /// instead of the automatic `Δ(q)` bound.
+    ///
+    /// The estimate is correct for *any* seed — a too-small ball either
+    /// still contains the round's NN or is empty for that round (the NN is
+    /// the distance minimum) and falls back to a descent; a small valid
+    /// seed is merely fastest. `f64::INFINITY` disables pruning entirely
+    /// and runs one descent per round; benchmarks use this to measure the
+    /// fast-path speedup.
+    pub fn query_into_seeded(&self, q: Point, init_best: f64, pi: &mut Vec<f64>) {
         pi.clear();
         pi.resize(self.n, 0.0);
         if self.n == 0 {
             return;
         }
-        let w = 1.0 / self.rounds.len() as f64;
-        for r in &self.rounds {
-            pi[r.nearest(q)] += w;
+        let mut winners = Vec::with_capacity(self.s);
+        self.winners_into(q, init_best, &mut winners);
+        // Count in exact unit increments, scale once: `π̂_i` is then
+        // `c_i·(1/s)` with a single rounding, bit-identical to the sparse
+        // and adaptive paths.
+        for &wn in &winners {
+            pi[wn as usize] += 1.0;
+        }
+        let w = 1.0 / self.s as f64;
+        for x in pi.iter_mut() {
+            *x *= w;
         }
     }
 
     /// Sparse estimate: `(object, π̂)` pairs for objects that won at least
-    /// one round, sorted by decreasing probability.
+    /// one round, sorted by decreasing probability (ties by index).
+    ///
+    /// Runs in `O(s · query + s log s)` independent of `n`: winners are
+    /// accumulated sparsely (at most `s` distinct), never through a dense
+    /// `n`-vector — the right shape when `n ≫ s`.
     pub fn query_sparse(&self, q: Point) -> Vec<(usize, f64)> {
-        let pi = self.query(q);
-        let mut out: Vec<(usize, f64)> = pi
-            .into_iter()
-            .enumerate()
-            .filter(|&(_, p)| p > 0.0)
-            .collect();
+        if self.n == 0 {
+            return Vec::new();
+        }
+        let mut winners = Vec::with_capacity(self.s);
+        self.winners_into(q, self.seed_for(q), &mut winners);
+        winners.sort_unstable();
+        let w = 1.0 / self.s as f64;
+        let mut out: Vec<(usize, f64)> = Vec::new();
+        let mut run_start = 0usize;
+        for i in 1..=winners.len() {
+            if i == winners.len() || winners[i] != winners[run_start] {
+                out.push((winners[run_start] as usize, (i - run_start) as f64 * w));
+                run_start = i;
+            }
+        }
         out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         out
     }
 
     /// Estimates the k-NN *membership* probabilities: `π̂_i^{(k)}(q)` is the
     /// fraction of instantiations in which `P_i` is among the `k` nearest.
-    /// Same Chernoff bound per entry as [`MonteCarloIndex::query`].
+    /// Same Chernoff bound per entry as [`MonteCarloIndex::query`]. One
+    /// neighbor buffer is reused across all `s` rounds.
     pub fn query_knn(&self, q: Point, k: usize) -> Vec<f64> {
         let mut pi = vec![0.0; self.n];
         if self.n == 0 || k == 0 {
             return pi;
         }
-        let w = 1.0 / self.rounds.len() as f64;
-        for r in &self.rounds {
-            for i in r.k_nearest(q, k) {
-                pi[i] += w;
+        let w = 1.0 / self.s as f64;
+        match &self.storage {
+            McStorage::Forest(f) => {
+                let mut buf: Vec<Neighbor> = Vec::new();
+                for r in 0..self.s {
+                    f.m_nearest_into(r, q, k, &mut buf);
+                    for nb in &buf {
+                        pi[nb.id] += w;
+                    }
+                }
+            }
+            McStorage::Del(ds) => {
+                let mut buf: Vec<(usize, f64)> = Vec::new();
+                for d in ds {
+                    d.m_nearest_into(q, k, &mut buf);
+                    for &(i, _) in &buf {
+                        pi[i] += w;
+                    }
+                }
             }
         }
         pi
+    }
+
+    /// Adaptive-stopping estimate of all `π_i(q)`: consumes the pre-drawn
+    /// rounds in build order and stops at the first doubling checkpoint
+    /// (starting at [`ADAPTIVE_MIN_ROUNDS`]) where a union-bounded
+    /// Hoeffding *or* empirical-Bernstein half-width drops to `eps` for
+    /// every `π̂_i` simultaneously, with failure probability `≤ delta`.
+    ///
+    /// On well-separated instances (one point wins almost every round) the
+    /// empirical variance is near zero and the Bernstein term stops after
+    /// `O(log(n/δ)/ε)` rounds — quadratically earlier than the fixed
+    /// `O(log(n/δ)/ε²)` of Eq. 6.
+    ///
+    /// Because the consumed rounds are a deterministic prefix of the
+    /// build-time draw, the result is a pure function of `(self, q, eps,
+    /// delta)` — bit-identical across repeated calls, thread counts, and
+    /// query orders (the batch determinism contract).
+    pub fn quantify_adaptive(&self, q: Point, eps: f64, delta: f64) -> AdaptiveQuantify {
+        self.quantify_adaptive_from(q, eps, delta, ADAPTIVE_MIN_ROUNDS)
+    }
+
+    /// [`MonteCarloIndex::quantify_adaptive`] with an explicit first
+    /// checkpoint (subsequent checkpoints double until `s`).
+    pub fn quantify_adaptive_from(
+        &self,
+        q: Point,
+        eps: f64,
+        delta: f64,
+        min_rounds: usize,
+    ) -> AdaptiveQuantify {
+        assert!(eps > 0.0, "eps must be positive");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        if self.n == 0 {
+            return AdaptiveQuantify {
+                pi: Vec::new(),
+                rounds_used: 0,
+                half_width: 0.0,
+            };
+        }
+        let s = self.s;
+        let first = min_rounds.clamp(1, s);
+        // Number of checkpoints in the doubling schedule — the union bound
+        // spends delta / (checkpoints · n) per point per checkpoint.
+        let checkpoints = {
+            let (mut k, mut t) = (1usize, first);
+            while t < s {
+                t = (t * 2).min(s);
+                k += 1;
+            }
+            k as f64
+        };
+        let union = checkpoints * self.n as f64 / delta;
+        // Hoeffding with delta' = delta/(2·K·n) per (i, checkpoint); the
+        // other half of the budget goes to the Bernstein family below.
+        let l_hoeff = (4.0 * union).ln();
+        // Empirical Bernstein (MSA'08, Thm 1 shape): ln(3/delta') terms.
+        let l_bern = (6.0 * union).ln();
+        let seed = self.seed_for(q);
+        // Forest backend: all winners come from the single-traversal ball
+        // fold (same cost as one fixed-`s` query); early stopping then only
+        // trims the counting prefix. The Delaunay backend stays incremental
+        // so stopping at `t` rounds really does skip `s - t` searches.
+        let mut winners = Vec::new();
+        if self.global.is_some() {
+            self.winners_into(q, seed, &mut winners);
+        }
+        let mut counts = vec![0u32; self.n];
+        let mut used = 0usize;
+        let mut next = first;
+        let mut half_width = f64::INFINITY;
+        for r in 0..s {
+            let wr = match winners.get(r) {
+                Some(&w) => w as usize,
+                None => self.round_winner(r, q, seed),
+            };
+            counts[wr] += 1;
+            used += 1;
+            if used == next {
+                half_width = Self::stop_half_width(&counts, used, l_hoeff, l_bern);
+                if half_width <= eps {
+                    break;
+                }
+                next = (next * 2).min(s);
+            }
+        }
+        let w = 1.0 / used as f64;
+        AdaptiveQuantify {
+            pi: counts.iter().map(|&c| c as f64 * w).collect(),
+            rounds_used: used,
+            half_width,
+        }
+    }
+
+    /// The max-over-`i` confidence half-width after `t` rounds: the tighter
+    /// of the Hoeffding bound (variance-free) and the empirical-Bernstein
+    /// bound at the worst observed empirical variance.
+    fn stop_half_width(counts: &[u32], t: usize, l_hoeff: f64, l_bern: f64) -> f64 {
+        let tf = t as f64;
+        let hoeff = (l_hoeff / (2.0 * tf)).sqrt();
+        if t < 2 {
+            return hoeff;
+        }
+        let vmax = counts
+            .iter()
+            .map(|&c| {
+                let p = c as f64 / tf;
+                p * (1.0 - p)
+            })
+            .fold(0.0, f64::max);
+        let bern = (2.0 * vmax * l_bern / tf).sqrt() + 7.0 * l_bern / (3.0 * (tf - 1.0));
+        hoeff.min(bern)
     }
 
     /// Theorem 4.3's round count for accuracy `eps` and failure probability
@@ -169,6 +488,20 @@ impl MonteCarloIndex {
         let q_cells = nn.powi(4);
         let s = (1.0 / (2.0 * eps * eps)) * (2.0 * n.max(1) as f64 * q_cells / delta).ln();
         s.ceil().max(1.0) as usize
+    }
+
+    /// Eq. 6 inverted at a fixed round budget: the accuracy `ε` that `s`
+    /// rounds actually guarantee (w.p. `≥ 1 − δ`, `|Q| = (nk)⁴` as in
+    /// [`MonteCarloIndex::samples_for`]).
+    ///
+    /// When a deployment caps the theorem-driven round count (see
+    /// `PnnConfig::max_mc_rounds` in `unn`), this is the *achieved* ε that
+    /// honest results must surface instead of the requested one.
+    pub fn epsilon_for(s: usize, delta: f64, n: usize, k: usize) -> f64 {
+        assert!(s > 0 && delta > 0.0 && delta < 1.0);
+        let nn = (n.max(1) as f64) * (k.max(1) as f64);
+        let q_cells = nn.powi(4);
+        ((2.0 * n.max(1) as f64 * q_cells / delta).ln() / (2.0 * s as f64)).sqrt()
     }
 
     /// The *per-query* round count: if only `m` query points will ever be
@@ -314,6 +647,32 @@ mod tests {
     }
 
     #[test]
+    fn pruned_query_matches_unpruned() {
+        // The Δ(q)-seeded fast path must be bit-identical to the unseeded
+        // branch-and-bound — pruning only skips subtrees that cannot win.
+        let points = random_discrete(40, 3, 160);
+        let mut rng = SmallRng::seed_from_u64(161);
+        let mc = MonteCarloIndex::build(&points, 600, McBackend::KdTree, &mut rng);
+        let mut qrng = SmallRng::seed_from_u64(162);
+        let (mut pruned, mut unpruned) = (Vec::new(), Vec::new());
+        for _ in 0..60 {
+            let q = Point::new(
+                qrng.random_range(-30.0..30.0),
+                qrng.random_range(-30.0..30.0),
+            );
+            mc.query_into(q, &mut pruned);
+            mc.query_into_seeded(q, f64::INFINITY, &mut unpruned);
+            assert_eq!(pruned, unpruned, "q = {q:?}");
+            // The prune radius really is an upper bound on Δ(q).
+            let delta: f64 = points
+                .iter()
+                .map(|p| p.max_dist(q))
+                .fold(f64::INFINITY, f64::min);
+            assert!(mc.prune_radius(q) >= delta - 1e-9);
+        }
+    }
+
+    #[test]
     fn continuous_models_supported() {
         // Two uniform disks straddling the query: probabilities near 1/2.
         let points = vec![
@@ -349,6 +708,22 @@ mod tests {
     }
 
     #[test]
+    fn knn_backends_agree() {
+        let points = random_discrete(9, 2, 163);
+        let mut rng1 = SmallRng::seed_from_u64(164);
+        let mut rng2 = SmallRng::seed_from_u64(164);
+        let kd = MonteCarloIndex::build(&points, 300, McBackend::KdTree, &mut rng1);
+        let del = MonteCarloIndex::build(&points, 300, McBackend::Delaunay, &mut rng2);
+        let q = Point::new(2.0, -3.0);
+        for k in [1usize, 2, 4] {
+            let a = kd.query_knn(q, k);
+            let b = del.query_knn(q, k);
+            let diff: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+            assert!(diff < 1e-9, "k={k}: {diff}");
+        }
+    }
+
+    #[test]
     fn sparse_query_consistent() {
         let points = random_discrete(12, 2, 147);
         let mut rng = SmallRng::seed_from_u64(148);
@@ -361,10 +736,83 @@ mod tests {
         for &(i, p) in &sparse {
             assert_eq!(dense[i], p);
         }
+        // Every dense nonzero appears in the sparse output.
+        assert_eq!(
+            sparse.len(),
+            dense.iter().filter(|&&p| p > 0.0).count(),
+            "sparse output missing winners"
+        );
         // Sorted by decreasing probability.
         for w in sparse.windows(2) {
             assert!(w[0].1 >= w[1].1);
         }
+    }
+
+    #[test]
+    fn adaptive_matches_full_estimate_within_half_width() {
+        let points = random_discrete(10, 3, 165);
+        let mut rng = SmallRng::seed_from_u64(166);
+        let mc = MonteCarloIndex::build(&points, 8000, McBackend::KdTree, &mut rng);
+        let mut qrng = SmallRng::seed_from_u64(167);
+        for _ in 0..15 {
+            let q = Point::new(
+                qrng.random_range(-25.0..25.0),
+                qrng.random_range(-25.0..25.0),
+            );
+            let full = mc.query(q);
+            let a = mc.quantify_adaptive(q, 0.05, 0.01);
+            assert!(a.rounds_used <= 8000);
+            assert!((a.pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            // The full-s estimate is (w.h.p.) within the certified band of
+            // the adaptive one; allow the full estimate's own tiny noise.
+            for (i, (ad, fu)) in a.pi.iter().zip(&full).enumerate() {
+                assert!(
+                    (ad - fu).abs() <= a.half_width + 0.02,
+                    "i={i}: adaptive={ad} full={fu} hw={}",
+                    a.half_width
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_stops_early_when_separated() {
+        // Far-apart tight clusters: the winner is deterministic, empirical
+        // variance is ~0, and the Bernstein rule stops almost immediately.
+        let points: Vec<Uncertain> = (0..16)
+            .map(|i| Uncertain::uniform_disk(Point::new(1000.0 * i as f64, 0.0), 0.5))
+            .collect();
+        let s = 8000;
+        let mut rng = SmallRng::seed_from_u64(168);
+        let mc = MonteCarloIndex::build(&points, s, McBackend::KdTree, &mut rng);
+        let a = mc.quantify_adaptive(Point::new(2.0, 3.0), 0.05, 0.01);
+        assert!(
+            a.rounds_used < s / 2,
+            "adaptive used {}/{} rounds on a separated instance",
+            a.rounds_used,
+            s
+        );
+        assert!(a.half_width <= 0.05);
+        assert!((a.pi[0] - 1.0).abs() < 1e-12, "{:?}", &a.pi[..2]);
+        // Deterministic: repeated calls are bit-identical.
+        let b = mc.quantify_adaptive(Point::new(2.0, 3.0), 0.05, 0.01);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adaptive_exhausts_rounds_on_hard_instances() {
+        // Two overlapping disks at the midpoint: variance is maximal, so a
+        // tiny eps cannot be certified within the available rounds and the
+        // honest half-width is reported instead.
+        let points = vec![
+            Uncertain::uniform_disk(Point::new(-1.0, 0.0), 1.0),
+            Uncertain::uniform_disk(Point::new(1.0, 0.0), 1.0),
+        ];
+        let mut rng = SmallRng::seed_from_u64(169);
+        let mc = MonteCarloIndex::build(&points, 500, McBackend::KdTree, &mut rng);
+        let a = mc.quantify_adaptive(Point::ORIGIN, 0.001, 0.01);
+        assert_eq!(a.rounds_used, 500);
+        assert!(a.half_width > 0.001, "hw = {}", a.half_width);
     }
 
     #[test]
@@ -399,5 +847,18 @@ mod tests {
         assert!(s2 >= 3 * s1, "s(ε/2) should be ~4x s(ε): {s1} vs {s2}");
         let s3 = MonteCarloIndex::samples_for(0.1, 0.1, 1000, 2);
         assert!(s3 < 4 * s1, "log growth in n violated: {s1} -> {s3}");
+    }
+
+    #[test]
+    fn epsilon_for_inverts_samples_for() {
+        for (eps, delta, n, k) in [(0.1, 0.01, 10, 2), (0.05, 0.1, 100, 3)] {
+            let s = MonteCarloIndex::samples_for(eps, delta, n, k);
+            let achieved = MonteCarloIndex::epsilon_for(s, delta, n, k);
+            // Rounding s up can only improve the achieved accuracy.
+            assert!(achieved <= eps + 1e-12, "{achieved} > {eps}");
+            // Halving the budget must degrade it beyond the request.
+            let degraded = MonteCarloIndex::epsilon_for(s / 4, delta, n, k);
+            assert!(degraded > eps, "{degraded} <= {eps}");
+        }
     }
 }

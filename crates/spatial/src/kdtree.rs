@@ -169,15 +169,31 @@ impl KdTree {
 
     /// Nearest neighbor of `q`, or `None` for an empty tree.
     pub fn nearest(&self, q: Point) -> Option<Neighbor> {
+        self.nearest_within(q, f64::INFINITY)
+    }
+
+    /// Nearest neighbor of `q` among points at distance `<= init_best`
+    /// (closed ball), or `None` when the tree is empty or no point lies
+    /// within the seed radius.
+    ///
+    /// The branch-and-bound starts with `init_best` as the incumbent
+    /// distance instead of `+∞`, so any subtree farther than the seed is
+    /// pruned before the walk begins. With a valid seed (any upper bound on
+    /// the true NN distance, e.g. the paper's `Δ(q)` from Lemma 2.1) the
+    /// result is identical to [`KdTree::nearest`]; `f64::INFINITY` recovers
+    /// the unseeded search exactly.
+    pub fn nearest_within(&self, q: Point, init_best: f64) -> Option<Neighbor> {
         if self.is_empty() {
             return None;
         }
         let mut best = Neighbor {
             id: usize::MAX,
-            dist: f64::INFINITY,
+            // `next_up` makes the seed radius inclusive under the strict
+            // `<` comparisons below (a point at exactly `init_best` wins).
+            dist: init_best.next_up(),
         };
         self.nearest_rec(0, q, &mut best);
-        Some(best)
+        (best.id != usize::MAX).then_some(best)
     }
 
     fn nearest_rec(&self, node: u32, q: Point, best: &mut Neighbor) {
@@ -214,14 +230,22 @@ impl KdTree {
     /// This is the retrieval engine of spiral search (Theorem 4.7): the
     /// `m(ρ,ε)` closest locations of `S = ∪ P_i`.
     pub fn m_nearest(&self, q: Point, m: usize) -> Vec<Neighbor> {
+        let mut heap = Vec::new();
+        self.m_nearest_into(q, m, &mut heap);
+        heap
+    }
+
+    /// [`KdTree::m_nearest`] into a caller-provided buffer (cleared first):
+    /// per-round loops reuse one heap allocation across calls.
+    pub fn m_nearest_into(&self, q: Point, m: usize, out: &mut Vec<Neighbor>) {
+        out.clear();
         if self.is_empty() || m == 0 {
-            return Vec::new();
+            return;
         }
         // Bounded max-heap on distance.
-        let mut heap: Vec<Neighbor> = Vec::with_capacity(m + 1);
-        self.m_nearest_rec(0, q, m, &mut heap);
-        heap.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
-        heap
+        out.reserve(m + 1);
+        self.m_nearest_rec(0, q, m, out);
+        out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
     }
 
     fn m_nearest_rec(&self, node: u32, q: Point, m: usize, heap: &mut Vec<Neighbor>) {
@@ -292,6 +316,56 @@ impl KdTree {
         }
         self.in_disk_rec(n.left, q, r, visit);
         self.in_disk_rec(n.right, q, r, visit);
+    }
+
+    /// [`KdTree::in_disk`] with an output budget: stops and returns `false`
+    /// as soon as reporting one more point would exceed `cap`. Returns
+    /// `true` when every point in the ball was visited.
+    ///
+    /// Callers use the budget to bound range-reporting cost when the ball
+    /// could degenerate to a large fraction of the tree (the partial visits
+    /// of an aborted call must be discarded).
+    pub fn in_disk_capped(
+        &self,
+        q: Point,
+        r: f64,
+        cap: usize,
+        visit: &mut dyn FnMut(usize, f64),
+    ) -> bool {
+        if self.is_empty() || r < 0.0 {
+            return true;
+        }
+        let mut budget = cap;
+        self.in_disk_capped_rec(0, q, r, &mut budget, visit)
+    }
+
+    fn in_disk_capped_rec(
+        &self,
+        node: u32,
+        q: Point,
+        r: f64,
+        budget: &mut usize,
+        visit: &mut dyn FnMut(usize, f64),
+    ) -> bool {
+        let n = &self.nodes[node as usize];
+        if n.bbox.min_dist(q) > r {
+            return true;
+        }
+        if n.is_leaf() {
+            for i in n.start..n.end {
+                let d = self.pts[i as usize].dist(q);
+                if d <= r {
+                    if *budget == 0 {
+                        return false;
+                    }
+                    *budget -= 1;
+                    visit(self.ids[i as usize] as usize, d);
+                }
+            }
+            return true;
+        }
+        self.in_disk_capped_rec(n.left, q, r, budget, visit)
+            && self.in_disk_capped_rec(n.right, q, r, budget, visit)
     }
 
     /// Minimizes `eval(id)` over all points, where `eval(id)` must satisfy
@@ -390,7 +464,7 @@ impl KdTree {
 }
 
 #[inline]
-fn heap_push(heap: &mut Vec<Neighbor>, m: usize, nb: Neighbor) {
+pub(crate) fn heap_push(heap: &mut Vec<Neighbor>, m: usize, nb: Neighbor) {
     // Max-heap on dist, capped at m entries.
     heap.push(nb);
     let mut i = heap.len() - 1;
@@ -524,6 +598,27 @@ mod tests {
     }
 
     #[test]
+    fn in_disk_capped_honors_budget() {
+        let pts = random_points(400, 5);
+        let tree = KdTree::new(&pts);
+        let q = Point::new(10.0, -20.0);
+        let r = 60.0;
+        let full: usize = pts.iter().filter(|p| p.dist(q) <= r).count();
+        assert!(full > 10, "workload too sparse for the test");
+        // Generous budget: visits everything, returns true.
+        let mut got: Vec<usize> = Vec::new();
+        assert!(tree.in_disk_capped(q, r, full, &mut |id, _| got.push(id)));
+        got.sort_unstable();
+        let mut want: Vec<usize> = (0..pts.len()).filter(|&i| pts[i].dist(q) <= r).collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        // Tight budget: aborts, never visiting more than the cap.
+        let mut count = 0usize;
+        assert!(!tree.in_disk_capped(q, r, full - 1, &mut |_, _| count += 1));
+        assert!(count < full);
+    }
+
+    #[test]
     fn weighted_min_matches_brute_force() {
         // Additively weighted NN: Delta(q) = min d(q,c_i) + r_i.
         let pts = random_points(300, 6);
@@ -576,6 +671,42 @@ mod tests {
     }
 
     #[test]
+    fn nearest_within_matches_unseeded() {
+        let pts = random_points(500, 10);
+        let tree = KdTree::new(&pts);
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let q = Point::new(
+                rng.random_range(-120.0..120.0),
+                rng.random_range(-120.0..120.0),
+            );
+            let want = tree.nearest(q).unwrap();
+            // Any valid seed (>= true NN distance) gives the identical answer.
+            for seed in [want.dist, want.dist * 1.5, want.dist + 10.0, f64::INFINITY] {
+                let got = tree.nearest_within(q, seed).unwrap();
+                assert_eq!(got.id, want.id, "seed = {seed}");
+                assert_eq!(got.dist, want.dist);
+            }
+            // A seed strictly below the NN distance finds nothing.
+            if want.dist > 0.0 {
+                assert!(tree.nearest_within(q, want.dist * 0.999999).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn m_nearest_into_reuses_buffer() {
+        let pts = random_points(200, 12);
+        let tree = KdTree::new(&pts);
+        let mut buf = vec![Neighbor { id: 7, dist: -1.0 }; 3];
+        let q = Point::new(3.0, -4.0);
+        tree.m_nearest_into(q, 5, &mut buf);
+        assert_eq!(buf, tree.m_nearest(q, 5));
+        tree.m_nearest_into(q, 0, &mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
     fn empty_and_tiny_trees() {
         let empty = KdTree::new(&[]);
         assert!(empty.nearest(Point::ORIGIN).is_none());
@@ -613,6 +744,25 @@ mod tests {
             let got = tree.nearest(q).unwrap();
             let want = brute_nearest(&pts, q);
             prop_assert!((got.dist - want.dist).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_nearest_within_valid_seed_agrees(
+            pts in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 1..80),
+            qx in -60.0f64..60.0, qy in -60.0f64..60.0,
+            slack in 0.0f64..30.0,
+        ) {
+            let pts: Vec<Point> = pts.into_iter().map(|(x, y)| Point::new(x, y)).collect();
+            let tree = KdTree::new(&pts);
+            let q = Point::new(qx, qy);
+            let want = brute_nearest(&pts, q);
+            // Valid seeds: exactly the NN distance (Δ(q)-style tight bound),
+            // any slack above it, and +∞ (the unseeded search).
+            for seed in [want.dist, want.dist + slack, f64::INFINITY] {
+                let got = tree.nearest_within(q, seed).unwrap();
+                prop_assert_eq!(got.dist, pts[got.id].dist(q));
+                prop_assert!((got.dist - want.dist).abs() < 1e-12);
+            }
         }
 
         #[test]

@@ -3,8 +3,12 @@
 //! Practical index structures standing in for the paper's theoretical ones
 //! (see DESIGN.md §4 for the substitution table):
 //!
-//! * [`KdTree`] — (m-)nearest neighbors, disk range reporting, and the
+//! * [`KdTree`] — (m-)nearest neighbors (seedable via
+//!   [`KdTree::nearest_within`]), disk range reporting, and the
 //!   adjusted-distance queries behind the two-stage `NN≠0` structure (§3);
+//! * [`KdForest`] — many small kd-trees packed round-major into shared
+//!   contiguous arenas; the storage of the Monte-Carlo quantification
+//!   structure (§4.2);
 //! * [`QuadTree`] — branch-and-bound m-NN, the alternative the paper itself
 //!   recommends (§4.3 remark (ii));
 //! * [`UniformGrid`] — bucket grid, the third backend for ablations;
@@ -16,12 +20,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod forest;
 pub mod grid;
 pub mod kdtree;
 pub mod persist;
 pub mod quadtree;
 pub mod rtree;
 
+pub use forest::KdForest;
 pub use grid::UniformGrid;
 pub use kdtree::{KdTree, Neighbor};
 pub use persist::PersistentSet;

@@ -502,23 +502,27 @@ impl Delaunay {
     /// non-increasing distance), so expanding only vertices within the
     /// current `m`-th-best bound is exact.
     pub fn m_nearest(&self, q: Point, m: usize) -> Vec<(usize, f64)> {
+        let mut out = Vec::new();
+        self.m_nearest_into(q, m, &mut out);
+        out
+    }
+
+    /// [`Delaunay::m_nearest`] into a caller-provided buffer (cleared
+    /// first), so per-round loops reuse one allocation.
+    pub fn m_nearest_into(&self, q: Point, m: usize, out: &mut Vec<(usize, f64)>) {
+        out.clear();
         if self.pts.is_empty() || m == 0 {
-            return Vec::new();
+            return;
         }
         if self.degenerate {
-            let mut all: Vec<(usize, f64)> = self
-                .pts
-                .iter()
-                .enumerate()
-                .map(|(i, p)| (i, p.dist(q)))
-                .collect();
-            all.sort_by(|a, b| a.1.total_cmp(&b.1));
-            all.truncate(m);
-            return all;
+            out.extend(self.pts.iter().enumerate().map(|(i, p)| (i, p.dist(q))));
+            out.sort_by(|a, b| a.1.total_cmp(&b.1));
+            out.truncate(m);
+            return;
         }
         let (start, _) = self.nearest(q).expect("nonempty");
         let mut visited = vec![false; self.pts.len()];
-        let mut found: Vec<(usize, f64)> = Vec::new();
+        let found = out;
         let mut queue = std::collections::VecDeque::from([start]);
         visited[start] = true;
         let bound = |found: &Vec<(usize, f64)>| -> f64 {
@@ -534,14 +538,14 @@ impl Delaunay {
         };
         while let Some(v) = queue.pop_front() {
             let d = self.pts[v].dist(q);
-            if d > bound(&found) {
+            if d > bound(found) {
                 continue;
             }
             found.push((v, d));
             for w in self.vertex_neighbors(v) {
                 if !visited[w] {
                     visited[w] = true;
-                    if self.pts[w].dist(q) <= bound(&found) {
+                    if self.pts[w].dist(q) <= bound(found) {
                         queue.push_back(w);
                     }
                 }
@@ -549,7 +553,6 @@ impl Delaunay {
         }
         found.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         found.truncate(m);
-        found
     }
 
     /// Exhaustive Delaunay validity check (test helper): no input point lies

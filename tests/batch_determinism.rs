@@ -144,6 +144,36 @@ fn quantify_fresh_batch_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn quantify_adaptive_batch_bit_identical_across_thread_counts() {
+    for points in [discrete_points(15, 3, 520), mixed_points(15, 521)] {
+        let idx = PnnIndex::new(points);
+        let qs = queries(96, 522);
+        let seq: Vec<_> = qs
+            .iter()
+            .map(|&q| idx.quantify_adaptive(q, 0.05, 0.01))
+            .collect();
+        for t in THREAD_COUNTS {
+            let batch =
+                idx.quantify_adaptive_batch_with(&qs, 0.05, 0.01, &BatchOptions::with_threads(t));
+            assert_eq!(batch, seq, "threads = {t}");
+        }
+    }
+}
+
+#[test]
+fn quantify_adaptive_batch_shuffled_order_gives_permuted_results() {
+    let idx = PnnIndex::new(mixed_points(15, 523));
+    let qs = queries(120, 524);
+    let (shuffled, perm) = shuffle(&qs, 525);
+    let base = idx.quantify_adaptive_batch_with(&qs, 0.05, 0.01, &BatchOptions::with_threads(4));
+    let shuf =
+        idx.quantify_adaptive_batch_with(&shuffled, 0.05, 0.01, &BatchOptions::with_threads(4));
+    for (pos, &orig) in perm.iter().enumerate() {
+        assert_eq!(shuf[pos], base[orig]);
+    }
+}
+
+#[test]
 fn shuffled_query_order_gives_permuted_results() {
     // Per-query results must depend only on the query (and, for the fresh
     // API, its index): shuffling the batch permutes the deterministic
