@@ -78,10 +78,33 @@ fn bench_quantify_fresh_batch(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_isolated_batch_overhead(c: &mut Criterion) {
+    // The cost of per-query panic isolation (`catch_unwind` per slot plus
+    // the Result wrapping) relative to the raw batch on the same queries.
+    let mut g = c.benchmark_group("batch_isolated_overhead");
+    g.sample_size(10);
+    let n = 2_000usize;
+    let side = (n as f64).sqrt() * 8.0;
+    let objs = random_discrete(n, 3, side, 3.0, 2.0, 76);
+    let idx = PnnIndex::new(as_uncertain(&objs));
+    let queries = random_queries(2_048, side, 77);
+    for t in [1usize, 4] {
+        let opts = BatchOptions::with_threads(t);
+        g.bench_with_input(BenchmarkId::new("raw", t), &t, |b, _| {
+            b.iter(|| black_box(idx.nn_nonzero_batch_with(&queries, &opts)))
+        });
+        g.bench_with_input(BenchmarkId::new("isolated", t), &t, |b, _| {
+            b.iter(|| black_box(idx.nn_nonzero_batch_isolated_with(&queries, &opts)))
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_nn_nonzero_batch,
     bench_quantify_exact_batch,
-    bench_quantify_fresh_batch
+    bench_quantify_fresh_batch,
+    bench_isolated_batch_overhead
 );
 criterion_main!(benches);

@@ -164,12 +164,12 @@ where
             .map(|w| scope.spawn(move || worker(w)))
             .collect();
         for h in handles {
-            match h
-                .join()
-                .expect("worker thread did not panic outside catch_unwind")
-            {
-                Ok(mut p) => pieces.append(&mut p),
-                Err(e) => panic = Some(e),
+            // The worker body is fully wrapped in catch_unwind, so the
+            // outer join error case is unreachable; fold it into the same
+            // deferred-resume path as an in-closure panic.
+            match h.join() {
+                Ok(Ok(mut p)) => pieces.append(&mut p),
+                Ok(Err(e)) | Err(e) => panic = Some(e),
             }
         }
     });

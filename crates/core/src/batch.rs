@@ -36,6 +36,8 @@
 //! assert_eq!(batch, sequential);
 //! ```
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -45,6 +47,25 @@ use unn_quantify::{quantification_exact_into, quantification_monte_carlo_into, E
 use unn_quantify::AdaptiveQuantify;
 
 use crate::index::{NonzeroBackend, PnnConfig, PnnIndex, QuantifyMethod};
+use crate::resilience::{QuantifyOutcome, QueryBudget, UnnError};
+
+/// Per-slot result of an `*_isolated` batch method: the query's answer, or
+/// the typed error it degraded to (a caught panic, a non-finite query, …).
+pub type BatchOutcome<T> = Result<T, UnnError>;
+
+/// Runs one query under panic isolation: a panic anywhere below `f` is
+/// caught here, inside the worker's closure, so the rayon worker never
+/// unwinds and every other slot of the batch proceeds untouched.
+fn isolate<T>(q: Point, f: impl FnOnce() -> T) -> BatchOutcome<T> {
+    if !q.is_finite() {
+        return Err(UnnError::DegenerateGeometry {
+            reason: format!("query point has non-finite coordinate ({}, {})", q.x, q.y),
+        });
+    }
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| UnnError::QueryPanicked {
+        message: unn_quantify::panic_message(payload),
+    })
+}
 
 // Compile-time guarantee behind every `&self`-sharing batch method: the
 // index (and the config snapshot workers read) must stay `Send + Sync`.
@@ -71,14 +92,16 @@ impl BatchOptions {
         }
     }
 
-    /// Runs `op` under this policy's thread pool.
+    /// Runs `op` under this policy's thread pool. A pool that cannot be
+    /// built (resource exhaustion) degrades to the ambient pool rather
+    /// than panicking — the results are bit-identical either way, only
+    /// the parallelism differs.
     fn run<R>(&self, op: impl FnOnce() -> R) -> R {
-        match self.threads {
-            Some(n) => rayon::ThreadPoolBuilder::new()
-                .num_threads(n)
-                .build()
-                .expect("thread pool build")
-                .install(op),
+        match self
+            .threads
+            .and_then(|n| rayon::ThreadPoolBuilder::new().num_threads(n).build().ok())
+        {
+            Some(pool) => pool.install(op),
             None => op(),
         }
     }
@@ -290,6 +313,116 @@ impl PnnIndex {
                     quantification_monte_carlo_into(&self.points, q, rounds, &mut rng, pi);
                     pi.clone()
                 })
+                .collect()
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Panic-isolated batches.
+    //
+    // Each query runs under `catch_unwind` *inside* the worker's map
+    // closure: a poison query (an injected fault, a latent bug) turns into
+    // `BatchOutcome::Err` for its own slot while every other slot's result
+    // stays bit-identical to the sequential run without the poison query —
+    // the determinism contract survives partial failure. The per-worker
+    // scratch buffers stay safe across a caught panic because every
+    // `*_into` method clears them before writing.
+    // ------------------------------------------------------------------
+
+    /// [`PnnIndex::nn_nonzero_batch`] with per-query panic isolation.
+    pub fn nn_nonzero_batch_isolated(&self, queries: &[Point]) -> Vec<BatchOutcome<Vec<usize>>> {
+        self.nn_nonzero_batch_isolated_with(queries, &BatchOptions::default())
+    }
+
+    /// [`PnnIndex::nn_nonzero_batch_isolated`] under an explicit execution
+    /// policy.
+    pub fn nn_nonzero_batch_isolated_with(
+        &self,
+        queries: &[Point],
+        opts: &BatchOptions,
+    ) -> Vec<BatchOutcome<Vec<usize>>> {
+        opts.run(|| {
+            queries
+                .par_iter()
+                .map(|&q| isolate(q, || self.nn_nonzero(q)))
+                .collect()
+        })
+    }
+
+    /// [`PnnIndex::quantify_batch`] with per-query panic isolation.
+    pub fn quantify_batch_isolated(
+        &self,
+        queries: &[Point],
+    ) -> Vec<BatchOutcome<(Vec<f64>, QuantifyMethod)>> {
+        self.quantify_batch_isolated_with(queries, &BatchOptions::default())
+    }
+
+    /// [`PnnIndex::quantify_batch_isolated`] under an explicit execution
+    /// policy.
+    pub fn quantify_batch_isolated_with(
+        &self,
+        queries: &[Point],
+        opts: &BatchOptions,
+    ) -> Vec<BatchOutcome<(Vec<f64>, QuantifyMethod)>> {
+        opts.run(|| {
+            queries
+                .par_iter()
+                .map(|&q| isolate(q, || self.quantify(q)))
+                .collect()
+        })
+    }
+
+    /// [`PnnIndex::quantify_adaptive_batch`] with per-query panic
+    /// isolation.
+    pub fn quantify_adaptive_batch_isolated(
+        &self,
+        queries: &[Point],
+        eps: f64,
+        delta: f64,
+    ) -> Vec<BatchOutcome<AdaptiveQuantify>> {
+        self.quantify_adaptive_batch_isolated_with(queries, eps, delta, &BatchOptions::default())
+    }
+
+    /// [`PnnIndex::quantify_adaptive_batch_isolated`] under an explicit
+    /// execution policy.
+    pub fn quantify_adaptive_batch_isolated_with(
+        &self,
+        queries: &[Point],
+        eps: f64,
+        delta: f64,
+        opts: &BatchOptions,
+    ) -> Vec<BatchOutcome<AdaptiveQuantify>> {
+        opts.run(|| {
+            queries
+                .par_iter()
+                .map(|&q| isolate(q, || self.quantify_adaptive(q, eps, delta)))
+                .collect()
+        })
+    }
+
+    /// Budgeted batch quantification ([`PnnIndex::quantify_within`]) with
+    /// per-query panic isolation: every slot carries an exact answer, a
+    /// degraded answer with its certified accuracy, or a typed error.
+    pub fn quantify_guarded_batch(
+        &self,
+        queries: &[Point],
+        budget: QueryBudget,
+    ) -> Vec<BatchOutcome<QuantifyOutcome>> {
+        self.quantify_guarded_batch_with(queries, budget, &BatchOptions::default())
+    }
+
+    /// [`PnnIndex::quantify_guarded_batch`] under an explicit execution
+    /// policy.
+    pub fn quantify_guarded_batch_with(
+        &self,
+        queries: &[Point],
+        budget: QueryBudget,
+        opts: &BatchOptions,
+    ) -> Vec<BatchOutcome<QuantifyOutcome>> {
+        opts.run(|| {
+            queries
+                .par_iter()
+                .map(|&q| isolate(q, || self.quantify_within(q, budget)).and_then(|r| r))
                 .collect()
         })
     }

@@ -154,7 +154,13 @@ impl ExpectedVoronoi {
                 }
             }
         }
-        self.exact.expected_nn(q).expect("nonempty")
+        // The diagram is only built over a nonempty point set, so the exact
+        // fallback always has an answer; degrade to an infinite distance on
+        // index 0 in release rather than panic.
+        self.exact.expected_nn(q).unwrap_or_else(|| {
+            debug_assert!(false, "expected_nn on empty point set");
+            (0, f64::INFINITY)
+        })
     }
 
     fn exact_distance(&self, owner: usize, q: Point) -> f64 {

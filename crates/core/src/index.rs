@@ -23,6 +23,7 @@ use unn_quantify::{
 };
 
 use crate::expected::ExpectedNnIndex;
+use crate::resilience::{QuantifyOutcome, QueryBudget, UnnError, ValidationPolicy};
 
 /// Configuration for [`PnnIndex::build`].
 #[derive(Clone, Debug)]
@@ -54,6 +55,34 @@ impl Default for PnnConfig {
             numeric_steps: 2_000,
             adaptive_min_rounds: ADAPTIVE_MIN_ROUNDS,
         }
+    }
+}
+
+impl PnnConfig {
+    /// Checks every parameter against its documented range — the checks
+    /// [`PnnIndex::try_build`] runs before construction. `epsilon` and
+    /// `delta` must lie in `(0, 1)` (the spiral truncation and the
+    /// Monte-Carlo round count `m_for`/Eq. 6 are undefined outside it);
+    /// the round and step counts must be at least 1.
+    pub fn validate(&self) -> Result<(), crate::resilience::UnnError> {
+        use crate::resilience::UnnError;
+        let bad = |reason: String| Err(UnnError::InvalidConfig { reason });
+        if !(self.epsilon > 0.0 && self.epsilon < 1.0) {
+            return bad(format!("epsilon must be in (0, 1), got {}", self.epsilon));
+        }
+        if !(self.delta > 0.0 && self.delta < 1.0) {
+            return bad(format!("delta must be in (0, 1), got {}", self.delta));
+        }
+        if self.max_mc_rounds == 0 {
+            return bad("max_mc_rounds must be at least 1".into());
+        }
+        if self.numeric_steps == 0 {
+            return bad("numeric_steps must be at least 1".into());
+        }
+        if self.adaptive_min_rounds == 0 {
+            return bad("adaptive_min_rounds must be at least 1".into());
+        }
+        Ok(())
     }
 }
 
@@ -151,6 +180,209 @@ impl PnnIndex {
     /// Builds with the default configuration.
     pub fn new(points: Vec<Uncertain>) -> Self {
         Self::build(points, PnnConfig::default())
+    }
+
+    /// Fallible [`PnnIndex::build`] with strict input validation.
+    ///
+    /// Rejects (or, under [`ValidationPolicy::Repair`], fixes) inputs that
+    /// the unchecked constructor would accept and later choke on:
+    ///
+    /// * out-of-range configuration → [`UnnError::InvalidConfig`];
+    /// * distributions failing [`Uncertain::validate`] (non-finite
+    ///   coordinates, empty or non-positive-weight supports, zero-radius
+    ///   disks via the model constructors) →
+    ///   [`UnnError::InvalidDistribution`] with the offending index;
+    /// * exact duplicate points → [`UnnError::DegenerateGeometry`] under
+    ///   `Strict`, deduped (first occurrence kept) under `Repair`;
+    /// * a panic during construction (e.g. a fault injected by a
+    ///   [`unn_distr::ChaosDistribution`] behind validation) is caught and
+    ///   surfaced as [`UnnError::QueryPanicked`] — no panic escapes.
+    ///
+    /// On clean inputs both policies build indexes identical to
+    /// [`PnnIndex::build`] (asserted by the property tests).
+    pub fn try_build(
+        points: Vec<Uncertain>,
+        config: PnnConfig,
+        policy: ValidationPolicy,
+    ) -> Result<Self, UnnError> {
+        config.validate()?;
+        // Per-point validation / repair.
+        let mut kept: Vec<Uncertain> = Vec::with_capacity(points.len());
+        for (i, p) in points.into_iter().enumerate() {
+            let ok = match policy {
+                ValidationPolicy::Strict => p.validate().map(|()| p),
+                ValidationPolicy::Repair => p.repair(),
+            };
+            match ok {
+                Ok(p) => kept.push(p),
+                Err(e) => {
+                    return Err(UnnError::InvalidDistribution {
+                        index: Some(i),
+                        reason: e.to_string(),
+                    })
+                }
+            }
+        }
+        // Duplicate detection: sort by mean, then compare only within runs
+        // of equal means — near O(n log n) on non-adversarial inputs.
+        let mut order: Vec<usize> = (0..kept.len()).collect();
+        let means: Vec<Point> = kept.iter().map(|p| p.mean()).collect();
+        order.sort_by(|&a, &b| {
+            means[a]
+                .x
+                .total_cmp(&means[b].x)
+                .then(means[a].y.total_cmp(&means[b].y))
+        });
+        let mut dup_of: Vec<Option<usize>> = vec![None; kept.len()];
+        for w in 0..order.len() {
+            let i = order[w];
+            if dup_of[i].is_some() {
+                continue;
+            }
+            for &j in order[w + 1..].iter().take_while(|&&j| means[j] == means[i]) {
+                if dup_of[j].is_none() && kept[i] == kept[j] {
+                    dup_of[j] = Some(i);
+                }
+            }
+        }
+        if let Some((j, i)) = dup_of
+            .iter()
+            .enumerate()
+            .find_map(|(j, d)| d.map(|i| (j, i)))
+        {
+            let (first, second) = (i.min(j), i.max(j));
+            match policy {
+                ValidationPolicy::Strict => {
+                    return Err(UnnError::DegenerateGeometry {
+                        reason: format!("points {first} and {second} are identical"),
+                    })
+                }
+                ValidationPolicy::Repair => {
+                    let mut idx = 0;
+                    kept.retain(|_| {
+                        let keep = dup_of[idx].is_none();
+                        idx += 1;
+                        keep
+                    });
+                }
+            }
+        }
+        // Construction itself samples the models (Monte-Carlo rounds), so
+        // an injected fault can fire here; contain it.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| Self::build(kept, config)))
+            .map_err(|payload| UnnError::QueryPanicked {
+                message: unn_quantify::panic_message(payload),
+            })
+    }
+
+    /// [`PnnIndex::nn_nonzero`] that cannot panic: rejects non-finite
+    /// query coordinates with a typed error and converts any panic on the
+    /// query path into [`UnnError::QueryPanicked`].
+    pub fn try_nn_nonzero(&self, q: Point) -> Result<Vec<usize>, UnnError> {
+        if !q.is_finite() {
+            return Err(UnnError::DegenerateGeometry {
+                reason: format!("query point has non-finite coordinate ({}, {})", q.x, q.y),
+            });
+        }
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.nn_nonzero(q))).map_err(
+            |payload| UnnError::QueryPanicked {
+                message: unn_quantify::panic_message(payload),
+            },
+        )
+    }
+
+    /// The work an exact quantification answer costs at this index, in the
+    /// deterministic units of [`QueryBudget`] (location touches): the
+    /// discrete Eq. 2 sweep costs its total location count, numeric
+    /// integration costs `numeric_steps · n`.
+    pub fn exact_work(&self) -> u64 {
+        if let Some(objs) = &self.discrete {
+            objs.iter().map(|o| o.len() as u64).sum()
+        } else {
+            self.config.numeric_steps as u64 * self.points.len() as u64
+        }
+    }
+
+    /// Budgeted quantification with graceful degradation.
+    ///
+    /// If the exact answer ([`PnnIndex::quantify_exact`]) fits
+    /// `budget.effective()` work units it is returned as
+    /// [`QuantifyOutcome::Exact`]. Otherwise the query degrades to capped
+    /// adaptive Monte-Carlo — at most one pre-drawn round per remaining
+    /// work unit — and returns [`QuantifyOutcome::Degraded`] carrying the
+    /// *certified* accuracy actually achieved, which the caller must check
+    /// (it can be much larger than the configured ε under a tight budget).
+    ///
+    /// Errors with [`UnnError::BudgetExhausted`] only when not even one
+    /// Monte-Carlo round fits. Work units are deterministic, so the result
+    /// is a pure function of `(index, q, budget)` and batched budgeted
+    /// queries stay bit-identical across thread counts.
+    pub fn quantify_within(
+        &self,
+        q: Point,
+        budget: QueryBudget,
+    ) -> Result<QuantifyOutcome, UnnError> {
+        let cap = budget.effective();
+        if self.points.is_empty() {
+            return Ok(QuantifyOutcome::Exact {
+                pi: Vec::new(),
+                method: QuantifyMethod::ExactSweep,
+                work: 0,
+            });
+        }
+        let exact_work = self.exact_work();
+        if exact_work <= cap {
+            let (pi, method) = self.quantify_exact(q);
+            return Ok(QuantifyOutcome::Exact {
+                pi,
+                method,
+                work: exact_work,
+            });
+        }
+        if cap == 0 {
+            return Err(UnnError::BudgetExhausted {
+                budget: cap,
+                required: 1,
+            });
+        }
+        let max_rounds = usize::try_from(cap).unwrap_or(usize::MAX);
+        let a = self.mc.quantify_adaptive_capped(
+            q,
+            self.config.epsilon,
+            self.config.delta,
+            self.config.adaptive_min_rounds,
+            max_rounds,
+        );
+        Ok(QuantifyOutcome::Degraded {
+            work: a.rounds_used as u64,
+            achieved_epsilon: a.half_width,
+            rounds_used: a.rounds_used,
+            pi: a.pi,
+        })
+    }
+
+    /// [`PnnIndex::quantify_within`] hardened against panics: non-finite
+    /// queries become [`UnnError::DegenerateGeometry`] and a panic on the
+    /// query path becomes [`UnnError::QueryPanicked`] — this entry point
+    /// never unwinds.
+    pub fn quantify_guarded(
+        &self,
+        q: Point,
+        budget: QueryBudget,
+    ) -> Result<QuantifyOutcome, UnnError> {
+        if !q.is_finite() {
+            return Err(UnnError::DegenerateGeometry {
+                reason: format!("query point has non-finite coordinate ({}, {})", q.x, q.y),
+            });
+        }
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.quantify_within(q, budget)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(UnnError::QueryPanicked {
+                message: unn_quantify::panic_message(payload),
+            })
+        })
     }
 
     /// Number of uncertain points.

@@ -48,16 +48,18 @@ pub mod batch;
 pub mod evd;
 pub mod expected;
 pub mod index;
+pub mod resilience;
 pub mod set;
 
-pub use batch::{query_stream_seed, BatchOptions};
+pub use batch::{query_stream_seed, BatchOptions, BatchOutcome};
 pub use evd::ExpectedVoronoi;
 pub use expected::ExpectedNnIndex;
 pub use index::{PnnConfig, PnnIndex, QuantifyMethod};
+pub use resilience::{QuantifyOutcome, QueryBudget, UnnError, ValidationPolicy};
 pub use set::{LabeledIndex, UncertainSet};
 pub use unn_distr::{
-    DiscreteDistribution, HistogramDistribution, TruncatedGaussian, Uncertain, UncertainPoint,
-    UniformDisk, UniformPolygon,
+    ChaosDistribution, ChaosMode, DiscreteDistribution, DistrError, HistogramDistribution,
+    TruncatedGaussian, Uncertain, UncertainPoint, UniformDisk, UniformPolygon,
 };
 pub use unn_quantify::AdaptiveQuantify;
 

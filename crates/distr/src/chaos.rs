@@ -1,0 +1,188 @@
+//! Fault-injection distribution for resilience testing.
+//!
+//! A [`ChaosDistribution`] wraps any [`Uncertain`] model and misbehaves on
+//! demand: it can panic when a distance query hits a designated poison
+//! point, or panic / emit a NaN location on the k-th `sample()` call. It
+//! exists so the fault-injection harness (`tests/fault_injection.rs` in the
+//! workspace root) and the batch panic-isolation tests can drive *real*
+//! failures through every public entry point without patching library
+//! internals.
+//!
+//! Determinism notes, because the batch engine's contract depends on them:
+//!
+//! * [`ChaosMode::PanicAtQuery`] is a pure function of the query point —
+//!   which batch slot trips it does not depend on thread scheduling, so it
+//!   is the mode the parallel panic-isolation tests use.
+//! * The `*OnSample` modes count calls through a shared atomic counter.
+//!   Under a parallel batch the k-th call is scheduling-dependent; they are
+//!   meant for sequential harnesses (index build, single queries).
+//!
+//! This is a testing utility: it passes [`Uncertain::validate`] by
+//! delegating to the wrapped model, precisely so that a chaos point can be
+//! planted behind validation, the way a latent production fault would be.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+use rand::Rng;
+use unn_geom::{Aabb, Point};
+
+use crate::traits::UncertainPoint;
+use crate::Uncertain;
+
+/// How a [`ChaosDistribution`] misbehaves.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ChaosMode {
+    /// Distance queries (`min_dist`, `max_dist`, `distance_cdf`) panic when
+    /// evaluated at exactly this query point; all other queries delegate.
+    /// Deterministic per query — safe under parallel batches.
+    PanicAtQuery(Point),
+    /// The `k`-th call to `sample` (1-based, counted across clones' shared
+    /// history only within one value — clones restart from a snapshot)
+    /// panics; other calls delegate. Scheduling-dependent under parallelism.
+    PanicOnSample(u64),
+    /// The `k`-th call to `sample` returns `(NaN, NaN)`; other calls
+    /// delegate. Scheduling-dependent under parallelism.
+    NanOnSample(u64),
+}
+
+/// An uncertain point that injects faults (see the module docs).
+#[derive(Debug)]
+pub struct ChaosDistribution {
+    inner: Box<Uncertain>,
+    mode: ChaosMode,
+    calls: AtomicU64,
+}
+
+impl ChaosDistribution {
+    /// Wraps `inner` with the given failure mode.
+    pub fn new(inner: Uncertain, mode: ChaosMode) -> Self {
+        ChaosDistribution {
+            inner: Box::new(inner),
+            mode,
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped (well-behaved) model.
+    pub fn inner(&self) -> &Uncertain {
+        &self.inner
+    }
+
+    /// The configured failure mode.
+    pub fn mode(&self) -> ChaosMode {
+        self.mode
+    }
+
+    /// How many `sample` calls this value has served so far.
+    pub fn samples_served(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    fn poison_check(&self, q: Point) {
+        if let ChaosMode::PanicAtQuery(p) = self.mode {
+            if q == p {
+                panic!("chaos: distance query at poison point ({}, {})", q.x, q.y);
+            }
+        }
+    }
+}
+
+impl Clone for ChaosDistribution {
+    fn clone(&self) -> Self {
+        ChaosDistribution {
+            inner: self.inner.clone(),
+            mode: self.mode,
+            calls: AtomicU64::new(self.calls.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl PartialEq for ChaosDistribution {
+    /// Structural equality over the wrapped model and mode; the sample
+    /// counter is transient state and ignored.
+    fn eq(&self, other: &Self) -> bool {
+        self.mode == other.mode && self.inner == other.inner
+    }
+}
+
+impl UncertainPoint for ChaosDistribution {
+    fn min_dist(&self, q: Point) -> f64 {
+        self.poison_check(q);
+        self.inner.min_dist(q)
+    }
+
+    fn max_dist(&self, q: Point) -> f64 {
+        self.poison_check(q);
+        self.inner.max_dist(q)
+    }
+
+    fn distance_cdf(&self, q: Point, r: f64) -> f64 {
+        self.poison_check(q);
+        self.inner.distance_cdf(q, r)
+    }
+
+    fn sample(&self, rng: &mut dyn Rng) -> Point {
+        let call = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
+        match self.mode {
+            ChaosMode::PanicOnSample(k) if call == k => {
+                panic!("chaos: sample call {call} configured to panic")
+            }
+            ChaosMode::NanOnSample(k) if call == k => Point::new(f64::NAN, f64::NAN),
+            _ => self.inner.sample(rng),
+        }
+    }
+
+    fn mean(&self) -> Point {
+        self.inner.mean()
+    }
+
+    fn expected_dist(&self, q: Point) -> f64 {
+        self.poison_check(q);
+        self.inner.expected_dist(q)
+    }
+
+    fn support_bbox(&self) -> Aabb {
+        self.inner.support_bbox()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn base() -> Uncertain {
+        Uncertain::uniform_disk(Point::new(1.0, 2.0), 0.5)
+    }
+
+    #[test]
+    fn delegates_when_not_poisoned() {
+        let c = ChaosDistribution::new(base(), ChaosMode::PanicAtQuery(Point::new(9.0, 9.0)));
+        let q = Point::new(4.0, 2.0);
+        assert_eq!(c.min_dist(q), base().min_dist(q));
+        assert_eq!(c.max_dist(q), base().max_dist(q));
+        assert_eq!(c.support_bbox(), base().support_bbox());
+    }
+
+    #[test]
+    fn poison_point_panics() {
+        let p = Point::new(3.0, -1.0);
+        let c = ChaosDistribution::new(base(), ChaosMode::PanicAtQuery(p));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| c.min_dist(p)));
+        assert!(r.is_err());
+        // Any other point is fine.
+        assert!(c.min_dist(Point::new(3.0, -1.0 + 1e-9)).is_finite());
+    }
+
+    #[test]
+    fn kth_sample_faults() {
+        let c = ChaosDistribution::new(base(), ChaosMode::NanOnSample(3));
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(c.sample(&mut rng).is_finite());
+        assert!(c.sample(&mut rng).is_finite());
+        assert!(!c.sample(&mut rng).is_finite());
+        assert!(c.sample(&mut rng).is_finite());
+        assert_eq!(c.samples_served(), 4);
+    }
+}

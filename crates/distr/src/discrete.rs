@@ -20,6 +20,8 @@ pub enum DiscreteError {
     Empty,
     /// A weight was zero, negative, or non-finite.
     BadWeight(f64),
+    /// A location coordinate was NaN or infinite.
+    NonFiniteLocation(Point),
     /// Location and weight slices had different lengths.
     LengthMismatch {
         /// Number of locations supplied.
@@ -34,6 +36,9 @@ impl core::fmt::Display for DiscreteError {
         match self {
             DiscreteError::Empty => write!(f, "discrete distribution needs at least one location"),
             DiscreteError::BadWeight(w) => write!(f, "weight {w} is not positive and finite"),
+            DiscreteError::NonFiniteLocation(p) => {
+                write!(f, "location ({}, {}) is not finite", p.x, p.y)
+            }
             DiscreteError::LengthMismatch { points, weights } => {
                 write!(f, "{points} locations but {weights} weights")
             }
@@ -47,7 +52,7 @@ impl std::error::Error for DiscreteError {}
 ///
 /// Weights are normalized to sum to 1 on construction. Location order is
 /// preserved (the paper's `p_{ij}` indexing).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 #[cfg_attr(
     feature = "serde",
     derive(serde::Serialize, serde::Deserialize),
@@ -77,6 +82,9 @@ impl DiscreteDistribution {
                 weights: weights.len(),
             });
         }
+        if let Some(&p) = points.iter().find(|p| !p.is_finite()) {
+            return Err(DiscreteError::NonFiniteLocation(p));
+        }
         let mut total = 0.0;
         for &w in &weights {
             if !(w > 0.0 && w.is_finite()) {
@@ -91,7 +99,9 @@ impl DiscreteDistribution {
             acc += w;
             cum.push(acc);
         }
-        *cum.last_mut().expect("nonempty") = 1.0;
+        if let Some(last) = cum.last_mut() {
+            *last = 1.0;
+        }
         let hull = convex_hull(&points);
         let (mut mx, mut my) = (0.0, 0.0);
         for (p, w) in points.iter().zip(&weights) {
@@ -116,8 +126,53 @@ impl DiscreteDistribution {
     }
 
     /// A certain (single-location) point.
+    ///
+    /// # Panics
+    ///
+    /// If `p` is not finite.
     pub fn certain(p: Point) -> Self {
-        Self::new(vec![p], vec![1.0]).expect("valid")
+        match Self::new(vec![p], vec![1.0]) {
+            Ok(d) => d,
+            Err(e) => panic!("certain point: {e}"),
+        }
+    }
+
+    /// Builds a discrete uncertain point from possibly-degenerate input by
+    /// repairing what [`DiscreteDistribution::new`] would reject:
+    ///
+    /// * locations with non-finite coordinates are dropped (with their
+    ///   weights);
+    /// * non-positive or non-finite weights are dropped (with their
+    ///   locations);
+    /// * exactly coincident locations are merged, summing their weights.
+    ///
+    /// Returns [`DiscreteError::Empty`] when nothing survives, and
+    /// [`DiscreteError::LengthMismatch`] for unequal slice lengths (that is
+    /// an API misuse, not a data defect). On input that `new` accepts the
+    /// result is identical to `new` up to duplicate merging.
+    pub fn repair(points: Vec<Point>, weights: Vec<f64>) -> Result<Self, DiscreteError> {
+        if points.len() != weights.len() {
+            return Err(DiscreteError::LengthMismatch {
+                points: points.len(),
+                weights: weights.len(),
+            });
+        }
+        let mut kept: Vec<Point> = Vec::with_capacity(points.len());
+        let mut kept_w: Vec<f64> = Vec::with_capacity(points.len());
+        for (p, w) in points.into_iter().zip(weights) {
+            if !(p.is_finite() && w > 0.0 && w.is_finite()) {
+                continue;
+            }
+            // Merge exact duplicates (linear scan: k is the description
+            // complexity, small by assumption).
+            if let Some(j) = kept.iter().position(|&k| k == p) {
+                kept_w[j] += w;
+            } else {
+                kept.push(p);
+                kept_w.push(w);
+            }
+        }
+        Self::new(kept, kept_w)
     }
 
     /// Locations, in construction order.

@@ -1,0 +1,93 @@
+//! Typed construction and validation errors for the uncertainty models.
+//!
+//! Every fallible `try_*` constructor in this crate returns a
+//! [`DistrError`]; the legacy panicking constructors delegate to the same
+//! validation and panic with the error's message. Index-level validation
+//! (`unn::resilience`) re-checks already-constructed values through
+//! [`crate::Uncertain::validate`] and wraps this type in `UnnError`.
+
+use unn_geom::Point;
+
+use crate::discrete::DiscreteError;
+
+/// Why a distribution is (or would be) invalid.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DistrError {
+    /// A location, center, or vertex coordinate was NaN or infinite.
+    NonFiniteCoordinate {
+        /// Which model rejected the value.
+        model: &'static str,
+        /// The offending point.
+        point: Point,
+    },
+    /// A scalar parameter (radius, sigma, weight, mass) was outside its
+    /// valid range — non-positive where positivity is required, or
+    /// non-finite.
+    BadParameter {
+        /// Which model rejected the value.
+        model: &'static str,
+        /// Parameter name as it appears in the constructor.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A support that must carry probability mass was empty: no locations,
+    /// no positive mass, zero area, or an empty grid.
+    EmptySupport {
+        /// Which model rejected the input.
+        model: &'static str,
+    },
+    /// Supplied slices disagreed in length.
+    LengthMismatch {
+        /// Expected number of entries.
+        expected: usize,
+        /// Number actually supplied.
+        got: usize,
+    },
+}
+
+impl core::fmt::Display for DistrError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DistrError::NonFiniteCoordinate { model, point } => {
+                write!(
+                    f,
+                    "{model}: non-finite coordinate ({}, {})",
+                    point.x, point.y
+                )
+            }
+            DistrError::BadParameter { model, name, value } => {
+                write!(f, "{model}: parameter `{name}` = {value} is out of range")
+            }
+            DistrError::EmptySupport { model } => {
+                write!(f, "{model}: support carries no probability mass")
+            }
+            DistrError::LengthMismatch { expected, got } => {
+                write!(f, "expected {expected} entries, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistrError {}
+
+impl From<DiscreteError> for DistrError {
+    fn from(e: DiscreteError) -> Self {
+        match e {
+            DiscreteError::Empty => DistrError::EmptySupport { model: "discrete" },
+            DiscreteError::BadWeight(w) => DistrError::BadParameter {
+                model: "discrete",
+                name: "weight",
+                value: w,
+            },
+            DiscreteError::NonFiniteLocation(p) => DistrError::NonFiniteCoordinate {
+                model: "discrete",
+                point: p,
+            },
+            DiscreteError::LengthMismatch { points, weights } => DistrError::LengthMismatch {
+                expected: points,
+                got: weights,
+            },
+        }
+    }
+}

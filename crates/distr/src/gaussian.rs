@@ -16,6 +16,7 @@
 use rand::{Rng, RngExt};
 use unn_geom::{Aabb, Point, Vector};
 
+use crate::error::DistrError;
 use crate::integrate::{adaptive_simpson, integrate_piecewise};
 use crate::traits::UncertainPoint;
 
@@ -32,21 +33,63 @@ pub struct TruncatedGaussian {
 impl TruncatedGaussian {
     /// Gaussian with standard deviation `sigma`, truncated at `radius`
     /// around `center`. Both must be positive.
+    ///
+    /// # Panics
+    ///
+    /// On invalid parameters; [`TruncatedGaussian::try_new`] is the
+    /// non-panicking equivalent.
     pub fn new(center: Point, sigma: f64, radius: f64) -> Self {
-        assert!(
-            sigma > 0.0 && radius > 0.0,
-            "sigma and radius must be positive"
-        );
-        TruncatedGaussian {
+        match Self::try_new(center, sigma, radius) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: rejects a non-finite center and non-positive
+    /// or non-finite `sigma`/`radius` instead of panicking.
+    pub fn try_new(center: Point, sigma: f64, radius: f64) -> Result<Self, DistrError> {
+        if !center.is_finite() {
+            return Err(DistrError::NonFiniteCoordinate {
+                model: "gaussian",
+                point: center,
+            });
+        }
+        if !(sigma > 0.0 && sigma.is_finite()) {
+            return Err(DistrError::BadParameter {
+                model: "gaussian",
+                name: "sigma",
+                value: sigma,
+            });
+        }
+        if !(radius > 0.0 && radius.is_finite()) {
+            return Err(DistrError::BadParameter {
+                model: "gaussian",
+                name: "radius",
+                value: radius,
+            });
+        }
+        Ok(TruncatedGaussian {
             center,
             sigma,
             radius,
-        }
+        })
     }
 
     /// Truncates at `k` standard deviations (the common "3-sigma" choice).
     pub fn with_sigmas(center: Point, sigma: f64, k: f64) -> Self {
         Self::new(center, sigma, k * sigma)
+    }
+
+    /// Fallible [`TruncatedGaussian::with_sigmas`].
+    pub fn try_with_sigmas(center: Point, sigma: f64, k: f64) -> Result<Self, DistrError> {
+        Self::try_new(center, sigma, k * sigma)
+    }
+
+    /// Re-checks the construction invariants on an existing value (the
+    /// index-build validation hook; always `Ok` for values built through
+    /// the constructors of this version).
+    pub fn validate(&self) -> Result<(), DistrError> {
+        Self::try_new(self.center, self.sigma, self.radius).map(|_| ())
     }
 
     /// Center of the distribution.

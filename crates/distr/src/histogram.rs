@@ -9,10 +9,11 @@
 use rand::{Rng, RngExt};
 use unn_geom::{Aabb, Point};
 
+use crate::error::DistrError;
 use crate::traits::UncertainPoint;
 
 /// A histogram-shaped uncertain point on a regular grid.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 #[cfg_attr(
     feature = "serde",
     derive(serde::Serialize, serde::Deserialize),
@@ -33,15 +34,59 @@ impl HistogramDistribution {
     /// Builds a histogram over `bbox` with `nx × ny` cells and the given
     /// (unnormalized, non-negative) masses in row-major order. At least one
     /// mass must be positive.
+    ///
+    /// # Panics
+    ///
+    /// On invalid input; [`HistogramDistribution::try_new`] is the
+    /// non-panicking equivalent.
     pub fn new(bbox: Aabb, nx: usize, ny: usize, masses: Vec<f64>) -> Self {
-        assert!(nx > 0 && ny > 0, "grid must be non-empty");
-        assert_eq!(masses.len(), nx * ny, "mass vector length mismatch");
-        assert!(!bbox.is_empty() && bbox.width() > 0.0 && bbox.height() > 0.0);
+        match Self::try_new(bbox, nx, ny, masses) {
+            Ok(h) => h,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: rejects an empty or non-finite grid box, a
+    /// zero-cell grid, a mass vector of the wrong length, and negative or
+    /// non-finite masses (or a non-positive total) instead of panicking.
+    pub fn try_new(bbox: Aabb, nx: usize, ny: usize, masses: Vec<f64>) -> Result<Self, DistrError> {
+        if nx == 0 || ny == 0 {
+            return Err(DistrError::EmptySupport { model: "histogram" });
+        }
+        if masses.len() != nx * ny {
+            return Err(DistrError::LengthMismatch {
+                expected: nx * ny,
+                got: masses.len(),
+            });
+        }
+        if !bbox.min.is_finite() || !bbox.max.is_finite() {
+            return Err(DistrError::NonFiniteCoordinate {
+                model: "histogram",
+                point: if bbox.min.is_finite() {
+                    bbox.max
+                } else {
+                    bbox.min
+                },
+            });
+        }
+        if bbox.is_empty() || bbox.width() <= 0.0 || bbox.height() <= 0.0 {
+            return Err(DistrError::EmptySupport { model: "histogram" });
+        }
+        if let Some(&m) = masses.iter().find(|&&m| !(m >= 0.0 && m.is_finite())) {
+            return Err(DistrError::BadParameter {
+                model: "histogram",
+                name: "mass",
+                value: m,
+            });
+        }
         let total: f64 = masses.iter().sum();
-        assert!(
-            total > 0.0 && masses.iter().all(|&m| m >= 0.0 && m.is_finite()),
-            "masses must be non-negative with positive total"
-        );
+        if !(total > 0.0 && total.is_finite()) {
+            return Err(DistrError::BadParameter {
+                model: "histogram",
+                name: "total mass",
+                value: total,
+            });
+        }
         let mass: Vec<f64> = masses.iter().map(|m| m / total).collect();
         let mut cum = Vec::with_capacity(mass.len());
         let mut acc = 0.0;
@@ -49,7 +94,9 @@ impl HistogramDistribution {
             acc += m;
             cum.push(acc);
         }
-        *cum.last_mut().expect("nonempty") = 1.0;
+        if let Some(last) = cum.last_mut() {
+            *last = 1.0;
+        }
         let (cw, ch) = (bbox.width() / nx as f64, bbox.height() / ny as f64);
         let (mut mx, mut my) = (0.0, 0.0);
         for iy in 0..ny {
@@ -59,14 +106,20 @@ impl HistogramDistribution {
                 my += m * (bbox.min.y + (iy as f64 + 0.5) * ch);
             }
         }
-        HistogramDistribution {
+        Ok(HistogramDistribution {
             bbox,
             nx,
             ny,
             mass,
             cum,
             mean: Point::new(mx, my),
-        }
+        })
+    }
+
+    /// Re-checks the construction invariants on an existing value (the
+    /// index-build validation hook).
+    pub fn validate(&self) -> Result<(), DistrError> {
+        Self::try_new(self.bbox, self.nx, self.ny, self.mass.clone()).map(|_| ())
     }
 
     /// Grid resolution `(nx, ny)`.

@@ -11,7 +11,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod discrete;
+pub mod error;
 pub mod gaussian;
 pub mod histogram;
 pub mod integrate;
@@ -19,7 +21,9 @@ pub mod traits;
 pub mod uniform_disk;
 pub mod uniform_polygon;
 
+pub use chaos::{ChaosDistribution, ChaosMode};
 pub use discrete::{AliasTable, DiscreteDistribution, DiscreteError};
+pub use error::DistrError;
 pub use gaussian::TruncatedGaussian;
 pub use histogram::{circle_rect_overlap_area, HistogramDistribution};
 pub use traits::UncertainPoint;
@@ -34,7 +38,7 @@ use unn_geom::{Aabb, Disk, Point};
 /// Dispatches [`UncertainPoint`] over the concrete models; use this for
 /// heterogeneous inputs (e.g. a sensor database mixing GPS disks and
 /// particle-filter histograms).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Uncertain {
     /// Discrete distribution of description complexity `k`.
@@ -47,6 +51,8 @@ pub enum Uncertain {
     Histogram(HistogramDistribution),
     /// Uniform distribution over a convex polygon.
     Polygon(UniformPolygon),
+    /// Fault-injection wrapper for resilience testing (see [`chaos`]).
+    Chaos(ChaosDistribution),
 }
 
 impl Uncertain {
@@ -87,7 +93,60 @@ impl Uncertain {
     pub fn discretize(&self, k: usize, rng: &mut dyn Rng) -> DiscreteDistribution {
         assert!(k > 0, "need at least one sample");
         let pts: Vec<Point> = (0..k).map(|_| self.sample(rng)).collect();
-        DiscreteDistribution::uniform(pts).expect("k > 0 locations")
+        match DiscreteDistribution::uniform(pts) {
+            Ok(d) => d,
+            // k > 0 locations were drawn; only non-finite samples (a faulty
+            // model) can fail here.
+            Err(e) => panic!("discretize: {e}"),
+        }
+    }
+
+    /// Checks that this value satisfies every construction invariant of its
+    /// model: finite coordinates, positive weights/masses/radii, non-empty
+    /// support. Always `Ok` for values built through this crate's checked
+    /// constructors; catches values deserialized or constructed around them.
+    ///
+    /// A [`Chaos`](Uncertain::Chaos) wrapper validates its *inner* model —
+    /// it is a testing double and deliberately passes as whatever it wraps.
+    pub fn validate(&self) -> Result<(), DistrError> {
+        match self {
+            Uncertain::Discrete(d) => {
+                // `DiscreteDistribution` re-validated through its own
+                // constructor on the defining data.
+                DiscreteDistribution::new(d.points().to_vec(), d.weights().to_vec())
+                    .map(|_| ())
+                    .map_err(DistrError::from)
+            }
+            Uncertain::UniformDisk(u) => u.validate(),
+            Uncertain::Gaussian(g) => g.validate(),
+            Uncertain::Histogram(h) => h.validate(),
+            Uncertain::Polygon(p) => p.validate(),
+            Uncertain::Chaos(c) => c.inner().validate(),
+        }
+    }
+
+    /// Returns a repaired copy of this value, fixing what [`validate`]
+    /// (see [`Uncertain::validate`]) would reject when a fix is
+    /// well-defined, and erroring otherwise:
+    ///
+    /// * discrete: non-finite locations and non-positive weights are
+    ///   dropped, coincident locations merged
+    ///   ([`DiscreteDistribution::repair`]);
+    /// * everything else: validation failures are unrepairable (there is no
+    ///   canonical fix for a NaN center or a zero-area support) and return
+    ///   the underlying error.
+    ///
+    /// On already-valid input this returns a value that behaves identically
+    /// (discrete points may still have coincident locations merged, which
+    /// does not change the distribution).
+    pub fn repair(&self) -> Result<Uncertain, DistrError> {
+        match self {
+            Uncertain::Discrete(d) => {
+                let r = DiscreteDistribution::repair(d.points().to_vec(), d.weights().to_vec())?;
+                Ok(Uncertain::Discrete(r))
+            }
+            other => other.validate().map(|()| other.clone()),
+        }
     }
 
     /// Sample count `k(α)` from Theorem 4.5 for accuracy `alpha` and failure
@@ -109,6 +168,7 @@ macro_rules! dispatch {
             Uncertain::Gaussian($u) => $body,
             Uncertain::Histogram($u) => $body,
             Uncertain::Polygon($u) => $body,
+            Uncertain::Chaos($u) => $body,
         }
     };
 }

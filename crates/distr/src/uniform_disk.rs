@@ -12,6 +12,7 @@
 use rand::{Rng, RngExt};
 use unn_geom::{Aabb, Disk, Point, Vector};
 
+use crate::error::DistrError;
 use crate::integrate::adaptive_simpson;
 use crate::traits::UncertainPoint;
 
@@ -24,14 +25,71 @@ pub struct UniformDisk {
 
 impl UniformDisk {
     /// Uniform distribution over the given disk (radius must be positive).
+    ///
+    /// # Panics
+    ///
+    /// On invalid input; [`UniformDisk::try_new`] is the non-panicking
+    /// equivalent.
     pub fn new(disk: Disk) -> Self {
-        assert!(disk.radius > 0.0, "uniform disk needs positive radius");
-        UniformDisk { disk }
+        match Self::try_new(disk) {
+            Ok(u) => u,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: rejects a non-finite center and a zero,
+    /// negative, or non-finite radius instead of panicking. (A zero-radius
+    /// disk is a *certain* point; model it as
+    /// [`crate::DiscreteDistribution::certain`].)
+    pub fn try_new(disk: Disk) -> Result<Self, DistrError> {
+        if !disk.center.is_finite() {
+            return Err(DistrError::NonFiniteCoordinate {
+                model: "uniform-disk",
+                point: disk.center,
+            });
+        }
+        if !(disk.radius > 0.0 && disk.radius.is_finite()) {
+            return Err(DistrError::BadParameter {
+                model: "uniform-disk",
+                name: "radius",
+                value: disk.radius,
+            });
+        }
+        Ok(UniformDisk { disk })
     }
 
     /// Convenience constructor from center and radius.
     pub fn from_center(center: Point, radius: f64) -> Self {
-        Self::new(Disk::new(center, radius))
+        match Self::try_from_center(center, radius) {
+            Ok(u) => u,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`UniformDisk::from_center`].
+    pub fn try_from_center(center: Point, radius: f64) -> Result<Self, DistrError> {
+        if !center.is_finite() {
+            return Err(DistrError::NonFiniteCoordinate {
+                model: "uniform-disk",
+                point: center,
+            });
+        }
+        if !(radius > 0.0 && radius.is_finite()) {
+            return Err(DistrError::BadParameter {
+                model: "uniform-disk",
+                name: "radius",
+                value: radius,
+            });
+        }
+        Ok(UniformDisk {
+            disk: Disk::new(center, radius),
+        })
+    }
+
+    /// Re-checks the construction invariants on an existing value (the
+    /// index-build validation hook).
+    pub fn validate(&self) -> Result<(), DistrError> {
+        Self::try_new(self.disk).map(|_| ())
     }
 
     /// The support disk.

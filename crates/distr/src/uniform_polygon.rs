@@ -11,11 +11,12 @@ use rand::{Rng, RngExt};
 use unn_geom::circular::circle_polygon_area;
 use unn_geom::{Aabb, ConvexPolygon, Point, Vector};
 
+use crate::error::DistrError;
 use crate::integrate::adaptive_simpson;
 use crate::traits::UncertainPoint;
 
 /// An uncertain point uniform over a convex polygon.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 #[cfg_attr(
     feature = "serde",
     derive(serde::Serialize, serde::Deserialize),
@@ -32,12 +33,44 @@ pub struct UniformPolygon {
 
 impl UniformPolygon {
     /// Builds from a convex polygon with positive area (CCW vertices).
+    ///
+    /// # Panics
+    ///
+    /// On invalid input; [`UniformPolygon::try_new`] is the non-panicking
+    /// equivalent.
     pub fn new(poly: ConvexPolygon) -> Self {
+        match Self::try_new(poly) {
+            Ok(u) => u,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: rejects non-finite vertices and zero-area
+    /// (degenerate, fewer than 3 vertices, or collinear) polygons instead
+    /// of panicking.
+    pub fn try_new(poly: ConvexPolygon) -> Result<Self, DistrError> {
+        if let Some(&v) = poly.vertices().iter().find(|v| !v.is_finite()) {
+            return Err(DistrError::NonFiniteCoordinate {
+                model: "uniform-polygon",
+                point: v,
+            });
+        }
         let area = poly.area();
-        assert!(
-            area > 0.0 && poly.len() >= 3,
-            "uniform polygon needs positive area"
-        );
+        if !(area > 0.0 && area.is_finite()) || poly.len() < 3 {
+            return Err(DistrError::EmptySupport {
+                model: "uniform-polygon",
+            });
+        }
+        Ok(Self::new_unchecked(poly, area))
+    }
+
+    /// Re-checks the construction invariants on an existing value (the
+    /// index-build validation hook).
+    pub fn validate(&self) -> Result<(), DistrError> {
+        Self::try_new(self.poly.clone()).map(|_| ())
+    }
+
+    fn new_unchecked(poly: ConvexPolygon, area: f64) -> Self {
         let verts = poly.vertices();
         let v0 = verts[0];
         let mut fan_cum = Vec::with_capacity(verts.len() - 2);

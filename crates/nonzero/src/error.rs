@@ -1,0 +1,58 @@
+//! Typed errors for the `NN≠0` index constructors.
+
+use unn_geom::Point;
+
+/// Why a nonzero-NN index could not be built.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NonzeroError {
+    /// A support disk has a non-finite center or radius.
+    NonFiniteDisk {
+        /// Index of the offending disk in the input slice.
+        index: usize,
+    },
+    /// A support disk has a negative radius (zero is allowed: it models a
+    /// zero-extent, i.e. certain, point).
+    NegativeRadius {
+        /// Index of the offending disk in the input slice.
+        index: usize,
+        /// The offending radius.
+        radius: f64,
+    },
+    /// A discrete support set is empty.
+    EmptySupport {
+        /// Index of the offending object in the input slice.
+        index: usize,
+    },
+    /// A discrete support contains a non-finite location.
+    NonFiniteLocation {
+        /// Index of the offending object in the input slice.
+        index: usize,
+        /// The offending location.
+        point: Point,
+    },
+}
+
+impl core::fmt::Display for NonzeroError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NonzeroError::NonFiniteDisk { index } => {
+                write!(f, "disk {index} has a non-finite center or radius")
+            }
+            NonzeroError::NegativeRadius { index, radius } => {
+                write!(f, "disk {index} has negative radius {radius}")
+            }
+            NonzeroError::EmptySupport { index } => {
+                write!(f, "object {index} has an empty support set")
+            }
+            NonzeroError::NonFiniteLocation { index, point } => {
+                write!(
+                    f,
+                    "object {index} has a non-finite location ({}, {})",
+                    point.x, point.y
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for NonzeroError {}

@@ -10,6 +10,7 @@
 pub mod apollonius;
 pub mod branchprune;
 pub mod discrete;
+pub mod error;
 pub mod gamma;
 pub mod guaranteed;
 pub mod linf;
@@ -24,6 +25,7 @@ pub use discrete::{
     count_distinct_discrete, discrete_nonzero_vertices, forbidden_region,
     DiscreteNonzeroSubdivision, DiscreteVertex,
 };
+pub use error::NonzeroError;
 pub use gamma::{envelope, EnvArc, GammaCurve};
 pub use guaranteed::GuaranteedNnIndex;
 pub use linf::{l1_dist, linf_dist, linf_max_dist, linf_min_dist, LinfNonzeroIndex};

@@ -134,7 +134,13 @@ impl NonzeroSubdivision {
             labels[start] = Some(PersistentSet::from_iter(base.iter().map(|&x| x as u32)));
             let mut queue = std::collections::VecDeque::from([start as u32]);
             while let Some(fi) = queue.pop_front() {
-                let parent = labels[fi as usize].clone().expect("labeled");
+                // Only faces whose label was just written are enqueued, so
+                // this is always `Some`; skipping (instead of panicking)
+                // degrades to an unlabeled face if the invariant ever broke.
+                let Some(parent) = labels[fi as usize].clone() else {
+                    debug_assert!(false, "BFS dequeued unlabeled face {fi}");
+                    continue;
+                };
                 for &nb in &adj[fi as usize] {
                     if labels[nb as usize].is_some() {
                         continue;

@@ -20,6 +20,8 @@ use unn_geom::hull::{convex_hull, farthest_on_hull, nearest_dist};
 use unn_geom::{Disk, Point};
 use unn_spatial::KdTree;
 
+use crate::error::NonzeroError;
+
 /// `NN≠0` index for uncertain points with disk supports (Theorem 3.1).
 ///
 /// ```
@@ -41,6 +43,24 @@ pub struct DiskNonzeroIndex {
 }
 
 impl DiskNonzeroIndex {
+    /// Fallible [`DiskNonzeroIndex::new`]: rejects non-finite centers or
+    /// radii and negative radii with a typed error. Zero radii are valid —
+    /// they model zero-extent (certain) supports.
+    pub fn try_new(disks: &[Disk]) -> Result<Self, NonzeroError> {
+        for (index, d) in disks.iter().enumerate() {
+            if !(d.center.is_finite() && d.radius.is_finite()) {
+                return Err(NonzeroError::NonFiniteDisk { index });
+            }
+            if d.radius < 0.0 {
+                return Err(NonzeroError::NegativeRadius {
+                    index,
+                    radius: d.radius,
+                });
+            }
+        }
+        Ok(Self::new(disks))
+    }
+
     /// Builds the index from the support disks.
     pub fn new(disks: &[Disk]) -> Self {
         let centers: Vec<Point> = disks.iter().map(|d| d.center).collect();
@@ -148,6 +168,20 @@ pub struct DiscreteNonzeroIndex {
 }
 
 impl DiscreteNonzeroIndex {
+    /// Fallible [`DiscreteNonzeroIndex::new`]: rejects empty supports and
+    /// non-finite locations with a typed error instead of asserting.
+    pub fn try_new(objects: &[Vec<Point>]) -> Result<Self, NonzeroError> {
+        for (index, o) in objects.iter().enumerate() {
+            if o.is_empty() {
+                return Err(NonzeroError::EmptySupport { index });
+            }
+            if let Some(&point) = o.iter().find(|p| !p.is_finite()) {
+                return Err(NonzeroError::NonFiniteLocation { index, point });
+            }
+        }
+        Ok(Self::new(objects))
+    }
+
     /// Builds from explicit location sets (weights are irrelevant to
     /// `NN≠0`, which depends only on supports).
     pub fn new(objects: &[Vec<Point>]) -> Self {

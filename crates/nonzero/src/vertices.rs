@@ -89,9 +89,13 @@ pub fn nonzero_vertices(disks: &[Disk], tol_rel: f64) -> Vec<NonzeroVertex> {
         if !v.is_finite() {
             return false;
         }
-        let (_, min_v) = tree
-            .min_adjusted(v, &|l| centers[l].dist(v) + radii[l])
-            .expect("nonempty");
+        // `n >= 3` here (checked by the caller), so the tree is nonempty
+        // and the traversal always yields a minimum; rejecting the vertex
+        // is the safe degradation if that invariant ever broke.
+        let Some((_, min_v)) = tree.min_adjusted(v, &|l| centers[l].dist(v) + radii[l]) else {
+            debug_assert!(false, "min_adjusted on empty tree despite n >= 3");
+            return false;
+        };
         val <= min_v + tol_abs
     };
 

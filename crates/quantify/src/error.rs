@@ -1,0 +1,36 @@
+//! Typed errors for the quantification estimators.
+
+/// Why a quantification structure could not be built or queried.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QuantifyError {
+    /// The input set is degenerate for the requested structure (non-finite
+    /// locations, duplicate sites feeding a bisector arrangement, …).
+    DegenerateInput(String),
+    /// Construction or evaluation panicked; the panic was caught at the
+    /// API boundary and converted (the `try_*` entry points guarantee no
+    /// panic escapes them).
+    Panicked(String),
+}
+
+impl core::fmt::Display for QuantifyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            QuantifyError::DegenerateInput(why) => write!(f, "degenerate input: {why}"),
+            QuantifyError::Panicked(msg) => write!(f, "caught panic: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QuantifyError {}
+
+/// Best-effort extraction of a panic payload's message (panics carry
+/// `&str` or `String` in practice).
+pub fn panic_message(payload: Box<dyn core::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

@@ -15,6 +15,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod exact;
 pub mod knn;
 pub mod montecarlo;
@@ -23,6 +24,7 @@ pub mod spiral;
 pub mod threshold;
 pub mod vpr;
 
+pub use error::{panic_message, QuantifyError};
 pub use exact::{
     quantification_exact, quantification_exact_into, quantification_exact_recompute, ExactScratch,
 };

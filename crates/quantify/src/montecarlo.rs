@@ -194,16 +194,33 @@ impl MonteCarloIndex {
     /// distance; `f64::INFINITY` disables pruning).
     #[inline]
     fn round_winner(&self, round: usize, q: Point, init_best: f64) -> usize {
+        // Invariant: callers check `n > 0`, so every round holds `n >= 1`
+        // locations and a descent always finds a neighbor. The `0` arms are
+        // unreachable; they exist so a violated invariant degrades to a
+        // wrong-but-typed answer in release builds instead of a panic on
+        // the query hot path.
         match &self.storage {
             McStorage::Forest(f) => {
-                f.nearest_within(round, q, init_best)
-                    // The seed provably contains the NN; the fallback only
-                    // guards against last-ulp rounding of the seed itself.
+                // The seed provably contains the NN; the `nearest` fallback
+                // only guards against last-ulp rounding of the seed itself.
+                match f
+                    .nearest_within(round, q, init_best)
                     .or_else(|| f.nearest(round, q))
-                    .expect("nonempty round")
-                    .id
+                {
+                    Some(nb) => nb.id,
+                    None => {
+                        debug_assert!(false, "round {round} empty despite n > 0");
+                        0
+                    }
+                }
             }
-            McStorage::Del(ds) => ds[round].nearest(q).expect("nonempty round").0,
+            McStorage::Del(ds) => match ds[round].nearest(q) {
+                Some((id, _)) => id,
+                None => {
+                    debug_assert!(false, "round {round} empty despite n > 0");
+                    0
+                }
+            },
         }
     }
 
@@ -246,7 +263,18 @@ impl MonteCarloIndex {
                         if obj != u32::MAX {
                             obj
                         } else {
-                            f.nearest(r, q).expect("nonempty round").id as u32
+                            // Ball missed this round (seed rounded below
+                            // the NN distance by an ulp): rerun as a
+                            // descent. `n > 0` here, so the descent finds a
+                            // neighbor; 0 is the typed-degradation arm for
+                            // a violated invariant in release builds.
+                            match f.nearest(r, q) {
+                                Some(nb) => nb.id as u32,
+                                None => {
+                                    debug_assert!(false, "round {r} empty despite n > 0");
+                                    0
+                                }
+                            }
                         }
                     }));
                     return;
@@ -395,6 +423,27 @@ impl MonteCarloIndex {
         delta: f64,
         min_rounds: usize,
     ) -> AdaptiveQuantify {
+        self.quantify_adaptive_capped(q, eps, delta, min_rounds, self.s)
+    }
+
+    /// [`MonteCarloIndex::quantify_adaptive_from`] restricted to at most
+    /// `max_rounds` of the pre-drawn rounds — the budgeted-degradation
+    /// primitive: the caller caps the work and reads the honestly certified
+    /// accuracy back from [`AdaptiveQuantify::half_width`].
+    ///
+    /// The doubling schedule saturates at the cap, so the final consumed
+    /// round is always a checkpoint and `half_width` is always the
+    /// certified bound for the returned estimates (never stale). With
+    /// `max_rounds >= s` this is exactly `quantify_adaptive_from` —
+    /// bit-identical, preserving the batch determinism contract.
+    pub fn quantify_adaptive_capped(
+        &self,
+        q: Point,
+        eps: f64,
+        delta: f64,
+        min_rounds: usize,
+        max_rounds: usize,
+    ) -> AdaptiveQuantify {
         assert!(eps > 0.0, "eps must be positive");
         assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
         if self.n == 0 {
@@ -404,7 +453,7 @@ impl MonteCarloIndex {
                 half_width: 0.0,
             };
         }
-        let s = self.s;
+        let s = max_rounds.clamp(1, self.s);
         let first = min_rounds.clamp(1, s);
         // Number of checkpoints in the doubling schedule — the union bound
         // spends delta / (checkpoints · n) per point per checkpoint.
@@ -427,8 +476,10 @@ impl MonteCarloIndex {
         // fold (same cost as one fixed-`s` query); early stopping then only
         // trims the counting prefix. The Delaunay backend stays incremental
         // so stopping at `t` rounds really does skip `s - t` searches.
+        // Under a work cap below `s` the prefetch would overspend the
+        // budget, so the capped path goes incremental too.
         let mut winners = Vec::new();
-        if self.global.is_some() {
+        if self.global.is_some() && s == self.s {
             self.winners_into(q, seed, &mut winners);
         }
         let mut counts = vec![0u32; self.n];

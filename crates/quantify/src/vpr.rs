@@ -16,6 +16,7 @@ use unn_geom::arrangement::{Arrangement, FaceLocator};
 use unn_geom::segment::Line;
 use unn_geom::{Aabb, Point, Segment};
 
+use crate::error::{panic_message, QuantifyError};
 use crate::exact::quantification_exact;
 
 /// Exact quantification-probability point-location structure.
@@ -75,6 +76,33 @@ impl ProbabilisticVoronoi {
             objects: objects.to_vec(),
             bbox,
         }
+    }
+
+    /// Fallible [`ProbabilisticVoronoi::build`]: validates the inputs
+    /// (finite box, finite support locations) and converts any construction
+    /// panic into [`QuantifyError::Panicked`] instead of unwinding through
+    /// the caller.
+    pub fn try_build(objects: &[DiscreteDistribution], bbox: Aabb) -> Result<Self, QuantifyError> {
+        if !(bbox.min.is_finite() && bbox.max.is_finite()) {
+            return Err(QuantifyError::DegenerateInput(
+                "bounding box has non-finite corners".into(),
+            ));
+        }
+        if !(bbox.min.x < bbox.max.x && bbox.min.y < bbox.max.y) {
+            return Err(QuantifyError::DegenerateInput(
+                "bounding box is empty or inverted".into(),
+            ));
+        }
+        for (i, o) in objects.iter().enumerate() {
+            if let Some(p) = o.points().iter().find(|p| !p.is_finite()) {
+                return Err(QuantifyError::DegenerateInput(format!(
+                    "object {i} has non-finite location ({}, {})",
+                    p.x, p.y
+                )));
+            }
+        }
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| Self::build(objects, bbox)))
+            .map_err(|payload| QuantifyError::Panicked(panic_message(payload)))
     }
 
     /// All `π_i(q)` by point location (`O(log N + n)`); falls back to the
@@ -162,7 +190,9 @@ impl ProbabilisticVoronoi {
                 let r = 0.2 + 0.7 * ((i + 1) as f64 / n as f64);
                 let near = Point::new(r * a.cos(), r * a.sin());
                 let far = Point::new(100.0 + 0.01 * i as f64, 0.002 * i as f64);
-                DiscreteDistribution::new(vec![near, far], vec![0.5, 0.5]).expect("valid")
+                // Literal finite locations and weights: `new` cannot fail.
+                DiscreteDistribution::new(vec![near, far], vec![0.5, 0.5])
+                    .unwrap_or_else(|e| unreachable!("{e}"))
             })
             .collect()
     }

@@ -131,8 +131,11 @@ impl QuadTree {
         frontier.push(Reverse(Entry(0.0, 0)));
         // Max-heap of current best m (dist, id).
         let mut best: BinaryHeap<Entry> = BinaryHeap::new();
+        // Worst distance currently kept; +inf while fewer than `m` found
+        // (and for `m == 0`, where the heap stays empty throughout).
+        let worst = |best: &BinaryHeap<Entry>| best.peek().map_or(f64::INFINITY, |e| e.0);
         while let Some(Reverse(Entry(lb, node))) = frontier.pop() {
-            if best.len() == m && lb >= best.peek().expect("nonempty").0 {
+            if best.len() == m && lb >= worst(&best) {
                 break; // no remaining node can improve
             }
             match &self.nodes[node as usize].kind {
@@ -141,7 +144,7 @@ impl QuadTree {
                         let d = self.pts[id as usize].dist(q);
                         if best.len() < m {
                             best.push(Entry(d, id));
-                        } else if d < best.peek().expect("nonempty").0 {
+                        } else if d < worst(&best) {
                             best.pop();
                             best.push(Entry(d, id));
                         }
@@ -150,7 +153,7 @@ impl QuadTree {
                 NodeKind::Internal { children } => {
                     for &c in children {
                         let lb = self.nodes[c as usize].bbox.min_dist(q);
-                        if best.len() < m || lb < best.peek().expect("nonempty").0 {
+                        if best.len() < m || lb < worst(&best) {
                             frontier.push(Reverse(Entry(lb, c)));
                         }
                     }

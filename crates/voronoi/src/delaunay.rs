@@ -65,6 +65,16 @@ pub struct Delaunay {
 }
 
 impl Delaunay {
+    /// Fallible [`Delaunay::new`]: rejects non-finite sites with a typed
+    /// error. Duplicates and collinear sets remain *valid* inputs (they
+    /// trigger the brute-force fallback, not an error).
+    pub fn try_new(points: &[Point]) -> Result<Self, crate::error::VoronoiError> {
+        if let Some((index, &point)) = points.iter().enumerate().find(|(_, p)| !p.is_finite()) {
+            return Err(crate::error::VoronoiError::NonFiniteSite { index, point });
+        }
+        Ok(Self::new(points))
+    }
+
     /// Builds the triangulation. Accepts any input, including duplicates and
     /// collinear sets (which trigger the brute-force fallback).
     pub fn new(points: &[Point]) -> Self {
@@ -319,9 +329,16 @@ impl Delaunay {
                     usize::MAX
                 } else {
                     let o = &self.tris[nb as usize];
-                    (0..3)
-                        .find(|&j| o.v[(j + 1) % 3] == v && o.v[(j + 2) % 3] == u)
-                        .expect("mutual adjacency")
+                    match (0..3).find(|&j| o.v[(j + 1) % 3] == v && o.v[(j + 2) % 3] == u) {
+                        Some(j) => j,
+                        // Adjacency is mutual by construction; a miss here
+                        // means a corrupted triangulation. Treat the edge as
+                        // hull boundary in release rather than panic.
+                        None => {
+                            debug_assert!(false, "adjacency of {nb} and {ti} not mutual");
+                            usize::MAX
+                        }
+                    }
                 };
                 boundary.push((u, v, nb, oi));
             }
@@ -341,7 +358,7 @@ impl Delaunay {
                 n: [nb, NONE, NONE], // n[0] opposite vid = edge (u, v)
                 alive: true,
             });
-            if nb != NONE {
+            if nb != NONE && oi != usize::MAX {
                 self.tris[nb as usize].n[oi] = ti;
             }
             // Edges (vid, u) [opposite v, local 2] and (v, vid) [opposite u,
@@ -426,10 +443,13 @@ impl Delaunay {
         let mut cur = start;
         loop {
             let t = &self.tris[cur as usize];
-            let i =
-                t.v.iter()
-                    .position(|&x| x == v as u32)
-                    .expect("vertex in incident triangle");
+            // `vert_tri`/rotation only ever visit triangles incident to `v`;
+            // a miss means corrupted adjacency. Return the partial ring in
+            // release rather than panic.
+            let Some(i) = t.v.iter().position(|&x| x == v as u32) else {
+                debug_assert!(false, "triangle {cur} not incident to vertex {v}");
+                break;
+            };
             let next_v = t.v[(i + 1) % 3];
             if next_v != GHOST {
                 out.push(next_v as usize);
@@ -462,7 +482,11 @@ impl Delaunay {
         }
         let t = self.locate(self.last, q);
         let tri = &self.tris[t as usize];
-        let mut cur: u32 = *tri
+        // Every triangle (ghost included) has >= 1 real vertex. Starting the
+        // descent at vertex 0 is still correct if that invariant ever broke:
+        // greedy routing on the Delaunay graph converges to the nearest site
+        // from any start, just in more hops.
+        let mut cur: u32 = tri
             .v
             .iter()
             .filter(|&&v| v != GHOST)
@@ -471,7 +495,11 @@ impl Delaunay {
                     .dist2(q)
                     .total_cmp(&self.pts[b as usize].dist2(q))
             })
-            .expect("triangle has a real vertex");
+            .copied()
+            .unwrap_or_else(|| {
+                debug_assert!(false, "triangle {t} has no real vertex");
+                0
+            });
         // Greedy descent over Delaunay neighbors (Bose–Morin guarantees
         // convergence to the true nearest site).
         loop {
@@ -520,7 +548,11 @@ impl Delaunay {
             out.truncate(m);
             return;
         }
-        let (start, _) = self.nearest(q).expect("nonempty");
+        // `nearest` returns Some whenever `pts` is nonempty (checked above).
+        let Some((start, _)) = self.nearest(q) else {
+            debug_assert!(false, "nearest returned None on nonempty point set");
+            return;
+        };
         let mut visited = vec![false; self.pts.len()];
         let found = out;
         let mut queue = std::collections::VecDeque::from([start]);

@@ -1,0 +1,33 @@
+//! Typed errors for triangulation construction.
+
+use unn_geom::Point;
+
+/// Why a Delaunay triangulation could not be built.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VoronoiError {
+    /// An input site has a non-finite coordinate. The exact adaptive
+    /// predicates are only meaningful over finite floats, so these are
+    /// rejected up front rather than poisoning the incremental insertion.
+    NonFiniteSite {
+        /// Index of the offending site in the input slice.
+        index: usize,
+        /// The offending site.
+        point: Point,
+    },
+}
+
+impl core::fmt::Display for VoronoiError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            VoronoiError::NonFiniteSite { index, point } => {
+                write!(
+                    f,
+                    "site {index} has a non-finite coordinate ({}, {})",
+                    point.x, point.y
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for VoronoiError {}

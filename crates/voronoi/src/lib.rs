@@ -8,5 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod delaunay;
+pub mod error;
 
 pub use delaunay::Delaunay;
+pub use error::VoronoiError;

@@ -7,7 +7,7 @@ use rand::{Rng, RngExt, SeedableRng};
 use unn::batch::{query_stream_seed, BatchOptions};
 use unn::distr::{DiscreteDistribution, TruncatedGaussian};
 use unn::geom::Point;
-use unn::{PnnIndex, Uncertain};
+use unn::{ChaosDistribution, ChaosMode, PnnIndex, Uncertain, UnnError};
 
 fn discrete_points(n: usize, k: usize, seed: u64) -> Vec<Uncertain> {
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -204,6 +204,52 @@ fn ten_thousand_query_batch_matches_sequential() {
     assert_eq!(idx.nn_nonzero_batch_with(&qs, &opts), seq_nz);
     let seq_e: Vec<_> = qs.iter().map(|&q| idx.expected_nn(q)).collect();
     assert_eq!(idx.expected_nn_batch_with(&qs, &opts), seq_e);
+}
+
+#[test]
+fn ten_thousand_query_batch_isolates_one_poison_query() {
+    // The panic-isolation extension of the determinism contract: a 10k
+    // batch containing one poison query completes with exactly that slot
+    // reporting `QueryPanicked`, and every other slot bit-identical to the
+    // sequential run without the poison query — at 1, 2, and 8 threads.
+    let poison = Point::new(4321.0625, -8765.4375);
+    let mut points = mixed_points(12, 530);
+    points.push(Uncertain::Chaos(ChaosDistribution::new(
+        Uncertain::uniform_disk(Point::new(2.0, -1.0), 1.0),
+        // A pure function of the query point: which slot trips it cannot
+        // depend on thread scheduling.
+        ChaosMode::PanicAtQuery(poison),
+    )));
+    let idx = PnnIndex::new(points);
+    let mut qs = queries(10_000, 531);
+    let poison_slot = 617;
+    qs[poison_slot] = poison;
+
+    // Sequential reference over the clean queries only.
+    let seq: Vec<Option<Vec<usize>>> = qs
+        .iter()
+        .enumerate()
+        .map(|(i, &q)| (i != poison_slot).then(|| idx.nn_nonzero(q)))
+        .collect();
+
+    for t in THREAD_COUNTS {
+        let batch = idx.nn_nonzero_batch_isolated_with(&qs, &BatchOptions::with_threads(t));
+        assert_eq!(batch.len(), qs.len());
+        for (i, slot) in batch.iter().enumerate() {
+            if i == poison_slot {
+                assert!(
+                    matches!(slot, Err(UnnError::QueryPanicked { .. })),
+                    "threads = {t}: poison slot reported {slot:?}"
+                );
+            } else {
+                assert_eq!(
+                    slot.as_ref().ok(),
+                    seq[i].as_ref(),
+                    "threads = {t}, slot = {i}"
+                );
+            }
+        }
+    }
 }
 
 #[test]

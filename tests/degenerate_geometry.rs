@@ -1,0 +1,193 @@
+//! Property tests feeding degenerate geometry through the resilient
+//! pipeline: duplicate sites, collinear triples, and zero-area supports
+//! must yield typed errors or valid answers — never panics — and on clean
+//! inputs `ValidationPolicy::Repair` must build the same index as
+//! `ValidationPolicy::Strict`.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use unn::distr::DiscreteDistribution;
+use unn::geom::{Aabb, Point};
+use unn::quantify::{quantification_exact, ProbabilisticVoronoi};
+use unn::{PnnIndex, QueryBudget, Uncertain, UnnError, ValidationPolicy};
+
+fn singleton(p: Point) -> Uncertain {
+    Uncertain::Discrete(DiscreteDistribution::certain(p))
+}
+
+/// A degenerate instance: `kind` selects the degeneracy class.
+fn degenerate_instance(kind: usize, n: usize, seed: u64) -> Vec<Uncertain> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = n.max(3);
+    match kind % 3 {
+        // Duplicate sites: two identical distributions among the rest.
+        0 => {
+            let mut pts: Vec<Uncertain> = (0..n)
+                .map(|_| {
+                    singleton(Point::new(
+                        rng.random_range(-10.0..10.0),
+                        rng.random_range(-10.0..10.0),
+                    ))
+                })
+                .collect();
+            pts[n - 1] = pts[0].clone();
+            pts
+        }
+        // Collinear: every site on one random line through the origin.
+        1 => {
+            let (dx, dy) = (rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0));
+            let (dx, dy) = if dx == 0.0 && dy == 0.0 {
+                (1.0, 0.0)
+            } else {
+                (dx, dy)
+            };
+            (0..n)
+                .map(|i| {
+                    let t = i as f64 - n as f64 / 2.0;
+                    singleton(Point::new(t * dx, t * dy))
+                })
+                .collect()
+        }
+        // Zero-area supports: discrete points whose k locations coincide.
+        _ => (0..n)
+            .map(|_| {
+                let c = Point::new(rng.random_range(-10.0..10.0), rng.random_range(-10.0..10.0));
+                Uncertain::Discrete(DiscreteDistribution::new(vec![c; 4], vec![0.25; 4]).unwrap())
+            })
+            .collect(),
+    }
+}
+
+fn clean_instance(n: usize, k: usize, seed: u64) -> Vec<Uncertain> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            // Spread centers on a coarse grid so exact duplicates cannot
+            // occur by accident.
+            let c = Point::new(
+                (i % 7) as f64 * 8.0 + rng.random_range(0.0..4.0),
+                (i / 7) as f64 * 8.0 + rng.random_range(0.0..4.0),
+            );
+            Uncertain::Discrete(
+                DiscreteDistribution::uniform(
+                    (0..k)
+                        .map(|_| {
+                            Point::new(
+                                c.x + rng.random_range(-1.0..1.0),
+                                c.y + rng.random_range(-1.0..1.0),
+                            )
+                        })
+                        .collect(),
+                )
+                .unwrap(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Degenerate inputs produce typed errors or valid answers through
+    /// `nn_nonzero`, exact quantification, and the budgeted path — no
+    /// panics, and repaired builds answer every finite query.
+    #[test]
+    fn degenerate_inputs_err_or_answer(
+        kind in 0usize..3, n in 3usize..8, seed in 0u64..100_000,
+        qx in -15.0f64..15.0, qy in -15.0f64..15.0,
+    ) {
+        let points = degenerate_instance(kind, n, seed);
+        let strict = PnnIndex::try_build(
+            points.clone(),
+            unn::PnnConfig::default(),
+            ValidationPolicy::Strict,
+        );
+        if kind % 3 == 0 {
+            // Duplicate sites: Strict must reject with geometry, Repair
+            // must dedupe and then answer.
+            let rejected = matches!(strict, Err(UnnError::DegenerateGeometry { .. }));
+            prop_assert!(rejected, "strict must reject duplicates: {:?}", strict.err());
+        } else {
+            prop_assert!(strict.is_ok());
+        }
+        let repaired = PnnIndex::try_build(
+            points,
+            unn::PnnConfig::default(),
+            ValidationPolicy::Repair,
+        );
+        prop_assert!(repaired.is_ok());
+        let idx = repaired.unwrap();
+        let q = Point::new(qx, qy);
+        let nz = idx.try_nn_nonzero(q);
+        prop_assert!(nz.is_ok(), "nn_nonzero: {:?}", nz);
+        prop_assert!(!nz.unwrap().is_empty());
+        let out = idx.quantify_guarded(q, QueryBudget::unlimited());
+        prop_assert!(out.is_ok(), "quantify_guarded: {:?}", out);
+        let pi = out.unwrap();
+        prop_assert_eq!(pi.pi().len(), idx.len());
+        let sum: f64 = pi.pi().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "sum = {}", sum);
+    }
+
+    /// The `𝒱_Pr` sweep survives degenerate site sets (parallel bisectors
+    /// from collinear sites, coincident locations) and keeps answering
+    /// with normalized probability vectors.
+    #[test]
+    fn vpr_survives_degenerate_sites(
+        kind in 1usize..3, n in 3usize..6, seed in 0u64..100_000,
+        qx in -12.0f64..12.0, qy in -12.0f64..12.0,
+    ) {
+        let objs: Vec<DiscreteDistribution> = degenerate_instance(kind, n, seed)
+            .iter()
+            .map(|p| match p {
+                Uncertain::Discrete(d) => d.clone(),
+                _ => unreachable!(),
+            })
+            .collect();
+        let bbox = Aabb::new(Point::new(-15.0, -15.0), Point::new(15.0, 15.0));
+        let vpr = ProbabilisticVoronoi::try_build(&objs, bbox);
+        prop_assert!(vpr.is_ok(), "try_build: {:?}", vpr.err());
+        let pi = vpr.unwrap().query(Point::new(qx, qy));
+        prop_assert_eq!(pi.len(), objs.len());
+        let sum: f64 = pi.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "sum = {}", sum);
+        // The exact sweep agrees on the vector length and normalization.
+        let exact = quantification_exact(&objs, Point::new(qx, qy));
+        prop_assert_eq!(exact.len(), pi.len());
+    }
+
+    /// On clean inputs, Strict and Repair build *identical* indexes: same
+    /// points, same queries, bit-identical answers.
+    #[test]
+    fn repair_equals_strict_on_clean_inputs(
+        n in 3usize..10, k in 1usize..4, seed in 0u64..100_000,
+        qx in -20.0f64..40.0, qy in -20.0f64..40.0,
+    ) {
+        let points = clean_instance(n, k, seed);
+        let strict = PnnIndex::try_build(
+            points.clone(),
+            unn::PnnConfig::default(),
+            ValidationPolicy::Strict,
+        );
+        let repair = PnnIndex::try_build(
+            points.clone(),
+            unn::PnnConfig::default(),
+            ValidationPolicy::Repair,
+        );
+        prop_assert!(strict.is_ok() && repair.is_ok());
+        let (s, r) = (strict.unwrap(), repair.unwrap());
+        prop_assert_eq!(s.len(), points.len());
+        prop_assert_eq!(s.points(), r.points());
+        let q = Point::new(qx, qy);
+        prop_assert_eq!(s.nn_nonzero(q), r.nn_nonzero(q));
+        prop_assert_eq!(s.quantify(q), r.quantify(q));
+        prop_assert_eq!(s.quantify_exact(q), r.quantify_exact(q));
+        let b = QueryBudget::with_work(8);
+        prop_assert_eq!(s.quantify_within(q, b), r.quantify_within(q, b));
+        // And both match the unchecked constructor on the same input.
+        let plain = PnnIndex::build(points, unn::PnnConfig::default());
+        prop_assert_eq!(plain.quantify(q), s.quantify(q));
+        prop_assert_eq!(plain.nn_nonzero(q), s.nn_nonzero(q));
+    }
+}
