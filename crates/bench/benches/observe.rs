@@ -1,0 +1,62 @@
+//! Criterion benches: instrumentation overhead guard. The observed batch
+//! entry points against their plain counterparts at the default feature set
+//! (counter hooks compiled to empty inline fns — the pair must be within
+//! noise) and, when built `--features observe`, the live-counter cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use unn::batch::BatchOptions;
+use unn::observe::{NullClock, PipelineMetrics};
+use unn::PnnIndex;
+use unn_bench::util::{as_uncertain, random_discrete, random_queries};
+
+fn bench_nn_nonzero_observed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("observe_nn_nonzero");
+    g.sample_size(10);
+    let n = 2_000usize;
+    let side = (n as f64).sqrt() * 8.0;
+    let objs = random_discrete(n, 3, side, 3.0, 2.0, 70);
+    let idx = PnnIndex::new(as_uncertain(&objs));
+    let queries = random_queries(2_048, side, 71);
+    let opts = BatchOptions::with_threads(4);
+    g.bench_function("plain", |b| {
+        b.iter(|| black_box(idx.nn_nonzero_batch_with(&queries, &opts)))
+    });
+    g.bench_function("observed", |b| {
+        b.iter(|| {
+            let metrics = PipelineMetrics::new();
+            black_box(idx.nn_nonzero_batch_observed(&queries, &opts, &metrics, &NullClock))
+        })
+    });
+    g.finish();
+}
+
+fn bench_quantify_adaptive_observed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("observe_quantify_adaptive");
+    g.sample_size(10);
+    let n = 512usize;
+    let side = (n as f64).sqrt() * 8.0;
+    let objs = random_discrete(n, 3, side, 3.0, 2.0, 72);
+    let idx = PnnIndex::new(as_uncertain(&objs));
+    let queries = random_queries(256, side, 73);
+    let opts = BatchOptions::with_threads(4);
+    g.bench_function("plain", |b| {
+        b.iter(|| black_box(idx.quantify_adaptive_batch_with(&queries, 0.05, 0.01, &opts)))
+    });
+    g.bench_function("observed", |b| {
+        b.iter(|| {
+            let metrics = PipelineMetrics::new();
+            black_box(idx.quantify_adaptive_batch_observed(
+                &queries, 0.05, 0.01, &opts, &metrics, &NullClock,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_nn_nonzero_observed,
+    bench_quantify_adaptive_observed
+);
+criterion_main!(benches);

@@ -96,7 +96,7 @@ impl BatchOptions {
     /// built (resource exhaustion) degrades to the ambient pool rather
     /// than panicking — the results are bit-identical either way, only
     /// the parallelism differs.
-    fn run<R>(&self, op: impl FnOnce() -> R) -> R {
+    pub(crate) fn run<R>(&self, op: impl FnOnce() -> R) -> R {
         match self
             .threads
             .and_then(|n| rayon::ThreadPoolBuilder::new().num_threads(n).build().ok())

@@ -476,6 +476,13 @@ impl PnnIndex {
         self.mc_achieved_epsilon
     }
 
+    /// The number of pre-drawn Monte-Carlo rounds `s` the index holds —
+    /// the denominator of every `rounds_used / s` early-stopping ratio the
+    /// observability layer reports.
+    pub fn mc_rounds(&self) -> usize {
+        self.mc.rounds()
+    }
+
     /// Exact (discrete) or high-resolution numeric (continuous)
     /// quantification probabilities.
     pub fn quantify_exact(&self, q: Point) -> (Vec<f64>, QuantifyMethod) {

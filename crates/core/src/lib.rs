@@ -48,6 +48,7 @@ pub mod batch;
 pub mod evd;
 pub mod expected;
 pub mod index;
+pub mod observe;
 pub mod resilience;
 pub mod set;
 

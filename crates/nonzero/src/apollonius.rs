@@ -159,6 +159,7 @@ mod tests {
     use super::*;
     use rand::rngs::SmallRng;
     use rand::{RngExt, SeedableRng};
+    use unn_geom::Vector;
 
     fn random_disks(n: usize, seed: u64) -> Vec<Disk> {
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -170,6 +171,35 @@ mod tests {
                 )
             })
             .collect()
+    }
+
+    #[test]
+    fn cell_boundary_is_weighted_bisector() {
+        let disks = random_disks(12, 950);
+        let ap = ApolloniusDiagram::build(&disks);
+        for i in 0..disks.len() {
+            for k in 0..64 {
+                let theta = k as f64 * std::f64::consts::TAU / 64.0;
+                let Some(r) = ap.cell_radial(i, theta) else {
+                    continue;
+                };
+                if !r.is_finite() {
+                    continue;
+                }
+                // A point on the radial boundary of cell i ties the weighted
+                // distance: d(p, c_i) + r_i == min_j d(p, c_j) + r_j.
+                let p = disks[i].center + Vector::from_angle(theta) * r;
+                let own = disks[i].max_dist(p);
+                let best = disks
+                    .iter()
+                    .map(|d| d.max_dist(p))
+                    .fold(f64::INFINITY, f64::min);
+                assert!(
+                    (own - best).abs() <= 1e-6 * own.max(1.0),
+                    "boundary of cell {i} at θ={theta}: own={own} best={best}"
+                );
+            }
+        }
     }
 
     #[test]

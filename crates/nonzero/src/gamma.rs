@@ -378,6 +378,40 @@ mod tests {
     }
 
     #[test]
+    fn boundary_point_is_equidistant_and_label_realizes_it() {
+        let disks = random_disks(10, 960);
+        for i in 0..disks.len() {
+            let g = GammaCurve::build(&disks, i);
+            for k in 0..64 {
+                let theta = k as f64 * core::f64::consts::TAU / 64.0;
+                let r = g.radial(theta);
+                if !r.is_finite() {
+                    continue;
+                }
+                // On γ_i the defining equality δ_i(p) = Δ_j(p) holds for the
+                // arc's active disk j (Eq. 4's boundary case).
+                let p = disks[i].center + Vector::from_angle(theta) * r;
+                let delta_i = disks[i].min_dist(p);
+                let j = g.active_label(theta).expect("finite radial has a label") as usize;
+                assert_ne!(j, i);
+                let dj = disks[j].max_dist(p);
+                assert!(
+                    (delta_i - dj).abs() <= 1e-6 * dj.max(1.0),
+                    "γ_{i} at θ={theta}: δ_i={delta_i} Δ_{j}={dj}"
+                );
+                // ... and j realizes the minimum over all competitors.
+                let best = disks
+                    .iter()
+                    .enumerate()
+                    .filter(|&(l, _)| l != i)
+                    .map(|(_, d)| d.max_dist(p))
+                    .fold(f64::INFINITY, f64::min);
+                assert!(dj <= best + 1e-6 * best.max(1.0));
+            }
+        }
+    }
+
+    #[test]
     fn two_disk_envelope_matches_direct_curve() {
         let disks = [disk(0.0, 0.0, 1.0), disk(10.0, 0.0, 2.0)];
         let g = GammaCurve::build(&disks, 0);

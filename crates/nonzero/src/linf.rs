@@ -199,6 +199,25 @@ mod tests {
     }
 
     #[test]
+    fn min_max_dist_matches_brute_force() {
+        let rects = random_rects(40, 31);
+        let idx = LinfNonzeroIndex::new(&rects);
+        let mut rng = SmallRng::seed_from_u64(32);
+        for _ in 0..200 {
+            let q = Point::new(rng.random_range(-50.0..50.0), rng.random_range(-50.0..50.0));
+            let brute = rects
+                .iter()
+                .map(|r| linf_max_dist(r, q))
+                .fold(f64::INFINITY, f64::min);
+            let fast = idx.min_max_dist(q).unwrap();
+            assert!(
+                (fast - brute).abs() <= 1e-9 * brute.max(1.0),
+                "stage-1 Δ∞: fast={fast} brute={brute} at {q:?}"
+            );
+        }
+    }
+
+    #[test]
     fn linf_distances_basic() {
         let r = Aabb::new(Point::new(0.0, 0.0), Point::new(2.0, 1.0));
         assert_eq!(linf_min_dist(&r, Point::new(1.0, 0.5)), 0.0);

@@ -183,6 +183,28 @@ mod tests {
     use rand::SeedableRng;
 
     #[test]
+    fn collinear_predicted_vertices_are_genuine_and_counted() {
+        for m in [2usize, 3] {
+            let inst = collinear_quadratic(m);
+            let predicted = collinear_predicted_vertices(m);
+            assert_eq!(predicted.len(), inst.predicted_vertices);
+            // The explicit Theorem 2.10 coordinates come in mirror pairs and
+            // are pairwise distinct at the instance's snap distance.
+            for p in &predicted {
+                assert!(predicted.iter().any(|q| q.x == p.x && q.y == -p.y));
+            }
+            for (a, &p) in predicted.iter().enumerate() {
+                for &q in &predicted[a + 1..] {
+                    assert!(
+                        (p - q).norm() > inst.snap,
+                        "predicted vertices collide: {p:?} vs {q:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn mixed_radii_realizes_cubic_count() {
         for m in [1usize, 2] {
             let inst = mixed_radii_cubic(m);

@@ -130,6 +130,7 @@ impl DiskNonzeroIndex {
         // Everyone except `best` is tested against d1; `best` against d2.
         self.tree
             .report_adjusted_below(q, d1.max(d2), &|i| disks[i].min_dist(q), &mut |i, v| {
+                unn_observe::nonzero_candidate();
                 let threshold = if i == best { d2 } else { d1 };
                 if v < threshold {
                     out.push(i);
@@ -273,6 +274,7 @@ impl DiscreteNonzeroIndex {
             d1.max(d2),
             &|i| nearest_dist(&objects[i], q),
             &mut |i, v| {
+                unn_observe::nonzero_candidate();
                 let threshold = if i == best { d2 } else { d1 };
                 if v < threshold {
                     out.push(i);

@@ -1,0 +1,144 @@
+//! Cross-module agreement: the four independent `NN≠0` formulations —
+//! Lemma 2.1 two-stage filtering (`twostage`), the γ-curve region test
+//! (`gamma`), the additively-weighted Voronoi diagram (`apollonius`) and
+//! the L∞ index (`linf`) — answer the same questions on inputs where their
+//! models coincide, plus the `lower_bounds` instances feeding them.
+
+use proptest::prelude::*;
+use unn_geom::{Aabb, Disk, Point};
+use unn_nonzero::{
+    collinear_quadratic, ApolloniusDiagram, DiscreteNonzeroIndex, DiskNonzeroIndex, GammaCurve,
+    LinfNonzeroIndex,
+};
+
+fn disks_from(raw: &[(f64, f64, f64)]) -> Vec<Disk> {
+    raw.iter()
+        .map(|&(x, y, r)| Disk::new(Point::new(x, y), r))
+        .collect()
+}
+
+fn disk_strategy(n: usize) -> impl Strategy<Value = Vec<(f64, f64, f64)>> {
+    collection::vec((-20.0f64..20.0, -20.0f64..20.0, 0.2f64..3.0), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Eq. 4: `q` lies strictly inside `γ_i` iff `P_i ∈ NN≠0(q)`. The
+    /// γ-curve membership test and Lemma 2.1 two-stage filtering are
+    /// independent implementations of the same predicate.
+    #[test]
+    fn gamma_membership_matches_twostage(
+        raw in disk_strategy(8), qx in -25.0f64..25.0, qy in -25.0f64..25.0,
+    ) {
+        let disks = disks_from(&raw);
+        let q = Point::new(qx, qy);
+        let idx = DiskNonzeroIndex::new(&disks);
+        let answer = idx.query(q);
+        for i in 0..disks.len() {
+            let inside = GammaCurve::build(&disks, i).contains(q);
+            prop_assert_eq!(
+                inside,
+                answer.contains(&i),
+                "disk {} at q={:?}: gamma says {}, twostage says {}",
+                i, q, inside, answer.contains(&i)
+            );
+        }
+    }
+
+    /// The Apollonius diagram's weighted NN is the stage-1 minimizer: its
+    /// distance equals `Δ(q) = min_i max_dist(q, D_i)` from the two-stage
+    /// index, the winner's cell contains `q`, and the winner is always in
+    /// the nonzero answer set.
+    #[test]
+    fn apollonius_winner_matches_twostage_stage1(
+        raw in disk_strategy(8), qx in -25.0f64..25.0, qy in -25.0f64..25.0,
+    ) {
+        let disks = disks_from(&raw);
+        let q = Point::new(qx, qy);
+        let apo = ApolloniusDiagram::build(&disks);
+        let (winner, delta) = apo.weighted_nn(q).unwrap();
+        let idx = DiskNonzeroIndex::new(&disks);
+        prop_assert!((delta - idx.min_max_dist(q).unwrap()).abs() <= 1e-9 * delta.max(1.0));
+        prop_assert!(apo.cell_contains(winner, q));
+        prop_assert!(
+            idx.query(q).contains(&winner),
+            "weighted NN {} missing from nonzero set", winner
+        );
+    }
+
+    /// On collinear instances (intervals on the x-axis, queried from the
+    /// axis) the L∞ and L2 models coincide: degenerate-height rectangles
+    /// have the same min/max distances as the disks, so `LinfNonzeroIndex`
+    /// and `DiskNonzeroIndex` must return identical answer sets — and
+    /// `DiscreteNonzeroIndex` on the two-endpoint supports agrees wherever
+    /// the query is outside every interval (there the nearest/farthest
+    /// support point realizes the interval min/max).
+    #[test]
+    fn collinear_linf_l2_discrete_agree(
+        raw in collection::vec((-20.0f64..20.0, 0.2f64..1.5), 8),
+        qx in -25.0f64..25.0,
+    ) {
+        let disks: Vec<Disk> = raw.iter().map(|&(x, r)| Disk::new(Point::new(x, 0.0), r)).collect();
+        let rects: Vec<Aabb> = raw
+            .iter()
+            .map(|&(x, r)| Aabb::new(Point::new(x - r, 0.0), Point::new(x + r, 0.0)))
+            .collect();
+        let q = Point::new(qx, 0.0);
+        let l2 = DiskNonzeroIndex::new(&disks).query(q);
+        let linf = LinfNonzeroIndex::new(&rects).query(q);
+        prop_assert_eq!(&l2, &linf, "L2 vs Linf disagree at q={:?}", q);
+
+        if raw.iter().all(|&(x, r)| (qx - x).abs() > r + 1e-9) {
+            let supports: Vec<Vec<Point>> = raw
+                .iter()
+                .map(|&(x, r)| vec![Point::new(x - r, 0.0), Point::new(x + r, 0.0)])
+                .collect();
+            let discrete = DiscreteNonzeroIndex::new(&supports).query(q);
+            prop_assert_eq!(&l2, &discrete, "L2 vs discrete disagree at q={:?}", q);
+        }
+    }
+
+    /// Both two-stage indexes agree with their own naive Lemma 2.1 scans —
+    /// the kd-accelerated candidate generation loses nobody.
+    #[test]
+    fn twostage_matches_naive(
+        raw in disk_strategy(10), qx in -25.0f64..25.0, qy in -25.0f64..25.0,
+    ) {
+        let disks = disks_from(&raw);
+        let q = Point::new(qx, qy);
+        let idx = DiskNonzeroIndex::new(&disks);
+        prop_assert_eq!(idx.query(q), idx.query_naive(q));
+        let supports: Vec<Vec<Point>> = raw
+            .iter()
+            .map(|&(x, y, r)| vec![Point::new(x - r, y), Point::new(x + r, y), Point::new(x, y + r)])
+            .collect();
+        let didx = DiscreteNonzeroIndex::new(&supports);
+        prop_assert_eq!(didx.query(q), didx.query_naive(q));
+    }
+}
+
+/// The quadratic lower-bound construction really exercises the agreement:
+/// on `collinear_quadratic(m)` every formulation sees the same answer sets
+/// at off-axis probes.
+#[test]
+fn lower_bound_instance_agreement() {
+    let inst = collinear_quadratic(6);
+    let idx = DiskNonzeroIndex::new(&inst.disks);
+    let apo = ApolloniusDiagram::build(&inst.disks);
+    for k in 0..40 {
+        let q = Point::new(-3.0 + 0.37 * k as f64, 1.0 + 0.11 * k as f64);
+        let answer = idx.query(q);
+        assert_eq!(answer, idx.query_naive(q));
+        for i in 0..inst.disks.len() {
+            assert_eq!(
+                GammaCurve::build(&inst.disks, i).contains(q),
+                answer.contains(&i),
+                "gamma vs twostage at q={q:?}, i={i}"
+            );
+        }
+        let (winner, delta) = apo.weighted_nn(q).unwrap();
+        assert!((delta - idx.min_max_dist(q).unwrap()).abs() <= 1e-9);
+        assert!(answer.contains(&winner));
+    }
+}

@@ -1,0 +1,922 @@
+//! Zero-cost-when-disabled instrumentation for the query pipeline.
+//!
+//! The crate has two halves with different compilation stories:
+//!
+//! * **Counter hooks** ([`kd_node_visited`], [`ball_point`],
+//!   [`mc_checkpoint`], …) — free functions the hot paths in
+//!   `unn-spatial`, `unn-quantify`, and `unn-nonzero` call unconditionally.
+//!   Without the `enabled` feature every hook is an empty
+//!   `#[inline(always)]` function, so the instrumented build is
+//!   byte-identical to an uninstrumented one (CI asserts the marker symbol
+//!   [`unn_observe_counters_enabled`] is absent from default-feature release
+//!   binaries). With `enabled`, hooks bump plain thread-local [`Cell`]
+//!   counters — no atomics, no locks, no allocation on the query path.
+//! * **Aggregation types** ([`QueryStats`], [`PipelineMetrics`],
+//!   [`Histogram`], [`MetricsSnapshot`]) — always compiled. They also carry
+//!   the *result-derived* fields (rounds used, outcome, certified accuracy)
+//!   that the `unn` observed entry points fill in from query return values,
+//!   so batch metrics stay meaningful even when the deep counters are
+//!   compiled out.
+//!
+//! # Determinism contract
+//!
+//! Every non-timing field of a [`MetricsSnapshot`] is an order-independent
+//! sum (or fixed-bucket histogram) of per-query quantities that are
+//! themselves pure functions of `(index, query)`. Batch runs therefore
+//! produce bit-identical deterministic snapshots for every thread count and
+//! query order ([`MetricsSnapshot::deterministic`] zeroes the timing
+//! fields; `tests/batch_determinism.rs` in the workspace root asserts the
+//! contract at 1/2/8 threads). Wall-clock enters only through a
+//! caller-injected [`Clock`]; tests inject [`NullClock`] and get all-zero
+//! timing.
+
+#[cfg(feature = "enabled")]
+use std::cell::Cell;
+use std::sync::Mutex;
+
+/// Marker symbol for the CI codegen guard: exists if and only if the
+/// counters were compiled in, so `nm | grep` on a release binary proves the
+/// default build carries no instrumentation.
+#[cfg(feature = "enabled")]
+#[no_mangle]
+#[inline(never)]
+pub extern "C" fn unn_observe_counters_enabled() -> u8 {
+    1
+}
+
+/// `true` when the crate was built with the `enabled` feature (the deep
+/// counters are live); `false` when every hook is a no-op.
+///
+/// Routed through the `no_mangle` marker so any binary that asks keeps the
+/// symbol alive for the `nm` guard (thin LTO would otherwise garbage-collect
+/// the otherwise-unreferenced function).
+#[inline]
+pub fn counters_enabled() -> bool {
+    #[cfg(feature = "enabled")]
+    {
+        unn_observe_counters_enabled() == 1
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-query counters (thread-local; zero-cost when disabled)
+// ---------------------------------------------------------------------------
+
+/// The raw per-query counters the structure-level hooks populate.
+///
+/// All zeros when the `enabled` feature is off.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CounterSet {
+    /// Kd-tree nodes expanded (all [`KdTree`](../unn_spatial) traversals:
+    /// nearest, range, `min_adjusted`, reporting).
+    pub kd_nodes_visited: u64,
+    /// Kd-tree subtrees cut by the branch-and-bound test.
+    pub kd_nodes_pruned: u64,
+    /// Points reported by `in_disk`/`in_disk_capped` ball traversals (the
+    /// Monte-Carlo global-ball fold).
+    pub ball_points_visited: u64,
+    /// Round-forest nodes expanded (per-round descents).
+    pub forest_nodes_visited: u64,
+    /// Round-forest subtrees cut.
+    pub forest_nodes_pruned: u64,
+    /// Monte-Carlo rounds answered by the single-traversal global-ball
+    /// fold (Δ-pruned fast path).
+    pub mc_ball_rounds: u64,
+    /// Monte-Carlo rounds answered by a per-round seeded descent
+    /// (fallback / capped path).
+    pub mc_descent_rounds: u64,
+    /// Adaptive-stopping checkpoints evaluated.
+    pub mc_checkpoints: u64,
+    /// Candidates examined by the Lemma 2.1 stage-2 reporting pass
+    /// (`NN≠0` two-stage structures).
+    pub nonzero_candidates: u64,
+    /// Locations touched by the exact Eq. 2 sweep.
+    pub exact_location_touches: u64,
+    /// The Δ(q) seed radius of the last Monte-Carlo query (`NaN`-free: 0
+    /// when no seed was computed).
+    pub seed_radius: f64,
+}
+
+#[cfg(feature = "enabled")]
+struct Tls {
+    kd_nodes_visited: Cell<u64>,
+    kd_nodes_pruned: Cell<u64>,
+    ball_points_visited: Cell<u64>,
+    forest_nodes_visited: Cell<u64>,
+    forest_nodes_pruned: Cell<u64>,
+    mc_ball_rounds: Cell<u64>,
+    mc_descent_rounds: Cell<u64>,
+    mc_checkpoints: Cell<u64>,
+    nonzero_candidates: Cell<u64>,
+    exact_location_touches: Cell<u64>,
+    seed_radius: Cell<f64>,
+}
+
+#[cfg(feature = "enabled")]
+thread_local! {
+    static TLS: Tls = const {
+        Tls {
+            kd_nodes_visited: Cell::new(0),
+            kd_nodes_pruned: Cell::new(0),
+            ball_points_visited: Cell::new(0),
+            forest_nodes_visited: Cell::new(0),
+            forest_nodes_pruned: Cell::new(0),
+            mc_ball_rounds: Cell::new(0),
+            mc_descent_rounds: Cell::new(0),
+            mc_checkpoints: Cell::new(0),
+            nonzero_candidates: Cell::new(0),
+            exact_location_touches: Cell::new(0),
+            seed_radius: Cell::new(0.0),
+        }
+    };
+}
+
+macro_rules! hooks {
+    ($($(#[$doc:meta])* $name:ident => $field:ident),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            #[cfg(feature = "enabled")]
+            #[inline(always)]
+            pub fn $name() {
+                TLS.with(|t| t.$field.set(t.$field.get() + 1));
+            }
+
+            $(#[$doc])*
+            #[cfg(not(feature = "enabled"))]
+            #[inline(always)]
+            pub fn $name() {}
+        )*
+    };
+}
+
+macro_rules! add_hooks {
+    ($($(#[$doc:meta])* $name:ident => $field:ident),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            #[cfg(feature = "enabled")]
+            #[inline(always)]
+            pub fn $name(n: u64) {
+                TLS.with(|t| t.$field.set(t.$field.get() + n));
+            }
+
+            $(#[$doc])*
+            #[cfg(not(feature = "enabled"))]
+            #[inline(always)]
+            pub fn $name(_n: u64) {}
+        )*
+    };
+}
+
+hooks! {
+    /// One kd-tree node expanded.
+    kd_node_visited => kd_nodes_visited,
+    /// One kd-tree subtree pruned by its bound.
+    kd_node_pruned => kd_nodes_pruned,
+    /// One point reported by a disk-range traversal.
+    ball_point => ball_points_visited,
+    /// One round-forest node expanded.
+    forest_node_visited => forest_nodes_visited,
+    /// One round-forest subtree pruned.
+    forest_node_pruned => forest_nodes_pruned,
+    /// One Monte-Carlo round answered by the global-ball fold.
+    mc_ball_round => mc_ball_rounds,
+    /// One Monte-Carlo round answered by a per-round descent.
+    mc_descent_round => mc_descent_rounds,
+    /// One adaptive-stopping checkpoint evaluated.
+    mc_checkpoint => mc_checkpoints,
+    /// One Lemma 2.1 stage-2 candidate examined.
+    nonzero_candidate => nonzero_candidates,
+}
+
+add_hooks! {
+    /// `n` locations touched by the exact quantification sweep.
+    exact_touches => exact_location_touches,
+    /// `n` Monte-Carlo rounds answered by the global-ball fold at once.
+    mc_ball_rounds_add => mc_ball_rounds,
+}
+
+/// Records the Δ(q) seed radius of the current query.
+#[cfg(feature = "enabled")]
+#[inline(always)]
+pub fn seed_radius(r: f64) {
+    TLS.with(|t| t.seed_radius.set(r));
+}
+
+/// Records the Δ(q) seed radius of the current query.
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn seed_radius(_r: f64) {}
+
+/// Resets the thread-local counters; call at the start of an observed
+/// query. No-op (and free) when the counters are compiled out.
+#[cfg(feature = "enabled")]
+#[inline]
+pub fn begin_query() {
+    TLS.with(|t| {
+        t.kd_nodes_visited.set(0);
+        t.kd_nodes_pruned.set(0);
+        t.ball_points_visited.set(0);
+        t.forest_nodes_visited.set(0);
+        t.forest_nodes_pruned.set(0);
+        t.mc_ball_rounds.set(0);
+        t.mc_descent_rounds.set(0);
+        t.mc_checkpoints.set(0);
+        t.nonzero_candidates.set(0);
+        t.exact_location_touches.set(0);
+        t.seed_radius.set(0.0);
+    });
+}
+
+/// Resets the thread-local counters; call at the start of an observed
+/// query. No-op (and free) when the counters are compiled out.
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn begin_query() {}
+
+/// Reads the thread-local counters accumulated since [`begin_query`].
+/// All-zero when the counters are compiled out.
+#[cfg(feature = "enabled")]
+#[inline]
+pub fn take_counters() -> CounterSet {
+    TLS.with(|t| CounterSet {
+        kd_nodes_visited: t.kd_nodes_visited.get(),
+        kd_nodes_pruned: t.kd_nodes_pruned.get(),
+        ball_points_visited: t.ball_points_visited.get(),
+        forest_nodes_visited: t.forest_nodes_visited.get(),
+        forest_nodes_pruned: t.forest_nodes_pruned.get(),
+        mc_ball_rounds: t.mc_ball_rounds.get(),
+        mc_descent_rounds: t.mc_descent_rounds.get(),
+        mc_checkpoints: t.mc_checkpoints.get(),
+        nonzero_candidates: t.nonzero_candidates.get(),
+        exact_location_touches: t.exact_location_touches.get(),
+        seed_radius: t.seed_radius.get(),
+    })
+}
+
+/// Reads the thread-local counters accumulated since [`begin_query`].
+/// All-zero when the counters are compiled out.
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn take_counters() -> CounterSet {
+    CounterSet::default()
+}
+
+// ---------------------------------------------------------------------------
+// Optional trace events (feature `trace`, off by default)
+// ---------------------------------------------------------------------------
+
+/// Emits one human-readable event line on stderr (feature `trace` only;
+/// compiled out — including the formatting of its arguments — otherwise).
+#[macro_export]
+macro_rules! trace_event {
+    ($($arg:tt)*) => {
+        #[cfg(feature = "trace")]
+        {
+            eprintln!("[unn::observe] {}", format_args!($($arg)*));
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Per-query stats and clocks
+// ---------------------------------------------------------------------------
+
+/// How an observed query ended.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// The exact (or configured-accuracy) answer was produced.
+    #[default]
+    Exact,
+    /// The budget forced the degraded fallback path.
+    Degraded,
+    /// The query returned a typed error (see [`QueryStats::error_label`]).
+    Errored,
+}
+
+/// Stable labels for the `UnnError` variants, in declaration order; the
+/// keys of [`MetricsShard::error_counts`]. `unn-observe` cannot depend on
+/// `unn`, so errors cross the boundary as `&'static str` labels.
+pub const ERROR_LABELS: [&str; 5] = [
+    "invalid_distribution",
+    "invalid_config",
+    "degenerate_geometry",
+    "budget_exhausted",
+    "query_panicked",
+];
+
+/// The index of `label` in [`ERROR_LABELS`], if it is one.
+pub fn error_label_index(label: &str) -> Option<usize> {
+    ERROR_LABELS.iter().position(|&l| l == label)
+}
+
+/// Everything observed about one query: the structure-level counters plus
+/// the result-derived fields the observed entry points fill in.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QueryStats {
+    /// Structure-level counters (all zero unless the `enabled` feature is
+    /// on).
+    pub counters: CounterSet,
+    /// Monte-Carlo rounds consumed (adaptive or budgeted paths; 0 for
+    /// non-MC queries).
+    pub rounds_used: u64,
+    /// Rounds available (`s`); 0 for non-MC queries.
+    pub rounds_total: u64,
+    /// The honest certified accuracy the query reported (half-width /
+    /// achieved ε); 0 when not applicable.
+    pub achieved_epsilon: f64,
+    /// How the query ended.
+    pub outcome: QueryOutcome,
+    /// Which [`ERROR_LABELS`] entry, when `outcome` is
+    /// [`QueryOutcome::Errored`].
+    pub error_label: Option<&'static str>,
+    /// Wall-clock nanoseconds by the caller-injected [`Clock`] (0 under
+    /// [`NullClock`]).
+    pub wall_nanos: u64,
+}
+
+/// Caller-injected time source: the only way wall-clock enters the
+/// pipeline, so determinism tests can inject [`NullClock`] and compare
+/// snapshots bit-for-bit.
+pub trait Clock: Sync {
+    /// Nanoseconds from an arbitrary fixed origin (monotonic).
+    fn now_nanos(&self) -> u64;
+}
+
+/// The deterministic clock: always 0. Timing fields vanish; everything
+/// else is unaffected.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullClock;
+
+impl Clock for NullClock {
+    #[inline]
+    fn now_nanos(&self) -> u64 {
+        0
+    }
+}
+
+/// A monotonic wall clock (process-relative origin) for production use.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MonotonicClock;
+
+impl Clock for MonotonicClock {
+    fn now_nanos(&self) -> u64 {
+        use std::sync::OnceLock;
+        use std::time::Instant;
+        static ORIGIN: OnceLock<Instant> = OnceLock::new();
+        let origin = *ORIGIN.get_or_init(Instant::now);
+        u64::try_from(origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------------
+
+/// Number of histogram buckets: bucket 0 holds value 0, bucket `b ≥ 1`
+/// holds `[2^(b−1), 2^b)`, the last bucket is open-ended.
+pub const HIST_BUCKETS: usize = 24;
+
+/// A fixed-bucket power-of-two histogram of `u64` samples.
+///
+/// Bucket membership is a pure function of the sample, so histograms of
+/// deterministic per-query quantities merge order-independently — the
+/// property the batch determinism contract needs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Bucket counts (see [`HIST_BUCKETS`] for the bucket layout).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples (exact integer sum: order-independent).
+    pub sum: u128,
+}
+
+impl Histogram {
+    /// The bucket index `value` falls into.
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    /// The inclusive lower bound of bucket `b`.
+    pub fn bucket_lo(b: usize) -> u64 {
+        if b == 0 {
+            0
+        } else {
+            1u64 << (b - 1)
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+    }
+
+    /// Merges another histogram in (bucket-wise sum).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Mean sample value (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An upper bound on the `p`-quantile (the upper edge of the bucket the
+    /// quantile falls in); `p` in `[0, 1]`.
+    pub fn quantile_upper(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (p.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if b + 1 < HIST_BUCKETS {
+                    Self::bucket_lo(b + 1).saturating_sub(1)
+                } else {
+                    u64::MAX
+                };
+            }
+        }
+        u64::MAX
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline metrics
+// ---------------------------------------------------------------------------
+
+/// One worker's (or one aggregate's) metric totals. Every field except the
+/// timing pair at the bottom is deterministic under the batch contract.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsShard {
+    /// Queries recorded.
+    pub queries: u64,
+    /// Sum of [`CounterSet::kd_nodes_visited`] over recorded queries.
+    pub kd_nodes_visited: u64,
+    /// Sum of kd subtree prunes.
+    pub kd_nodes_pruned: u64,
+    /// Sum of ball-traversal point reports.
+    pub ball_points_visited: u64,
+    /// Sum of round-forest node expansions.
+    pub forest_nodes_visited: u64,
+    /// Sum of round-forest prunes.
+    pub forest_nodes_pruned: u64,
+    /// Rounds answered by the global-ball fold.
+    pub mc_ball_rounds: u64,
+    /// Rounds answered by per-round descents.
+    pub mc_descent_rounds: u64,
+    /// Adaptive checkpoints evaluated.
+    pub mc_checkpoints: u64,
+    /// Lemma 2.1 stage-2 candidates examined.
+    pub nonzero_candidates: u64,
+    /// Exact-sweep location touches.
+    pub exact_location_touches: u64,
+    /// Sum of Monte-Carlo rounds consumed.
+    pub rounds_used: u64,
+    /// Sum of rounds available (`s` per MC query).
+    pub rounds_total: u64,
+    /// Queries that ended [`QueryOutcome::Exact`].
+    pub exact_count: u64,
+    /// Queries that ended [`QueryOutcome::Degraded`].
+    pub degraded_count: u64,
+    /// Typed-error counts, keyed by [`ERROR_LABELS`].
+    pub error_counts: [u64; ERROR_LABELS.len()],
+    /// Histogram of per-query `rounds_used`.
+    pub rounds_hist: Histogram,
+    /// Histogram of per-query wall nanoseconds — **timing**, excluded from
+    /// the deterministic snapshot.
+    pub latency_hist: Histogram,
+    /// Total wall nanoseconds — **timing**, excluded from the
+    /// deterministic snapshot.
+    pub wall_nanos: u128,
+}
+
+impl MetricsShard {
+    /// Folds one query's stats in.
+    pub fn record(&mut self, stats: &QueryStats) {
+        self.queries += 1;
+        let c = &stats.counters;
+        self.kd_nodes_visited += c.kd_nodes_visited;
+        self.kd_nodes_pruned += c.kd_nodes_pruned;
+        self.ball_points_visited += c.ball_points_visited;
+        self.forest_nodes_visited += c.forest_nodes_visited;
+        self.forest_nodes_pruned += c.forest_nodes_pruned;
+        self.mc_ball_rounds += c.mc_ball_rounds;
+        self.mc_descent_rounds += c.mc_descent_rounds;
+        self.mc_checkpoints += c.mc_checkpoints;
+        self.nonzero_candidates += c.nonzero_candidates;
+        self.exact_location_touches += c.exact_location_touches;
+        self.rounds_used += stats.rounds_used;
+        self.rounds_total += stats.rounds_total;
+        match stats.outcome {
+            QueryOutcome::Exact => self.exact_count += 1,
+            QueryOutcome::Degraded => self.degraded_count += 1,
+            QueryOutcome::Errored => {
+                if let Some(i) = stats.error_label.and_then(error_label_index) {
+                    self.error_counts[i] += 1;
+                }
+            }
+        }
+        self.rounds_hist.record(stats.rounds_used);
+        self.latency_hist.record(stats.wall_nanos);
+        self.wall_nanos += stats.wall_nanos as u128;
+    }
+
+    /// Merges another shard in (field-wise sum).
+    pub fn merge(&mut self, other: &MetricsShard) {
+        self.queries += other.queries;
+        self.kd_nodes_visited += other.kd_nodes_visited;
+        self.kd_nodes_pruned += other.kd_nodes_pruned;
+        self.ball_points_visited += other.ball_points_visited;
+        self.forest_nodes_visited += other.forest_nodes_visited;
+        self.forest_nodes_pruned += other.forest_nodes_pruned;
+        self.mc_ball_rounds += other.mc_ball_rounds;
+        self.mc_descent_rounds += other.mc_descent_rounds;
+        self.mc_checkpoints += other.mc_checkpoints;
+        self.nonzero_candidates += other.nonzero_candidates;
+        self.exact_location_touches += other.exact_location_touches;
+        self.rounds_used += other.rounds_used;
+        self.rounds_total += other.rounds_total;
+        self.exact_count += other.exact_count;
+        self.degraded_count += other.degraded_count;
+        for (a, b) in self.error_counts.iter_mut().zip(&other.error_counts) {
+            *a += b;
+        }
+        self.rounds_hist.merge(&other.rounds_hist);
+        self.latency_hist.merge(&other.latency_hist);
+        self.wall_nanos += other.wall_nanos;
+    }
+}
+
+/// Batch-run metrics aggregator: workers record into private
+/// [`ShardHandle`]s (no contention on the query path) which merge into the
+/// shared total once, when the worker's handle drops.
+#[derive(Debug, Default)]
+pub struct PipelineMetrics {
+    total: Mutex<MetricsShard>,
+}
+
+impl PipelineMetrics {
+    /// An empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A private per-worker shard; its totals join [`snapshot`] when the
+    /// handle drops. Hand one to each worker (e.g. via rayon `map_init`).
+    ///
+    /// [`snapshot`]: PipelineMetrics::snapshot
+    pub fn shard(&self) -> ShardHandle<'_> {
+        ShardHandle {
+            local: MetricsShard::default(),
+            sink: self,
+        }
+    }
+
+    /// Records one query directly into the shared total (takes the lock;
+    /// fine for sequential use, use [`PipelineMetrics::shard`] in workers).
+    pub fn record(&self, stats: &QueryStats) {
+        self.lock().record(stats);
+    }
+
+    /// The current totals. Shards still held by live handles are not
+    /// included — snapshot after the batch completes.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            shard: self.lock().clone(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MetricsShard> {
+        // A poisoned lock only means a worker panicked mid-merge; the
+        // counters are still well-formed sums, so heal and continue.
+        self.total.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn absorb(&self, shard: &MetricsShard) {
+        self.lock().merge(shard);
+    }
+}
+
+/// A worker-private recording surface for one [`PipelineMetrics`]; merges
+/// into the shared total on drop.
+#[derive(Debug)]
+pub struct ShardHandle<'a> {
+    local: MetricsShard,
+    sink: &'a PipelineMetrics,
+}
+
+impl ShardHandle<'_> {
+    /// Folds one query's stats into this worker's private shard.
+    pub fn record(&mut self, stats: &QueryStats) {
+        self.local.record(stats);
+    }
+}
+
+impl Drop for ShardHandle<'_> {
+    fn drop(&mut self) {
+        self.sink.absorb(&self.local);
+    }
+}
+
+/// A point-in-time copy of a [`PipelineMetrics`] total, with renderers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsSnapshot {
+    /// The aggregated totals.
+    pub shard: MetricsShard,
+}
+
+impl MetricsSnapshot {
+    /// The snapshot with its timing fields (latency histogram, wall-clock
+    /// total) zeroed: equal across thread counts and query orders for
+    /// deterministic workloads — the value the determinism tests compare.
+    pub fn deterministic(&self) -> MetricsShard {
+        let mut s = self.shard.clone();
+        s.latency_hist = Histogram::default();
+        s.wall_nanos = 0;
+        s
+    }
+
+    /// Human-readable multi-line rendering.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let s = &self.shard;
+        let mut out = String::new();
+        let _ = writeln!(out, "pipeline metrics: {} queries", s.queries);
+        let _ = writeln!(
+            out,
+            "  kd nodes     visited {:>12}  pruned {:>12}  ({:.1}% cut)",
+            s.kd_nodes_visited,
+            s.kd_nodes_pruned,
+            pct(s.kd_nodes_pruned, s.kd_nodes_visited + s.kd_nodes_pruned),
+        );
+        let _ = writeln!(
+            out,
+            "  forest nodes visited {:>12}  pruned {:>12}  ({:.1}% cut)",
+            s.forest_nodes_visited,
+            s.forest_nodes_pruned,
+            pct(
+                s.forest_nodes_pruned,
+                s.forest_nodes_visited + s.forest_nodes_pruned
+            ),
+        );
+        let _ = writeln!(out, "  ball points visited  {:>12}", s.ball_points_visited);
+        let _ = writeln!(
+            out,
+            "  mc rounds    ball {:>12}  descent {:>12}  checkpoints {}",
+            s.mc_ball_rounds, s.mc_descent_rounds, s.mc_checkpoints
+        );
+        let _ = writeln!(
+            out,
+            "  rounds used {} / {} available ({:.1}% early-stop saving); mean/query {:.1}",
+            s.rounds_used,
+            s.rounds_total,
+            if s.rounds_total == 0 {
+                0.0
+            } else {
+                100.0 - pct(s.rounds_used, s.rounds_total)
+            },
+            s.rounds_hist.mean(),
+        );
+        let _ = writeln!(
+            out,
+            "  nonzero candidates {}; exact sweep touches {}",
+            s.nonzero_candidates, s.exact_location_touches
+        );
+        let _ = writeln!(
+            out,
+            "  outcomes: {} exact, {} degraded, {} errors",
+            s.exact_count,
+            s.degraded_count,
+            s.error_counts.iter().sum::<u64>()
+        );
+        for (i, &c) in s.error_counts.iter().enumerate() {
+            if c > 0 {
+                let _ = writeln!(out, "    {}: {}", ERROR_LABELS[i], c);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  wall total {} ns; latency p50<= {} ns, p99<= {} ns",
+            s.wall_nanos,
+            s.latency_hist.quantile_upper(0.5),
+            s.latency_hist.quantile_upper(0.99),
+        );
+        out
+    }
+
+    /// JSON rendering (flat object; histograms as bucket arrays).
+    pub fn render_json(&self) -> String {
+        let s = &self.shard;
+        let errors: Vec<String> = ERROR_LABELS
+            .iter()
+            .zip(&s.error_counts)
+            .map(|(l, c)| format!("\"{l}\": {c}"))
+            .collect();
+        format!(
+            concat!(
+                "{{\n",
+                "  \"queries\": {},\n",
+                "  \"kd_nodes_visited\": {},\n",
+                "  \"kd_nodes_pruned\": {},\n",
+                "  \"ball_points_visited\": {},\n",
+                "  \"forest_nodes_visited\": {},\n",
+                "  \"forest_nodes_pruned\": {},\n",
+                "  \"mc_ball_rounds\": {},\n",
+                "  \"mc_descent_rounds\": {},\n",
+                "  \"mc_checkpoints\": {},\n",
+                "  \"nonzero_candidates\": {},\n",
+                "  \"exact_location_touches\": {},\n",
+                "  \"rounds_used\": {},\n",
+                "  \"rounds_total\": {},\n",
+                "  \"exact_count\": {},\n",
+                "  \"degraded_count\": {},\n",
+                "  \"error_counts\": {{ {} }},\n",
+                "  \"rounds_hist\": {},\n",
+                "  \"latency_hist\": {},\n",
+                "  \"wall_nanos\": {}\n",
+                "}}"
+            ),
+            s.queries,
+            s.kd_nodes_visited,
+            s.kd_nodes_pruned,
+            s.ball_points_visited,
+            s.forest_nodes_visited,
+            s.forest_nodes_pruned,
+            s.mc_ball_rounds,
+            s.mc_descent_rounds,
+            s.mc_checkpoints,
+            s.nonzero_candidates,
+            s.exact_location_touches,
+            s.rounds_used,
+            s.rounds_total,
+            s.exact_count,
+            s.degraded_count,
+            errors.join(", "),
+            json_buckets(&s.rounds_hist),
+            json_buckets(&s.latency_hist),
+            s.wall_nanos,
+        )
+    }
+}
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+fn json_buckets(h: &Histogram) -> String {
+    let inner: Vec<String> = h.buckets.iter().map(u64::to_string).collect();
+    format!(
+        "{{ \"count\": {}, \"sum\": {}, \"buckets\": [{}] }}",
+        h.count,
+        h.sum,
+        inner.join(", ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        for b in 1..HIST_BUCKETS - 1 {
+            assert_eq!(Histogram::bucket_of(Histogram::bucket_lo(b)), b);
+        }
+    }
+
+    #[test]
+    fn histogram_merge_is_order_independent() {
+        let samples = [0u64, 1, 5, 9, 100, 3, 77, 1024, 65535];
+        let mut whole = Histogram::default();
+        for &v in &samples {
+            whole.record(v);
+        }
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for (i, &v) in samples.iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+        }
+        b.merge(&a);
+        assert_eq!(whole, b);
+        assert_eq!(whole.count, samples.len() as u64);
+        assert_eq!(whole.sum, samples.iter().map(|&v| v as u128).sum::<u128>());
+    }
+
+    #[test]
+    fn shard_record_then_merge_equals_direct() {
+        let stats = |rounds: u64, outcome: QueryOutcome| QueryStats {
+            rounds_used: rounds,
+            rounds_total: 100,
+            outcome,
+            ..QueryStats::default()
+        };
+        let all = [
+            stats(10, QueryOutcome::Exact),
+            stats(20, QueryOutcome::Degraded),
+            stats(30, QueryOutcome::Exact),
+            QueryStats {
+                outcome: QueryOutcome::Errored,
+                error_label: Some("budget_exhausted"),
+                ..QueryStats::default()
+            },
+        ];
+        let mut direct = MetricsShard::default();
+        for s in &all {
+            direct.record(s);
+        }
+        let metrics = PipelineMetrics::new();
+        {
+            let mut h1 = metrics.shard();
+            let mut h2 = metrics.shard();
+            h1.record(&all[0]);
+            h2.record(&all[1]);
+            h1.record(&all[2]);
+            h2.record(&all[3]);
+        }
+        assert_eq!(metrics.snapshot().shard, direct);
+        assert_eq!(direct.exact_count, 2);
+        assert_eq!(direct.degraded_count, 1);
+        assert_eq!(direct.error_counts[3], 1);
+        assert_eq!(direct.rounds_used, 60);
+    }
+
+    #[test]
+    fn renders_do_not_panic_and_mention_totals() {
+        let metrics = PipelineMetrics::new();
+        metrics.record(&QueryStats {
+            rounds_used: 12,
+            rounds_total: 64,
+            wall_nanos: 1500,
+            ..QueryStats::default()
+        });
+        let snap = metrics.snapshot();
+        let text = snap.render_text();
+        assert!(text.contains("1 queries"));
+        let json = snap.render_json();
+        assert!(json.contains("\"rounds_used\": 12"));
+        assert!(json.contains("\"query_panicked\": 0"));
+        // The deterministic view zeroes only timing.
+        let det = snap.deterministic();
+        assert_eq!(det.wall_nanos, 0);
+        assert_eq!(det.rounds_used, 12);
+    }
+
+    #[test]
+    fn disabled_counters_read_zero() {
+        begin_query();
+        kd_node_visited();
+        ball_point();
+        let c = take_counters();
+        if counters_enabled() {
+            assert_eq!(c.kd_nodes_visited, 1);
+            assert_eq!(c.ball_points_visited, 1);
+        } else {
+            assert_eq!(c, CounterSet::default());
+        }
+    }
+
+    #[test]
+    fn error_labels_round_trip() {
+        for (i, l) in ERROR_LABELS.iter().enumerate() {
+            assert_eq!(error_label_index(l), Some(i));
+        }
+        assert_eq!(error_label_index("nope"), None);
+    }
+}

@@ -68,6 +68,7 @@ pub fn quantification_exact_into(
         }
     }
     locs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    unn_observe::exact_touches(locs.len() as u64);
 
     // Running factors rem[j] = 1 - G_{q,j}(current distance).
     let rem = &mut scratch.rem;

@@ -199,6 +199,7 @@ impl MonteCarloIndex {
         // unreachable; they exist so a violated invariant degrades to a
         // wrong-but-typed answer in release builds instead of a panic on
         // the query hot path.
+        unn_observe::mc_descent_round();
         match &self.storage {
             McStorage::Forest(f) => {
                 // The seed provably contains the NN; the `nearest` fallback
@@ -228,7 +229,9 @@ impl MonteCarloIndex {
     /// seed survives floating-point rounding of `Δ(q)` itself.
     #[inline]
     fn seed_for(&self, q: Point) -> f64 {
-        self.prune_radius(q) * (1.0 + 1e-12)
+        let seed = self.prune_radius(q) * (1.0 + 1e-12);
+        unn_observe::seed_radius(seed);
+        seed
     }
 
     /// The per-round winners (object index per round, in round order).
@@ -261,6 +264,7 @@ impl MonteCarloIndex {
                 if complete {
                     winners.extend(best.iter().enumerate().map(|(r, &(_, obj))| {
                         if obj != u32::MAX {
+                            unn_observe::mc_ball_round();
                             obj
                         } else {
                             // Ball missed this round (seed rounded below
@@ -268,6 +272,7 @@ impl MonteCarloIndex {
                             // descent. `n > 0` here, so the descent finds a
                             // neighbor; 0 is the typed-degradation arm for
                             // a violated invariant in release builds.
+                            unn_observe::mc_descent_round();
                             match f.nearest(r, q) {
                                 Some(nb) => nb.id as u32,
                                 None => {
@@ -494,6 +499,7 @@ impl MonteCarloIndex {
             counts[wr] += 1;
             used += 1;
             if used == next {
+                unn_observe::mc_checkpoint();
                 half_width = Self::stop_half_width(&counts, used, l_hoeff, l_bern);
                 if half_width <= eps {
                     break;

@@ -223,8 +223,10 @@ impl KdForest {
     fn nearest_rec(&self, node: u32, q: Point, best: &mut Neighbor) {
         let n = &self.nodes[node as usize];
         if n.bbox.min_dist(q) >= best.dist {
+            unn_observe::forest_node_pruned();
             return;
         }
+        unn_observe::forest_node_visited();
         if n.is_leaf() {
             for i in n.start..n.end {
                 let d = self.pts[i as usize].dist(q);
@@ -270,8 +272,10 @@ impl KdForest {
             heap[0].dist
         };
         if n.bbox.min_dist(q) >= worst {
+            unn_observe::forest_node_pruned();
             return;
         }
+        unn_observe::forest_node_visited();
         if n.is_leaf() {
             for i in n.start..n.end {
                 let d = self.pts[i as usize].dist(q);

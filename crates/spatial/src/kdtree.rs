@@ -199,8 +199,10 @@ impl KdTree {
     fn nearest_rec(&self, node: u32, q: Point, best: &mut Neighbor) {
         let n = &self.nodes[node as usize];
         if n.bbox.min_dist(q) >= best.dist {
+            unn_observe::kd_node_pruned();
             return;
         }
+        unn_observe::kd_node_visited();
         if n.is_leaf() {
             for i in n.start..n.end {
                 let d = self.pts[i as usize].dist(q);
@@ -256,8 +258,10 @@ impl KdTree {
             heap[0].dist
         };
         if n.bbox.min_dist(q) >= worst {
+            unn_observe::kd_node_pruned();
             return;
         }
+        unn_observe::kd_node_visited();
         if n.is_leaf() {
             for i in n.start..n.end {
                 let d = self.pts[i as usize].dist(q);
@@ -303,12 +307,15 @@ impl KdTree {
     fn in_disk_rec(&self, node: u32, q: Point, r: f64, visit: &mut dyn FnMut(usize, f64)) {
         let n = &self.nodes[node as usize];
         if n.bbox.min_dist(q) > r {
+            unn_observe::kd_node_pruned();
             return;
         }
+        unn_observe::kd_node_visited();
         if n.is_leaf() {
             for i in n.start..n.end {
                 let d = self.pts[i as usize].dist(q);
                 if d <= r {
+                    unn_observe::ball_point();
                     visit(self.ids[i as usize] as usize, d);
                 }
             }
@@ -349,8 +356,10 @@ impl KdTree {
     ) -> bool {
         let n = &self.nodes[node as usize];
         if n.bbox.min_dist(q) > r {
+            unn_observe::kd_node_pruned();
             return true;
         }
+        unn_observe::kd_node_visited();
         if n.is_leaf() {
             for i in n.start..n.end {
                 let d = self.pts[i as usize].dist(q);
@@ -359,6 +368,7 @@ impl KdTree {
                         return false;
                     }
                     *budget -= 1;
+                    unn_observe::ball_point();
                     visit(self.ids[i as usize] as usize, d);
                 }
             }
@@ -394,8 +404,10 @@ impl KdTree {
     ) {
         let n = &self.nodes[node as usize];
         if n.bbox.min_dist(q) + n.min_aux >= best.1 {
+            unn_observe::kd_node_pruned();
             return;
         }
+        unn_observe::kd_node_visited();
         if n.is_leaf() {
             for i in n.start..n.end {
                 let id = self.ids[i as usize] as usize;
@@ -446,8 +458,10 @@ impl KdTree {
     ) {
         let n = &self.nodes[node as usize];
         if n.bbox.min_dist(q) - n.max_aux >= t {
+            unn_observe::kd_node_pruned();
             return;
         }
+        unn_observe::kd_node_visited();
         if n.is_leaf() {
             for i in n.start..n.end {
                 let id = self.ids[i as usize] as usize;

@@ -93,7 +93,14 @@ fn main() {
     for q in incidents {
         println!("\nincident at {q:?}:");
         let candidates = index.nn_nonzero(q);
+        assert!(!candidates.is_empty(), "no candidate vehicle at {q:?}");
         let (probs, _) = index.quantify(q);
+        // All probability mass must sit on the nonzero candidates.
+        let on_candidates: f64 = candidates.iter().map(|&i| probs[i]).sum();
+        assert!(
+            (on_candidates - 1.0).abs() < 1e-9,
+            "candidate probabilities sum to {on_candidates} at {q:?}"
+        );
         let mut ranked: Vec<(usize, f64)> = candidates.iter().map(|&i| (i, probs[i])).collect();
         ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
         for (i, p) in ranked {
@@ -111,6 +118,7 @@ fn main() {
         "\nnonzero Voronoi diagram of the ops area: {} vertices, {} edges, {} faces",
         stats.vertices, stats.edges, stats.faces
     );
+    assert!(stats.faces > 0, "the subdivision must cover the ops area");
     println!(
         "label storage: {} persistent deltas vs {} explicit elements",
         stats.persistent_deltas, stats.explicit_label_elems
@@ -127,4 +135,12 @@ fn main() {
         }
     }
     println!("subdivision vs index agreement on {trials} random incidents: {agree}");
+    // The subdivision snaps vertices at 1e-3, so incidents landing exactly on
+    // a cell boundary may differ; away from boundaries it must agree.
+    assert!(
+        agree >= trials * 99 / 100,
+        "subdivision disagreed with the index on {} of {trials} incidents",
+        trials - agree
+    );
+    println!("all fleet_tracking assertions passed");
 }

@@ -56,12 +56,17 @@ fn main() {
     ] {
         println!("vehicle at {q:?}:");
         let nz = index.nn_nonzero(q);
+        assert!(!nz.is_empty(), "no NN candidate at {q:?}");
         println!(
             "  candidates: {:?}",
             nz.iter().map(|&i| names[i]).collect::<Vec<_>>()
         );
         match index.guaranteed_nn(q) {
-            Some(g) => println!("  guaranteed nearest: {}", names[g]),
+            Some(g) => {
+                // A guaranteed NN is certain: it must be the only candidate.
+                assert_eq!(nz, vec![g], "guaranteed NN must be the sole candidate");
+                println!("  guaranteed nearest: {}", names[g])
+            }
             None => {
                 let (pi, _) = index.quantify(q);
                 let mut ranked: Vec<(usize, f64)> = pi
@@ -79,6 +84,13 @@ fn main() {
         // Top-2 membership: which landmarks are in the 2 nearest with high
         // probability?
         let (memb, _) = index.knn_membership(q, 2);
+        assert!(memb.iter().all(|&p| (0.0..=1.0 + 1e-9).contains(&p)));
+        // Expected number of members in the top-2 is exactly 2.
+        assert!(
+            (memb.iter().sum::<f64>() - 2.0).abs() < 0.1,
+            "k-NN membership probabilities must sum to k, got {}",
+            memb.iter().sum::<f64>()
+        );
         let likely: Vec<&str> = memb
             .iter()
             .enumerate()
@@ -94,9 +106,19 @@ fn main() {
     let rects: Vec<Aabb> = index.points().iter().map(|p| p.support_bbox()).collect();
     let linf = LinfNonzeroIndex::new(&rects);
     let q = Point::new(3.0, 1.5);
+    let linf_candidates = linf.query(q);
+    assert!(!linf_candidates.is_empty());
+    assert_eq!(
+        linf_candidates,
+        linf.query_naive(q),
+        "kd filtering lost a candidate"
+    );
     println!(
         "L-infinity candidates at {q:?}: {:?}",
-        linf.query(q).iter().map(|&i| names[i]).collect::<Vec<_>>()
+        linf_candidates
+            .iter()
+            .map(|&i| names[i])
+            .collect::<Vec<_>>()
     );
 
     // The additively weighted Voronoi diagram of the disk hulls: the 'M'
@@ -115,13 +137,20 @@ fn main() {
         ap.total_arcs(),
         ap.empty_cells()
     );
-    let g = GuaranteedNnIndex::new(&disks);
-    println!(
-        "guaranteed regions exist: {}",
-        (0..200).any(|i| {
-            let t = i as f64 * 0.1;
-            g.guaranteed_nn(Point::new(10.0 * t.cos(), 10.0 * t.sin()))
-                .is_some()
-        })
+    assert!(
+        ap.total_arcs() > 0,
+        "nondegenerate disks must produce envelope arcs"
     );
+    let g = GuaranteedNnIndex::new(&disks);
+    let guaranteed_exists = (0..200).any(|i| {
+        let t = i as f64 * 0.1;
+        g.guaranteed_nn(Point::new(10.0 * t.cos(), 10.0 * t.sin()))
+            .is_some()
+    });
+    println!("guaranteed regions exist: {guaranteed_exists}");
+    assert!(
+        guaranteed_exists,
+        "far from the cluster some disk must dominate outright"
+    );
+    println!("\nall map_matching assertions passed");
 }

@@ -25,9 +25,22 @@ fn main() {
     // 1. Which objects have nonzero probability of being q's NN?
     let candidates = index.nn_nonzero(q);
     println!("NN!=0(q) = {candidates:?}  (everything else has probability exactly 0)");
+    assert!(
+        !candidates.is_empty(),
+        "a nonempty index always has NN candidates"
+    );
+    assert_eq!(
+        candidates,
+        vec![0, 1],
+        "only the two disks whose supports can reach q before disk 0's far edge qualify"
+    );
 
     // 2. With what probability is each the nearest neighbor?
     let (probs, method) = index.quantify(q);
+    assert!(
+        (probs.iter().sum::<f64>() - 1.0).abs() < 1e-9,
+        "probabilities must form a distribution"
+    );
     println!("\nquantification probabilities ({method:?}):");
     for (i, p) in probs.iter().enumerate() {
         if *p > 0.0 {
@@ -41,6 +54,12 @@ fn main() {
     let (ed, ed_dist) = index.expected_nn(q).expect("nonempty");
     println!("\nmost probable NN:      P_{mp} (pi = {mp_prob:.4})");
     println!("expected-distance NN:  P_{ed} (E[d] = {ed_dist:.4})");
+    assert!(
+        candidates.contains(&mp),
+        "the most probable NN must have nonzero probability"
+    );
+    assert!(mp_prob > 0.0 && mp_prob <= 1.0);
+    assert!(ed_dist.is_finite() && ed_dist >= 0.0);
 
     // 4. Exact answer for reference.
     let (exact, method) = index.quantify_exact(q);
@@ -50,4 +69,16 @@ fn main() {
             println!("  P_{i}: {p:.4}");
         }
     }
+    assert!((exact.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    let exact_argmax = exact
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("nonempty");
+    assert_eq!(
+        mp, exact_argmax,
+        "the estimated most probable NN must match the exact reference"
+    );
+    println!("\nall quickstart assertions passed");
 }

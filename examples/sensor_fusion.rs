@@ -57,6 +57,10 @@ fn main() {
         println!(
             "eps = {eps:<6} -> retrieves m = {m:>3} particles, max error {max_err:.2e} (bound {eps})"
         );
+        assert!(
+            max_err <= eps,
+            "Theorem 4.7 violated: spiral error {max_err} exceeds eps {eps}"
+        );
     }
 
     // Threshold alert: which targets are the NN with probability > 25%?
@@ -64,6 +68,16 @@ fn main() {
     println!("\ntargets with P(nearest to {q:?}) > 0.25: {:?}", res.above);
     if !res.uncertain.is_empty() {
         println!("undecided at this precision: {:?}", res.uncertain);
+    }
+    // The threshold answer must agree with the exact probabilities: every
+    // reported target is really above 0.25 (minus the decision margin).
+    let exact_all = quantification_exact(&targets, q);
+    for &i in &res.above {
+        assert!(
+            exact_all[i] > 0.25 - 0.01,
+            "target {i} reported above threshold but pi = {}",
+            exact_all[i]
+        );
     }
 
     // The remark (i) pitfall: dropping particles lighter than eps/k looks
@@ -121,4 +135,14 @@ fn main() {
         dropped[p2],
         (dropped[p2] - exact[p2]).abs()
     );
+    assert!(
+        (honest[p2] - exact[p2]).abs() <= eps,
+        "honest truncation must keep the eps guarantee"
+    );
+    assert!(
+        (dropped[p2] - exact[p2]).abs() > eps,
+        "the adversarial instance must break the naive dropping heuristic \
+         (otherwise this example demonstrates nothing)"
+    );
+    println!("\nall sensor_fusion assertions passed");
 }

@@ -7,6 +7,7 @@ use rand::{Rng, RngExt, SeedableRng};
 use unn::batch::{query_stream_seed, BatchOptions};
 use unn::distr::{DiscreteDistribution, TruncatedGaussian};
 use unn::geom::Point;
+use unn::observe::{NullClock, PipelineMetrics};
 use unn::{ChaosDistribution, ChaosMode, PnnIndex, Uncertain, UnnError};
 
 fn discrete_points(n: usize, k: usize, seed: u64) -> Vec<Uncertain> {
@@ -250,6 +251,94 @@ fn ten_thousand_query_batch_isolates_one_poison_query() {
             }
         }
     }
+}
+
+#[test]
+fn pipeline_metrics_bit_identical_across_thread_counts() {
+    // The determinism contract extends to the observability layer: every
+    // non-timing field of a `PipelineMetrics` snapshot is an
+    // order-independent aggregate of deterministic per-query quantities, so
+    // `snapshot().deterministic()` must be bit-identical at 1/2/8 threads.
+    for points in [discrete_points(15, 3, 540), mixed_points(15, 541)] {
+        let idx = PnnIndex::new(points);
+        let qs = queries(96, 542);
+        let reference = {
+            let metrics = PipelineMetrics::new();
+            idx.quantify_adaptive_batch_observed(
+                &qs,
+                0.05,
+                0.01,
+                &BatchOptions::with_threads(1),
+                &metrics,
+                &NullClock,
+            );
+            idx.nn_nonzero_batch_observed(
+                &qs,
+                &BatchOptions::with_threads(1),
+                &metrics,
+                &NullClock,
+            );
+            metrics.snapshot().deterministic()
+        };
+        assert_eq!(reference.queries, 2 * qs.len() as u64);
+        for t in THREAD_COUNTS {
+            let metrics = PipelineMetrics::new();
+            let opts = BatchOptions::with_threads(t);
+            idx.quantify_adaptive_batch_observed(&qs, 0.05, 0.01, &opts, &metrics, &NullClock);
+            idx.nn_nonzero_batch_observed(&qs, &opts, &metrics, &NullClock);
+            assert_eq!(
+                metrics.snapshot().deterministic(),
+                reference,
+                "threads = {t}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pipeline_metrics_invariant_under_shuffled_query_order() {
+    // Metric aggregates are sums over the query *set*: permuting the batch
+    // must not change a single non-timing field.
+    let idx = PnnIndex::new(mixed_points(15, 543));
+    let qs = queries(120, 544);
+    let (shuffled, _) = shuffle(&qs, 545);
+    let run = |qs: &[Point]| {
+        let metrics = PipelineMetrics::new();
+        let opts = BatchOptions::with_threads(4);
+        idx.quantify_adaptive_batch_observed(qs, 0.05, 0.01, &opts, &metrics, &NullClock);
+        metrics.snapshot().deterministic()
+    };
+    assert_eq!(run(&qs), run(&shuffled));
+}
+
+#[test]
+fn ten_thousand_query_metrics_bit_identical_across_thread_counts() {
+    // The acceptance-scale check: a 10k-query observed batch produces a
+    // bit-identical deterministic snapshot at 1, 2, and 8 threads, and the
+    // result-derived aggregates cross-check against the sequential results.
+    let idx = PnnIndex::new(discrete_points(30, 2, 546));
+    let qs = queries(10_000, 547);
+    let mut snapshots = Vec::new();
+    for t in THREAD_COUNTS {
+        let metrics = PipelineMetrics::new();
+        let opts = BatchOptions::with_threads(t);
+        let out = idx.quantify_guarded_batch_observed(
+            &qs,
+            unn::QueryBudget::with_work(40),
+            &opts,
+            &metrics,
+            &NullClock,
+        );
+        assert_eq!(out.len(), qs.len());
+        snapshots.push(metrics.snapshot().deterministic());
+    }
+    let first = &snapshots[0];
+    assert_eq!(first.queries, qs.len() as u64);
+    // A 40-unit budget is below this corpus's exact-sweep cost, so every
+    // query degrades; the degradation count must say exactly that.
+    assert_eq!(first.degraded_count, qs.len() as u64);
+    assert_eq!(first.exact_count, 0);
+    assert!(snapshots.iter().all(|s| s == first));
 }
 
 #[test]
