@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod dynamic;
 pub mod evd;
 pub mod expected;
 pub mod index;
@@ -53,6 +54,7 @@ pub mod resilience;
 pub mod set;
 
 pub use batch::{query_stream_seed, BatchOptions, BatchOutcome};
+pub use dynamic::{DynamicPnnConfig, DynamicPnnIndex, DynamicSnapshot, PointId};
 pub use evd::ExpectedVoronoi;
 pub use expected::ExpectedNnIndex;
 pub use index::{PnnConfig, PnnIndex, QuantifyMethod};

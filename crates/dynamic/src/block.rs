@@ -1,0 +1,159 @@
+//! Immutable block: a static Monte-Carlo-instantiated index over one
+//! logarithmic-method size class.
+//!
+//! A [`BlockCore`] is built once (at insert, merge, or compaction time) and
+//! never mutated; liveness is tracked outside it by the engine's per-slot
+//! alive bitmap. All sampling is keyed by **stable point id**
+//! ([`unn_quantify::point_stream_seed`]), so a point's per-round sample
+//! sequence is identical in every block it ever inhabits — the property that
+//! makes Monte-Carlo estimates invariant to merge history.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use unn_distr::{Uncertain, UncertainPoint};
+use unn_geom::{Aabb, Point};
+use unn_quantify::point_stream_seed;
+use unn_spatial::{KdForest, KdTree};
+
+use crate::PointId;
+
+/// Immutable per-block data: points, their ids, and the spatial structures
+/// needed to answer pruning and round-winner queries.
+#[derive(Clone, Debug)]
+pub struct BlockCore {
+    /// Stable ids, sorted ascending (the block's membership key).
+    pub(crate) ids: Vec<PointId>,
+    /// The uncertain points, parallel to `ids`.
+    pub(crate) points: Vec<Uncertain>,
+    /// Support bounding boxes, parallel to `ids`.
+    pub(crate) support: Vec<Aabb>,
+    /// Kd-tree over support-box centers; `min_adjusted` over it minimizes
+    /// `support[j].max_dist(q)` — the per-block Δ_b(q) pruning radius.
+    pub(crate) delta_tree: KdTree,
+    /// Per-round forest: round `r` holds the `r`-th sample of every point,
+    /// in block order. Used for layout-invariant linear fallbacks.
+    pub(crate) forest: KdForest,
+    /// One kd-tree over **all** `s·n` samples, sample of point `j` in round
+    /// `r` stored at position `r·n + j`. Ball queries against it report all
+    /// (round, point) pairs within the global pruning radius.
+    pub(crate) global: KdTree,
+}
+
+impl BlockCore {
+    /// Builds a block from `(id, point)` entries. Entries need not be sorted;
+    /// the block sorts them by id. `s` is the number of Monte-Carlo rounds
+    /// (must be ≥ 1) and `seed` the index-level base seed.
+    pub fn build(mut entries: Vec<(PointId, Uncertain)>, seed: u64, s: usize) -> Self {
+        debug_assert!(s >= 1);
+        entries.sort_unstable_by_key(|(id, _)| *id);
+        let n = entries.len();
+        let mut ids = Vec::with_capacity(n);
+        let mut points = Vec::with_capacity(n);
+        for (id, p) in entries {
+            ids.push(id);
+            points.push(p);
+        }
+        let support: Vec<Aabb> = points.iter().map(|p| p.support_bbox()).collect();
+        let centers: Vec<Point> = support.iter().map(|b| b.center()).collect();
+        let delta_tree = KdTree::new(&centers);
+        // Column-fill: point j's samples come from its own id-keyed stream,
+        // independent of which other points share the block.
+        let mut all = vec![Point::new(0.0, 0.0); s * n];
+        for (j, p) in points.iter().enumerate() {
+            let mut rng = SmallRng::seed_from_u64(point_stream_seed(seed, ids[j]));
+            for r in 0..s {
+                all[r * n + j] = p.sample(&mut rng);
+            }
+        }
+        let mut forest = KdForest::new();
+        for r in 0..s {
+            forest.push_round(&all[r * n..(r + 1) * n]);
+        }
+        let global = KdTree::new(&all);
+        Self {
+            ids,
+            points,
+            support,
+            delta_tree,
+            forest,
+            global,
+        }
+    }
+
+    /// Number of slots in the block (live + tombstoned).
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True if the block holds no slots at all.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Stable ids in this block, sorted ascending.
+    pub fn ids(&self) -> &[PointId] {
+        &self.ids
+    }
+
+    /// Position of `id` in this block, if present (live or dead).
+    pub fn find(&self, id: PointId) -> Option<usize> {
+        self.ids.binary_search(&id).ok()
+    }
+
+    /// Per-block pruning radius `Δ_b(q) = min_{live j} support[j].max_dist(q)`,
+    /// or `+∞` if every slot is tombstoned.
+    pub fn prune_radius(&self, q: Point, alive: &[bool]) -> f64 {
+        self.delta_tree
+            .min_adjusted(q, &|j| {
+                if alive[j] {
+                    self.support[j].max_dist(q)
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .map_or(f64::INFINITY, |(_, d)| d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unn_geom::Point;
+
+    fn disk(x: f64, y: f64, r: f64) -> Uncertain {
+        Uncertain::uniform_disk(Point::new(x, y), r)
+    }
+
+    #[test]
+    fn samples_keyed_by_id_not_block_position() {
+        // The same point id must produce identical round samples whether it
+        // lives alone or alongside other points.
+        let solo = BlockCore::build(vec![(7, disk(1.0, 2.0, 0.5))], 42, 8);
+        let merged = BlockCore::build(
+            vec![(3, disk(-4.0, 0.0, 1.0)), (7, disk(1.0, 2.0, 0.5))],
+            42,
+            8,
+        );
+        let j = merged.find(7).unwrap_or(usize::MAX);
+        for r in 0..8 {
+            let (solo_pts, _) = solo.forest.round_points(r);
+            let (m_pts, _) = merged.forest.round_points(r);
+            assert_eq!(solo_pts[0], m_pts[j]);
+        }
+    }
+
+    #[test]
+    fn prune_radius_skips_tombstones() {
+        let b = BlockCore::build(
+            vec![(0, disk(0.0, 0.0, 0.1)), (1, disk(100.0, 0.0, 0.1))],
+            1,
+            2,
+        );
+        let q = Point::new(0.0, 0.0);
+        let all_alive = b.prune_radius(q, &[true, true]);
+        assert!(all_alive <= 0.5, "near disk should dominate: {all_alive}");
+        let near_dead = b.prune_radius(q, &[false, true]);
+        assert!(near_dead >= 99.0, "must fall back to far disk: {near_dead}");
+        assert!(b.prune_radius(q, &[false, false]).is_infinite());
+    }
+}

@@ -1,0 +1,671 @@
+//! Logarithmic-method engine: block lifecycle (insert cascades, tombstone
+//! removals, compaction) and frozen query snapshots.
+
+use std::fmt;
+use std::sync::Arc;
+
+use unn_distr::{Uncertain, UncertainPoint};
+use unn_geom::Point;
+use unn_nonzero::DeltaCompose;
+
+use crate::block::BlockCore;
+use crate::PointId;
+
+/// Tuning knobs for the dynamic engine.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Base seed; every point's Monte-Carlo stream derives from
+    /// `point_stream_seed(seed, id)`.
+    pub seed: u64,
+    /// Monte-Carlo rounds instantiated per block (clamped to ≥ 1).
+    pub mc_rounds: usize,
+    /// Compact the whole structure into one block once
+    /// `dead > max_dead_fraction · (live + dead)`.
+    pub max_dead_fraction: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x5eed,
+            mc_rounds: 1024,
+            max_dead_fraction: 0.25,
+        }
+    }
+}
+
+/// Errors surfaced by fallible engine mutations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DynamicError {
+    /// `insert_with_id` collided with an id that is currently live.
+    IdInUse {
+        /// The conflicting id.
+        id: PointId,
+    },
+}
+
+impl fmt::Display for DynamicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DynamicError::IdInUse { id } => write!(f, "point id {id} is already live"),
+        }
+    }
+}
+
+impl std::error::Error for DynamicError {}
+
+/// Lifecycle counters and live-set sizes, for observability and tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DynamicStats {
+    /// Points currently live.
+    pub live: usize,
+    /// Tombstoned slots still occupying block storage.
+    pub tombstones: usize,
+    /// Number of blocks.
+    pub blocks: usize,
+    /// Slot count of the largest block (live + dead).
+    pub largest_block: usize,
+    /// Monotone version counter; bumps on every successful mutation.
+    pub epoch: u64,
+    /// Total logarithmic-method merges performed.
+    pub merges: u64,
+    /// Total full compactions performed.
+    pub compactions: u64,
+    /// Total blocks ever built (inserts + merges + compactions).
+    pub blocks_built: u64,
+}
+
+/// One block plus its copy-on-write liveness bitmap.
+#[derive(Clone, Debug)]
+struct Slot {
+    core: Arc<BlockCore>,
+    alive: Arc<Vec<bool>>,
+    live: usize,
+}
+
+/// Mutable dynamic index over uncertain points.
+///
+/// Inserts build a singleton block and cascade-merge while two blocks share
+/// a size class (`⌊log₂ len⌋`), so blocks stay geometrically sized and each
+/// point is rebuilt O(log n) times. Removals tombstone in place; crossing
+/// the dead-fraction threshold triggers a full compaction. All queries go
+/// through [`DynamicEngine::snapshot`].
+#[derive(Clone, Debug)]
+pub struct DynamicEngine {
+    config: EngineConfig,
+    slots: Vec<Slot>,
+    next_id: PointId,
+    epoch: u64,
+    live: usize,
+    dead: usize,
+    merges: u64,
+    compactions: u64,
+    blocks_built: u64,
+}
+
+impl Default for DynamicEngine {
+    fn default() -> Self {
+        Self::new(EngineConfig::default())
+    }
+}
+
+impl DynamicEngine {
+    /// Creates an empty engine.
+    pub fn new(config: EngineConfig) -> Self {
+        Self {
+            config,
+            slots: Vec::new(),
+            next_id: 0,
+            epoch: 0,
+            live: 0,
+            dead: 0,
+            merges: 0,
+            compactions: 0,
+            blocks_built: 0,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Monte-Carlo rounds per block (config value clamped to ≥ 1).
+    pub fn rounds(&self) -> usize {
+        self.config.mc_rounds.max(1)
+    }
+
+    /// Number of live points.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no point is live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Monotone version counter; bumps on every successful mutation.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// True if `id` is currently live.
+    pub fn contains(&self, id: PointId) -> bool {
+        self.slots
+            .iter()
+            .any(|s| s.core.find(id).is_some_and(|j| s.alive[j]))
+    }
+
+    /// The live point with id `id`, if any.
+    pub fn get(&self, id: PointId) -> Option<&Uncertain> {
+        self.slots.iter().find_map(|s| {
+            s.core
+                .find(id)
+                .filter(|&j| s.alive[j])
+                .map(|j| &s.core.points[j])
+        })
+    }
+
+    /// Inserts a point under a fresh id and returns it.
+    pub fn insert(&mut self, point: Uncertain) -> PointId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.insert_entry(id, point);
+        id
+    }
+
+    /// Inserts a point under a caller-chosen id.
+    ///
+    /// Fails with [`DynamicError::IdInUse`] if `id` is currently live;
+    /// re-using the id of a removed point is allowed (tombstoned copies in
+    /// older blocks are ignored by queries and dropped at the next merge).
+    pub fn insert_with_id(&mut self, id: PointId, point: Uncertain) -> Result<(), DynamicError> {
+        if self.contains(id) {
+            return Err(DynamicError::IdInUse { id });
+        }
+        self.next_id = self.next_id.max(id.saturating_add(1));
+        self.insert_entry(id, point);
+        Ok(())
+    }
+
+    fn insert_entry(&mut self, id: PointId, point: Uncertain) {
+        self.push_block(vec![(id, point)]);
+        self.cascade();
+        self.live += 1;
+        self.epoch += 1;
+    }
+
+    /// Tombstones `id`. Returns `false` (and leaves the epoch untouched) if
+    /// no live point carries that id.
+    pub fn remove(&mut self, id: PointId) -> bool {
+        for idx in 0..self.slots.len() {
+            // A dead copy of `id` may linger in an older block while the
+            // live copy sits elsewhere — only mutate the live one, and only
+            // clone the bitmap (`make_mut`) once we know we will flip a bit.
+            if let Some(j) = self.slots[idx].core.find(id) {
+                if self.slots[idx].alive[j] {
+                    let slot = &mut self.slots[idx];
+                    Arc::make_mut(&mut slot.alive)[j] = false;
+                    slot.live -= 1;
+                    self.live -= 1;
+                    self.dead += 1;
+                    self.epoch += 1;
+                    self.maybe_compact();
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Builds a block from `entries` and registers it (no cascade).
+    fn push_block(&mut self, entries: Vec<(PointId, Uncertain)>) {
+        debug_assert!(!entries.is_empty());
+        self.blocks_built += 1;
+        let live = entries.len();
+        let core = Arc::new(BlockCore::build(entries, self.config.seed, self.rounds()));
+        let alive = Arc::new(vec![true; core.len()]);
+        self.slots.push(Slot { core, alive, live });
+    }
+
+    /// Merges blocks while any two share a size class. Each merge removes at
+    /// least one slot, so the loop terminates.
+    fn cascade(&mut self) {
+        loop {
+            let mut found = None;
+            'outer: for i in 0..self.slots.len() {
+                for j in (i + 1)..self.slots.len() {
+                    if self.slots[i].core.len().ilog2() == self.slots[j].core.len().ilog2() {
+                        found = Some((i, j));
+                        break 'outer;
+                    }
+                }
+            }
+            let Some((i, j)) = found else { break };
+            // j > i, so removing j first leaves index i valid.
+            let b = self.slots.swap_remove(j);
+            let a = self.slots.swap_remove(i);
+            self.merge_pair(a, b);
+        }
+    }
+
+    fn merge_pair(&mut self, a: Slot, b: Slot) {
+        self.merges += 1;
+        unn_observe::dyn_merge();
+        let mut entries = Vec::with_capacity(a.live + b.live);
+        for slot in [&a, &b] {
+            for j in 0..slot.core.len() {
+                if slot.alive[j] {
+                    entries.push((slot.core.ids[j], slot.core.points[j].clone()));
+                }
+            }
+        }
+        let dropped = (a.core.len() - a.live) + (b.core.len() - b.live);
+        self.dead -= dropped;
+        if !entries.is_empty() {
+            self.push_block(entries);
+        }
+    }
+
+    /// Rebuilds everything live into one block once tombstones dominate.
+    fn maybe_compact(&mut self) {
+        let total = self.live + self.dead;
+        if self.dead == 0 || (self.dead as f64) <= self.config.max_dead_fraction * (total as f64) {
+            return;
+        }
+        self.compactions += 1;
+        unn_observe::dyn_compaction();
+        let mut entries = Vec::with_capacity(self.live);
+        for slot in &self.slots {
+            for j in 0..slot.core.len() {
+                if slot.alive[j] {
+                    entries.push((slot.core.ids[j], slot.core.points[j].clone()));
+                }
+            }
+        }
+        self.slots.clear();
+        self.dead = 0;
+        if !entries.is_empty() {
+            self.push_block(entries);
+        }
+    }
+
+    /// Lifecycle counters and sizes.
+    pub fn stats(&self) -> DynamicStats {
+        DynamicStats {
+            live: self.live,
+            tombstones: self.dead,
+            blocks: self.slots.len(),
+            largest_block: self.slots.iter().map(|s| s.core.len()).max().unwrap_or(0),
+            epoch: self.epoch,
+            merges: self.merges,
+            compactions: self.compactions,
+            blocks_built: self.blocks_built,
+        }
+    }
+
+    /// A consistent frozen view of the current live set. O(n) to take (it
+    /// collects the sorted live-id list) but shares all block storage.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        let mut live_ids = Vec::with_capacity(self.live);
+        let mut k_max = 1usize;
+        for slot in &self.slots {
+            for j in 0..slot.core.len() {
+                if slot.alive[j] {
+                    live_ids.push(slot.core.ids[j]);
+                    k_max = k_max.max(slot.core.points[j].as_discrete().map_or(1, |d| d.len()));
+                }
+            }
+        }
+        live_ids.sort_unstable();
+        EngineSnapshot {
+            slots: self
+                .slots
+                .iter()
+                .map(|s| (Arc::clone(&s.core), Arc::clone(&s.alive)))
+                .collect(),
+            live_ids,
+            epoch: self.epoch,
+            s: self.rounds(),
+            k_max,
+        }
+    }
+}
+
+/// Immutable view of the engine at one epoch. Queries against a snapshot
+/// never observe later mutations; all answers are **layout-invariant** —
+/// bit-identical for any block decomposition of the same live set.
+#[derive(Clone, Debug)]
+pub struct EngineSnapshot {
+    slots: Vec<(Arc<BlockCore>, Arc<Vec<bool>>)>,
+    live_ids: Vec<PointId>,
+    epoch: u64,
+    s: usize,
+    k_max: usize,
+}
+
+impl EngineSnapshot {
+    /// Live ids, sorted ascending.
+    pub fn live_ids(&self) -> &[PointId] {
+        &self.live_ids
+    }
+
+    /// Number of live points in the view.
+    pub fn live_len(&self) -> usize {
+        self.live_ids.len()
+    }
+
+    /// Engine epoch this snapshot was taken at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Monte-Carlo rounds per block.
+    pub fn rounds(&self) -> usize {
+        self.s
+    }
+
+    /// Largest discrete support size among live points (≥ 1).
+    pub fn k_max(&self) -> usize {
+        self.k_max
+    }
+
+    /// The live points as `(id, point)` pairs, sorted by id. Materializes a
+    /// merged copy — used for exact quantification and oracle checks.
+    pub fn live_points(&self) -> Vec<(PointId, Uncertain)> {
+        let mut out = Vec::with_capacity(self.live_ids.len());
+        for (core, alive) in &self.slots {
+            for j in 0..core.len() {
+                if alive[j] {
+                    out.push((core.ids[j], core.points[j].clone()));
+                }
+            }
+        }
+        out.sort_unstable_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// Ids with nonzero probability of being the nearest neighbor of `q`
+    /// (paper §2), sorted ascending.
+    ///
+    /// Composes per Lemma 2.1: the first pass folds every live point's
+    /// `max_dist` into a [`DeltaCompose`] (pure min-fold — commutative and
+    /// associative, hence layout-invariant); the second keeps point `i` iff
+    /// `min_dist_i(q) < min_{j≠i} max_dist_j(q)`, matching the static index
+    /// bit for bit.
+    pub fn nn_nonzero(&self, q: Point) -> Vec<PointId> {
+        let mut fold = DeltaCompose::new();
+        for (core, alive) in &self.slots {
+            unn_observe::dyn_block_probed();
+            for j in 0..core.len() {
+                if alive[j] {
+                    fold.observe(core.points[j].max_dist(q), core.ids[j]);
+                } else {
+                    unn_observe::dyn_tombstone_filtered();
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for (core, alive) in &self.slots {
+            for j in 0..core.len() {
+                if alive[j] && core.points[j].min_dist(q) < fold.cap_for(core.ids[j]) {
+                    out.push(core.ids[j]);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Per-round Monte-Carlo winners `(distance, id)` for `q`.
+    ///
+    /// The global pruning radius is the min over per-block Δ_b(q); each
+    /// block then folds its in-ball samples into the shared per-round
+    /// `(distance, id)` lexicographic minimum. The round winner has
+    /// distance ≤ Δ(q) (its sample lies inside its own support box), so the
+    /// ball query over the winner's own block always reports it; blocks that
+    /// exhaust the visit cap fall back to a full linear scan, which folds
+    /// the same minimum. Tie-breaking by stable id keeps the result
+    /// independent of block layout and traversal order.
+    pub fn round_winners(&self, q: Point) -> Vec<(f64, PointId)> {
+        if self.live_ids.is_empty() {
+            return Vec::new();
+        }
+        let s = self.s;
+        let mut delta = f64::INFINITY;
+        for (core, alive) in &self.slots {
+            delta = delta.min(core.prune_radius(q, alive));
+        }
+        let seed = delta * (1.0 + 1e-12);
+        unn_observe::seed_radius(seed);
+        let mut best: Vec<(f64, PointId)> = vec![(f64::INFINITY, PointId::MAX); s];
+        for (core, alive) in &self.slots {
+            unn_observe::dyn_block_probed();
+            let n_b = core.len();
+            if n_b == 0 {
+                continue;
+            }
+            let complete = core.global.in_disk_capped(q, seed, 32 * s, &mut |pos, d| {
+                let j = pos % n_b;
+                if alive[j] {
+                    let id = core.ids[j];
+                    let e = &mut best[pos / n_b];
+                    if d < e.0 || (d == e.0 && id < e.1) {
+                        *e = (d, id);
+                    }
+                } else {
+                    unn_observe::dyn_tombstone_filtered();
+                }
+            });
+            if !complete {
+                // Cap exhausted: rescan every round of this block linearly.
+                // Re-folding already-observed samples is idempotent.
+                for (r, e) in best.iter_mut().enumerate() {
+                    Self::fold_round(core, alive, q, r, e);
+                }
+            }
+        }
+        // Ulp safety net: a round every block's ball fold missed gets a
+        // cross-block linear scan (live set is non-empty, so this fills it).
+        for (r, e) in best.iter_mut().enumerate() {
+            if e.1 == PointId::MAX {
+                for (core, alive) in &self.slots {
+                    if !core.is_empty() {
+                        Self::fold_round(core, alive, q, r, e);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Folds round `r` of `core` into `e` by linear scan (layout-invariant:
+    /// strict `(distance, id)` lexicographic minimum over live samples).
+    fn fold_round(core: &BlockCore, alive: &[bool], q: Point, r: usize, e: &mut (f64, PointId)) {
+        let (pts, rids) = core.forest.round_points(r);
+        for (p, rid) in pts.iter().zip(rids) {
+            let j = *rid as usize;
+            if alive[j] {
+                let d = p.dist(q);
+                let id = core.ids[j];
+                if d < e.0 || (d == e.0 && id < e.1) {
+                    *e = (d, id);
+                }
+            }
+        }
+    }
+
+    /// Round winners mapped to ranks in [`EngineSnapshot::live_ids`] —
+    /// the index layout expected by `adaptive_over_winners`.
+    pub fn winner_ranks(&self, q: Point) -> Vec<u32> {
+        self.round_winners(q)
+            .into_iter()
+            .map(|(_, id)| {
+                let rank = self.live_ids.binary_search(&id);
+                debug_assert!(rank.is_ok(), "winner id {id} not in live set");
+                rank.unwrap_or(0) as u32
+            })
+            .collect()
+    }
+
+    /// Monte-Carlo estimate of `π_i(q)` over the live set (dense, indexed
+    /// like [`EngineSnapshot::live_ids`]), using all `s` rounds.
+    pub fn quantify(&self, q: Point) -> Vec<f64> {
+        let mut pi = vec![0.0; self.live_ids.len()];
+        if self.live_ids.is_empty() {
+            return pi;
+        }
+        let ranks = self.winner_ranks(q);
+        let mut counts = vec![0u32; self.live_ids.len()];
+        for r in &ranks {
+            counts[*r as usize] += 1;
+        }
+        let inv = 1.0 / (self.s as f64);
+        for (p, c) in pi.iter_mut().zip(&counts) {
+            *p = f64::from(*c) * inv;
+        }
+        pi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unn_geom::Point;
+
+    fn disk(x: f64, y: f64, r: f64) -> Uncertain {
+        Uncertain::uniform_disk(Point::new(x, y), r)
+    }
+
+    fn grid_engine(n: usize, cfg: EngineConfig) -> DynamicEngine {
+        let mut e = DynamicEngine::new(cfg);
+        for i in 0..n {
+            let (x, y) = ((i % 8) as f64, (i / 8) as f64);
+            e.insert(disk(x * 3.0, y * 3.0, 0.4));
+        }
+        e
+    }
+
+    #[test]
+    fn block_count_tracks_popcount() {
+        let cfg = EngineConfig {
+            mc_rounds: 4,
+            ..EngineConfig::default()
+        };
+        for n in [1usize, 2, 3, 7, 8, 13] {
+            let e = grid_engine(n, cfg);
+            assert_eq!(
+                e.stats().blocks,
+                n.count_ones() as usize,
+                "n = {n}: sizes should match the binary representation"
+            );
+            assert_eq!(e.len(), n);
+        }
+    }
+
+    #[test]
+    fn remove_tombstones_then_compacts() {
+        let cfg = EngineConfig {
+            mc_rounds: 4,
+            ..EngineConfig::default()
+        };
+        let mut e = grid_engine(8, cfg);
+        assert!(e.remove(0));
+        assert!(!e.remove(0), "double-remove must fail");
+        assert!(!e.contains(0));
+        assert_eq!(e.stats().tombstones, 1);
+        assert!(e.remove(1));
+        assert_eq!(e.stats().tombstones, 2);
+        // Third removal pushes dead fraction past 0.25 -> full compaction.
+        assert!(e.remove(2));
+        let st = e.stats();
+        assert_eq!(st.tombstones, 0);
+        assert_eq!(st.blocks, 1);
+        assert!(st.compactions >= 1);
+        assert_eq!(e.len(), 5);
+    }
+
+    #[test]
+    fn reinsert_after_remove_and_id_collision() {
+        let cfg = EngineConfig {
+            mc_rounds: 4,
+            ..EngineConfig::default()
+        };
+        let mut e = grid_engine(4, cfg);
+        assert_eq!(
+            e.insert_with_id(2, disk(0.0, 0.0, 0.1)),
+            Err(DynamicError::IdInUse { id: 2 })
+        );
+        assert!(e.remove(2));
+        assert_eq!(e.insert_with_id(2, disk(9.0, 9.0, 0.2)), Ok(()));
+        assert!(e.contains(2));
+        // Fresh ids must never collide with the re-used one.
+        let fresh = e.insert(disk(1.0, 1.0, 0.1));
+        assert!(fresh > 3);
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_updates() {
+        let cfg = EngineConfig {
+            mc_rounds: 16,
+            ..EngineConfig::default()
+        };
+        let mut e = DynamicEngine::new(cfg);
+        let a = e.insert(disk(0.0, 0.0, 0.5));
+        let b = e.insert(disk(10.0, 0.0, 0.5));
+        let snap = e.snapshot();
+        e.remove(a);
+        let q = Point::new(0.0, 0.0);
+        assert_eq!(snap.nn_nonzero(q), vec![a], "frozen view still sees a");
+        assert_eq!(e.snapshot().nn_nonzero(q), vec![b]);
+        assert!(snap.epoch() < e.epoch());
+    }
+
+    #[test]
+    fn round_winners_invariant_to_block_layout() {
+        let cfg = EngineConfig {
+            mc_rounds: 64,
+            ..EngineConfig::default()
+        };
+        // Same live set reached via three different histories.
+        let forward = grid_engine(13, cfg);
+        let mut reversed = DynamicEngine::new(cfg);
+        for i in (0..13u64).rev() {
+            let (x, y) = ((i % 8) as f64, (i / 8) as f64);
+            reversed
+                .insert_with_id(i, disk(x * 3.0, y * 3.0, 0.4))
+                .unwrap_or_else(|e| panic!("insert {i}: {e}"));
+        }
+        let mut churned = grid_engine(13, cfg);
+        for i in [3u64, 7, 11] {
+            assert!(churned.remove(i));
+        }
+        for i in [3u64, 7, 11] {
+            let (x, y) = ((i % 8) as f64, (i / 8) as f64);
+            churned
+                .insert_with_id(i, disk(x * 3.0, y * 3.0, 0.4))
+                .unwrap_or_else(|e| panic!("reinsert {i}: {e}"));
+        }
+        assert_ne!(
+            forward.stats().blocks_built,
+            churned.stats().blocks_built,
+            "histories should differ structurally"
+        );
+        let (sf, sr, sc) = (forward.snapshot(), reversed.snapshot(), churned.snapshot());
+        assert_eq!(sf.live_ids(), sr.live_ids());
+        assert_eq!(sf.live_ids(), sc.live_ids());
+        for q in [
+            Point::new(0.0, 0.0),
+            Point::new(5.5, 2.5),
+            Point::new(21.0, 3.0),
+            Point::new(-4.0, 9.0),
+        ] {
+            let w = sf.round_winners(q);
+            assert_eq!(w, sr.round_winners(q), "reversed layout diverged at {q:?}");
+            assert_eq!(w, sc.round_winners(q), "churned layout diverged at {q:?}");
+            assert_eq!(sf.nn_nonzero(q), sr.nn_nonzero(q));
+            assert_eq!(sf.nn_nonzero(q), sc.nn_nonzero(q));
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Order-independent composition of the Lemma 2.1 two-stage filter across
+//! partial indexes.
+//!
+//! Lemma 2.1 says `P_i ∈ NN≠0(q)` iff `δ_i(q) < Δ_j(q)` for every `j ≠ i`,
+//! which reduces to comparing `δ_i(q)` against the global minimum
+//! `Δ(q) = min_j Δ_j(q)` — except for the minimizer itself, which must be
+//! compared against the *second* minimum. Both statistics are associative
+//! and commutative folds over `(Δ_j, id_j)` pairs, so a set split into
+//! arbitrary blocks (the Bentley–Saxe decomposition of `unn-dynamic`)
+//! composes exactly: fold every block's pairs into one [`DeltaCompose`] and
+//! the stage-2 test is bit-identical to a single flat index, regardless of
+//! block layout or fold order.
+//!
+//! Ties are handled by folding in the lexicographic `(Δ, id)` order: when
+//! several points share the minimal `Δ`, the second-minimum equals the
+//! minimum and every tied point is capped by it — the same answer a flat
+//! Lemma 2.1 scan produces.
+
+/// Running `(minimum, second-minimum)` of `(Δ_j(q), id)` pairs under the
+/// lexicographic `(value, id)` order — the stage-1 state of a composed
+/// Lemma 2.1 query.
+///
+/// ```
+/// use unn_nonzero::DeltaCompose;
+///
+/// let mut f = DeltaCompose::new();
+/// for (delta, id) in [(3.0, 7), (1.0, 2), (2.0, 9)] {
+///     f.observe(delta, id);
+/// }
+/// assert_eq!(f.delta_min(), 1.0);
+/// assert_eq!(f.cap_for(2), 2.0); // the minimizer is capped by the runner-up
+/// assert_eq!(f.cap_for(9), 1.0); // everyone else by the minimum
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DeltaCompose {
+    /// Smallest `(Δ, id)` observed, lexicographically.
+    best: Option<(f64, u64)>,
+    /// Second-smallest `Δ` (with multiplicity: ties at the minimum land
+    /// here too).
+    second: Option<f64>,
+}
+
+impl DeltaCompose {
+    /// An empty fold (no points observed).
+    pub fn new() -> Self {
+        DeltaCompose {
+            best: None,
+            second: None,
+        }
+    }
+
+    /// `true` when no pair has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.best.is_none()
+    }
+
+    /// Folds one `(Δ_j(q), id)` pair in. Commutative and associative: any
+    /// observation order over any block partition yields the same state.
+    pub fn observe(&mut self, delta: f64, id: u64) {
+        match self.best {
+            None => self.best = Some((delta, id)),
+            Some((b, bid)) => {
+                if delta < b || (delta == b && id < bid) {
+                    self.second = Some(self.second.map_or(b, |s| s.min(b)));
+                    self.best = Some((delta, id));
+                } else {
+                    self.second = Some(self.second.map_or(delta, |s| s.min(delta)));
+                }
+            }
+        }
+    }
+
+    /// Merges another fold in (block-level composition).
+    pub fn merge(&mut self, other: &DeltaCompose) {
+        if let Some((d, id)) = other.best {
+            self.observe(d, id);
+        }
+        if let Some(s) = other.second {
+            // `other.second` never carries `other.best`'s id, so folding it
+            // as an id-less candidate only needs the value path.
+            match self.best {
+                None => self.best = Some((s, u64::MAX)),
+                Some((b, _)) if s < b => {
+                    self.second = Some(self.second.map_or(b, |x| x.min(b)));
+                    self.best = Some((s, u64::MAX));
+                }
+                Some(_) => self.second = Some(self.second.map_or(s, |x| x.min(s))),
+            }
+        }
+    }
+
+    /// The global `Δ(q) = min_j Δ_j(q)` ([`f64::INFINITY`] when empty).
+    pub fn delta_min(&self) -> f64 {
+        self.best.map_or(f64::INFINITY, |(d, _)| d)
+    }
+
+    /// The id attaining [`DeltaCompose::delta_min`] (smallest id on ties).
+    pub fn argmin(&self) -> Option<u64> {
+        self.best.map(|(_, id)| id)
+    }
+
+    /// The Lemma 2.1 stage-2 cap for point `id`:
+    /// `min_{j ≠ id} Δ_j(q)` — the second minimum if `id` is the
+    /// minimizer, the minimum otherwise ([`f64::INFINITY`] when `id` is the
+    /// only point). Membership is then `δ_id(q) < cap_for(id)`.
+    pub fn cap_for(&self, id: u64) -> f64 {
+        match self.best {
+            None => f64::INFINITY,
+            Some((d, bid)) => {
+                if id == bid {
+                    self.second.unwrap_or(f64::INFINITY)
+                } else {
+                    d
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Brute-force `min_{j != i} delta_j` for every observed id.
+    fn brute_caps(pairs: &[(f64, u64)]) -> Vec<(u64, f64)> {
+        pairs
+            .iter()
+            .map(|&(_, id)| {
+                let cap = pairs
+                    .iter()
+                    .filter(|&&(_, j)| j != id)
+                    .map(|&(d, _)| d)
+                    .fold(f64::INFINITY, f64::min);
+                (id, cap)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_point_is_uncapped() {
+        let mut f = DeltaCompose::new();
+        assert!(f.is_empty());
+        f.observe(4.0, 11);
+        assert_eq!(f.cap_for(11), f64::INFINITY);
+        assert_eq!(f.cap_for(12), 4.0);
+        assert_eq!(f.argmin(), Some(11));
+    }
+
+    #[test]
+    fn ties_cap_each_other() {
+        let mut f = DeltaCompose::new();
+        f.observe(2.0, 5);
+        f.observe(2.0, 3);
+        assert_eq!(f.argmin(), Some(3));
+        assert_eq!(f.cap_for(3), 2.0);
+        assert_eq!(f.cap_for(5), 2.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fold_matches_brute_force_any_order(
+            deltas in proptest::collection::vec(0.0f64..100.0, 1..24),
+            rot in 0usize..24,
+        ) {
+            // Distinct ids 0..n; fold in rotated order vs brute force.
+            let pairs: Vec<(f64, u64)> = deltas
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| (d, i as u64))
+                .collect();
+            let mut f = DeltaCompose::new();
+            let k = rot % pairs.len();
+            for &(d, id) in pairs[k..].iter().chain(&pairs[..k]) {
+                f.observe(d, id);
+            }
+            for (id, want) in brute_caps(&pairs) {
+                prop_assert_eq!(f.cap_for(id), want, "id {}", id);
+            }
+        }
+
+        #[test]
+        fn prop_merge_equals_flat_fold(
+            deltas in proptest::collection::vec(0.0f64..50.0, 2..20),
+            split in 1usize..19,
+        ) {
+            let pairs: Vec<(f64, u64)> = deltas
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| (d, i as u64))
+                .collect();
+            let split = split.min(pairs.len() - 1);
+            let mut flat = DeltaCompose::new();
+            for &(d, id) in &pairs {
+                flat.observe(d, id);
+            }
+            let (mut a, mut b) = (DeltaCompose::new(), DeltaCompose::new());
+            for &(d, id) in &pairs[..split] {
+                a.observe(d, id);
+            }
+            for &(d, id) in &pairs[split..] {
+                b.observe(d, id);
+            }
+            a.merge(&b);
+            for id in 0..pairs.len() as u64 {
+                prop_assert_eq!(a.cap_for(id), flat.cap_for(id), "id {}", id);
+            }
+        }
+    }
+}

@@ -9,6 +9,7 @@
 
 pub mod apollonius;
 pub mod branchprune;
+pub mod compose;
 pub mod discrete;
 pub mod error;
 pub mod gamma;
@@ -21,6 +22,7 @@ pub mod vertices;
 
 pub use apollonius::ApolloniusDiagram;
 pub use branchprune::BranchPruneIndex;
+pub use compose::DeltaCompose;
 pub use discrete::{
     count_distinct_discrete, discrete_nonzero_vertices, forbidden_region,
     DiscreteNonzeroSubdivision, DiscreteVertex,

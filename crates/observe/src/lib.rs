@@ -96,6 +96,16 @@ pub struct CounterSet {
     pub nonzero_candidates: u64,
     /// Locations touched by the exact Eq. 2 sweep.
     pub exact_location_touches: u64,
+    /// Blocks of a dynamic (Bentley–Saxe) index probed by this query.
+    pub dyn_blocks_probed: u64,
+    /// Tombstoned entries skipped while composing this query across a
+    /// dynamic index's blocks.
+    pub dyn_tombstones_filtered: u64,
+    /// Logarithmic-method block merges triggered (update-side counter:
+    /// bumped by `insert`, not by queries).
+    pub dyn_merges: u64,
+    /// Tombstone compactions triggered (update-side counter).
+    pub dyn_compactions: u64,
     /// The Δ(q) seed radius of the last Monte-Carlo query (`NaN`-free: 0
     /// when no seed was computed).
     pub seed_radius: f64,
@@ -113,6 +123,10 @@ struct Tls {
     mc_checkpoints: Cell<u64>,
     nonzero_candidates: Cell<u64>,
     exact_location_touches: Cell<u64>,
+    dyn_blocks_probed: Cell<u64>,
+    dyn_tombstones_filtered: Cell<u64>,
+    dyn_merges: Cell<u64>,
+    dyn_compactions: Cell<u64>,
     seed_radius: Cell<f64>,
 }
 
@@ -130,6 +144,10 @@ thread_local! {
             mc_checkpoints: Cell::new(0),
             nonzero_candidates: Cell::new(0),
             exact_location_touches: Cell::new(0),
+            dyn_blocks_probed: Cell::new(0),
+            dyn_tombstones_filtered: Cell::new(0),
+            dyn_merges: Cell::new(0),
+            dyn_compactions: Cell::new(0),
             seed_radius: Cell::new(0.0),
         }
     };
@@ -190,6 +208,14 @@ hooks! {
     mc_checkpoint => mc_checkpoints,
     /// One Lemma 2.1 stage-2 candidate examined.
     nonzero_candidate => nonzero_candidates,
+    /// One dynamic-index block probed by a composed query.
+    dyn_block_probed => dyn_blocks_probed,
+    /// One tombstoned entry filtered out of a composed query.
+    dyn_tombstone_filtered => dyn_tombstones_filtered,
+    /// One logarithmic-method block merge (update side).
+    dyn_merge => dyn_merges,
+    /// One tombstone compaction (update side).
+    dyn_compaction => dyn_compactions,
 }
 
 add_hooks! {
@@ -227,6 +253,10 @@ pub fn begin_query() {
         t.mc_checkpoints.set(0);
         t.nonzero_candidates.set(0);
         t.exact_location_touches.set(0);
+        t.dyn_blocks_probed.set(0);
+        t.dyn_tombstones_filtered.set(0);
+        t.dyn_merges.set(0);
+        t.dyn_compactions.set(0);
         t.seed_radius.set(0.0);
     });
 }
@@ -253,6 +283,10 @@ pub fn take_counters() -> CounterSet {
         mc_checkpoints: t.mc_checkpoints.get(),
         nonzero_candidates: t.nonzero_candidates.get(),
         exact_location_touches: t.exact_location_touches.get(),
+        dyn_blocks_probed: t.dyn_blocks_probed.get(),
+        dyn_tombstones_filtered: t.dyn_tombstones_filtered.get(),
+        dyn_merges: t.dyn_merges.get(),
+        dyn_compactions: t.dyn_compactions.get(),
         seed_radius: t.seed_radius.get(),
     })
 }
@@ -493,6 +527,14 @@ pub struct MetricsShard {
     pub nonzero_candidates: u64,
     /// Exact-sweep location touches.
     pub exact_location_touches: u64,
+    /// Dynamic-index blocks probed by composed queries.
+    pub dyn_blocks_probed: u64,
+    /// Tombstones filtered out of composed queries.
+    pub dyn_tombstones_filtered: u64,
+    /// Dynamic-index block merges (update side).
+    pub dyn_merges: u64,
+    /// Dynamic-index tombstone compactions (update side).
+    pub dyn_compactions: u64,
     /// Sum of Monte-Carlo rounds consumed.
     pub rounds_used: u64,
     /// Sum of rounds available (`s` per MC query).
@@ -528,6 +570,10 @@ impl MetricsShard {
         self.mc_checkpoints += c.mc_checkpoints;
         self.nonzero_candidates += c.nonzero_candidates;
         self.exact_location_touches += c.exact_location_touches;
+        self.dyn_blocks_probed += c.dyn_blocks_probed;
+        self.dyn_tombstones_filtered += c.dyn_tombstones_filtered;
+        self.dyn_merges += c.dyn_merges;
+        self.dyn_compactions += c.dyn_compactions;
         self.rounds_used += stats.rounds_used;
         self.rounds_total += stats.rounds_total;
         match stats.outcome {
@@ -557,6 +603,10 @@ impl MetricsShard {
         self.mc_checkpoints += other.mc_checkpoints;
         self.nonzero_candidates += other.nonzero_candidates;
         self.exact_location_touches += other.exact_location_touches;
+        self.dyn_blocks_probed += other.dyn_blocks_probed;
+        self.dyn_tombstones_filtered += other.dyn_tombstones_filtered;
+        self.dyn_merges += other.dyn_merges;
+        self.dyn_compactions += other.dyn_compactions;
         self.rounds_used += other.rounds_used;
         self.rounds_total += other.rounds_total;
         self.exact_count += other.exact_count;
@@ -707,6 +757,11 @@ impl MetricsSnapshot {
         );
         let _ = writeln!(
             out,
+            "  dynamic: blocks probed {}, tombstones filtered {}, merges {}, compactions {}",
+            s.dyn_blocks_probed, s.dyn_tombstones_filtered, s.dyn_merges, s.dyn_compactions
+        );
+        let _ = writeln!(
+            out,
             "  outcomes: {} exact, {} degraded, {} errors",
             s.exact_count,
             s.degraded_count,
@@ -749,6 +804,10 @@ impl MetricsSnapshot {
                 "  \"mc_checkpoints\": {},\n",
                 "  \"nonzero_candidates\": {},\n",
                 "  \"exact_location_touches\": {},\n",
+                "  \"dyn_blocks_probed\": {},\n",
+                "  \"dyn_tombstones_filtered\": {},\n",
+                "  \"dyn_merges\": {},\n",
+                "  \"dyn_compactions\": {},\n",
                 "  \"rounds_used\": {},\n",
                 "  \"rounds_total\": {},\n",
                 "  \"exact_count\": {},\n",
@@ -770,6 +829,10 @@ impl MetricsSnapshot {
             s.mc_checkpoints,
             s.nonzero_candidates,
             s.exact_location_touches,
+            s.dyn_blocks_probed,
+            s.dyn_tombstones_filtered,
+            s.dyn_merges,
+            s.dyn_compactions,
             s.rounds_used,
             s.rounds_total,
             s.exact_count,

@@ -571,6 +571,101 @@ impl MonteCarloIndex {
     }
 }
 
+/// The seed of point `id`'s private Monte-Carlo sample stream.
+///
+/// This extends the batch layer's `query_stream_seed` contract from queries
+/// to *points*: where a batch query's randomness is a pure function of
+/// `(seed, query_index)`, a dynamic index draws each point's `s` per-round
+/// instantiations from `SmallRng::seed_from_u64(point_stream_seed(seed,
+/// id))` — a pure function of `(seed, id)` alone. A point's samples are
+/// therefore invariant under churn (insert/remove of *other* points), block
+/// merges, compactions, and thread counts, which is what makes dynamic
+/// quantification results reproducible and layout-independent.
+///
+/// The extra domain-separation constant keeps point streams disjoint from
+/// query streams even when `id == query_index`.
+pub fn point_stream_seed(seed: u64, id: u64) -> u64 {
+    // Golden-ratio spread (as in `query_stream_seed`) plus a distinct
+    // domain constant, then two SplitMix64 rounds to decorrelate low bits.
+    let mut state = seed ^ 0xA076_1D64_78BD_642F ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    rand::split_mix_64(&mut state);
+    rand::split_mix_64(&mut state);
+    state
+}
+
+/// The adaptive early-stopping rule of
+/// [`MonteCarloIndex::quantify_adaptive_capped`] applied to a
+/// caller-supplied per-round winner sequence.
+///
+/// A Bentley–Saxe dynamic index composes each round's winner across many
+/// blocks (the per-round NN over the union of block instantiations), so the
+/// winners cannot come from one `MonteCarloIndex`. This free function runs
+/// the identical doubling-checkpoint schedule — same union bound over
+/// `checkpoints · n / delta`, same Hoeffding/empirical-Bernstein half-width
+/// — over `winners[..max_rounds]`, where `winners[r]` is the dense object
+/// index (`< n`) that won round `r`. Feeding it the winner sequence of a
+/// static index reproduces `quantify_adaptive_capped` bit-for-bit.
+///
+/// Out-of-range winner entries are ignored (typed degradation rather than a
+/// panic on the query path); `rounds_used` still counts them.
+pub fn adaptive_over_winners(
+    winners: &[u32],
+    n: usize,
+    eps: f64,
+    delta: f64,
+    min_rounds: usize,
+    max_rounds: usize,
+) -> AdaptiveQuantify {
+    assert!(eps > 0.0, "eps must be positive");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    if n == 0 || winners.is_empty() {
+        return AdaptiveQuantify {
+            pi: Vec::new(),
+            rounds_used: 0,
+            half_width: 0.0,
+        };
+    }
+    let s = max_rounds.clamp(1, winners.len());
+    let first = min_rounds.clamp(1, s);
+    let checkpoints = {
+        let (mut k, mut t) = (1usize, first);
+        while t < s {
+            t = (t * 2).min(s);
+            k += 1;
+        }
+        k as f64
+    };
+    let union = checkpoints * n as f64 / delta;
+    let l_hoeff = (4.0 * union).ln();
+    let l_bern = (6.0 * union).ln();
+    let mut counts = vec![0u32; n];
+    let mut used = 0usize;
+    let mut next = first;
+    let mut half_width = f64::INFINITY;
+    for &wr in &winners[..s] {
+        if let Some(c) = counts.get_mut(wr as usize) {
+            *c += 1;
+        } else {
+            debug_assert!(false, "winner {wr} out of range (n = {n})");
+        }
+        used += 1;
+        if used == next {
+            unn_observe::mc_checkpoint();
+            half_width = MonteCarloIndex::stop_half_width(&counts, used, l_hoeff, l_bern);
+            if half_width <= eps {
+                break;
+            }
+            next = (next * 2).min(s);
+        }
+    }
+    let w = 1.0 / used as f64;
+    AdaptiveQuantify {
+        pi: counts.iter().map(|&c| c as f64 * w).collect(),
+        rounds_used: used,
+        half_width,
+    }
+}
+
 /// One-shot Monte-Carlo estimate with *fresh* instantiations drawn from
 /// `rng` at query time (no prebuilt rounds).
 ///
@@ -894,6 +989,48 @@ mod tests {
         let mut buf = vec![99.0; 3];
         quantification_monte_carlo_into(&points, q, s, &mut rng3, &mut buf);
         assert_eq!(got, buf);
+    }
+
+    #[test]
+    fn point_stream_seed_separates_domains() {
+        // Distinct (seed, id) pairs give distinct streams, and point
+        // streams never collide with query streams at equal indices.
+        let mut seen = std::collections::HashSet::new();
+        for seed in [0u64, 1, 0x5eed] {
+            for id in 0..64u64 {
+                assert!(seen.insert(point_stream_seed(seed, id)));
+            }
+        }
+        // Deterministic (pure function of its arguments).
+        assert_eq!(point_stream_seed(7, 9), point_stream_seed(7, 9));
+        // Domain separation vs the bare golden-ratio spread with no
+        // constant: mixing id = 0 must still perturb the raw seed.
+        assert_ne!(point_stream_seed(0x5eed, 0), 0x5eed);
+    }
+
+    #[test]
+    fn adaptive_over_winners_matches_index_path() {
+        // The free function over a static index's winner sequence must
+        // reproduce quantify_adaptive_capped bit-for-bit.
+        let points = random_discrete(9, 3, 170);
+        let mut rng = SmallRng::seed_from_u64(171);
+        let mc = MonteCarloIndex::build(&points, 700, McBackend::KdTree, &mut rng);
+        let mut qrng = SmallRng::seed_from_u64(172);
+        for _ in 0..12 {
+            let q = Point::new(
+                qrng.random_range(-25.0..25.0),
+                qrng.random_range(-25.0..25.0),
+            );
+            let seed = mc.seed_for(q);
+            let mut winners = Vec::new();
+            mc.winners_into(q, seed, &mut winners);
+            for (eps, cap) in [(0.05, 700usize), (1e-9, 700), (0.05, 64)] {
+                let want = mc.quantify_adaptive_capped(q, eps, 0.01, ADAPTIVE_MIN_ROUNDS, cap);
+                let got =
+                    adaptive_over_winners(&winners, mc.len(), eps, 0.01, ADAPTIVE_MIN_ROUNDS, cap);
+                assert_eq!(got, want, "eps={eps} cap={cap} q={q:?}");
+            }
+        }
     }
 
     #[test]

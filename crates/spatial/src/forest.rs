@@ -123,6 +123,19 @@ impl KdForest {
         self.pts.len()
     }
 
+    /// Round `round`'s arena slices: the (build-reordered) points and their
+    /// within-round original indices, aligned pairwise.
+    ///
+    /// This is the linear-scan escape hatch for callers that must stay
+    /// *layout-invariant*: a fold over `(dist, ids[j])` pairs visits the
+    /// same multiset regardless of the build permutation, whereas a tree
+    /// descent's tie-breaking depends on it.
+    #[inline]
+    pub fn round_points(&self, round: usize) -> (&[Point], &[u32]) {
+        let (a, b) = (self.pt_off[round] as usize, self.pt_off[round + 1] as usize);
+        (&self.pts[a..b], &self.ids[a..b])
+    }
+
     /// Appends one round built over `points`; rounds are queried by their
     /// push order.
     pub fn push_round(&mut self, points: &[Point]) {

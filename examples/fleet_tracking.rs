@@ -6,141 +6,232 @@
 //! report's age. "Which vehicle is nearest to this incident?" becomes a
 //! probabilistic NN query.
 //!
+//! Fleets churn: fixes refresh, uncertainty disks grow between reports,
+//! vehicles go on and off shift. This example drives the **dynamic** index
+//! ([`DynamicPnnIndex`]) through simulated ticks — every tick re-inserts
+//! aged vehicles under their stable ids and answers incident queries from
+//! a frozen snapshot — and cross-checks the final state against a static
+//! [`PnnIndex`] built from scratch.
+//!
 //! ```sh
 //! cargo run --release --example fleet_tracking
 //! ```
 
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
-use unn::geom::{Aabb, Point};
-use unn::nonzero::NonzeroSubdivision;
+use unn::dynamic::{DynamicPnnConfig, DynamicPnnIndex, PointId};
+use unn::geom::Point;
 use unn::{PnnConfig, PnnIndex, Uncertain};
 
 struct Vehicle {
-    id: &'static str,
+    name: &'static str,
     last_fix: Point,
     age_s: f64,
     max_speed: f64, // units per second
 }
 
+impl Vehicle {
+    fn disk(&self) -> Uncertain {
+        Uncertain::uniform_disk(self.last_fix, (self.age_s * self.max_speed).max(0.1))
+    }
+}
+
 fn main() {
-    let fleet = [
+    let mut fleet = [
         Vehicle {
-            id: "unit-07",
+            name: "unit-07",
             last_fix: Point::new(1.2, 3.4),
             age_s: 20.0,
             max_speed: 0.05,
         },
         Vehicle {
-            id: "unit-12",
+            name: "unit-12",
             last_fix: Point::new(-4.0, 1.0),
             age_s: 90.0,
             max_speed: 0.04,
         },
         Vehicle {
-            id: "unit-19",
+            name: "unit-19",
             last_fix: Point::new(3.5, -2.5),
             age_s: 45.0,
             max_speed: 0.06,
         },
         Vehicle {
-            id: "unit-23",
+            name: "unit-23",
             last_fix: Point::new(6.0, 4.0),
             age_s: 10.0,
             max_speed: 0.05,
         },
         Vehicle {
-            id: "unit-31",
+            name: "unit-31",
             last_fix: Point::new(-1.5, -5.0),
             age_s: 120.0,
             max_speed: 0.03,
         },
         Vehicle {
-            id: "unit-44",
+            name: "unit-44",
             last_fix: Point::new(0.5, 7.0),
             age_s: 60.0,
             max_speed: 0.05,
         },
     ];
-    let points: Vec<Uncertain> = fleet
-        .iter()
-        .map(|v| Uncertain::uniform_disk(v.last_fix, (v.age_s * v.max_speed).max(0.1)))
-        .collect();
-    let disks: Vec<unn::geom::Disk> = points.iter().map(|p| p.as_disk().unwrap()).collect();
 
-    println!("fleet with position uncertainty (radius = age x max speed):");
-    for (v, d) in fleet.iter().zip(&disks) {
-        println!(
-            "  {}: last fix {:?}, uncertainty radius {:.2}",
-            v.id, v.last_fix, d.radius
-        );
-    }
-
-    let index = PnnIndex::build(
-        points,
-        PnnConfig {
+    let config = DynamicPnnConfig {
+        base: PnnConfig {
             epsilon: 0.02,
             ..PnnConfig::default()
         },
-    );
+        mc_rounds: 512,
+        ..DynamicPnnConfig::default()
+    };
+    let mut index =
+        DynamicPnnIndex::with_config(config).unwrap_or_else(|e| panic!("config rejected: {e}"));
 
-    // Incidents come in; who could be closest, and with what probability?
+    println!("tick 0 — fleet comes online (radius = age x max speed):");
+    let ids: Vec<PointId> = fleet
+        .iter()
+        .map(|v| {
+            let id = index.insert(v.disk());
+            println!(
+                "  {} -> id {}, radius {:.2}",
+                v.name,
+                id,
+                v.age_s * v.max_speed
+            );
+            id
+        })
+        .collect();
+    assert_eq!(index.len(), fleet.len());
+
     let incidents = [
         Point::new(1.0, 0.0),
         Point::new(-3.0, -2.0),
         Point::new(5.0, 5.0),
     ];
-    for q in incidents {
-        println!("\nincident at {q:?}:");
-        let candidates = index.nn_nonzero(q);
-        assert!(!candidates.is_empty(), "no candidate vehicle at {q:?}");
-        let (probs, _) = index.quantify(q);
-        // All probability mass must sit on the nonzero candidates.
-        let on_candidates: f64 = candidates.iter().map(|&i| probs[i]).sum();
-        assert!(
-            (on_candidates - 1.0).abs() < 1e-9,
-            "candidate probabilities sum to {on_candidates} at {q:?}"
+
+    // Freeze a view of tick 0 before any churn: dispatch decisions made on
+    // it stay consistent no matter what the updater thread does next.
+    let tick0 = index.snapshot();
+
+    // --- Simulated ticks: ages grow; every other tick one unit refreshes
+    // its fix (small disk again) while the rest just get staler.
+    for tick in 1..=4usize {
+        let dt = 15.0;
+        for v in fleet.iter_mut() {
+            v.age_s += dt;
+        }
+        let refreshing = (tick * 2) % fleet.len();
+        fleet[refreshing].age_s = 5.0;
+        fleet[refreshing].last_fix = Point::new(
+            fleet[refreshing].last_fix.x + 0.4,
+            fleet[refreshing].last_fix.y - 0.3,
         );
-        let mut ranked: Vec<(usize, f64)> = candidates.iter().map(|&i| (i, probs[i])).collect();
-        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
-        for (i, p) in ranked {
-            println!("  {}  P(nearest) ~ {:.3}", fleet[i].id, p);
+        // Re-insert every vehicle under its stable id with the new disk.
+        for (v, &id) in fleet.iter().zip(&ids) {
+            assert!(index.remove(id), "{} (id {id}) must be live", v.name);
+            index
+                .insert_with_id(id, v.disk())
+                .unwrap_or_else(|e| panic!("re-insert {}: {e}", v.name));
+        }
+        assert_eq!(index.len(), fleet.len(), "churn must preserve the roster");
+
+        let snap = index.snapshot();
+        println!(
+            "\ntick {tick} — {} refreshed its fix (epoch {}):",
+            fleet[refreshing].name,
+            snap.epoch()
+        );
+        for q in incidents {
+            let candidates = snap.nn_nonzero(q);
+            assert!(!candidates.is_empty(), "no candidate vehicle at {q:?}");
+            let (probs, _) = snap.quantify(q);
+            // All probability mass must sit on the nonzero candidates.
+            let live = snap.live_ids();
+            let on_candidates: f64 = candidates
+                .iter()
+                .map(|id| {
+                    let rank = live
+                        .binary_search(id)
+                        .unwrap_or_else(|_| panic!("candidate id {id} missing from live set"));
+                    probs[rank]
+                })
+                .sum();
+            assert!(
+                (on_candidates - 1.0).abs() < 1e-9,
+                "candidate probabilities sum to {on_candidates} at {q:?}"
+            );
+            let mut ranked: Vec<(PointId, f64)> = candidates
+                .iter()
+                .map(|&id| {
+                    let rank = live.binary_search(&id).unwrap_or(0);
+                    (id, probs[rank])
+                })
+                .collect();
+            ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+            print!("  incident {q:?}:");
+            for (id, p) in ranked {
+                let v = &fleet[ids.iter().position(|&i| i == id).unwrap_or(0)];
+                print!("  {} ~{:.3}", v.name, p);
+            }
+            println!();
         }
     }
 
-    // Precompute the nonzero Voronoi diagram of the whole operations area:
-    // for any incident location we can read off the full candidate set in
-    // O(log) time (Theorem 2.11).
-    let area = Aabb::new(Point::new(-15.0, -15.0), Point::new(15.0, 15.0));
-    let sub = NonzeroSubdivision::build(&disks, area, 1e-3);
-    let stats = sub.stats();
+    // unit-31 goes off shift; a relief unit comes online.
+    let off = ids[4];
+    assert!(index.remove(off));
+    assert!(!index.contains(off));
+    let relief = index.insert(Uncertain::uniform_disk(Point::new(-2.0, -4.0), 0.3));
     println!(
-        "\nnonzero Voronoi diagram of the ops area: {} vertices, {} edges, {} faces",
-        stats.vertices, stats.edges, stats.faces
+        "\n{} off shift; relief unit id {relief} online",
+        fleet[4].name
     );
-    assert!(stats.faces > 0, "the subdivision must cover the ops area");
-    println!(
-        "label storage: {} persistent deltas vs {} explicit elements",
-        stats.persistent_deltas, stats.explicit_label_elems
-    );
+    assert_eq!(index.len(), fleet.len());
 
-    // Spot-check the subdivision against the index on random incidents.
-    let mut rng = SmallRng::seed_from_u64(7);
-    let mut agree = 0;
-    let trials = 1000;
-    for _ in 0..trials {
-        let q = Point::new(rng.random_range(-14.0..14.0), rng.random_range(-14.0..14.0));
-        if sub.query(q) == index.nn_nonzero(q) {
-            agree += 1;
-        }
-    }
-    println!("subdivision vs index agreement on {trials} random incidents: {agree}");
-    // The subdivision snaps vertices at 1e-3, so incidents landing exactly on
-    // a cell boundary may differ; away from boundaries it must agree.
+    let stats = index.stats();
+    println!(
+        "lifecycle: {} blocks ({} slots max), {} merges, {} compactions, {} tombstones, epoch {}",
+        stats.blocks,
+        stats.largest_block,
+        stats.merges,
+        stats.compactions,
+        stats.tombstones,
+        stats.epoch
+    );
     assert!(
-        agree >= trials * 99 / 100,
-        "subdivision disagreed with the index on {} of {trials} incidents",
-        trials - agree
+        stats.merges > 0,
+        "five ticks of churn must have cascaded at least one merge"
     );
+
+    // The tick-0 snapshot is still answering from the original roster.
+    let then = tick0.nn_nonzero(incidents[0]);
+    assert!(
+        then.iter().all(|id| ids.contains(id)),
+        "the frozen tick-0 view must only know the original units"
+    );
+    assert_eq!(tick0.len(), fleet.len());
+
+    // --- Cross-check: the final dynamic state must agree bit-for-bit with
+    // a static index built from scratch on the surviving live set.
+    let snap = index.snapshot();
+    let live = snap.live_points();
+    let static_index = PnnIndex::build(
+        live.iter().map(|(_, p)| p.clone()).collect(),
+        PnnConfig {
+            epsilon: 0.02,
+            ..PnnConfig::default()
+        },
+    );
+    for q in incidents {
+        let dynamic_ids = snap.nn_nonzero(q);
+        let static_ids: Vec<PointId> = static_index
+            .nn_nonzero(q)
+            .into_iter()
+            .map(|i| live[i].0)
+            .collect();
+        assert_eq!(
+            dynamic_ids, static_ids,
+            "dynamic and rebuilt static NN!=0 diverged at {q:?}"
+        );
+    }
+    println!("\nfinal state agrees with a from-scratch static rebuild");
     println!("all fleet_tracking assertions passed");
 }

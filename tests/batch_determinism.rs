@@ -341,6 +341,129 @@ fn ten_thousand_query_metrics_bit_identical_across_thread_counts() {
     assert!(snapshots.iter().all(|s| s == first));
 }
 
+/// A dynamic index with a mid-size churn history: inserts (some under
+/// explicit ids), removals, and re-inserts, leaving a multi-block layout.
+fn churned_dynamic(seed: u64) -> unn::dynamic::DynamicPnnIndex {
+    use unn::dynamic::{DynamicPnnConfig, DynamicPnnIndex};
+    let config = DynamicPnnConfig {
+        mc_rounds: 256,
+        ..DynamicPnnConfig::default()
+    };
+    let mut index = DynamicPnnIndex::with_config(config).unwrap_or_else(|e| panic!("config: {e}"));
+    let points = mixed_points(18, seed);
+    for p in &points {
+        index.insert(p.clone());
+    }
+    for id in [2u64, 9, 14] {
+        assert!(index.remove(id));
+    }
+    for id in [2u64, 14] {
+        index
+            .insert_with_id(id, points[id as usize].clone())
+            .unwrap_or_else(|e| panic!("re-insert {id}: {e}"));
+    }
+    index
+}
+
+#[test]
+fn dynamic_batch_bit_identical_across_thread_counts() {
+    let snap = churned_dynamic(550).snapshot();
+    let qs = queries(96, 551);
+    let seq_nz: Vec<_> = qs.iter().map(|&q| snap.nn_nonzero(q)).collect();
+    let seq_pi: Vec<_> = qs.iter().map(|&q| snap.quantify(q).0).collect();
+    let seq_ad: Vec<_> = qs
+        .iter()
+        .map(|&q| snap.quantify_adaptive(q, 0.05, 0.01))
+        .collect();
+    for t in THREAD_COUNTS {
+        let opts = BatchOptions::with_threads(t);
+        assert_eq!(
+            snap.nn_nonzero_batch_with(&qs, &opts),
+            seq_nz,
+            "threads = {t}"
+        );
+        assert_eq!(
+            snap.quantify_batch_with(&qs, &opts),
+            seq_pi,
+            "threads = {t}"
+        );
+        assert_eq!(
+            snap.quantify_adaptive_batch_with(&qs, 0.05, 0.01, &opts),
+            seq_ad,
+            "threads = {t}"
+        );
+    }
+}
+
+#[test]
+fn dynamic_batch_invariant_to_block_layout() {
+    // Three histories of the same live set: forward inserts with churn,
+    // reverse-order inserts, and a heavily-compacted variant. The batch
+    // results must be bit-identical across all of them — the block layout
+    // is invisible — at every thread count.
+    use unn::dynamic::{DynamicPnnConfig, DynamicPnnIndex};
+    let base = churned_dynamic(552);
+    let live = base.snapshot().live_points();
+
+    let config = DynamicPnnConfig {
+        mc_rounds: 256,
+        ..DynamicPnnConfig::default()
+    };
+    let mut reversed =
+        DynamicPnnIndex::with_config(config.clone()).unwrap_or_else(|e| panic!("config: {e}"));
+    for (id, p) in live.iter().rev() {
+        reversed
+            .insert_with_id(*id, p.clone())
+            .unwrap_or_else(|e| panic!("insert {id}: {e}"));
+    }
+    let mut compacted =
+        DynamicPnnIndex::with_config(config).unwrap_or_else(|e| panic!("config: {e}"));
+    for (id, p) in &live {
+        compacted
+            .insert_with_id(*id, p.clone())
+            .unwrap_or_else(|e| panic!("insert {id}: {e}"));
+    }
+    // Extra churn that nets out: remove and re-insert half the set to force
+    // tombstones, merges, and at least one compaction.
+    for (id, p) in live.iter().take(live.len() / 2) {
+        assert!(compacted.remove(*id));
+        compacted
+            .insert_with_id(*id, p.clone())
+            .unwrap_or_else(|e| panic!("re-insert {id}: {e}"));
+    }
+
+    let (s0, s1, s2) = (base.snapshot(), reversed.snapshot(), compacted.snapshot());
+    assert_eq!(s0.live_ids(), s1.live_ids());
+    assert_eq!(s0.live_ids(), s2.live_ids());
+    assert_ne!(
+        base.stats().blocks_built,
+        compacted.stats().blocks_built,
+        "histories must differ structurally for the test to mean anything"
+    );
+
+    let qs = queries(64, 553);
+    for t in THREAD_COUNTS {
+        let opts = BatchOptions::with_threads(t);
+        let nz = s0.nn_nonzero_batch_with(&qs, &opts);
+        assert_eq!(nz, s1.nn_nonzero_batch_with(&qs, &opts), "threads = {t}");
+        assert_eq!(nz, s2.nn_nonzero_batch_with(&qs, &opts), "threads = {t}");
+        let pi = s0.quantify_batch_with(&qs, &opts);
+        assert_eq!(pi, s1.quantify_batch_with(&qs, &opts), "threads = {t}");
+        assert_eq!(pi, s2.quantify_batch_with(&qs, &opts), "threads = {t}");
+        let ad = s0.quantify_adaptive_batch_with(&qs, 0.05, 0.01, &opts);
+        assert_eq!(
+            ad,
+            s1.quantify_adaptive_batch_with(&qs, 0.05, 0.01, &opts),
+            "threads = {t}"
+        );
+        assert_eq!(
+            ad,
+            s2.quantify_adaptive_batch_with(&qs, 0.05, 0.01, &opts),
+            "threads = {t}"
+        );
+    }
+}
+
 #[test]
 fn ambient_pool_default_matches_pinned() {
     let idx = PnnIndex::new(discrete_points(10, 3, 517));

@@ -1,0 +1,229 @@
+//! Differential oracle for the dynamic index: after an arbitrary
+//! interleaving of inserts and removes, a [`DynamicPnnIndex`] snapshot must
+//! agree with a *fresh static* [`PnnIndex`] built from the surviving live
+//! set — `NN≠0` bit-for-bit, Monte-Carlo quantification within the *sum*
+//! of the two paths' honest advertised accuracies (triangle inequality
+//! through the true distribution, as in `tests/oracle.rs`), and the exact
+//! sweep bit-for-bit on all-discrete live sets.
+//!
+//! Everything is deterministic: corpora, churn sequences, and queries come
+//! from proptest/fixed seeds, and both indexes freeze their Monte-Carlo
+//! randomness at build time.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use unn::distr::DiscreteDistribution;
+use unn::dynamic::{DynamicPnnConfig, DynamicPnnIndex, PointId};
+use unn::geom::Point;
+use unn::{PnnConfig, PnnIndex, Uncertain};
+
+const DELTA: f64 = 0.01;
+
+fn dynamic_config() -> DynamicPnnConfig {
+    DynamicPnnConfig {
+        base: PnnConfig {
+            epsilon: 0.05,
+            delta: DELTA,
+            ..PnnConfig::default()
+        },
+        // Small enough to keep churned rebuilds cheap; the honest bound
+        // the snapshot advertises for this s is what the test checks.
+        mc_rounds: 384,
+        ..DynamicPnnConfig::default()
+    }
+}
+
+fn static_config() -> PnnConfig {
+    PnnConfig {
+        epsilon: 0.05,
+        delta: DELTA,
+        max_mc_rounds: 1024,
+        ..PnnConfig::default()
+    }
+}
+
+fn random_disk(rng: &mut SmallRng) -> Uncertain {
+    Uncertain::uniform_disk(
+        Point::new(rng.random_range(-20.0..20.0), rng.random_range(-20.0..20.0)),
+        rng.random_range(0.3..2.5),
+    )
+}
+
+fn queries(m: usize, seed: u64) -> Vec<Point> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..m)
+        .map(|_| Point::new(rng.random_range(-25.0..25.0), rng.random_range(-25.0..25.0)))
+        .collect()
+}
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Drives `ops` through a dynamic index and a plain map mirror; returns
+/// both. `true` ops insert a fresh random disk, `false` ops remove the
+/// live id selected by the raw key (skipped when nothing is live).
+fn churn(
+    initial: usize,
+    ops: &[(bool, u64)],
+    seed: u64,
+) -> (DynamicPnnIndex, BTreeMap<PointId, Uncertain>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut index = DynamicPnnIndex::with_config(dynamic_config())
+        .unwrap_or_else(|e| panic!("config rejected: {e}"));
+    let mut mirror = BTreeMap::new();
+    for _ in 0..initial {
+        let p = random_disk(&mut rng);
+        let id = index.insert(p.clone());
+        mirror.insert(id, p);
+    }
+    for &(is_insert, raw) in ops {
+        if is_insert {
+            let p = random_disk(&mut rng);
+            let id = index.insert(p.clone());
+            mirror.insert(id, p);
+        } else if !mirror.is_empty() {
+            let keys: Vec<PointId> = mirror.keys().copied().collect();
+            let victim = keys[(raw as usize) % keys.len()];
+            assert!(index.remove(victim), "mirror says {victim} is live");
+            mirror.remove(&victim);
+        }
+    }
+    (index, mirror)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The tentpole equivalence contract: for any churn history, the
+    /// snapshot's answers depend only on the surviving live set.
+    #[test]
+    fn churned_dynamic_matches_fresh_static(
+        initial in 3usize..10,
+        ops in proptest::collection::vec((proptest::bool::ANY, 0u64..1_000_000), 0..24),
+        seed in 0u64..10_000,
+    ) {
+        let (index, mirror) = churn(initial, &ops, seed);
+        prop_assert_eq!(index.len(), mirror.len());
+        let snap = index.snapshot();
+        let live_ids: Vec<PointId> = mirror.keys().copied().collect();
+        prop_assert_eq!(snap.live_ids(), &live_ids[..]);
+
+        let static_index = PnnIndex::build(mirror.values().cloned().collect(), static_config());
+        let qs = queries(6, seed ^ 0xD15C);
+        for &q in &qs {
+            // NN!=0 must be bit-identical: same floats, same strict
+            // comparisons, only composed across blocks.
+            let dynamic_ids = snap.nn_nonzero(q);
+            let static_ids: Vec<PointId> = static_index
+                .nn_nonzero(q)
+                .into_iter()
+                .map(|i| live_ids[i])
+                .collect();
+            prop_assert_eq!(&dynamic_ids, &static_ids, "NN!=0 diverged at {:?}", q);
+
+            if mirror.is_empty() {
+                prop_assert!(snap.quantify(q).0.is_empty());
+                continue;
+            }
+            // Monte-Carlo estimates use different round instantiations
+            // (id-keyed vs build-order streams), so they agree through the
+            // true distribution: within the sum of the honest bounds.
+            let (dyn_pi, _) = snap.quantify(q);
+            let (stat_pi, _) = static_index.quantify(q);
+            let bound = snap.achieved_epsilon() + static_index.mc_achieved_epsilon();
+            let d = max_abs_diff(&dyn_pi, &stat_pi);
+            prop_assert!(
+                d <= bound,
+                "MC estimates {} apart > summed honest bounds {} at {:?}",
+                d, bound, q
+            );
+            let sum: f64 = dyn_pi.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "pi sums to {}", sum);
+        }
+    }
+
+    /// Tombstoned points must vanish from every answer immediately —
+    /// before any merge or compaction reclaims their storage.
+    #[test]
+    fn removed_points_never_appear(
+        initial in 4usize..10,
+        victims in proptest::collection::vec(0u64..1_000_000, 1..3),
+        seed in 0u64..10_000,
+    ) {
+        let ops: Vec<(bool, u64)> = victims.iter().map(|&v| (false, v)).collect();
+        let (index, mirror) = churn(initial, &ops, seed);
+        let snap = index.snapshot();
+        for &q in &queries(4, seed ^ 0xDEAD) {
+            for id in snap.nn_nonzero(q) {
+                prop_assert!(mirror.contains_key(&id), "dead id {} answered", id);
+            }
+            let (pi, _) = snap.quantify(q);
+            prop_assert_eq!(pi.len(), mirror.len());
+        }
+    }
+}
+
+/// All-discrete live sets expose the exact sweep through the dynamic
+/// facade; it must be bit-identical to the static sweep (same points, same
+/// live-id order), and the adaptive certificate must honestly bound the
+/// true error against it.
+#[test]
+fn discrete_exact_path_is_bit_identical_and_adaptive_honest() {
+    let mut rng = SmallRng::seed_from_u64(77);
+    let mut index = DynamicPnnIndex::with_config(dynamic_config())
+        .unwrap_or_else(|e| panic!("config rejected: {e}"));
+    let mut mirror = BTreeMap::new();
+    for _ in 0..10 {
+        let c = Point::new(rng.random_range(-20.0..20.0), rng.random_range(-20.0..20.0));
+        let pts: Vec<Point> = (0..4)
+            .map(|_| {
+                Point::new(
+                    c.x + rng.random_range(-3.0..3.0),
+                    c.y + rng.random_range(-3.0..3.0),
+                )
+            })
+            .collect();
+        let p = Uncertain::Discrete(
+            DiscreteDistribution::uniform(pts).unwrap_or_else(|e| panic!("corpus: {e}")),
+        );
+        let id = index.insert(p.clone());
+        mirror.insert(id, p);
+    }
+    for victim in [2u64, 6] {
+        assert!(index.remove(victim));
+        mirror.remove(&victim);
+    }
+    let snap = index.snapshot();
+    let static_index = PnnIndex::build(mirror.values().cloned().collect(), static_config());
+    for &q in &queries(8, 78) {
+        let (dyn_exact, _) = snap.quantify_exact(q);
+        let (stat_exact, _) = static_index.quantify_exact(q);
+        assert_eq!(
+            dyn_exact, stat_exact,
+            "exact sweeps must be bit-identical at {q:?}"
+        );
+        let a = snap.quantify_adaptive(q, 0.05, DELTA);
+        assert!(a.rounds_used >= 1 && a.rounds_used <= snap.mc_rounds());
+        let d = max_abs_diff(&a.pi, &dyn_exact);
+        assert!(
+            d <= a.half_width,
+            "true error {d} > certified half-width {} at {q:?}",
+            a.half_width
+        );
+        let (mc_pi, _) = snap.quantify(q);
+        let d = max_abs_diff(&mc_pi, &dyn_exact);
+        assert!(
+            d <= snap.achieved_epsilon(),
+            "MC error {d} > advertised {} at {q:?}",
+            snap.achieved_epsilon()
+        );
+    }
+}
