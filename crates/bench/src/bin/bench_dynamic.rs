@@ -21,7 +21,7 @@ use std::time::Instant;
 
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
-use unn::dynamic::{DynamicPnnConfig, DynamicPnnIndex, PointId};
+use unn::dynamic::{CompactionPolicy, DynamicPnnConfig, DynamicPnnIndex, PointId};
 use unn::geom::Point;
 use unn::{PnnConfig, PnnIndex, Uncertain};
 use unn_bench::util::random_queries;
@@ -72,9 +72,22 @@ struct ChurnResult {
     speedup: f64,
 }
 
+/// One mixed read/write phase: `pairs` remove+insert pairs under `policy`,
+/// with query batches interleaved between update strides.
+struct PolicyResult {
+    policy: &'static str,
+    rate: f64,
+    pairs: usize,
+    updates_per_sec: f64,
+    query_nn_nonzero_ns: f64,
+    query_quantify_ns: f64,
+    blocks: usize,
+}
+
 struct SizeResult {
     n: usize,
     churn: Vec<ChurnResult>,
+    policies: Vec<PolicyResult>,
     q_nonzero_dynamic: f64,
     q_nonzero_static: f64,
     q_quantify_dynamic: f64,
@@ -82,6 +95,98 @@ struct SizeResult {
     blocks: usize,
     merges: u64,
     compactions: u64,
+}
+
+const POLICIES: [(&str, CompactionPolicy); 3] = [
+    ("logarithmic", CompactionPolicy::Logarithmic),
+    ("tiered", CompactionPolicy::Tiered { max_blocks: 3 }),
+    ("merge_to_one", CompactionPolicy::MergeToOne),
+];
+
+/// Runs one interleaved phase: strides of update pairs alternating with a
+/// query batch on a fresh snapshot (so every batch sees the churned state,
+/// block layout included). Returns sustained update throughput and the
+/// median-of-batches ns/query for both read paths.
+fn mixed_phase(
+    index: &mut DynamicPnnIndex,
+    live: &mut [PointId],
+    pairs: usize,
+    side: f64,
+    rng: &mut SmallRng,
+    queries: &[Point],
+) -> (f64, f64, f64) {
+    let stride = (pairs / 8).max(1);
+    let mut update_secs = 0.0;
+    let mut nn_samples: Vec<f64> = Vec::new();
+    let mut qt_samples: Vec<f64> = Vec::new();
+    let mut done = 0usize;
+    while done < pairs {
+        let burst = stride.min(pairs - done);
+        let start = Instant::now();
+        for _ in 0..burst {
+            let slot = rng.random_range(0..live.len());
+            assert!(index.remove(live[slot]), "mirror out of sync");
+            live[slot] = index.insert(random_disk(rng, side));
+        }
+        update_secs += start.elapsed().as_secs_f64();
+        done += burst;
+
+        let snap = index.snapshot();
+        let start = Instant::now();
+        for &q in queries {
+            std::hint::black_box(snap.nn_nonzero(q).len());
+        }
+        nn_samples.push(start.elapsed().as_secs_f64() * 1e9 / queries.len() as f64);
+        let start = Instant::now();
+        for &q in queries {
+            std::hint::black_box(snap.quantify(q).0.len());
+        }
+        qt_samples.push(start.elapsed().as_secs_f64() * 1e9 / queries.len() as f64);
+    }
+    nn_samples.sort_by(f64::total_cmp);
+    qt_samples.sort_by(f64::total_cmp);
+    (
+        (2 * pairs) as f64 / update_secs,
+        nn_samples[nn_samples.len() / 2],
+        qt_samples[qt_samples.len() / 2],
+    )
+}
+
+/// The per-policy mixed read/write matrix at one size: every policy runs
+/// 1% / 10% / 50% churn phases back-to-back on one index (bulk-inserted
+/// bootstrap, so even `MergeToOne` starts from a single affordable build).
+/// `MergeToOne` pays a full rebuild per insert, so its phases are capped to
+/// a handful of pairs — the recorded `pairs` is the honest count.
+fn run_policies(n: usize, side: f64, queries: &[Point]) -> Vec<PolicyResult> {
+    let mut out = Vec::new();
+    for (name, policy) in POLICIES {
+        let mut rng = SmallRng::seed_from_u64(140 + n as u64);
+        let mut index = DynamicPnnIndex::with_config(DynamicPnnConfig {
+            policy,
+            ..dynamic_config()
+        })
+        .unwrap_or_else(|e| panic!("config: {e}"));
+        let points: Vec<Uncertain> = (0..n).map(|_| random_disk(&mut rng, side)).collect();
+        let mut live = index.bulk_insert(points);
+        for rate in [0.01f64, 0.1, 0.5] {
+            let mut pairs = ((n as f64 * rate) as usize).max(8);
+            if matches!(policy, CompactionPolicy::MergeToOne) {
+                pairs = pairs.min(if n >= 4096 { 8 } else { 16 });
+            }
+            let (updates_per_sec, nn_ns, qt_ns) =
+                mixed_phase(&mut index, &mut live, pairs, side, &mut rng, queries);
+            out.push(PolicyResult {
+                policy: name,
+                rate,
+                pairs,
+                updates_per_sec,
+                query_nn_nonzero_ns: nn_ns,
+                query_quantify_ns: qt_ns,
+                blocks: index.stats().blocks,
+            });
+        }
+    }
+    out
 }
 
 /// Sustained dynamic throughput: `pairs` remove+insert pairs against a
@@ -166,10 +271,13 @@ fn run_size(n: usize) -> SizeResult {
         std::hint::black_box(static_index.quantify(q).0.len());
     });
 
+    let policies = run_policies(n, side, &queries);
+
     let stats = index.stats();
     SizeResult {
         n,
         churn,
+        policies,
         q_nonzero_dynamic,
         q_nonzero_static,
         q_quantify_dynamic,
@@ -220,9 +328,37 @@ fn main() {
             "  query: nn_nonzero {:.0}ns (static {:.0}ns)  quantify {:.0}ns (static {:.0}ns)",
             r.q_nonzero_dynamic, r.q_nonzero_static, r.q_quantify_dynamic, r.q_quantify_static
         );
+        let mut policy_json = String::new();
+        for (j, p) in r.policies.iter().enumerate() {
+            println!(
+                "  {:>12} @ {:>3.0}%: {:>9.0} upd/s  nn_nonzero {:>8.0}ns  quantify {:>8.0}ns  \
+                 ({} pairs, {} blocks)",
+                p.policy,
+                100.0 * p.rate,
+                p.updates_per_sec,
+                p.query_nn_nonzero_ns,
+                p.query_quantify_ns,
+                p.pairs,
+                p.blocks
+            );
+            policy_json.push_str(&format!(
+                "      {{ \"policy\": \"{}\", \"rate\": {:.2}, \"pairs\": {}, \
+                 \"updates_per_sec\": {:.1}, \"query_nn_nonzero_ns\": {:.1}, \
+                 \"query_quantify_ns\": {:.1}, \"blocks\": {} }}{}\n",
+                p.policy,
+                p.rate,
+                p.pairs,
+                p.updates_per_sec,
+                p.query_nn_nonzero_ns,
+                p.query_quantify_ns,
+                p.blocks,
+                if j + 1 == r.policies.len() { "" } else { "," }
+            ));
+        }
         out.push_str(&format!(
             "    {{ \"n\": {}, \"blocks\": {}, \"merges\": {}, \"compactions\": {},\n      \
              \"churn\": [\n{}      ],\n      \
+             \"policies\": [\n{}      ],\n      \
              \"query_nn_nonzero_dynamic\": {:.1}, \"query_nn_nonzero_static\": {:.1},\n      \
              \"query_quantify_dynamic\": {:.1}, \"query_quantify_static\": {:.1} }}{}\n",
             r.n,
@@ -230,6 +366,7 @@ fn main() {
             r.merges,
             r.compactions,
             churn_json,
+            policy_json,
             r.q_nonzero_dynamic,
             r.q_nonzero_static,
             r.q_quantify_dynamic,
@@ -254,6 +391,28 @@ fn main() {
     assert!(
         min_speedup >= 10.0,
         "dynamic update throughput speedup {min_speedup:.1}x below the 10x bar"
+    );
+
+    // Read-path acceptance bar: at the largest size under 10% churn, the
+    // best policy's NN!=0 latency must land within 3x of the static index.
+    let best_nn = largest
+        .policies
+        .iter()
+        .filter(|p| (p.rate - 0.1).abs() < 1e-9)
+        .map(|p| p.query_nn_nonzero_ns)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "acceptance: best-policy nn_nonzero at n={} / 10% churn is {:.0}ns vs static {:.0}ns \
+         ({:.2}x, bar: 3x)",
+        largest.n,
+        best_nn,
+        largest.q_nonzero_static,
+        best_nn / largest.q_nonzero_static
+    );
+    assert!(
+        best_nn <= 3.0 * largest.q_nonzero_static,
+        "best-policy nn_nonzero {best_nn:.0}ns exceeds 3x static {:.0}ns",
+        largest.q_nonzero_static
     );
 
     std::fs::write("BENCH_dynamic.json", &out).expect("write BENCH_dynamic.json");

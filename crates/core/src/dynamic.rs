@@ -50,7 +50,7 @@ use crate::batch::BatchOptions;
 use crate::index::{PnnConfig, QuantifyMethod};
 use crate::resilience::{QuantifyOutcome, QueryBudget, UnnError, ValidationPolicy};
 
-pub use unn_dynamic::{DynamicStats, PointId};
+pub use unn_dynamic::{CompactionPolicy, DynamicStats, PointId};
 
 /// Configuration for [`DynamicPnnIndex`]: the static query parameters plus
 /// the dynamic lifecycle knobs.
@@ -66,6 +66,19 @@ pub struct DynamicPnnConfig {
     /// Compact everything into one block once tombstones exceed this
     /// fraction of stored slots. Must lie in `(0, 1)`.
     pub max_dead_fraction: f64,
+    /// How inserts reshape the block set: classic Bentley–Saxe cascades
+    /// ([`CompactionPolicy::Logarithmic`], the default), a hard cap on block
+    /// count ([`CompactionPolicy::Tiered`], `max_blocks >= 1`), or a single
+    /// always-merged block ([`CompactionPolicy::MergeToOne`]). Every policy
+    /// yields bit-identical query answers — this knob trades update cost
+    /// against read-path fan-out.
+    pub policy: CompactionPolicy,
+    /// Hot-block promotion: when `Some(r)`, a mutation arriving after at
+    /// least `r` snapshot reads per update since the last promotion
+    /// collapses the structure into one block (read-heavy phases buy the
+    /// single-block read path without paying it on every insert). Must be
+    /// finite and positive. `None` (the default) disables promotion.
+    pub hot_promote_ratio: Option<f64>,
 }
 
 impl Default for DynamicPnnConfig {
@@ -74,6 +87,8 @@ impl Default for DynamicPnnConfig {
             base: PnnConfig::default(),
             mc_rounds: 1024,
             max_dead_fraction: 0.25,
+            policy: CompactionPolicy::Logarithmic,
+            hot_promote_ratio: None,
         }
     }
 }
@@ -95,6 +110,20 @@ impl DynamicPnnConfig {
                 ),
             });
         }
+        if let CompactionPolicy::Tiered { max_blocks } = self.policy {
+            if max_blocks == 0 {
+                return Err(UnnError::InvalidConfig {
+                    reason: "Tiered policy needs max_blocks >= 1".into(),
+                });
+            }
+        }
+        if let Some(r) = self.hot_promote_ratio {
+            if !(r.is_finite() && r > 0.0) {
+                return Err(UnnError::InvalidConfig {
+                    reason: format!("hot_promote_ratio must be finite and positive, got {r}"),
+                });
+            }
+        }
         Ok(())
     }
 
@@ -103,6 +132,8 @@ impl DynamicPnnConfig {
             seed: self.base.seed,
             mc_rounds: self.mc_rounds.min(self.base.max_mc_rounds).max(1),
             max_dead_fraction: self.max_dead_fraction,
+            policy: self.policy,
+            hot_promote_ratio: self.hot_promote_ratio,
         }
     }
 }
@@ -143,13 +174,21 @@ impl DynamicPnnIndex {
     }
 
     /// Builds from an initial point set (ids `0..points.len()` in order),
-    /// validating the configuration first.
+    /// validating the configuration first. The initial set lands as one
+    /// block (a single build instead of an insert cascade), which makes
+    /// bootstrap affordable even under [`CompactionPolicy::MergeToOne`];
+    /// query answers are bit-identical either way.
     pub fn from_points(points: Vec<Uncertain>, config: DynamicPnnConfig) -> Result<Self, UnnError> {
         let mut index = Self::with_config(config)?;
-        for p in points {
-            index.insert(p);
-        }
+        index.bulk_insert(points);
         Ok(index)
+    }
+
+    /// Inserts a batch of points as **one** block build, returning their
+    /// fresh consecutive ids. Equivalent to inserting one-by-one (same ids,
+    /// bit-identical query answers) at a fraction of the rebuild cost.
+    pub fn bulk_insert(&mut self, points: Vec<Uncertain>) -> Vec<PointId> {
+        self.engine.bulk_insert(points)
     }
 
     /// Inserts a point under a fresh id and returns it. Amortized
@@ -368,6 +407,25 @@ impl DynamicSnapshot {
     /// live set, for every block layout.
     pub fn nn_nonzero(&self, q: Point) -> Vec<PointId> {
         self.inner.core.nn_nonzero(q)
+    }
+
+    /// [`DynamicSnapshot::nn_nonzero`] through the unpruned linear fold —
+    /// same floats, no shared-bound pruning. Kept as the differential
+    /// oracle for the pruning test suites; prefer `nn_nonzero`.
+    pub fn nn_nonzero_unpruned(&self, q: Point) -> Vec<PointId> {
+        self.inner.core.nn_nonzero_unpruned(q)
+    }
+
+    /// [`DynamicSnapshot::quantify`]'s probability vector through the
+    /// unpruned per-round winner fold — the differential oracle matching
+    /// [`DynamicSnapshot::nn_nonzero_unpruned`].
+    pub fn quantify_unpruned(&self, q: Point) -> Vec<f64> {
+        self.inner.core.quantify_unpruned(q)
+    }
+
+    /// Number of blocks backing this view (compaction-policy diagnostics).
+    pub fn blocks(&self) -> usize {
+        self.inner.core.blocks()
     }
 
     /// ε-approximate quantification probabilities over the live set, from

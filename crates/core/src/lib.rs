@@ -54,7 +54,7 @@ pub mod resilience;
 pub mod set;
 
 pub use batch::{query_stream_seed, BatchOptions, BatchOutcome};
-pub use dynamic::{DynamicPnnConfig, DynamicPnnIndex, DynamicSnapshot, PointId};
+pub use dynamic::{CompactionPolicy, DynamicPnnConfig, DynamicPnnIndex, DynamicSnapshot, PointId};
 pub use evd::ExpectedVoronoi;
 pub use expected::ExpectedNnIndex;
 pub use index::{PnnConfig, PnnIndex, QuantifyMethod};

@@ -2,6 +2,7 @@
 //! removals, compaction) and frozen query snapshots.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use unn_distr::{Uncertain, UncertainPoint};
@@ -10,6 +11,29 @@ use unn_nonzero::DeltaCompose;
 
 use crate::block::BlockCore;
 use crate::PointId;
+
+/// How the engine bounds its block count on insert. Every policy preserves
+/// the engine's query contract bit-for-bit — answers are layout-invariant —
+/// and trades update cost against the number of blocks a read must compose.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompactionPolicy {
+    /// Classic Bentley–Saxe: merge while two blocks share a size class
+    /// (`⌊log₂ len⌋`). O(log n) blocks, amortized O(polylog) rebuild work
+    /// per insert — the write-optimized default.
+    Logarithmic,
+    /// Logarithmic cascades followed by greedy smallest-pair merges until
+    /// at most `max_blocks` remain (`0` is treated as `1`). Bounds the
+    /// read-side composition width at a bounded extra write cost — the
+    /// LSM-style middle ground.
+    Tiered {
+        /// Maximum number of blocks left standing after any insert.
+        max_blocks: usize,
+    },
+    /// Every insert rebuilds the whole live set into a single block.
+    /// Read-optimal (queries see exactly one block) but O(n) rebuild work
+    /// per insert — for read-dominated sets that rarely change.
+    MergeToOne,
+}
 
 /// Tuning knobs for the dynamic engine.
 #[derive(Clone, Copy, Debug)]
@@ -22,6 +46,14 @@ pub struct EngineConfig {
     /// Compact the whole structure into one block once
     /// `dead > max_dead_fraction · (live + dead)`.
     pub max_dead_fraction: f64,
+    /// Block-count policy applied after every insert.
+    pub policy: CompactionPolicy,
+    /// Hot-block promotion: when `Some(r)`, a mutation that observes
+    /// `snapshot reads ≥ r · updates` (both counted since the last
+    /// promotion) on a multi-block engine merges everything into one block.
+    /// Background-free: the check runs inside `insert`/`remove`, reads are
+    /// counted by query snapshots via a shared atomic. `None` disables it.
+    pub hot_promote_ratio: Option<f64>,
 }
 
 impl Default for EngineConfig {
@@ -30,6 +62,8 @@ impl Default for EngineConfig {
             seed: 0x5eed,
             mc_rounds: 1024,
             max_dead_fraction: 0.25,
+            policy: CompactionPolicy::Logarithmic,
+            hot_promote_ratio: None,
         }
     }
 }
@@ -71,8 +105,14 @@ pub struct DynamicStats {
     pub merges: u64,
     /// Total full compactions performed.
     pub compactions: u64,
+    /// Total hot-block promotions performed (read-ratio-triggered
+    /// merge-to-one rebuilds).
+    pub promotions: u64,
     /// Total blocks ever built (inserts + merges + compactions).
     pub blocks_built: u64,
+    /// Snapshot queries counted toward the promotion heuristic since the
+    /// last promotion (or forever, when promotion is disabled).
+    pub reads: u64,
 }
 
 /// One block plus its copy-on-write liveness bitmap.
@@ -100,7 +140,15 @@ pub struct DynamicEngine {
     dead: usize,
     merges: u64,
     compactions: u64,
+    promotions: u64,
     blocks_built: u64,
+    /// Snapshot read counter shared with every [`EngineSnapshot`] this
+    /// engine hands out (cloning the engine shares it too — reads against
+    /// either clone's snapshots feed both promotion heuristics).
+    reads: Arc<AtomicU64>,
+    /// Mutations since the last promotion (the denominator of the
+    /// read/update ratio).
+    updates_since_promote: u64,
 }
 
 impl Default for DynamicEngine {
@@ -121,7 +169,10 @@ impl DynamicEngine {
             dead: 0,
             merges: 0,
             compactions: 0,
+            promotions: 0,
             blocks_built: 0,
+            reads: Arc::new(AtomicU64::new(0)),
+            updates_since_promote: 0,
         }
     }
 
@@ -191,9 +242,37 @@ impl DynamicEngine {
 
     fn insert_entry(&mut self, id: PointId, point: Uncertain) {
         self.push_block(vec![(id, point)]);
-        self.cascade();
+        self.apply_policy();
         self.live += 1;
         self.epoch += 1;
+        self.note_update();
+    }
+
+    /// Inserts many points as **one** block under fresh consecutive ids
+    /// (then applies the compaction policy once), returning the ids.
+    /// Query-equivalent to inserting one by one — answers are
+    /// layout-invariant — but builds O(1) blocks instead of O(n), which is
+    /// what makes bootstrapping a [`CompactionPolicy::MergeToOne`] engine
+    /// affordable.
+    pub fn bulk_insert(&mut self, points: Vec<Uncertain>) -> Vec<PointId> {
+        if points.is_empty() {
+            return Vec::new();
+        }
+        let ids: Vec<PointId> = points
+            .iter()
+            .map(|_| {
+                let id = self.next_id;
+                self.next_id += 1;
+                id
+            })
+            .collect();
+        let entries: Vec<(PointId, Uncertain)> = ids.iter().copied().zip(points).collect();
+        self.live += entries.len();
+        self.push_block(entries);
+        self.apply_policy();
+        self.epoch += 1;
+        self.note_update();
+        ids
     }
 
     /// Tombstones `id`. Returns `false` (and leaves the epoch untouched) if
@@ -212,6 +291,7 @@ impl DynamicEngine {
                     self.dead += 1;
                     self.epoch += 1;
                     self.maybe_compact();
+                    self.note_update();
                     return true;
                 }
             }
@@ -227,6 +307,66 @@ impl DynamicEngine {
         let core = Arc::new(BlockCore::build(entries, self.config.seed, self.rounds()));
         let alive = Arc::new(vec![true; core.len()]);
         self.slots.push(Slot { core, alive, live });
+    }
+
+    /// Applies the configured [`CompactionPolicy`] after an insert.
+    fn apply_policy(&mut self) {
+        match self.config.policy {
+            CompactionPolicy::Logarithmic => self.cascade(),
+            CompactionPolicy::Tiered { max_blocks } => {
+                self.cascade();
+                let cap = max_blocks.max(1);
+                while self.slots.len() > cap {
+                    // Merge the two smallest blocks (ties broken by slot
+                    // order); each round removes at least one slot.
+                    let (mut a, mut b) = (0usize, 1usize);
+                    if self.slots[b].core.len() < self.slots[a].core.len() {
+                        std::mem::swap(&mut a, &mut b);
+                    }
+                    for i in 2..self.slots.len() {
+                        let l = self.slots[i].core.len();
+                        if l < self.slots[a].core.len() {
+                            b = a;
+                            a = i;
+                        } else if l < self.slots[b].core.len() {
+                            b = i;
+                        }
+                    }
+                    let (hi, lo) = (a.max(b), a.min(b));
+                    let second = self.slots.swap_remove(hi);
+                    let first = self.slots.swap_remove(lo);
+                    self.merge_pair(first, second);
+                }
+            }
+            CompactionPolicy::MergeToOne => {
+                if self.slots.len() > 1 {
+                    self.merges += 1;
+                    unn_observe::dyn_merge();
+                    self.merge_all();
+                }
+            }
+        }
+    }
+
+    /// Bumps the update counter and fires hot-block promotion when the
+    /// read/update ratio crosses the configured bound on a multi-block
+    /// engine. Called once per successful mutation.
+    fn note_update(&mut self) {
+        self.updates_since_promote = self.updates_since_promote.saturating_add(1);
+        let Some(ratio) = self.config.hot_promote_ratio else {
+            return;
+        };
+        if self.slots.len() <= 1 {
+            return;
+        }
+        let reads = self.reads.load(Ordering::Relaxed);
+        if reads as f64 >= ratio * self.updates_since_promote as f64 && reads > 0 {
+            self.promotions += 1;
+            unn_observe::dyn_promotion();
+            self.merge_all();
+            self.reads.store(0, Ordering::Relaxed);
+            self.updates_since_promote = 0;
+        }
     }
 
     /// Merges blocks while any two share a size class. Each merge removes at
@@ -276,6 +416,13 @@ impl DynamicEngine {
         }
         self.compactions += 1;
         unn_observe::dyn_compaction();
+        self.merge_all();
+    }
+
+    /// Rebuilds the whole live set into a single block, dropping every
+    /// tombstone. Shared by compaction, [`CompactionPolicy::MergeToOne`],
+    /// and hot-block promotion — callers bump their own counters first.
+    fn merge_all(&mut self) {
         let mut entries = Vec::with_capacity(self.live);
         for slot in &self.slots {
             for j in 0..slot.core.len() {
@@ -291,6 +438,12 @@ impl DynamicEngine {
         }
     }
 
+    /// Block lengths (live + tombstoned slots), in slot order — the raw
+    /// material for compaction-policy invariant checks.
+    pub fn block_sizes(&self) -> Vec<usize> {
+        self.slots.iter().map(|s| s.core.len()).collect()
+    }
+
     /// Lifecycle counters and sizes.
     pub fn stats(&self) -> DynamicStats {
         DynamicStats {
@@ -301,7 +454,9 @@ impl DynamicEngine {
             epoch: self.epoch,
             merges: self.merges,
             compactions: self.compactions,
+            promotions: self.promotions,
             blocks_built: self.blocks_built,
+            reads: self.reads.load(Ordering::Relaxed),
         }
     }
 
@@ -329,6 +484,7 @@ impl DynamicEngine {
             epoch: self.epoch,
             s: self.rounds(),
             k_max,
+            reads: Arc::clone(&self.reads),
         }
     }
 }
@@ -343,6 +499,9 @@ pub struct EngineSnapshot {
     epoch: u64,
     s: usize,
     k_max: usize,
+    /// Shared with the owning engine: queries bump it so mutations can see
+    /// the read/update ratio for hot-block promotion.
+    reads: Arc<AtomicU64>,
 }
 
 impl EngineSnapshot {
@@ -389,12 +548,59 @@ impl EngineSnapshot {
     /// Ids with nonzero probability of being the nearest neighbor of `q`
     /// (paper §2), sorted ascending.
     ///
-    /// Composes per Lemma 2.1: the first pass folds every live point's
-    /// `max_dist` into a [`DeltaCompose`] (pure min-fold — commutative and
-    /// associative, hence layout-invariant); the second keeps point `i` iff
-    /// `min_dist_i(q) < min_{j≠i} max_dist_j(q)`, matching the static index
-    /// bit for bit.
+    /// Composes per Lemma 2.1 with **shared-bound pruning**: stage 1 orders
+    /// blocks best-first by their root lower bound and threads one
+    /// shrinking cap ([`DeltaCompose::prune_bound`]) through every
+    /// per-block kd descent, skipping whole blocks — without probing them —
+    /// once the cap undercuts their bound; stage 2 reports through each
+    /// block's center tree under the same cap. Both stages fold the same
+    /// floats through the same strict comparisons as the flat scan, so the
+    /// answer is bit-identical to [`EngineSnapshot::nn_nonzero_unpruned`]
+    /// and to the static index on the same live set.
     pub fn nn_nonzero(&self, q: Point) -> Vec<PointId> {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        let fold = self.fold_delta(q);
+        let mut out = Vec::new();
+        for (core, alive) in &self.slots {
+            core.report_nonzero(q, alive, &fold, &mut out);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Stage-1 fold with cross-block pruning: blocks ordered best-first by
+    /// [`BlockCore::delta_fold_bound`]; once the running
+    /// [`DeltaCompose::prune_bound`] drops below the next block's bound,
+    /// every remaining block is skipped (the order is ascending and the cap
+    /// only shrinks). The fold's observable state — `prune_bound` and every
+    /// `cap_for` — is bit-identical to the unpruned full scan.
+    fn fold_delta(&self, q: Point) -> DeltaCompose {
+        let mut fold = DeltaCompose::new();
+        let mut order: Vec<(f64, u32)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(i, (core, _))| (core.delta_fold_bound(q), i as u32))
+            .collect();
+        order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        for &(bound, i) in &order {
+            if bound >= fold.prune_bound() {
+                break;
+            }
+            unn_observe::dyn_block_probed();
+            let (core, alive) = &self.slots[i as usize];
+            core.fold_delta_capped(q, alive, &mut fold);
+        }
+        fold
+    }
+
+    /// The pre-pruning reference composition: unconditional per-block
+    /// linear scans, exactly the shape the shared-bound path must reproduce
+    /// bit-for-bit. Kept as the differential oracle for the pruning test
+    /// suites (and their observe-counter regression checks); it probes
+    /// every block, so production reads should use
+    /// [`EngineSnapshot::nn_nonzero`].
+    pub fn nn_nonzero_unpruned(&self, q: Point) -> Vec<PointId> {
         let mut fold = DeltaCompose::new();
         for (core, alive) in &self.slots {
             unn_observe::dyn_block_probed();
@@ -429,18 +635,43 @@ impl EngineSnapshot {
     /// the same minimum. Tie-breaking by stable id keeps the result
     /// independent of block layout and traversal order.
     pub fn round_winners(&self, q: Point) -> Vec<(f64, PointId)> {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.round_winners_seeded(q, true)
+    }
+
+    /// The pre-pruning reference: per-block Δ minima folded independently
+    /// and every block's ball probed unconditionally. Bit-identical output
+    /// to [`EngineSnapshot::round_winners`]; kept as the differential
+    /// oracle for the pruning suites.
+    pub fn round_winners_unpruned(&self, q: Point) -> Vec<(f64, PointId)> {
+        self.round_winners_seeded(q, false)
+    }
+
+    fn round_winners_seeded(&self, q: Point, pruned: bool) -> Vec<(f64, PointId)> {
         if self.live_ids.is_empty() {
             return Vec::new();
         }
         let s = self.s;
-        let mut delta = f64::INFINITY;
-        for (core, alive) in &self.slots {
-            delta = delta.min(core.prune_radius(q, alive));
-        }
+        let delta = if pruned {
+            self.shared_delta(q)
+        } else {
+            let mut delta = f64::INFINITY;
+            for (core, alive) in &self.slots {
+                delta = delta.min(core.prune_radius(q, alive));
+            }
+            delta
+        };
         let seed = delta * (1.0 + 1e-12);
         unn_observe::seed_radius(seed);
         let mut best: Vec<(f64, PointId)> = vec![(f64::INFINITY, PointId::MAX); s];
         for (core, alive) in &self.slots {
+            // A block whose closest sample sits beyond the seed radius
+            // contributes nothing — the ball traversal's root test would
+            // prune it immediately. Skipping it (without counting a probe)
+            // cannot change any round's fold.
+            if pruned && core.ball_bound(q) > seed {
+                continue;
+            }
             unn_observe::dyn_block_probed();
             let n_b = core.len();
             if n_b == 0 {
@@ -480,6 +711,31 @@ impl EngineSnapshot {
         best
     }
 
+    /// The global pruning radius `Δ(q) = min_b Δ_b(q)` computed with one
+    /// incumbent threaded through blocks ordered best-first by
+    /// [`BlockCore::prune_radius_bound`]; blocks whose bound reaches the
+    /// incumbent are skipped outright. Exactly the same value as the
+    /// independent per-block minima folded by `min` — branch-and-bound with
+    /// a shared incumbent still visits every candidate that could lower it.
+    fn shared_delta(&self, q: Point) -> f64 {
+        let mut order: Vec<(f64, u32)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(i, (core, _))| (core.prune_radius_bound(q), i as u32))
+            .collect();
+        order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut delta = f64::INFINITY;
+        for &(bound, i) in &order {
+            if bound >= delta {
+                break;
+            }
+            let (core, alive) = &self.slots[i as usize];
+            delta = core.prune_radius_from(q, alive, delta);
+        }
+        delta
+    }
+
     /// Folds round `r` of `core` into `e` by linear scan (layout-invariant:
     /// strict `(distance, id)` lexicographic minimum over live samples).
     fn fold_round(core: &BlockCore, alive: &[bool], q: Point, r: usize, e: &mut (f64, PointId)) {
@@ -499,7 +755,11 @@ impl EngineSnapshot {
     /// Round winners mapped to ranks in [`EngineSnapshot::live_ids`] —
     /// the index layout expected by `adaptive_over_winners`.
     pub fn winner_ranks(&self, q: Point) -> Vec<u32> {
-        self.round_winners(q)
+        self.ranks_of(self.round_winners(q))
+    }
+
+    fn ranks_of(&self, winners: Vec<(f64, PointId)>) -> Vec<u32> {
+        winners
             .into_iter()
             .map(|(_, id)| {
                 let rank = self.live_ids.binary_search(&id);
@@ -512,20 +772,36 @@ impl EngineSnapshot {
     /// Monte-Carlo estimate of `π_i(q)` over the live set (dense, indexed
     /// like [`EngineSnapshot::live_ids`]), using all `s` rounds.
     pub fn quantify(&self, q: Point) -> Vec<f64> {
-        let mut pi = vec![0.0; self.live_ids.len()];
         if self.live_ids.is_empty() {
-            return pi;
+            return Vec::new();
         }
         let ranks = self.winner_ranks(q);
+        self.pi_from_ranks(&ranks)
+    }
+
+    /// [`EngineSnapshot::quantify`] through the unpruned winner fold —
+    /// bit-identical output, kept as the differential oracle for the
+    /// pruning suites.
+    pub fn quantify_unpruned(&self, q: Point) -> Vec<f64> {
+        if self.live_ids.is_empty() {
+            return Vec::new();
+        }
+        let ranks = self.ranks_of(self.round_winners_unpruned(q));
+        self.pi_from_ranks(&ranks)
+    }
+
+    fn pi_from_ranks(&self, ranks: &[u32]) -> Vec<f64> {
         let mut counts = vec![0u32; self.live_ids.len()];
-        for r in &ranks {
+        for r in ranks {
             counts[*r as usize] += 1;
         }
         let inv = 1.0 / (self.s as f64);
-        for (p, c) in pi.iter_mut().zip(&counts) {
-            *p = f64::from(*c) * inv;
-        }
-        pi
+        counts.into_iter().map(|c| f64::from(c) * inv).collect()
+    }
+
+    /// Number of blocks in the view (diagnostics and tests).
+    pub fn blocks(&self) -> usize {
+        self.slots.len()
     }
 }
 

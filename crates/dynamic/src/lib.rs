@@ -33,4 +33,6 @@ pub mod engine;
 pub type PointId = u64;
 
 pub use block::BlockCore;
-pub use engine::{DynamicEngine, DynamicError, DynamicStats, EngineConfig, EngineSnapshot};
+pub use engine::{
+    CompactionPolicy, DynamicEngine, DynamicError, DynamicStats, EngineConfig, EngineSnapshot,
+};

@@ -99,6 +99,28 @@ impl DeltaCompose {
         self.best.map(|(_, id)| id)
     }
 
+    /// The largest Δ that could still change any [`DeltaCompose::cap_for`]
+    /// output: the running second minimum (`+∞` until two pairs are
+    /// observed).
+    ///
+    /// Folding a pair with `delta >= prune_bound()` leaves every
+    /// `cap_for(id)` unchanged — it can neither become the new minimum nor
+    /// lower the second minimum (ties at the second minimum fold to the
+    /// same value, and a tie at the *minimum* implies `second == min`, so
+    /// such a pair is never skipped while it could still matter). This makes
+    /// `prune_bound` the exact shrinking cap for a branch-and-bound stage-1
+    /// fold: skip any point or subtree whose Δ lower bound reaches it and
+    /// the resulting caps — hence the whole `NN≠0` answer — are
+    /// bit-identical to the full scan. It also bounds the loosest stage-2
+    /// cap any id receives, so it doubles as the stage-2 report threshold.
+    pub fn prune_bound(&self) -> f64 {
+        match (self.best, self.second) {
+            (None, _) => f64::INFINITY,
+            (Some(_), None) => f64::INFINITY,
+            (Some(_), Some(s)) => s,
+        }
+    }
+
     /// The Lemma 2.1 stage-2 cap for point `id`:
     /// `min_{j ≠ id} Δ_j(q)` — the second minimum if `id` is the
     /// minimizer, the minimum otherwise ([`f64::INFINITY`] when `id` is the
@@ -177,6 +199,35 @@ mod tests {
             for (id, want) in brute_caps(&pairs) {
                 prop_assert_eq!(f.cap_for(id), want, "id {}", id);
             }
+        }
+
+        #[test]
+        fn prop_skipping_at_prune_bound_preserves_caps(
+            deltas in proptest::collection::vec(0.0f64..100.0, 1..32),
+        ) {
+            // Fold every pair vs. fold only pairs strictly below the
+            // running prune_bound: every cap must come out bit-identical
+            // (ties at the minimum and at the second minimum included —
+            // 0..100 at 32 draws collides often enough under proptest's
+            // duplicate-biased float strategy to exercise them).
+            let pairs: Vec<(f64, u64)> = deltas
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| (d, i as u64))
+                .collect();
+            let mut full = DeltaCompose::new();
+            let mut pruned = DeltaCompose::new();
+            for &(d, id) in &pairs {
+                full.observe(d, id);
+                if d < pruned.prune_bound() {
+                    pruned.observe(d, id);
+                }
+            }
+            prop_assert_eq!(full.prune_bound(), pruned.prune_bound());
+            for &(_, id) in &pairs {
+                prop_assert_eq!(full.cap_for(id), pruned.cap_for(id), "id {}", id);
+            }
+            prop_assert_eq!(full.cap_for(u64::MAX - 1), pruned.cap_for(u64::MAX - 1));
         }
 
         #[test]

@@ -106,6 +106,9 @@ pub struct CounterSet {
     pub dyn_merges: u64,
     /// Tombstone compactions triggered (update-side counter).
     pub dyn_compactions: u64,
+    /// Hot-block promotions: read-heavy merge-to-one rebuilds triggered by
+    /// the read/update ratio heuristic (update-side counter).
+    pub dyn_promotions: u64,
     /// The Δ(q) seed radius of the last Monte-Carlo query (`NaN`-free: 0
     /// when no seed was computed).
     pub seed_radius: f64,
@@ -127,6 +130,7 @@ struct Tls {
     dyn_tombstones_filtered: Cell<u64>,
     dyn_merges: Cell<u64>,
     dyn_compactions: Cell<u64>,
+    dyn_promotions: Cell<u64>,
     seed_radius: Cell<f64>,
 }
 
@@ -148,6 +152,7 @@ thread_local! {
             dyn_tombstones_filtered: Cell::new(0),
             dyn_merges: Cell::new(0),
             dyn_compactions: Cell::new(0),
+            dyn_promotions: Cell::new(0),
             seed_radius: Cell::new(0.0),
         }
     };
@@ -216,6 +221,9 @@ hooks! {
     dyn_merge => dyn_merges,
     /// One tombstone compaction (update side).
     dyn_compaction => dyn_compactions,
+    /// One hot-block promotion: read-ratio-triggered merge-to-one (update
+    /// side).
+    dyn_promotion => dyn_promotions,
 }
 
 add_hooks! {
@@ -257,6 +265,7 @@ pub fn begin_query() {
         t.dyn_tombstones_filtered.set(0);
         t.dyn_merges.set(0);
         t.dyn_compactions.set(0);
+        t.dyn_promotions.set(0);
         t.seed_radius.set(0.0);
     });
 }
@@ -287,6 +296,7 @@ pub fn take_counters() -> CounterSet {
         dyn_tombstones_filtered: t.dyn_tombstones_filtered.get(),
         dyn_merges: t.dyn_merges.get(),
         dyn_compactions: t.dyn_compactions.get(),
+        dyn_promotions: t.dyn_promotions.get(),
         seed_radius: t.seed_radius.get(),
     })
 }
@@ -535,6 +545,8 @@ pub struct MetricsShard {
     pub dyn_merges: u64,
     /// Dynamic-index tombstone compactions (update side).
     pub dyn_compactions: u64,
+    /// Dynamic-index hot-block promotions (update side).
+    pub dyn_promotions: u64,
     /// Sum of Monte-Carlo rounds consumed.
     pub rounds_used: u64,
     /// Sum of rounds available (`s` per MC query).
@@ -574,6 +586,7 @@ impl MetricsShard {
         self.dyn_tombstones_filtered += c.dyn_tombstones_filtered;
         self.dyn_merges += c.dyn_merges;
         self.dyn_compactions += c.dyn_compactions;
+        self.dyn_promotions += c.dyn_promotions;
         self.rounds_used += stats.rounds_used;
         self.rounds_total += stats.rounds_total;
         match stats.outcome {
@@ -607,6 +620,7 @@ impl MetricsShard {
         self.dyn_tombstones_filtered += other.dyn_tombstones_filtered;
         self.dyn_merges += other.dyn_merges;
         self.dyn_compactions += other.dyn_compactions;
+        self.dyn_promotions += other.dyn_promotions;
         self.rounds_used += other.rounds_used;
         self.rounds_total += other.rounds_total;
         self.exact_count += other.exact_count;
@@ -757,8 +771,12 @@ impl MetricsSnapshot {
         );
         let _ = writeln!(
             out,
-            "  dynamic: blocks probed {}, tombstones filtered {}, merges {}, compactions {}",
-            s.dyn_blocks_probed, s.dyn_tombstones_filtered, s.dyn_merges, s.dyn_compactions
+            "  dynamic: blocks probed {}, tombstones filtered {}, merges {}, compactions {}, promotions {}",
+            s.dyn_blocks_probed,
+            s.dyn_tombstones_filtered,
+            s.dyn_merges,
+            s.dyn_compactions,
+            s.dyn_promotions
         );
         let _ = writeln!(
             out,
@@ -808,6 +826,7 @@ impl MetricsSnapshot {
                 "  \"dyn_tombstones_filtered\": {},\n",
                 "  \"dyn_merges\": {},\n",
                 "  \"dyn_compactions\": {},\n",
+                "  \"dyn_promotions\": {},\n",
                 "  \"rounds_used\": {},\n",
                 "  \"rounds_total\": {},\n",
                 "  \"exact_count\": {},\n",
@@ -833,6 +852,7 @@ impl MetricsSnapshot {
             s.dyn_tombstones_filtered,
             s.dyn_merges,
             s.dyn_compactions,
+            s.dyn_promotions,
             s.rounds_used,
             s.rounds_total,
             s.exact_count,

@@ -64,7 +64,10 @@ impl Node {
 pub struct KdTree {
     nodes: Vec<Node>,
     pts: Vec<Point>,
-    aux: Vec<f64>,
+    /// Per-point lower offsets: node `min_aux` is their subtree minimum.
+    aux_lo: Vec<f64>,
+    /// Per-point upper offsets: node `max_aux` is their subtree maximum.
+    aux_hi: Vec<f64>,
     /// Original index of each reordered point.
     ids: Vec<u32>,
 }
@@ -84,15 +87,32 @@ impl KdTree {
         Self::with_aux(points, &vec![0.0; points.len()])
     }
 
-    /// Builds a tree over `points` with the given per-point auxiliaries.
+    /// Builds a tree over `points` with the given per-point auxiliaries
+    /// (used for both the lower and the upper per-point offset).
     pub fn with_aux(points: &[Point], aux: &[f64]) -> Self {
-        assert_eq!(points.len(), aux.len());
+        Self::with_aux_bounds(points, aux, aux)
+    }
+
+    /// Builds a tree over `points` with *asymmetric* per-point offsets:
+    /// `lo[i]` feeds the subtree `min_aux` bounds ([`KdTree::min_adjusted`],
+    /// [`KdTree::root_lower_bound`]) and `hi[i]` the subtree `max_aux`
+    /// bounds ([`KdTree::report_adjusted_below`]).
+    ///
+    /// The split: a single evaluation family rarely admits the same offset
+    /// in both directions. For an uncertain point with support box `B_i`
+    /// centered at `p_i`, `max_dist_i(q) >= d(q, p_i) + min_halfwidth(B_i)`
+    /// (a valid lower offset) while `min_dist_i(q) >= d(q, p_i) - circum(B_i)`
+    /// (a valid upper offset) — and the two scalars differ.
+    pub fn with_aux_bounds(points: &[Point], lo: &[f64], hi: &[f64]) -> Self {
+        assert_eq!(points.len(), lo.len());
+        assert_eq!(points.len(), hi.len());
         let n = points.len();
         let mut ids: Vec<u32> = (0..n as u32).collect();
         let mut tree = KdTree {
             nodes: Vec::with_capacity(2 * n / LEAF_SIZE + 2),
             pts: points.to_vec(),
-            aux: aux.to_vec(),
+            aux_lo: lo.to_vec(),
+            aux_hi: hi.to_vec(),
             ids: Vec::new(),
         };
         if n > 0 {
@@ -100,9 +120,11 @@ impl KdTree {
             tree.build(&mut order, 0, n);
             // Reorder point/aux arrays by the final permutation.
             let pts: Vec<Point> = order.iter().map(|&i| points[i as usize]).collect();
-            let auxv: Vec<f64> = order.iter().map(|&i| aux[i as usize]).collect();
+            let lov: Vec<f64> = order.iter().map(|&i| lo[i as usize]).collect();
+            let hiv: Vec<f64> = order.iter().map(|&i| hi[i as usize]).collect();
             tree.pts = pts;
-            tree.aux = auxv;
+            tree.aux_lo = lov;
+            tree.aux_hi = hiv;
             ids = order;
         }
         tree.ids = ids;
@@ -128,9 +150,8 @@ impl KdTree {
         let mut max_aux = f64::NEG_INFINITY;
         for &i in order.iter() {
             bbox.insert(self.pts[i as usize]);
-            let a = self.aux[i as usize];
-            min_aux = min_aux.min(a);
-            max_aux = max_aux.max(a);
+            min_aux = min_aux.min(self.aux_lo[i as usize]);
+            max_aux = max_aux.max(self.aux_hi[i as usize]);
         }
         let idx = self.nodes.len() as u32;
         self.nodes.push(Node {
@@ -387,10 +408,29 @@ impl KdTree {
     ///
     /// Pruning bound per subtree: `bbox.min_dist(q) + min_aux`.
     pub fn min_adjusted(&self, q: Point, eval: &dyn Fn(usize) -> f64) -> Option<(usize, f64)> {
+        self.min_adjusted_from(q, f64::INFINITY, eval)
+    }
+
+    /// [`KdTree::min_adjusted`] seeded with an incumbent value `init`:
+    /// subtrees whose bound cannot *strictly* beat `init` are pruned before
+    /// the walk begins, and only a strictly better minimum is returned
+    /// (`None` if nothing beats the incumbent, or the tree is empty).
+    ///
+    /// Threading the running minimum through a sequence of trees —
+    /// `init = +∞`, then each call's result (when `Some`) — computes the
+    /// global minimum over all of them with exactly the same value as
+    /// independent searches folded by `min`; that is how the dynamic engine
+    /// shares one Δ(q) bound across blocks.
+    pub fn min_adjusted_from(
+        &self,
+        q: Point,
+        init: f64,
+        eval: &dyn Fn(usize) -> f64,
+    ) -> Option<(usize, f64)> {
         if self.is_empty() {
             return None;
         }
-        let mut best: (usize, f64) = (usize::MAX, f64::INFINITY);
+        let mut best: (usize, f64) = (usize::MAX, init);
         self.min_adjusted_rec(0, q, eval, &mut best);
         (best.0 != usize::MAX).then_some(best)
     }
@@ -428,6 +468,81 @@ impl KdTree {
             self.min_adjusted_rec(r, q, eval, best);
             self.min_adjusted_rec(l, q, eval, best);
         }
+    }
+
+    /// Best-first fold over the tree under a caller-maintained shrinking
+    /// cap: every point in a subtree with `bbox.min_dist(q) < cap` is handed
+    /// to `visit`, which returns the (possibly tightened) cap for the rest
+    /// of the walk; subtrees whose bound reaches the current cap are cut.
+    /// Returns the final cap.
+    ///
+    /// Exactness contract (what makes the pruned fold equal the full scan):
+    /// the caller's fold must be monotone (`visit` never *raises* the cap)
+    /// and insensitive to skipped points — any point whose folded statistic
+    /// is `>= cap` at the moment it would be visited must leave the fold's
+    /// observable outputs unchanged, with the statistic bounded below by
+    /// `d(q, p_id)`. [`DeltaCompose`](../unn_nonzero) under
+    /// `prune_bound` satisfies both: its caps only depend on the minimum and
+    /// second-minimum, and a Δ at or above the running second-minimum
+    /// changes neither.
+    pub fn prune_with_cap(&self, q: Point, cap: f64, visit: &mut dyn FnMut(usize) -> f64) -> f64 {
+        if self.is_empty() {
+            return cap;
+        }
+        let mut cap = cap;
+        self.prune_with_cap_rec(0, q, &mut cap, visit);
+        cap
+    }
+
+    fn prune_with_cap_rec(
+        &self,
+        node: u32,
+        q: Point,
+        cap: &mut f64,
+        visit: &mut dyn FnMut(usize) -> f64,
+    ) {
+        let n = &self.nodes[node as usize];
+        if n.bbox.min_dist(q) >= *cap {
+            unn_observe::kd_node_pruned();
+            return;
+        }
+        unn_observe::kd_node_visited();
+        if n.is_leaf() {
+            for i in n.start..n.end {
+                *cap = visit(self.ids[i as usize] as usize);
+            }
+            return;
+        }
+        let (l, r) = (n.left, n.right);
+        let dl = self.nodes[l as usize].bbox.min_dist2(q);
+        let dr = self.nodes[r as usize].bbox.min_dist2(q);
+        if dl <= dr {
+            self.prune_with_cap_rec(l, q, cap, visit);
+            self.prune_with_cap_rec(r, q, cap, visit);
+        } else {
+            self.prune_with_cap_rec(r, q, cap, visit);
+            self.prune_with_cap_rec(l, q, cap, visit);
+        }
+    }
+
+    /// Distance from `q` to the root bounding box (`+∞` for an empty tree):
+    /// a lower bound on `d(q, p)` for every stored point, hence on any
+    /// evaluation family with non-negative offsets. Callers use it to order
+    /// whole trees best-first and to skip trees that cannot beat a running
+    /// cap without touching a single node.
+    pub fn root_min_dist(&self, q: Point) -> f64 {
+        self.nodes
+            .first()
+            .map_or(f64::INFINITY, |n| n.bbox.min_dist(q))
+    }
+
+    /// `root_min_dist(q) + min_aux`: the [`KdTree::min_adjusted`] pruning
+    /// bound of the whole tree (`+∞` when empty) — a lower bound on the
+    /// tree's `min_adjusted` result under the same evaluation contract.
+    pub fn root_lower_bound(&self, q: Point) -> f64 {
+        self.nodes
+            .first()
+            .map_or(f64::INFINITY, |n| n.bbox.min_dist(q) + n.min_aux)
     }
 
     /// Reports every `id` with `eval(id) < t`, where
@@ -678,6 +793,145 @@ mod tests {
             let delta = |i: usize| (pts[i].dist(q) - radii[i]).max(0.0);
             let mut got: Vec<usize> = Vec::new();
             tree.report_adjusted_below(q, t, &delta, &mut |id, _| got.push(id));
+            got.sort_unstable();
+            let want: Vec<usize> = (0..pts.len()).filter(|&i| delta(i) < t).collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn prune_with_cap_min2_matches_full_scan() {
+        // A (min, second-min) fold over d(q, p) where the cap is the running
+        // second minimum — the monotone/insensitive shape the dynamic
+        // engine's DeltaCompose fold has. The pruned walk must land on the
+        // exact same pair as the full scan.
+        let pts = random_points(400, 13);
+        let tree = KdTree::new(&pts);
+        let mut rng = SmallRng::seed_from_u64(14);
+        for _ in 0..100 {
+            let q = Point::new(
+                rng.random_range(-120.0..120.0),
+                rng.random_range(-120.0..120.0),
+            );
+            let (mut lo, mut second) = (f64::INFINITY, f64::INFINITY);
+            tree.prune_with_cap(q, f64::INFINITY, &mut |id| {
+                let d = pts[id].dist(q);
+                if d < lo {
+                    second = lo;
+                    lo = d;
+                } else if d < second {
+                    second = d;
+                }
+                second
+            });
+            let mut dists: Vec<f64> = pts.iter().map(|p| p.dist(q)).collect();
+            dists.sort_by(f64::total_cmp);
+            assert_eq!(lo, dists[0], "min diverged at {q:?}");
+            assert_eq!(second, dists[1], "second-min diverged at {q:?}");
+        }
+    }
+
+    #[test]
+    fn min_adjusted_from_threads_incumbent_across_trees() {
+        let pts = random_points(300, 15);
+        let mut rng = SmallRng::seed_from_u64(16);
+        let radii: Vec<f64> = (0..pts.len())
+            .map(|_| rng.random_range(0.1..20.0))
+            .collect();
+        // Split into uneven chunks, one tree per chunk; threading the
+        // incumbent through them must recover the exact global minimum.
+        let cuts = [0usize, 7, 120, 121, 300];
+        let trees: Vec<(usize, KdTree)> = cuts
+            .windows(2)
+            .map(|w| (w[0], KdTree::with_aux(&pts[w[0]..w[1]], &radii[w[0]..w[1]])))
+            .collect();
+        for _ in 0..60 {
+            let q = Point::new(
+                rng.random_range(-120.0..120.0),
+                rng.random_range(-120.0..120.0),
+            );
+            let mut incumbent = f64::INFINITY;
+            for (off, tree) in &trees {
+                if let Some((_, v)) =
+                    tree.min_adjusted_from(q, incumbent, &|i| pts[off + i].dist(q) + radii[off + i])
+                {
+                    incumbent = v;
+                }
+            }
+            let want = pts
+                .iter()
+                .zip(&radii)
+                .map(|(p, r)| p.dist(q) + r)
+                .fold(f64::INFINITY, f64::min);
+            assert_eq!(incumbent, want, "threaded minimum diverged at {q:?}");
+        }
+        // An incumbent at (or below) the tree minimum yields None.
+        let q = Point::ORIGIN;
+        let tree = KdTree::with_aux(&pts, &radii);
+        let (_, v) = tree
+            .min_adjusted(q, &|i| pts[i].dist(q) + radii[i])
+            .unwrap();
+        assert!(tree
+            .min_adjusted_from(q, v, &|i| pts[i].dist(q) + radii[i])
+            .is_none());
+    }
+
+    #[test]
+    fn root_bounds_bound_every_result() {
+        let pts = random_points(200, 17);
+        let mut rng = SmallRng::seed_from_u64(18);
+        let radii: Vec<f64> = (0..pts.len()).map(|_| rng.random_range(0.0..5.0)).collect();
+        let tree = KdTree::with_aux(&pts, &radii);
+        for _ in 0..50 {
+            let q = Point::new(
+                rng.random_range(-150.0..150.0),
+                rng.random_range(-150.0..150.0),
+            );
+            let nn = tree.nearest(q).unwrap();
+            assert!(tree.root_min_dist(q) <= nn.dist);
+            let (_, v) = tree
+                .min_adjusted(q, &|i| pts[i].dist(q) + radii[i])
+                .unwrap();
+            assert!(tree.root_lower_bound(q) <= v);
+        }
+        let empty = KdTree::new(&[]);
+        assert!(empty.root_min_dist(Point::ORIGIN).is_infinite());
+        assert!(empty.root_lower_bound(Point::ORIGIN).is_infinite());
+        assert_eq!(
+            empty.prune_with_cap(Point::ORIGIN, 3.0, &mut |_| unreachable!()),
+            3.0
+        );
+    }
+
+    #[test]
+    fn with_aux_bounds_serves_asymmetric_offsets() {
+        // lo feeds min_adjusted pruning, hi feeds report_adjusted_below:
+        // the same tree answers both families exactly even when they differ.
+        let pts = random_points(250, 19);
+        let mut rng = SmallRng::seed_from_u64(20);
+        let lo: Vec<f64> = (0..pts.len()).map(|_| rng.random_range(0.0..3.0)).collect();
+        let hi: Vec<f64> = (0..pts.len())
+            .map(|_| rng.random_range(5.0..15.0))
+            .collect();
+        let tree = KdTree::with_aux_bounds(&pts, &lo, &hi);
+        for _ in 0..40 {
+            let q = Point::new(
+                rng.random_range(-120.0..120.0),
+                rng.random_range(-120.0..120.0),
+            );
+            let (id, v) = tree.min_adjusted(q, &|i| pts[i].dist(q) + lo[i]).unwrap();
+            let (bid, bv) = pts
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i, p.dist(q) + lo[i]))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .unwrap();
+            assert_eq!(id, bid);
+            assert_eq!(v, bv);
+            let t = rng.random_range(1.0..40.0);
+            let delta = |i: usize| (pts[i].dist(q) - hi[i]).max(0.0);
+            let mut got: Vec<usize> = Vec::new();
+            tree.report_adjusted_below(q, t, &delta, &mut |i, _| got.push(i));
             got.sort_unstable();
             let want: Vec<usize> = (0..pts.len()).filter(|&i| delta(i) < t).collect();
             assert_eq!(got, want);
