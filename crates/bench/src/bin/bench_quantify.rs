@@ -7,20 +7,35 @@
 //!
 //! Variants at each `n`:
 //!
-//! * `arena_pruned`    — arena forest, Δ(q)-seeded descents (the default);
+//! * `arena_pruned`    — arena forest, Δ(q)-seeded descents (the default,
+//!   batched SoA kernels);
+//! * `arena_scalar`    — the same query routed through the retained scalar
+//!   kernels (the differential oracle): `pruned/scalar` is the kernel
+//!   speedup;
 //! * `arena_unpruned`  — arena forest, `f64::INFINITY` seed;
 //! * `perround_trees`  — legacy layout: one kd-tree allocation per round;
 //! * `adaptive`        — early-stopped estimate at (ε = 0.05, δ = 0.01),
 //!   with the mean fraction of the `s` budget it consumed.
+//!
+//! Two layout sweeps at `n = 4096` feed the `KdConfig` constants
+//! (EXPERIMENTS.md T20):
+//!
+//! * `leaf_sweep` — global-ball fold latency by leaf size (picks
+//!   `KdConfig::scan_heavy().leaf_size`);
+//! * `bf_crossover` — flat batched scan vs default tree descent on small
+//!   inputs (picks `brute_force_below`).
+//!
+//! The run **fails** (nonzero exit) if the batched fast path regresses
+//! against the scalar oracle at `n = 4096` — the in-bench kernel gate.
 
 use std::time::Instant;
 
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
 use unn::distr::UncertainPoint;
 use unn::geom::Point;
 use unn::quantify::{McBackend, MonteCarloIndex};
-use unn::spatial::KdTree;
+use unn::spatial::{KdConfig, KdTree};
 use unn_bench::util::{as_uncertain, random_discrete, random_queries};
 
 const S: usize = 512;
@@ -44,6 +59,7 @@ fn median_ns_per_query(queries: &[Point], mut f: impl FnMut(Point)) -> f64 {
 struct SizeResult {
     n: usize,
     arena_pruned: f64,
+    arena_scalar: f64,
     arena_unpruned: f64,
     perround_trees: f64,
     adaptive: f64,
@@ -68,6 +84,24 @@ fn run_size(n: usize) -> SizeResult {
     let mut buf = Vec::new();
     let arena_pruned = median_ns_per_query(&queries, |q| {
         mc.query_into(q, &mut buf);
+        std::hint::black_box(buf.len());
+    });
+    // Differential check rides along with the timing: the scalar oracle
+    // must reproduce the batched path bit for bit on every bench query.
+    let mut scalar_buf = Vec::new();
+    for &q in &queries {
+        mc.query_into(q, &mut buf);
+        mc.query_into_scalar(q, &mut scalar_buf);
+        assert!(
+            buf.iter()
+                .zip(&scalar_buf)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+                && buf.len() == scalar_buf.len(),
+            "scalar oracle diverged from batched path at n={n}, q={q:?}"
+        );
+    }
+    let arena_scalar = median_ns_per_query(&queries, |q| {
+        mc.query_into_scalar(q, &mut buf);
         std::hint::black_box(buf.len());
     });
     let arena_unpruned = median_ns_per_query(&queries, |q| {
@@ -96,11 +130,107 @@ fn run_size(n: usize) -> SizeResult {
     SizeResult {
         n,
         arena_pruned,
+        arena_scalar,
         arena_unpruned,
         perround_trees,
         adaptive,
         adaptive_rounds_frac: rounds_total as f64 / (queries.len() * S) as f64,
     }
+}
+
+/// Global-ball fold latency by leaf size at `n = 4096`: rebuilds the
+/// `s·n`-sample global tree under each candidate `leaf_size` and times the
+/// Δ(q)-seeded capped ball fold (the winners_into hot loop). The argmin
+/// informs `KdConfig::scan_heavy`.
+fn run_leaf_sweep() -> (Vec<(usize, f64)>, usize) {
+    let n = 4096usize;
+    let side = (n as f64).sqrt() * 8.0;
+    let objs = random_discrete(n, 3, side, 3.0, 2.0, 70 + n as u64);
+    let points = as_uncertain(&objs);
+    let queries = random_queries(128, side, 71 + n as u64);
+    let mut rng = SmallRng::seed_from_u64(72);
+    let mc = MonteCarloIndex::build(&points, S, McBackend::KdTree, &mut rng);
+    // Reconstruct the same s·n instantiation arena the index built (same
+    // seed, same draw order).
+    let mut rng = SmallRng::seed_from_u64(72);
+    let mut all: Vec<Point> = Vec::with_capacity(S * n);
+    for _ in 0..S {
+        all.extend(points.iter().map(|p| p.sample(&mut rng)));
+    }
+    let seeds: Vec<f64> = queries
+        .iter()
+        .map(|&q| mc.prune_radius(q) * (1.0 + 1e-12))
+        .collect();
+    let mut sweep = Vec::new();
+    for leaf in [8usize, 16, 32, 64, 128, 256, 512] {
+        let tree = KdTree::with_config(
+            &all,
+            KdConfig {
+                leaf_size: leaf,
+                brute_force_below: leaf,
+            },
+        );
+        let mut best: Vec<(f64, u32)> = Vec::new();
+        let mut qi = 0usize;
+        // Same magic-multiply round/object split as the real fold.
+        let magic = u64::MAX / n as u64 + 1;
+        let ns = median_ns_per_query(&queries, |q| {
+            best.clear();
+            best.resize(S, (f64::INFINITY, u32::MAX));
+            let seed = seeds[qi % queries.len()];
+            qi += 1;
+            let complete = tree.in_disk_capped(q, seed, 32 * S, &mut |pos, d| {
+                let r = ((pos as u128 * magic as u128) >> 64) as usize;
+                let obj = (pos - r * n) as u32;
+                let e = &mut best[r];
+                if d < e.0 || (d == e.0 && obj < e.1) {
+                    *e = (d, obj);
+                }
+            });
+            std::hint::black_box(complete);
+        });
+        sweep.push((leaf, ns));
+    }
+    let chosen = sweep
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .map_or(32, |&(l, _)| l);
+    (sweep, chosen)
+}
+
+/// Brute-force crossover: largest input size where a single flat batched
+/// leaf answers `nearest` at least as fast as the default tree descent.
+/// Informs `KdConfig::brute_force_below`.
+fn run_bf_crossover() -> (Vec<(usize, f64, f64)>, usize) {
+    let mut rows = Vec::new();
+    let mut crossover = 0usize;
+    for n in [8usize, 16, 32, 64, 128, 256] {
+        let side = 200.0;
+        let mut rng = SmallRng::seed_from_u64(700 + n as u64);
+        let pts: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.random_range(0.0..side), rng.random_range(0.0..side)))
+            .collect();
+        let queries = random_queries(256, side, 701 + n as u64);
+        let tree = KdTree::new(&pts);
+        let flat = KdTree::with_config(
+            &pts,
+            KdConfig {
+                leaf_size: n,
+                brute_force_below: n,
+            },
+        );
+        let tree_ns = median_ns_per_query(&queries, |q| {
+            std::hint::black_box(tree.nearest(q).map(|nb| nb.id));
+        });
+        let flat_ns = median_ns_per_query(&queries, |q| {
+            std::hint::black_box(flat.nearest(q).map(|nb| nb.id));
+        });
+        if flat_ns <= tree_ns {
+            crossover = n;
+        }
+        rows.push((n, tree_ns, flat_ns));
+    }
+    (rows, crossover)
 }
 
 /// Adaptive stopping on a well-separated instance (one object wins every
@@ -138,31 +268,73 @@ fn main() {
     let results: Vec<SizeResult> = [64usize, 512, 4096].iter().map(|&n| run_size(n)).collect();
     for (i, r) in results.iter().enumerate() {
         println!(
-            "n={:5}  arena_pruned={:.0}ns  arena_unpruned={:.0}ns  perround_trees={:.0}ns  \
-             adaptive={:.0}ns (rounds {:.1}% of s)  speedup(perround/pruned)={:.2}x",
+            "n={:5}  arena_pruned={:.0}ns  arena_scalar={:.0}ns  arena_unpruned={:.0}ns  \
+             perround_trees={:.0}ns  adaptive={:.0}ns (rounds {:.1}% of s)  \
+             speedup(perround/pruned)={:.2}x  kernel(scalar/pruned)={:.2}x",
             r.n,
             r.arena_pruned,
+            r.arena_scalar,
             r.arena_unpruned,
             r.perround_trees,
             r.adaptive,
             100.0 * r.adaptive_rounds_frac,
-            r.perround_trees / r.arena_pruned
+            r.perround_trees / r.arena_pruned,
+            r.arena_scalar / r.arena_pruned
         );
         out.push_str(&format!(
-            "    {{ \"n\": {}, \"arena_pruned\": {:.1}, \"arena_unpruned\": {:.1}, \
+            "    {{ \"n\": {}, \"arena_pruned\": {:.1}, \"arena_scalar\": {:.1}, \
+             \"arena_unpruned\": {:.1}, \
              \"perround_trees\": {:.1}, \"adaptive\": {:.1}, \
-             \"adaptive_rounds_frac\": {:.4}, \"speedup_perround_over_pruned\": {:.3} }}{}\n",
+             \"adaptive_rounds_frac\": {:.4}, \"speedup_perround_over_pruned\": {:.3}, \
+             \"speedup_scalar_over_pruned\": {:.3} }}{}\n",
             r.n,
             r.arena_pruned,
+            r.arena_scalar,
             r.arena_unpruned,
             r.perround_trees,
             r.adaptive,
             r.adaptive_rounds_frac,
             r.perround_trees / r.arena_pruned,
+            r.arena_scalar / r.arena_pruned,
             if i + 1 == results.len() { "" } else { "," }
         ));
     }
     out.push_str("  ],\n");
+
+    let (sweep, chosen_leaf) = run_leaf_sweep();
+    print!("leaf sweep (n=4096 global-ball fold): ");
+    for &(l, ns) in &sweep {
+        print!("leaf={l}:{ns:.0}ns  ");
+    }
+    println!("-> chosen {chosen_leaf}");
+    out.push_str("  \"leaf_sweep\": [\n");
+    for (i, &(l, ns)) in sweep.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"leaf_size\": {l}, \"ball_fold_ns\": {ns:.1} }}{}\n",
+            if i + 1 == sweep.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"chosen_leaf_size\": {chosen_leaf},\n"));
+
+    let (bf_rows, bf_crossover) = run_bf_crossover();
+    print!("brute-force crossover: ");
+    for &(n, t, f) in &bf_rows {
+        print!("n={n}:tree {t:.0}ns/flat {f:.0}ns  ");
+    }
+    println!("-> crossover {bf_crossover}");
+    out.push_str("  \"bf_crossover\": [\n");
+    for (i, &(n, t, f)) in bf_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"n\": {n}, \"tree_ns\": {t:.1}, \"flat_ns\": {f:.1} }}{}\n",
+            if i + 1 == bf_rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"chosen_brute_force_below\": {bf_crossover},\n"
+    ));
+
     let (sep_s, sep_frac, sep_hw) = run_separated();
     println!(
         "separated: adaptive used {:.1}% of s={sep_s} (mean half-width {:.4} <= 0.05)",
@@ -175,4 +347,20 @@ fn main() {
     ));
     std::fs::write("BENCH_quantify.json", &out).expect("write BENCH_quantify.json");
     println!("wrote BENCH_quantify.json");
+
+    // In-bench kernel acceptance gate: the batched fast path must not
+    // regress against the retained scalar oracle on the headline size.
+    let head = results.last().expect("sizes nonempty");
+    let kernel_speedup = head.arena_scalar / head.arena_pruned;
+    println!(
+        "kernel gate (n={}): batched {:.0}ns vs scalar {:.0}ns ({kernel_speedup:.2}x)",
+        head.n, head.arena_pruned, head.arena_scalar
+    );
+    assert!(
+        kernel_speedup >= 0.95,
+        "batched kernels regressed versus the scalar oracle at n={}: {:.0}ns vs {:.0}ns",
+        head.n,
+        head.arena_pruned,
+        head.arena_scalar
+    );
 }

@@ -14,7 +14,7 @@ use unn_distr::{Uncertain, UncertainPoint};
 use unn_geom::{Aabb, Point};
 use unn_nonzero::DeltaCompose;
 use unn_quantify::point_stream_seed;
-use unn_spatial::{KdForest, KdTree};
+use unn_spatial::{KdConfig, KdForest, KdTree};
 
 use crate::PointId;
 
@@ -81,7 +81,11 @@ impl BlockCore {
         for r in 0..s {
             forest.push_round(&all[r * n..(r + 1) * n]);
         }
-        let global = KdTree::new(&all);
+        // Scan-heavy leaf layout: the global tree only ever serves ball
+        // queries whose folds are (distance, id)-lex minima — abort and
+        // result depend on the ball's membership, not the leaf layout —
+        // so bigger batched leaves are observationally safe and faster.
+        let global = KdTree::with_config(&all, KdConfig::scan_heavy());
         Self {
             ids,
             points,
@@ -229,9 +233,10 @@ mod tests {
         );
         let j = merged.find(7).unwrap_or(usize::MAX);
         for r in 0..8 {
-            let (solo_pts, _) = solo.forest.round_points(r);
-            let (m_pts, _) = merged.forest.round_points(r);
-            assert_eq!(solo_pts[0], m_pts[j]);
+            let (solo_xs, solo_ys, _) = solo.forest.round_soa(r);
+            let (m_xs, m_ys, _) = merged.forest.round_soa(r);
+            assert_eq!(solo_xs[0], m_xs[j]);
+            assert_eq!(solo_ys[0], m_ys[j]);
         }
     }
 

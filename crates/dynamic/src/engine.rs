@@ -739,11 +739,15 @@ impl EngineSnapshot {
     /// Folds round `r` of `core` into `e` by linear scan (layout-invariant:
     /// strict `(distance, id)` lexicographic minimum over live samples).
     fn fold_round(core: &BlockCore, alive: &[bool], q: Point, r: usize, e: &mut (f64, PointId)) {
-        let (pts, rids) = core.forest.round_points(r);
-        for (p, rid) in pts.iter().zip(rids) {
+        let (xs, ys, rids) = core.forest.round_soa(r);
+        for (k, rid) in rids.iter().enumerate() {
             let j = *rid as usize;
             if alive[j] {
-                let d = p.dist(q);
+                // Same operation order as `Point::dist`, so the fold is
+                // bit-identical to the pre-SoA AoS scan.
+                let dx = xs[k] - q.x;
+                let dy = ys[k] - q.y;
+                let d = (dx * dx + dy * dy).sqrt();
                 let id = core.ids[j];
                 if d < e.0 || (d == e.0 && id < e.1) {
                     *e = (d, id);

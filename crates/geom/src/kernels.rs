@@ -1,0 +1,196 @@
+//! Batched structure-of-arrays distance kernels.
+//!
+//! The spatial indexes store leaf points as separate `x[]`/`y[]` arrays and
+//! scan them in fixed-width lane batches ([`LANES`]) that the compiler can
+//! autovectorize. The contract that makes the batched paths drop-in
+//! replacements for the scalar ones is **bit-identity**: every lane performs
+//! exactly the scalar operation sequence on exactly the scalar operands —
+//! no reassociation, no FMA contraction, no reduced-precision shortcuts —
+//! so a batched kernel's lane `l` output is the same f64, bit for bit, as
+//! the scalar kernel applied to element `l`.
+//!
+//! Two op-order equivalences the kernels rely on (both exact in IEEE 754):
+//!
+//! * `Point::dist` computes `dx = p.x - q.x`; a kernel computing
+//!   `q.x - p.x` would still square to the identical product, since
+//!   `(-x)·(-x) = x·x` exactly. The kernels here keep the
+//!   stored-minus-query order anyway, matching `p.dist(q)` literally.
+//! * [`Aabb::max_dist`](crate::Aabb::max_dist) is replicated operation for
+//!   operation in [`AabbSoA::max_dist`].
+
+use crate::bbox::Aabb;
+use crate::point::Point;
+
+/// Lane width of the batched kernels. Four f64 lanes fill one AVX2 register
+/// (or two NEON/SSE2 registers); the loops are written so the backend can
+/// also fuse pairs of batches on wider targets.
+pub const LANES: usize = 4;
+
+/// Distances from `(qx, qy)` to the first [`LANES`] points of `xs`/`ys`,
+/// lane `l` computed exactly as `Point::new(xs[l], ys[l]).dist(q)`:
+/// `dx = xs[l] - qx; dy = ys[l] - qy; sqrt(dx·dx + dy·dy)`.
+///
+/// Both slices must hold at least [`LANES`] elements.
+#[inline]
+pub fn dist_lanes(xs: &[f64], ys: &[f64], qx: f64, qy: f64) -> [f64; LANES] {
+    let mut out = [0.0f64; LANES];
+    for l in 0..LANES {
+        let dx = xs[l] - qx;
+        let dy = ys[l] - qy;
+        out[l] = (dx * dx + dy * dy).sqrt();
+    }
+    out
+}
+
+/// Axis-aligned boxes in structure-of-arrays layout: four parallel `f64`
+/// arrays instead of a `Vec<Aabb>`, so gathered per-box distance
+/// evaluations ([`AabbSoA::max_dist_lanes`]) read four coordinate streams
+/// instead of strided 32-byte structs.
+///
+/// Every per-box query replicates the corresponding [`Aabb`] kernel's
+/// operation order exactly, so results are bit-identical to the AoS path.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AabbSoA {
+    min_x: Vec<f64>,
+    min_y: Vec<f64>,
+    max_x: Vec<f64>,
+    max_y: Vec<f64>,
+}
+
+impl AabbSoA {
+    /// An empty set of boxes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Converts a slice of boxes into SoA layout.
+    pub fn from_boxes(boxes: &[Aabb]) -> Self {
+        let mut s = AabbSoA {
+            min_x: Vec::with_capacity(boxes.len()),
+            min_y: Vec::with_capacity(boxes.len()),
+            max_x: Vec::with_capacity(boxes.len()),
+            max_y: Vec::with_capacity(boxes.len()),
+        };
+        for b in boxes {
+            s.push(*b);
+        }
+        s
+    }
+
+    /// Appends one box.
+    pub fn push(&mut self, b: Aabb) {
+        self.min_x.push(b.min.x);
+        self.min_y.push(b.min.y);
+        self.max_x.push(b.max.x);
+        self.max_y.push(b.max.y);
+    }
+
+    /// Number of boxes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.min_x.len()
+    }
+
+    /// `true` when no boxes are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min_x.is_empty()
+    }
+
+    /// Box `i` reassembled as an [`Aabb`].
+    #[inline]
+    pub fn get(&self, i: usize) -> Aabb {
+        Aabb {
+            min: Point::new(self.min_x[i], self.min_y[i]),
+            max: Point::new(self.max_x[i], self.max_y[i]),
+        }
+    }
+
+    /// Center of box `i` (same arithmetic as [`Aabb::center`]).
+    #[inline]
+    pub fn center(&self, i: usize) -> Point {
+        self.get(i).center()
+    }
+
+    /// `Aabb::max_dist` for box `i`, operation for operation:
+    /// `dx = max(|q.x - min.x|, |q.x - max.x|)`, likewise `dy`,
+    /// then `sqrt(dx·dx + dy·dy)`.
+    #[inline]
+    pub fn max_dist(&self, i: usize, q: Point) -> f64 {
+        let dx = (q.x - self.min_x[i]).abs().max((q.x - self.max_x[i]).abs());
+        let dy = (q.y - self.min_y[i]).abs().max((q.y - self.max_y[i]).abs());
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// [`AabbSoA::max_dist`] gathered over the first [`LANES`] entries of
+    /// `idx`: lane `l` evaluates box `idx[l]` with the exact scalar
+    /// operation sequence. `idx` must hold at least [`LANES`] in-range
+    /// indices.
+    #[inline]
+    pub fn max_dist_lanes(&self, idx: &[u32], qx: f64, qy: f64) -> [f64; LANES] {
+        let mut out = [0.0f64; LANES];
+        for l in 0..LANES {
+            let i = idx[l] as usize;
+            let dx = (qx - self.min_x[i]).abs().max((qx - self.max_x[i]).abs());
+            let dy = (qy - self.min_y[i]).abs().max((qy - self.max_y[i]).abs());
+            out[l] = (dx * dx + dy * dy).sqrt();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_lanes_matches_point_dist_bitwise() {
+        let xs = [1.5, -2.25, 1e308, 5e-324];
+        let ys = [-3.75, 0.0, -1e308, -5e-324];
+        let q = Point::new(0.3, -0.7);
+        let got = dist_lanes(&xs, &ys, q.x, q.y);
+        for l in 0..LANES {
+            let want = Point::new(xs[l], ys[l]).dist(q);
+            assert_eq!(got[l].to_bits(), want.to_bits(), "lane {l}");
+        }
+    }
+
+    #[test]
+    fn soa_max_dist_matches_aabb_bitwise() {
+        let boxes = vec![
+            Aabb::new(Point::new(-1.0, -2.0), Point::new(3.0, 4.0)),
+            Aabb::new(Point::new(0.0, 0.0), Point::new(0.0, 0.0)),
+            Aabb::new(Point::new(-1e308, -1e308), Point::new(1e308, 1e308)),
+            Aabb::new(Point::new(1e-308, 1e-308), Point::new(2e-308, 3e-308)),
+            Aabb::new(Point::new(7.0, -7.0), Point::new(7.5, -6.5)),
+        ];
+        let soa = AabbSoA::from_boxes(&boxes);
+        assert_eq!(soa.len(), boxes.len());
+        for (i, b) in boxes.iter().enumerate() {
+            assert_eq!(soa.get(i), *b);
+            for q in [Point::new(0.1, 0.2), Point::new(-50.0, 3.0), Point::ORIGIN] {
+                assert_eq!(soa.max_dist(i, q).to_bits(), b.max_dist(q).to_bits());
+            }
+        }
+        let idx = [4u32, 0, 2, 1];
+        let q = Point::new(2.0, -3.0);
+        let got = soa.max_dist_lanes(&idx, q.x, q.y);
+        for l in 0..LANES {
+            assert_eq!(
+                got[l].to_bits(),
+                boxes[idx[l] as usize].max_dist(q).to_bits(),
+                "lane {l}"
+            );
+        }
+    }
+
+    #[test]
+    fn push_and_center_round_trip() {
+        let mut soa = AabbSoA::new();
+        assert!(soa.is_empty());
+        let b = Aabb::new(Point::new(1.0, 2.0), Point::new(3.0, 6.0));
+        soa.push(b);
+        assert_eq!(soa.len(), 1);
+        assert_eq!(soa.center(0), b.center());
+    }
+}

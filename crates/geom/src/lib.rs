@@ -7,6 +7,8 @@
 //! * [`expansion`] — exact floating-point expansion arithmetic;
 //! * [`predicates`] — adaptive-precision `orient2d` / `incircle`;
 //! * [`bbox`] — axis-aligned boxes with min/max-distance queries;
+//! * [`kernels`] — batched SoA distance kernels, bit-identical to the
+//!   scalar paths;
 //! * [`angle`] — angular intervals and `a·cos t + b·sin t = c` solving;
 //! * [`disk`] — disks, lens areas (uniform-disk distance cdf), tangencies;
 //! * [`bisector`] — additively weighted bisector branches in focal polar
@@ -28,6 +30,7 @@ pub mod circular;
 pub mod disk;
 pub mod expansion;
 pub mod hull;
+pub mod kernels;
 pub mod point;
 pub mod polygon;
 pub mod predicates;
@@ -39,6 +42,7 @@ pub use bbox::Aabb;
 pub use bisector::FocalCurve;
 pub use circular::circle_polygon_area;
 pub use disk::Disk;
+pub use kernels::AabbSoA;
 pub use point::{Point, Vector};
 pub use polygon::ConvexPolygon;
 pub use predicates::{incircle, orient2d, orientation, Orientation};

@@ -82,11 +82,13 @@ impl DiskNonzeroIndex {
     }
 
     /// Stage 1: `Δ(q) = min_i (d(q, c_i) + r_i)`.
+    ///
+    /// Runs on the batched weighted kernel over the tree's stored radii —
+    /// bit-identical to the closure form `min_adjusted(q, &|i|
+    /// disks[i].max_dist(q))` because `Disk::max_dist` *is* `d(q, c_i) +
+    /// r_i` in the same operation order.
     pub fn min_max_dist(&self, q: Point) -> Option<f64> {
-        let disks = &self.disks;
-        self.tree
-            .min_adjusted(q, &|i| disks[i].max_dist(q))
-            .map(|(_, v)| v)
+        self.tree.min_adjusted_weighted(q).map(|(_, v)| v)
     }
 
     /// Stage 1 with the runner-up: `(argmin, Δ, second-smallest Δ_j)`.
@@ -94,20 +96,10 @@ impl DiskNonzeroIndex {
     /// Lemma 2.1 compares `δ_i` against `Δ_j` over `j ≠ i`, so the disk
     /// realizing `Δ(q)` itself must be tested against the *second* minimum
     /// (this only matters for zero-extent supports, where `δ_i = Δ_i`).
+    /// One batched single-pass walk replaces the former two `min_adjusted`
+    /// descents with identical results.
     fn min_two_max_dist(&self, q: Point) -> Option<(usize, f64, f64)> {
-        let disks = &self.disks;
-        let (best, d1) = self.tree.min_adjusted(q, &|i| disks[i].max_dist(q))?;
-        let d2 = self
-            .tree
-            .min_adjusted(q, &|i| {
-                if i == best {
-                    f64::INFINITY
-                } else {
-                    disks[i].max_dist(q)
-                }
-            })
-            .map_or(f64::INFINITY, |(_, v)| v);
-        Some((best, d1, d2))
+        self.tree.min_two_adjusted_weighted(q)
     }
 
     /// `NN≠0(q)`: indices of all uncertain points with nonzero probability
@@ -126,10 +118,30 @@ impl DiskNonzeroIndex {
         let Some((best, d1, d2)) = self.min_two_max_dist(q) else {
             return;
         };
-        let disks = &self.disks;
         // Everyone except `best` is tested against d1; `best` against d2.
+        // `report_ball_below` evaluates `(d(q, c_i) - r_i).max(0.0)` on the
+        // batched kernel — exactly `Disk::min_dist`, bit for bit.
+        self.tree.report_ball_below(q, d1.max(d2), &mut |i, v| {
+            unn_observe::nonzero_candidate();
+            let threshold = if i == best { d2 } else { d1 };
+            if v < threshold {
+                out.push(i);
+            }
+        });
+        out.sort_unstable();
+    }
+
+    /// Scalar-oracle twin of [`DiskNonzeroIndex::query_into`]: both stages
+    /// routed through the retained scalar kernels. The equivalence suite
+    /// diffs it against the batched path; results must match exactly.
+    #[doc(hidden)]
+    pub fn query_into_scalar(&self, q: Point, out: &mut Vec<usize>) {
+        out.clear();
+        let Some((best, d1, d2)) = self.tree.min_two_adjusted_weighted_scalar(q) else {
+            return;
+        };
         self.tree
-            .report_adjusted_below(q, d1.max(d2), &|i| disks[i].min_dist(q), &mut |i, v| {
+            .report_ball_below_scalar(q, d1.max(d2), &mut |i, v| {
                 unn_observe::nonzero_candidate();
                 let threshold = if i == best { d2 } else { d1 };
                 if v < threshold {
@@ -237,21 +249,12 @@ impl DiscreteNonzeroIndex {
     /// realizing `Δ(q)` is tested against the second minimum, per the
     /// `j ≠ i` quantifier of Lemma 2.1).
     fn min_two_max_dist(&self, q: Point) -> Option<(usize, f64, f64)> {
+        // Single-pass (min, second-min) walk: each hull's farthest-point
+        // evaluation — the expensive part here — runs at most once, where
+        // the former two-descent form could evaluate a hull twice.
         let hulls = &self.hulls;
-        let (best, d1) = self
-            .tree_min
-            .min_adjusted(q, &|i| farthest_on_hull(&hulls[i], q))?;
-        let d2 = self
-            .tree_min
-            .min_adjusted(q, &|i| {
-                if i == best {
-                    f64::INFINITY
-                } else {
-                    farthest_on_hull(&hulls[i], q)
-                }
-            })
-            .map_or(f64::INFINITY, |(_, v)| v);
-        Some((best, d1, d2))
+        self.tree_min
+            .min_two_adjusted(q, &|i| farthest_on_hull(&hulls[i], q))
     }
 
     /// `NN≠0(q)` for discrete supports, in index order.

@@ -109,6 +109,12 @@ pub struct CounterSet {
     /// Hot-block promotions: read-heavy merge-to-one rebuilds triggered by
     /// the read/update ratio heuristic (update-side counter).
     pub dyn_promotions: u64,
+    /// Leaf points fed through the SoA scan kernels (batched or scalar) by
+    /// this query's tree/forest traversals.
+    pub leaf_points_scanned: u64,
+    /// Full-width lane batches executed by the SoA scan kernels
+    /// (`leaf_points_scanned / LANES`, rounded down per leaf).
+    pub simd_batches: u64,
     /// The Δ(q) seed radius of the last Monte-Carlo query (`NaN`-free: 0
     /// when no seed was computed).
     pub seed_radius: f64,
@@ -131,6 +137,8 @@ struct Tls {
     dyn_merges: Cell<u64>,
     dyn_compactions: Cell<u64>,
     dyn_promotions: Cell<u64>,
+    leaf_points_scanned: Cell<u64>,
+    simd_batches: Cell<u64>,
     seed_radius: Cell<f64>,
 }
 
@@ -153,6 +161,8 @@ thread_local! {
             dyn_merges: Cell::new(0),
             dyn_compactions: Cell::new(0),
             dyn_promotions: Cell::new(0),
+            leaf_points_scanned: Cell::new(0),
+            simd_batches: Cell::new(0),
             seed_radius: Cell::new(0.0),
         }
     };
@@ -231,6 +241,10 @@ add_hooks! {
     exact_touches => exact_location_touches,
     /// `n` Monte-Carlo rounds answered by the global-ball fold at once.
     mc_ball_rounds_add => mc_ball_rounds,
+    /// `n` leaf points fed through an SoA scan kernel.
+    leaf_points => leaf_points_scanned,
+    /// `n` full-width lane batches executed by an SoA scan kernel.
+    simd_batches_add => simd_batches,
 }
 
 /// Records the Δ(q) seed radius of the current query.
@@ -266,6 +280,8 @@ pub fn begin_query() {
         t.dyn_merges.set(0);
         t.dyn_compactions.set(0);
         t.dyn_promotions.set(0);
+        t.leaf_points_scanned.set(0);
+        t.simd_batches.set(0);
         t.seed_radius.set(0.0);
     });
 }
@@ -297,6 +313,8 @@ pub fn take_counters() -> CounterSet {
         dyn_merges: t.dyn_merges.get(),
         dyn_compactions: t.dyn_compactions.get(),
         dyn_promotions: t.dyn_promotions.get(),
+        leaf_points_scanned: t.leaf_points_scanned.get(),
+        simd_batches: t.simd_batches.get(),
         seed_radius: t.seed_radius.get(),
     })
 }
@@ -547,6 +565,10 @@ pub struct MetricsShard {
     pub dyn_compactions: u64,
     /// Dynamic-index hot-block promotions (update side).
     pub dyn_promotions: u64,
+    /// Leaf points fed through the SoA scan kernels.
+    pub leaf_points_scanned: u64,
+    /// Full-width lane batches executed by the SoA scan kernels.
+    pub simd_batches: u64,
     /// Sum of Monte-Carlo rounds consumed.
     pub rounds_used: u64,
     /// Sum of rounds available (`s` per MC query).
@@ -587,6 +609,8 @@ impl MetricsShard {
         self.dyn_merges += c.dyn_merges;
         self.dyn_compactions += c.dyn_compactions;
         self.dyn_promotions += c.dyn_promotions;
+        self.leaf_points_scanned += c.leaf_points_scanned;
+        self.simd_batches += c.simd_batches;
         self.rounds_used += stats.rounds_used;
         self.rounds_total += stats.rounds_total;
         match stats.outcome {
@@ -621,6 +645,8 @@ impl MetricsShard {
         self.dyn_merges += other.dyn_merges;
         self.dyn_compactions += other.dyn_compactions;
         self.dyn_promotions += other.dyn_promotions;
+        self.leaf_points_scanned += other.leaf_points_scanned;
+        self.simd_batches += other.simd_batches;
         self.rounds_used += other.rounds_used;
         self.rounds_total += other.rounds_total;
         self.exact_count += other.exact_count;
@@ -780,6 +806,11 @@ impl MetricsSnapshot {
         );
         let _ = writeln!(
             out,
+            "  kernels: leaf points scanned {}, simd batches {}",
+            s.leaf_points_scanned, s.simd_batches
+        );
+        let _ = writeln!(
+            out,
             "  outcomes: {} exact, {} degraded, {} errors",
             s.exact_count,
             s.degraded_count,
@@ -827,6 +858,8 @@ impl MetricsSnapshot {
                 "  \"dyn_merges\": {},\n",
                 "  \"dyn_compactions\": {},\n",
                 "  \"dyn_promotions\": {},\n",
+                "  \"leaf_points_scanned\": {},\n",
+                "  \"simd_batches\": {},\n",
                 "  \"rounds_used\": {},\n",
                 "  \"rounds_total\": {},\n",
                 "  \"exact_count\": {},\n",
@@ -853,6 +886,8 @@ impl MetricsSnapshot {
             s.dyn_merges,
             s.dyn_compactions,
             s.dyn_promotions,
+            s.leaf_points_scanned,
+            s.simd_batches,
             s.rounds_used,
             s.rounds_total,
             s.exact_count,

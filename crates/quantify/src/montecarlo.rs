@@ -42,8 +42,8 @@
 
 use rand::Rng;
 use unn_distr::{Uncertain, UncertainPoint};
-use unn_geom::{Aabb, Point};
-use unn_spatial::{KdForest, KdTree, Neighbor};
+use unn_geom::{Aabb, AabbSoA, Point};
+use unn_spatial::{KdConfig, KdForest, KdTree, Neighbor};
 use unn_voronoi::Delaunay;
 
 /// Per-round nearest-neighbor backend.
@@ -106,11 +106,12 @@ pub struct MonteCarloIndex {
     storage: McStorage,
     n: usize,
     s: usize,
-    /// Per-point support bounding boxes: `support[i].max_dist(q)` is an
-    /// upper bound on the paper's `Δ_i(q)`.
-    support: Vec<Aabb>,
-    /// Kd-tree over the support-box centers; `min_adjusted` over it
-    /// minimizes `support[i].max_dist(q)` — the `Δ(q)` seed radius.
+    /// Per-point support bounding boxes in SoA layout:
+    /// `support.max_dist(i, q)` is an upper bound on the paper's `Δ_i(q)`.
+    support: AabbSoA,
+    /// Kd-tree over the support-box centers; `min_adjusted_boxes` over it
+    /// minimizes `support.max_dist(i, q)` — the `Δ(q)` seed radius —
+    /// gathering four box evaluations per lane batch.
     delta_tree: KdTree,
     /// One kd-tree over all `s·n` instantiations in generation order
     /// (point `r·n + i` is object `i`'s location in round `r`): the
@@ -135,7 +136,11 @@ impl MonteCarloIndex {
                     all.extend_from_slice(&insts);
                     forest.push_round(&insts);
                 }
-                let global = (n > 0).then(|| KdTree::new(&all));
+                // The global tree's queries are pure point-distance ball
+                // folds whose results are layout-invariant (the fold is a
+                // per-round (distance, object)-lex minimum), so the
+                // scan-heavy leaf layout is safe and benches fastest.
+                let global = (n > 0).then(|| KdTree::with_config(&all, KdConfig::scan_heavy()));
                 (McStorage::Forest(forest), global)
             }
             McBackend::Delaunay => {
@@ -155,7 +160,7 @@ impl MonteCarloIndex {
             storage,
             n,
             s,
-            support,
+            support: AabbSoA::from_boxes(&support),
             delta_tree,
             global,
         }
@@ -185,7 +190,17 @@ impl MonteCarloIndex {
     /// useful on its own as a certified search radius.
     pub fn prune_radius(&self, q: Point) -> f64 {
         self.delta_tree
-            .min_adjusted(q, &|i| self.support[i].max_dist(q))
+            .min_adjusted_boxes(q, &self.support)
+            .map_or(f64::INFINITY, |(_, v)| v)
+    }
+
+    /// Scalar-oracle twin of [`MonteCarloIndex::prune_radius`]: identical
+    /// traversal with per-point box evaluations instead of gathered lane
+    /// batches. Bit-identical by the kernel contract (DESIGN.md §8).
+    #[doc(hidden)]
+    pub fn prune_radius_scalar(&self, q: Point) -> f64 {
+        self.delta_tree
+            .min_adjusted_boxes_scalar(q, &self.support)
             .map_or(f64::INFINITY, |(_, v)| v)
     }
 
@@ -254,9 +269,21 @@ impl MonteCarloIndex {
             if init_best.is_finite() {
                 let mut best: Vec<(f64, u32)> = vec![(f64::INFINITY, u32::MAX); self.s];
                 let n = self.n;
+                // Magic-multiply `pos -> (round, obj)` split: a hardware
+                // division per reported ball point is the fold's single
+                // biggest cost. Exact for all `pos < 2^32` (Granlund-
+                // Montgomery/Lemire), which `s·n` never exceeds; the
+                // scalar twin keeps plain `/`/`%` so the equivalence suite
+                // cross-checks this arithmetic.
+                let magic = if n > 1 { u64::MAX / n as u64 + 1 } else { 0 };
                 let complete = g.in_disk_capped(q, init_best, 32 * self.s, &mut |pos, d| {
-                    let e = &mut best[pos / n];
-                    let obj = (pos % n) as u32;
+                    let (r, obj) = if n == 1 {
+                        (pos, 0u32)
+                    } else {
+                        let r = ((pos as u128 * magic as u128) >> 64) as usize;
+                        (r, (pos - r * n) as u32)
+                    };
+                    let e = &mut best[r];
                     if d < e.0 || (d == e.0 && obj < e.1) {
                         *e = (d, obj);
                     }
@@ -289,6 +316,59 @@ impl MonteCarloIndex {
         winners.extend((0..self.s).map(|r| self.round_winner(r, q, init_best) as u32));
     }
 
+    /// Scalar-oracle twin of [`MonteCarloIndex::winners_into`]: the same
+    /// control flow routed through the retained scalar kernels
+    /// (`in_disk_capped_scalar`, `nearest_within_scalar`).
+    fn winners_into_scalar(&self, q: Point, init_best: f64, winners: &mut Vec<u32>) {
+        winners.clear();
+        if let (McStorage::Forest(f), Some(g)) = (&self.storage, self.global.as_ref()) {
+            if init_best.is_finite() {
+                let mut best: Vec<(f64, u32)> = vec![(f64::INFINITY, u32::MAX); self.s];
+                let n = self.n;
+                let complete = g.in_disk_capped_scalar(q, init_best, 32 * self.s, &mut |pos, d| {
+                    let e = &mut best[pos / n];
+                    let obj = (pos % n) as u32;
+                    if d < e.0 || (d == e.0 && obj < e.1) {
+                        *e = (d, obj);
+                    }
+                });
+                if complete {
+                    winners.extend(best.iter().enumerate().map(|(r, &(_, obj))| {
+                        if obj != u32::MAX {
+                            unn_observe::mc_ball_round();
+                            obj
+                        } else {
+                            unn_observe::mc_descent_round();
+                            match f.nearest_within_scalar(r, q, f64::INFINITY) {
+                                Some(nb) => nb.id as u32,
+                                None => {
+                                    debug_assert!(false, "round {r} empty despite n > 0");
+                                    0
+                                }
+                            }
+                        }
+                    }));
+                    return;
+                }
+            }
+            winners.extend((0..self.s).map(|r| {
+                unn_observe::mc_descent_round();
+                match f
+                    .nearest_within_scalar(r, q, init_best)
+                    .or_else(|| f.nearest_within_scalar(r, q, f64::INFINITY))
+                {
+                    Some(nb) => nb.id as u32,
+                    None => {
+                        debug_assert!(false, "round {r} empty despite n > 0");
+                        0
+                    }
+                }
+            }));
+            return;
+        }
+        winners.extend((0..self.s).map(|r| self.round_winner(r, q, init_best) as u32));
+    }
+
     /// Estimates `π̂_i(q)` for all `i`; at most `s` entries are nonzero.
     ///
     /// Returns a dense vector (callers wanting sparse output use
@@ -310,6 +390,32 @@ impl MonteCarloIndex {
             return;
         }
         self.query_into_seeded(q, self.seed_for(q), pi);
+    }
+
+    /// Scalar-oracle twin of [`MonteCarloIndex::query_into`]: the entire
+    /// query — `Δ(q)` seed, global-ball fold, descent fallbacks — routed
+    /// through the retained scalar kernels. The equivalence suite and the
+    /// `arena_scalar` bench variant diff it against the batched path;
+    /// results must match bit for bit (DESIGN.md §8).
+    #[doc(hidden)]
+    pub fn query_into_scalar(&self, q: Point, pi: &mut Vec<f64>) {
+        if self.n == 0 {
+            pi.clear();
+            return;
+        }
+        let seed = self.prune_radius_scalar(q) * (1.0 + 1e-12);
+        unn_observe::seed_radius(seed);
+        pi.clear();
+        pi.resize(self.n, 0.0);
+        let mut winners = Vec::with_capacity(self.s);
+        self.winners_into_scalar(q, seed, &mut winners);
+        for &wn in &winners {
+            pi[wn as usize] += 1.0;
+        }
+        let w = 1.0 / self.s as f64;
+        for x in pi.iter_mut() {
+            *x *= w;
+        }
     }
 
     /// [`MonteCarloIndex::query_into`] with a caller-supplied seed radius

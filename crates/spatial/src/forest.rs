@@ -1,15 +1,18 @@
 //! Arena-packed forest of kd-trees.
 //!
-//! [`KdForest`] stores many small kd-trees ("rounds") in three shared
-//! structure-of-arrays arenas — nodes, points, original ids — with per-round
-//! offset ranges instead of one heap-allocated [`KdTree`](crate::KdTree) per
-//! round. The layout is *round-major*: round `r`'s nodes and points are
-//! contiguous and rounds are laid out in build order, so a query that sweeps
-//! rounds `0..s` (the Monte-Carlo quantification loop of the paper's §4.2)
-//! walks all three arenas strictly forward. Compared to `s` independent
-//! trees this replaces `4s` allocations with 5 and removes the per-round
-//! pointer chase, which is most of the constant factor on the
-//! many-rounds/small-`n` regime the Chernoff bound (Eq. 6) produces.
+//! [`KdForest`] stores many small kd-trees ("rounds") in shared
+//! structure-of-arrays arenas — nodes, `x[]`/`y[]` coordinates, original ids
+//! — with per-round offset ranges instead of one heap-allocated
+//! [`KdTree`](crate::KdTree) per round. The layout is *round-major*: round
+//! `r`'s nodes and points are contiguous and rounds are laid out in build
+//! order, so a query that sweeps rounds `0..s` (the Monte-Carlo
+//! quantification loop of the paper's §4.2) walks the arenas strictly
+//! forward. Compared to `s` independent trees this replaces `4s` allocations
+//! with a handful and removes the per-round pointer chase, which is most of
+//! the constant factor on the many-rounds/small-`n` regime the Chernoff
+//! bound (Eq. 6) produces. Leaf scans run through the shared lane-chunked
+//! kernel ([`crate::scan`]); each batched query keeps a `*_scalar` twin as
+//! its differential oracle (bit-identity contract, DESIGN.md §8).
 //!
 //! Query support mirrors the per-round needs of the Monte-Carlo structure:
 //! [`KdForest::nearest`], the seeded [`KdForest::nearest_within`] (for
@@ -19,8 +22,9 @@
 use unn_geom::{Aabb, Point};
 
 use crate::kdtree::Neighbor;
+use crate::scan::{scan_dists, scan_dists_below};
 
-/// Max points per leaf (same policy as [`crate::KdTree`]).
+/// Max points per leaf (same policy as the [`crate::KdTree`] default).
 const LEAF_SIZE: usize = 8;
 
 /// One kd-node in the shared arena. Child and point ranges are *absolute*
@@ -59,14 +63,16 @@ impl ForestNode {
 #[derive(Clone, Debug, Default)]
 pub struct KdForest {
     nodes: Vec<ForestNode>,
-    pts: Vec<Point>,
+    /// Reordered point coordinates, structure-of-arrays.
+    xs: Vec<f64>,
+    ys: Vec<f64>,
     /// Original (within-round) index of each reordered point.
     ids: Vec<u32>,
     /// `nodes[node_off[r] as usize]` is round `r`'s root;
     /// `node_off.len() == rounds() + 1`.
     node_off: Vec<u32>,
-    /// Round `r` owns `pts[pt_off[r]..pt_off[r+1]]` (and the same `ids`
-    /// range).
+    /// Round `r` owns `xs[pt_off[r]..pt_off[r+1]]` (and the same `ys`/`ids`
+    /// ranges).
     pt_off: Vec<u32>,
 }
 
@@ -75,7 +81,8 @@ impl KdForest {
     pub fn new() -> Self {
         KdForest {
             nodes: Vec::new(),
-            pts: Vec::new(),
+            xs: Vec::new(),
+            ys: Vec::new(),
             ids: Vec::new(),
             node_off: vec![0],
             pt_off: vec![0],
@@ -95,7 +102,8 @@ impl KdForest {
         };
         let mut f = KdForest {
             nodes: Vec::with_capacity(rounds * nodes_per_round),
-            pts: Vec::with_capacity(total_pts),
+            xs: Vec::with_capacity(total_pts),
+            ys: Vec::with_capacity(total_pts),
             ids: Vec::with_capacity(total_pts),
             node_off: Vec::with_capacity(rounds + 1),
             pt_off: Vec::with_capacity(rounds + 1),
@@ -120,35 +128,35 @@ impl KdForest {
     /// Total points across all rounds.
     #[inline]
     pub fn total_points(&self) -> usize {
-        self.pts.len()
+        self.xs.len()
     }
 
-    /// Round `round`'s arena slices: the (build-reordered) points and their
-    /// within-round original indices, aligned pairwise.
+    /// Round `round`'s arena slices: the (build-reordered) point
+    /// coordinates `(xs, ys)` and their within-round original indices,
+    /// aligned elementwise.
     ///
     /// This is the linear-scan escape hatch for callers that must stay
     /// *layout-invariant*: a fold over `(dist, ids[j])` pairs visits the
     /// same multiset regardless of the build permutation, whereas a tree
     /// descent's tie-breaking depends on it.
     #[inline]
-    pub fn round_points(&self, round: usize) -> (&[Point], &[u32]) {
+    pub fn round_soa(&self, round: usize) -> (&[f64], &[f64], &[u32]) {
         let (a, b) = (self.pt_off[round] as usize, self.pt_off[round + 1] as usize);
-        (&self.pts[a..b], &self.ids[a..b])
+        (&self.xs[a..b], &self.ys[a..b], &self.ids[a..b])
     }
 
     /// Appends one round built over `points`; rounds are queried by their
     /// push order.
     pub fn push_round(&mut self, points: &[Point]) {
-        let pt_base = self.pts.len();
-        self.pts.extend_from_slice(points);
-        self.ids.extend(0..points.len() as u32);
+        let pt_base = self.xs.len();
         if !points.is_empty() {
             let mut order: Vec<u32> = (0..points.len() as u32).collect();
-            self.build(&mut order, pt_base, pt_base);
-            // Apply the build permutation to this round's arena slice.
-            for (slot, &orig) in order.iter().enumerate() {
-                self.pts[pt_base + slot] = points[orig as usize];
-                self.ids[pt_base + slot] = orig;
+            build_forest_rec(&mut self.nodes, points, &mut order, pt_base);
+            // Scatter the build permutation into the SoA arenas.
+            for &orig in &order {
+                self.xs.push(points[orig as usize].x);
+                self.ys.push(points[orig as usize].y);
+                self.ids.push(orig);
             }
         } else {
             // Empty round: a single empty leaf keeps offsets uniform.
@@ -161,45 +169,7 @@ impl KdForest {
             });
         }
         self.node_off.push(self.nodes.len() as u32);
-        self.pt_off.push(self.pts.len() as u32);
-    }
-
-    /// Recursive median-split build over `order` (round-local point
-    /// indices); `chunk_start` is the absolute arena position of
-    /// `order[0]`'s final slot, `pt_base` the round's first slot.
-    fn build(&mut self, order: &mut [u32], chunk_start: usize, pt_base: usize) -> u32 {
-        let mut bbox = Aabb::EMPTY;
-        for &i in order.iter() {
-            bbox.insert(self.pts[pt_base + i as usize]);
-        }
-        let idx = self.nodes.len() as u32;
-        self.nodes.push(ForestNode {
-            bbox,
-            left: u32::MAX,
-            right: u32::MAX,
-            start: chunk_start as u32,
-            end: (chunk_start + order.len()) as u32,
-        });
-        if order.len() <= LEAF_SIZE {
-            return idx;
-        }
-        let horizontal = bbox.width() >= bbox.height();
-        let mid = order.len() / 2;
-        let pts = &self.pts;
-        order.select_nth_unstable_by(mid, |&a, &b| {
-            let (pa, pb) = (pts[pt_base + a as usize], pts[pt_base + b as usize]);
-            if horizontal {
-                pa.x.total_cmp(&pb.x)
-            } else {
-                pa.y.total_cmp(&pb.y)
-            }
-        });
-        let (lo, hi) = order.split_at_mut(mid);
-        let left = self.build(lo, chunk_start, pt_base);
-        let right = self.build(hi, chunk_start + mid, pt_base);
-        self.nodes[idx as usize].left = left;
-        self.nodes[idx as usize].right = right;
-        idx
+        self.pt_off.push(self.xs.len() as u32);
     }
 
     #[inline]
@@ -221,6 +191,25 @@ impl KdForest {
     /// before the descent starts; `f64::INFINITY` recovers the unseeded
     /// search exactly.
     pub fn nearest_within(&self, round: usize, q: Point, init_best: f64) -> Option<Neighbor> {
+        self.nearest_within_impl::<true>(round, q, init_best)
+    }
+
+    /// Scalar differential oracle for [`KdForest::nearest_within`].
+    pub fn nearest_within_scalar(
+        &self,
+        round: usize,
+        q: Point,
+        init_best: f64,
+    ) -> Option<Neighbor> {
+        self.nearest_within_impl::<false>(round, q, init_best)
+    }
+
+    fn nearest_within_impl<const BATCH: bool>(
+        &self,
+        round: usize,
+        q: Point,
+        init_best: f64,
+    ) -> Option<Neighbor> {
         if self.round_len(round) == 0 {
             return None;
         }
@@ -229,11 +218,11 @@ impl KdForest {
             // Inclusive seed radius under the strict `<` comparisons below.
             dist: init_best.next_up(),
         };
-        self.nearest_rec(self.root(round), q, &mut best);
+        self.nearest_rec::<BATCH>(self.root(round), q, &mut best);
         (best.id != usize::MAX).then_some(best)
     }
 
-    fn nearest_rec(&self, node: u32, q: Point, best: &mut Neighbor) {
+    fn nearest_rec<const BATCH: bool>(&self, node: u32, q: Point, best: &mut Neighbor) {
         let n = &self.nodes[node as usize];
         if n.bbox.min_dist(q) >= best.dist {
             unn_observe::forest_node_pruned();
@@ -241,26 +230,36 @@ impl KdForest {
         }
         unn_observe::forest_node_visited();
         if n.is_leaf() {
-            for i in n.start..n.end {
-                let d = self.pts[i as usize].dist(q);
-                if d < best.dist {
-                    *best = Neighbor {
-                        id: self.ids[i as usize] as usize,
-                        dist: d,
-                    };
-                }
-            }
+            // Shared moving gate threshold, as in `KdTree::nearest_rec`.
+            let bd = std::cell::Cell::new(best.dist);
+            scan_dists_below::<BATCH, _, _>(
+                &self.xs,
+                &self.ys,
+                n.start as usize,
+                n.end as usize,
+                q,
+                &mut || bd.get(),
+                &mut |slot, d| {
+                    if d < bd.get() {
+                        *best = Neighbor {
+                            id: self.ids[slot] as usize,
+                            dist: d,
+                        };
+                        bd.set(d);
+                    }
+                },
+            );
             return;
         }
         let (l, r) = (n.left, n.right);
         let dl = self.nodes[l as usize].bbox.min_dist2(q);
         let dr = self.nodes[r as usize].bbox.min_dist2(q);
         if dl <= dr {
-            self.nearest_rec(l, q, best);
-            self.nearest_rec(r, q, best);
+            self.nearest_rec::<BATCH>(l, q, best);
+            self.nearest_rec::<BATCH>(r, q, best);
         } else {
-            self.nearest_rec(r, q, best);
-            self.nearest_rec(l, q, best);
+            self.nearest_rec::<BATCH>(r, q, best);
+            self.nearest_rec::<BATCH>(l, q, best);
         }
     }
 
@@ -268,16 +267,37 @@ impl KdForest {
     /// `out` (cleared first) sorted by increasing distance — the
     /// buffer-reusing engine of per-round k-NN loops.
     pub fn m_nearest_into(&self, round: usize, q: Point, m: usize, out: &mut Vec<Neighbor>) {
+        self.m_nearest_into_impl::<true>(round, q, m, out);
+    }
+
+    /// Scalar differential oracle for [`KdForest::m_nearest_into`].
+    pub fn m_nearest_into_scalar(&self, round: usize, q: Point, m: usize, out: &mut Vec<Neighbor>) {
+        self.m_nearest_into_impl::<false>(round, q, m, out);
+    }
+
+    fn m_nearest_into_impl<const BATCH: bool>(
+        &self,
+        round: usize,
+        q: Point,
+        m: usize,
+        out: &mut Vec<Neighbor>,
+    ) {
         out.clear();
         if self.round_len(round) == 0 || m == 0 {
             return;
         }
         out.reserve(m + 1);
-        self.m_nearest_rec(self.root(round), q, m, out);
+        self.m_nearest_rec::<BATCH>(self.root(round), q, m, out);
         out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
     }
 
-    fn m_nearest_rec(&self, node: u32, q: Point, m: usize, heap: &mut Vec<Neighbor>) {
+    fn m_nearest_rec<const BATCH: bool>(
+        &self,
+        node: u32,
+        q: Point,
+        m: usize,
+        heap: &mut Vec<Neighbor>,
+    ) {
         let n = &self.nodes[node as usize];
         let worst = if heap.len() < m {
             f64::INFINITY
@@ -290,37 +310,86 @@ impl KdForest {
         }
         unn_observe::forest_node_visited();
         if n.is_leaf() {
-            for i in n.start..n.end {
-                let d = self.pts[i as usize].dist(q);
-                let worst = if heap.len() < m {
-                    f64::INFINITY
-                } else {
-                    heap[0].dist
-                };
-                if d < worst {
-                    crate::kdtree::heap_push(
-                        heap,
-                        m,
-                        Neighbor {
-                            id: self.ids[i as usize] as usize,
-                            dist: d,
-                        },
-                    );
-                }
-            }
+            scan_dists::<BATCH, _>(
+                &self.xs,
+                &self.ys,
+                n.start as usize,
+                n.end as usize,
+                q,
+                &mut |slot, d| {
+                    let worst = if heap.len() < m {
+                        f64::INFINITY
+                    } else {
+                        heap[0].dist
+                    };
+                    if d < worst {
+                        crate::kdtree::heap_push(
+                            heap,
+                            m,
+                            Neighbor {
+                                id: self.ids[slot] as usize,
+                                dist: d,
+                            },
+                        );
+                    }
+                },
+            );
             return;
         }
         let (l, r) = (n.left, n.right);
         let dl = self.nodes[l as usize].bbox.min_dist2(q);
         let dr = self.nodes[r as usize].bbox.min_dist2(q);
         if dl <= dr {
-            self.m_nearest_rec(l, q, m, heap);
-            self.m_nearest_rec(r, q, m, heap);
+            self.m_nearest_rec::<BATCH>(l, q, m, heap);
+            self.m_nearest_rec::<BATCH>(r, q, m, heap);
         } else {
-            self.m_nearest_rec(r, q, m, heap);
-            self.m_nearest_rec(l, q, m, heap);
+            self.m_nearest_rec::<BATCH>(r, q, m, heap);
+            self.m_nearest_rec::<BATCH>(l, q, m, heap);
         }
     }
+}
+
+/// Recursive median-split build over `order` (round-local point indices
+/// into `points`); `chunk_start` is the absolute arena position of
+/// `order[0]`'s final slot. Appends this subtree's nodes and returns its
+/// root index.
+fn build_forest_rec(
+    nodes: &mut Vec<ForestNode>,
+    points: &[Point],
+    order: &mut [u32],
+    chunk_start: usize,
+) -> u32 {
+    let mut bbox = Aabb::EMPTY;
+    for &i in order.iter() {
+        bbox.insert(points[i as usize]);
+    }
+    let idx = nodes.len() as u32;
+    nodes.push(ForestNode {
+        bbox,
+        left: u32::MAX,
+        right: u32::MAX,
+        start: chunk_start as u32,
+        end: (chunk_start + order.len()) as u32,
+    });
+    if order.len() <= LEAF_SIZE {
+        return idx;
+    }
+    let horizontal = bbox.width() >= bbox.height();
+    let mid = order.len() / 2;
+    order.select_nth_unstable_by(mid, |&a, &b| {
+        let (pa, pb) = (points[a as usize], points[b as usize]);
+        if horizontal {
+            pa.x.total_cmp(&pb.x)
+        } else {
+            pa.y.total_cmp(&pb.y)
+        }
+    });
+    let (lo, hi) = order.split_at_mut(mid);
+    let left = build_forest_rec(nodes, points, lo, chunk_start);
+    let right = build_forest_rec(nodes, points, hi, chunk_start + mid);
+    nodes[idx as usize].left = left;
+    nodes[idx as usize].right = right;
+    idx
 }
 
 #[cfg(test)]
@@ -372,8 +441,33 @@ mod tests {
                 for m in [1usize, 3, 11] {
                     forest.m_nearest_into(r, q, m, &mut buf);
                     assert_eq!(buf, tree.m_nearest(q, m));
+                    let mut scalar = Vec::new();
+                    forest.m_nearest_into_scalar(r, q, m, &mut scalar);
+                    assert_eq!(buf, scalar);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn round_soa_exposes_build_permutation() {
+        let rounds = random_rounds(5, 23, 24);
+        let mut forest = KdForest::new();
+        for r in &rounds {
+            forest.push_round(r);
+        }
+        for (r, pts) in rounds.iter().enumerate() {
+            let (xs, ys, ids) = forest.round_soa(r);
+            assert_eq!(xs.len(), pts.len());
+            assert_eq!(ys.len(), pts.len());
+            let mut seen: Vec<u32> = ids.to_vec();
+            for ((&x, &y), &id) in xs.iter().zip(ys).zip(ids) {
+                assert_eq!(x.to_bits(), pts[id as usize].x.to_bits());
+                assert_eq!(y.to_bits(), pts[id as usize].y.to_bits());
+            }
+            seen.sort_unstable();
+            let want: Vec<u32> = (0..pts.len() as u32).collect();
+            assert_eq!(seen, want, "round {r} ids are a permutation");
         }
     }
 
@@ -396,6 +490,9 @@ mod tests {
                     let got = forest.nearest_within(r, q, seed).unwrap();
                     assert_eq!(got.id, want.id, "round {r} seed {seed}");
                     assert_eq!(got.dist, want.dist);
+                    let scalar = forest.nearest_within_scalar(r, q, seed).unwrap();
+                    assert_eq!(scalar.id, got.id);
+                    assert_eq!(scalar.dist.to_bits(), got.dist.to_bits());
                 }
                 if want.dist > 0.0 {
                     assert!(forest.nearest_within(r, q, want.dist * 0.5).is_none());

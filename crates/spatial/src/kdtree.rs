@@ -1,4 +1,4 @@
-//! Kd-tree over weighted points.
+//! Kd-tree over weighted points, SoA leaves, batched distance kernels.
 //!
 //! One structure serves every query shape the paper's data structures need
 //! (DESIGN.md §4 explains each substitution):
@@ -10,19 +10,82 @@
 //! * [`KdTree::min_adjusted`] — minimize a per-point score bounded below by
 //!   the box distance; with `eval = d(q,c_i) + r_i` over disk centers this
 //!   computes `Δ(q) = min_i Δ_i(q)`, stage 1 of the `NN≠0` query (§3).
+//!   [`KdTree::min_adjusted_weighted`] is the batched closure-free form over
+//!   the stored `lo` offsets; [`KdTree::min_adjusted_boxes`] the batched
+//!   support-box form over an [`AabbSoA`].
 //! * [`KdTree::report_adjusted_below`] — report every `i` with
 //!   `eval(i) < t` where `eval(i) >= d(q, p_i) - aux_i`; with `aux_i = r_i`
 //!   and `eval = δ_i` this reports `{i : δ_i(q) < Δ(q)}`, stage 2 of the
-//!   `NN≠0` query (replacing `[KMR⁺16]`).
+//!   `NN≠0` query (replacing `[KMR⁺16]`). [`KdTree::report_ball_below`] is
+//!   the batched closure-free form.
 //!
 //! The tree is built by recursive median split on the wider box dimension;
 //! nodes are stored in a flat `Vec` (index arithmetic, no pointers), leaves
-//! hold a small fixed number of points.
+//! hold at most [`KdConfig::leaf_size`] points. Leaf storage is
+//! structure-of-arrays — `x[]`/`y[]`/`lo[]`/`hi[]`/`id[]` — and the hot
+//! leaf scans run in lane batches (see [`crate::scan`]); every batched
+//! method keeps a live `*_scalar` twin as its differential oracle
+//! (DESIGN.md §8 states the bit-identity contract).
 
+use unn_geom::kernels::{AabbSoA, LANES};
 use unn_geom::{Aabb, Point};
 
-/// Max points per leaf.
-const LEAF_SIZE: usize = 8;
+use crate::scan::{scan_dists, scan_dists_below};
+
+/// Historical leaf capacity, now the [`KdConfig`] default.
+const DEFAULT_LEAF_SIZE: usize = 8;
+
+/// Build-time layout knobs for [`KdTree`].
+///
+/// The defaults reproduce the original hard-coded layout exactly (leaf
+/// capacity 8, no brute-force short-circuit beyond what an 8-point tree
+/// already is), so default-built trees are bit-compatible with every
+/// pre-config artifact. [`KdConfig::scan_heavy`] is the bench-swept preset
+/// for trees whose queries are dominated by batched leaf scans rather than
+/// per-point closure evaluations (see EXPERIMENTS.md T20).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KdConfig {
+    /// Maximum points per leaf (≥ 1; values below 1 are treated as 1).
+    pub leaf_size: usize,
+    /// Inputs of at most this many points are stored as one brute-force
+    /// leaf: below the crossover a straight-line batched scan beats any
+    /// tree descent (the classic flat-scan crossover, swept in
+    /// `bench_quantify`).
+    pub brute_force_below: usize,
+}
+
+impl Default for KdConfig {
+    fn default() -> Self {
+        KdConfig {
+            leaf_size: DEFAULT_LEAF_SIZE,
+            brute_force_below: DEFAULT_LEAF_SIZE,
+        }
+    }
+}
+
+impl KdConfig {
+    /// Preset for scan-dominated trees (pure point-distance queries over
+    /// large arenas, e.g. the Monte-Carlo global sample tree): bigger
+    /// leaves amortize descent overhead into batched scans. Values picked
+    /// by the `bench_quantify` leaf-size sweep (EXPERIMENTS.md T20).
+    pub fn scan_heavy() -> Self {
+        KdConfig {
+            leaf_size: 128,
+            brute_force_below: 128,
+        }
+    }
+
+    /// Leaf capacity actually used for an input of `n` points.
+    #[inline]
+    fn effective_leaf(&self, n: usize) -> usize {
+        let leaf = self.leaf_size.max(1);
+        if n <= self.brute_force_below {
+            leaf.max(n).max(1)
+        } else {
+            leaf
+        }
+    }
+}
 
 #[derive(Clone, Debug)]
 struct Node {
@@ -63,7 +126,9 @@ impl Node {
 #[derive(Clone, Debug)]
 pub struct KdTree {
     nodes: Vec<Node>,
-    pts: Vec<Point>,
+    /// Reordered point coordinates, structure-of-arrays.
+    xs: Vec<f64>,
+    ys: Vec<f64>,
     /// Per-point lower offsets: node `min_aux` is their subtree minimum.
     aux_lo: Vec<f64>,
     /// Per-point upper offsets: node `max_aux` is their subtree maximum.
@@ -84,7 +149,13 @@ pub struct Neighbor {
 impl KdTree {
     /// Builds a tree over `points` with all-zero auxiliaries.
     pub fn new(points: &[Point]) -> Self {
-        Self::with_aux(points, &vec![0.0; points.len()])
+        Self::with_config(points, KdConfig::default())
+    }
+
+    /// [`KdTree::new`] with explicit layout knobs.
+    pub fn with_config(points: &[Point], config: KdConfig) -> Self {
+        let zeros = vec![0.0; points.len()];
+        Self::with_aux_bounds_config(points, &zeros, &zeros, config)
     }
 
     /// Builds a tree over `points` with the given per-point auxiliaries
@@ -104,88 +175,94 @@ impl KdTree {
     /// (a valid lower offset) while `min_dist_i(q) >= d(q, p_i) - circum(B_i)`
     /// (a valid upper offset) — and the two scalars differ.
     pub fn with_aux_bounds(points: &[Point], lo: &[f64], hi: &[f64]) -> Self {
+        Self::with_aux_bounds_config(points, lo, hi, KdConfig::default())
+    }
+
+    /// [`KdTree::with_aux_bounds`] with explicit layout knobs.
+    pub fn with_aux_bounds_config(
+        points: &[Point],
+        lo: &[f64],
+        hi: &[f64],
+        config: KdConfig,
+    ) -> Self {
         assert_eq!(points.len(), lo.len());
         assert_eq!(points.len(), hi.len());
         let n = points.len();
-        let mut ids: Vec<u32> = (0..n as u32).collect();
-        let mut tree = KdTree {
-            nodes: Vec::with_capacity(2 * n / LEAF_SIZE + 2),
-            pts: points.to_vec(),
-            aux_lo: lo.to_vec(),
-            aux_hi: hi.to_vec(),
-            ids: Vec::new(),
-        };
+        let leaf = config.effective_leaf(n);
+        let mut nodes = Vec::with_capacity(2 * n / leaf + 2);
+        let mut order: Vec<u32> = (0..n as u32).collect();
         if n > 0 {
-            let mut order: Vec<u32> = ids.clone();
-            tree.build(&mut order, 0, n);
-            // Reorder point/aux arrays by the final permutation.
-            let pts: Vec<Point> = order.iter().map(|&i| points[i as usize]).collect();
-            let lov: Vec<f64> = order.iter().map(|&i| lo[i as usize]).collect();
-            let hiv: Vec<f64> = order.iter().map(|&i| hi[i as usize]).collect();
-            tree.pts = pts;
-            tree.aux_lo = lov;
-            tree.aux_hi = hiv;
-            ids = order;
+            build_rec(&mut nodes, points, lo, hi, &mut order, 0, leaf);
         }
-        tree.ids = ids;
-        tree
+        // Scatter the build permutation into the SoA arenas.
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        let mut aux_lo = Vec::with_capacity(n);
+        let mut aux_hi = Vec::with_capacity(n);
+        for &i in &order {
+            let i = i as usize;
+            xs.push(points[i].x);
+            ys.push(points[i].y);
+            aux_lo.push(lo[i]);
+            aux_hi.push(hi[i]);
+        }
+        KdTree {
+            nodes,
+            xs,
+            ys,
+            aux_lo,
+            aux_hi,
+            ids: order,
+        }
     }
 
     /// Number of points.
     #[inline]
     pub fn len(&self) -> usize {
-        self.pts.len()
+        self.xs.len()
     }
 
     /// `true` if the tree is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.pts.is_empty()
+        self.xs.is_empty()
     }
 
-    fn build(&mut self, order: &mut [u32], global_start: usize, _total: usize) -> u32 {
-        // Compute bbox and aux range of this chunk.
-        let mut bbox = Aabb::EMPTY;
-        let mut min_aux = f64::INFINITY;
-        let mut max_aux = f64::NEG_INFINITY;
-        for &i in order.iter() {
-            bbox.insert(self.pts[i as usize]);
-            min_aux = min_aux.min(self.aux_lo[i as usize]);
-            max_aux = max_aux.max(self.aux_hi[i as usize]);
-        }
-        let idx = self.nodes.len() as u32;
-        self.nodes.push(Node {
-            bbox,
-            min_aux,
-            max_aux,
-            left: u32::MAX,
-            right: u32::MAX,
-            start: global_start as u32,
-            end: (global_start + order.len()) as u32,
-        });
-        if order.len() <= LEAF_SIZE {
-            return idx;
-        }
-        // Split at the median of the wider dimension.
-        let horizontal = bbox.width() >= bbox.height();
-        let mid = order.len() / 2;
-        let pts = &self.pts;
-        order.select_nth_unstable_by(mid, |&a, &b| {
-            let (pa, pb) = (pts[a as usize], pts[b as usize]);
-            if horizontal {
-                pa.x.total_cmp(&pb.x)
-            } else {
-                pa.y.total_cmp(&pb.y)
-            }
-        });
-        let (lo, hi) = order.split_at_mut(mid);
-        let left = self.build(lo, global_start, _total);
-        let right = self.build(hi, global_start + mid, _total);
-        self.nodes[idx as usize].left = left;
-        self.nodes[idx as usize].right = right;
-        self.nodes[idx as usize].start = u32::MAX;
-        self.nodes[idx as usize].end = u32::MAX;
-        idx
+    /// Leaf scan: hands `(slot, d(q, p_slot))` to `f` in ascending slot
+    /// order; `BATCH` selects lane-chunked vs scalar (bit-identical).
+    #[inline]
+    fn scan<const BATCH: bool, F: FnMut(usize, f64)>(
+        &self,
+        start: u32,
+        end: u32,
+        q: Point,
+        f: &mut F,
+    ) {
+        scan_dists::<BATCH, F>(&self.xs, &self.ys, start as usize, end as usize, q, f);
+    }
+
+    /// Threshold-gated leaf scan ([`scan_dists_below`]): `f` only sees
+    /// slots whose distance can pass `thresh()`; batches with no admissible
+    /// lane are rejected by one vectorized compare. `f` must still apply
+    /// its exact predicate — the gate over-approximates.
+    #[inline]
+    fn scan_below<const BATCH: bool, T: FnMut() -> f64, F: FnMut(usize, f64)>(
+        &self,
+        start: u32,
+        end: u32,
+        q: Point,
+        thresh: &mut T,
+        f: &mut F,
+    ) {
+        scan_dists_below::<BATCH, T, F>(
+            &self.xs,
+            &self.ys,
+            start as usize,
+            end as usize,
+            q,
+            thresh,
+            f,
+        );
     }
 
     /// Nearest neighbor of `q`, or `None` for an empty tree.
@@ -204,6 +281,18 @@ impl KdTree {
     /// result is identical to [`KdTree::nearest`]; `f64::INFINITY` recovers
     /// the unseeded search exactly.
     pub fn nearest_within(&self, q: Point, init_best: f64) -> Option<Neighbor> {
+        self.nearest_within_impl::<true>(q, init_best)
+    }
+
+    /// Scalar differential oracle for [`KdTree::nearest_within`]: identical
+    /// traversal with the per-point scalar leaf loop. Kept live (not
+    /// test-gated) so the equivalence suite and benches can diff the
+    /// batched path at any time.
+    pub fn nearest_within_scalar(&self, q: Point, init_best: f64) -> Option<Neighbor> {
+        self.nearest_within_impl::<false>(q, init_best)
+    }
+
+    fn nearest_within_impl<const BATCH: bool>(&self, q: Point, init_best: f64) -> Option<Neighbor> {
         if self.is_empty() {
             return None;
         }
@@ -213,11 +302,11 @@ impl KdTree {
             // `<` comparisons below (a point at exactly `init_best` wins).
             dist: init_best.next_up(),
         };
-        self.nearest_rec(0, q, &mut best);
+        self.nearest_rec::<BATCH>(0, q, &mut best);
         (best.id != usize::MAX).then_some(best)
     }
 
-    fn nearest_rec(&self, node: u32, q: Point, best: &mut Neighbor) {
+    fn nearest_rec<const BATCH: bool>(&self, node: u32, q: Point, best: &mut Neighbor) {
         let n = &self.nodes[node as usize];
         if n.bbox.min_dist(q) >= best.dist {
             unn_observe::kd_node_pruned();
@@ -225,26 +314,29 @@ impl KdTree {
         }
         unn_observe::kd_node_visited();
         if n.is_leaf() {
-            for i in n.start..n.end {
-                let d = self.pts[i as usize].dist(q);
-                if d < best.dist {
+            // The gate threshold tightens as the incumbent improves; a
+            // `Cell` lets the gate closure and the visitor share it.
+            let bd = std::cell::Cell::new(best.dist);
+            self.scan_below::<BATCH, _, _>(n.start, n.end, q, &mut || bd.get(), &mut |slot, d| {
+                if d < bd.get() {
                     *best = Neighbor {
-                        id: self.ids[i as usize] as usize,
+                        id: self.ids[slot] as usize,
                         dist: d,
                     };
+                    bd.set(d);
                 }
-            }
+            });
             return;
         }
         let (l, r) = (n.left, n.right);
         let dl = self.nodes[l as usize].bbox.min_dist2(q);
         let dr = self.nodes[r as usize].bbox.min_dist2(q);
         if dl <= dr {
-            self.nearest_rec(l, q, best);
-            self.nearest_rec(r, q, best);
+            self.nearest_rec::<BATCH>(l, q, best);
+            self.nearest_rec::<BATCH>(r, q, best);
         } else {
-            self.nearest_rec(r, q, best);
-            self.nearest_rec(l, q, best);
+            self.nearest_rec::<BATCH>(r, q, best);
+            self.nearest_rec::<BATCH>(l, q, best);
         }
     }
 
@@ -261,17 +353,32 @@ impl KdTree {
     /// [`KdTree::m_nearest`] into a caller-provided buffer (cleared first):
     /// per-round loops reuse one heap allocation across calls.
     pub fn m_nearest_into(&self, q: Point, m: usize, out: &mut Vec<Neighbor>) {
+        self.m_nearest_into_impl::<true>(q, m, out);
+    }
+
+    /// Scalar differential oracle for [`KdTree::m_nearest_into`].
+    pub fn m_nearest_into_scalar(&self, q: Point, m: usize, out: &mut Vec<Neighbor>) {
+        self.m_nearest_into_impl::<false>(q, m, out);
+    }
+
+    fn m_nearest_into_impl<const BATCH: bool>(&self, q: Point, m: usize, out: &mut Vec<Neighbor>) {
         out.clear();
         if self.is_empty() || m == 0 {
             return;
         }
         // Bounded max-heap on distance.
         out.reserve(m + 1);
-        self.m_nearest_rec(0, q, m, out);
+        self.m_nearest_rec::<BATCH>(0, q, m, out);
         out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
     }
 
-    fn m_nearest_rec(&self, node: u32, q: Point, m: usize, heap: &mut Vec<Neighbor>) {
+    fn m_nearest_rec<const BATCH: bool>(
+        &self,
+        node: u32,
+        q: Point,
+        m: usize,
+        heap: &mut Vec<Neighbor>,
+    ) {
         let n = &self.nodes[node as usize];
         let worst = if heap.len() < m {
             f64::INFINITY
@@ -284,48 +391,72 @@ impl KdTree {
         }
         unn_observe::kd_node_visited();
         if n.is_leaf() {
-            for i in n.start..n.end {
-                let d = self.pts[i as usize].dist(q);
-                let worst = if heap.len() < m {
-                    f64::INFINITY
-                } else {
-                    heap[0].dist
-                };
-                if d < worst {
-                    heap_push(
-                        heap,
-                        m,
-                        Neighbor {
-                            id: self.ids[i as usize] as usize,
-                            dist: d,
-                        },
-                    );
-                }
-            }
+            let cur_worst = std::cell::Cell::new(if heap.len() < m {
+                f64::INFINITY
+            } else {
+                heap[0].dist
+            });
+            self.scan_below::<BATCH, _, _>(
+                n.start,
+                n.end,
+                q,
+                &mut || cur_worst.get(),
+                &mut |slot, d| {
+                    if d < cur_worst.get() {
+                        heap_push(
+                            heap,
+                            m,
+                            Neighbor {
+                                id: self.ids[slot] as usize,
+                                dist: d,
+                            },
+                        );
+                        cur_worst.set(if heap.len() < m {
+                            f64::INFINITY
+                        } else {
+                            heap[0].dist
+                        });
+                    }
+                },
+            );
             return;
         }
         let (l, r) = (n.left, n.right);
         let dl = self.nodes[l as usize].bbox.min_dist2(q);
         let dr = self.nodes[r as usize].bbox.min_dist2(q);
         if dl <= dr {
-            self.m_nearest_rec(l, q, m, heap);
-            self.m_nearest_rec(r, q, m, heap);
+            self.m_nearest_rec::<BATCH>(l, q, m, heap);
+            self.m_nearest_rec::<BATCH>(r, q, m, heap);
         } else {
-            self.m_nearest_rec(r, q, m, heap);
-            self.m_nearest_rec(l, q, m, heap);
+            self.m_nearest_rec::<BATCH>(r, q, m, heap);
+            self.m_nearest_rec::<BATCH>(l, q, m, heap);
         }
     }
 
     /// Calls `visit(id, dist)` for every point within distance `r` of `q`
     /// (closed ball).
-    pub fn in_disk(&self, q: Point, r: f64, visit: &mut dyn FnMut(usize, f64)) {
+    pub fn in_disk<F: FnMut(usize, f64)>(&self, q: Point, r: f64, visit: &mut F) {
         if self.is_empty() || r < 0.0 {
             return;
         }
-        self.in_disk_rec(0, q, r, visit);
+        self.in_disk_rec::<true, F>(0, q, r, visit);
     }
 
-    fn in_disk_rec(&self, node: u32, q: Point, r: f64, visit: &mut dyn FnMut(usize, f64)) {
+    /// Scalar differential oracle for [`KdTree::in_disk`].
+    pub fn in_disk_scalar<F: FnMut(usize, f64)>(&self, q: Point, r: f64, visit: &mut F) {
+        if self.is_empty() || r < 0.0 {
+            return;
+        }
+        self.in_disk_rec::<false, F>(0, q, r, visit);
+    }
+
+    fn in_disk_rec<const BATCH: bool, F: FnMut(usize, f64)>(
+        &self,
+        node: u32,
+        q: Point,
+        r: f64,
+        visit: &mut F,
+    ) {
         let n = &self.nodes[node as usize];
         if n.bbox.min_dist(q) > r {
             unn_observe::kd_node_pruned();
@@ -333,17 +464,16 @@ impl KdTree {
         }
         unn_observe::kd_node_visited();
         if n.is_leaf() {
-            for i in n.start..n.end {
-                let d = self.pts[i as usize].dist(q);
+            self.scan_below::<BATCH, _, _>(n.start, n.end, q, &mut || r, &mut |slot, d| {
                 if d <= r {
                     unn_observe::ball_point();
-                    visit(self.ids[i as usize] as usize, d);
+                    visit(self.ids[slot] as usize, d);
                 }
-            }
+            });
             return;
         }
-        self.in_disk_rec(n.left, q, r, visit);
-        self.in_disk_rec(n.right, q, r, visit);
+        self.in_disk_rec::<BATCH, F>(n.left, q, r, visit);
+        self.in_disk_rec::<BATCH, F>(n.right, q, r, visit);
     }
 
     /// [`KdTree::in_disk`] with an output budget: stops and returns `false`
@@ -353,27 +483,48 @@ impl KdTree {
     /// Callers use the budget to bound range-reporting cost when the ball
     /// could degenerate to a large fraction of the tree (the partial visits
     /// of an aborted call must be discarded).
-    pub fn in_disk_capped(
+    pub fn in_disk_capped<F: FnMut(usize, f64)>(
         &self,
         q: Point,
         r: f64,
         cap: usize,
-        visit: &mut dyn FnMut(usize, f64),
+        visit: &mut F,
+    ) -> bool {
+        self.in_disk_capped_impl::<true, F>(q, r, cap, visit)
+    }
+
+    /// Scalar differential oracle for [`KdTree::in_disk_capped`].
+    pub fn in_disk_capped_scalar<F: FnMut(usize, f64)>(
+        &self,
+        q: Point,
+        r: f64,
+        cap: usize,
+        visit: &mut F,
+    ) -> bool {
+        self.in_disk_capped_impl::<false, F>(q, r, cap, visit)
+    }
+
+    fn in_disk_capped_impl<const BATCH: bool, F: FnMut(usize, f64)>(
+        &self,
+        q: Point,
+        r: f64,
+        cap: usize,
+        visit: &mut F,
     ) -> bool {
         if self.is_empty() || r < 0.0 {
             return true;
         }
         let mut budget = cap;
-        self.in_disk_capped_rec(0, q, r, &mut budget, visit)
+        self.in_disk_capped_rec::<BATCH, F>(0, q, r, &mut budget, visit)
     }
 
-    fn in_disk_capped_rec(
+    fn in_disk_capped_rec<const BATCH: bool, F: FnMut(usize, f64)>(
         &self,
         node: u32,
         q: Point,
         r: f64,
         budget: &mut usize,
-        visit: &mut dyn FnMut(usize, f64),
+        visit: &mut F,
     ) -> bool {
         let n = &self.nodes[node as usize];
         if n.bbox.min_dist(q) > r {
@@ -382,21 +533,26 @@ impl KdTree {
         }
         unn_observe::kd_node_visited();
         if n.is_leaf() {
-            for i in n.start..n.end {
-                let d = self.pts[i as usize].dist(q);
-                if d <= r {
+            // The batched scan cannot early-return mid-leaf; `ok` gates all
+            // effects after an abort so the visit sequence, budget, and
+            // return value stay identical to the early-returning scalar
+            // original (the leftover lanes only compute distances).
+            let mut ok = true;
+            self.scan_below::<BATCH, _, _>(n.start, n.end, q, &mut || r, &mut |slot, d| {
+                if ok && d <= r {
                     if *budget == 0 {
-                        return false;
+                        ok = false;
+                        return;
                     }
                     *budget -= 1;
                     unn_observe::ball_point();
-                    visit(self.ids[i as usize] as usize, d);
+                    visit(self.ids[slot] as usize, d);
                 }
-            }
-            return true;
+            });
+            return ok;
         }
-        self.in_disk_capped_rec(n.left, q, r, budget, visit)
-            && self.in_disk_capped_rec(n.right, q, r, budget, visit)
+        self.in_disk_capped_rec::<BATCH, F>(n.left, q, r, budget, visit)
+            && self.in_disk_capped_rec::<BATCH, F>(n.right, q, r, budget, visit)
     }
 
     /// Minimizes `eval(id)` over all points, where `eval(id)` must satisfy
@@ -470,8 +626,272 @@ impl KdTree {
         }
     }
 
+    /// Batched additively-weighted nearest neighbor over the stored points
+    /// and their `lo` offsets: minimizes `d(q, p_i) + lo_i`, bit-identical
+    /// to `min_adjusted(q, &|i| p_i.dist(q) + lo[i])` (same traversal, same
+    /// leaf order, same scalar operation sequence per lane) but with the
+    /// leaf evaluations running through the lane-chunked scan instead of a
+    /// per-point closure.
+    pub fn min_adjusted_weighted(&self, q: Point) -> Option<(usize, f64)> {
+        self.min_adjusted_weighted_impl::<true>(q, f64::INFINITY)
+    }
+
+    /// [`KdTree::min_adjusted_weighted`] seeded with incumbent `init`
+    /// (same contract as [`KdTree::min_adjusted_from`]).
+    pub fn min_adjusted_weighted_from(&self, q: Point, init: f64) -> Option<(usize, f64)> {
+        self.min_adjusted_weighted_impl::<true>(q, init)
+    }
+
+    /// Scalar differential oracle for [`KdTree::min_adjusted_weighted_from`].
+    pub fn min_adjusted_weighted_from_scalar(&self, q: Point, init: f64) -> Option<(usize, f64)> {
+        self.min_adjusted_weighted_impl::<false>(q, init)
+    }
+
+    fn min_adjusted_weighted_impl<const BATCH: bool>(
+        &self,
+        q: Point,
+        init: f64,
+    ) -> Option<(usize, f64)> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut best: (usize, f64) = (usize::MAX, init);
+        self.min_weighted_rec::<BATCH>(0, q, &mut best);
+        (best.0 != usize::MAX).then_some(best)
+    }
+
+    fn min_weighted_rec<const BATCH: bool>(&self, node: u32, q: Point, best: &mut (usize, f64)) {
+        let n = &self.nodes[node as usize];
+        if n.bbox.min_dist(q) + n.min_aux >= best.1 {
+            unn_observe::kd_node_pruned();
+            return;
+        }
+        unn_observe::kd_node_visited();
+        if n.is_leaf() {
+            self.scan::<BATCH, _>(n.start, n.end, q, &mut |slot, d| {
+                let v = d + self.aux_lo[slot];
+                if v < best.1 {
+                    *best = (self.ids[slot] as usize, v);
+                }
+            });
+            return;
+        }
+        let (l, r) = (n.left, n.right);
+        let bl = self.nodes[l as usize].bbox.min_dist(q) + self.nodes[l as usize].min_aux;
+        let br = self.nodes[r as usize].bbox.min_dist(q) + self.nodes[r as usize].min_aux;
+        if bl <= br {
+            self.min_weighted_rec::<BATCH>(l, q, best);
+            self.min_weighted_rec::<BATCH>(r, q, best);
+        } else {
+            self.min_weighted_rec::<BATCH>(r, q, best);
+            self.min_weighted_rec::<BATCH>(l, q, best);
+        }
+    }
+
+    /// Minimum and second minimum of `eval(id)` in one pass:
+    /// `Some((argmin, min, second))` where `second` is the minimum over all
+    /// points other than the returned argmin occurrence (ties at the
+    /// minimum land in `second`; `+∞` for a one-point tree), or `None` for
+    /// an empty tree. `eval` must obey the [`KdTree::min_adjusted`]
+    /// contract; the prune bound is the running *second* minimum, so each
+    /// point is evaluated at most once — replacing the classic two-pass
+    /// (min, then min-excluding-argmin) with identical results: the pass-2
+    /// exclusion of the argmin index is exactly the single-instance
+    /// exclusion the running pair performs.
+    pub fn min_two_adjusted(
+        &self,
+        q: Point,
+        eval: &dyn Fn(usize) -> f64,
+    ) -> Option<(usize, f64, f64)> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut best: (usize, f64, f64) = (usize::MAX, f64::INFINITY, f64::INFINITY);
+        self.min_two_rec(0, q, eval, &mut best);
+        (best.0 != usize::MAX).then_some(best)
+    }
+
+    fn min_two_rec(
+        &self,
+        node: u32,
+        q: Point,
+        eval: &dyn Fn(usize) -> f64,
+        best: &mut (usize, f64, f64),
+    ) {
+        let n = &self.nodes[node as usize];
+        if n.bbox.min_dist(q) + n.min_aux >= best.2 {
+            unn_observe::kd_node_pruned();
+            return;
+        }
+        unn_observe::kd_node_visited();
+        if n.is_leaf() {
+            for i in n.start..n.end {
+                let id = self.ids[i as usize] as usize;
+                let v = eval(id);
+                if v < best.1 {
+                    best.2 = best.1;
+                    best.1 = v;
+                    best.0 = id;
+                } else if v < best.2 {
+                    best.2 = v;
+                }
+            }
+            return;
+        }
+        let (l, r) = (n.left, n.right);
+        let bl = self.nodes[l as usize].bbox.min_dist(q) + self.nodes[l as usize].min_aux;
+        let br = self.nodes[r as usize].bbox.min_dist(q) + self.nodes[r as usize].min_aux;
+        if bl <= br {
+            self.min_two_rec(l, q, eval, best);
+            self.min_two_rec(r, q, eval, best);
+        } else {
+            self.min_two_rec(r, q, eval, best);
+            self.min_two_rec(l, q, eval, best);
+        }
+    }
+
+    /// Batched [`KdTree::min_two_adjusted`] over the stored `lo` offsets
+    /// (`eval(i) = d(q, p_i) + lo_i`): the two-stage `NN≠0` front end's
+    /// `(Δ₁, Δ₂)` in one lane-chunked walk.
+    pub fn min_two_adjusted_weighted(&self, q: Point) -> Option<(usize, f64, f64)> {
+        self.min_two_weighted_impl::<true>(q)
+    }
+
+    /// Scalar differential oracle for [`KdTree::min_two_adjusted_weighted`].
+    pub fn min_two_adjusted_weighted_scalar(&self, q: Point) -> Option<(usize, f64, f64)> {
+        self.min_two_weighted_impl::<false>(q)
+    }
+
+    fn min_two_weighted_impl<const BATCH: bool>(&self, q: Point) -> Option<(usize, f64, f64)> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut best: (usize, f64, f64) = (usize::MAX, f64::INFINITY, f64::INFINITY);
+        self.min_two_weighted_rec::<BATCH>(0, q, &mut best);
+        (best.0 != usize::MAX).then_some(best)
+    }
+
+    fn min_two_weighted_rec<const BATCH: bool>(
+        &self,
+        node: u32,
+        q: Point,
+        best: &mut (usize, f64, f64),
+    ) {
+        let n = &self.nodes[node as usize];
+        if n.bbox.min_dist(q) + n.min_aux >= best.2 {
+            unn_observe::kd_node_pruned();
+            return;
+        }
+        unn_observe::kd_node_visited();
+        if n.is_leaf() {
+            self.scan::<BATCH, _>(n.start, n.end, q, &mut |slot, d| {
+                let v = d + self.aux_lo[slot];
+                if v < best.1 {
+                    best.2 = best.1;
+                    best.1 = v;
+                    best.0 = self.ids[slot] as usize;
+                } else if v < best.2 {
+                    best.2 = v;
+                }
+            });
+            return;
+        }
+        let (l, r) = (n.left, n.right);
+        let bl = self.nodes[l as usize].bbox.min_dist(q) + self.nodes[l as usize].min_aux;
+        let br = self.nodes[r as usize].bbox.min_dist(q) + self.nodes[r as usize].min_aux;
+        if bl <= br {
+            self.min_two_weighted_rec::<BATCH>(l, q, best);
+            self.min_two_weighted_rec::<BATCH>(r, q, best);
+        } else {
+            self.min_two_weighted_rec::<BATCH>(r, q, best);
+            self.min_two_weighted_rec::<BATCH>(l, q, best);
+        }
+    }
+
+    /// Batched stage-1 Δ(q) minimization over an external support-box
+    /// family: minimizes `boxes.max_dist(id, q)` over all stored points,
+    /// gathering [`LANES`] box evaluations per batch. Requires the usual
+    /// [`KdTree::min_adjusted`] contract —
+    /// `boxes.max_dist(id, q) >= d(q, p_id) + min_aux` for every stored
+    /// point — which holds with all-zero aux whenever `p_id` lies inside
+    /// `boxes[id]` (e.g. the boxes' centers). Bit-identical to
+    /// `min_adjusted(q, &|i| boxes.get(i).max_dist(q))`.
+    pub fn min_adjusted_boxes(&self, q: Point, boxes: &AabbSoA) -> Option<(usize, f64)> {
+        self.min_adjusted_boxes_impl::<true>(q, boxes)
+    }
+
+    /// Scalar differential oracle for [`KdTree::min_adjusted_boxes`].
+    pub fn min_adjusted_boxes_scalar(&self, q: Point, boxes: &AabbSoA) -> Option<(usize, f64)> {
+        self.min_adjusted_boxes_impl::<false>(q, boxes)
+    }
+
+    fn min_adjusted_boxes_impl<const BATCH: bool>(
+        &self,
+        q: Point,
+        boxes: &AabbSoA,
+    ) -> Option<(usize, f64)> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut best: (usize, f64) = (usize::MAX, f64::INFINITY);
+        self.min_boxes_rec::<BATCH>(0, q, boxes, &mut best);
+        (best.0 != usize::MAX).then_some(best)
+    }
+
+    fn min_boxes_rec<const BATCH: bool>(
+        &self,
+        node: u32,
+        q: Point,
+        boxes: &AabbSoA,
+        best: &mut (usize, f64),
+    ) {
+        let n = &self.nodes[node as usize];
+        if n.bbox.min_dist(q) + n.min_aux >= best.1 {
+            unn_observe::kd_node_pruned();
+            return;
+        }
+        unn_observe::kd_node_visited();
+        if n.is_leaf() {
+            let (s, e) = (n.start as usize, n.end as usize);
+            unn_observe::leaf_points((e - s) as u64);
+            let mut i = s;
+            if BATCH {
+                let batches = (e - s) / LANES;
+                unn_observe::simd_batches_add(batches as u64);
+                for _ in 0..batches {
+                    let vs = boxes.max_dist_lanes(&self.ids[i..i + LANES], q.x, q.y);
+                    for (l, &v) in vs.iter().enumerate() {
+                        if v < best.1 {
+                            *best = (self.ids[i + l] as usize, v);
+                        }
+                    }
+                    i += LANES;
+                }
+            }
+            while i < e {
+                let id = self.ids[i] as usize;
+                let v = boxes.max_dist(id, q);
+                if v < best.1 {
+                    *best = (id, v);
+                }
+                i += 1;
+            }
+            return;
+        }
+        let (l, r) = (n.left, n.right);
+        let bl = self.nodes[l as usize].bbox.min_dist(q) + self.nodes[l as usize].min_aux;
+        let br = self.nodes[r as usize].bbox.min_dist(q) + self.nodes[r as usize].min_aux;
+        if bl <= br {
+            self.min_boxes_rec::<BATCH>(l, q, boxes, best);
+            self.min_boxes_rec::<BATCH>(r, q, boxes, best);
+        } else {
+            self.min_boxes_rec::<BATCH>(r, q, boxes, best);
+            self.min_boxes_rec::<BATCH>(l, q, boxes, best);
+        }
+    }
+
     /// Best-first fold over the tree under a caller-maintained shrinking
-    /// cap: every point in a subtree with `bbox.min_dist(q) < cap` is handed
+    /// cap: points in a subtree with `bbox.min_dist(q) < cap` are handed
     /// to `visit`, which returns the (possibly tightened) cap for the rest
     /// of the walk; subtrees whose bound reaches the current cap are cut.
     /// Returns the final cap.
@@ -485,16 +905,41 @@ impl KdTree {
     /// `prune_bound` satisfies both: its caps only depend on the minimum and
     /// second-minimum, and a Δ at or above the running second-minimum
     /// changes neither.
+    ///
+    /// The batched walk exercises that latitude at point granularity too:
+    /// each leaf's center distances are computed in lane batches and slots
+    /// with `d(q, p_id) >= cap` are skipped without calling `visit` — by
+    /// the contract their statistic is `>= cap` and the fold ignores them.
+    /// [`KdTree::prune_with_cap_scalar`] keeps the original
+    /// visit-every-slot walk as the differential oracle: both walks land
+    /// on the identical final fold state and cap.
     pub fn prune_with_cap(&self, q: Point, cap: f64, visit: &mut dyn FnMut(usize) -> f64) -> f64 {
         if self.is_empty() {
             return cap;
         }
         let mut cap = cap;
-        self.prune_with_cap_rec(0, q, &mut cap, visit);
+        self.prune_with_cap_rec::<true>(0, q, &mut cap, visit);
         cap
     }
 
-    fn prune_with_cap_rec(
+    /// Scalar differential oracle for [`KdTree::prune_with_cap`]: no
+    /// center-distance prefilter — every slot of every surviving leaf is
+    /// handed to `visit`, exactly the pre-SoA behavior.
+    pub fn prune_with_cap_scalar(
+        &self,
+        q: Point,
+        cap: f64,
+        visit: &mut dyn FnMut(usize) -> f64,
+    ) -> f64 {
+        if self.is_empty() {
+            return cap;
+        }
+        let mut cap = cap;
+        self.prune_with_cap_rec::<false>(0, q, &mut cap, visit);
+        cap
+    }
+
+    fn prune_with_cap_rec<const BATCH: bool>(
         &self,
         node: u32,
         q: Point,
@@ -508,8 +953,16 @@ impl KdTree {
         }
         unn_observe::kd_node_visited();
         if n.is_leaf() {
-            for i in n.start..n.end {
-                *cap = visit(self.ids[i as usize] as usize);
+            if BATCH {
+                self.scan::<true, _>(n.start, n.end, q, &mut |slot, d| {
+                    if d < *cap {
+                        *cap = visit(self.ids[slot] as usize);
+                    }
+                });
+            } else {
+                for i in n.start..n.end {
+                    *cap = visit(self.ids[i as usize] as usize);
+                }
             }
             return;
         }
@@ -517,11 +970,11 @@ impl KdTree {
         let dl = self.nodes[l as usize].bbox.min_dist2(q);
         let dr = self.nodes[r as usize].bbox.min_dist2(q);
         if dl <= dr {
-            self.prune_with_cap_rec(l, q, cap, visit);
-            self.prune_with_cap_rec(r, q, cap, visit);
+            self.prune_with_cap_rec::<BATCH>(l, q, cap, visit);
+            self.prune_with_cap_rec::<BATCH>(r, q, cap, visit);
         } else {
-            self.prune_with_cap_rec(r, q, cap, visit);
-            self.prune_with_cap_rec(l, q, cap, visit);
+            self.prune_with_cap_rec::<BATCH>(r, q, cap, visit);
+            self.prune_with_cap_rec::<BATCH>(l, q, cap, visit);
         }
     }
 
@@ -590,6 +1043,108 @@ impl KdTree {
         self.report_rec(n.left, q, t, eval, visit);
         self.report_rec(n.right, q, t, eval, visit);
     }
+
+    /// Batched stage-2 ball reporter over the stored `hi` offsets: calls
+    /// `visit(id, v)` for every point with
+    /// `v = (d(q, p_i) - hi_i).max(0.0) < t` — the disk lower-envelope
+    /// family `δ_i(q)` with `hi_i = r_i`. Bit-identical to
+    /// [`KdTree::report_adjusted_below`] with that closure (same traversal,
+    /// same leaf order, same scalar operation sequence per lane).
+    pub fn report_ball_below(&self, q: Point, t: f64, visit: &mut dyn FnMut(usize, f64)) {
+        if self.is_empty() {
+            return;
+        }
+        self.report_ball_rec::<true>(0, q, t, visit);
+    }
+
+    /// Scalar differential oracle for [`KdTree::report_ball_below`].
+    pub fn report_ball_below_scalar(&self, q: Point, t: f64, visit: &mut dyn FnMut(usize, f64)) {
+        if self.is_empty() {
+            return;
+        }
+        self.report_ball_rec::<false>(0, q, t, visit);
+    }
+
+    fn report_ball_rec<const BATCH: bool>(
+        &self,
+        node: u32,
+        q: Point,
+        t: f64,
+        visit: &mut dyn FnMut(usize, f64),
+    ) {
+        let n = &self.nodes[node as usize];
+        if n.bbox.min_dist(q) - n.max_aux >= t {
+            unn_observe::kd_node_pruned();
+            return;
+        }
+        unn_observe::kd_node_visited();
+        if n.is_leaf() {
+            self.scan::<BATCH, _>(n.start, n.end, q, &mut |slot, d| {
+                let v = (d - self.aux_hi[slot]).max(0.0);
+                if v < t {
+                    visit(self.ids[slot] as usize, v);
+                }
+            });
+            return;
+        }
+        self.report_ball_rec::<BATCH>(n.left, q, t, visit);
+        self.report_ball_rec::<BATCH>(n.right, q, t, visit);
+    }
+}
+
+/// Recursive median-split build over `order` (original point indices);
+/// appends this subtree's nodes to `nodes` and returns the subtree root.
+/// `global_start` is the final arena position of `order[0]`.
+fn build_rec(
+    nodes: &mut Vec<Node>,
+    points: &[Point],
+    lo: &[f64],
+    hi: &[f64],
+    order: &mut [u32],
+    global_start: usize,
+    leaf: usize,
+) -> u32 {
+    // Compute bbox and aux range of this chunk.
+    let mut bbox = Aabb::EMPTY;
+    let mut min_aux = f64::INFINITY;
+    let mut max_aux = f64::NEG_INFINITY;
+    for &i in order.iter() {
+        bbox.insert(points[i as usize]);
+        min_aux = min_aux.min(lo[i as usize]);
+        max_aux = max_aux.max(hi[i as usize]);
+    }
+    let idx = nodes.len() as u32;
+    nodes.push(Node {
+        bbox,
+        min_aux,
+        max_aux,
+        left: u32::MAX,
+        right: u32::MAX,
+        start: global_start as u32,
+        end: (global_start + order.len()) as u32,
+    });
+    if order.len() <= leaf {
+        return idx;
+    }
+    // Split at the median of the wider dimension.
+    let horizontal = bbox.width() >= bbox.height();
+    let mid = order.len() / 2;
+    order.select_nth_unstable_by(mid, |&a, &b| {
+        let (pa, pb) = (points[a as usize], points[b as usize]);
+        if horizontal {
+            pa.x.total_cmp(&pb.x)
+        } else {
+            pa.y.total_cmp(&pb.y)
+        }
+    });
+    let (l, h) = order.split_at_mut(mid);
+    let left = build_rec(nodes, points, lo, hi, l, global_start, leaf);
+    let right = build_rec(nodes, points, lo, hi, h, global_start + mid, leaf);
+    nodes[idx as usize].left = left;
+    nodes[idx as usize].right = right;
+    nodes[idx as usize].start = u32::MAX;
+    nodes[idx as usize].end = u32::MAX;
+    idx
 }
 
 #[inline]
@@ -772,6 +1327,132 @@ mod tests {
                 .unwrap();
             assert_eq!(id, bid);
             assert!((v - bv).abs() < 1e-12);
+            // The batched weighted form lands on the identical pair.
+            assert_eq!(tree.min_adjusted_weighted(q), Some((id, v)));
+        }
+    }
+
+    #[test]
+    fn min_two_matches_two_pass_oracle() {
+        let pts = random_points(300, 30);
+        let mut rng = SmallRng::seed_from_u64(31);
+        let radii: Vec<f64> = (0..pts.len())
+            .map(|_| rng.random_range(0.1..20.0))
+            .collect();
+        let tree = KdTree::with_aux(&pts, &radii);
+        let eval_at = |q: Point, i: usize| pts[i].dist(q) + radii[i];
+        for _ in 0..100 {
+            let q = Point::new(
+                rng.random_range(-120.0..120.0),
+                rng.random_range(-120.0..120.0),
+            );
+            // Classic two-pass: argmin, then min excluding that index.
+            let (best, d1) = tree.min_adjusted(q, &|i| eval_at(q, i)).unwrap();
+            let d2 = tree
+                .min_adjusted(q, &|i| {
+                    if i == best {
+                        f64::INFINITY
+                    } else {
+                        eval_at(q, i)
+                    }
+                })
+                .map_or(f64::INFINITY, |(_, v)| v);
+            let got = tree.min_two_adjusted(q, &|i| eval_at(q, i)).unwrap();
+            assert_eq!(got, (best, d1, d2), "closure single-pass at {q:?}");
+            let gotw = tree.min_two_adjusted_weighted(q).unwrap();
+            assert_eq!(gotw, (best, d1, d2), "weighted batched at {q:?}");
+            assert_eq!(
+                tree.min_two_adjusted_weighted_scalar(q),
+                Some(gotw),
+                "scalar oracle at {q:?}"
+            );
+        }
+        // Single-point tree: second is +infinity.
+        let one = KdTree::with_aux(&pts[..1], &radii[..1]);
+        let (_, _, d2) = one.min_two_adjusted_weighted(Point::ORIGIN).unwrap();
+        assert!(d2.is_infinite());
+        assert!(KdTree::new(&[])
+            .min_two_adjusted_weighted(Point::ORIGIN)
+            .is_none());
+    }
+
+    #[test]
+    fn min_adjusted_boxes_matches_closure() {
+        let pts = random_points(250, 32);
+        let mut rng = SmallRng::seed_from_u64(33);
+        let boxes: Vec<Aabb> = pts
+            .iter()
+            .map(|p| {
+                let (w, h) = (rng.random_range(0.0..9.0), rng.random_range(0.0..9.0));
+                Aabb::new(Point::new(p.x - w, p.y - h), Point::new(p.x + w, p.y + h))
+            })
+            .collect();
+        let soa = AabbSoA::from_boxes(&boxes);
+        let tree = KdTree::new(&pts);
+        for _ in 0..80 {
+            let q = Point::new(
+                rng.random_range(-120.0..120.0),
+                rng.random_range(-120.0..120.0),
+            );
+            let want = tree.min_adjusted(q, &|i| boxes[i].max_dist(q)).unwrap();
+            assert_eq!(tree.min_adjusted_boxes(q, &soa), Some(want));
+            assert_eq!(tree.min_adjusted_boxes_scalar(q, &soa), Some(want));
+        }
+        assert!(KdTree::new(&[])
+            .min_adjusted_boxes(Point::ORIGIN, &soa)
+            .is_none());
+    }
+
+    #[test]
+    fn config_layouts_answer_identically() {
+        // Different leaf layouts permute the arena but cannot change any
+        // nearest/ball answer; the default config must reproduce the
+        // original LEAF_SIZE=8 layout's results exactly.
+        let pts = random_points(300, 34);
+        let trees = [
+            KdTree::new(&pts),
+            KdTree::with_config(&pts, KdConfig::scan_heavy()),
+            KdTree::with_config(
+                &pts,
+                KdConfig {
+                    leaf_size: 3,
+                    brute_force_below: 0,
+                },
+            ),
+            KdTree::with_config(
+                &pts,
+                KdConfig {
+                    leaf_size: 8,
+                    brute_force_below: 500,
+                },
+            ),
+        ];
+        assert!(trees[3].nodes.len() == 1, "brute_force_below must flatten");
+        let mut rng = SmallRng::seed_from_u64(35);
+        for _ in 0..60 {
+            let q = Point::new(
+                rng.random_range(-120.0..120.0),
+                rng.random_range(-120.0..120.0),
+            );
+            let want = trees[0].nearest(q).unwrap();
+            for t in &trees[1..] {
+                let got = t.nearest(q).unwrap();
+                assert_eq!((got.id, got.dist.to_bits()), (want.id, want.dist.to_bits()));
+            }
+            // (dist, id)-lex-min ball folds are layout-invariant.
+            let fold = |t: &KdTree| {
+                let mut e = (f64::INFINITY, usize::MAX);
+                t.in_disk(q, 75.0, &mut |id, d| {
+                    if d < e.0 || (d == e.0 && id < e.1) {
+                        e = (d, id);
+                    }
+                });
+                e
+            };
+            let want_fold = fold(&trees[0]);
+            for t in &trees[1..] {
+                assert_eq!(fold(t), want_fold);
+            }
         }
     }
 
@@ -796,6 +1477,15 @@ mod tests {
             got.sort_unstable();
             let want: Vec<usize> = (0..pts.len()).filter(|&i| delta(i) < t).collect();
             assert_eq!(got, want);
+            // Batched ball reporter: identical visit sequence.
+            let mut ball: Vec<(usize, u64)> = Vec::new();
+            tree.report_ball_below(q, t, &mut |id, v| ball.push((id, v.to_bits())));
+            let mut scalar: Vec<(usize, u64)> = Vec::new();
+            tree.report_ball_below_scalar(q, t, &mut |id, v| scalar.push((id, v.to_bits())));
+            assert_eq!(ball, scalar);
+            let mut ids: Vec<usize> = ball.iter().map(|&(id, _)| id).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, want);
         }
     }
 
@@ -804,7 +1494,7 @@ mod tests {
         // A (min, second-min) fold over d(q, p) where the cap is the running
         // second minimum — the monotone/insensitive shape the dynamic
         // engine's DeltaCompose fold has. The pruned walk must land on the
-        // exact same pair as the full scan.
+        // exact same pair as the full scan, batched and scalar alike.
         let pts = random_points(400, 13);
         let tree = KdTree::new(&pts);
         let mut rng = SmallRng::seed_from_u64(14);
@@ -813,17 +1503,27 @@ mod tests {
                 rng.random_range(-120.0..120.0),
                 rng.random_range(-120.0..120.0),
             );
-            let (mut lo, mut second) = (f64::INFINITY, f64::INFINITY);
-            tree.prune_with_cap(q, f64::INFINITY, &mut |id| {
-                let d = pts[id].dist(q);
-                if d < lo {
-                    second = lo;
-                    lo = d;
-                } else if d < second {
-                    second = d;
+            let run = |batched: bool| {
+                let (mut lo, mut second) = (f64::INFINITY, f64::INFINITY);
+                let mut fold = |id: usize| {
+                    let d = pts[id].dist(q);
+                    if d < lo {
+                        second = lo;
+                        lo = d;
+                    } else if d < second {
+                        second = d;
+                    }
+                    second
+                };
+                if batched {
+                    tree.prune_with_cap(q, f64::INFINITY, &mut fold);
+                } else {
+                    tree.prune_with_cap_scalar(q, f64::INFINITY, &mut fold);
                 }
-                second
-            });
+                (lo, second)
+            };
+            let (lo, second) = run(true);
+            assert_eq!((lo, second), run(false), "batched vs scalar at {q:?}");
             let mut dists: Vec<f64> = pts.iter().map(|p| p.dist(q)).collect();
             dists.sort_by(f64::total_cmp);
             assert_eq!(lo, dists[0], "min diverged at {q:?}");
@@ -864,6 +1564,14 @@ mod tests {
                 .map(|(p, r)| p.dist(q) + r)
                 .fold(f64::INFINITY, f64::min);
             assert_eq!(incumbent, want, "threaded minimum diverged at {q:?}");
+            // The weighted batched form threads identically.
+            let mut incumbent_w = f64::INFINITY;
+            for (_, tree) in &trees {
+                if let Some((_, v)) = tree.min_adjusted_weighted_from(q, incumbent_w) {
+                    incumbent_w = v;
+                }
+            }
+            assert_eq!(incumbent_w, want);
         }
         // An incumbent at (or below) the tree minimum yields None.
         let q = Point::ORIGIN;
@@ -874,6 +1582,7 @@ mod tests {
         assert!(tree
             .min_adjusted_from(q, v, &|i| pts[i].dist(q) + radii[i])
             .is_none());
+        assert!(tree.min_adjusted_weighted_from(q, v).is_none());
     }
 
     #[test]
@@ -928,6 +1637,7 @@ mod tests {
                 .unwrap();
             assert_eq!(id, bid);
             assert_eq!(v, bv);
+            assert_eq!(tree.min_adjusted_weighted(q), Some((id, v)));
             let t = rng.random_range(1.0..40.0);
             let delta = |i: usize| (pts[i].dist(q) - hi[i]).max(0.0);
             let mut got: Vec<usize> = Vec::new();
@@ -935,6 +1645,10 @@ mod tests {
             got.sort_unstable();
             let want: Vec<usize> = (0..pts.len()).filter(|&i| delta(i) < t).collect();
             assert_eq!(got, want);
+            let mut ball: Vec<usize> = Vec::new();
+            tree.report_ball_below(q, t, &mut |i, _| ball.push(i));
+            ball.sort_unstable();
+            assert_eq!(ball, want);
         }
     }
 
@@ -954,6 +1668,11 @@ mod tests {
                 let got = tree.nearest_within(q, seed).unwrap();
                 assert_eq!(got.id, want.id, "seed = {seed}");
                 assert_eq!(got.dist, want.dist);
+                let scalar = tree.nearest_within_scalar(q, seed).unwrap();
+                assert_eq!(
+                    (scalar.id, scalar.dist.to_bits()),
+                    (got.id, got.dist.to_bits())
+                );
             }
             // A seed strictly below the NN distance finds nothing.
             if want.dist > 0.0 {
@@ -970,6 +1689,9 @@ mod tests {
         let q = Point::new(3.0, -4.0);
         tree.m_nearest_into(q, 5, &mut buf);
         assert_eq!(buf, tree.m_nearest(q, 5));
+        let mut scalar = Vec::new();
+        tree.m_nearest_into_scalar(q, 5, &mut scalar);
+        assert_eq!(buf, scalar);
         tree.m_nearest_into(q, 0, &mut buf);
         assert!(buf.is_empty());
     }
@@ -982,6 +1704,7 @@ mod tests {
         assert!(empty
             .min_adjusted(Point::ORIGIN, &|_| unreachable!())
             .is_none());
+        assert!(empty.min_adjusted_weighted(Point::ORIGIN).is_none());
 
         let one = KdTree::new(&[Point::new(1.0, 1.0)]);
         let nb = one.nearest(Point::ORIGIN).unwrap();

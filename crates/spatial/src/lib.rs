@@ -26,10 +26,11 @@ pub mod kdtree;
 pub mod persist;
 pub mod quadtree;
 pub mod rtree;
+mod scan;
 
 pub use forest::KdForest;
 pub use grid::UniformGrid;
-pub use kdtree::{KdTree, Neighbor};
+pub use kdtree::{KdConfig, KdTree, Neighbor};
 pub use persist::PersistentSet;
 pub use quadtree::QuadTree;
 pub use rtree::RTree;
