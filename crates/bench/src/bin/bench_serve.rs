@@ -1,0 +1,297 @@
+//! Closed-loop load benchmark for the sharded serving tier; writes
+//! `BENCH_serve.json` (sustained qps at a p99 latency bound, with
+//! shed/degraded/retried accounting per phase) at the repo root.
+//!
+//! ```sh
+//! cargo run -p unn-bench --release --bin bench_serve
+//! ```
+//!
+//! Five phases, each a closed loop (the next batch is issued only when the
+//! previous one has been answered) over the same shard set:
+//!
+//! * **healthy** — all shards up, exact-tier admission;
+//! * **churn** — the same load while remove+insert pairs mutate the shard
+//!   set between batches (each batch serves from a fresh epoch snapshot);
+//! * **slow_shard** — one shard reports 5ms calls against a 1ms timeout:
+//!   retries, breaker trips, and partial-coverage degraded answers;
+//! * **panic_shard** — one shard panics on every query: the dispatcher
+//!   isolates it, answers stay honest over the covered shards;
+//! * **shed** — admission capacity forces the exact→adaptive→capped ladder
+//!   and finally honest shedding.
+//!
+//! The run *asserts* its own contract: p99 under the bound in every phase,
+//! zero sheds/faults in the healthy phases, nonzero degraded/retried/shed
+//! counts where faults or pressure are injected.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use unn::geom::Point;
+use unn::observe::MonotonicClock;
+use unn::serve::{
+    AdmissionConfig, ChaosShard, DispatchConfig, Dispatcher, FaultKind, Outcome, Request,
+    ServeConfig, ShardPolicy, ShardSet,
+};
+use unn::Uncertain;
+
+const N_SHARDS: usize = 4;
+const N_POINTS: usize = 2_048;
+const S: usize = 192;
+const BATCHES: usize = 40;
+const BATCH_SIZE: usize = 32;
+const CHURN_PAIRS_PER_BATCH: usize = 8;
+const P99_BOUND_US: u64 = 400_000; // 400ms — a generous serving SLO.
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        mc_rounds: S,
+        ..ServeConfig::default()
+    }
+}
+
+fn random_disk(rng: &mut SmallRng) -> Uncertain {
+    Uncertain::uniform_disk(
+        Point::new(rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)),
+        rng.random_range(0.5..2.0),
+    )
+}
+
+fn build_set(rng: &mut SmallRng) -> ShardSet {
+    let mut set = ShardSet::new(N_SHARDS, ShardPolicy::Hash, serve_config())
+        .expect("static serve config is valid");
+    for _ in 0..N_POINTS {
+        set.insert(random_disk(rng));
+    }
+    set
+}
+
+fn batch(rng: &mut SmallRng) -> Vec<Request> {
+    (0..BATCH_SIZE)
+        .map(|i| {
+            let q = Point::new(rng.random_range(0.0..100.0), rng.random_range(0.0..100.0));
+            if i % 4 == 0 {
+                Request::NnNonzero(q)
+            } else {
+                Request::Quantify(q)
+            }
+        })
+        .collect()
+}
+
+struct PhaseResult {
+    name: &'static str,
+    queries: u64,
+    qps: f64,
+    p50_us: u64,
+    p99_us: u64,
+    answered_exact: u64,
+    degraded: u64,
+    shed: u64,
+    retries: u64,
+    timeouts: u64,
+    shard_panics: u64,
+    breaker_trips: u64,
+}
+
+/// Drives `BATCHES` closed-loop batches through `d`, optionally churning
+/// `set` and refreshing the dispatcher between batches.
+fn run_phase(
+    name: &'static str,
+    d: &mut Dispatcher,
+    set: Option<&mut ShardSet>,
+    rng: &mut SmallRng,
+) -> PhaseResult {
+    let mut churn = set;
+    let mut live: Vec<u64> = Vec::new();
+    let start = Instant::now();
+    let mut served = 0u64;
+    for _ in 0..BATCHES {
+        let reqs = batch(rng);
+        let replies = d.serve(&reqs);
+        assert_eq!(replies.len(), reqs.len(), "every request is answered");
+        for r in &replies {
+            if let Outcome::Adaptive { pi, .. } | Outcome::Capped { pi, .. } = &r.outcome {
+                assert!(pi.iter().all(|p| p.is_finite()), "no NaN ever leaks");
+            }
+        }
+        served += replies.len() as u64;
+        if let Some(set) = churn.as_deref_mut() {
+            if live.is_empty() {
+                live = set.snapshot().live_ids().to_vec();
+            }
+            for _ in 0..CHURN_PAIRS_PER_BATCH {
+                let k = rng.random_range(0..live.len());
+                let victim = live.swap_remove(k);
+                assert!(set.remove(victim));
+                live.push(set.insert(random_disk(rng)));
+            }
+            d.refresh(&set.snapshot());
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let m = d.metrics();
+    let p50 = m.query_latency.quantile_upper(0.50);
+    let p99 = m.query_latency.quantile_upper(0.99);
+    assert!(
+        p99 <= P99_BOUND_US,
+        "{name}: p99 {p99}µs exceeds the {P99_BOUND_US}µs bound"
+    );
+    PhaseResult {
+        name,
+        queries: m.queries,
+        qps: served as f64 / wall,
+        p50_us: p50,
+        p99_us: p99,
+        answered_exact: m.answered_exact,
+        degraded: m.degraded,
+        shed: m.shed,
+        retries: m.retries,
+        timeouts: m.timeouts,
+        shard_panics: m.shard_panics,
+        breaker_trips: m.breaker_trips,
+    }
+}
+
+fn dispatcher(set: &ShardSet, cfg: DispatchConfig) -> Dispatcher {
+    Dispatcher::for_snapshot(&set.snapshot(), cfg, Arc::new(MonotonicClock))
+        .expect("static dispatch config is valid")
+}
+
+fn main() {
+    // Injected chaos panics are caught by the dispatcher; keep their
+    // backtraces off stderr so real assertion failures stay visible.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| s.starts_with("chaos:"))
+            .or_else(|| {
+                info.payload()
+                    .downcast_ref::<String>()
+                    .map(|s| s.starts_with("chaos:"))
+            })
+            .unwrap_or(false);
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let mut rng = SmallRng::seed_from_u64(0x5e17e);
+    let mut set = build_set(&mut rng);
+    let base = DispatchConfig {
+        threads: Some(4),
+        call_timeout_nanos: 1_000_000_000,
+        ..DispatchConfig::default()
+    };
+
+    let mut phases: Vec<PhaseResult> = Vec::new();
+
+    // Phase 1: healthy. Full coverage, nothing shed, nothing degraded.
+    let mut d = dispatcher(&set, base);
+    let r = run_phase("healthy", &mut d, None, &mut rng);
+    assert_eq!(r.shed, 0, "healthy phase must not shed");
+    assert_eq!(r.shard_panics, 0);
+    phases.push(r);
+
+    // Phase 2: churn. Same contract while the live set mutates underneath.
+    let mut d = dispatcher(&set, base);
+    let r = run_phase("churn", &mut d, Some(&mut set), &mut rng);
+    assert_eq!(r.shed, 0, "churn alone must not shed");
+    phases.push(r);
+
+    // Phase 3: slow shard. 5ms injected latency against a 1ms timeout.
+    let mut d = dispatcher(
+        &set,
+        DispatchConfig {
+            call_timeout_nanos: 1_000_000,
+            ..base
+        },
+    );
+    d.wrap_shard(0, |inner| {
+        Box::new(ChaosShard::new(inner, FaultKind::SlowBy(5_000_000)))
+    });
+    let r = run_phase("slow_shard", &mut d, None, &mut rng);
+    assert!(r.timeouts > 0, "slow shard must time out");
+    assert!(r.retries > 0, "timeouts must be retried");
+    assert!(r.degraded > 0, "lost coverage must be flagged degraded");
+    assert!(r.breaker_trips > 0, "consecutive timeouts must trip");
+    phases.push(r);
+
+    // Phase 4: panicking shard. Faults are isolated, never escape.
+    let mut d = dispatcher(&set, base);
+    d.wrap_shard(1, |inner| {
+        Box::new(ChaosShard::new(inner, FaultKind::PanicOnQuery))
+    });
+    let r = run_phase("panic_shard", &mut d, None, &mut rng);
+    assert!(r.shard_panics > 0);
+    assert!(r.degraded > 0);
+    phases.push(r);
+
+    // Phase 5: admission pressure. The ladder downgrades, then sheds.
+    let mut d = dispatcher(
+        &set,
+        DispatchConfig {
+            admission: AdmissionConfig {
+                work_capacity: (S as u64) * (BATCH_SIZE as u64) / 4,
+                nn_cost: 8,
+                capped_rounds: 64,
+            },
+            ..base
+        },
+    );
+    let r = run_phase("shed", &mut d, None, &mut rng);
+    assert!(r.shed > 0, "pressure must shed");
+    assert!(r.degraded > 0, "the ladder must downgrade before shedding");
+    phases.push(r);
+
+    let mut out = String::from("{\n  \"bench\": \"serve\",\n");
+    out.push_str(&format!(
+        "  \"shards\": {N_SHARDS},\n  \"n\": {N_POINTS},\n  \"s\": {S},\n"
+    ));
+    out.push_str(&format!(
+        "  \"batch_size\": {BATCH_SIZE},\n  \"p99_bound_us\": {P99_BOUND_US},\n"
+    ));
+    out.push_str(
+        "  \"unit\": { \"qps\": \"queries_per_sec\", \"latency\": \"us_bucket_upper\" },\n",
+    );
+    out.push_str("  \"phases\": [\n");
+    for (i, r) in phases.iter().enumerate() {
+        println!(
+            "{:>11}: {:>7.0} qps  p50 {:>7}us  p99 {:>7}us  exact {:>4}  degraded {:>4}  \
+             shed {:>3}  retries {:>3}  trips {}",
+            r.name,
+            r.qps,
+            r.p50_us,
+            r.p99_us,
+            r.answered_exact,
+            r.degraded,
+            r.shed,
+            r.retries,
+            r.breaker_trips
+        );
+        out.push_str(&format!(
+            "    {{ \"phase\": \"{}\", \"queries\": {}, \"qps\": {:.1}, \"p50_us\": {}, \
+             \"p99_us\": {}, \"answered_exact\": {}, \"degraded\": {}, \"shed\": {}, \
+             \"retries\": {}, \"timeouts\": {}, \"shard_panics\": {}, \"breaker_trips\": {} }}{}\n",
+            r.name,
+            r.queries,
+            r.qps,
+            r.p50_us,
+            r.p99_us,
+            r.answered_exact,
+            r.degraded,
+            r.shed,
+            r.retries,
+            r.timeouts,
+            r.shard_panics,
+            r.breaker_trips,
+            if i + 1 == phases.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write("BENCH_serve.json", &out).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+}

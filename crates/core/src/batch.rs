@@ -56,7 +56,7 @@ pub type BatchOutcome<T> = Result<T, UnnError>;
 /// Runs one query under panic isolation: a panic anywhere below `f` is
 /// caught here, inside the worker's closure, so the rayon worker never
 /// unwinds and every other slot of the batch proceeds untouched.
-fn isolate<T>(q: Point, f: impl FnOnce() -> T) -> BatchOutcome<T> {
+pub(crate) fn isolate<T>(q: Point, f: impl FnOnce() -> T) -> BatchOutcome<T> {
     if !q.is_finite() {
         return Err(UnnError::DegenerateGeometry {
             reason: format!("query point has non-finite coordinate ({}, {})", q.x, q.y),

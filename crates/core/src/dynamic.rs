@@ -35,6 +35,7 @@
 //! assert_eq!(index.snapshot().nn_nonzero(q), vec![b]);
 //! ```
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, OnceLock};
 
 use rayon::prelude::*;
@@ -212,6 +213,14 @@ impl DynamicPnnIndex {
     /// fixes what it can; either failure surfaces as
     /// [`UnnError::InvalidDistribution`] (with no index — the point never
     /// joined the set).
+    ///
+    /// Validation cannot catch a distribution whose *sampler* panics (a
+    /// `Chaos` wrapper delegates validation to its healthy inner model), so
+    /// the block build runs under `catch_unwind` and a sampling panic comes
+    /// back as [`UnnError::QueryPanicked`]. The engine orders every
+    /// mutation after the panic-prone build step, so a caught panic leaves
+    /// the index exactly as it was — live set, epoch, and counters
+    /// untouched, later churn and queries unaffected.
     pub fn try_insert(
         &mut self,
         point: Uncertain,
@@ -222,7 +231,16 @@ impl DynamicPnnIndex {
             ValidationPolicy::Repair => point.repair(),
         };
         match ok {
-            Ok(p) => Ok(self.insert(p)),
+            Ok(p) => {
+                let engine = &mut self.engine;
+                // AssertUnwindSafe: on Err the engine is still consistent by
+                // the build-before-mutate ordering documented above.
+                catch_unwind(AssertUnwindSafe(|| engine.insert(p))).map_err(|payload| {
+                    UnnError::QueryPanicked {
+                        message: unn_quantify::panic_message(payload),
+                    }
+                })
+            }
             Err(e) => Err(UnnError::InvalidDistribution {
                 index: None,
                 reason: e.to_string(),

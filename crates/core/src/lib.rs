@@ -51,6 +51,7 @@ pub mod expected;
 pub mod index;
 pub mod observe;
 pub mod resilience;
+pub mod serve;
 pub mod set;
 
 pub use batch::{query_stream_seed, BatchOptions, BatchOutcome};

@@ -39,7 +39,7 @@ use crate::resilience::{QuantifyOutcome, QueryBudget, UnnError};
 pub use unn_observe::{
     counters_enabled, error_label_index, Clock, CounterSet, Histogram, MetricsShard,
     MetricsSnapshot, MonotonicClock, NullClock, PipelineMetrics, QueryOutcome, QueryStats,
-    ShardHandle, ERROR_LABELS, HIST_BUCKETS,
+    ServeCounters, ShardHandle, VirtualClock, ERROR_LABELS, HIST_BUCKETS,
 };
 
 /// The stable [`ERROR_LABELS`] key for an [`UnnError`] variant (the
@@ -94,6 +94,20 @@ fn fill_outcome(res: &Result<QuantifyOutcome, UnnError>, s: u64, stats: &mut Que
             stats.outcome = QueryOutcome::Errored;
             stats.error_label = Some(error_label(e));
             unn_observe::trace_event!("error: {e}");
+        }
+    }
+}
+
+/// Fills the outcome fields of an isolated slot: an `Ok` answer counts as
+/// exact, a typed error is labeled so it lands in exactly one
+/// [`MetricsShard::error_counts`] bucket.
+fn fill_isolated<T>(res: &BatchOutcome<T>, stats: &mut QueryStats) {
+    match res {
+        Ok(_) => stats.outcome = QueryOutcome::Exact,
+        Err(e) => {
+            stats.outcome = QueryOutcome::Errored;
+            stats.error_label = Some(error_label(e));
+            unn_observe::trace_event!("isolated error: {e}");
         }
     }
 }
@@ -233,6 +247,103 @@ impl PnnIndex {
         })
     }
 
+    /// [`PnnIndex::nn_nonzero_batch_isolated_with`] recording per-query
+    /// stats into `metrics`: every slot that degrades to a typed error —
+    /// including a caught panic — lands in exactly one
+    /// [`MetricsShard::error_counts`] bucket keyed by [`ERROR_LABELS`]
+    /// variant; successful slots count as exact.
+    pub fn nn_nonzero_batch_isolated_observed(
+        &self,
+        queries: &[Point],
+        opts: &BatchOptions,
+        metrics: &PipelineMetrics,
+        clock: &dyn Clock,
+    ) -> Vec<BatchOutcome<Vec<usize>>> {
+        opts.run(|| {
+            queries
+                .par_iter()
+                .map_init(
+                    || metrics.shard(),
+                    |shard, &q| {
+                        let (res, mut stats) = observe_query(clock, || {
+                            crate::batch::isolate(q, || self.nn_nonzero(q))
+                        });
+                        fill_isolated(&res, &mut stats);
+                        shard.record(&stats);
+                        res
+                    },
+                )
+                .collect()
+        })
+    }
+
+    /// [`PnnIndex::quantify_batch_isolated_with`] recording per-query stats
+    /// into `metrics` with automatic per-error-variant counting.
+    pub fn quantify_batch_isolated_observed(
+        &self,
+        queries: &[Point],
+        opts: &BatchOptions,
+        metrics: &PipelineMetrics,
+        clock: &dyn Clock,
+    ) -> Vec<BatchOutcome<(Vec<f64>, QuantifyMethod)>> {
+        opts.run(|| {
+            queries
+                .par_iter()
+                .map_init(
+                    || metrics.shard(),
+                    |shard, &q| {
+                        let (res, mut stats) =
+                            observe_query(clock, || crate::batch::isolate(q, || self.quantify(q)));
+                        fill_isolated(&res, &mut stats);
+                        if let Ok((_, QuantifyMethod::MonteCarlo { achieved_epsilon })) = &res {
+                            let s = self.mc_rounds() as u64;
+                            stats.rounds_used = s;
+                            stats.rounds_total = s;
+                            stats.achieved_epsilon = *achieved_epsilon;
+                        }
+                        shard.record(&stats);
+                        res
+                    },
+                )
+                .collect()
+        })
+    }
+
+    /// [`PnnIndex::quantify_adaptive_batch_isolated_with`] recording
+    /// per-query stats into `metrics` with automatic per-error-variant
+    /// counting; successful slots carry their adaptive rounds/accuracy.
+    pub fn quantify_adaptive_batch_isolated_observed(
+        &self,
+        queries: &[Point],
+        eps: f64,
+        delta: f64,
+        opts: &BatchOptions,
+        metrics: &PipelineMetrics,
+        clock: &dyn Clock,
+    ) -> Vec<BatchOutcome<AdaptiveQuantify>> {
+        opts.run(|| {
+            queries
+                .par_iter()
+                .map_init(
+                    || metrics.shard(),
+                    |shard, &q| {
+                        let (res, mut stats) = observe_query(clock, || {
+                            crate::batch::isolate(q, || self.quantify_adaptive(q, eps, delta))
+                        });
+                        fill_isolated(&res, &mut stats);
+                        if let Ok(a) = &res {
+                            stats.rounds_used = a.rounds_used as u64;
+                            stats.rounds_total = self.mc_rounds() as u64;
+                            stats.achieved_epsilon = a.half_width;
+                        }
+                        shard.record(&stats);
+                        res
+                    },
+                )
+                .collect()
+        })
+    }
+
     /// [`PnnIndex::quantify_guarded_batch_with`] recording per-query stats
     /// into `metrics`: degradations and typed errors are counted by
     /// [`ERROR_LABELS`] variant, each slot still answers independently.
@@ -335,6 +446,70 @@ mod tests {
         } else {
             assert_eq!(snap.shard.kd_nodes_visited, 0);
         }
+    }
+
+    #[test]
+    fn isolated_observed_counts_each_error_variant_once() {
+        use unn_distr::{ChaosDistribution, ChaosMode};
+        let poison = Point::new(321.5, -654.25);
+        let points = vec![
+            Uncertain::uniform_disk(Point::new(0.0, 0.0), 1.0),
+            Uncertain::uniform_disk(Point::new(6.0, 0.0), 1.0),
+            Uncertain::Chaos(ChaosDistribution::new(
+                Uncertain::uniform_disk(Point::new(0.0, 7.0), 2.0),
+                ChaosMode::PanicAtQuery(poison),
+            )),
+        ];
+        let idx = PnnIndex::new(points);
+        let mut queries: Vec<Point> = (0..20).map(|i| Point::new(i as f64 * 0.4, 0.6)).collect();
+        queries[7] = poison;
+        queries[13] = Point::new(f64::NAN, 0.0);
+        let metrics = PipelineMetrics::new();
+        let out = idx.nn_nonzero_batch_isolated_observed(
+            &queries,
+            &BatchOptions::with_threads(2),
+            &metrics,
+            &NullClock,
+        );
+        assert_eq!(out, idx.nn_nonzero_batch_isolated(&queries));
+        let snap = metrics.snapshot();
+        assert_eq!(snap.shard.queries, 20);
+        let panicked = error_label_index("query_panicked").unwrap();
+        let degenerate = error_label_index("degenerate_geometry").unwrap();
+        assert_eq!(
+            snap.shard.error_counts[panicked], 1,
+            "the poison query lands in exactly one query_panicked bucket"
+        );
+        assert_eq!(snap.shard.error_counts[degenerate], 1);
+        assert_eq!(snap.shard.error_counts.iter().sum::<u64>(), 2);
+        assert_eq!(snap.shard.exact_count, 18);
+
+        // The adaptive isolated variant counts the same way and keeps
+        // per-slot answers identical to the unobserved batch. (Its
+        // Monte-Carlo estimator never evaluates distance CDFs at q, so the
+        // chaos poison does not fire — only the NaN query errors.)
+        let metrics = PipelineMetrics::new();
+        let out = idx.quantify_adaptive_batch_isolated_observed(
+            &queries,
+            0.05,
+            0.01,
+            &BatchOptions::with_threads(2),
+            &metrics,
+            &NullClock,
+        );
+        assert_eq!(
+            out,
+            idx.quantify_adaptive_batch_isolated_with(
+                &queries,
+                0.05,
+                0.01,
+                &BatchOptions::default()
+            )
+        );
+        let snap = metrics.snapshot();
+        assert_eq!(snap.shard.error_counts[degenerate], 1);
+        let errored = snap.shard.error_counts.iter().sum::<u64>();
+        assert_eq!(snap.shard.exact_count + errored, 20);
     }
 
     #[test]

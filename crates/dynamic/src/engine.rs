@@ -221,8 +221,11 @@ impl DynamicEngine {
     /// Inserts a point under a fresh id and returns it.
     pub fn insert(&mut self, point: Uncertain) -> PointId {
         let id = self.next_id;
-        self.next_id += 1;
+        // Claim the id only after the panic-prone build inside
+        // `insert_entry` has succeeded, so a caught sampling panic does not
+        // burn it (the id streams of twin engines stay in lockstep).
         self.insert_entry(id, point);
+        self.next_id += 1;
         id
     }
 
@@ -241,10 +244,17 @@ impl DynamicEngine {
     }
 
     fn insert_entry(&mut self, id: PointId, point: Uncertain) {
+        // Mutation ordering is panic-atomic: the singleton block build (the
+        // only step that runs distribution sampling code and can panic) goes
+        // first and touches no engine state until it succeeds, and every
+        // policy merge is individually build-before-remove. A panic escaping
+        // here therefore leaves the engine in a consistent (at worst
+        // under-compacted) state that later mutations and queries handle
+        // normally.
         self.push_block(vec![(id, point)]);
-        self.apply_policy();
         self.live += 1;
         self.epoch += 1;
+        self.apply_policy();
         self.note_update();
     }
 
@@ -258,19 +268,18 @@ impl DynamicEngine {
         if points.is_empty() {
             return Vec::new();
         }
-        let ids: Vec<PointId> = points
-            .iter()
-            .map(|_| {
-                let id = self.next_id;
-                self.next_id += 1;
-                id
-            })
+        let ids: Vec<PointId> = (0..points.len() as PointId)
+            .map(|k| self.next_id + k)
             .collect();
         let entries: Vec<(PointId, Uncertain)> = ids.iter().copied().zip(points).collect();
-        self.live += entries.len();
+        let added = entries.len();
+        // Build first, mutate after — see `insert_entry` for the panic
+        // contract. The ids are claimed only once the build has succeeded.
         self.push_block(entries);
-        self.apply_policy();
+        self.next_id += added as PointId;
+        self.live += added;
         self.epoch += 1;
+        self.apply_policy();
         self.note_update();
         ids
     }
@@ -299,14 +308,28 @@ impl DynamicEngine {
         false
     }
 
-    /// Builds a block from `entries` and registers it (no cascade).
-    fn push_block(&mut self, entries: Vec<(PointId, Uncertain)>) {
-        debug_assert!(!entries.is_empty());
-        self.blocks_built += 1;
+    /// Builds a [`Slot`] from `entries` without touching engine state.
+    /// [`BlockCore::build`] runs distribution sampling code and is the one
+    /// place a hostile (chaos) distribution can panic — callers sequence all
+    /// their mutations *after* this returns so an unwinding build leaves the
+    /// engine exactly as it was.
+    fn build_slot(&self, entries: Vec<(PointId, Uncertain)>) -> Option<Slot> {
+        if entries.is_empty() {
+            return None;
+        }
         let live = entries.len();
         let core = Arc::new(BlockCore::build(entries, self.config.seed, self.rounds()));
         let alive = Arc::new(vec![true; core.len()]);
-        self.slots.push(Slot { core, alive, live });
+        Some(Slot { core, alive, live })
+    }
+
+    /// Builds a block from `entries` and registers it (no cascade).
+    fn push_block(&mut self, entries: Vec<(PointId, Uncertain)>) {
+        debug_assert!(!entries.is_empty());
+        if let Some(slot) = self.build_slot(entries) {
+            self.blocks_built += 1;
+            self.slots.push(slot);
+        }
     }
 
     /// Applies the configured [`CompactionPolicy`] after an insert.
@@ -332,10 +355,7 @@ impl DynamicEngine {
                             b = i;
                         }
                     }
-                    let (hi, lo) = (a.max(b), a.min(b));
-                    let second = self.slots.swap_remove(hi);
-                    let first = self.slots.swap_remove(lo);
-                    self.merge_pair(first, second);
+                    self.merge_slots(a, b);
                 }
             }
             CompactionPolicy::MergeToOne => {
@@ -383,28 +403,36 @@ impl DynamicEngine {
                 }
             }
             let Some((i, j)) = found else { break };
-            // j > i, so removing j first leaves index i valid.
-            let b = self.slots.swap_remove(j);
-            let a = self.slots.swap_remove(i);
-            self.merge_pair(a, b);
+            self.merge_slots(i, j);
         }
     }
 
-    fn merge_pair(&mut self, a: Slot, b: Slot) {
-        self.merges += 1;
-        unn_observe::dyn_merge();
+    /// Merges the blocks at slot indices `i` and `j` into one. The merged
+    /// block is built *before* either source slot is removed or any counter
+    /// moves, so a build panic (hostile distribution) aborts the merge with
+    /// the engine untouched.
+    fn merge_slots(&mut self, i: usize, j: usize) {
+        debug_assert_ne!(i, j);
+        let (a, b) = (&self.slots[i], &self.slots[j]);
         let mut entries = Vec::with_capacity(a.live + b.live);
-        for slot in [&a, &b] {
-            for j in 0..slot.core.len() {
-                if slot.alive[j] {
-                    entries.push((slot.core.ids[j], slot.core.points[j].clone()));
+        for slot in [a, b] {
+            for k in 0..slot.core.len() {
+                if slot.alive[k] {
+                    entries.push((slot.core.ids[k], slot.core.points[k].clone()));
                 }
             }
         }
         let dropped = (a.core.len() - a.live) + (b.core.len() - b.live);
+        let built = self.build_slot(entries);
+        let (hi, lo) = (i.max(j), i.min(j));
+        self.slots.swap_remove(hi);
+        self.slots.swap_remove(lo);
+        self.merges += 1;
+        unn_observe::dyn_merge();
         self.dead -= dropped;
-        if !entries.is_empty() {
-            self.push_block(entries);
+        if let Some(slot) = built {
+            self.blocks_built += 1;
+            self.slots.push(slot);
         }
     }
 
@@ -431,10 +459,13 @@ impl DynamicEngine {
                 }
             }
         }
+        // Build before clearing (panic-atomicity; see `build_slot`).
+        let built = self.build_slot(entries);
         self.slots.clear();
         self.dead = 0;
-        if !entries.is_empty() {
-            self.push_block(entries);
+        if let Some(slot) = built {
+            self.blocks_built += 1;
+            self.slots.push(slot);
         }
     }
 
@@ -566,6 +597,30 @@ impl EngineSnapshot {
         }
         out.sort_unstable();
         out
+    }
+
+    /// The stage-1 Lemma 2.1 fold for `q` over this snapshot, exposed for
+    /// **cross-shard composition** (`unn-serve`): because
+    /// [`DeltaCompose::merge`] is the same commutative fold as observing all
+    /// pairs flat, merging the `delta_fold`s of snapshots over disjoint live
+    /// sets yields a fold bit-identical to one unsharded snapshot over the
+    /// union — the pruned per-snapshot fold's observable state already
+    /// equals its unpruned scan (see [`EngineSnapshot::nn_nonzero`]).
+    /// Counts one read toward hot-block promotion.
+    pub fn delta_fold(&self, q: Point) -> DeltaCompose {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.fold_delta(q)
+    }
+
+    /// Stage-2 report under an externally merged fold: pushes every live id
+    /// whose minimum distance undercuts `fold`'s cap for it. With `fold`
+    /// merged across shards, the union of per-shard reports equals the
+    /// unsharded [`EngineSnapshot::nn_nonzero`] answer (unsorted here;
+    /// callers sort the concatenation).
+    pub fn report_nonzero_under(&self, q: Point, fold: &DeltaCompose, out: &mut Vec<PointId>) {
+        for (core, alive) in &self.slots {
+            core.report_nonzero(q, alive, fold, out);
+        }
     }
 
     /// Stage-1 fold with cross-block pruning: blocks ordered best-first by

@@ -32,6 +32,7 @@
 
 #[cfg(feature = "enabled")]
 use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Mutex;
 
 /// Marker symbol for the CI codegen guard: exists if and only if the
@@ -431,6 +432,34 @@ impl Clock for MonotonicClock {
         static ORIGIN: OnceLock<Instant> = OnceLock::new();
         let origin = *ORIGIN.get_or_init(Instant::now);
         u64::try_from(origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A manually-advanced clock for deterministic time-dependent logic
+/// (retry backoff, circuit-breaker cooldowns): `now_nanos` reads an atomic
+/// that only moves when a test calls [`VirtualClock::advance`]. Clones
+/// share the same underlying instant.
+#[derive(Clone, Debug, Default)]
+pub struct VirtualClock {
+    now: std::sync::Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// A clock frozen at 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves time forward by `nanos`.
+    pub fn advance(&self, nanos: u64) {
+        self.now.fetch_add(nanos, AtomicOrdering::Relaxed);
+    }
+}
+
+impl Clock for VirtualClock {
+    #[inline]
+    fn now_nanos(&self) -> u64 {
+        self.now.load(AtomicOrdering::Relaxed)
     }
 }
 
@@ -916,6 +945,181 @@ fn json_buckets(h: &Histogram) -> String {
         h.sum,
         inner.join(", ")
     )
+}
+
+// ---------------------------------------------------------------------------
+// Serving-tier metrics
+// ---------------------------------------------------------------------------
+
+/// Counter totals for the sharded serving tier (`unn-serve`): admission
+/// outcomes, fault handling, breaker lifecycle, and per-shard latency.
+/// Like [`MetricsShard`], everything except the latency histograms is
+/// deterministic for a deterministic workload (and under a deterministic
+/// clock the histograms are too).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeCounters {
+    /// Requests admitted into a serve batch (including ones later shed).
+    pub queries: u64,
+    /// Quantify requests answered at the exact tier.
+    pub answered_exact: u64,
+    /// Quantify requests answered at the adaptive Monte-Carlo tier.
+    pub answered_adaptive: u64,
+    /// Quantify requests answered at the round-capped Monte-Carlo tier.
+    pub answered_capped: u64,
+    /// NN≠0 requests answered.
+    pub answered_nonzero: u64,
+    /// Requests shed (no answer produced), total across reasons.
+    pub shed: u64,
+    /// … because admission ran out of work capacity.
+    pub shed_capacity: u64,
+    /// … because the query point was non-finite.
+    pub shed_invalid: u64,
+    /// … because no shard produced an answer.
+    pub shed_no_coverage: u64,
+    /// … because the per-query deadline expired before any coverage.
+    pub shed_deadline: u64,
+    /// Answers below the requested tier, from partial coverage, or both.
+    pub degraded: u64,
+    /// Answers covering only a subset of live shards.
+    pub partial: u64,
+    /// Shard-call retries performed (attempts beyond each first try).
+    pub retries: u64,
+    /// Shard calls that exceeded the per-call timeout.
+    pub timeouts: u64,
+    /// Shard calls that panicked (caught and isolated).
+    pub shard_panics: u64,
+    /// Shard answers rejected by validation (NaN poison).
+    pub poisoned_answers: u64,
+    /// Exact-tier sweeps that faulted and fell back to Monte-Carlo.
+    pub exact_faults: u64,
+    /// Circuit-breaker transitions into `Open`.
+    pub breaker_trips: u64,
+    /// Circuit-breaker recoveries (`HalfOpen` → `Closed`).
+    pub breaker_recoveries: u64,
+    /// Per-query modeled latency (shard call time + backoff), in
+    /// **microseconds** — the 24 power-of-two buckets then span ~4s, a
+    /// serving-scale range.
+    pub query_latency: Histogram,
+    /// Per-shard call latency in microseconds, indexed by shard.
+    pub shard_latency: Vec<Histogram>,
+    /// Per-shard failed-call counts (timeout + panic + poison), indexed by
+    /// shard.
+    pub shard_failures: Vec<u64>,
+}
+
+impl ServeCounters {
+    /// Zeroed counters sized for `n_shards` shards.
+    pub fn new(n_shards: usize) -> Self {
+        Self {
+            shard_latency: vec![Histogram::default(); n_shards],
+            shard_failures: vec![0; n_shards],
+            ..Self::default()
+        }
+    }
+
+    /// Merges another counter set in (field-wise sum; per-shard vectors are
+    /// extended to the longer length).
+    pub fn merge(&mut self, other: &ServeCounters) {
+        self.queries += other.queries;
+        self.answered_exact += other.answered_exact;
+        self.answered_adaptive += other.answered_adaptive;
+        self.answered_capped += other.answered_capped;
+        self.answered_nonzero += other.answered_nonzero;
+        self.shed += other.shed;
+        self.shed_capacity += other.shed_capacity;
+        self.shed_invalid += other.shed_invalid;
+        self.shed_no_coverage += other.shed_no_coverage;
+        self.shed_deadline += other.shed_deadline;
+        self.degraded += other.degraded;
+        self.partial += other.partial;
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.shard_panics += other.shard_panics;
+        self.poisoned_answers += other.poisoned_answers;
+        self.exact_faults += other.exact_faults;
+        self.breaker_trips += other.breaker_trips;
+        self.breaker_recoveries += other.breaker_recoveries;
+        if self.shard_latency.len() < other.shard_latency.len() {
+            self.shard_latency
+                .resize(other.shard_latency.len(), Histogram::default());
+        }
+        for (a, b) in self.shard_latency.iter_mut().zip(&other.shard_latency) {
+            a.merge(b);
+        }
+        if self.shard_failures.len() < other.shard_failures.len() {
+            self.shard_failures.resize(other.shard_failures.len(), 0);
+        }
+        for (a, b) in self.shard_failures.iter_mut().zip(&other.shard_failures) {
+            *a += b;
+        }
+        self.query_latency.merge(&other.query_latency);
+    }
+
+    /// The counters with latency histograms zeroed: the value that is equal
+    /// across thread counts for a deterministic workload even under a real
+    /// clock.
+    pub fn deterministic(&self) -> ServeCounters {
+        let mut s = self.clone();
+        s.query_latency = Histogram::default();
+        s.shard_latency = vec![Histogram::default(); s.shard_latency.len()];
+        s
+    }
+
+    /// JSON rendering (flat object; histograms as bucket arrays).
+    pub fn render_json(&self) -> String {
+        let shard_lat: Vec<String> = self.shard_latency.iter().map(json_buckets).collect();
+        let shard_fail: Vec<String> = self.shard_failures.iter().map(u64::to_string).collect();
+        format!(
+            concat!(
+                "{{\n",
+                "  \"queries\": {},\n",
+                "  \"answered_exact\": {},\n",
+                "  \"answered_adaptive\": {},\n",
+                "  \"answered_capped\": {},\n",
+                "  \"answered_nonzero\": {},\n",
+                "  \"shed\": {},\n",
+                "  \"shed_capacity\": {},\n",
+                "  \"shed_invalid\": {},\n",
+                "  \"shed_no_coverage\": {},\n",
+                "  \"shed_deadline\": {},\n",
+                "  \"degraded\": {},\n",
+                "  \"partial\": {},\n",
+                "  \"retries\": {},\n",
+                "  \"timeouts\": {},\n",
+                "  \"shard_panics\": {},\n",
+                "  \"poisoned_answers\": {},\n",
+                "  \"exact_faults\": {},\n",
+                "  \"breaker_trips\": {},\n",
+                "  \"breaker_recoveries\": {},\n",
+                "  \"query_latency\": {},\n",
+                "  \"shard_latency\": [{}],\n",
+                "  \"shard_failures\": [{}]\n",
+                "}}"
+            ),
+            self.queries,
+            self.answered_exact,
+            self.answered_adaptive,
+            self.answered_capped,
+            self.answered_nonzero,
+            self.shed,
+            self.shed_capacity,
+            self.shed_invalid,
+            self.shed_no_coverage,
+            self.shed_deadline,
+            self.degraded,
+            self.partial,
+            self.retries,
+            self.timeouts,
+            self.shard_panics,
+            self.poisoned_answers,
+            self.exact_faults,
+            self.breaker_trips,
+            self.breaker_recoveries,
+            json_buckets(&self.query_latency),
+            shard_lat.join(", "),
+            shard_fail.join(", "),
+        )
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,159 @@
+//! Per-shard circuit breaker.
+//!
+//! State machine (documented contract, verified by the chaos suite):
+//!
+//! ```text
+//!            trip_after consecutive failures
+//!   Closed ────────────────────────────────────▶ Open
+//!     ▲                                           │
+//!     │ close_after consecutive                   │ cooldown_nanos
+//!     │ probe successes                           ▼ elapsed
+//!     └───────────────────────────────────── HalfOpen
+//!                    (any probe failure reopens: HalfOpen ─▶ Open)
+//! ```
+//!
+//! The breaker is a plain sequential value: the [`Dispatcher`] drives it
+//! deterministically by replaying per-call outcomes in request order after
+//! each batch, and time enters only through the caller-supplied `now`
+//! nanoseconds, so trips and recoveries are schedule-independent.
+//!
+//! [`Dispatcher`]: crate::Dispatcher
+
+/// Breaker tuning. All thresholds are clamped to ≥ 1 at use.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive failures that open the breaker.
+    pub trip_after: u32,
+    /// Nanoseconds an open breaker waits before admitting half-open probes.
+    pub cooldown_nanos: u64,
+    /// Consecutive half-open probe successes that close the breaker.
+    pub close_after: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            trip_after: 3,
+            cooldown_nanos: 1_000_000_000,
+            close_after: 2,
+        }
+    }
+}
+
+/// The three breaker states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: calls flow, consecutive failures are counted.
+    Closed,
+    /// Tripped: the shard is excluded from serving until the cooldown
+    /// elapses.
+    Open,
+    /// Probing: calls flow again; successes close, any failure reopens.
+    HalfOpen,
+}
+
+/// One shard's breaker.
+#[derive(Clone, Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    probe_successes: u32,
+    opened_at: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Self {
+            cfg,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            probe_successes: 0,
+            opened_at: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Advances `Open → HalfOpen` once the cooldown has elapsed. Call once
+    /// per batch with the batch's clock reading.
+    pub fn poll(&mut self, now: u64) {
+        if self.state == BreakerState::Open
+            && now.saturating_sub(self.opened_at) >= self.cfg.cooldown_nanos
+        {
+            self.state = BreakerState::HalfOpen;
+            self.probe_successes = 0;
+        }
+    }
+
+    /// Records one successful call.
+    pub fn record_success(&mut self) {
+        match self.state {
+            BreakerState::Closed => self.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                self.probe_successes += 1;
+                if self.probe_successes >= self.cfg.close_after.max(1) {
+                    self.state = BreakerState::Closed;
+                    self.consecutive_failures = 0;
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Records one failed call (`now` stamps a potential trip time).
+    pub fn record_failure(&mut self, now: u64) {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.cfg.trip_after.max(1) {
+                    self.state = BreakerState::Open;
+                    self.opened_at = now;
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open;
+                self.opened_at = now;
+            }
+            BreakerState::Open => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_cools_probes_and_recovers() {
+        let mut br = CircuitBreaker::new(BreakerConfig {
+            trip_after: 2,
+            cooldown_nanos: 100,
+            close_after: 2,
+        });
+        assert_eq!(br.state(), BreakerState::Closed);
+        br.record_failure(10);
+        assert_eq!(br.state(), BreakerState::Closed);
+        br.record_failure(11);
+        assert_eq!(br.state(), BreakerState::Open);
+        br.poll(50);
+        assert_eq!(br.state(), BreakerState::Open, "cooldown not elapsed");
+        br.poll(111);
+        assert_eq!(br.state(), BreakerState::HalfOpen);
+        br.record_failure(112);
+        assert_eq!(br.state(), BreakerState::Open, "probe failure reopens");
+        br.poll(300);
+        br.record_success();
+        br.record_success();
+        assert_eq!(br.state(), BreakerState::Closed);
+        // A success streak resets the failure count.
+        br.record_failure(400);
+        br.record_success();
+        br.record_failure(401);
+        assert_eq!(br.state(), BreakerState::Closed);
+    }
+}

@@ -1,0 +1,174 @@
+//! Deterministic fault injection at the shard-call boundary.
+//!
+//! [`ChaosShard`] wraps any [`ShardBackend`] and, while armed, corrupts its
+//! query calls in one of three ways: panicking, inflating the self-reported
+//! latency (tripping the dispatcher's call timeout without any real
+//! sleeping), or returning NaN-poisoned answers that the dispatcher's
+//! validators must catch. Faults are injected at the stage-1 calls
+//! (`delta_fold`, `round_winners`), so a faulted shard is excluded before
+//! its data can contaminate a cross-shard merge; healthy shards' answers
+//! stay bit-identical to the fault-free run.
+//!
+//! The armed flag is shared ([`ChaosShard::armed_handle`]) so tests can heal
+//! the shard mid-run and watch the circuit breaker recover.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use unn_dynamic::PointId;
+use unn_geom::Point;
+use unn_nonzero::DeltaCompose;
+
+use crate::dispatch::ShardBackend;
+
+/// The fault a [`ChaosShard`] injects while armed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Every query call panics (caught by the dispatcher, never escaping).
+    PanicOnQuery,
+    /// Every query call reports this many extra nanoseconds of latency —
+    /// artificial slowness under the injected clock, no real sleeping.
+    SlowBy(u64),
+    /// Stage-1 answers are NaN-poisoned: the Lemma 2.1 fold carries a NaN
+    /// bound and every round winner has a NaN distance. The dispatcher's
+    /// validators must reject both.
+    NanPoison,
+}
+
+/// A fault-injection wrapper over any shard backend.
+pub struct ChaosShard {
+    inner: Box<dyn ShardBackend>,
+    fault: FaultKind,
+    armed: Arc<AtomicBool>,
+}
+
+impl ChaosShard {
+    /// Wraps `inner`, armed immediately.
+    pub fn new(inner: Box<dyn ShardBackend>, fault: FaultKind) -> Self {
+        Self {
+            inner,
+            fault,
+            armed: Arc::new(AtomicBool::new(true)),
+        }
+    }
+
+    /// The shared armed flag: store `false` to heal the shard mid-run.
+    pub fn armed_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.armed)
+    }
+
+    fn armed(&self) -> bool {
+        self.armed.load(Ordering::Relaxed)
+    }
+}
+
+impl ShardBackend for ChaosShard {
+    fn live_ids(&self) -> &[PointId] {
+        self.inner.live_ids()
+    }
+
+    fn rounds(&self) -> usize {
+        self.inner.rounds()
+    }
+
+    fn delta_fold(&self, q: Point) -> (DeltaCompose, u64) {
+        if self.armed() {
+            match self.fault {
+                FaultKind::PanicOnQuery => panic!("chaos: injected delta_fold panic"),
+                FaultKind::SlowBy(extra) => {
+                    let (fold, nanos) = self.inner.delta_fold(q);
+                    return (fold, nanos.saturating_add(extra));
+                }
+                FaultKind::NanPoison => {
+                    let mut fold = DeltaCompose::new();
+                    fold.observe(f64::NAN, 0);
+                    return (fold, 0);
+                }
+            }
+        }
+        self.inner.delta_fold(q)
+    }
+
+    fn report_nonzero(&self, q: Point, fold: &DeltaCompose) -> (Vec<PointId>, u64) {
+        if self.armed() {
+            match self.fault {
+                FaultKind::PanicOnQuery => panic!("chaos: injected report panic"),
+                FaultKind::SlowBy(extra) => {
+                    let (ids, nanos) = self.inner.report_nonzero(q, fold);
+                    return (ids, nanos.saturating_add(extra));
+                }
+                // Stage 2 never runs on a shard whose stage-1 fold was
+                // rejected, so poison only needs to corrupt stage 1.
+                FaultKind::NanPoison => {}
+            }
+        }
+        self.inner.report_nonzero(q, fold)
+    }
+
+    fn round_winners(&self, q: Point) -> (Vec<(f64, PointId)>, u64) {
+        if self.armed() {
+            match self.fault {
+                FaultKind::PanicOnQuery => panic!("chaos: injected winners panic"),
+                FaultKind::SlowBy(extra) => {
+                    let (w, nanos) = self.inner.round_winners(q);
+                    return (w, nanos.saturating_add(extra));
+                }
+                FaultKind::NanPoison => {
+                    return (vec![(f64::NAN, 0); self.inner.rounds()], 0);
+                }
+            }
+        }
+        self.inner.round_winners(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct StubShard;
+
+    impl ShardBackend for StubShard {
+        fn live_ids(&self) -> &[PointId] {
+            &[7]
+        }
+        fn rounds(&self) -> usize {
+            4
+        }
+        fn delta_fold(&self, _q: Point) -> (DeltaCompose, u64) {
+            let mut fold = DeltaCompose::new();
+            fold.observe(1.5, 7);
+            (fold, 10)
+        }
+        fn report_nonzero(&self, _q: Point, _fold: &DeltaCompose) -> (Vec<PointId>, u64) {
+            (vec![7], 10)
+        }
+        fn round_winners(&self, _q: Point) -> (Vec<(f64, PointId)>, u64) {
+            (vec![(1.5, 7); 4], 10)
+        }
+    }
+
+    #[test]
+    fn nan_poison_is_detectable_and_disarmable() {
+        let chaos = ChaosShard::new(Box::new(StubShard), FaultKind::NanPoison);
+        let q = Point { x: 0.0, y: 0.0 };
+        let (fold, _) = chaos.delta_fold(q);
+        assert!(!fold.is_empty() && fold.delta_min().is_nan());
+        let (w, _) = chaos.round_winners(q);
+        assert_eq!(w.len(), 4);
+        assert!(w.iter().all(|(d, _)| d.is_nan()));
+        chaos.armed_handle().store(false, Ordering::Relaxed);
+        let (fold, nanos) = chaos.delta_fold(q);
+        assert_eq!(fold.delta_min(), 1.5);
+        assert_eq!(nanos, 10);
+    }
+
+    #[test]
+    fn slow_by_inflates_reported_latency_only() {
+        let chaos = ChaosShard::new(Box::new(StubShard), FaultKind::SlowBy(1_000));
+        let q = Point { x: 0.0, y: 0.0 };
+        let (fold, nanos) = chaos.delta_fold(q);
+        assert_eq!(fold.delta_min(), 1.5, "answers stay correct, only slow");
+        assert_eq!(nanos, 1_010);
+    }
+}

@@ -1,0 +1,940 @@
+//! The serving run loop: admission, deadlines, retries, breakers, and
+//! honest degradation.
+//!
+//! Determinism: every decision the loop takes is a pure function of the
+//! request stream and the per-call self-reported timings. Admission tiers
+//! are assigned in one sequential pass *before* the parallel fan-out;
+//! per-query shard visits run in shard order with a serial elapsed-time
+//! model (call nanos plus backoff); and breaker transitions replay each
+//! query's call outcomes in request order *after* the batch. Answers and
+//! counters are therefore bit-identical at any thread count, faults
+//! included.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use rayon::prelude::*;
+use unn_dynamic::{EngineSnapshot, PointId};
+use unn_geom::Point;
+use unn_nonzero::DeltaCompose;
+use unn_observe::{Clock, ServeCounters};
+use unn_quantify::{adaptive_over_winners, MonteCarloIndex, ADAPTIVE_MIN_ROUNDS};
+
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+use crate::shard::{merge_winners, ranks_in, ExactView, ShardSetSnapshot};
+use crate::ServeError;
+
+/// One shard as the dispatcher sees it: metadata plus the three query
+/// calls, each self-reporting its elapsed nanoseconds (measured by the
+/// injected clock for real shards; synthetic for chaos wrappers). The
+/// dispatcher treats every call as fallible — panics are caught, timings
+/// drive timeouts, and answers are validated before merging.
+pub trait ShardBackend: Send + Sync {
+    /// This shard's live ids, sorted ascending.
+    fn live_ids(&self) -> &[PointId];
+
+    /// Monte-Carlo rounds per block on this shard.
+    fn rounds(&self) -> usize;
+
+    /// Stage-1 Lemma 2.1 fold over this shard.
+    fn delta_fold(&self, q: Point) -> (DeltaCompose, u64);
+
+    /// Stage-2 NN≠0 report under an externally merged fold.
+    fn report_nonzero(&self, q: Point, fold: &DeltaCompose) -> (Vec<PointId>, u64);
+
+    /// Per-round `(distance, id)` winners for `q`.
+    fn round_winners(&self, q: Point) -> (Vec<(f64, PointId)>, u64);
+}
+
+/// The production backend: a frozen per-shard engine view timed by the
+/// injected clock (zero elapsed under `NullClock`, keeping the whole loop
+/// deterministic).
+pub struct EngineShard {
+    snap: EngineSnapshot,
+    clock: Arc<dyn Clock + Send + Sync>,
+}
+
+impl EngineShard {
+    /// Wraps one shard's frozen view.
+    pub fn new(snap: EngineSnapshot, clock: Arc<dyn Clock + Send + Sync>) -> Self {
+        Self { snap, clock }
+    }
+
+    fn timed<T>(&self, f: impl FnOnce() -> T) -> (T, u64) {
+        let t0 = self.clock.now_nanos();
+        let out = f();
+        (out, self.clock.now_nanos().saturating_sub(t0))
+    }
+}
+
+impl ShardBackend for EngineShard {
+    fn live_ids(&self) -> &[PointId] {
+        self.snap.live_ids()
+    }
+
+    fn rounds(&self) -> usize {
+        self.snap.rounds()
+    }
+
+    fn delta_fold(&self, q: Point) -> (DeltaCompose, u64) {
+        self.timed(|| self.snap.delta_fold(q))
+    }
+
+    fn report_nonzero(&self, q: Point, fold: &DeltaCompose) -> (Vec<PointId>, u64) {
+        self.timed(|| {
+            let mut out = Vec::new();
+            self.snap.report_nonzero_under(q, fold, &mut out);
+            out
+        })
+    }
+
+    fn round_winners(&self, q: Point) -> (Vec<(f64, PointId)>, u64) {
+        self.timed(|| self.snap.round_winners(q))
+    }
+}
+
+/// Bounded retry with exponential backoff for transient shard failures.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Attempts beyond the first per shard call.
+    pub max_retries: u32,
+    /// Backoff before retry `k` (1-based) is `backoff_base_nanos << (k-1)`,
+    /// charged to the query's deadline.
+    pub backoff_base_nanos: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            backoff_base_nanos: 1_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    fn backoff_nanos(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1).min(63);
+        self.backoff_base_nanos.saturating_mul(1u64 << shift)
+    }
+}
+
+/// Admission control: a per-batch work budget spent tier-by-tier. When a
+/// quantify request no longer fits the exact sweep it is *downgraded* —
+/// adaptive Monte-Carlo, then round-capped Monte-Carlo — and only shed
+/// when even the capped tier does not fit.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionConfig {
+    /// Work units available per [`Dispatcher::serve`] batch
+    /// (`u64::MAX` = unlimited). Exact costs its sweep touches, adaptive
+    /// costs `s` rounds, capped costs [`AdmissionConfig::capped_rounds`].
+    pub work_capacity: u64,
+    /// Flat work cost charged per NN≠0 request.
+    pub nn_cost: u64,
+    /// Monte-Carlo round cap of the lowest quantification tier (≥ 1).
+    pub capped_rounds: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            work_capacity: u64::MAX,
+            nn_cost: 8,
+            capped_rounds: 64,
+        }
+    }
+}
+
+/// Dispatcher tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct DispatchConfig {
+    /// Worker threads for the batch fan-out (`None` = ambient pool).
+    pub threads: Option<usize>,
+    /// Per-query deadline in modeled nanoseconds (`u64::MAX` = none):
+    /// shard call time plus backoff, accumulated in shard order.
+    pub deadline_nanos: u64,
+    /// Per shard call timeout (`u64::MAX` = none): a call reporting more
+    /// elapsed nanoseconds counts as a failure.
+    pub call_timeout_nanos: u64,
+    /// Retry policy for failed shard calls.
+    pub retry: RetryPolicy,
+    /// Per-shard circuit-breaker thresholds.
+    pub breaker: BreakerConfig,
+    /// Load-shedding ladder.
+    pub admission: AdmissionConfig,
+    /// Adaptive-tier target additive error, in `(0, 1)`.
+    pub epsilon: f64,
+    /// Monte-Carlo failure probability, in `(0, 1)`.
+    pub delta: f64,
+    /// First adaptive checkpoint (≥ 1).
+    pub adaptive_min_rounds: usize,
+}
+
+impl Default for DispatchConfig {
+    fn default() -> Self {
+        Self {
+            threads: None,
+            deadline_nanos: u64::MAX,
+            call_timeout_nanos: u64::MAX,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+            admission: AdmissionConfig::default(),
+            epsilon: 0.05,
+            delta: 0.01,
+            adaptive_min_rounds: ADAPTIVE_MIN_ROUNDS,
+        }
+    }
+}
+
+impl DispatchConfig {
+    fn validate(&self) -> Result<(), ServeError> {
+        let bad = |reason: String| Err(ServeError::InvalidConfig { reason });
+        if !(self.epsilon > 0.0 && self.epsilon < 1.0) {
+            return bad(format!("epsilon must be in (0, 1), got {}", self.epsilon));
+        }
+        if !(self.delta > 0.0 && self.delta < 1.0) {
+            return bad(format!("delta must be in (0, 1), got {}", self.delta));
+        }
+        if self.adaptive_min_rounds == 0 {
+            return bad("adaptive_min_rounds must be >= 1".into());
+        }
+        if self.admission.capped_rounds == 0 {
+            return bad("capped_rounds must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// One query in a serve batch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Request {
+    /// Ids with nonzero probability of being the nearest neighbor.
+    NnNonzero(Point),
+    /// Quantification probabilities, at the best tier admission allows.
+    Quantify(Point),
+}
+
+impl Request {
+    fn point(&self) -> Point {
+        match self {
+            Request::NnNonzero(q) | Request::Quantify(q) => *q,
+        }
+    }
+}
+
+/// Why a request was shed instead of answered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Admission ran out of work capacity even for the capped tier.
+    CapacityExhausted,
+    /// The query point was non-finite.
+    InvalidQuery,
+    /// Every shard failed or was excluded; there is nothing honest to say.
+    NoCoverage,
+    /// The deadline expired before any shard answered.
+    DeadlineExceeded,
+}
+
+/// How a request was answered (or not).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Outcome {
+    /// NN≠0 ids over the covered shards, sorted ascending.
+    Nonzero {
+        /// The ids.
+        ids: Vec<PointId>,
+    },
+    /// Exact-tier probabilities (full coverage by construction).
+    Exact {
+        /// Dense π over [`Reply::layout`].
+        pi: Vec<f64>,
+    },
+    /// Adaptive Monte-Carlo tier.
+    Adaptive {
+        /// Dense π over [`Reply::layout`].
+        pi: Vec<f64>,
+        /// The certified half-width at stopping — honest for the covered
+        /// set.
+        achieved_epsilon: f64,
+        /// Rounds consumed.
+        rounds_used: usize,
+    },
+    /// Round-capped Monte-Carlo tier (load shedding by downgrade).
+    Capped {
+        /// Dense π over [`Reply::layout`].
+        pi: Vec<f64>,
+        /// The certified half-width the surviving rounds actually earn.
+        achieved_epsilon: f64,
+        /// Rounds consumed.
+        rounds_used: usize,
+    },
+    /// No answer; the reason is honest.
+    Shed {
+        /// Why.
+        reason: ShedReason,
+    },
+}
+
+/// One request's full reply: the outcome plus the coverage and fault
+/// accounting that makes a degraded answer honest.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Reply {
+    /// The answer (or shed reason).
+    pub outcome: Outcome,
+    /// The live ids each probability slot refers to (covered shards only,
+    /// sorted ascending); empty for NN≠0 and shed replies.
+    pub layout: Vec<PointId>,
+    /// Shards that contributed no answer (breaker-open, failed after
+    /// retries, or deadline-skipped), in shard order.
+    pub failed_shards: Vec<usize>,
+    /// Live points covered by the answering shards.
+    pub covered: usize,
+    /// Live points across all shards.
+    pub total_live: usize,
+    /// Retries spent on this request.
+    pub retries: u64,
+    /// Modeled latency: shard call nanos plus backoff, serial in shard
+    /// order (real time under a real clock, 0 under `NullClock`).
+    pub elapsed_nanos: u64,
+    /// True when the answer is below the no-fault tier or covers only a
+    /// subset of shards.
+    pub degraded: bool,
+}
+
+impl Reply {
+    /// True when some live points are missing from the answer.
+    pub fn partial(&self) -> bool {
+        self.covered < self.total_live
+    }
+}
+
+/// The per-query tier admission assigns before the fan-out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Plan {
+    Nn,
+    Exact,
+    Adaptive,
+    Capped,
+    Shed(ShedReason),
+}
+
+/// Per-query fault log, folded into metrics and breakers after the batch.
+#[derive(Default)]
+struct CallLog {
+    /// (shard, success) per attempt, in visit order.
+    events: Vec<(usize, bool)>,
+    retries: u64,
+    timeouts: u64,
+    panics: u64,
+    poisons: u64,
+    exact_fault: bool,
+    deadline_hit: bool,
+    shard_nanos: Vec<(usize, u64)>,
+}
+
+enum CallResult<T> {
+    Ok(T),
+    Failed,
+    Skipped,
+}
+
+/// The serving loop over a frozen set of shard backends.
+pub struct Dispatcher {
+    backends: Vec<Box<dyn ShardBackend>>,
+    exact: Option<Arc<ExactView>>,
+    total_live: usize,
+    s: usize,
+    cfg: DispatchConfig,
+    clock: Arc<dyn Clock + Send + Sync>,
+    breakers: Vec<CircuitBreaker>,
+    metrics: ServeCounters,
+}
+
+impl Dispatcher {
+    /// A dispatcher over explicit backends. Without an [`ExactView`] the
+    /// quantification ladder starts at the adaptive tier.
+    pub fn new(
+        backends: Vec<Box<dyn ShardBackend>>,
+        exact: Option<Arc<ExactView>>,
+        cfg: DispatchConfig,
+        clock: Arc<dyn Clock + Send + Sync>,
+    ) -> Result<Self, ServeError> {
+        cfg.validate()?;
+        if backends.is_empty() {
+            return Err(ServeError::InvalidConfig {
+                reason: "need at least one shard backend".into(),
+            });
+        }
+        let n = backends.len();
+        let total_live = backends.iter().map(|b| b.live_ids().len()).sum();
+        let s = backends.iter().map(|b| b.rounds()).max().unwrap_or(1);
+        Ok(Self {
+            backends,
+            exact,
+            total_live,
+            s,
+            cfg,
+            clock,
+            breakers: vec![CircuitBreaker::new(cfg.breaker); n],
+            metrics: ServeCounters::new(n),
+        })
+    }
+
+    /// A dispatcher over a [`ShardSetSnapshot`]'s per-shard views, with the
+    /// merged exact view enabled.
+    pub fn for_snapshot(
+        snap: &ShardSetSnapshot,
+        cfg: DispatchConfig,
+        clock: Arc<dyn Clock + Send + Sync>,
+    ) -> Result<Self, ServeError> {
+        let backends: Vec<Box<dyn ShardBackend>> = snap
+            .shards()
+            .iter()
+            .map(|s| {
+                Box::new(EngineShard::new(s.clone(), Arc::clone(&clock))) as Box<dyn ShardBackend>
+            })
+            .collect();
+        Self::new(backends, Some(snap.exact_view()), cfg, clock)
+    }
+
+    /// Swaps the backends (and exact view) for a fresh epoch while keeping
+    /// breaker state and metrics — the serving loop under churn. Breakers
+    /// are reset only if the shard count changes.
+    pub fn refresh(&mut self, snap: &ShardSetSnapshot) {
+        self.backends = snap
+            .shards()
+            .iter()
+            .map(|s| {
+                Box::new(EngineShard::new(s.clone(), Arc::clone(&self.clock)))
+                    as Box<dyn ShardBackend>
+            })
+            .collect();
+        self.exact = Some(snap.exact_view());
+        self.total_live = snap.len();
+        self.s = snap.mc_rounds();
+        if self.breakers.len() != self.backends.len() {
+            self.breakers = vec![CircuitBreaker::new(self.cfg.breaker); self.backends.len()];
+        }
+        if self.metrics.shard_latency.len() < self.backends.len() {
+            let n = self.backends.len();
+            self.metrics
+                .shard_latency
+                .resize(n, unn_observe::Histogram::default());
+            self.metrics.shard_failures.resize(n, 0);
+        }
+    }
+
+    /// Replaces shard `k`'s backend through `wrap` — the chaos-injection
+    /// seam ([`crate::ChaosShard`]). The exact view is dropped (it bypasses
+    /// the backends, so faults injected at the call layer would not reach
+    /// it); the ladder starts at the adaptive tier afterwards.
+    pub fn wrap_shard(
+        &mut self,
+        k: usize,
+        wrap: impl FnOnce(Box<dyn ShardBackend>) -> Box<dyn ShardBackend>,
+    ) {
+        // Temporarily park a zero-size placeholder; `EmptyShard` never
+        // serves because the slot is written back before any query runs.
+        let slot = std::mem::replace(&mut self.backends[k], Box::new(EmptyShard));
+        self.backends[k] = wrap(slot);
+        self.exact = None;
+    }
+
+    /// Current per-shard breaker states.
+    pub fn breaker_states(&self) -> Vec<BreakerState> {
+        self.breakers.iter().map(CircuitBreaker::state).collect()
+    }
+
+    /// Counter totals so far.
+    pub fn metrics(&self) -> &ServeCounters {
+        &self.metrics
+    }
+
+    /// Monte-Carlo rounds per shard block (the adaptive tier's cap).
+    pub fn mc_rounds(&self) -> usize {
+        self.s
+    }
+
+    /// The honest ε the Monte-Carlo tier certifies for a covered set of
+    /// `covered` points (Eq. 6 inverted at the configured δ).
+    pub fn mc_epsilon_for(&self, covered: usize, k_max: usize) -> f64 {
+        MonteCarloIndex::epsilon_for(self.s, self.cfg.delta, covered.max(1), k_max.max(1))
+    }
+
+    /// Serves one batch. Replies are in request order; faults never escape
+    /// (shard panics are caught and isolated), and every decision is
+    /// deterministic at any thread count.
+    pub fn serve(&mut self, requests: &[Request]) -> Vec<Reply> {
+        let now = self.clock.now_nanos();
+        for br in &mut self.breakers {
+            br.poll(now);
+        }
+        let excluded: Vec<bool> = self
+            .breakers
+            .iter()
+            .map(|b| b.state() == BreakerState::Open)
+            .collect();
+        let plans = self.admit(requests, &excluded);
+        let work: Vec<(Request, Plan)> = requests.iter().copied().zip(plans).collect();
+        let this: &Dispatcher = self;
+        let results: Vec<(Reply, CallLog)> = run_pool(self.cfg.threads, || {
+            work.par_iter()
+                .map(|&(req, plan)| this.run_query(req, plan, &excluded))
+                .collect()
+        });
+        self.absorb(&results, now);
+        results.into_iter().map(|(reply, _)| reply).collect()
+    }
+
+    /// Sequential admission pass: assigns each request the best tier the
+    /// remaining work capacity affords. Pure function of the request stream
+    /// and batch-start breaker states — independent of execution order.
+    fn admit(&self, requests: &[Request], excluded: &[bool]) -> Vec<Plan> {
+        let adm = &self.cfg.admission;
+        let any_excluded = excluded.iter().any(|&e| e);
+        let exact_work = self.exact.as_ref().map(|v| v.work());
+        let mut remaining = adm.work_capacity;
+        let spend = |cost: u64, remaining: &mut u64| {
+            if cost <= *remaining {
+                *remaining -= cost;
+                true
+            } else {
+                false
+            }
+        };
+        requests
+            .iter()
+            .map(|req| {
+                let q = req.point();
+                if !(q.x.is_finite() && q.y.is_finite()) {
+                    return Plan::Shed(ShedReason::InvalidQuery);
+                }
+                match req {
+                    Request::NnNonzero(_) => {
+                        if spend(adm.nn_cost, &mut remaining) {
+                            Plan::Nn
+                        } else {
+                            Plan::Shed(ShedReason::CapacityExhausted)
+                        }
+                    }
+                    Request::Quantify(_) => {
+                        // Exact needs full coverage: any breaker-open shard
+                        // forces the Monte-Carlo tiers, which answer
+                        // honestly over the covered subset.
+                        if !any_excluded {
+                            if let Some(w) = exact_work {
+                                if w <= remaining {
+                                    remaining -= w;
+                                    return Plan::Exact;
+                                }
+                            }
+                        }
+                        if spend(self.s as u64, &mut remaining) {
+                            Plan::Adaptive
+                        } else if spend(adm.capped_rounds as u64, &mut remaining) {
+                            Plan::Capped
+                        } else {
+                            Plan::Shed(ShedReason::CapacityExhausted)
+                        }
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// One shard call with retries, timeout, validation, and deadline
+    /// accounting. `elapsed` is the query's serial time model.
+    fn call_shard<T>(
+        &self,
+        k: usize,
+        elapsed: &mut u64,
+        log: &mut CallLog,
+        valid: impl Fn(&T) -> bool,
+        f: impl Fn() -> (T, u64),
+    ) -> CallResult<T> {
+        for attempt in 0..=self.cfg.retry.max_retries {
+            if attempt > 0 {
+                log.retries += 1;
+                *elapsed = elapsed.saturating_add(self.cfg.retry.backoff_nanos(attempt));
+            }
+            if *elapsed >= self.cfg.deadline_nanos {
+                log.deadline_hit = true;
+                return CallResult::Skipped;
+            }
+            match catch_unwind(AssertUnwindSafe(&f)) {
+                Ok((val, nanos)) => {
+                    log.shard_nanos.push((k, nanos));
+                    *elapsed = elapsed.saturating_add(nanos);
+                    if nanos > self.cfg.call_timeout_nanos {
+                        log.timeouts += 1;
+                        log.events.push((k, false));
+                    } else if !valid(&val) {
+                        log.poisons += 1;
+                        log.events.push((k, false));
+                    } else {
+                        log.events.push((k, true));
+                        return CallResult::Ok(val);
+                    }
+                }
+                Err(_) => {
+                    log.panics += 1;
+                    log.events.push((k, false));
+                }
+            }
+        }
+        CallResult::Failed
+    }
+
+    fn shed_reply(
+        &self,
+        reason: ShedReason,
+        log: &CallLog,
+        failed: Vec<usize>,
+        elapsed: u64,
+    ) -> Reply {
+        Reply {
+            outcome: Outcome::Shed { reason },
+            layout: Vec::new(),
+            failed_shards: failed,
+            covered: 0,
+            total_live: self.total_live,
+            retries: log.retries,
+            elapsed_nanos: elapsed,
+            degraded: false,
+        }
+    }
+
+    /// Executes one planned request. Immutable; runs on worker threads.
+    fn run_query(&self, req: Request, plan: Plan, excluded: &[bool]) -> (Reply, CallLog) {
+        let mut log = CallLog::default();
+        let shed = |this: &Self, reason, log: CallLog| {
+            let reply = this.shed_reply(reason, &log, Vec::new(), 0);
+            (reply, log)
+        };
+        match plan {
+            Plan::Shed(reason) => shed(self, reason, log),
+            Plan::Nn => self.run_nn(req.point(), excluded, log),
+            Plan::Exact => {
+                let q = req.point();
+                if let Some(view) = &self.exact {
+                    let swept = catch_unwind(AssertUnwindSafe(|| view.quantify(q)));
+                    if let Ok(pi) = swept {
+                        if pi.iter().all(|p| p.is_finite()) {
+                            let reply = Reply {
+                                outcome: Outcome::Exact { pi },
+                                layout: view.ids().to_vec(),
+                                failed_shards: Vec::new(),
+                                covered: self.total_live,
+                                total_live: self.total_live,
+                                retries: 0,
+                                elapsed_nanos: 0,
+                                degraded: false,
+                            };
+                            return (reply, log);
+                        }
+                    }
+                }
+                // Exact sweep faulted (panic or non-finite): fall down the
+                // ladder to adaptive Monte-Carlo, which never touches
+                // distribution cdf code.
+                log.exact_fault = true;
+                self.run_quantify(req.point(), self.s, true, excluded, log)
+            }
+            Plan::Adaptive => {
+                let downgraded = self.exact.is_some();
+                self.run_quantify(req.point(), self.s, downgraded, excluded, log)
+            }
+            Plan::Capped => {
+                let cap = self.cfg.admission.capped_rounds.min(self.s);
+                self.run_quantify(req.point(), cap, true, excluded, log)
+            }
+        }
+    }
+
+    fn run_nn(&self, q: Point, excluded: &[bool], mut log: CallLog) -> (Reply, CallLog) {
+        if self.total_live == 0 {
+            let reply = Reply {
+                outcome: Outcome::Nonzero { ids: Vec::new() },
+                layout: Vec::new(),
+                failed_shards: Vec::new(),
+                covered: 0,
+                total_live: 0,
+                retries: 0,
+                elapsed_nanos: 0,
+                degraded: false,
+            };
+            return (reply, log);
+        }
+        let mut elapsed = 0u64;
+        let mut folds: Vec<Option<DeltaCompose>> = Vec::with_capacity(self.backends.len());
+        let mut failed: Vec<usize> = Vec::new();
+        for (k, be) in self.backends.iter().enumerate() {
+            if excluded[k] {
+                folds.push(None);
+                failed.push(k);
+                continue;
+            }
+            if be.live_ids().is_empty() {
+                folds.push(None);
+                continue;
+            }
+            let got = self.call_shard(
+                k,
+                &mut elapsed,
+                &mut log,
+                |f: &DeltaCompose| f.is_empty() || f.delta_min().is_finite(),
+                || be.delta_fold(q),
+            );
+            match got {
+                CallResult::Ok(f) => folds.push(Some(f)),
+                CallResult::Failed | CallResult::Skipped => {
+                    folds.push(None);
+                    failed.push(k);
+                }
+            }
+        }
+        let mut merged = DeltaCompose::new();
+        let mut any = false;
+        for f in folds.iter().flatten() {
+            merged.merge(f);
+            any = true;
+        }
+        if !any {
+            let reason = if log.deadline_hit {
+                ShedReason::DeadlineExceeded
+            } else {
+                ShedReason::NoCoverage
+            };
+            let reply = self.shed_reply(reason, &log, failed, elapsed);
+            return (reply, log);
+        }
+        let mut ids: Vec<PointId> = Vec::new();
+        let mut covered = 0usize;
+        for (k, be) in self.backends.iter().enumerate() {
+            if folds[k].is_none() {
+                continue;
+            }
+            let got = self.call_shard(
+                k,
+                &mut elapsed,
+                &mut log,
+                |_| true,
+                || be.report_nonzero(q, &merged),
+            );
+            match got {
+                CallResult::Ok(part) => {
+                    ids.extend(part);
+                    covered += be.live_ids().len();
+                }
+                CallResult::Failed | CallResult::Skipped => failed.push(k),
+            }
+        }
+        failed.sort_unstable();
+        ids.sort_unstable();
+        let degraded = covered < self.total_live;
+        let reply = Reply {
+            outcome: Outcome::Nonzero { ids },
+            layout: Vec::new(),
+            failed_shards: failed,
+            covered,
+            total_live: self.total_live,
+            retries: log.retries,
+            elapsed_nanos: elapsed,
+            degraded,
+        };
+        (reply, log)
+    }
+
+    fn run_quantify(
+        &self,
+        q: Point,
+        cap: usize,
+        downgraded: bool,
+        excluded: &[bool],
+        mut log: CallLog,
+    ) -> (Reply, CallLog) {
+        if self.total_live == 0 {
+            let reply = Reply {
+                outcome: Outcome::Exact { pi: Vec::new() },
+                layout: Vec::new(),
+                failed_shards: Vec::new(),
+                covered: 0,
+                total_live: 0,
+                retries: 0,
+                elapsed_nanos: 0,
+                degraded: false,
+            };
+            return (reply, log);
+        }
+        let mut elapsed = 0u64;
+        let mut acc: Vec<(f64, PointId)> = Vec::new();
+        let mut covered_lists: Vec<&[PointId]> = Vec::new();
+        let mut failed: Vec<usize> = Vec::new();
+        for (k, be) in self.backends.iter().enumerate() {
+            if excluded[k] {
+                failed.push(k);
+                continue;
+            }
+            if be.live_ids().is_empty() {
+                continue;
+            }
+            let got = self.call_shard(
+                k,
+                &mut elapsed,
+                &mut log,
+                |w: &Vec<(f64, PointId)>| {
+                    w.iter().all(|(d, id)| d.is_finite() && *id != PointId::MAX)
+                },
+                || be.round_winners(q),
+            );
+            match got {
+                CallResult::Ok(w) => {
+                    merge_winners(&mut acc, &w);
+                    covered_lists.push(be.live_ids());
+                }
+                CallResult::Failed | CallResult::Skipped => failed.push(k),
+            }
+        }
+        if covered_lists.is_empty() {
+            let reason = if log.deadline_hit {
+                ShedReason::DeadlineExceeded
+            } else {
+                ShedReason::NoCoverage
+            };
+            let reply = self.shed_reply(reason, &log, failed, elapsed);
+            return (reply, log);
+        }
+        let mut covered: Vec<PointId> = covered_lists.concat();
+        covered.sort_unstable();
+        let n_covered = covered.len();
+        let ranks = ranks_in(&covered, &acc);
+        let a = adaptive_over_winners(
+            &ranks,
+            n_covered,
+            self.cfg.epsilon,
+            self.cfg.delta,
+            self.cfg.adaptive_min_rounds,
+            cap,
+        );
+        let partial = n_covered < self.total_live;
+        let capped_tier = cap < self.s;
+        let outcome = if capped_tier {
+            Outcome::Capped {
+                pi: a.pi,
+                achieved_epsilon: a.half_width,
+                rounds_used: a.rounds_used,
+            }
+        } else {
+            Outcome::Adaptive {
+                pi: a.pi,
+                achieved_epsilon: a.half_width,
+                rounds_used: a.rounds_used,
+            }
+        };
+        let reply = Reply {
+            outcome,
+            layout: covered,
+            failed_shards: failed,
+            covered: n_covered,
+            total_live: self.total_live,
+            retries: log.retries,
+            elapsed_nanos: elapsed,
+            degraded: downgraded || partial || capped_tier,
+        };
+        (reply, log)
+    }
+
+    /// Folds the batch's logs into metrics and replays call outcomes into
+    /// the breakers, in request order — the one place breaker state moves.
+    fn absorb(&mut self, results: &[(Reply, CallLog)], now: u64) {
+        for (reply, log) in results {
+            let m = &mut self.metrics;
+            m.queries += 1;
+            match &reply.outcome {
+                Outcome::Nonzero { .. } => m.answered_nonzero += 1,
+                Outcome::Exact { .. } => m.answered_exact += 1,
+                Outcome::Adaptive { .. } => m.answered_adaptive += 1,
+                Outcome::Capped { .. } => m.answered_capped += 1,
+                Outcome::Shed { reason } => {
+                    m.shed += 1;
+                    match reason {
+                        ShedReason::CapacityExhausted => m.shed_capacity += 1,
+                        ShedReason::InvalidQuery => m.shed_invalid += 1,
+                        ShedReason::NoCoverage => m.shed_no_coverage += 1,
+                        ShedReason::DeadlineExceeded => m.shed_deadline += 1,
+                    }
+                }
+            }
+            if reply.degraded {
+                m.degraded += 1;
+            }
+            if reply.partial() && !matches!(reply.outcome, Outcome::Shed { .. }) {
+                m.partial += 1;
+            }
+            m.retries += log.retries;
+            m.timeouts += log.timeouts;
+            m.shard_panics += log.panics;
+            m.poisoned_answers += log.poisons;
+            if log.exact_fault {
+                m.exact_faults += 1;
+            }
+            m.query_latency.record(reply.elapsed_nanos / 1_000);
+            for &(k, nanos) in &log.shard_nanos {
+                m.shard_latency[k].record(nanos / 1_000);
+            }
+            for &(k, ok) in &log.events {
+                if !ok {
+                    m.shard_failures[k] += 1;
+                }
+                let br = &mut self.breakers[k];
+                let before = br.state();
+                if ok {
+                    br.record_success();
+                } else {
+                    br.record_failure(now);
+                }
+                let after = br.state();
+                if after == BreakerState::Open && before != BreakerState::Open {
+                    m.breaker_trips += 1;
+                }
+                if after == BreakerState::Closed && before == BreakerState::HalfOpen {
+                    m.breaker_recoveries += 1;
+                }
+            }
+        }
+    }
+}
+
+/// A permanently empty placeholder backend (used only transiently while
+/// wrapping a real backend; see [`Dispatcher::wrap_shard`]).
+struct EmptyShard;
+
+impl ShardBackend for EmptyShard {
+    fn live_ids(&self) -> &[PointId] {
+        &[]
+    }
+    fn rounds(&self) -> usize {
+        1
+    }
+    fn delta_fold(&self, _q: Point) -> (DeltaCompose, u64) {
+        (DeltaCompose::new(), 0)
+    }
+    fn report_nonzero(&self, _q: Point, _fold: &DeltaCompose) -> (Vec<PointId>, u64) {
+        (Vec::new(), 0)
+    }
+    fn round_winners(&self, _q: Point) -> (Vec<(f64, PointId)>, u64) {
+        (Vec::new(), 0)
+    }
+}
+
+/// Runs `op` on an `n`-thread pool when requested (degrading to the
+/// ambient pool if the build fails) — the same shape as the core crate's
+/// batch options.
+fn run_pool<R: Send>(threads: Option<usize>, op: impl FnOnce() -> R + Send) -> R {
+    match threads {
+        None => op(),
+        Some(n) => match rayon::ThreadPoolBuilder::new().num_threads(n).build() {
+            Ok(pool) => pool.install(op),
+            Err(_) => op(),
+        },
+    }
+}

@@ -1,0 +1,87 @@
+//! Fault-tolerant sharded serving tier over dynamic uncertain-NN indexes.
+//!
+//! This crate composes N [`unn_dynamic`] engines into one logical index and
+//! serves batched queries through a robustness-first run loop:
+//!
+//! * [`ShardSet`] — hash- or spatially-sharded ownership of the live set,
+//!   per-shard epoch snapshots, and **bit-identical cross-shard merging**:
+//!   the stage-1 Lemma 2.1 folds of disjoint shards merge via
+//!   [`DeltaCompose`](unn_nonzero::DeltaCompose) into exactly the flat fold
+//!   over the union, and per-round Monte-Carlo winners merge by elementwise
+//!   `(distance, id)` lexicographic minimum because every point's sample
+//!   stream is keyed by its stable id. A [`ShardSetSnapshot`] therefore
+//!   answers NN≠0 and quantification exactly like one unsharded engine over
+//!   the same live set — a live differential oracle the test suite holds it
+//!   to.
+//! * [`Dispatcher`] — the serving loop: per-query deadline budgets, bounded
+//!   retry-with-backoff for transient shard failures, a per-shard
+//!   [`CircuitBreaker`] (trip on consecutive panics/timeouts, half-open
+//!   probes to recover), and admission control that sheds load by
+//!   *downgrading* exact → adaptive → capped quantification — every answer
+//!   carries the honest `achieved_epsilon` the surviving rounds and
+//!   coverage actually certify, instead of erroring.
+//! * [`ChaosShard`] — a fault-injection wrapper (panic-on-query, artificial
+//!   slowness, NaN poison) over any [`ShardBackend`], driving deterministic
+//!   chaos tests: healthy-shard answers stay bit-identical to the
+//!   fault-free run at any thread count.
+//!
+//! Determinism contract: wall-clock enters only through the injected
+//! [`Clock`](unn_observe::Clock). Shard calls self-report their elapsed
+//! nanoseconds (zero under `NullClock`, constant offsets under chaos
+//! slowness), so deadline, timeout, and retry decisions are pure per-query
+//! functions of the request stream — independent of thread interleaving.
+//! Admission tiers are assigned in a sequential pass before the parallel
+//! fan-out, and breaker transitions replay per-call outcomes in request
+//! order after it, so the whole serving loop is schedule-independent.
+
+#![warn(missing_docs)]
+
+mod breaker;
+mod chaos;
+mod dispatch;
+mod shard;
+
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use chaos::{ChaosShard, FaultKind};
+pub use dispatch::{
+    AdmissionConfig, DispatchConfig, Dispatcher, EngineShard, Outcome, Reply, Request, RetryPolicy,
+    ShardBackend, ShedReason,
+};
+pub use shard::{ExactView, InsertPolicy, ServeConfig, ShardPolicy, ShardSet, ShardSetSnapshot};
+
+use std::fmt;
+
+/// Errors surfaced by the serving tier's fallible entry points.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// A configuration parameter is outside its documented range.
+    InvalidConfig {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A point failed validation (or repair) at the insert boundary.
+    InvalidPoint {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A sampling panic escaped the distribution during the block build;
+    /// the shard set is unchanged.
+    InsertPanicked {
+        /// The panic payload, stringified.
+        message: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::InvalidConfig { reason } => write!(f, "invalid serve config: {reason}"),
+            ServeError::InvalidPoint { reason } => write!(f, "invalid point: {reason}"),
+            ServeError::InsertPanicked { message } => {
+                write!(f, "insert panicked (shard set unchanged): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

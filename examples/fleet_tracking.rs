@@ -13,12 +13,25 @@
 //! a frozen snapshot — and cross-checks the final state against a static
 //! [`PnnIndex`] built from scratch.
 //!
+//! The finale routes the same roster through the sharded serving tier
+//! (`unn::serve`) with one deliberately slow region: the dispatcher keeps
+//! answering from the healthy region, flags the replies degraded, and the
+//! certified `achieved_epsilon` still bounds the true error against an
+//! exact sweep over the covered vehicles.
+//!
 //! ```sh
 //! cargo run --release --example fleet_tracking
 //! ```
 
+use std::sync::Arc;
+
 use unn::dynamic::{DynamicPnnConfig, DynamicPnnIndex, PointId};
 use unn::geom::Point;
+use unn::observe::NullClock;
+use unn::serve::{
+    ChaosShard, DispatchConfig, Dispatcher, FaultKind, Outcome, Request, ServeConfig, ShardPolicy,
+    ShardSet,
+};
 use unn::{PnnConfig, PnnIndex, Uncertain};
 
 struct Vehicle {
@@ -233,5 +246,99 @@ fn main() {
         );
     }
     println!("\nfinal state agrees with a from-scratch static rebuild");
+
+    // --- Dispatch center goes regional: the same roster behind the sharded
+    // serving tier, with one deliberately slow region. The dispatcher must
+    // keep answering — flagged degraded, with a certified error bound —
+    // rather than erroring or blocking on the sick shard.
+    let roster = live; // (dynamic id, disk) pairs from the final snapshot
+    let mut regions = ShardSet::new(
+        3,
+        ShardPolicy::Hash,
+        ServeConfig {
+            mc_rounds: 512,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("serve config rejected: {e}"));
+    // Serving ids are assigned in insertion order: serve id k == roster[k].
+    for (_, disk) in &roster {
+        regions.insert(disk.clone());
+    }
+    let serving = regions.snapshot();
+
+    let requests: Vec<Request> = incidents.iter().map(|&q| Request::Quantify(q)).collect();
+
+    // Healthy tier: exact answers over the full roster.
+    let mut healthy =
+        Dispatcher::for_snapshot(&serving, DispatchConfig::default(), Arc::new(NullClock))
+            .unwrap_or_else(|e| panic!("dispatch config rejected: {e}"));
+    for reply in healthy.serve(&requests) {
+        assert!(!reply.degraded, "healthy serving must not degrade");
+        assert_eq!(reply.covered, reply.total_live, "full coverage");
+        assert!(matches!(reply.outcome, Outcome::Exact { .. }));
+    }
+
+    // Region 0's backend reports 5ms calls against a 1ms timeout: every
+    // attempt times out, so replies cover only the healthy region.
+    let mut limping = Dispatcher::for_snapshot(
+        &serving,
+        DispatchConfig {
+            call_timeout_nanos: 1_000_000,
+            ..DispatchConfig::default()
+        },
+        Arc::new(NullClock),
+    )
+    .unwrap_or_else(|e| panic!("dispatch config rejected: {e}"));
+    limping.wrap_shard(0, |inner| {
+        Box::new(ChaosShard::new(inner, FaultKind::SlowBy(5_000_000)))
+    });
+
+    println!("\nregion 0 is slow (5ms against a 1ms deadline):");
+    for (reply, &q) in limping.serve(&requests).iter().zip(&incidents) {
+        assert!(reply.degraded, "lost coverage must be flagged");
+        assert!(reply.partial(), "region 0 must be missing");
+        assert!(reply.failed_shards.contains(&0));
+        let Outcome::Adaptive {
+            pi,
+            achieved_epsilon,
+            ..
+        } = &reply.outcome
+        else {
+            panic!(
+                "expected a degraded adaptive answer, got {:?}",
+                reply.outcome
+            )
+        };
+        // Honesty check: the certified bound must hold against an exact
+        // sweep over exactly the vehicles the reply claims to cover.
+        let covered_disks: Vec<Uncertain> = reply
+            .layout
+            .iter()
+            .map(|&sid| roster[sid as usize].1.clone())
+            .collect();
+        let exact = PnnIndex::new(covered_disks).quantify_exact(q).0;
+        let err = pi
+            .iter()
+            .zip(&exact)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(
+            err <= *achieved_epsilon,
+            "degraded answer error {err} exceeds certified {achieved_epsilon} at {q:?}"
+        );
+        println!(
+            "  incident {q:?}: {}/{} vehicles covered, error {err:.4} <= certified {:.4}",
+            reply.covered, reply.total_live, achieved_epsilon
+        );
+    }
+    let m = limping.metrics();
+    assert!(m.timeouts > 0, "the slow region must have timed out");
+    assert_eq!(m.degraded, incidents.len() as u64);
+    println!(
+        "serving under a slow region: {} timeouts, {} retries, every answer degraded-but-honest",
+        m.timeouts, m.retries
+    );
+
     println!("all fleet_tracking assertions passed");
 }

@@ -534,3 +534,93 @@ fn budget_degrades_to_capped_adaptive_with_honest_epsilon() {
         assert_eq!(got, reference, "threads = {threads}");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Dynamic layer: hostile samplers arriving through insert churn.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dynamic_insert_faults_never_break_the_engine() {
+    use unn::{DynamicPnnConfig, DynamicPnnIndex};
+
+    let config = DynamicPnnConfig {
+        mc_rounds: 128,
+        ..DynamicPnnConfig::default()
+    };
+    let mut idx = DynamicPnnIndex::with_config(config.clone()).unwrap();
+    let mut oracle = DynamicPnnIndex::with_config(config).unwrap();
+    let mut live = Vec::new();
+    for p in clean_disks(12, 910) {
+        let id = idx.insert(p.clone());
+        assert_eq!(oracle.insert(p), id);
+        live.push(id);
+    }
+
+    // A sampler that panics during the block build: try_insert contains it
+    // as a typed error and the index is exactly as it was.
+    let hostile = || {
+        Uncertain::Chaos(ChaosDistribution::new(
+            Uncertain::uniform_disk(Point::new(1.0, -1.0), 1.0),
+            ChaosMode::PanicOnSample(3),
+        ))
+    };
+    let len_before = idx.len();
+    match idx.try_insert(hostile(), ValidationPolicy::Strict) {
+        Err(UnnError::QueryPanicked { message }) => {
+            assert!(message.contains("chaos"), "unexpected payload: {message}")
+        }
+        other => panic!("expected QueryPanicked, got {other:?}"),
+    }
+    assert_eq!(idx.len(), len_before, "failed insert must not burn a slot");
+
+    // The raw (panicking) insert path: the panic escapes to the caller by
+    // design, but the build-before-mutate ordering keeps the engine
+    // consistent — the id is not burned and the live set is unchanged.
+    let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        idx.insert(hostile());
+    }));
+    assert!(panicked.is_err(), "raw insert propagates the panic");
+    assert_eq!(idx.len(), len_before);
+
+    // Post-fault churn oracle pass: the survivor keeps matching a twin that
+    // never saw the hostile point, through further inserts and removes.
+    for p in clean_disks(6, 911) {
+        let id = idx.insert(p.clone());
+        assert_eq!(oracle.insert(p), id, "id streams must stay in lockstep");
+        live.push(id);
+    }
+    for &victim in &[live[1], live[8], live[14]] {
+        assert!(idx.remove(victim));
+        assert!(oracle.remove(victim));
+    }
+    let (snap, osnap) = (idx.snapshot(), oracle.snapshot());
+    let mut rng = SmallRng::seed_from_u64(912);
+    for _ in 0..24 {
+        let q = Point::new(rng.random_range(-25.0..25.0), rng.random_range(-25.0..25.0));
+        assert_eq!(snap.nn_nonzero(q), osnap.nn_nonzero(q));
+        assert_eq!(snap.quantify(q), osnap.quantify(q));
+    }
+
+    // Repair-policy inserts on degenerate-but-fixable input still work
+    // after the faults: the dynamic boundary matches the static builder's.
+    let fixable = Uncertain::Discrete(
+        DiscreteDistribution::repair(
+            vec![Point::new(2.0, 2.0), Point::new(f64::NAN, 0.0)],
+            vec![1.0, 1.0],
+        )
+        .expect("one finite location survives repair"),
+    );
+    let id = idx
+        .try_insert(fixable.clone(), ValidationPolicy::Repair)
+        .expect("repairable point must insert");
+    assert!(idx.contains(id));
+    let oid = oracle
+        .try_insert(fixable, ValidationPolicy::Repair)
+        .expect("oracle twin");
+    assert_eq!(id, oid);
+    let q = Point::new(2.0, 2.0);
+    assert_eq!(
+        idx.snapshot().nn_nonzero(q),
+        oracle.snapshot().nn_nonzero(q)
+    );
+}

@@ -279,3 +279,111 @@ fn observed_stats_match_results() {
         assert_eq!(stats.outcome, QueryOutcome::Exact);
     }
 }
+
+/// Serving-layer honesty under faults and shedding: every degraded tier the
+/// dispatcher hands back (adaptive after a shard failure, round-capped
+/// under admission pressure) certifies an `achieved_epsilon` that really
+/// bounds its error against the exact Eq. 2 sweep **over the covered set**
+/// — the points its `layout` actually names. Deterministic: fixed seeds
+/// freeze the Monte-Carlo rounds, so this is a regression test.
+#[test]
+fn serve_degraded_epsilon_bounds_true_error_under_faults_and_shedding() {
+    use std::sync::Arc;
+    use unn::serve::{
+        AdmissionConfig, ChaosShard, DispatchConfig, Dispatcher, FaultKind, Outcome, Request,
+        ServeConfig, ShardPolicy, ShardSet,
+    };
+    use unn::PointId;
+    use unn_observe::NullClock;
+
+    let points = corpus(24, 3, 3100);
+    let cfg = ServeConfig {
+        mc_rounds: 256,
+        ..ServeConfig::default()
+    };
+    let mut set = ShardSet::new(3, ShardPolicy::Hash, cfg).unwrap();
+    for (i, p) in points.iter().enumerate() {
+        assert_eq!(set.insert(p.clone()), i as PointId);
+    }
+    let snap = set.snapshot();
+    let qs = queries(10, 3101);
+
+    // The exact oracle over an arbitrary covered subset, in layout order.
+    let exact_over = |layout: &[PointId], q: Point| -> Vec<f64> {
+        let subset: Vec<Uncertain> = layout
+            .iter()
+            .map(|&id| points[id as usize].clone())
+            .collect();
+        PnnIndex::new(subset).quantify_exact(q).0
+    };
+
+    // Scenario 1: shard 0 panics — partial coverage, adaptive tier.
+    let mut faulted = Dispatcher::for_snapshot(
+        &snap,
+        DispatchConfig {
+            threads: Some(2),
+            ..DispatchConfig::default()
+        },
+        Arc::new(NullClock),
+    )
+    .unwrap();
+    faulted.wrap_shard(0, |inner| {
+        Box::new(ChaosShard::new(inner, FaultKind::PanicOnQuery))
+    });
+
+    // Scenario 2: admission pressure — full coverage, capped tier.
+    let mut starved = Dispatcher::for_snapshot(
+        &snap,
+        DispatchConfig {
+            threads: Some(2),
+            admission: AdmissionConfig {
+                work_capacity: 64,
+                nn_cost: 8,
+                capped_rounds: 64,
+            },
+            ..DispatchConfig::default()
+        },
+        Arc::new(NullClock),
+    )
+    .unwrap();
+
+    for &q in &qs {
+        let reply = faulted.serve(&[Request::Quantify(q)]).remove(0);
+        match &reply.outcome {
+            Outcome::Adaptive {
+                pi,
+                achieved_epsilon,
+                ..
+            } => {
+                assert!(reply.partial(), "shard 0 must be missing");
+                let exact = exact_over(&reply.layout, q);
+                let d = max_abs_diff(pi, &exact);
+                assert!(
+                    d <= *achieved_epsilon,
+                    "faulted degraded error {d} > certified {achieved_epsilon} at {q:?}"
+                );
+            }
+            other => panic!("expected Adaptive under shard fault, got {other:?}"),
+        }
+
+        // One query per batch so the capacity ladder lands on Capped.
+        let reply = starved.serve(&[Request::Quantify(q)]).remove(0);
+        match &reply.outcome {
+            Outcome::Capped {
+                pi,
+                achieved_epsilon,
+                rounds_used,
+            } => {
+                assert!(*rounds_used <= 64);
+                assert_eq!(reply.covered, points.len(), "no shard failed here");
+                let exact = exact_over(&reply.layout, q);
+                let d = max_abs_diff(pi, &exact);
+                assert!(
+                    d <= *achieved_epsilon,
+                    "capped degraded error {d} > certified {achieved_epsilon} at {q:?}"
+                );
+            }
+            other => panic!("expected Capped under admission pressure, got {other:?}"),
+        }
+    }
+}
