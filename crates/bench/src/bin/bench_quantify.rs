@@ -35,7 +35,7 @@ use rand::{RngExt, SeedableRng};
 use unn::distr::UncertainPoint;
 use unn::geom::Point;
 use unn::quantify::{McBackend, MonteCarloIndex};
-use unn::spatial::{KdConfig, KdTree};
+use unn::spatial::{FilterPrecision, KdConfig, KdTree};
 use unn_bench::util::{as_uncertain, random_discrete, random_queries};
 
 const S: usize = 512;
@@ -59,6 +59,7 @@ fn median_ns_per_query(queries: &[Point], mut f: impl FnMut(Point)) -> f64 {
 struct SizeResult {
     n: usize,
     arena_pruned: f64,
+    arena_f32: f64,
     arena_scalar: f64,
     arena_unpruned: f64,
     perround_trees: f64,
@@ -73,6 +74,16 @@ fn run_size(n: usize) -> SizeResult {
     let queries = random_queries(128, side, 71 + n as u64);
     let mut rng = SmallRng::seed_from_u64(72);
     let mc = MonteCarloIndex::build(&points, S, McBackend::KdTree, &mut rng);
+    // The f32-filtered twin: same seed, same draws, same structures — the
+    // only difference is the fill-phase precision tier.
+    let mut rng = SmallRng::seed_from_u64(72);
+    let mc32 = MonteCarloIndex::build_with_filter(
+        &points,
+        S,
+        McBackend::KdTree,
+        &mut rng,
+        FilterPrecision::F32Refined,
+    );
     let mut rng = SmallRng::seed_from_u64(72);
     let per_round: Vec<KdTree> = (0..S)
         .map(|_| {
@@ -86,18 +97,31 @@ fn run_size(n: usize) -> SizeResult {
         mc.query_into(q, &mut buf);
         std::hint::black_box(buf.len());
     });
-    // Differential check rides along with the timing: the scalar oracle
-    // must reproduce the batched path bit for bit on every bench query.
-    let mut scalar_buf = Vec::new();
+    let arena_f32 = median_ns_per_query(&queries, |q| {
+        mc32.query_into(q, &mut buf);
+        std::hint::black_box(buf.len());
+    });
+    // Differential checks ride along with the timing: the scalar oracle
+    // AND the f32-filtered twin must reproduce the batched f64 path bit
+    // for bit on every bench query.
+    let (mut scalar_buf, mut f32_buf) = (Vec::new(), Vec::new());
     for &q in &queries {
         mc.query_into(q, &mut buf);
         mc.query_into_scalar(q, &mut scalar_buf);
+        mc32.query_into(q, &mut f32_buf);
         assert!(
             buf.iter()
                 .zip(&scalar_buf)
                 .all(|(a, b)| a.to_bits() == b.to_bits())
                 && buf.len() == scalar_buf.len(),
             "scalar oracle diverged from batched path at n={n}, q={q:?}"
+        );
+        assert!(
+            buf.iter()
+                .zip(&f32_buf)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+                && buf.len() == f32_buf.len(),
+            "f32-filtered path diverged from exact f64 at n={n}, q={q:?}"
         );
     }
     let arena_scalar = median_ns_per_query(&queries, |q| {
@@ -130,6 +154,7 @@ fn run_size(n: usize) -> SizeResult {
     SizeResult {
         n,
         arena_pruned,
+        arena_f32,
         arena_scalar,
         arena_unpruned,
         perround_trees,
@@ -168,6 +193,7 @@ fn run_leaf_sweep() -> (Vec<(usize, f64)>, usize) {
             KdConfig {
                 leaf_size: leaf,
                 brute_force_below: leaf,
+                ..KdConfig::default()
             },
         );
         let mut best: Vec<(f64, u32)> = Vec::new();
@@ -217,6 +243,7 @@ fn run_bf_crossover() -> (Vec<(usize, f64, f64)>, usize) {
             KdConfig {
                 leaf_size: n,
                 brute_force_below: n,
+                ..KdConfig::default()
             },
         );
         let tree_ns = median_ns_per_query(&queries, |q| {
@@ -231,6 +258,50 @@ fn run_bf_crossover() -> (Vec<(usize, f64, f64)>, usize) {
         rows.push((n, tree_ns, flat_ns));
     }
     (rows, crossover)
+}
+
+/// Fill-phase microbench at `n = 4096`: one flat leaf (every query scans
+/// all slots in a single batch) probed with a small `in_disk` radius, so
+/// the run time is dominated by the distance-fill phase rather than the
+/// consumer. Returns `(f64_ns, f32_ns)` per query; the f32 tier must be
+/// at least 1.2× faster (the acceptance bar checked in `main`). The visit
+/// streams of both tiers are asserted bit-identical before timing.
+fn run_fill_phase() -> (f64, f64) {
+    let n = 4096usize;
+    let side = 200.0;
+    let mut rng = SmallRng::seed_from_u64(7300);
+    let pts: Vec<Point> = (0..n)
+        .map(|_| Point::new(rng.random_range(0.0..side), rng.random_range(0.0..side)))
+        .collect();
+    let queries = random_queries(128, side, 7301);
+    let flat = KdConfig {
+        leaf_size: n,
+        brute_force_below: n,
+        ..KdConfig::default()
+    };
+    let t64 = KdTree::with_config(&pts, flat);
+    let t32 = KdTree::with_config(&pts, flat.with_filter(FilterPrecision::F32Refined));
+    // ~1–2 expected points per ball at this density: nearly every slot is
+    // a fill-and-reject, the case the f32 tier accelerates.
+    let r = 2.0;
+    let (mut s64, mut s32) = (Vec::new(), Vec::new());
+    for &q in &queries {
+        s64.clear();
+        s32.clear();
+        t64.in_disk(q, r, &mut |i, d| s64.push((i, d.to_bits())));
+        t32.in_disk(q, r, &mut |i, d| s32.push((i, d.to_bits())));
+        assert_eq!(s64, s32, "f32 fill-phase visit stream diverged at {q:?}");
+    }
+    let mut acc = 0u64;
+    let f64_ns = median_ns_per_query(&queries, |q| {
+        t64.in_disk(q, r, &mut |i, _| acc ^= i as u64);
+        std::hint::black_box(acc);
+    });
+    let f32_ns = median_ns_per_query(&queries, |q| {
+        t32.in_disk(q, r, &mut |i, _| acc ^= i as u64);
+        std::hint::black_box(acc);
+    });
+    (f64_ns, f32_ns)
 }
 
 /// Adaptive stopping on a well-separated instance (one object wins every
@@ -268,27 +339,31 @@ fn main() {
     let results: Vec<SizeResult> = [64usize, 512, 4096].iter().map(|&n| run_size(n)).collect();
     for (i, r) in results.iter().enumerate() {
         println!(
-            "n={:5}  arena_pruned={:.0}ns  arena_scalar={:.0}ns  arena_unpruned={:.0}ns  \
-             perround_trees={:.0}ns  adaptive={:.0}ns (rounds {:.1}% of s)  \
-             speedup(perround/pruned)={:.2}x  kernel(scalar/pruned)={:.2}x",
+            "n={:5}  arena_pruned={:.0}ns  arena_f32={:.0}ns  arena_scalar={:.0}ns  \
+             arena_unpruned={:.0}ns  perround_trees={:.0}ns  adaptive={:.0}ns \
+             (rounds {:.1}% of s)  speedup(perround/pruned)={:.2}x  \
+             kernel(scalar/pruned)={:.2}x  f32(pruned/f32)={:.2}x",
             r.n,
             r.arena_pruned,
+            r.arena_f32,
             r.arena_scalar,
             r.arena_unpruned,
             r.perround_trees,
             r.adaptive,
             100.0 * r.adaptive_rounds_frac,
             r.perround_trees / r.arena_pruned,
-            r.arena_scalar / r.arena_pruned
+            r.arena_scalar / r.arena_pruned,
+            r.arena_pruned / r.arena_f32
         );
         out.push_str(&format!(
-            "    {{ \"n\": {}, \"arena_pruned\": {:.1}, \"arena_scalar\": {:.1}, \
-             \"arena_unpruned\": {:.1}, \
+            "    {{ \"n\": {}, \"arena_pruned\": {:.1}, \"arena_f32\": {:.1}, \
+             \"arena_scalar\": {:.1}, \"arena_unpruned\": {:.1}, \
              \"perround_trees\": {:.1}, \"adaptive\": {:.1}, \
              \"adaptive_rounds_frac\": {:.4}, \"speedup_perround_over_pruned\": {:.3}, \
-             \"speedup_scalar_over_pruned\": {:.3} }}{}\n",
+             \"speedup_scalar_over_pruned\": {:.3}, \"speedup_f64_over_f32\": {:.3} }}{}\n",
             r.n,
             r.arena_pruned,
+            r.arena_f32,
             r.arena_scalar,
             r.arena_unpruned,
             r.perround_trees,
@@ -296,6 +371,7 @@ fn main() {
             r.adaptive_rounds_frac,
             r.perround_trees / r.arena_pruned,
             r.arena_scalar / r.arena_pruned,
+            r.arena_pruned / r.arena_f32,
             if i + 1 == results.len() { "" } else { "," }
         ));
     }
@@ -343,7 +419,18 @@ fn main() {
     );
     out.push_str(&format!(
         "  \"adaptive_separated\": {{ \"s\": {sep_s}, \"eps\": 0.05, \"delta\": 0.01, \
-         \"rounds_frac\": {sep_frac:.4}, \"mean_half_width\": {sep_hw:.4} }}\n}}\n"
+         \"rounds_frac\": {sep_frac:.4}, \"mean_half_width\": {sep_hw:.4} }},\n"
+    ));
+
+    let (fill64, fill32) = run_fill_phase();
+    let fill_speedup = fill64 / fill32;
+    println!(
+        "fill phase (n=4096, flat leaf): f64 {fill64:.0}ns  f32 {fill32:.0}ns  \
+         ({fill_speedup:.2}x)"
+    );
+    out.push_str(&format!(
+        "  \"fill_phase\": {{ \"n\": 4096, \"f64_ns\": {fill64:.1}, \"f32_ns\": {fill32:.1}, \
+         \"speedup\": {fill_speedup:.3} }}\n}}\n"
     ));
     std::fs::write("BENCH_quantify.json", &out).expect("write BENCH_quantify.json");
     println!("wrote BENCH_quantify.json");
@@ -362,5 +449,13 @@ fn main() {
         head.n,
         head.arena_pruned,
         head.arena_scalar
+    );
+    // f32 filter acceptance bar: the half-width fill must buy at least
+    // 1.2x on the fill-dominated microbench, or the tier is not paying
+    // for its refinement pass.
+    assert!(
+        fill_speedup >= 1.2,
+        "f32 fill-phase tier below the 1.2x acceptance bar at n=4096: \
+         f64 {fill64:.0}ns vs f32 {fill32:.0}ns ({fill_speedup:.2}x)"
     );
 }

@@ -107,8 +107,10 @@ pub enum QuantifyMethod {
 }
 
 pub(crate) enum NonzeroBackend {
-    Disks(DiskNonzeroIndex),
-    Discrete(DiscreteNonzeroIndex),
+    // Both index variants are boxed: the kd structures inside dominate the
+    // enum footprint and the backend lives once per `PnnIndex`.
+    Disks(Box<DiskNonzeroIndex>),
+    Discrete(Box<DiscreteNonzeroIndex>),
     /// Heterogeneous models: exact linear scan over `δ_i` / `Δ_j`.
     Generic,
 }
@@ -143,9 +145,9 @@ impl PnnIndex {
         let discrete: Option<Vec<DiscreteDistribution>> =
             points.iter().map(|p| p.as_discrete().cloned()).collect();
         let nonzero = if let Some(ds) = &disks {
-            NonzeroBackend::Disks(DiskNonzeroIndex::new(ds))
+            NonzeroBackend::Disks(Box::new(DiskNonzeroIndex::new(ds)))
         } else if let Some(objs) = &discrete {
-            NonzeroBackend::Discrete(DiscreteNonzeroIndex::from_distributions(objs))
+            NonzeroBackend::Discrete(Box::new(DiscreteNonzeroIndex::from_distributions(objs)))
         } else {
             NonzeroBackend::Generic
         };

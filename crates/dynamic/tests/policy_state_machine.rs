@@ -33,6 +33,7 @@ fn engine(policy: CompactionPolicy, ratio: Option<f64>) -> DynamicEngine {
         max_dead_fraction: MAX_DEAD,
         policy,
         hot_promote_ratio: ratio,
+        ..EngineConfig::default()
     })
 }
 

@@ -1,0 +1,242 @@
+//! The f32 filter tier: widened-threshold admission bounds and the
+//! [`FilterPrecision`] knob (DESIGN.md §8 states the full contract).
+//!
+//! # What the filter is
+//!
+//! The batched leaf scans ([`crate::scan`]) spend most of their time in the
+//! distance-fill phase. With [`FilterPrecision::F32Refined`] the fill runs
+//! over f32 shadow arenas — half the bandwidth, twice the effective SIMD
+//! lane width — and gates slots against a **conservatively widened**
+//! threshold. Every admitted slot is then re-evaluated with the exact f64
+//! operation sequence of `Point::dist` before the visit pass, so the set of
+//! `(slot, distance)` pairs a consumer observes is bit-identical to the
+//! pure-f64 kernel: the f32 numbers only ever *reject*, never *answer*.
+//!
+//! # Widening-bound derivation
+//!
+//! Let `S` be the largest coordinate magnitude among the stored points and
+//! the query, `ε = f32::EPSILON` (2⁻²³), and `d` the exact f64 distance of
+//! a slot. The f32 pipeline computes
+//! `d32 = fl32(sqrt(fl32(dx² + dy²)))` from `dx = fl32(x) − fl32(qx)` etc.
+//! Each coordinate cast loses at most `ε·S` (plus a sub-denormal absolute
+//! term), so `|dx32 − dx| ≤ ε·|dx| + 2·ε·S ≤ 4·ε·S` with `|dx| ≤ 2S`; the
+//! hypot of two such perturbations moves the root by at most `√2·4·ε·S`.
+//! The four f32 roundings (two squares, the add, the sqrt — the sqrt one
+//! halved) contribute a relative factor below `(1+ε)⁴`.
+//! Squares of sub-`2⁻75` components underflow gradually and can shift the
+//! root by up to `≈2⁻⁷⁴`. Folding generous safety factors over each term:
+//!
+//! ```text
+//! |d32 − d| ≤ d·REL + ABS(S) + TINY
+//!   REL    = 8ε           (covers the ≤4 roundings with 2× margin)
+//!   ABS(S) = 8·ε·S        (covers the √2·4·ε·S cast/cancel term)
+//!   TINY   = 1e-20        (covers the 2⁻⁷⁴ ≈ 5.3e-23 underflow term)
+//! ```
+//!
+//! which inverts to the three bounds below (each padded by a `1e-12`
+//! relative slop absorbing the f64 arithmetic evaluating the bound itself).
+//! The implication the scan kernel relies on is one-sided:
+//! `d ≤ t  ⇒  d32 ≤ f32_widened_threshold(t, S)` — a slot whose f32
+//! distance exceeds the widened threshold provably fails the exact gate and
+//! can be rejected without ever touching the f64 arenas.
+//!
+//! # Scale guard
+//!
+//! The bound is only meaningful while the f32 pipeline cannot overflow:
+//! with every coordinate `≤ F32_SAFE_SCALE = 1e18` in magnitude,
+//! `dx² + dy² ≤ 8e36 < f32::MAX`. Queries against trees (or from query
+//! points) beyond that scale fall back to the exact f64 fill per query —
+//! the `1e308` adversarial corpus exercises exactly this path. Non-finite
+//! inputs (`NaN` coordinates, infinite thresholds) degrade the bounds to
+//! `[0, +∞)` and the kernel's NaN-admitting compare routes such slots to
+//! the exact re-check, which disposes of them identically to the f64 path.
+
+/// Which precision the batched distance-fill phase runs in.
+///
+/// Both settings return **bit-identical results** for every query family —
+/// `F32Refined` is a pure performance knob (see the widening-bound contract
+/// in the module docs); `tests/precision_refinement.rs` enforces the
+/// equivalence on every testkit corpus.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FilterPrecision {
+    /// Exact f64 distance fill — the historical kernel, and the
+    /// differential oracle for `F32Refined`.
+    #[default]
+    F64,
+    /// f32 shadow-arena fill gated by [`f32_widened_threshold`]; admitted
+    /// slots are recomputed with the exact f64 operation sequence before
+    /// the visit pass.
+    F32Refined,
+}
+
+/// Largest coordinate magnitude (points **and** query) under which the f32
+/// fill pipeline is overflow-free and the widening bound applies; beyond
+/// it, `F32Refined` queries silently fall back to the exact f64 fill.
+pub const F32_SAFE_SCALE: f64 = 1e18;
+
+/// `f32::EPSILON` as f64 — the ulp unit of the filter arithmetic.
+const EPS32: f64 = f32::EPSILON as f64;
+
+/// Relative error budget of the f32 square/add/sqrt sequence.
+const REL: f64 = 8.0 * EPS32;
+
+/// Absolute underflow budget: gradual-underflow loss in sub-denormal
+/// squares moves the root by at most ≈2⁻⁷⁴; 1e-20 covers it 400×.
+const TINY: f64 = 1e-20;
+
+/// Relative slop absorbing the f64 rounding of the bound evaluation.
+const SLOP: f64 = 1e-12;
+
+/// Scale-proportional absolute budget of the f64→f32 coordinate casts.
+#[inline]
+fn abs_term(scale: f64) -> f64 {
+    8.0 * EPS32 * scale
+}
+
+/// The admission threshold the f32 fill phase gates against: the smallest
+/// `w` (up to the safety factors above) such that every slot with exact
+/// distance `d ≤ t` satisfies `d32 ≤ w` when all coordinates are bounded
+/// by `scale ≤ F32_SAFE_SCALE`. Monotone in `t`; `+∞` for non-finite `t`.
+#[inline]
+pub fn f32_widened_threshold(t: f64, scale: f64) -> f64 {
+    // `t.is_nan() || t == INF` spelled as one NaN-catching compare.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(t < f64::INFINITY) {
+        // +∞ or NaN: admit everything (the exact re-check decides).
+        return f64::INFINITY;
+    }
+    ((t + abs_term(scale)) * (1.0 + REL) + TINY) * (1.0 + SLOP)
+}
+
+/// Upper bound on the exact f64 distance of a slot whose f32 fill produced
+/// `d32`, valid whenever every coordinate magnitude is at most `scale` and
+/// `scale ≤ F32_SAFE_SCALE`. Non-finite `d32` (overflow, NaN poison)
+/// degrades to `+∞`.
+#[inline]
+pub fn f32_upper_bound(d32: f64, scale: f64) -> f64 {
+    if !d32.is_finite() {
+        return f64::INFINITY;
+    }
+    ((d32 + TINY) / (1.0 - REL) + abs_term(scale)) * (1.0 + SLOP)
+}
+
+/// Lower bound on the exact f64 distance of a slot whose f32 fill produced
+/// `d32` (same validity domain as [`f32_upper_bound`]); clamped at 0.
+#[inline]
+pub fn f32_lower_bound(d32: f64, scale: f64) -> f64 {
+    if !d32.is_finite() {
+        return 0.0;
+    }
+    (((d32 - TINY) / (1.0 + REL) - abs_term(scale)) * (1.0 - SLOP)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact f64 distance operation sequence (`Point::dist`).
+    fn dist64(x: f64, y: f64, qx: f64, qy: f64) -> f64 {
+        let dx = x - qx;
+        let dy = y - qy;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// The f32 filter pipeline: cast, subtract, square-sum, sqrt — the
+    /// exact operation sequence of the kernel's fill phase.
+    fn dist32(x: f64, y: f64, qx: f64, qy: f64) -> f64 {
+        let dx = x as f32 - qx as f32;
+        let dy = y as f32 - qy as f32;
+        f64::from((dx * dx + dy * dy).sqrt())
+    }
+
+    /// Deterministic jitter in `[-1, 1]` without pulling in an RNG.
+    fn jitter(state: &mut u64) -> f64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    }
+
+    /// Exhaustive magnitude sweep (satellite: denormal → 1e308): at every
+    /// scale the ulp bounds must bracket the exact distance, and —
+    /// the property the kernel's admission gate relies on — the f32
+    /// distance must pass the widened threshold whenever the exact
+    /// distance passes the unwidened one.
+    #[test]
+    fn bounds_bracket_exact_distance_across_all_magnitudes() {
+        let mut state = 0x5eed_f00d_u64;
+        let mut checked = 0u64;
+        for exp in (-320..=308).step_by(4) {
+            let mag = 10f64.powi(exp);
+            if mag == 0.0 || !mag.is_finite() {
+                continue;
+            }
+            for trial in 0..24 {
+                // Mix of same-magnitude, near-coincident, and axis cases;
+                // clamped so the coordinates themselves stay finite f64
+                // (at 1e308 the jittered products can overflow f64).
+                let fin = |v: f64| v.clamp(-f64::MAX, f64::MAX);
+                let x = fin(mag * (1.0 + jitter(&mut state)));
+                let y = fin(mag * jitter(&mut state));
+                let (qx, qy) = match trial % 3 {
+                    0 => (fin(mag * jitter(&mut state)), fin(mag * jitter(&mut state))),
+                    1 => (fin(x * (1.0 + 1e-9 * jitter(&mut state))), y), // near-cancel
+                    _ => (0.0, 0.0),
+                };
+                let scale = x.abs().max(y.abs()).max(qx.abs()).max(qy.abs());
+                let exact = dist64(x, y, qx, qy);
+                let d32 = dist32(x, y, qx, qy);
+                let lo = f32_lower_bound(d32, scale);
+                let hi = f32_upper_bound(d32, scale);
+                assert!(
+                    lo <= exact && exact <= hi,
+                    "bounds fail at mag=1e{exp}: d32={d32:e} exact={exact:e} lo={lo:e} hi={hi:e}"
+                );
+                if scale <= F32_SAFE_SCALE {
+                    // Gate soundness: exact <= t must imply d32 <= widened(t)
+                    // for every threshold t >= exact; t = exact is tightest.
+                    let w = f32_widened_threshold(exact, scale);
+                    assert!(
+                        d32 <= w,
+                        "gate unsound at mag=1e{exp}: d32={d32:e} > widened({exact:e})={w:e}"
+                    );
+                }
+                checked += 1;
+            }
+        }
+        assert!(checked > 3000, "sweep degenerated: {checked} cases");
+    }
+
+    #[test]
+    fn widened_threshold_is_monotone_and_strictly_wider() {
+        for scale in [1e-300, 1e-20, 1.0, 1e6, 1e18] {
+            let mut prev = f64::NEG_INFINITY;
+            for t in [0.0, 1e-30, 1e-10, 0.5, 1.0, 1e6, 1e17] {
+                let w = f32_widened_threshold(t, scale);
+                assert!(w > t, "widened({t:e}, {scale:e}) = {w:e} not wider");
+                assert!(w >= prev, "non-monotone at t={t:e}, scale={scale:e}");
+                prev = w;
+            }
+        }
+        assert_eq!(f32_widened_threshold(f64::INFINITY, 1.0), f64::INFINITY);
+        assert_eq!(f32_widened_threshold(f64::NAN, 1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn non_finite_fill_degrades_to_full_interval() {
+        for bad in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            assert_eq!(f32_lower_bound(bad, 1.0), 0.0);
+            assert_eq!(f32_upper_bound(bad, 1.0), f64::INFINITY);
+        }
+    }
+
+    #[test]
+    fn bounds_are_ordered_and_nonnegative() {
+        for scale in [1e-10, 1.0, 1e18] {
+            for d32 in [0.0, 1e-25, 1e-3, 1.0, 1e12] {
+                let (lo, hi) = (f32_lower_bound(d32, scale), f32_upper_bound(d32, scale));
+                assert!(0.0 <= lo && lo <= hi, "d32={d32:e} scale={scale:e}");
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Churn driver: an arbitrary insert/remove interleaving against a plain
+//! map mirror. The surviving corpora carry the layouts a static build
+//! never produces — tombstone-shaped id gaps, re-inserted duplicates,
+//! merge-history-dependent block shapes.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use unn::dynamic::{DynamicPnnConfig, DynamicPnnIndex, PointId};
+use unn_distr::Uncertain;
+use unn_geom::Point;
+
+/// Drives `ops` through a dynamic index and a plain map mirror; returns
+/// both. `true` ops insert a fresh random disk (center `±20`, radius
+/// `0.3..2.5`, drawn from a stream seeded by `seed`); `false` ops remove
+/// the live id selected by the raw key (skipped when nothing is live).
+///
+/// # Panics
+///
+/// Panics if `config` is rejected or the index and mirror ever disagree
+/// about liveness — both are harness bugs, not corpus properties.
+pub fn churn(
+    initial: usize,
+    ops: &[(bool, u64)],
+    seed: u64,
+    config: DynamicPnnConfig,
+) -> (DynamicPnnIndex, BTreeMap<PointId, Uncertain>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut index =
+        DynamicPnnIndex::with_config(config).unwrap_or_else(|e| panic!("config rejected: {e}"));
+    let mut mirror: BTreeMap<PointId, Uncertain> = BTreeMap::new();
+    let fresh = |rng: &mut SmallRng| {
+        Uncertain::uniform_disk(
+            Point::new(rng.random_range(-20.0..20.0), rng.random_range(-20.0..20.0)),
+            rng.random_range(0.3..2.5),
+        )
+    };
+    for _ in 0..initial {
+        let p = fresh(&mut rng);
+        let id = index.insert(p.clone());
+        mirror.insert(id, p);
+    }
+    for &(is_insert, raw) in ops {
+        if is_insert {
+            let p = fresh(&mut rng);
+            let id = index.insert(p.clone());
+            mirror.insert(id, p);
+        } else if !mirror.is_empty() {
+            let keys: Vec<PointId> = mirror.keys().copied().collect();
+            let victim = keys[(raw as usize) % keys.len()];
+            assert!(index.remove(victim), "mirror says {victim} is live");
+            mirror.remove(&victim);
+        }
+    }
+    (index, mirror)
+}
+
+/// The live set surviving a [`churn`] run, in id order — the churned
+/// corpus the spatial and quantify kernels are differentially tested on.
+pub fn survivors(
+    initial: usize,
+    ops: &[(bool, u64)],
+    seed: u64,
+    config: DynamicPnnConfig,
+) -> Vec<Uncertain> {
+    churn(initial, ops, seed, config).1.into_values().collect()
+}

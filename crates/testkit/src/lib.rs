@@ -1,0 +1,58 @@
+//! # unn-testkit — shared differential-test corpora and batteries
+//!
+//! The integration suites (`tests/kernel_equivalence.rs`,
+//! `tests/dynamic_oracle.rs`, `tests/oracle.rs`,
+//! `tests/precision_refinement.rs`, `tests/fault_injection.rs`) all probe
+//! the same invariant from different angles: *every read path is a pure
+//! function of the live point set* — batched vs scalar, dynamic vs fresh
+//! static, f32-filtered vs exact f64. Before this crate each suite carried
+//! its own copy of the corpus generators; a corpus hardened in one file
+//! (denormals, 1e308 coordinates, churn-shaped id gaps) silently never
+//! reached the others.
+//!
+//! This crate is the single home for that shared machinery:
+//!
+//! * [`corpus`] — seeded, named point/distribution corpora: duplicate-heavy
+//!   random clouds, adversarial geometry (coincident, collinear, denormal,
+//!   near-overflow), disk and discrete uncertain sets, aux-offset vectors,
+//!   support boxes, and regime-spanning ball radii.
+//! * [`churn`] — drives a [`unn::dynamic::DynamicPnnIndex`] through an
+//!   arbitrary insert/remove interleaving against a map mirror, yielding
+//!   the layouts a static build never produces.
+//! * [`sig`] — the full read-path battery serialized into a flat word
+//!   stream: two signatures are equal iff the two paths were bit-identical
+//!   on every kernel.
+//! * [`near_tie`] — [`NearTieForge`](near_tie::NearTieForge) manufactures
+//!   instances whose f32 distances **tie** while their f64 distances
+//!   differ, with the farther point at the lower id: the exact corner where
+//!   an unwidened f32 admission gate returns the wrong neighbor.
+//!
+//! Everything is deterministic: generators take explicit seeds and derive
+//! any internal streams from them, so a failing case replays from its seed
+//! alone. The crate is test-support only — it never ships in a build of
+//! the library crates, which must not depend on it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod corpus;
+pub mod near_tie;
+pub mod sig;
+
+pub use near_tie::{NearTieForge, NearTieInstance, NearTiePair};
+
+/// Largest absolute componentwise difference between two equal-length
+/// probability vectors — the metric every honesty bound is stated in.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths (a differential harness
+/// comparing vectors of different shapes is already broken).
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "comparing vectors of different lengths");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}

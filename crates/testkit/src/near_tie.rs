@@ -1,0 +1,217 @@
+//! [`NearTieForge`]: manufactured worst cases for the f32 filter tier.
+//!
+//! Each forged instance holds two points whose **f32 fill distances are
+//! bit-equal** while their exact f64 distances differ, with the farther
+//! point at the *lower* id — the configuration where any kernel that let
+//! the f32 numbers answer (instead of merely reject) would return the
+//! wrong neighbor under the id tie-break.
+//!
+//! The forge additionally pins the harder directed property: the shared
+//! f32 value **rounds above the farther exact distance**
+//! (`d_near < d_far < f64::from(d32)`). Probing `nearest_within` with the
+//! threshold `t0 = d_far` therefore separates a widened gate from an
+//! unwidened one *regardless of scan order*: both tied points pass the
+//! exact gate (`d ≤ t0`), but both f32 distances exceed `t0`, so a filter
+//! that compared `d32 ≤ t0` raw would reject the pair outright and answer
+//! from the (far-away) fillers. Only the conservative widening band of
+//! [`unn_spatial::f32_widened_threshold`] admits them into the exact f64
+//! re-check that produces the true winner.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use unn_geom::Point;
+
+/// One tied pair in isolation: the building block of
+/// [`NearTieInstance`], also usable directly to stack several ties into a
+/// single leaf (the mid-batch threshold-tightening regression corpus).
+#[derive(Clone, Copy, Debug)]
+pub struct NearTiePair {
+    /// The farther tied point (exact f64 distance [`Self::d_far`]).
+    pub far: Point,
+    /// The exact-f64 nearer tied point.
+    pub near: Point,
+    /// Exact f64 distance of `far`; `d_near < d_far < f64::from(d32)`.
+    pub d_far: f64,
+    /// Exact f64 distance of `near`.
+    pub d_near: f64,
+    /// The shared f32 fill value both points produce.
+    pub d32: f32,
+}
+
+/// One forged near-tie configuration (see the module docs).
+#[derive(Clone, Debug)]
+pub struct NearTieInstance {
+    /// The corpus: `points[0]` is the decoy, `points[1]` the true nearest,
+    /// the rest fillers at 2–8× the tie distance.
+    pub points: Vec<Point>,
+    /// The query the tie is staged at.
+    pub query: Point,
+    /// Index (= id) of the farther tied point — lower id, so an id
+    /// tie-break over f32 distances would crown it.
+    pub decoy: usize,
+    /// Index (= id) of the exact-f64 nearest point.
+    pub true_nearest: usize,
+    /// Exact f64 distance of the true nearest (`Point::dist` sequence).
+    pub d_near: f64,
+    /// Exact f64 distance of the decoy; also the tight probe threshold
+    /// `t0` for the order-independent directed test (`d_near < d_far <
+    /// f64::from(d32)` holds by construction).
+    pub d_far: f64,
+    /// The shared f32 fill value both tied points produce.
+    pub d32: f32,
+}
+
+/// The exact f64 distance operation sequence of `Point::dist`.
+fn dist64(p: Point, q: Point) -> f64 {
+    let dx = p.x - q.x;
+    let dy = p.y - q.y;
+    (dx * dx + dy * dy).sqrt()
+}
+
+/// The f32 filter pipeline: cast, subtract, square-sum, sqrt — the exact
+/// operation sequence of the kernel's f32 fill phase.
+fn dist32(p: Point, q: Point) -> f32 {
+    let dx = p.x as f32 - q.x as f32;
+    let dy = p.y as f32 - q.y as f32;
+    (dx * dx + dy * dy).sqrt()
+}
+
+fn offset(q: Point, r: f64, theta: f64) -> Point {
+    Point::new(q.x + r * theta.cos(), q.y + r * theta.sin())
+}
+
+/// Seeded generator of [`NearTieInstance`]s. Candidates are drawn with a
+/// sub-f32-ulp relative gap and validated against the *realized* distance
+/// pipelines, so every emitted instance provably carries the tie.
+#[derive(Clone, Debug)]
+pub struct NearTieForge {
+    rng: SmallRng,
+}
+
+impl NearTieForge {
+    /// A forge whose entire output stream is determined by `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: SmallRng::seed_from_u64(seed ^ 0x7165_F0F6),
+        }
+    }
+
+    /// Forges one tied pair at roughly radius `r` around `query` (the
+    /// realized invariants are validated, the radius is a target).
+    ///
+    /// # Panics
+    ///
+    /// Panics if rejection sampling fails to land a valid pair in
+    /// 100 000 attempts — with the current gap distribution the expected
+    /// attempt count is single-digit, so exhaustion means the generator
+    /// itself regressed.
+    pub fn forge_pair_at(&mut self, query: Point, r: f64) -> NearTiePair {
+        for _ in 0..100_000 {
+            // Relative gap well below one f32 ulp (1.19e-7): the f64
+            // distances stay distinct, the f32 distances usually collide.
+            let gap: f64 = self.rng.random_range(1e-10..3e-8);
+            let far = offset(query, r, self.rng.random_range(0.0..std::f64::consts::TAU));
+            let near = offset(
+                query,
+                r * (1.0 - gap),
+                self.rng.random_range(0.0..std::f64::consts::TAU),
+            );
+            let (d_far, d_near) = (dist64(far, query), dist64(near, query));
+            let (f_far, f_near) = (dist32(far, query), dist32(near, query));
+            if !(d_near < d_far && d_far.is_finite()) {
+                continue;
+            }
+            if f_far.to_bits() != f_near.to_bits() {
+                continue; // cast noise split the tie — redraw
+            }
+            if f64::from(f_far) <= d_far {
+                continue; // need the shared f32 value to round *up* past d_far
+            }
+            return NearTiePair {
+                far,
+                near,
+                d_far,
+                d_near,
+                d32: f_far,
+            };
+        }
+        panic!("NearTieForge failed to converge — generator parameters regressed");
+    }
+
+    /// Forges one instance with `fillers` extra far-away points.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same convergence condition as
+    /// [`Self::forge_pair_at`].
+    pub fn forge(&mut self, fillers: usize) -> NearTieInstance {
+        let query = Point::new(
+            self.rng.random_range(-8.0..8.0),
+            self.rng.random_range(-8.0..8.0),
+        );
+        let r: f64 = self.rng.random_range(1.0..64.0);
+        let pair = self.forge_pair_at(query, r);
+        let mut points = vec![pair.far, pair.near];
+        for _ in 0..fillers {
+            let rr = self.rng.random_range(r * 2.0..r * 8.0);
+            let p = offset(query, rr, self.rng.random_range(0.0..std::f64::consts::TAU));
+            debug_assert!(dist64(p, query) > pair.d_far * 1.5);
+            points.push(p);
+        }
+        NearTieInstance {
+            points,
+            query,
+            decoy: 0,
+            true_nearest: 1,
+            d_near: pair.d_near,
+            d_far: pair.d_far,
+            d32: pair.d32,
+        }
+    }
+
+    /// Forges a batch of `count` independent instances.
+    pub fn forge_many(&mut self, count: usize, fillers: usize) -> Vec<NearTieInstance> {
+        (0..count).map(|_| self.forge(fillers)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every forged instance really carries the advertised invariants —
+    /// checked against the realized distance pipelines, not the targets.
+    #[test]
+    fn forged_instances_satisfy_their_contract() {
+        let mut forge = NearTieForge::new(0xF0F6);
+        for inst in forge.forge_many(32, 5) {
+            let near = inst.points[inst.true_nearest];
+            let far = inst.points[inst.decoy];
+            assert!(inst.decoy < inst.true_nearest, "farther point has lower id");
+            assert_eq!(dist64(near, inst.query), inst.d_near);
+            assert_eq!(dist64(far, inst.query), inst.d_far);
+            assert!(inst.d_near < inst.d_far, "f64 distances must differ");
+            assert_eq!(
+                dist32(near, inst.query).to_bits(),
+                dist32(far, inst.query).to_bits(),
+                "f32 distances must tie"
+            );
+            assert!(
+                f64::from(inst.d32) > inst.d_far,
+                "shared f32 value must round above d_far"
+            );
+            for (i, &p) in inst.points.iter().enumerate() {
+                if i != inst.decoy && i != inst.true_nearest {
+                    assert!(dist64(p, inst.query) > inst.d_far * 1.5, "filler too close");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forge_is_deterministic_per_seed() {
+        let a = NearTieForge::new(7).forge(3);
+        let b = NearTieForge::new(7).forge(3);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}

@@ -7,8 +7,8 @@
 //! sweep bit-for-bit on all-discrete live sets.
 //!
 //! Everything is deterministic: corpora, churn sequences, and queries come
-//! from proptest/fixed seeds, and both indexes freeze their Monte-Carlo
-//! randomness at build time.
+//! from proptest/fixed seeds (via the shared `unn-testkit` generators),
+//! and both indexes freeze their Monte-Carlo randomness at build time.
 
 use std::collections::BTreeMap;
 
@@ -19,6 +19,7 @@ use unn::distr::DiscreteDistribution;
 use unn::dynamic::{DynamicPnnConfig, DynamicPnnIndex, PointId};
 use unn::geom::Point;
 use unn::{PnnConfig, PnnIndex, Uncertain};
+use unn_testkit::{churn, corpus, max_abs_diff};
 
 const DELTA: f64 = 0.01;
 
@@ -45,60 +46,6 @@ fn static_config() -> PnnConfig {
     }
 }
 
-fn random_disk(rng: &mut SmallRng) -> Uncertain {
-    Uncertain::uniform_disk(
-        Point::new(rng.random_range(-20.0..20.0), rng.random_range(-20.0..20.0)),
-        rng.random_range(0.3..2.5),
-    )
-}
-
-fn queries(m: usize, seed: u64) -> Vec<Point> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    (0..m)
-        .map(|_| Point::new(rng.random_range(-25.0..25.0), rng.random_range(-25.0..25.0)))
-        .collect()
-}
-
-fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y).abs())
-        .fold(0.0, f64::max)
-}
-
-/// Drives `ops` through a dynamic index and a plain map mirror; returns
-/// both. `true` ops insert a fresh random disk, `false` ops remove the
-/// live id selected by the raw key (skipped when nothing is live).
-fn churn(
-    initial: usize,
-    ops: &[(bool, u64)],
-    seed: u64,
-) -> (DynamicPnnIndex, BTreeMap<PointId, Uncertain>) {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut index = DynamicPnnIndex::with_config(dynamic_config())
-        .unwrap_or_else(|e| panic!("config rejected: {e}"));
-    let mut mirror = BTreeMap::new();
-    for _ in 0..initial {
-        let p = random_disk(&mut rng);
-        let id = index.insert(p.clone());
-        mirror.insert(id, p);
-    }
-    for &(is_insert, raw) in ops {
-        if is_insert {
-            let p = random_disk(&mut rng);
-            let id = index.insert(p.clone());
-            mirror.insert(id, p);
-        } else if !mirror.is_empty() {
-            let keys: Vec<PointId> = mirror.keys().copied().collect();
-            let victim = keys[(raw as usize) % keys.len()];
-            assert!(index.remove(victim), "mirror says {victim} is live");
-            mirror.remove(&victim);
-        }
-    }
-    (index, mirror)
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(20))]
 
@@ -110,14 +57,14 @@ proptest! {
         ops in proptest::collection::vec((proptest::bool::ANY, 0u64..1_000_000), 0..24),
         seed in 0u64..10_000,
     ) {
-        let (index, mirror) = churn(initial, &ops, seed);
+        let (index, mirror) = churn::churn(initial, &ops, seed, dynamic_config());
         prop_assert_eq!(index.len(), mirror.len());
         let snap = index.snapshot();
         let live_ids: Vec<PointId> = mirror.keys().copied().collect();
         prop_assert_eq!(snap.live_ids(), &live_ids[..]);
 
         let static_index = PnnIndex::build(mirror.values().cloned().collect(), static_config());
-        let qs = queries(6, seed ^ 0xD15C);
+        let qs = corpus::query_points(6, seed ^ 0xD15C, 25.0);
         for &q in &qs {
             // NN!=0 must be bit-identical: same floats, same strict
             // comparisons, only composed across blocks.
@@ -159,9 +106,9 @@ proptest! {
         seed in 0u64..10_000,
     ) {
         let ops: Vec<(bool, u64)> = victims.iter().map(|&v| (false, v)).collect();
-        let (index, mirror) = churn(initial, &ops, seed);
+        let (index, mirror) = churn::churn(initial, &ops, seed, dynamic_config());
         let snap = index.snapshot();
-        for &q in &queries(4, seed ^ 0xDEAD) {
+        for &q in &corpus::query_points(4, seed ^ 0xDEAD, 25.0) {
             for id in snap.nn_nonzero(q) {
                 prop_assert!(mirror.contains_key(&id), "dead id {} answered", id);
             }
@@ -203,7 +150,7 @@ fn discrete_exact_path_is_bit_identical_and_adaptive_honest() {
     }
     let snap = index.snapshot();
     let static_index = PnnIndex::build(mirror.values().cloned().collect(), static_config());
-    for &q in &queries(8, 78) {
+    for &q in &corpus::query_points(8, 78, 25.0) {
         let (dyn_exact, _) = snap.quantify_exact(q);
         let (stat_exact, _) = static_index.quantify_exact(q);
         assert_eq!(

@@ -28,37 +28,11 @@ fn test_config() -> PnnConfig {
 }
 
 fn clean_disks(n: usize, seed: u64) -> Vec<Uncertain> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| {
-            Uncertain::uniform_disk(
-                Point::new(rng.random_range(-20.0..20.0), rng.random_range(-20.0..20.0)),
-                rng.random_range(0.5..2.0),
-            )
-        })
-        .collect()
+    unn_testkit::corpus::uniform_disks(n, seed, 0.5, 2.0)
 }
 
 fn clean_discrete(n: usize, k: usize, seed: u64) -> Vec<Uncertain> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| {
-            let c = Point::new(rng.random_range(-20.0..20.0), rng.random_range(-20.0..20.0));
-            Uncertain::Discrete(
-                DiscreteDistribution::uniform(
-                    (0..k)
-                        .map(|_| {
-                            Point::new(
-                                c.x + rng.random_range(-2.0..2.0),
-                                c.y + rng.random_range(-2.0..2.0),
-                            )
-                        })
-                        .collect(),
-                )
-                .unwrap(),
-            )
-        })
-        .collect()
+    unn_testkit::corpus::uniform_discrete(n, k, seed)
 }
 
 // ---------------------------------------------------------------------

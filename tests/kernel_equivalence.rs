@@ -5,271 +5,36 @@
 //! collinear, denormal, near-overflow coordinates), corpora surviving
 //! dynamic churn, and concurrent query threads.
 //!
+//! Corpora, signatures, and the churn driver live in `unn-testkit`
+//! (shared with `tests/dynamic_oracle.rs` and
+//! `tests/precision_refinement.rs`); this file owns only the
+//! batched-vs-scalar assertions.
+//!
 //! The one deliberate exception is [`KdTree::prune_with_cap`], whose
 //! batched walk is allowed to skip contract-dead points: there the
 //! *fold outputs* (`delta_min`, `prune_bound`, `cap_for`) must match the
 //! visit-every-slot scalar walk bit-for-bit, per the exactness contract
 //! documented on the method.
 
-use std::collections::BTreeMap;
-
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
-use unn::dynamic::{DynamicPnnConfig, DynamicPnnIndex, PointId};
+use unn::dynamic::DynamicPnnConfig;
 use unn::PnnConfig;
 use unn_distr::{Uncertain, UncertainPoint};
-use unn_geom::{Aabb, AabbSoA, Disk, Point};
-use unn_nonzero::{DeltaCompose, DiskNonzeroIndex};
+use unn_geom::{Disk, Point};
+use unn_nonzero::DiskNonzeroIndex;
 use unn_quantify::{McBackend, MonteCarloIndex};
-use unn_spatial::{KdConfig, KdForest, KdTree, Neighbor};
-
-/// Layout knobs under test: the shipped defaults, the scan-heavy arena
-/// profile, and two degenerate shapes (single-point leaves with a real
-/// tree descent, and mid-size leaves with a brute-force crossover) that
-/// exercise partial lane batches and the flat-scan path.
-fn configs() -> [KdConfig; 4] {
-    [
-        KdConfig::default(),
-        KdConfig::scan_heavy(),
-        KdConfig {
-            leaf_size: 1,
-            brute_force_below: 0,
-        },
-        KdConfig {
-            leaf_size: 5,
-            brute_force_below: 40,
-        },
-    ]
-}
-
-fn random_points(n: usize, seed: u64) -> Vec<Point> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut pts: Vec<Point> = Vec::with_capacity(n);
-    for _ in 0..n {
-        // One in four points duplicates an earlier one: ties in distance
-        // and id order are where batched/scalar divergence would hide.
-        if !pts.is_empty() && rng.random_range(0u32..4) == 0 {
-            let j = rng.random_range(0u64..pts.len() as u64) as usize;
-            pts.push(pts[j]);
-        } else {
-            pts.push(Point::new(
-                rng.random_range(-50.0..50.0),
-                rng.random_range(-50.0..50.0),
-            ));
-        }
-    }
-    pts
-}
-
-fn random_queries(m: usize, pts: &[Point], seed: u64) -> Vec<Point> {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED);
-    let mut qs: Vec<Point> = (0..m)
-        .map(|_| Point::new(rng.random_range(-60.0..60.0), rng.random_range(-60.0..60.0)))
-        .collect();
-    // Query *at* a stored point: exact-zero distances and closed-ball
-    // boundary hits.
-    qs.push(pts[pts.len() / 2]);
-    qs
-}
-
-/// Non-negative per-point offsets: `lo` feeds the min-side aux bounds
-/// (weighted kernels, prune folds), `hi >= lo` the max side
-/// (`report_ball_below` trees).
-fn random_aux(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0xA07);
-    let lo: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..3.0)).collect();
-    let hi: Vec<f64> = lo.iter().map(|&l| l + rng.random_range(0.0..3.0)).collect();
-    (lo, hi)
-}
-
-/// Per-point support boxes for the batched δ/Δ box kernel: the point
-/// inflated by its `lo` offset (any finite non-negative halfwidth works;
-/// tying it to `lo` keeps the corpus deterministic).
-fn support_boxes(pts: &[Point], lo: &[f64]) -> AabbSoA {
-    let boxes: Vec<Aabb> = pts
-        .iter()
-        .zip(lo)
-        .map(|(p, &w)| Aabb::new(Point::new(p.x - w, p.y - w), Point::new(p.x + w, p.y + w)))
-        .collect();
-    AabbSoA::from_boxes(&boxes)
-}
-
-/// Ball radii / report thresholds spanning the interesting regimes:
-/// empty-or-boundary (0), half the corpus (median distance), everything
-/// (max distance — a closed-ball boundary hit by construction).
-fn radii(pts: &[Point], q: Point) -> [f64; 3] {
-    let mut ds: Vec<f64> = pts.iter().map(|p| p.dist(q)).collect();
-    ds.sort_by(f64::total_cmp);
-    [0.0, ds[ds.len() / 2], ds[ds.len() - 1]]
-}
-
-fn push_neighbor(sig: &mut Vec<u64>, n: Option<Neighbor>) {
-    match n {
-        Some(n) => {
-            sig.push(1);
-            sig.push(n.id as u64);
-            sig.push(n.dist.to_bits());
-        }
-        None => sig.push(0),
-    }
-}
-
-fn push_pair(sig: &mut Vec<u64>, v: Option<(usize, f64)>) {
-    match v {
-        Some((i, d)) => {
-            sig.push(1);
-            sig.push(i as u64);
-            sig.push(d.to_bits());
-        }
-        None => sig.push(0),
-    }
-}
-
-/// Runs the full read-path battery against one tree and serializes every
-/// observable output — ids, distance bits, visit sequences, completion
-/// flags, fold outputs — into a flat word stream. Two signatures are
-/// equal iff the two paths were bit-identical on every kernel.
-fn kd_signature(
-    tree: &KdTree,
-    pts: &[Point],
-    lo: &[f64],
-    boxes: &AabbSoA,
-    queries: &[Point],
-    scalar: bool,
-) -> Vec<u64> {
-    let mut sig = Vec::new();
-    for &q in queries {
-        for init in [f64::INFINITY, 1.5] {
-            let n = if scalar {
-                tree.nearest_within_scalar(q, init)
-            } else {
-                tree.nearest_within(q, init)
-            };
-            push_neighbor(&mut sig, n);
-        }
-        let mut out: Vec<Neighbor> = Vec::new();
-        for m in [1usize, 4, 33] {
-            out.clear();
-            if scalar {
-                tree.m_nearest_into_scalar(q, m, &mut out);
-            } else {
-                tree.m_nearest_into(q, m, &mut out);
-            }
-            sig.push(out.len() as u64);
-            for n in &out {
-                sig.push(n.id as u64);
-                sig.push(n.dist.to_bits());
-            }
-        }
-        for r in radii(pts, q) {
-            {
-                let visit = &mut |i: usize, d: f64| {
-                    sig.push(i as u64);
-                    sig.push(d.to_bits());
-                };
-                if scalar {
-                    tree.in_disk_scalar(q, r, visit);
-                } else {
-                    tree.in_disk(q, r, visit);
-                }
-            }
-            sig.push(u64::MAX); // sequence terminator
-            for cap in [0usize, 1, 5, usize::MAX] {
-                let complete = {
-                    let visit = &mut |i: usize, d: f64| {
-                        sig.push(i as u64);
-                        sig.push(d.to_bits());
-                    };
-                    if scalar {
-                        tree.in_disk_capped_scalar(q, r, cap, visit)
-                    } else {
-                        tree.in_disk_capped(q, r, cap, visit)
-                    }
-                };
-                sig.push(u64::MAX);
-                sig.push(complete as u64);
-            }
-            {
-                let visit = &mut |i: usize, d: f64| {
-                    sig.push(i as u64);
-                    sig.push(d.to_bits());
-                };
-                if scalar {
-                    tree.report_ball_below_scalar(q, r, visit);
-                } else {
-                    tree.report_ball_below(q, r, visit);
-                }
-            }
-            sig.push(u64::MAX);
-        }
-        for init in [f64::INFINITY, 2.0] {
-            let v = if scalar {
-                tree.min_adjusted_weighted_from_scalar(q, init)
-            } else {
-                tree.min_adjusted_weighted_from(q, init)
-            };
-            push_pair(&mut sig, v);
-        }
-        let two = if scalar {
-            tree.min_two_adjusted_weighted_scalar(q)
-        } else {
-            tree.min_two_adjusted_weighted(q)
-        };
-        match two {
-            Some((i, a, b)) => {
-                sig.push(1);
-                sig.push(i as u64);
-                sig.push(a.to_bits());
-                sig.push(b.to_bits());
-            }
-            None => sig.push(0),
-        }
-        let bx = if scalar {
-            tree.min_adjusted_boxes_scalar(q, boxes)
-        } else {
-            tree.min_adjusted_boxes(q, boxes)
-        };
-        push_pair(&mut sig, bx);
-        // prune_with_cap: the batched walk may visit fewer points, so only
-        // the fold's *outputs* are in the signature — never visit counts.
-        // Two fold starts: the canonical fresh fold under an infinite cap,
-        // and a pre-seeded fold whose own prune_bound is the entry cap
-        // (the shared-bound idiom from the dynamic read path).
-        for preseed in [false, true] {
-            let mut fold = DeltaCompose::new();
-            if preseed {
-                let r = radii(pts, q);
-                fold.observe(r[1] + 1.0, u64::MAX);
-                fold.observe(r[2] + 1.0, u64::MAX - 1);
-            }
-            let cap0 = fold.prune_bound();
-            let visit = &mut |i: usize| {
-                fold.observe(pts[i].dist(q) + lo[i], i as u64);
-                fold.prune_bound()
-            };
-            let fin = if scalar {
-                tree.prune_with_cap_scalar(q, cap0, visit)
-            } else {
-                tree.prune_with_cap(q, cap0, visit)
-            };
-            sig.push(fin.to_bits());
-            sig.push(fold.delta_min().to_bits());
-            sig.push(fold.prune_bound().to_bits());
-            for id in 0..4u64 {
-                sig.push(fold.cap_for(id).to_bits());
-            }
-        }
-    }
-    sig
-}
+use unn_spatial::{KdConfig, KdForest, KdTree};
+use unn_testkit::sig::{configs, forest_signature, kd_signature};
+use unn_testkit::{churn, corpus};
 
 /// Asserts batched == scalar for every config over one corpus. Returns
 /// the batched signature of the last config for reuse (thread tests).
 fn check_corpus(pts: &[Point], seed: u64) -> Vec<u64> {
-    let (lo, hi) = random_aux(pts.len(), seed);
-    let boxes = support_boxes(pts, &lo);
-    let queries = random_queries(5, pts, seed);
+    let (lo, hi) = corpus::aux_offsets(pts.len(), seed);
+    let boxes = corpus::support_boxes(pts, &lo);
+    let queries = corpus::queries_for(5, pts, seed);
     let mut last = Vec::new();
     for cfg in configs() {
         let tree = KdTree::with_aux_bounds_config(pts, &lo, &hi, cfg);
@@ -287,37 +52,6 @@ fn check_corpus(pts: &[Point], seed: u64) -> Vec<u64> {
     last
 }
 
-fn forest_signature(forest: &KdForest, queries: &[Point], scalar: bool) -> Vec<u64> {
-    let mut sig = Vec::new();
-    let mut out: Vec<Neighbor> = Vec::new();
-    for round in 0..forest.rounds() {
-        for &q in queries {
-            for init in [f64::INFINITY, 2.0] {
-                let n = if scalar {
-                    forest.nearest_within_scalar(round, q, init)
-                } else {
-                    forest.nearest_within(round, q, init)
-                };
-                push_neighbor(&mut sig, n);
-            }
-            for m in [1usize, 3] {
-                out.clear();
-                if scalar {
-                    forest.m_nearest_into_scalar(round, q, m, &mut out);
-                } else {
-                    forest.m_nearest_into(round, q, m, &mut out);
-                }
-                sig.push(out.len() as u64);
-                for n in &out {
-                    sig.push(n.id as u64);
-                    sig.push(n.dist.to_bits());
-                }
-            }
-        }
-    }
-    sig
-}
-
 fn check_forest(pts: &[Point], seed: u64) {
     let mut forest = KdForest::new();
     // Uneven rounds, including an empty one: partial lane batches at
@@ -326,7 +60,7 @@ fn check_forest(pts: &[Point], seed: u64) {
     forest.push_round(&[]);
     forest.push_round(&pts[pts.len() / 3..]);
     forest.push_round(pts);
-    let queries = random_queries(4, pts, seed ^ 0xF0);
+    let queries = corpus::queries_for(4, pts, seed ^ 0xF0);
     assert_eq!(
         forest_signature(&forest, &queries, false),
         forest_signature(&forest, &queries, true),
@@ -335,34 +69,12 @@ fn check_forest(pts: &[Point], seed: u64) {
     );
 }
 
-fn random_uncertain(n: usize, seed: u64) -> Vec<Uncertain> {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0xD15C);
-    (0..n)
-        .map(|_| {
-            Uncertain::uniform_disk(
-                Point::new(rng.random_range(-20.0..20.0), rng.random_range(-20.0..20.0)),
-                rng.random_range(0.3..2.5),
-            )
-        })
-        .collect()
-}
-
 /// Full quantify fast path (`prune_radius` + seeded arena fold + winners
 /// decode) against its scalar twin: membership probabilities bit-equal.
 fn check_montecarlo(points: &[Uncertain], seed: u64) {
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x4D43);
     let index = MonteCarloIndex::build(points, 64, McBackend::KdTree, &mut rng);
-    let queries = {
-        let mut qrng = SmallRng::seed_from_u64(seed ^ 0x9);
-        (0..6)
-            .map(|_| {
-                Point::new(
-                    qrng.random_range(-25.0..25.0),
-                    qrng.random_range(-25.0..25.0),
-                )
-            })
-            .collect::<Vec<_>>()
-    };
+    let queries = corpus::query_points(6, seed ^ 0x9, 25.0);
     let (mut pi, mut pi_scalar) = (Vec::new(), Vec::new());
     for &q in &queries {
         let pr = index.prune_radius(q);
@@ -385,12 +97,12 @@ proptest! {
 
     #[test]
     fn kd_tree_batched_matches_scalar(n in 1usize..140, seed in 0u64..1_000_000) {
-        check_corpus(&random_points(n, seed), seed);
+        check_corpus(&corpus::points(n, seed), seed);
     }
 
     #[test]
     fn forest_batched_matches_scalar(n in 2usize..100, seed in 0u64..1_000_000) {
-        check_forest(&random_points(n, seed), seed);
+        check_forest(&corpus::points(n, seed), seed);
     }
 }
 
@@ -399,7 +111,7 @@ proptest! {
 
     #[test]
     fn montecarlo_batched_matches_scalar(n in 1usize..16, seed in 0u64..1_000_000) {
-        check_montecarlo(&random_uncertain(n, seed), seed);
+        check_montecarlo(&corpus::uniform_disks(n, seed ^ 0xD15C, 0.3, 2.5), seed);
     }
 
     #[test]
@@ -430,9 +142,8 @@ proptest! {
 // never produces: tombstone-shaped id gaps, re-inserted duplicates).
 // ---------------------------------------------------------------------------
 
-fn churn_survivors(initial: usize, ops: &[(bool, u64)], seed: u64) -> Vec<Uncertain> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let config = DynamicPnnConfig {
+fn churn_config() -> DynamicPnnConfig {
+    DynamicPnnConfig {
         base: PnnConfig {
             epsilon: 0.05,
             delta: 0.01,
@@ -440,34 +151,7 @@ fn churn_survivors(initial: usize, ops: &[(bool, u64)], seed: u64) -> Vec<Uncert
         },
         mc_rounds: 96,
         ..DynamicPnnConfig::default()
-    };
-    let mut index =
-        DynamicPnnIndex::with_config(config).unwrap_or_else(|e| panic!("config rejected: {e}"));
-    let mut mirror: BTreeMap<PointId, Uncertain> = BTreeMap::new();
-    let fresh = |rng: &mut SmallRng| {
-        Uncertain::uniform_disk(
-            Point::new(rng.random_range(-20.0..20.0), rng.random_range(-20.0..20.0)),
-            rng.random_range(0.3..2.5),
-        )
-    };
-    for _ in 0..initial {
-        let p = fresh(&mut rng);
-        let id = index.insert(p.clone());
-        mirror.insert(id, p);
     }
-    for &(is_insert, raw) in ops {
-        if is_insert {
-            let p = fresh(&mut rng);
-            let id = index.insert(p.clone());
-            mirror.insert(id, p);
-        } else if !mirror.is_empty() {
-            let keys: Vec<PointId> = mirror.keys().copied().collect();
-            let victim = keys[(raw as usize) % keys.len()];
-            assert!(index.remove(victim), "mirror says {victim} is live");
-            mirror.remove(&victim);
-        }
-    }
-    mirror.into_values().collect()
 }
 
 proptest! {
@@ -479,7 +163,7 @@ proptest! {
         ops in proptest::collection::vec((proptest::bool::ANY, 0u64..1_000_000), 4..24),
         seed in 0u64..10_000,
     ) {
-        let survivors = churn_survivors(initial, &ops, seed);
+        let survivors = churn::survivors(initial, &ops, seed, churn_config());
         if survivors.is_empty() {
             return Ok(());
         }
@@ -495,45 +179,14 @@ proptest! {
 // Adversarial geometry
 // ---------------------------------------------------------------------------
 
-fn adversarial_corpora() -> Vec<(&'static str, Vec<Point>)> {
-    let p = Point::new;
-    let mut coincident = vec![p(1.5, -2.5); 19];
-    coincident.extend([p(1.5, -2.5000001), p(-4.0, 8.0), p(0.0, 0.0)]);
-    let collinear: Vec<Point> = (0..40).map(|i| p(-1e6 + i as f64 * 3.7e4, 5.0)).collect();
-    let tiny = [0.0, 5e-324, -5e-324, 1e-308, -1e-308, 2.5e-308, 4.9e-300];
-    let mut denormal = Vec::new();
-    for &x in &tiny {
-        for &y in &tiny {
-            denormal.push(p(x, y));
-        }
-    }
-    let huge = vec![
-        p(1e308, 1e308),
-        p(-1e308, 1e308),
-        p(1e308, -1e308),
-        p(-1e308, -1e308),
-        p(1e308, 0.0),
-        p(0.0, -1e308),
-        p(0.0, 0.0),
-        p(1.0, 1.0),
-        p(1e154, -1e154),
-    ];
-    vec![
-        ("coincident", coincident),
-        ("collinear", collinear),
-        ("denormal", denormal),
-        ("huge", huge),
-    ]
-}
-
 #[test]
 fn adversarial_geometry_batched_matches_scalar() {
-    for (name, pts) in adversarial_corpora() {
+    for (name, pts) in corpus::adversarial() {
         // Zero offsets everywhere: exact ties in every adjusted kernel,
         // including the prune_with_cap tie-at-the-minimum contract case
         // on the coincident corpus.
         let zeros = vec![0.0; pts.len()];
-        let boxes = support_boxes(&pts, &zeros);
+        let boxes = corpus::support_boxes(&pts, &zeros);
         let mut queries = vec![
             pts[0],
             pts[pts.len() - 1],
@@ -551,9 +204,9 @@ fn adversarial_geometry_batched_matches_scalar() {
             );
         }
         // And once more with nontrivial asymmetric offsets.
-        let (lo, hi) = random_aux(pts.len(), 0x5A5A);
+        let (lo, hi) = corpus::aux_offsets(pts.len(), 0x5A5A);
         let tree = KdTree::with_aux_bounds_config(&pts, &lo, &hi, KdConfig::scan_heavy());
-        let boxes = support_boxes(&pts, &lo);
+        let boxes = corpus::support_boxes(&pts, &lo);
         assert_eq!(
             kd_signature(&tree, &pts, &lo, &boxes, &queries, false),
             kd_signature(&tree, &pts, &lo, &boxes, &queries, true),
@@ -571,10 +224,10 @@ fn adversarial_geometry_batched_matches_scalar() {
 
 #[test]
 fn concurrent_queries_are_bit_identical() {
-    let pts = random_points(300, 0xBEEF);
-    let (lo, hi) = random_aux(pts.len(), 0xBEEF);
-    let boxes = support_boxes(&pts, &lo);
-    let queries = random_queries(6, &pts, 0xBEEF);
+    let pts = corpus::points(300, 0xBEEF);
+    let (lo, hi) = corpus::aux_offsets(pts.len(), 0xBEEF);
+    let boxes = corpus::support_boxes(&pts, &lo);
+    let queries = corpus::queries_for(6, &pts, 0xBEEF);
     let tree = KdTree::with_aux_bounds_config(&pts, &lo, &hi, KdConfig::scan_heavy());
     let reference = kd_signature(&tree, &pts, &lo, &boxes, &queries, false);
     let reference_scalar = kd_signature(&tree, &pts, &lo, &boxes, &queries, true);

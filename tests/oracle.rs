@@ -10,54 +10,25 @@
 //! `PnnConfig::seed`, so these are regression tests, not flaky
 //! probabilistic ones.
 
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
-use unn::distr::DiscreteDistribution;
 use unn::geom::Point;
 use unn::observe::{NullClock, QueryOutcome};
 use unn::quantify::ADAPTIVE_MIN_ROUNDS;
 use unn::{PnnIndex, QuantifyMethod, QuantifyOutcome, QueryBudget, Uncertain, UnnError};
+use unn_testkit::{corpus as kit, max_abs_diff};
 
 const EPS: f64 = 0.05;
 const DELTA: f64 = 0.01;
 
 fn corpus(n: usize, k: usize, seed: u64) -> Vec<Uncertain> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| {
-            let cx: f64 = rng.random_range(-25.0..25.0);
-            let cy: f64 = rng.random_range(-25.0..25.0);
-            let pts: Vec<Point> = (0..k)
-                .map(|_| {
-                    Point::new(
-                        cx + rng.random_range(-4.0..4.0),
-                        cy + rng.random_range(-4.0..4.0),
-                    )
-                })
-                .collect();
-            let ws: Vec<f64> = (0..k).map(|_| rng.random_range(0.1..3.0)).collect();
-            Uncertain::Discrete(DiscreteDistribution::new(pts, ws).unwrap())
-        })
-        .collect()
+    kit::weighted_discrete(n, k, seed)
 }
 
 fn queries(m: usize, seed: u64) -> Vec<Point> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    (0..m)
-        .map(|_| Point::new(rng.random_range(-30.0..30.0), rng.random_range(-30.0..30.0)))
-        .collect()
+    kit::query_points(m, seed, 30.0)
 }
 
 fn shared() -> (PnnIndex, Vec<Point>) {
     (PnnIndex::new(corpus(24, 4, 900)), queries(12, 901))
-}
-
-fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y).abs())
-        .fold(0.0, f64::max)
 }
 
 /// `rounds_used` must land on the doubling checkpoint schedule

@@ -1,0 +1,402 @@
+//! The f32 filter tier's equivalence contract: with
+//! [`FilterPrecision::F32Refined`] every read path — nearest, m-nearest,
+//! disk reports, capped reports, weighted minima, box minima, prune folds,
+//! forests, the Monte-Carlo quantify pipeline, and the dynamic engine —
+//! must be **bit-identical** to the exact-f64 default, on every shared
+//! testkit corpus, at any query parallelism.
+//!
+//! On top of the broad equivalence sweep, `NearTieForge` supplies directed
+//! instances whose f32 distances tie while the f64 distances differ, with
+//! the shared f32 value rounding *above* the farther exact distance: these
+//! cases answer wrongly under any unwidened f32 admission gate (see the
+//! forge's module docs), so this suite fails if the conservative widening
+//! band of `f32_widened_threshold` is ever removed or narrowed below the
+//! true error.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use unn::dynamic::{DynamicPnnConfig, DynamicPnnIndex};
+use unn::PnnConfig;
+use unn_geom::Point;
+use unn_quantify::{McBackend, MonteCarloIndex};
+use unn_spatial::{FilterPrecision, KdConfig, KdForest, KdTree};
+use unn_testkit::sig::{configs, forest_signature, kd_signature};
+use unn_testkit::{churn, corpus, NearTieForge};
+
+/// Builds the F64 and F32Refined twins of one corpus under one layout and
+/// asserts their full batched signatures (and the f32 tree's scalar
+/// signature, which must ignore the filter entirely) are bit-identical.
+fn check_precision_pair(pts: &[Point], queries: &[Point], lo: &[f64], hi: &[f64], label: &str) {
+    let boxes = corpus::support_boxes(pts, lo);
+    for cfg in configs() {
+        let t64 = KdTree::with_aux_bounds_config(pts, lo, hi, cfg);
+        let t32 = KdTree::with_aux_bounds_config(
+            pts,
+            lo,
+            hi,
+            cfg.with_filter(FilterPrecision::F32Refined),
+        );
+        assert_eq!(t64.filter_precision(), FilterPrecision::F64);
+        assert_eq!(t32.filter_precision(), FilterPrecision::F32Refined);
+        let sig64 = kd_signature(&t64, pts, lo, &boxes, queries, false);
+        let sig32 = kd_signature(&t32, pts, lo, &boxes, queries, false);
+        assert_eq!(
+            sig64, sig32,
+            "f32-filtered batched path diverged from f64 on `{label}` under {cfg:?}"
+        );
+        let scalar32 = kd_signature(&t32, pts, lo, &boxes, queries, true);
+        assert_eq!(
+            sig32, scalar32,
+            "scalar oracle diverged on the f32-filtered tree on `{label}` under {cfg:?}"
+        );
+    }
+    // Forest twins: same rounds, filters differ.
+    if pts.len() >= 3 {
+        let mut f64_forest = KdForest::new();
+        let mut f32_forest = KdForest::new();
+        f32_forest.set_filter(FilterPrecision::F32Refined);
+        for f in [&mut f64_forest, &mut f32_forest] {
+            f.push_round(&pts[..pts.len() / 3]);
+            f.push_round(&[]);
+            f.push_round(&pts[pts.len() / 3..]);
+            f.push_round(pts);
+        }
+        assert_eq!(
+            forest_signature(&f64_forest, queries, false),
+            forest_signature(&f32_forest, queries, false),
+            "forest f32/f64 divergence on `{label}`"
+        );
+    }
+}
+
+fn check_named(pts: &[Point], seed: u64, label: &str) {
+    let (lo, hi) = corpus::aux_offsets(pts.len(), seed);
+    let queries = corpus::queries_for(5, pts, seed);
+    check_precision_pair(pts, &queries, &lo, &hi, label);
+}
+
+// ---------------------------------------------------------------------------
+// Random and churned corpora (proptest)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn f32_refined_matches_f64_on_random_corpora(n in 1usize..140, seed in 0u64..1_000_000) {
+        check_named(&corpus::points(n, seed), seed, "random");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn f32_refined_matches_f64_on_churned_corpora(
+        initial in 3usize..10,
+        ops in proptest::collection::vec((proptest::bool::ANY, 0u64..1_000_000), 4..24),
+        seed in 0u64..10_000,
+    ) {
+        let config = DynamicPnnConfig {
+            base: PnnConfig { epsilon: 0.05, delta: 0.01, ..PnnConfig::default() },
+            mc_rounds: 96,
+            ..DynamicPnnConfig::default()
+        };
+        let survivors = churn::survivors(initial, &ops, seed, config);
+        if survivors.is_empty() {
+            return Ok(());
+        }
+        let centers: Vec<Point> = survivors
+            .iter()
+            .map(|u| {
+                use unn_distr::UncertainPoint;
+                u.support_bbox().center()
+            })
+            .collect();
+        check_named(&centers, seed ^ 0xC2, "churned");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial geometry, including the 1e308 scale-guard fallback and the
+// denormal underflow regime.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn f32_refined_matches_f64_on_adversarial_corpora() {
+    for (name, pts) in corpus::adversarial() {
+        let zeros = vec![0.0; pts.len()];
+        let mut queries = vec![
+            pts[0],
+            pts[pts.len() - 1],
+            Point::new(0.0, 0.0),
+            Point::new(1e-308, -5e-324),
+            Point::new(7.25, -7.25),
+        ];
+        // Beyond F32_SAFE_SCALE from the query side: the per-query
+        // fallback to the exact fill must keep the signatures equal.
+        queries.push(Point::new(1e308, 1e307));
+        check_precision_pair(&pts, &queries, &zeros, &zeros, name);
+        let (lo, hi) = corpus::aux_offsets(pts.len(), 0x5A5A);
+        check_precision_pair(&pts, &queries, &lo, &hi, name);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread determinism at 1 / 2 / 8 threads: the f32-filtered tree must
+// reproduce the f64 reference signature from any number of concurrent
+// readers.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn f32_refined_is_bit_identical_across_threads() {
+    let mut corpora: Vec<(String, Vec<Point>)> = corpus::adversarial()
+        .into_iter()
+        .map(|(n, p)| (n.to_string(), p))
+        .collect();
+    corpora.push(("random".into(), corpus::points(300, 0xF32)));
+    for (name, pts) in corpora {
+        let (lo, hi) = corpus::aux_offsets(pts.len(), 0xF32);
+        let boxes = corpus::support_boxes(&pts, &lo);
+        let queries = corpus::queries_for(4, &pts, 0xF32);
+        let cfg = KdConfig::scan_heavy();
+        let t64 = KdTree::with_aux_bounds_config(&pts, &lo, &hi, cfg);
+        let t32 = KdTree::with_aux_bounds_config(
+            &pts,
+            &lo,
+            &hi,
+            cfg.with_filter(FilterPrecision::F32Refined),
+        );
+        let reference = kd_signature(&t64, &pts, &lo, &boxes, &queries, false);
+        for threads in [1usize, 2, 8] {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| scope.spawn(|| kd_signature(&t32, &pts, &lo, &boxes, &queries, false)))
+                    .collect();
+                for h in handles {
+                    let got = h.join().expect("query thread panicked");
+                    assert_eq!(
+                        got, reference,
+                        "f32 signature diverged from f64 reference on `{name}` at {threads} threads"
+                    );
+                }
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Directed near-tie cases: wrong under any unwidened f32 gate.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn forged_near_ties_answer_identically_and_correctly() {
+    let mut forge = NearTieForge::new(0x7165);
+    for inst in forge.forge_many(48, 6) {
+        let zeros = vec![0.0; inst.points.len()];
+        for cfg in configs() {
+            let t64 = KdTree::with_aux_bounds_config(&inst.points, &zeros, &zeros, cfg);
+            let t32 = KdTree::with_aux_bounds_config(
+                &inst.points,
+                &zeros,
+                &zeros,
+                cfg.with_filter(FilterPrecision::F32Refined),
+            );
+            // Open-threshold nearest: the true f64 winner, both tiers.
+            let n64 = t64.nearest_within(inst.query, f64::INFINITY);
+            let n32 = t32.nearest_within(inst.query, f64::INFINITY);
+            assert_eq!(n64, n32, "nearest diverged under {cfg:?}");
+            let n = n64.unwrap_or_else(|| panic!("nonempty corpus must have a nearest"));
+            assert_eq!(
+                n.id, inst.true_nearest,
+                "f32 numbers answered instead of rejecting"
+            );
+            assert_eq!(n.dist.to_bits(), inst.d_near.to_bits());
+
+            // Tight-threshold probe at t0 = d_far: both tied points pass
+            // the exact gate but both f32 fills exceed t0, so an unwidened
+            // gate rejects the pair outright and this assertion fails.
+            let p64 = t64.nearest_within(inst.query, inst.d_far * (1.0 + 1e-12));
+            let p32 = t32.nearest_within(inst.query, inst.d_far * (1.0 + 1e-12));
+            assert_eq!(p64, p32, "tight-threshold nearest diverged under {cfg:?}");
+            let p = p64.unwrap_or_else(|| panic!("true nearest lies inside the probe threshold"));
+            assert_eq!(p.id, inst.true_nearest);
+        }
+        // Full battery over the forged corpus for good measure.
+        let queries = vec![inst.query];
+        check_precision_pair(&inst.points, &queries, &zeros, &zeros, "near-tie");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mid-batch threshold tightening (regression for the widened-threshold
+// cache): several tied pairs stacked into ONE leaf in descending radius
+// order, so the admission threshold tightens repeatedly *within a single
+// fill batch* and the widened threshold must be recomputed per slot.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn mid_batch_tightened_threshold_gates_identically() {
+    let mut forge = NearTieForge::new(0xBA7C);
+    let q = Point::new(0.25, -0.5);
+    let mut pts: Vec<Point> = Vec::new();
+    for r in [40.0, 20.0, 10.0, 5.0, 2.5] {
+        let pair = forge.forge_pair_at(q, r);
+        pts.push(pair.far);
+        pts.push(pair.near);
+    }
+    // A final point closer than every tie: the last tightening.
+    pts.push(Point::new(q.x + 1.0, q.y));
+    // One flat leaf: the scan visits all slots in a single batch, so every
+    // tightening lands mid-batch rather than at a node boundary.
+    let one_leaf = KdConfig {
+        leaf_size: 1024,
+        brute_force_below: 1024,
+        ..KdConfig::default()
+    };
+    let zeros = vec![0.0; pts.len()];
+    let boxes = corpus::support_boxes(&pts, &zeros);
+    let queries = vec![q];
+    let t64 = KdTree::with_aux_bounds_config(&pts, &zeros, &zeros, one_leaf);
+    let t32 = KdTree::with_aux_bounds_config(
+        &pts,
+        &zeros,
+        &zeros,
+        one_leaf.with_filter(FilterPrecision::F32Refined),
+    );
+    assert_eq!(
+        kd_signature(&t64, &pts, &zeros, &boxes, &queries, false),
+        kd_signature(&t32, &pts, &zeros, &boxes, &queries, false),
+        "mid-batch tightening gated differently in the f32-filtered path"
+    );
+    assert_eq!(
+        kd_signature(&t32, &pts, &zeros, &boxes, &queries, false),
+        kd_signature(&t32, &pts, &zeros, &boxes, &queries, true),
+        "f32-filtered path diverged from the scalar oracle under mid-batch tightening"
+    );
+    // The winner is the final tightener, reached only after every tied
+    // pair re-widened the cached threshold.
+    let n = t64
+        .nearest_within(q, f64::INFINITY)
+        .unwrap_or_else(|| panic!("corpus is nonempty"));
+    assert_eq!(n.id, pts.len() - 1);
+    assert_eq!(
+        n,
+        t32.nearest_within(q, f64::INFINITY)
+            .unwrap_or_else(|| panic!("twin"))
+    );
+}
+
+// ---------------------------------------------------------------------------
+// The tier threaded end to end: Monte-Carlo quantify pipeline and the
+// dynamic engine must be bit-identical under both precisions.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn montecarlo_pipeline_f32_matches_f64() {
+    let points = corpus::uniform_disks(14, 0x4D43, 0.3, 2.5);
+    let build = |filter| {
+        let mut rng = SmallRng::seed_from_u64(0x4D43);
+        MonteCarloIndex::build_with_filter(&points, 64, McBackend::KdTree, &mut rng, filter)
+    };
+    let i64 = build(FilterPrecision::F64);
+    let i32_ = build(FilterPrecision::F32Refined);
+    let (mut pi64, mut pi32) = (Vec::new(), Vec::new());
+    for q in corpus::query_points(8, 0x9, 25.0) {
+        assert_eq!(
+            i64.prune_radius(q).to_bits(),
+            i32_.prune_radius(q).to_bits(),
+            "prune_radius diverged at {q:?}"
+        );
+        i64.query_into(q, &mut pi64);
+        i32_.query_into(q, &mut pi32);
+        let a: Vec<u64> = pi64.iter().map(|p| p.to_bits()).collect();
+        let b: Vec<u64> = pi32.iter().map(|p| p.to_bits()).collect();
+        assert_eq!(a, b, "membership probabilities diverged at {q:?}");
+    }
+}
+
+#[test]
+fn dynamic_engine_f32_matches_f64() {
+    let config = |filter| DynamicPnnConfig {
+        base: PnnConfig {
+            epsilon: 0.05,
+            delta: 0.01,
+            ..PnnConfig::default()
+        },
+        mc_rounds: 128,
+        filter,
+        ..DynamicPnnConfig::default()
+    };
+    let drive = |filter| {
+        let mut index = DynamicPnnIndex::with_config(config(filter))
+            .unwrap_or_else(|e| panic!("config rejected: {e}"));
+        for p in corpus::uniform_disks(18, 0xD1F7, 0.3, 2.5) {
+            index.insert(p);
+        }
+        for victim in [2u64, 7, 11] {
+            assert!(index.remove(victim));
+        }
+        index
+    };
+    let (a, b) = (
+        drive(FilterPrecision::F64),
+        drive(FilterPrecision::F32Refined),
+    );
+    let (sa, sb) = (a.snapshot(), b.snapshot());
+    for q in corpus::query_points(10, 0xD1F8, 25.0) {
+        assert_eq!(
+            sa.nn_nonzero(q),
+            sb.nn_nonzero(q),
+            "NN!=0 diverged at {q:?}"
+        );
+        assert_eq!(sa.quantify(q), sb.quantify(q), "quantify diverged at {q:?}");
+        assert_eq!(
+            sa.quantify_adaptive(q, 0.05, 0.01),
+            sb.quantify_adaptive(q, 0.05, 0.01),
+            "adaptive diverged at {q:?}"
+        );
+    }
+}
+
+#[test]
+fn serve_tier_f32_matches_f64() {
+    use std::sync::Arc;
+    use unn::serve::{DispatchConfig, Dispatcher, Request, ServeConfig, ShardPolicy, ShardSet};
+    use unn_observe::NullClock;
+
+    let points = corpus::weighted_discrete(18, 3, 0x53F2);
+    let serve = |filter| {
+        let cfg = ServeConfig {
+            mc_rounds: 128,
+            filter,
+            ..ServeConfig::default()
+        };
+        let mut set = ShardSet::new(3, ShardPolicy::Hash, cfg)
+            .unwrap_or_else(|e| panic!("serve config rejected: {e}"));
+        for p in &points {
+            set.insert(p.clone());
+        }
+        set.snapshot()
+    };
+    let (snap64, snap32) = (
+        serve(FilterPrecision::F64),
+        serve(FilterPrecision::F32Refined),
+    );
+    let queries = corpus::query_points(8, 0x53F3, 25.0);
+    let requests: Vec<Request> = queries.iter().map(|&q| Request::Quantify(q)).collect();
+    let mut d64 = Dispatcher::for_snapshot(&snap64, DispatchConfig::default(), Arc::new(NullClock))
+        .unwrap_or_else(|e| panic!("dispatcher: {e}"));
+    let mut d32 = Dispatcher::for_snapshot(&snap32, DispatchConfig::default(), Arc::new(NullClock))
+        .unwrap_or_else(|e| panic!("dispatcher: {e}"));
+    let (r64, r32) = (d64.serve(&requests), d32.serve(&requests));
+    assert_eq!(r64.len(), r32.len());
+    for (x, y) in r64.iter().zip(&r32) {
+        assert_eq!(
+            format!("{:?}", x.outcome),
+            format!("{:?}", y.outcome),
+            "serve outcome diverged between precisions"
+        );
+    }
+}
