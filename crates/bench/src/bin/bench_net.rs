@@ -1,0 +1,217 @@
+//! Transport overhead benchmark for the network serving tier; writes
+//! `BENCH_net.json` (qps and ns/query for in-process, loopback, and
+//! localhost-TCP serving, with wire bytes per query and the framing
+//! overhead against the in-process baseline) at the repo root.
+//!
+//! ```sh
+//! cargo run -p unn-bench --release --bin bench_net
+//! ```
+//!
+//! Three phases over the same shard set and the same request stream:
+//!
+//! * **in_process** — direct `Dispatcher::serve` calls, the baseline;
+//! * **loopback** — the full wire protocol (encode → frame → server state
+//!   machine → decode) through the in-memory duplex, no socket;
+//! * **tcp** — the same through a real localhost socket.
+//!
+//! The run *asserts* its own contract: every loopback and TCP reply is
+//! bit-identical to the in-process baseline, nothing is retried or
+//! reconnected, and the wire moves a nonzero number of bytes.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use unn::geom::Point;
+use unn::net::{tcp_connector, ClientConfig, LoopbackDuplex, NetClient, NetServer, ServerConfig};
+use unn::observe::NullClock;
+use unn::serve::{
+    DispatchConfig, Dispatcher, Reply, Request, ServeConfig, ShardPolicy, ShardSet,
+    ShardSetSnapshot,
+};
+use unn::Uncertain;
+
+const N_SHARDS: usize = 4;
+const N_POINTS: usize = 2_048;
+const S: usize = 192;
+const BATCHES: usize = 40;
+const BATCH_SIZE: usize = 32;
+
+fn build_set(rng: &mut SmallRng) -> ShardSet {
+    let cfg = ServeConfig {
+        mc_rounds: S,
+        ..ServeConfig::default()
+    };
+    let mut set =
+        ShardSet::new(N_SHARDS, ShardPolicy::Hash, cfg).expect("static serve config is valid");
+    for _ in 0..N_POINTS {
+        set.insert(Uncertain::uniform_disk(
+            Point::new(rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)),
+            rng.random_range(0.5..2.0),
+        ));
+    }
+    set
+}
+
+fn batches(seed: u64) -> Vec<Vec<Request>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..BATCHES)
+        .map(|_| {
+            (0..BATCH_SIZE)
+                .map(|i| {
+                    let q = Point::new(rng.random_range(0.0..100.0), rng.random_range(0.0..100.0));
+                    if i % 4 == 0 {
+                        Request::NnNonzero(q)
+                    } else {
+                        Request::Quantify(q)
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The deterministic dispatcher every phase serves from: NullClock, so
+/// replies carry no wall-clock jitter and bit-identity is checkable.
+fn dispatcher(snap: &ShardSetSnapshot) -> Dispatcher {
+    let cfg = DispatchConfig {
+        threads: Some(4),
+        ..DispatchConfig::default()
+    };
+    Dispatcher::for_snapshot(snap, cfg, Arc::new(NullClock))
+        .expect("static dispatch config is valid")
+}
+
+struct PhaseResult {
+    name: &'static str,
+    queries: u64,
+    qps: f64,
+    ns_per_query: f64,
+    bytes_out_per_query: f64,
+    bytes_in_per_query: f64,
+    frames_out: u64,
+    frames_in: u64,
+    overhead_ns_per_query: f64,
+    overhead_pct: f64,
+}
+
+fn phase_result(
+    name: &'static str,
+    wall: Duration,
+    stats: Option<unn::net::ClientStats>,
+    baseline_ns: Option<f64>,
+) -> PhaseResult {
+    let queries = (BATCHES * BATCH_SIZE) as u64;
+    let ns_per_query = wall.as_nanos() as f64 / queries as f64;
+    let overhead = baseline_ns.map(|b| ns_per_query - b).unwrap_or(0.0);
+    let stats = stats.unwrap_or_default();
+    PhaseResult {
+        name,
+        queries,
+        qps: queries as f64 / wall.as_secs_f64(),
+        ns_per_query,
+        bytes_out_per_query: stats.bytes_out as f64 / queries as f64,
+        bytes_in_per_query: stats.bytes_in as f64 / queries as f64,
+        frames_out: stats.frames_out,
+        frames_in: stats.frames_in,
+        overhead_ns_per_query: overhead,
+        overhead_pct: baseline_ns.map(|b| 100.0 * overhead / b).unwrap_or(0.0),
+    }
+}
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(0xbe7c0);
+    let set = build_set(&mut rng);
+    let snap = set.snapshot();
+    let reqs = batches(0x4e7);
+
+    // Phase 1: in-process baseline (also the bit-identity oracle).
+    let mut d = dispatcher(&snap);
+    let start = Instant::now();
+    let oracle: Vec<Vec<Reply>> = reqs.iter().map(|b| d.serve(b)).collect();
+    let in_process = phase_result("in_process", start.elapsed(), None, None);
+
+    // Phase 2: loopback — full codec + server state machine, no socket.
+    let mut client = NetClient::new(
+        LoopbackDuplex::connector(
+            Arc::new(Mutex::new(dispatcher(&snap))),
+            ServerConfig::default(),
+        ),
+        ClientConfig::default(),
+        Arc::new(NullClock),
+    );
+    let start = Instant::now();
+    for (b, want) in reqs.iter().zip(&oracle) {
+        let got = client.serve(b).expect("loopback serve");
+        assert_eq!(&got, want, "loopback replies must be bit-identical");
+    }
+    let wall = start.elapsed();
+    let stats = client.stats();
+    assert_eq!(stats.reconnects, 0);
+    assert_eq!(stats.retried_attempts, 0);
+    assert!(stats.bytes_out > 0 && stats.bytes_in > 0);
+    let loopback = phase_result("loopback", wall, Some(stats), Some(in_process.ns_per_query));
+
+    // Phase 3: localhost TCP.
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        Arc::new(Mutex::new(dispatcher(&snap))),
+        ServerConfig::default(),
+    )
+    .expect("bind 127.0.0.1:0");
+    let mut client = NetClient::new(
+        tcp_connector(server.local_addr(), Duration::from_secs(30)),
+        ClientConfig::default(),
+        Arc::new(NullClock),
+    );
+    let start = Instant::now();
+    for (b, want) in reqs.iter().zip(&oracle) {
+        let got = client.serve(b).expect("tcp serve");
+        assert_eq!(&got, want, "TCP replies must be bit-identical");
+    }
+    let wall = start.elapsed();
+    let stats = client.stats();
+    assert_eq!(stats.reconnects, 0);
+    assert_eq!(stats.retried_attempts, 0);
+    let tcp = phase_result("tcp", wall, Some(stats), Some(in_process.ns_per_query));
+    server.shutdown();
+
+    let mut out = String::from("{\n  \"bench\": \"net\",\n");
+    out.push_str(&format!(
+        "  \"shards\": {N_SHARDS},\n  \"n\": {N_POINTS},\n  \"s\": {S},\n"
+    ));
+    out.push_str(&format!(
+        "  \"batch_size\": {BATCH_SIZE},\n  \"batches\": {BATCHES},\n"
+    ));
+    out.push_str(
+        "  \"unit\": { \"qps\": \"queries_per_sec\", \"overhead\": \"ns_per_query_vs_in_process\" },\n",
+    );
+    out.push_str("  \"phases\": [\n");
+    let phases = [in_process, loopback, tcp];
+    for (i, p) in phases.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"phase\": \"{}\", \"queries\": {}, \"qps\": {:.1}, \"ns_per_query\": {:.0}, \"bytes_out_per_query\": {:.1}, \"bytes_in_per_query\": {:.1}, \"frames_out\": {}, \"frames_in\": {}, \"overhead_ns_per_query\": {:.0}, \"overhead_pct\": {:.1} }}{}\n",
+            p.name,
+            p.queries,
+            p.qps,
+            p.ns_per_query,
+            p.bytes_out_per_query,
+            p.bytes_in_per_query,
+            p.frames_out,
+            p.frames_in,
+            p.overhead_ns_per_query,
+            p.overhead_pct,
+            if i + 1 < phases.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write("BENCH_net.json", &out).expect("write BENCH_net.json");
+    println!("{out}");
+    for p in &phases {
+        eprintln!(
+            "{:>11}: {:>9.0} qps, {:>8.0} ns/query, {:>6.1}/{:>6.1} bytes out/in per query",
+            p.name, p.qps, p.ns_per_query, p.bytes_out_per_query, p.bytes_in_per_query
+        );
+    }
+}

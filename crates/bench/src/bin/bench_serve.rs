@@ -238,6 +238,7 @@ fn main() {
                 work_capacity: (S as u64) * (BATCH_SIZE as u64) / 4,
                 nn_cost: 8,
                 capped_rounds: 64,
+                feedback: None,
             },
             ..base
         },

@@ -49,10 +49,12 @@ pub mod dynamic;
 pub mod evd;
 pub mod expected;
 pub mod index;
+pub mod net;
 pub mod observe;
 pub mod resilience;
 pub mod serve;
 pub mod set;
+pub mod wire;
 
 pub use batch::{query_stream_seed, BatchOptions, BatchOutcome};
 pub use dynamic::{CompactionPolicy, DynamicPnnConfig, DynamicPnnIndex, DynamicSnapshot, PointId};

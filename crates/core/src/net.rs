@@ -1,0 +1,33 @@
+//! Façade over the [`unn_net`] network transport.
+//!
+//! Everything needed to serve a [`Dispatcher`](crate::serve::Dispatcher)
+//! over TCP or in-memory loopback, re-exported under the core crate:
+//!
+//! ```no_run
+//! use std::sync::{Arc, Mutex};
+//! use std::time::Duration;
+//! use unn::geom::Point;
+//! use unn::net::{tcp_connector, ClientConfig, NetClient, NetServer, ServerConfig};
+//! use unn::observe::MonotonicClock;
+//! use unn::serve::{DispatchConfig, Dispatcher, Request, ServeConfig, ShardPolicy, ShardSet};
+//!
+//! let mut set = ShardSet::new(3, ShardPolicy::Hash, ServeConfig::default()).unwrap();
+//! set.insert(unn::Uncertain::uniform_disk(Point::new(0.0, 0.0), 1.0));
+//! let clock = Arc::new(MonotonicClock);
+//! let d = Dispatcher::for_snapshot(&set.snapshot(), DispatchConfig::default(), clock.clone()).unwrap();
+//! let server = NetServer::bind("127.0.0.1:0", Arc::new(Mutex::new(d)), ServerConfig::default()).unwrap();
+//!
+//! let mut client = NetClient::new(
+//!     tcp_connector(server.local_addr(), Duration::from_secs(5)),
+//!     ClientConfig::default(),
+//!     clock,
+//! );
+//! let replies = client.serve(&[Request::NnNonzero(Point::new(0.5, 0.5))]).unwrap();
+//! assert_eq!(replies.len(), 1);
+//! server.shutdown();
+//! ```
+
+pub use unn_net::{
+    tcp_connector, ChaosDuplex, ClientConfig, ClientStats, Connection, Duplex, FrameFault,
+    LoopbackDuplex, NetClient, NetError, NetServer, ServerConfig, TcpDuplex,
+};

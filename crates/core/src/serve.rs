@@ -16,9 +16,9 @@
 
 pub use unn_serve::{
     AdmissionConfig, BreakerConfig, BreakerState, ChaosShard, CircuitBreaker, DispatchConfig,
-    Dispatcher, EngineShard, ExactView, FaultKind, InsertPolicy, Outcome, Reply, Request,
-    RetryPolicy, ServeConfig, ServeError, ShardBackend, ShardPolicy, ShardSet, ShardSetSnapshot,
-    ShedReason,
+    Dispatcher, EngineShard, ExactView, FaultKind, FeedbackConfig, InsertPolicy, Outcome, Reply,
+    Request, RetryPolicy, ServeConfig, ServeError, ShardBackend, ShardPolicy, ShardSet,
+    ShardSetSnapshot, ShedReason,
 };
 
 use crate::dynamic::DynamicPnnConfig;

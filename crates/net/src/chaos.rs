@@ -1,0 +1,89 @@
+//! Deterministic transport fault injection.
+//!
+//! [`ChaosDuplex`] wraps any [`Duplex`] and applies a *scripted* fault to
+//! each write, in order — no RNG inside the transport, so every chaos test
+//! replays exactly. Faults act on the raw framed bytes, which is where
+//! real networks corrupt: a truncated or dropped write leaves the peer
+//! waiting (a read timeout downstream), a flipped bit turns into a decoder
+//! rejection, a split write exercises reassembly.
+
+use crate::{Duplex, NetError};
+
+/// What happens to one written byte-block (one framed message).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameFault {
+    /// Pass through untouched.
+    Deliver,
+    /// Discard the bytes entirely.
+    Drop,
+    /// Deliver only the first `n` bytes.
+    Truncate(usize),
+    /// Flip bit `i` (of the framed bytes; out-of-range flips nothing).
+    CorruptBit(usize),
+    /// Deliver intact but charge `nanos` of modeled delay to the caller's
+    /// deadline budget.
+    Delay(u64),
+    /// Deliver in two separate writes, split at byte `n` — exercises
+    /// frame reassembly across chunk boundaries.
+    SplitAt(usize),
+}
+
+/// A fault-injecting wrapper over any [`Duplex`]. Writes consume the next
+/// fault in the script ([`FrameFault::Deliver`] once the script runs dry);
+/// reads pass through.
+pub struct ChaosDuplex<T> {
+    inner: T,
+    script: std::collections::VecDeque<FrameFault>,
+    injected_nanos: u64,
+}
+
+impl<T: Duplex> ChaosDuplex<T> {
+    /// Wraps `inner` with a per-write fault script.
+    pub fn new(inner: T, script: impl IntoIterator<Item = FrameFault>) -> Self {
+        Self {
+            inner,
+            script: script.into_iter().collect(),
+            injected_nanos: 0,
+        }
+    }
+
+    /// Appends more faults to the script.
+    pub fn push_faults(&mut self, faults: impl IntoIterator<Item = FrameFault>) {
+        self.script.extend(faults);
+    }
+}
+
+impl<T: Duplex> Duplex for ChaosDuplex<T> {
+    fn write(&mut self, bytes: &[u8]) -> Result<(), NetError> {
+        let fault = self.script.pop_front().unwrap_or(FrameFault::Deliver);
+        match fault {
+            FrameFault::Deliver => self.inner.write(bytes),
+            FrameFault::Drop => Ok(()),
+            FrameFault::Truncate(n) => self.inner.write(&bytes[..n.min(bytes.len())]),
+            FrameFault::CorruptBit(i) => {
+                let mut corrupted = bytes.to_vec();
+                if let Some(byte) = corrupted.get_mut(i / 8) {
+                    *byte ^= 1 << (i % 8);
+                }
+                self.inner.write(&corrupted)
+            }
+            FrameFault::Delay(nanos) => {
+                self.injected_nanos = self.injected_nanos.saturating_add(nanos);
+                self.inner.write(bytes)
+            }
+            FrameFault::SplitAt(n) => {
+                let cut = n.min(bytes.len());
+                self.inner.write(&bytes[..cut])?;
+                self.inner.write(&bytes[cut..])
+            }
+        }
+    }
+
+    fn read_frame(&mut self) -> Result<Vec<u8>, NetError> {
+        self.inner.read_frame()
+    }
+
+    fn take_injected_nanos(&mut self) -> u64 {
+        std::mem::take(&mut self.injected_nanos).saturating_add(self.inner.take_injected_nanos())
+    }
+}

@@ -1,0 +1,69 @@
+//! An in-memory duplex: the client end of a [`Connection`] with no socket.
+
+use std::sync::{Arc, Mutex};
+
+use unn_serve::Dispatcher;
+use unn_wire::frame_split;
+
+use crate::{Connection, Duplex, NetError, ServerConfig};
+
+/// The client side of an in-memory connection to a server [`Connection`]
+/// state machine. Writes feed the server synchronously; reads pop complete
+/// frames off the server's output buffer. A lost request (dropped or
+/// truncated by a chaos wrapper) surfaces as a read timeout, exactly like
+/// a real socket — the client's retry machinery takes over from there.
+pub struct LoopbackDuplex {
+    conn: Connection,
+    /// Server output bytes not yet consumed by the client.
+    out: Vec<u8>,
+}
+
+impl LoopbackDuplex {
+    /// A fresh in-memory connection to `dispatcher`.
+    pub fn new(dispatcher: Arc<Mutex<Dispatcher>>, cfg: ServerConfig) -> Self {
+        Self {
+            conn: Connection::new(dispatcher, cfg),
+            out: Vec::new(),
+        }
+    }
+
+    /// A connector closure for [`NetClient`](crate::NetClient): every dial
+    /// opens a fresh loopback connection to the same dispatcher.
+    pub fn connector(
+        dispatcher: Arc<Mutex<Dispatcher>>,
+        cfg: ServerConfig,
+    ) -> impl FnMut() -> Result<Box<dyn Duplex>, NetError> + Send + 'static {
+        move || Ok(Box::new(LoopbackDuplex::new(Arc::clone(&dispatcher), cfg)) as Box<dyn Duplex>)
+    }
+}
+
+impl Duplex for LoopbackDuplex {
+    fn write(&mut self, bytes: &[u8]) -> Result<(), NetError> {
+        self.conn.feed(bytes, &mut self.out);
+        Ok(())
+    }
+
+    fn read_frame(&mut self) -> Result<Vec<u8>, NetError> {
+        match frame_split(&self.out) {
+            Ok(Some((body, used))) => {
+                let body = body.to_vec();
+                self.out.drain(..used);
+                Ok(body)
+            }
+            Ok(None) => {
+                if self.conn.is_dead() {
+                    Err(NetError::ConnectionClosed)
+                } else {
+                    // No reply buffered: the request never reached the
+                    // server whole. A socket would block until its read
+                    // timeout; the in-memory stand-in times out instantly.
+                    Err(NetError::Io {
+                        op: "read",
+                        message: "timed out waiting for a reply".into(),
+                    })
+                }
+            }
+            Err(e) => Err(NetError::Wire(e)),
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! The `std::net` TCP transport: client stream and threaded server.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use unn_serve::Dispatcher;
+use unn_wire::frame_split;
+
+use crate::{Connection, Duplex, NetError, ServerConfig};
+
+fn io_err(op: &'static str, e: std::io::Error) -> NetError {
+    NetError::Io {
+        op,
+        message: e.to_string(),
+    }
+}
+
+/// A client-side TCP byte stream with frame reassembly and a read timeout.
+pub struct TcpDuplex {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl TcpDuplex {
+    /// Connects to `addr` with a read timeout of `read_timeout`.
+    pub fn connect(addr: SocketAddr, read_timeout: Duration) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr).map_err(|e| io_err("connect", e))?;
+        stream
+            .set_read_timeout(Some(read_timeout))
+            .map_err(|e| io_err("set_read_timeout", e))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| io_err("set_nodelay", e))?;
+        Ok(Self {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+}
+
+impl Duplex for TcpDuplex {
+    fn write(&mut self, bytes: &[u8]) -> Result<(), NetError> {
+        self.stream.write_all(bytes).map_err(|e| io_err("write", e))
+    }
+
+    fn read_frame(&mut self) -> Result<Vec<u8>, NetError> {
+        loop {
+            if let Some((body, used)) = frame_split(&self.buf)? {
+                let body = body.to_vec();
+                self.buf.drain(..used);
+                return Ok(body);
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(NetError::ConnectionClosed),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(io_err("read", e)),
+            }
+        }
+    }
+}
+
+/// A connector closure for [`NetClient`](crate::NetClient): every dial
+/// opens a fresh TCP connection to `addr`.
+pub fn tcp_connector(
+    addr: SocketAddr,
+    read_timeout: Duration,
+) -> impl FnMut() -> Result<Box<dyn Duplex>, NetError> + Send + 'static {
+    move || Ok(Box::new(TcpDuplex::connect(addr, read_timeout)?) as Box<dyn Duplex>)
+}
+
+/// A threaded TCP server over a shared [`Dispatcher`]: one accept loop,
+/// one thread per connection, each driving the same sans-io
+/// [`Connection`] state machine the loopback transport uses.
+pub struct NetServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts accepting.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        dispatcher: Arc<Mutex<Dispatcher>>,
+        cfg: ServerConfig,
+    ) -> Result<Self, NetError> {
+        let listener = TcpListener::bind(addr).map_err(|e| io_err("bind", e))?;
+        let local = listener.local_addr().map_err(|e| io_err("local_addr", e))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| io_err("set_nonblocking", e))?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name("unn-net-accept".into())
+            .spawn(move || accept_loop(listener, dispatcher, cfg, flag))
+            .map_err(|e| io_err("spawn", e))?;
+        Ok(Self {
+            addr: local,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, waits for in-flight connections to drain, and
+    /// joins every server thread.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    dispatcher: Arc<Mutex<Dispatcher>>,
+    cfg: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let d = Arc::clone(&dispatcher);
+                let flag = Arc::clone(&shutdown);
+                let spawned = std::thread::Builder::new()
+                    .name("unn-net-conn".into())
+                    .spawn(move || serve_connection(stream, d, cfg, flag));
+                match spawned {
+                    Ok(handle) => workers.push(handle),
+                    Err(_) => {
+                        // Thread spawn failed (resource exhaustion): drop
+                        // the connection rather than the whole server.
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+        workers.retain(|h| !h.is_finished());
+    }
+    for handle in workers {
+        let _ = handle.join();
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    dispatcher: Arc<Mutex<Dispatcher>>,
+    cfg: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+) {
+    let mut stream = stream;
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    let mut conn = Connection::new(dispatcher, cfg);
+    let mut out = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => {
+                conn.feed(&chunk[..n], &mut out);
+                if !out.is_empty() {
+                    if stream.write_all(&out).is_err() {
+                        return;
+                    }
+                    out.clear();
+                }
+                if conn.is_dead() {
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == ErrorKind::WouldBlock
+                    || e.kind() == ErrorKind::TimedOut
+                    || e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}

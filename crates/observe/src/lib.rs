@@ -329,6 +329,163 @@ pub fn take_counters() -> CounterSet {
 }
 
 // ---------------------------------------------------------------------------
+// Network transport counters (process-global; zero-cost when disabled)
+// ---------------------------------------------------------------------------
+
+/// Totals from the network-transport hooks (`unn-net`). Unlike the
+/// per-query [`CounterSet`] these are process-global atomics: transport
+/// I/O happens on connection threads, not inside an observed query, so
+/// thread-local accumulation would lose the counts. All zeros when the
+/// `enabled` feature is off.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetCounters {
+    /// Frames received (after length-prefix reassembly).
+    pub frames_in: u64,
+    /// Frames sent.
+    pub frames_out: u64,
+    /// Body bytes received (excluding length prefixes).
+    pub bytes_in: u64,
+    /// Body bytes sent (excluding length prefixes).
+    pub bytes_out: u64,
+    /// Frames that failed to decode (truncated / corrupt / unknown tag).
+    pub decode_errors: u64,
+    /// Handshakes rejected for a protocol-version mismatch.
+    pub version_mismatches: u64,
+    /// Client reconnects (a new connection replacing a broken one).
+    pub reconnects: u64,
+}
+
+impl NetCounters {
+    /// Merges another counter set in (field-wise sum).
+    pub fn merge(&mut self, other: &NetCounters) {
+        self.frames_in += other.frames_in;
+        self.frames_out += other.frames_out;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+        self.decode_errors += other.decode_errors;
+        self.version_mismatches += other.version_mismatches;
+        self.reconnects += other.reconnects;
+    }
+}
+
+#[cfg(feature = "enabled")]
+mod net_atomics {
+    use std::sync::atomic::AtomicU64;
+
+    pub static FRAMES_IN: AtomicU64 = AtomicU64::new(0);
+    pub static FRAMES_OUT: AtomicU64 = AtomicU64::new(0);
+    pub static BYTES_IN: AtomicU64 = AtomicU64::new(0);
+    pub static BYTES_OUT: AtomicU64 = AtomicU64::new(0);
+    pub static DECODE_ERRORS: AtomicU64 = AtomicU64::new(0);
+    pub static VERSION_MISMATCHES: AtomicU64 = AtomicU64::new(0);
+    pub static RECONNECTS: AtomicU64 = AtomicU64::new(0);
+}
+
+/// One frame of `bytes` body bytes received.
+#[cfg(feature = "enabled")]
+#[inline(always)]
+pub fn net_frame_in(bytes: u64) {
+    net_atomics::FRAMES_IN.fetch_add(1, AtomicOrdering::Relaxed);
+    net_atomics::BYTES_IN.fetch_add(bytes, AtomicOrdering::Relaxed);
+}
+
+/// One frame of `bytes` body bytes received.
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn net_frame_in(_bytes: u64) {}
+
+/// One frame of `bytes` body bytes sent.
+#[cfg(feature = "enabled")]
+#[inline(always)]
+pub fn net_frame_out(bytes: u64) {
+    net_atomics::FRAMES_OUT.fetch_add(1, AtomicOrdering::Relaxed);
+    net_atomics::BYTES_OUT.fetch_add(bytes, AtomicOrdering::Relaxed);
+}
+
+/// One frame of `bytes` body bytes sent.
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn net_frame_out(_bytes: u64) {}
+
+/// One frame rejected by the decoder.
+#[cfg(feature = "enabled")]
+#[inline(always)]
+pub fn net_decode_error() {
+    net_atomics::DECODE_ERRORS.fetch_add(1, AtomicOrdering::Relaxed);
+}
+
+/// One frame rejected by the decoder.
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn net_decode_error() {}
+
+/// One handshake rejected for a version mismatch.
+#[cfg(feature = "enabled")]
+#[inline(always)]
+pub fn net_version_mismatch() {
+    net_atomics::VERSION_MISMATCHES.fetch_add(1, AtomicOrdering::Relaxed);
+}
+
+/// One handshake rejected for a version mismatch.
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn net_version_mismatch() {}
+
+/// One client reconnect.
+#[cfg(feature = "enabled")]
+#[inline(always)]
+pub fn net_reconnect() {
+    net_atomics::RECONNECTS.fetch_add(1, AtomicOrdering::Relaxed);
+}
+
+/// One client reconnect.
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn net_reconnect() {}
+
+/// Reads the process-global network counters. All-zero when the counters
+/// are compiled out.
+#[cfg(feature = "enabled")]
+pub fn net_counters() -> NetCounters {
+    let load = |a: &AtomicU64| a.load(AtomicOrdering::Relaxed);
+    NetCounters {
+        frames_in: load(&net_atomics::FRAMES_IN),
+        frames_out: load(&net_atomics::FRAMES_OUT),
+        bytes_in: load(&net_atomics::BYTES_IN),
+        bytes_out: load(&net_atomics::BYTES_OUT),
+        decode_errors: load(&net_atomics::DECODE_ERRORS),
+        version_mismatches: load(&net_atomics::VERSION_MISMATCHES),
+        reconnects: load(&net_atomics::RECONNECTS),
+    }
+}
+
+/// Reads the process-global network counters. All-zero when the counters
+/// are compiled out.
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn net_counters() -> NetCounters {
+    NetCounters::default()
+}
+
+/// Zeroes the process-global network counters (test isolation).
+#[cfg(feature = "enabled")]
+pub fn net_counters_reset() {
+    let zero = |a: &AtomicU64| a.store(0, AtomicOrdering::Relaxed);
+    zero(&net_atomics::FRAMES_IN);
+    zero(&net_atomics::FRAMES_OUT);
+    zero(&net_atomics::BYTES_IN);
+    zero(&net_atomics::BYTES_OUT);
+    zero(&net_atomics::DECODE_ERRORS);
+    zero(&net_atomics::VERSION_MISMATCHES);
+    zero(&net_atomics::RECONNECTS);
+}
+
+/// Zeroes the process-global network counters (test isolation).
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn net_counters_reset() {}
+
+// ---------------------------------------------------------------------------
 // Optional trace events (feature `trace`, off by default)
 // ---------------------------------------------------------------------------
 
@@ -608,6 +765,9 @@ pub struct MetricsShard {
     pub degraded_count: u64,
     /// Typed-error counts, keyed by [`ERROR_LABELS`].
     pub error_counts: [u64; ERROR_LABELS.len()],
+    /// Network-transport totals folded in via [`MetricsShard::absorb_net`]
+    /// (all-zero for purely in-process runs).
+    pub net: NetCounters,
     /// Histogram of per-query `rounds_used`.
     pub rounds_hist: Histogram,
     /// Histogram of per-query wall nanoseconds — **timing**, excluded from
@@ -656,6 +816,12 @@ impl MetricsShard {
         self.wall_nanos += stats.wall_nanos as u128;
     }
 
+    /// Folds network-transport totals in (typically the [`net_counters`]
+    /// reading taken when the snapshot is assembled).
+    pub fn absorb_net(&mut self, net: &NetCounters) {
+        self.net.merge(net);
+    }
+
     /// Merges another shard in (field-wise sum).
     pub fn merge(&mut self, other: &MetricsShard) {
         self.queries += other.queries;
@@ -683,6 +849,7 @@ impl MetricsShard {
         for (a, b) in self.error_counts.iter_mut().zip(&other.error_counts) {
             *a += b;
         }
+        self.net.merge(&other.net);
         self.rounds_hist.merge(&other.rounds_hist);
         self.latency_hist.merge(&other.latency_hist);
         self.wall_nanos += other.wall_nanos;
@@ -840,6 +1007,17 @@ impl MetricsSnapshot {
         );
         let _ = writeln!(
             out,
+            "  net: frames {}/{} in/out, bytes {}/{} in/out, decode errors {}, version mismatches {}, reconnects {}",
+            s.net.frames_in,
+            s.net.frames_out,
+            s.net.bytes_in,
+            s.net.bytes_out,
+            s.net.decode_errors,
+            s.net.version_mismatches,
+            s.net.reconnects
+        );
+        let _ = writeln!(
+            out,
             "  outcomes: {} exact, {} degraded, {} errors",
             s.exact_count,
             s.degraded_count,
@@ -893,6 +1071,13 @@ impl MetricsSnapshot {
                 "  \"rounds_total\": {},\n",
                 "  \"exact_count\": {},\n",
                 "  \"degraded_count\": {},\n",
+                "  \"net_frames_in\": {},\n",
+                "  \"net_frames_out\": {},\n",
+                "  \"net_bytes_in\": {},\n",
+                "  \"net_bytes_out\": {},\n",
+                "  \"net_decode_errors\": {},\n",
+                "  \"net_version_mismatches\": {},\n",
+                "  \"net_reconnects\": {},\n",
                 "  \"error_counts\": {{ {} }},\n",
                 "  \"rounds_hist\": {},\n",
                 "  \"latency_hist\": {},\n",
@@ -921,6 +1106,13 @@ impl MetricsSnapshot {
             s.rounds_total,
             s.exact_count,
             s.degraded_count,
+            s.net.frames_in,
+            s.net.frames_out,
+            s.net.bytes_in,
+            s.net.bytes_out,
+            s.net.decode_errors,
+            s.net.version_mismatches,
+            s.net.reconnects,
             errors.join(", "),
             json_buckets(&s.rounds_hist),
             json_buckets(&s.latency_hist),

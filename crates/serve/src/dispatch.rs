@@ -113,9 +113,42 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
-    fn backoff_nanos(&self, attempt: u32) -> u64 {
+    /// The backoff charged before retry `attempt` (1-based).
+    pub fn backoff_nanos(&self, attempt: u32) -> u64 {
         let shift = attempt.saturating_sub(1).min(63);
         self.backoff_base_nanos.saturating_mul(1u64 << shift)
+    }
+}
+
+/// Cross-batch admission feedback: a token bucket refilled from observed
+/// completion rates. Without it admission is per-batch only — every batch
+/// gets the full [`AdmissionConfig::work_capacity`] regardless of how the
+/// previous batches went. With feedback, work spent must be *earned back*
+/// by completed answers (plus an optional clock-driven trickle), so a
+/// backlog of expensive batches tightens admission until completions catch
+/// up. Deterministic under the injected clock: under `NullClock` the
+/// trickle contributes nothing and refill is a pure function of the
+/// completion counters.
+#[derive(Clone, Copy, Debug)]
+pub struct FeedbackConfig {
+    /// Bucket capacity in work units (≥ 1); refill saturates here.
+    pub bucket_capacity: u64,
+    /// Tokens in the bucket at construction.
+    pub initial_tokens: u64,
+    /// Tokens earned per completed (non-shed) answer.
+    pub tokens_per_completion: u64,
+    /// Trickle refill per elapsed second of injected-clock time.
+    pub tokens_per_sec: u64,
+}
+
+impl Default for FeedbackConfig {
+    fn default() -> Self {
+        Self {
+            bucket_capacity: 4_096,
+            initial_tokens: 4_096,
+            tokens_per_completion: 64,
+            tokens_per_sec: 0,
+        }
     }
 }
 
@@ -133,6 +166,8 @@ pub struct AdmissionConfig {
     pub nn_cost: u64,
     /// Monte-Carlo round cap of the lowest quantification tier (≥ 1).
     pub capped_rounds: usize,
+    /// Cross-batch feedback; `None` keeps per-batch-only capacity.
+    pub feedback: Option<FeedbackConfig>,
 }
 
 impl Default for AdmissionConfig {
@@ -141,6 +176,7 @@ impl Default for AdmissionConfig {
             work_capacity: u64::MAX,
             nn_cost: 8,
             capped_rounds: 64,
+            feedback: None,
         }
     }
 }
@@ -200,6 +236,17 @@ impl DispatchConfig {
         }
         if self.admission.capped_rounds == 0 {
             return bad("capped_rounds must be >= 1".into());
+        }
+        if let Some(fb) = &self.admission.feedback {
+            if fb.bucket_capacity == 0 {
+                return bad("feedback bucket_capacity must be >= 1".into());
+            }
+            if fb.initial_tokens > fb.bucket_capacity {
+                return bad(format!(
+                    "feedback initial_tokens {} exceeds bucket_capacity {}",
+                    fb.initial_tokens, fb.bucket_capacity
+                ));
+            }
         }
         Ok(())
     }
@@ -347,6 +394,18 @@ pub struct Dispatcher {
     clock: Arc<dyn Clock + Send + Sync>,
     breakers: Vec<CircuitBreaker>,
     metrics: ServeCounters,
+    /// Token-bucket state for cross-batch admission feedback (present only
+    /// when [`AdmissionConfig::feedback`] is configured).
+    bucket: Option<TokenBucket>,
+}
+
+/// Cross-batch feedback state: the tokens left plus the completion count
+/// and clock reading already credited.
+#[derive(Clone, Copy, Debug)]
+struct TokenBucket {
+    tokens: u64,
+    credited_completions: u64,
+    last_refill_nanos: u64,
 }
 
 impl Dispatcher {
@@ -367,6 +426,11 @@ impl Dispatcher {
         let n = backends.len();
         let total_live = backends.iter().map(|b| b.live_ids().len()).sum();
         let s = backends.iter().map(|b| b.rounds()).max().unwrap_or(1);
+        let bucket = cfg.admission.feedback.map(|fb| TokenBucket {
+            tokens: fb.initial_tokens,
+            credited_completions: 0,
+            last_refill_nanos: clock.now_nanos(),
+        });
         Ok(Self {
             backends,
             exact,
@@ -376,6 +440,7 @@ impl Dispatcher {
             clock,
             breakers: vec![CircuitBreaker::new(cfg.breaker); n],
             metrics: ServeCounters::new(n),
+            bucket,
         })
     }
 
@@ -454,6 +519,11 @@ impl Dispatcher {
         self.s
     }
 
+    /// Live points across all shards (what the handshake advertises).
+    pub fn total_live(&self) -> usize {
+        self.total_live
+    }
+
     /// The honest ε the Monte-Carlo tier certifies for a covered set of
     /// `covered` points (Eq. 6 inverted at the configured δ).
     pub fn mc_epsilon_for(&self, covered: usize, k_max: usize) -> f64 {
@@ -464,7 +534,20 @@ impl Dispatcher {
     /// (shard panics are caught and isolated), and every decision is
     /// deterministic at any thread count.
     pub fn serve(&mut self, requests: &[Request]) -> Vec<Reply> {
+        self.serve_with_deadline(requests, u64::MAX)
+    }
+
+    /// Serves one batch under an additional per-query deadline budget in
+    /// modeled nanoseconds, clamped against the configured
+    /// [`DispatchConfig::deadline_nanos`] (whichever is tighter wins). This
+    /// is the entry point for remote callers: a client sends its *remaining*
+    /// budget with each batch, so time already burned on transport and
+    /// retries honestly tightens the server-side ladder.
+    pub fn serve_with_deadline(&mut self, requests: &[Request], budget_nanos: u64) -> Vec<Reply> {
+        let saved = self.cfg.deadline_nanos;
+        self.cfg.deadline_nanos = saved.min(budget_nanos);
         let now = self.clock.now_nanos();
+        self.refill_bucket(now);
         for br in &mut self.breakers {
             br.poll(now);
         }
@@ -473,7 +556,10 @@ impl Dispatcher {
             .iter()
             .map(|b| b.state() == BreakerState::Open)
             .collect();
-        let plans = self.admit(requests, &excluded);
+        let (plans, spent) = self.admit(requests, &excluded);
+        if let Some(bucket) = &mut self.bucket {
+            bucket.tokens = bucket.tokens.saturating_sub(spent);
+        }
         let work: Vec<(Request, Plan)> = requests.iter().copied().zip(plans).collect();
         let this: &Dispatcher = self;
         let results: Vec<(Reply, CallLog)> = run_pool(self.cfg.threads, || {
@@ -482,17 +568,53 @@ impl Dispatcher {
                 .collect()
         });
         self.absorb(&results, now);
+        self.cfg.deadline_nanos = saved;
         results.into_iter().map(|(reply, _)| reply).collect()
     }
 
+    /// Tokens currently in the feedback bucket (`None` when feedback is
+    /// off). Observable state for tests and metrics renders.
+    pub fn feedback_tokens(&self) -> Option<u64> {
+        self.bucket.as_ref().map(|b| b.tokens)
+    }
+
+    /// Refills the feedback bucket from completions recorded since the
+    /// last batch plus the clock trickle, saturating at capacity. A pure
+    /// function of the counters and the injected clock.
+    fn refill_bucket(&mut self, now: u64) {
+        let (Some(bucket), Some(fb)) = (&mut self.bucket, &self.cfg.admission.feedback) else {
+            return;
+        };
+        let completed = self.metrics.answered_nonzero
+            + self.metrics.answered_exact
+            + self.metrics.answered_adaptive
+            + self.metrics.answered_capped;
+        let fresh = completed.saturating_sub(bucket.credited_completions);
+        bucket.credited_completions = completed;
+        let mut earned = fresh.saturating_mul(fb.tokens_per_completion);
+        if fb.tokens_per_sec > 0 {
+            let elapsed = now.saturating_sub(bucket.last_refill_nanos);
+            earned = earned.saturating_add(
+                (elapsed as u128 * fb.tokens_per_sec as u128 / 1_000_000_000) as u64,
+            );
+        }
+        bucket.last_refill_nanos = now;
+        bucket.tokens = bucket.tokens.saturating_add(earned).min(fb.bucket_capacity);
+    }
+
     /// Sequential admission pass: assigns each request the best tier the
-    /// remaining work capacity affords. Pure function of the request stream
-    /// and batch-start breaker states — independent of execution order.
-    fn admit(&self, requests: &[Request], excluded: &[bool]) -> Vec<Plan> {
+    /// remaining work capacity affords, and reports the work units spent.
+    /// Pure function of the request stream, batch-start breaker states, and
+    /// the feedback-bucket level — independent of execution order.
+    fn admit(&self, requests: &[Request], excluded: &[bool]) -> (Vec<Plan>, u64) {
         let adm = &self.cfg.admission;
         let any_excluded = excluded.iter().any(|&e| e);
         let exact_work = self.exact.as_ref().map(|v| v.work());
-        let mut remaining = adm.work_capacity;
+        let budget = match &self.bucket {
+            Some(bucket) => adm.work_capacity.min(bucket.tokens),
+            None => adm.work_capacity,
+        };
+        let mut remaining = budget;
         let spend = |cost: u64, remaining: &mut u64| {
             if cost <= *remaining {
                 *remaining -= cost;
@@ -501,7 +623,7 @@ impl Dispatcher {
                 false
             }
         };
-        requests
+        let plans = requests
             .iter()
             .map(|req| {
                 let q = req.point();
@@ -538,7 +660,8 @@ impl Dispatcher {
                     }
                 }
             })
-            .collect()
+            .collect();
+        (plans, budget - remaining)
     }
 
     /// One shard call with retries, timeout, validation, and deadline

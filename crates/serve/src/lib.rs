@@ -44,8 +44,8 @@ mod shard;
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use chaos::{ChaosShard, FaultKind};
 pub use dispatch::{
-    AdmissionConfig, DispatchConfig, Dispatcher, EngineShard, Outcome, Reply, Request, RetryPolicy,
-    ShardBackend, ShedReason,
+    AdmissionConfig, DispatchConfig, Dispatcher, EngineShard, FeedbackConfig, Outcome, Reply,
+    Request, RetryPolicy, ShardBackend, ShedReason,
 };
 pub use shard::{ExactView, InsertPolicy, ServeConfig, ShardPolicy, ShardSet, ShardSetSnapshot};
 

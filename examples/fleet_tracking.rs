@@ -17,16 +17,20 @@
 //! (`unn::serve`) with one deliberately slow region: the dispatcher keeps
 //! answering from the healthy region, flags the replies degraded, and the
 //! certified `achieved_epsilon` still bounds the true error against an
-//! exact sweep over the covered vehicles.
+//! exact sweep over the covered vehicles. Finally the same roster is served
+//! over localhost TCP (`unn::net`), with every reply bit-identical to the
+//! in-process dispatcher.
 //!
 //! ```sh
 //! cargo run --release --example fleet_tracking
 //! ```
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use unn::dynamic::{DynamicPnnConfig, DynamicPnnIndex, PointId};
 use unn::geom::Point;
+use unn::net::{tcp_connector, ClientConfig, NetClient, NetServer, ServerConfig};
 use unn::observe::NullClock;
 use unn::serve::{
     ChaosShard, DispatchConfig, Dispatcher, FaultKind, Outcome, Request, ServeConfig, ShardPolicy,
@@ -339,6 +343,58 @@ fn main() {
         "serving under a slow region: {} timeouts, {} retries, every answer degraded-but-honest",
         m.timeouts, m.retries
     );
+
+    // --- The dispatch center moves off-box: the same roster served over
+    // localhost TCP. The wire protocol must be invisible in the answers —
+    // every reply bit-identical to an in-process dispatcher call.
+    let in_process =
+        Dispatcher::for_snapshot(&serving, DispatchConfig::default(), Arc::new(NullClock))
+            .unwrap_or_else(|e| panic!("dispatch config rejected: {e}"))
+            .serve(&requests);
+    let remote = Dispatcher::for_snapshot(&serving, DispatchConfig::default(), Arc::new(NullClock))
+        .unwrap_or_else(|e| panic!("dispatch config rejected: {e}"));
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        Arc::new(Mutex::new(remote)),
+        ServerConfig::default(),
+    )
+    .unwrap_or_else(|e| panic!("bind: {e}"));
+    let mut client = NetClient::new(
+        tcp_connector(server.local_addr(), Duration::from_secs(10)),
+        ClientConfig::default(),
+        Arc::new(NullClock),
+    );
+    let ack = client
+        .connect()
+        .unwrap_or_else(|e| panic!("handshake: {e}"));
+    println!(
+        "\ndispatch center on TCP {} (wire v{}, {} vehicles live):",
+        server.local_addr(),
+        ack.version,
+        ack.total_live
+    );
+    let over_wire = client.serve(&requests).unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(
+        over_wire, in_process,
+        "TCP replies must be bit-identical to in-process dispatch"
+    );
+    for (reply, &q) in over_wire.iter().zip(&incidents) {
+        let tier = match &reply.outcome {
+            Outcome::Exact { .. } => "exact",
+            Outcome::Adaptive { .. } => "adaptive",
+            Outcome::Capped { .. } => "capped",
+            Outcome::Nonzero { .. } => "nonzero",
+            Outcome::Shed { .. } => "shed",
+        };
+        println!("  incident {q:?}: {tier} answer over the wire == in-process");
+    }
+    let stats = client.stats();
+    println!(
+        "wire totals: {} frames out / {} in, {} bytes out / {} in, 0 retries",
+        stats.frames_out, stats.frames_in, stats.bytes_out, stats.bytes_in
+    );
+    assert_eq!(stats.retried_attempts, 0);
+    server.shutdown();
 
     println!("all fleet_tracking assertions passed");
 }

@@ -1,0 +1,192 @@
+//! Cross-batch admission feedback: the token bucket that makes work
+//! capacity a *rate*, not a per-batch constant.
+//!
+//! Contracts under test, per DESIGN.md §9:
+//!
+//! * spent work must be earned back by completed answers — an expensive
+//!   batch starves the next until completions refill the bucket;
+//! * shed replies earn nothing (no runaway credit from refusals);
+//! * the clock-driven trickle refills deterministically under an injected
+//!   [`VirtualClock`], and the bucket saturates at its capacity;
+//! * the whole mechanism is a pure function of the request stream and the
+//!   injected clock: two identical runs produce identical replies and
+//!   identical bucket levels.
+
+use std::sync::Arc;
+
+use unn::geom::Point;
+use unn::serve::{
+    AdmissionConfig, DispatchConfig, Dispatcher, FeedbackConfig, Outcome, Request, ServeConfig,
+    ShardPolicy, ShardSet, ShardSetSnapshot, ShedReason,
+};
+use unn::Uncertain;
+use unn_observe::{NullClock, VirtualClock};
+
+fn snapshot() -> ShardSetSnapshot {
+    let mut set = ShardSet::new(2, ShardPolicy::Hash, ServeConfig::default())
+        .unwrap_or_else(|e| panic!("{e}"));
+    for i in 0..12 {
+        set.insert(Uncertain::uniform_disk(
+            Point::new((i % 4) as f64 * 2.0, (i / 4) as f64 * 2.0),
+            0.4,
+        ));
+    }
+    set.snapshot()
+}
+
+fn config(feedback: FeedbackConfig) -> DispatchConfig {
+    DispatchConfig {
+        threads: Some(1),
+        admission: AdmissionConfig {
+            nn_cost: 8,
+            feedback: Some(feedback),
+            ..AdmissionConfig::default()
+        },
+        ..DispatchConfig::default()
+    }
+}
+
+fn nn_batch(n: usize) -> Vec<Request> {
+    (0..n)
+        .map(|i| Request::NnNonzero(Point::new(0.7 * i as f64, 0.3)))
+        .collect()
+}
+
+fn shed_count(replies: &[unn::serve::Reply]) -> usize {
+    replies
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.outcome,
+                Outcome::Shed {
+                    reason: ShedReason::CapacityExhausted
+                }
+            )
+        })
+        .count()
+}
+
+#[test]
+fn completions_earn_back_exactly_what_sustainable_load_spends() {
+    // 24 initial tokens, 8 per NN answer: a 3-request batch spends 24 and
+    // earns 24 back — the load is sustainable forever.
+    let snap = snapshot();
+    let fb = FeedbackConfig {
+        bucket_capacity: 64,
+        initial_tokens: 24,
+        tokens_per_completion: 8,
+        tokens_per_sec: 0,
+    };
+    let mut d = Dispatcher::for_snapshot(&snap, config(fb), Arc::new(NullClock))
+        .unwrap_or_else(|e| panic!("{e}"));
+    for batch in 0..5 {
+        let replies = d.serve(&nn_batch(3));
+        assert_eq!(shed_count(&replies), 0, "batch {batch} should fit");
+        assert_eq!(
+            d.feedback_tokens(),
+            Some(0),
+            "batch {batch} drains the bucket"
+        );
+    }
+}
+
+#[test]
+fn an_expensive_batch_starves_the_next_until_completions_catch_up() {
+    // Earning only 4 per completion against a cost of 8, the second batch
+    // can afford a single request: batch 1 spends 24, earns back 12.
+    let snap = snapshot();
+    let fb = FeedbackConfig {
+        bucket_capacity: 64,
+        initial_tokens: 24,
+        tokens_per_completion: 4,
+        tokens_per_sec: 0,
+    };
+    let mut d = Dispatcher::for_snapshot(&snap, config(fb), Arc::new(NullClock))
+        .unwrap_or_else(|e| panic!("{e}"));
+    let first = d.serve(&nn_batch(3));
+    assert_eq!(shed_count(&first), 0);
+    let second = d.serve(&nn_batch(3));
+    assert_eq!(
+        shed_count(&second),
+        2,
+        "only one request's worth of tokens earned back"
+    );
+    // The shed requests earned nothing: the third batch still affords just
+    // the one answer the second batch completed (4 tokens banked + 4 new
+    // is still under one 8-token admission... exactly one).
+    let third = d.serve(&nn_batch(3));
+    assert_eq!(shed_count(&third), 2, "shed replies must not earn tokens");
+}
+
+#[test]
+fn trickle_refill_follows_the_injected_clock_and_saturates() {
+    // No completion credit at all: tokens only come back with time.
+    let snap = snapshot();
+    let fb = FeedbackConfig {
+        bucket_capacity: 32,
+        initial_tokens: 24,
+        tokens_per_completion: 0,
+        tokens_per_sec: 8,
+    };
+    let clock = Arc::new(VirtualClock::new());
+    let mut d = Dispatcher::for_snapshot(&snap, config(fb), clock.clone())
+        .unwrap_or_else(|e| panic!("{e}"));
+
+    // Batch 1 drains the bucket; batch 2, at the same instant, is starved.
+    assert_eq!(shed_count(&d.serve(&nn_batch(3))), 0);
+    assert_eq!(d.feedback_tokens(), Some(0));
+    assert_eq!(shed_count(&d.serve(&nn_batch(3))), 3);
+
+    // One second buys 8 tokens: exactly one admission.
+    clock.advance(1_000_000_000);
+    assert_eq!(shed_count(&d.serve(&nn_batch(3))), 2);
+
+    // A very long idle period saturates at capacity (32 = 4 admissions),
+    // not at elapsed × rate.
+    clock.advance(3_600 * 1_000_000_000);
+    assert_eq!(shed_count(&d.serve(&nn_batch(6))), 2);
+}
+
+#[test]
+fn feedback_is_deterministic_across_identical_runs() {
+    let snap = snapshot();
+    let fb = FeedbackConfig {
+        bucket_capacity: 48,
+        initial_tokens: 40,
+        tokens_per_completion: 8,
+        tokens_per_sec: 16,
+    };
+    let run = || {
+        let clock = Arc::new(VirtualClock::new());
+        let mut d = Dispatcher::for_snapshot(&snap, config(fb), clock.clone())
+            .unwrap_or_else(|e| panic!("{e}"));
+        let mut all = Vec::new();
+        for step in 0..6 {
+            all.extend(d.serve(&nn_batch(2 + step % 3)));
+            clock.advance(250_000_000 * (step as u64 + 1));
+        }
+        (all, d.feedback_tokens())
+    };
+    let (a, tokens_a) = run();
+    let (b, tokens_b) = run();
+    assert_eq!(a, b, "replies must be bit-identical across identical runs");
+    assert_eq!(tokens_a, tokens_b);
+    assert!(tokens_a.is_some());
+}
+
+#[test]
+fn without_feedback_capacity_is_per_batch_only() {
+    // The control: the same load with `feedback: None` never sheds, and
+    // the bucket level reads back as absent.
+    let snap = snapshot();
+    let cfg = DispatchConfig {
+        threads: Some(1),
+        ..DispatchConfig::default()
+    };
+    let mut d =
+        Dispatcher::for_snapshot(&snap, cfg, Arc::new(NullClock)).unwrap_or_else(|e| panic!("{e}"));
+    for _ in 0..4 {
+        assert_eq!(shed_count(&d.serve(&nn_batch(6))), 0);
+    }
+    assert_eq!(d.feedback_tokens(), None);
+}

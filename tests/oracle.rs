@@ -311,6 +311,7 @@ fn serve_degraded_epsilon_bounds_true_error_under_faults_and_shedding() {
                 work_capacity: 64,
                 nn_cost: 8,
                 capped_rounds: 64,
+                feedback: None,
             },
             ..DispatchConfig::default()
         },

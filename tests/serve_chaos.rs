@@ -255,6 +255,7 @@ fn shedding_is_honest_and_tiered() {
             work_capacity: exact_work + s + 64,
             nn_cost: 8,
             capped_rounds: 64,
+            feedback: None,
         },
         ..DispatchConfig::default()
     };
